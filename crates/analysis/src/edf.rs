@@ -1,0 +1,418 @@
+//! Exact uniprocessor EDF schedulability for constrained-deadline sporadic
+//! tasks.
+//!
+//! Each shared processor of a federated schedule runs preemptive EDF (paper
+//! Section IV). EDF is optimal on one processor, and the *processor demand
+//! criterion* of Baruah, Mok & Rosier \[2\] decides schedulability exactly:
+//! a task set is EDF-schedulable iff
+//!
+//! ```text
+//! ∀ t > 0:  Σ_i dbf(τ_i, t) ≤ t
+//! ```
+//!
+//! Only instants that are absolute deadlines (`k·T_i + D_i`) can violate the
+//! condition, and for `U < 1` the check can stop at a finite bound `L`. Two
+//! equivalent deciders are provided:
+//!
+//! * [`edf_exact`] — enumerate every deadline up to `L` (reference
+//!   implementation);
+//! * [`edf_qpa`] — Quick Processor-demand Analysis (Zhang & Burns, 2009),
+//!   which walks *backwards* from `L` and typically inspects a tiny fraction
+//!   of the points.
+//!
+//! These are used to cross-validate the partitions produced by the
+//! approximate first-fit test, and to measure how conservative `DBF*` is.
+
+use core::cmp::Reverse;
+use core::fmt;
+use std::collections::BinaryHeap;
+
+use fedsched_dag::rational::Rational;
+use fedsched_dag::time::Duration;
+
+use crate::dbf::SequentialView;
+
+/// Outcome of an exact EDF schedulability test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdfVerdict {
+    /// The task set meets all deadlines under preemptive uniprocessor EDF.
+    Schedulable,
+    /// Demand exceeds supply at the witness instant.
+    Unschedulable {
+        /// A window length `t` with `Σ dbf(τ_i, t) > t`.
+        witness: Duration,
+    },
+}
+
+impl EdfVerdict {
+    /// `true` for [`EdfVerdict::Schedulable`].
+    #[must_use]
+    pub fn is_schedulable(self) -> bool {
+        matches!(self, EdfVerdict::Schedulable)
+    }
+}
+
+/// Resource-limit failure of an exact EDF test.
+///
+/// The processor demand criterion is decidable, but the number of test
+/// points up to the bound `L` can be astronomically large (it degenerates to
+/// the hyperperiod when `U = 1`). Tests take an explicit budget and report
+/// exhaustion rather than silently running forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestBudgetExceeded {
+    /// Points (or QPA iterations) the test was allowed.
+    pub budget: usize,
+}
+
+impl fmt::Display for TestBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact EDF test exceeded its budget of {} test points",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for TestBudgetExceeded {}
+
+/// Default test-point budget: ample for every workload in this repository.
+pub const DEFAULT_BUDGET: usize = 10_000_000;
+
+fn total_utilization(tasks: &[SequentialView]) -> Rational {
+    tasks.iter().map(SequentialView::utilization).sum()
+}
+
+fn total_demand(tasks: &[SequentialView], t: Duration) -> u128 {
+    tasks
+        .iter()
+        .map(|task| u128::from(crate::dbf::dbf(task, t).ticks()))
+        .sum()
+}
+
+/// The analysis horizon `L`: deadlines beyond it cannot be first violations.
+///
+/// For `U < 1` this is `max(D_max, Σ (T_i − D_i)·u_i / (1 − U))`; for
+/// `U = 1` it falls back to `hyperperiod + D_max`; for `U > 1` the caller
+/// should not need a horizon (the set is trivially unschedulable), but the
+/// fallback bound is returned so a witness can still be located.
+#[must_use]
+pub fn demand_horizon(tasks: &[SequentialView]) -> Duration {
+    let u = total_utilization(tasks);
+    let d_max = tasks
+        .iter()
+        .map(|t| t.deadline)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    if u < Rational::ONE {
+        // Σ (T_i − D_i)·u_i / (1 − U), exact.
+        let num: Rational = tasks
+            .iter()
+            .map(|t| {
+                let slack = t.period.saturating_sub(t.deadline);
+                Rational::from(slack.ticks()) * t.utilization()
+            })
+            .sum();
+        let la = num / (Rational::ONE - u);
+        let la = Duration::new(u64::try_from(la.ceil().max(0)).unwrap_or(u64::MAX));
+        d_max.max(la)
+    } else {
+        // Hyperperiod fallback (saturating).
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut l: u64 = 1;
+        for t in tasks {
+            let p = t.period.ticks();
+            let g = gcd(l, p);
+            match (l / g).checked_mul(p) {
+                Some(v) => l = v,
+                None => return Duration::MAX,
+            }
+        }
+        Duration::new(l.saturating_add(d_max.ticks()))
+    }
+}
+
+/// Exact EDF test by exhaustive deadline enumeration up to the horizon.
+///
+/// Deadlines of all tasks are merged in ascending order with a heap; the
+/// cumulative demand is maintained incrementally so each point costs
+/// `O(log n)`.
+///
+/// # Errors
+///
+/// Returns [`TestBudgetExceeded`] if more than `budget` deadline points lie
+/// below the horizon.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_analysis::dbf::SequentialView;
+/// use fedsched_analysis::edf::{edf_exact, EdfVerdict, DEFAULT_BUDGET};
+/// use fedsched_dag::time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tasks = [
+///     SequentialView::new(Duration::new(1), Duration::new(2), Duration::new(4)),
+///     SequentialView::new(Duration::new(2), Duration::new(6), Duration::new(8)),
+/// ];
+/// assert_eq!(edf_exact(&tasks, DEFAULT_BUDGET)?, EdfVerdict::Schedulable);
+/// # Ok(())
+/// # }
+/// ```
+pub fn edf_exact(
+    tasks: &[SequentialView],
+    budget: usize,
+) -> Result<EdfVerdict, TestBudgetExceeded> {
+    if tasks.is_empty() {
+        return Ok(EdfVerdict::Schedulable);
+    }
+    let horizon = demand_horizon(tasks);
+    // Merged ascending deadline walk: heap of (next deadline, task index).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Reverse((t.deadline.ticks(), i)))
+        .collect();
+    let mut demand: u128 = 0;
+    let mut spent = 0usize;
+    let over_capacity = total_utilization(tasks) > Rational::ONE;
+
+    while let Some(&Reverse((t, _))) = heap.peek() {
+        if t > horizon.ticks() && !over_capacity {
+            break;
+        }
+        // Accumulate every job whose deadline is exactly t.
+        while let Some(&Reverse((t2, i))) = heap.peek() {
+            if t2 != t {
+                break;
+            }
+            heap.pop();
+            demand += u128::from(tasks[i].wcet.ticks());
+            if let Some(next) = t2.checked_add(tasks[i].period.ticks()) {
+                heap.push(Reverse((next, i)));
+            }
+            spent += 1;
+            if spent > budget {
+                return Err(TestBudgetExceeded { budget });
+            }
+        }
+        if demand > u128::from(t) {
+            return Ok(EdfVerdict::Unschedulable {
+                witness: Duration::new(t),
+            });
+        }
+    }
+    Ok(EdfVerdict::Schedulable)
+}
+
+/// The largest absolute deadline of any task strictly below `t`, or `None`
+/// if every first deadline is at or above `t`.
+fn max_deadline_below(tasks: &[SequentialView], t: Duration) -> Option<Duration> {
+    tasks
+        .iter()
+        .filter_map(|task| {
+            let d = task.deadline.ticks();
+            let t = t.ticks();
+            if d >= t {
+                return None;
+            }
+            // Largest k ≥ 0 with k·T + D < t.
+            let k = (t - d - 1) / task.period.ticks();
+            Some(Duration::new(k * task.period.ticks() + d))
+        })
+        .max()
+}
+
+/// Quick Processor-demand Analysis (QPA) — the fast exact EDF test.
+///
+/// Walks backwards from the horizon: starting at the largest deadline below
+/// `L`, repeatedly jump to `h(t)` (the demand at `t`) while `h(t) < t`, or to
+/// the previous deadline when `h(t) = t`. Terminates with a verdict identical
+/// to [`edf_exact`], usually after very few iterations.
+///
+/// # Errors
+///
+/// Returns [`TestBudgetExceeded`] if the walk takes more than `budget`
+/// iterations (theoretically impossible for sane inputs before exhausting
+/// distinct demand values, but guarded for robustness).
+pub fn edf_qpa(tasks: &[SequentialView], budget: usize) -> Result<EdfVerdict, TestBudgetExceeded> {
+    if tasks.is_empty() {
+        return Ok(EdfVerdict::Schedulable);
+    }
+    if total_utilization(tasks) > Rational::ONE {
+        // Delegate witness search to the exhaustive walk (guaranteed finite).
+        return edf_exact(tasks, budget);
+    }
+    let horizon = demand_horizon(tasks);
+    let d_min = tasks
+        .iter()
+        .map(|t| t.deadline)
+        .min()
+        .expect("non-empty task set");
+
+    // t ← max{ d | d < L } — or the horizon itself if no deadline is below
+    // it (then there is nothing to check).
+    let Some(mut t) = max_deadline_below(tasks, horizon + Duration::new(1)) else {
+        return Ok(EdfVerdict::Schedulable);
+    };
+    let mut spent = 0usize;
+    loop {
+        spent += 1;
+        if spent > budget {
+            return Err(TestBudgetExceeded { budget });
+        }
+        let h = total_demand(tasks, t);
+        if h > u128::from(t.ticks()) {
+            return Ok(EdfVerdict::Unschedulable { witness: t });
+        }
+        if h <= u128::from(d_min.ticks()) {
+            return Ok(EdfVerdict::Schedulable);
+        }
+        if h < u128::from(t.ticks()) {
+            t = Duration::new(u64::try_from(h).expect("demand below t fits in u64"));
+        } else {
+            match max_deadline_below(tasks, t) {
+                Some(prev) => t = prev,
+                None => return Ok(EdfVerdict::Schedulable),
+            }
+        }
+    }
+}
+
+/// The exact EDF test for *implicit-deadline* sets: `U ≤ 1` (Liu & Layland).
+///
+/// Provided for the implicit-deadline federated baseline; for constrained
+/// deadlines use [`edf_exact`] or [`edf_qpa`].
+#[must_use]
+pub fn edf_utilization_test(tasks: &[SequentialView]) -> bool {
+    total_utilization(tasks) <= Rational::ONE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(c: u64, d: u64, t: u64) -> SequentialView {
+        SequentialView::new(Duration::new(c), Duration::new(d), Duration::new(t))
+    }
+
+    fn both(tasks: &[SequentialView]) -> EdfVerdict {
+        let a = edf_exact(tasks, DEFAULT_BUDGET).expect("within budget");
+        let b = edf_qpa(tasks, DEFAULT_BUDGET).expect("within budget");
+        assert_eq!(a.is_schedulable(), b.is_schedulable(), "deciders disagree");
+        a
+    }
+
+    #[test]
+    fn empty_set_is_schedulable() {
+        assert!(both(&[]).is_schedulable());
+    }
+
+    #[test]
+    fn single_task_schedulable_iff_wcet_fits_deadline() {
+        assert!(both(&[view(3, 3, 10)]).is_schedulable());
+        assert!(!both(&[view(4, 3, 10)]).is_schedulable());
+    }
+
+    #[test]
+    fn implicit_deadline_full_utilization_is_schedulable() {
+        // U = 1/2 + 1/2 = 1, implicit deadlines ⇒ schedulable.
+        assert!(both(&[view(1, 2, 2), view(2, 4, 4)]).is_schedulable());
+    }
+
+    #[test]
+    fn over_utilization_is_unschedulable() {
+        let v = both(&[view(3, 4, 4), view(2, 4, 4)]);
+        assert!(!v.is_schedulable());
+    }
+
+    #[test]
+    fn constrained_deadlines_bite() {
+        // Same WCETs fit with implicit deadlines but not with tight ones.
+        assert!(both(&[view(2, 8, 8), view(2, 8, 8)]).is_schedulable());
+        assert!(!both(&[view(2, 3, 8), view(2, 3, 8)]).is_schedulable());
+    }
+
+    #[test]
+    fn witness_is_a_genuine_violation() {
+        let tasks = [view(2, 3, 8), view(2, 3, 8)];
+        match edf_exact(&tasks, DEFAULT_BUDGET).unwrap() {
+            EdfVerdict::Unschedulable { witness } => {
+                assert!(total_demand(&tasks, witness) > u128::from(witness.ticks()));
+            }
+            EdfVerdict::Schedulable => panic!("expected unschedulable"),
+        }
+    }
+
+    #[test]
+    fn classic_three_task_set() {
+        // A standard schedulable constrained-deadline example.
+        let tasks = [view(1, 3, 4), view(1, 5, 6), view(2, 9, 12)];
+        assert!(both(&tasks).is_schedulable());
+        // Tighten until it breaks: demand at t = 5 is 3 + 3 = 6 > 5.
+        let tight = [view(3, 3, 6), view(3, 5, 10)];
+        assert!(!both(&tight).is_schedulable());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_error() {
+        let tasks = [view(1, 2, 4), view(2, 6, 8), view(1, 10, 16)];
+        assert!(matches!(
+            edf_exact(&tasks, 1),
+            Err(TestBudgetExceeded { budget: 1 })
+        ));
+    }
+
+    #[test]
+    fn horizon_for_low_utilization_is_small() {
+        let tasks = [view(1, 4, 100)];
+        // U = 1/100, slack term tiny ⇒ horizon ≈ D_max.
+        assert_eq!(demand_horizon(&tasks), Duration::new(4));
+    }
+
+    #[test]
+    fn horizon_for_full_utilization_is_hyperperiod_based() {
+        let tasks = [view(2, 4, 4), view(3, 6, 6)];
+        // U = 1 ⇒ lcm(4,6) + max D = 12 + 6.
+        assert_eq!(demand_horizon(&tasks), Duration::new(18));
+    }
+
+    #[test]
+    fn max_deadline_below_matches_bruteforce() {
+        let tasks = [view(1, 3, 4), view(1, 5, 7)];
+        for t in 1..60u64 {
+            let expected = (0..t)
+                .filter(|&d| {
+                    tasks.iter().any(|task| {
+                        d >= task.deadline.ticks()
+                            && (d - task.deadline.ticks()) % task.period.ticks() == 0
+                    })
+                })
+                .max()
+                .map(Duration::new);
+            assert_eq!(
+                max_deadline_below(&tasks, Duration::new(t)),
+                expected,
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_test() {
+        assert!(edf_utilization_test(&[view(1, 2, 2), view(1, 2, 2)]));
+        assert!(!edf_utilization_test(&[view(2, 2, 2), view(1, 2, 2)]));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TestBudgetExceeded { budget: 7 };
+        assert!(e.to_string().contains("budget of 7"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Uniprocessor demand-bound analysis and partitioning for sporadic tasks.
+//!
+//! The partitioning phase of FEDCONS (Baruah, DATE 2015, Fig. 4) reduces the
+//! low-density sporadic DAG tasks to three-parameter sporadic tasks and
+//! places them onto shared processors with the Baruah–Fisher first-fit test.
+//! This crate supplies that machinery, plus the exact uniprocessor EDF
+//! deciders used to cross-validate it:
+//!
+//! * [`mod@dbf`] — exact demand bound function and the `DBF*` approximation
+//!   (paper Eq. 1);
+//! * [`edf`] — exact processor-demand EDF tests (exhaustive and QPA);
+//! * [`partition`] — deadline-ordered first-fit partitioning (paper Fig. 4,
+//!   \[7\]);
+//! * [`response_time`] — Spuri worst-case response-time bounds under EDF,
+//!   giving per-task slack rather than a bare yes/no.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedsched_analysis::dbf::SequentialView;
+//! use fedsched_analysis::partition::{partition_first_fit, PartitionConfig};
+//! use fedsched_dag::system::TaskId;
+//! use fedsched_dag::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tasks = vec![
+//!     (TaskId::from_index(0), SequentialView::new(Duration::new(1), Duration::new(3), Duration::new(6))),
+//!     (TaskId::from_index(1), SequentialView::new(Duration::new(2), Duration::new(5), Duration::new(10))),
+//! ];
+//! let partition = partition_first_fit(&tasks, 1, PartitionConfig::default())?;
+//! assert_eq!(partition.used_processors(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod dbf;
+pub mod edf;
+pub mod partition;
+pub mod response_time;
+
+pub use dbf::{dbf, dbf_approx, total_dbf, total_dbf_approx, SequentialView};
+pub use edf::{edf_exact, edf_qpa, EdfVerdict, TestBudgetExceeded, DEFAULT_BUDGET};
+pub use partition::{
+    partition_first_fit, Partition, PartitionConfig, PartitionFailure, PartitionTest,
+};
+pub use response_time::{edf_response_times, synchronous_busy_period, ResponseTimes};

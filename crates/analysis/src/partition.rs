@@ -1,0 +1,490 @@
+//! The partitioning phase of FEDCONS: Baruah–Fisher first-fit by deadline
+//! (paper Fig. 4, derived from \[7\]).
+//!
+//! Low-density DAG tasks are treated as sequential three-parameter sporadic
+//! tasks (`vol_i, D_i, T_i`) and placed one by one, in order of
+//! non-decreasing relative deadline, onto the first shared processor where
+//! the approximate demand fits:
+//!
+//! ```text
+//! D_i − Σ_{τ_j ∈ τ(k)} DBF*(τ_j, D_i)  ≥  vol_i
+//! ```
+//!
+//! The underlying correctness argument ([7, Corollary 1]) additionally
+//! requires the *utilization* condition `u_i ≤ 1 − Σ_{τ_j ∈ τ(k)} u_j` on
+//! the chosen processor: `DBF*` is linear beyond each deadline, so the
+//! demand condition evaluated at `D_i` only covers later check-points when
+//! the slopes sum to at most one. The paper's Fig. 4 elides that condition;
+//! [`PartitionConfig::utilization_check`] (default **on**) restores it, and
+//! can be disabled to study the literal pseudocode.
+//!
+//! The guarantee reproduced in experiment E6: if *any* partitioning of the
+//! tasks onto `m` unit-speed processors is feasible, this first-fit succeeds
+//! on `m` processors that are `(3 − 1/m)` times as fast (paper Lemma 2).
+
+use core::fmt;
+
+use fedsched_dag::rational::Rational;
+use serde::{Deserialize, Serialize};
+use fedsched_dag::system::TaskId;
+use fedsched_dag::time::Duration;
+
+use crate::dbf::{dbf_approx, SequentialView};
+use crate::edf::edf_qpa;
+
+/// The per-processor admission test the first-fit partitioner applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum PartitionTest {
+    /// The paper's test (Fig. 4): approximate demand `DBF*` evaluated at
+    /// the candidate's deadline. Polynomial time; carries the `(3 − 1/m)`
+    /// speedup guarantee of Lemma 2.
+    #[default]
+    ApproxDbf,
+    /// The *exact* EDF processor-demand criterion (via QPA) on
+    /// `resident ∪ {candidate}`. Pseudo-polynomial; admits everything the
+    /// approximate test admits per processor, and quantifies how much
+    /// acceptance `DBF*` leaves on the table (ablation experiment E10).
+    /// If the exact test exhausts `budget` the candidate is conservatively
+    /// rejected.
+    ExactEdf {
+        /// Test-point budget handed to QPA per probe.
+        budget: usize,
+    },
+}
+
+
+/// Options for the first-fit partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionConfig {
+    /// Also require `Σ u_j + u_i ≤ 1` on the receiving processor (the
+    /// condition of [7, Corollary 1] that Fig. 4 leaves implicit).
+    /// Disabling this reproduces the paper's literal pseudocode but can
+    /// admit partitions whose processors are over-utilized. Only consulted
+    /// by [`PartitionTest::ApproxDbf`] (the exact test subsumes it).
+    pub utilization_check: bool,
+    /// Which admission test gates each placement.
+    pub test: PartitionTest,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            utilization_check: true,
+            test: PartitionTest::ApproxDbf,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// The paper's configuration (Fig. 4 + the \[7\] utilization condition).
+    #[must_use]
+    pub fn approx() -> PartitionConfig {
+        PartitionConfig::default()
+    }
+
+    /// Exact-EDF admission with the given QPA budget (ablation E10).
+    #[must_use]
+    pub fn exact(budget: usize) -> PartitionConfig {
+        PartitionConfig {
+            utilization_check: true,
+            test: PartitionTest::ExactEdf { budget },
+        }
+    }
+}
+
+/// A successful partition: which tasks went to which shared processor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    assignment: Vec<Vec<TaskId>>,
+}
+
+impl Partition {
+    /// Number of shared processors the partition was built for.
+    #[must_use]
+    pub fn processor_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The tasks assigned to processor `k`, in assignment order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn tasks_on(&self, k: usize) -> &[TaskId] {
+        &self.assignment[k]
+    }
+
+    /// Iterator over `(processor, tasks)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, &[TaskId])> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// The processor a task was assigned to, if any.
+    #[must_use]
+    pub fn processor_of(&self, task: TaskId) -> Option<usize> {
+        self.assignment
+            .iter()
+            .position(|tasks| tasks.contains(&task))
+    }
+
+    /// Number of processors that received at least one task.
+    #[must_use]
+    pub fn used_processors(&self) -> usize {
+        self.assignment.iter().filter(|v| !v.is_empty()).count()
+    }
+}
+
+/// Failure of the first-fit partitioner: a task fit on no processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionFailure {
+    /// The first task that could not be placed.
+    pub task: TaskId,
+    /// Number of shared processors that were available.
+    pub processors: usize,
+}
+
+impl fmt::Display for PartitionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} fits on none of the {} shared processors",
+            self.task, self.processors
+        )
+    }
+}
+
+impl std::error::Error for PartitionFailure {}
+
+/// Partitions the given tasks onto `processors` shared processors with the
+/// Baruah–Fisher deadline-ordered first-fit (paper Fig. 4).
+///
+/// `tasks` pairs each [`TaskId`] with its sequential demand view; ids are
+/// opaque to the algorithm and returned unchanged in the [`Partition`].
+/// Callers pass the low-density subset of their system here (FEDCONS does).
+///
+/// # Errors
+///
+/// Returns [`PartitionFailure`] naming the first task that fits nowhere.
+/// With zero processors, any non-empty input fails on its first task.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_analysis::dbf::SequentialView;
+/// use fedsched_analysis::partition::{partition_first_fit, PartitionConfig};
+/// use fedsched_dag::system::TaskId;
+/// use fedsched_dag::time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tasks = vec![
+///     (TaskId::from_index(0), SequentialView::new(Duration::new(2), Duration::new(4), Duration::new(8))),
+///     (TaskId::from_index(1), SequentialView::new(Duration::new(3), Duration::new(6), Duration::new(6))),
+/// ];
+/// let p = partition_first_fit(&tasks, 2, PartitionConfig::default())?;
+/// assert_eq!(p.processor_count(), 2);
+/// assert!(p.processor_of(TaskId::from_index(0)).is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_first_fit(
+    tasks: &[(TaskId, SequentialView)],
+    processors: usize,
+    config: PartitionConfig,
+) -> Result<Partition, PartitionFailure> {
+    // "Without loss of generality, assume that D_i ≤ D_{i+1}": sort by
+    // non-decreasing relative deadline (ties by id for determinism).
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| (tasks[i].1.deadline, tasks[i].0));
+
+    let mut assignment: Vec<Vec<TaskId>> = vec![Vec::new(); processors];
+    let mut views: Vec<Vec<SequentialView>> = vec![Vec::new(); processors];
+    let mut utilizations: Vec<Rational> = vec![Rational::ZERO; processors];
+
+    for &i in &order {
+        let (id, view) = tasks[i];
+        let placed = (0..processors).find(|&k| {
+            fits(&views[k], utilizations[k], &view, config)
+        });
+        match placed {
+            Some(k) => {
+                assignment[k].push(id);
+                views[k].push(view);
+                utilizations[k] += view.utilization();
+            }
+            None => {
+                return Err(PartitionFailure {
+                    task: id,
+                    processors,
+                })
+            }
+        }
+    }
+    Ok(Partition { assignment })
+}
+
+/// The admission condition for adding `candidate` to a processor that
+/// already hosts `resident` tasks (with total utilization
+/// `resident_utilization`), under the configured [`PartitionTest`].
+#[must_use]
+pub fn fits(
+    resident: &[SequentialView],
+    resident_utilization: Rational,
+    candidate: &SequentialView,
+    config: PartitionConfig,
+) -> bool {
+    match config.test {
+        PartitionTest::ApproxDbf => {
+            let d = candidate.deadline;
+            let demand_at_d: Rational = resident.iter().map(|r| dbf_approx(r, d)).sum();
+            let slack = Rational::from(d.ticks()) - demand_at_d;
+            if slack < Rational::from(candidate.wcet.ticks()) {
+                return false;
+            }
+            if config.utilization_check
+                && resident_utilization + candidate.utilization() > Rational::ONE
+            {
+                return false;
+            }
+            true
+        }
+        PartitionTest::ExactEdf { budget } => {
+            let mut with: Vec<SequentialView> = resident.to_vec();
+            with.push(*candidate);
+            matches!(
+                edf_qpa(&with, budget),
+                Ok(crate::edf::EdfVerdict::Schedulable)
+            )
+        }
+    }
+}
+
+/// Convenience: the demand slack `D − Σ DBF*(τ_j, D)` a processor offers a
+/// deadline `D`, exposed for diagnostics and experiments.
+#[must_use]
+pub fn slack_at(resident: &[SequentialView], d: Duration) -> Rational {
+    let demand: Rational = resident.iter().map(|r| dbf_approx(r, d)).sum();
+    Rational::from(d.ticks()) - demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::{edf_qpa, DEFAULT_BUDGET};
+
+    fn view(c: u64, d: u64, t: u64) -> SequentialView {
+        SequentialView::new(Duration::new(c), Duration::new(d), Duration::new(t))
+    }
+
+    fn tasks(views: &[SequentialView]) -> Vec<(TaskId, SequentialView)> {
+        views
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (TaskId::from_index(i), v))
+            .collect()
+    }
+
+    #[test]
+    fn single_task_single_processor() {
+        let p = partition_first_fit(&tasks(&[view(2, 4, 8)]), 1, PartitionConfig::default())
+            .unwrap();
+        assert_eq!(p.tasks_on(0), &[TaskId::from_index(0)]);
+        assert_eq!(p.used_processors(), 1);
+    }
+
+    #[test]
+    fn empty_input_succeeds_even_with_zero_processors() {
+        let p = partition_first_fit(&[], 0, PartitionConfig::default()).unwrap();
+        assert_eq!(p.processor_count(), 0);
+    }
+
+    #[test]
+    fn zero_processors_fail_nonempty() {
+        let e = partition_first_fit(&tasks(&[view(1, 2, 4)]), 0, PartitionConfig::default())
+            .unwrap_err();
+        assert_eq!(e.processors, 0);
+        assert!(e.to_string().contains("none of the 0"));
+    }
+
+    #[test]
+    fn overloads_spill_to_next_processor() {
+        // Each task demands its whole deadline: one per processor.
+        let vs = [view(4, 4, 8), view(4, 4, 8)];
+        let p = partition_first_fit(&tasks(&vs), 2, PartitionConfig::default()).unwrap();
+        assert_eq!(p.used_processors(), 2);
+        assert_ne!(
+            p.processor_of(TaskId::from_index(0)),
+            p.processor_of(TaskId::from_index(1))
+        );
+    }
+
+    #[test]
+    fn failure_when_all_processors_full() {
+        let vs = [view(4, 4, 8), view(4, 4, 8), view(4, 4, 8)];
+        let e = partition_first_fit(&tasks(&vs), 2, PartitionConfig::default()).unwrap_err();
+        assert_eq!(e.processors, 2);
+    }
+
+    #[test]
+    fn deadline_order_is_respected() {
+        // The tight-deadline task must be considered first even though it
+        // has a later id.
+        let vs = [view(3, 10, 10), view(3, 3, 10)];
+        let p = partition_first_fit(&tasks(&vs), 1, PartitionConfig::default()).unwrap();
+        // Both fit on one processor: demand at D=3 is 0 from the other task
+        // when placed first... The point: placement succeeds.
+        assert_eq!(p.tasks_on(0).len(), 2);
+        // Deadline order puts task 1 (D=3) first in the assignment list.
+        assert_eq!(p.tasks_on(0)[0], TaskId::from_index(1));
+    }
+
+    #[test]
+    fn utilization_check_rejects_over_utilized_processor() {
+        // Demand at D fits, but long-run utilization exceeds 1.
+        // τ_a: C=1, D=1, T=2 (u=1/2); τ_b: C=5, D=9, T=8 (u=5/8).
+        // DBF*(a, 9) = 1 + (1/2)·8 = 5; slack = 9 − 5 = 4 ≥ 5? No (4 < 5) —
+        // pick something where demand passes: τ_b: C=3, D=9, T=4 (u=3/4):
+        // DBF*(a,9) = 5, slack 4 ≥ 3 ✓ but u sum = 1/2 + 3/4 > 1.
+        let a = view(1, 1, 2);
+        let b = view(3, 9, 4);
+        let with = PartitionConfig::default();
+        let without = PartitionConfig {
+            utilization_check: false,
+            ..PartitionConfig::default()
+        };
+        assert!(!fits(&[a], a.utilization(), &b, with));
+        assert!(fits(&[a], a.utilization(), &b, without));
+        // And the literal-pseudocode partition is indeed EDF-infeasible.
+        let verdict = edf_qpa(&[a, b], DEFAULT_BUDGET).unwrap();
+        assert!(!verdict.is_schedulable());
+    }
+
+    #[test]
+    fn accepted_partitions_are_edf_schedulable() {
+        // Every processor of a default-config partition must pass the exact
+        // EDF test — the sufficiency the DBF* test promises.
+        let vs = [
+            view(2, 5, 10),
+            view(1, 3, 6),
+            view(4, 9, 18),
+            view(2, 7, 14),
+            view(3, 11, 11),
+        ];
+        let ts = tasks(&vs);
+        let p = partition_first_fit(&ts, 2, PartitionConfig::default()).unwrap();
+        for (_, ids) in p.iter() {
+            let proc_views: Vec<SequentialView> =
+                ids.iter().map(|id| vs[id.index()]).collect();
+            assert!(edf_qpa(&proc_views, DEFAULT_BUDGET).unwrap().is_schedulable());
+        }
+    }
+
+    #[test]
+    fn slack_diagnostics() {
+        let a = view(2, 4, 8);
+        assert_eq!(slack_at(&[a], Duration::new(3)), Rational::from_integer(3));
+        assert_eq!(slack_at(&[a], Duration::new(4)), Rational::from_integer(2));
+        // At t = 8: 8 − (2 + (1/4)·4) = 5.
+        assert_eq!(slack_at(&[a], Duration::new(8)), Rational::from_integer(5));
+    }
+
+    #[test]
+    fn first_fit_prefers_earlier_processors() {
+        let vs = [view(1, 8, 16), view(1, 9, 18)];
+        let p = partition_first_fit(&tasks(&vs), 3, PartitionConfig::default()).unwrap();
+        assert_eq!(p.tasks_on(0).len(), 2);
+        assert_eq!(p.used_processors(), 1);
+    }
+}
+
+#[cfg(test)]
+mod exact_test_tests {
+    use super::*;
+    use crate::edf::{edf_qpa, DEFAULT_BUDGET};
+    use fedsched_dag::time::Duration;
+
+    fn view(c: u64, d: u64, t: u64) -> SequentialView {
+        SequentialView::new(Duration::new(c), Duration::new(d), Duration::new(t))
+    }
+
+    fn tasks(views: &[SequentialView]) -> Vec<(TaskId, SequentialView)> {
+        views
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (TaskId::from_index(i), v))
+            .collect()
+    }
+
+    #[test]
+    fn exact_admits_everything_approx_admits_per_processor() {
+        // Per-processor containment: any placement the DBF* test accepts is
+        // EDF-schedulable, so the exact test accepts it too.
+        let resident = [view(2, 5, 10), view(1, 3, 6)];
+        let u: Rational = resident.iter().map(SequentialView::utilization).sum();
+        for cand in [view(1, 7, 14), view(2, 9, 9), view(3, 11, 22)] {
+            if fits(&resident, u, &cand, PartitionConfig::approx()) {
+                assert!(
+                    fits(&resident, u, &cand, PartitionConfig::exact(DEFAULT_BUDGET)),
+                    "exact test rejected an approx-admitted candidate {cand:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_admits_strictly_more_somewhere() {
+        // DBF* over-approximates demand between deadline steps: find a
+        // placement the approximate test rejects but exact EDF accepts.
+        // τ_a = (3, 4, 10): DBF*(a, 8) = 3 + 0.3·4 = 4.2; candidate
+        // (4, 8, 16): slack 8 − 4.2 = 3.8 < 4 ⇒ approx rejects. Exact
+        // demand at 8 is only 3 ⇒ EDF fits (check: dbf(a,4)=3≤4 ✓,
+        // dbf at 8: 3+4=7 ≤ 8 ✓ ...).
+        let resident = [view(3, 4, 10)];
+        let u = resident[0].utilization();
+        let cand = view(4, 8, 16);
+        assert!(!fits(&resident, u, &cand, PartitionConfig::approx()));
+        assert!(fits(&resident, u, &cand, PartitionConfig::exact(DEFAULT_BUDGET)));
+        // ... and the exact verdict is genuine.
+        let both = [resident[0], cand];
+        assert!(edf_qpa(&both, DEFAULT_BUDGET).unwrap().is_schedulable());
+    }
+
+    #[test]
+    fn exact_partitions_are_edf_schedulable() {
+        let vs = [
+            view(3, 4, 10),
+            view(4, 8, 16),
+            view(2, 6, 12),
+            view(5, 16, 16),
+        ];
+        let p = partition_first_fit(&tasks(&vs), 2, PartitionConfig::exact(DEFAULT_BUDGET))
+            .unwrap();
+        for (_, ids) in p.iter() {
+            let views: Vec<SequentialView> = ids.iter().map(|id| vs[id.index()]).collect();
+            assert!(edf_qpa(&views, DEFAULT_BUDGET).unwrap().is_schedulable());
+        }
+    }
+
+    #[test]
+    fn exact_with_tiny_budget_rejects_conservatively() {
+        // Budget exhaustion must never admit.
+        let resident = [view(1, 3, 7), view(2, 9, 13)];
+        let u: Rational = resident.iter().map(SequentialView::utilization).sum();
+        let cand = view(1, 20, 29);
+        assert!(!fits(&resident, u, &cand, PartitionConfig::exact(1)));
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert_eq!(PartitionConfig::approx(), PartitionConfig::default());
+        assert_eq!(
+            PartitionConfig::exact(42).test,
+            PartitionTest::ExactEdf { budget: 42 }
+        );
+        assert_eq!(PartitionTest::default(), PartitionTest::ApproxDbf);
+    }
+}

@@ -1,0 +1,310 @@
+//! Worst-case response times under uniprocessor EDF (Spuri, 1996).
+//!
+//! The exact tests in [`crate::edf`] answer *whether* every deadline is met;
+//! response-time analysis answers *by how much*: the largest completion
+//! delay any job of a task can suffer. For preemptive EDF on one processor
+//! the classic analysis of Spuri applies: the worst response time of task
+//! `τ_i` occurs for some activation released `a` time units after the start
+//! of a *deadline busy period* in which all other tasks release
+//! synchronously and as fast as possible.
+//!
+//! For an activation of `τ_i` at offset `a`, only interference with
+//! absolute deadlines at or before `a + D_i` matters. The completion time
+//! fixpoint is
+//!
+//! ```text
+//! t = (⌊a/T_i⌋ + 1)·C_i  +  Σ_{j≠i} min(⌈t/T_j⌉, n_j(a))·C_j
+//! n_j(a) = max(0, 1 + ⌊(a + D_i − D_j)/T_j⌋)
+//! ```
+//!
+//! and the response time of that activation is `t − a`. The candidate
+//! offsets are the instants where interference steps change —
+//! `a = k·T_j + D_j − D_i ≥ 0` for some `j` and `a = k·T_i` — up to the
+//! length of the synchronous busy period.
+//!
+//! Everything is integer-exact. The result is a *sound upper bound* on the
+//! worst response time (and Spuri's argument makes it tight for `U < 1`);
+//! cross-validation against the exact EDF test and the discrete-event
+//! simulator lives in this crate's test suites.
+
+use fedsched_dag::rational::Rational;
+use fedsched_dag::time::Duration;
+
+use crate::dbf::SequentialView;
+use crate::edf::TestBudgetExceeded;
+
+/// Worst-case response times, indexed like the input task slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseTimes {
+    values: Vec<Duration>,
+}
+
+impl ResponseTimes {
+    /// The bound for the `i`-th input task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn of(&self, i: usize) -> Duration {
+        self.values[i]
+    }
+
+    /// All bounds, in input order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Duration] {
+        &self.values
+    }
+
+    /// `true` iff every task's bound is within its relative deadline —
+    /// equivalent to EDF schedulability of the set.
+    #[must_use]
+    pub fn all_within_deadlines(&self, tasks: &[SequentialView]) -> bool {
+        self.values
+            .iter()
+            .zip(tasks)
+            .all(|(r, t)| *r <= t.deadline)
+    }
+}
+
+/// Length of the synchronous (level-∞) busy period: the least fixpoint of
+/// `L = Σ_j ⌈L/T_j⌉·C_j`, the horizon inside which every worst-case
+/// response time of every task occurs.
+///
+/// # Errors
+///
+/// Returns [`TestBudgetExceeded`] if the fixpoint iteration exceeds
+/// `budget` steps (can only happen for `U ≥ 1`, where the busy period need
+/// not be finite).
+pub fn synchronous_busy_period(
+    tasks: &[SequentialView],
+    budget: usize,
+) -> Result<Duration, TestBudgetExceeded> {
+    let mut l: u64 = tasks.iter().map(|t| t.wcet.ticks()).sum();
+    if l == 0 {
+        return Ok(Duration::ZERO);
+    }
+    for _ in 0..budget {
+        let next: u64 = tasks
+            .iter()
+            .map(|t| l.div_ceil(t.period.ticks()) * t.wcet.ticks())
+            .sum();
+        if next == l {
+            return Ok(Duration::new(l));
+        }
+        l = next;
+    }
+    Err(TestBudgetExceeded { budget })
+}
+
+/// Computes Spuri worst-case response-time bounds for every task under
+/// preemptive uniprocessor EDF.
+///
+/// `budget` caps both the busy-period fixpoint and the total number of
+/// candidate offsets examined.
+///
+/// # Errors
+///
+/// Returns [`TestBudgetExceeded`] when `U ≥ 1` makes the busy period
+/// diverge, or when the candidate set exceeds the budget.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_analysis::dbf::SequentialView;
+/// use fedsched_analysis::response_time::edf_response_times;
+/// use fedsched_dag::time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tasks = [
+///     SequentialView::new(Duration::new(1), Duration::new(2), Duration::new(4)),
+///     SequentialView::new(Duration::new(2), Duration::new(6), Duration::new(8)),
+/// ];
+/// let r = edf_response_times(&tasks, 1_000_000)?;
+/// assert!(r.all_within_deadlines(&tasks));
+/// // The short-deadline task can still be delayed by nothing (it always
+/// // has the earliest deadline): WCRT = its own WCET.
+/// assert_eq!(r.of(0), Duration::new(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn edf_response_times(
+    tasks: &[SequentialView],
+    budget: usize,
+) -> Result<ResponseTimes, TestBudgetExceeded> {
+    let n = tasks.len();
+    if n == 0 {
+        return Ok(ResponseTimes { values: Vec::new() });
+    }
+    let u: Rational = tasks.iter().map(SequentialView::utilization).sum();
+    if u > Rational::ONE {
+        // No finite bound exists; report budget exhaustion.
+        return Err(TestBudgetExceeded { budget });
+    }
+    let horizon = synchronous_busy_period(tasks, budget)?.ticks();
+
+    let mut values = Vec::with_capacity(n);
+    let mut spent = 0usize;
+    for (i, ti) in tasks.iter().enumerate() {
+        // Candidate offsets: interference steps of every other task,
+        // `a = k·T_j + D_j − D_i`, plus τ_i's own release instants `k·T_i`,
+        // all within [0, horizon).
+        let mut offsets: Vec<u64> = Vec::new();
+        let mut k = 0u64;
+        loop {
+            let a = k * ti.period.ticks();
+            if a >= horizon.max(1) {
+                break;
+            }
+            offsets.push(a);
+            k += 1;
+        }
+        for (j, tj) in tasks.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let mut k = 0u64;
+            loop {
+                let step = k * tj.period.ticks() + tj.deadline.ticks();
+                if step >= horizon.max(1) + ti.deadline.ticks() {
+                    break;
+                }
+                // a = k·T_j + D_j − D_i, skipped while still negative.
+                if let Some(a) = step.checked_sub(ti.deadline.ticks()) {
+                    if a < horizon.max(1) {
+                        offsets.push(a);
+                    }
+                }
+                k += 1;
+            }
+        }
+        offsets.sort_unstable();
+        offsets.dedup();
+
+        let mut worst = 0u64;
+        for &a in &offsets {
+            spent += 1;
+            if spent > budget {
+                return Err(TestBudgetExceeded { budget });
+            }
+            // Fixpoint for the completion time of τ_i's job released at a.
+            let own = (a / ti.period.ticks() + 1) * ti.wcet.ticks();
+            let mut t = own.max(1);
+            loop {
+                let mut demand = own;
+                for (j, tj) in tasks.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    // Jobs of τ_j with deadline ≤ a + D_i.
+                    let n_j = {
+                        let cutoff = a + ti.deadline.ticks();
+                        if cutoff < tj.deadline.ticks() {
+                            0
+                        } else {
+                            (cutoff - tj.deadline.ticks()) / tj.period.ticks() + 1
+                        }
+                    };
+                    let released = t.div_ceil(tj.period.ticks());
+                    demand += released.min(n_j) * tj.wcet.ticks();
+                }
+                if demand == t {
+                    break;
+                }
+                // U ≤ 1 and bounded interference make this converge; the
+                // budget above still guards pathological inputs.
+                t = demand;
+                spent += 1;
+                if spent > budget {
+                    return Err(TestBudgetExceeded { budget });
+                }
+            }
+            worst = worst.max(t.saturating_sub(a));
+        }
+        values.push(Duration::new(worst));
+    }
+    Ok(ResponseTimes { values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::{edf_exact, DEFAULT_BUDGET};
+
+    fn view(c: u64, d: u64, t: u64) -> SequentialView {
+        SequentialView::new(Duration::new(c), Duration::new(d), Duration::new(t))
+    }
+
+    #[test]
+    fn single_task_wcrt_is_its_wcet() {
+        let r = edf_response_times(&[view(3, 5, 10)], DEFAULT_BUDGET).unwrap();
+        assert_eq!(r.of(0), Duration::new(3));
+    }
+
+    #[test]
+    fn busy_period_examples() {
+        // C=2,T=4 and C=3,T=6: L = 2+3=5 → ⌈5/4⌉·2+⌈5/6⌉·3 = 7 →
+        // ⌈7/4⌉·2+⌈7/6⌉·3 = 10 → ⌈10/4⌉·2+⌈10/6⌉·3 = 12 → 12 = 3·2+2·3 ✓.
+        let tasks = [view(2, 4, 4), view(3, 6, 6)];
+        assert_eq!(
+            synchronous_busy_period(&tasks, DEFAULT_BUDGET).unwrap(),
+            Duration::new(12)
+        );
+        assert_eq!(
+            synchronous_busy_period(&[], DEFAULT_BUDGET).unwrap(),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn wcrt_bounds_match_schedulability_verdict() {
+        // Schedulable set: all bounds within deadlines.
+        let ok = [view(1, 3, 4), view(1, 5, 6), view(2, 9, 12)];
+        let r = edf_response_times(&ok, DEFAULT_BUDGET).unwrap();
+        assert!(r.all_within_deadlines(&ok));
+        assert!(edf_exact(&ok, DEFAULT_BUDGET).unwrap().is_schedulable());
+        // Unschedulable set: some bound exceeds its deadline.
+        let bad = [view(3, 3, 6), view(3, 5, 10)];
+        let r = edf_response_times(&bad, DEFAULT_BUDGET).unwrap();
+        assert!(!r.all_within_deadlines(&bad));
+        assert!(!edf_exact(&bad, DEFAULT_BUDGET).unwrap().is_schedulable());
+    }
+
+    #[test]
+    fn earliest_deadline_task_is_never_preempted() {
+        // τ_0 always carries the earliest absolute deadline among
+        // same-time releases; with D_0 ≤ D_j − T_j margins its WCRT is its
+        // own WCET plus at most blocking-free interference from earlier
+        // deadlines — here exactly C_0.
+        let tasks = [view(1, 1, 8), view(4, 20, 20)];
+        let r = edf_response_times(&tasks, DEFAULT_BUDGET).unwrap();
+        assert_eq!(r.of(0), Duration::new(1));
+        // The long task absorbs the short one's interference.
+        assert!(r.of(1) >= Duration::new(4));
+        assert!(r.of(1) <= Duration::new(20));
+    }
+
+    #[test]
+    fn full_utilization_implicit_set() {
+        // U = 1 with implicit deadlines: busy period equals the hyperperiod
+        // and every bound lands exactly on its deadline in the worst case.
+        let tasks = [view(2, 4, 4), view(3, 6, 6)];
+        let r = edf_response_times(&tasks, DEFAULT_BUDGET).unwrap();
+        assert!(r.all_within_deadlines(&tasks));
+        // Known worst cases for this classic pair.
+        assert!(r.of(0) >= Duration::new(2));
+        assert!(r.of(1) >= Duration::new(5));
+    }
+
+    #[test]
+    fn over_utilization_is_reported_as_budget_error() {
+        let tasks = [view(3, 4, 4), view(2, 4, 4)];
+        assert!(edf_response_times(&tasks, DEFAULT_BUDGET).is_err());
+    }
+
+    #[test]
+    fn empty_set() {
+        let r = edf_response_times(&[], DEFAULT_BUDGET).unwrap();
+        assert!(r.as_slice().is_empty());
+    }
+}

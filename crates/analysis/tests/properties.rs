@@ -1,0 +1,205 @@
+//! Property-based cross-validation of the analysis machinery.
+//!
+//! The central soundness property: any partition accepted by the approximate
+//! `DBF*` first-fit test must be schedulable per-processor under the *exact*
+//! EDF processor-demand criterion. Plus: QPA and the exhaustive walk always
+//! agree, and `DBF*` dominates `dbf` pointwise.
+
+use fedsched_analysis::dbf::{dbf, dbf_approx, SequentialView};
+use fedsched_analysis::edf::{edf_exact, edf_qpa, demand_horizon, DEFAULT_BUDGET};
+use fedsched_analysis::partition::{partition_first_fit, PartitionConfig};
+use fedsched_dag::rational::Rational;
+use fedsched_dag::system::TaskId;
+use fedsched_dag::time::Duration;
+use proptest::prelude::*;
+
+/// A random constrained-deadline sequential task: T ∈ \[2, 60\], C ≤ T,
+/// D ∈ [C, T].
+fn arb_view() -> impl Strategy<Value = SequentialView> {
+    (2u64..=60).prop_flat_map(|t| {
+        (1u64..=t, Just(t)).prop_flat_map(|(c, t)| {
+            (c..=t).prop_map(move |d| {
+                SequentialView::new(Duration::new(c), Duration::new(d), Duration::new(t))
+            })
+        })
+    })
+}
+
+fn arb_task_set(max: usize) -> impl Strategy<Value = Vec<SequentialView>> {
+    prop::collection::vec(arb_view(), 1..=max)
+}
+
+proptest! {
+    /// QPA and the exhaustive deadline walk always return the same verdict.
+    #[test]
+    fn qpa_agrees_with_exhaustive(tasks in arb_task_set(6)) {
+        let a = edf_exact(&tasks, DEFAULT_BUDGET).unwrap();
+        let b = edf_qpa(&tasks, DEFAULT_BUDGET).unwrap();
+        prop_assert_eq!(a.is_schedulable(), b.is_schedulable());
+    }
+
+    /// DBF* dominates the exact dbf at every sampled point and is tight at
+    /// t = D.
+    #[test]
+    fn dbf_star_dominates(v in arb_view(), t in 0u64..=500) {
+        let t = Duration::new(t);
+        prop_assert!(dbf_approx(&v, t) >= Rational::from(dbf(&v, t).ticks()));
+        prop_assert_eq!(
+            dbf_approx(&v, v.deadline),
+            Rational::from(dbf(&v, v.deadline).ticks())
+        );
+    }
+
+    /// DBF* never exceeds exact dbf by more than one extra job's WCET
+    /// (the standard tightness bound: DBF*(t) < dbf(t) + C).
+    #[test]
+    fn dbf_star_within_one_job(v in arb_view(), t in 0u64..=500) {
+        let t = Duration::new(t);
+        let exact = Rational::from(dbf(&v, t).ticks());
+        let extra = Rational::from(v.wcet.ticks());
+        prop_assert!(dbf_approx(&v, t) < exact + extra);
+    }
+
+    /// Soundness of the partitioner: with the default config, every
+    /// processor of an accepted partition passes the exact EDF test.
+    #[test]
+    fn accepted_partitions_are_exactly_schedulable(
+        tasks in arb_task_set(8),
+        m in 1usize..=4,
+    ) {
+        let ids: Vec<(TaskId, SequentialView)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (TaskId::from_index(i), v))
+            .collect();
+        if let Ok(p) = partition_first_fit(&ids, m, PartitionConfig::default()) {
+            for (_, assigned) in p.iter() {
+                let views: Vec<SequentialView> =
+                    assigned.iter().map(|id| tasks[id.index()]).collect();
+                let verdict = edf_qpa(&views, DEFAULT_BUDGET).unwrap();
+                prop_assert!(
+                    verdict.is_schedulable(),
+                    "DBF* accepted an EDF-infeasible processor: {views:?}"
+                );
+            }
+            // Every task is placed exactly once.
+            let mut placed = vec![false; tasks.len()];
+            for (_, assigned) in p.iter() {
+                for id in assigned {
+                    prop_assert!(!placed[id.index()], "task placed twice");
+                    placed[id.index()] = true;
+                }
+            }
+            prop_assert!(placed.iter().all(|&b| b));
+        }
+    }
+
+    /// Monotonicity: if first-fit succeeds on m processors it succeeds on
+    /// m + 1.
+    #[test]
+    fn partition_monotone_in_processors(tasks in arb_task_set(8), m in 1usize..=4) {
+        let ids: Vec<(TaskId, SequentialView)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (TaskId::from_index(i), v))
+            .collect();
+        let small = partition_first_fit(&ids, m, PartitionConfig::default());
+        if small.is_ok() {
+            prop_assert!(
+                partition_first_fit(&ids, m + 1, PartitionConfig::default()).is_ok()
+            );
+        }
+    }
+
+    /// A single task is accepted by the partitioner iff C ≤ D (its own
+    /// demand condition), matching exact EDF for singletons.
+    #[test]
+    fn singleton_partition_matches_edf(v in arb_view()) {
+        let ids = [(TaskId::from_index(0), v)];
+        let accepted = partition_first_fit(&ids, 1, PartitionConfig::default()).is_ok();
+        let exact = edf_qpa(&[v], DEFAULT_BUDGET).unwrap().is_schedulable();
+        prop_assert_eq!(accepted, exact);
+    }
+
+    /// Verdicts are invariant under task order permutations (EDF tests are
+    /// set-level properties).
+    #[test]
+    fn edf_verdict_order_invariant(mut tasks in arb_task_set(6)) {
+        let forward = edf_qpa(&tasks, DEFAULT_BUDGET).unwrap().is_schedulable();
+        tasks.reverse();
+        let backward = edf_qpa(&tasks, DEFAULT_BUDGET).unwrap().is_schedulable();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// No violation exists beyond the demand horizon when U < 1: spot-check
+    /// a handful of deadlines above it for schedulable sets.
+    #[test]
+    fn horizon_really_bounds_violations(tasks in arb_task_set(5)) {
+        let u: Rational = tasks.iter().map(SequentialView::utilization).sum();
+        prop_assume!(u < Rational::ONE);
+        if edf_exact(&tasks, DEFAULT_BUDGET).unwrap().is_schedulable() {
+            let horizon = demand_horizon(&tasks);
+            for extra in [1u64, 7, 64, 1001] {
+                let t = horizon + Duration::new(extra);
+                let demand: u128 = tasks
+                    .iter()
+                    .map(|v| u128::from(dbf(v, t).ticks()))
+                    .sum();
+                prop_assert!(demand <= u128::from(t.ticks()));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Per-processor containment: any placement the `DBF*` test admits is
+    /// admitted by the exact-EDF test too (the approximation only ever
+    /// rejects more).
+    ///
+    /// The Fig. 4 condition is only evaluated in deadline order — residents
+    /// always carry deadlines at most the candidate's — so the property is
+    /// stated under that precondition. (Without it the DBF* check at the
+    /// candidate's deadline says nothing about later resident deadlines,
+    /// and indeed fails: that asymmetry is *why* the algorithm sorts.)
+    #[test]
+    fn exact_admission_contains_approx_admission(
+        resident in prop::collection::vec(arb_view(), 0..=4),
+        candidate in arb_view(),
+    ) {
+        use fedsched_analysis::partition::fits;
+        use fedsched_dag::rational::Rational;
+        prop_assume!(resident.iter().all(|r| r.deadline <= candidate.deadline));
+        let u: Rational = resident.iter().map(SequentialView::utilization).sum();
+        // The residents themselves must be a plausible first-fit state:
+        // schedulable together.
+        prop_assume!(edf_qpa(&resident, DEFAULT_BUDGET).unwrap().is_schedulable());
+        let approx = fits(&resident, u, &candidate, PartitionConfig::approx());
+        if approx {
+            prop_assert!(
+                fits(&resident, u, &candidate, PartitionConfig::exact(DEFAULT_BUDGET)),
+                "exact test rejected an approx-admitted placement"
+            );
+        }
+    }
+
+    /// Exact-EDF first-fit never partitions onto an EDF-infeasible
+    /// processor (mirrors the DBF* soundness property).
+    #[test]
+    fn exact_partitions_are_exactly_schedulable(
+        tasks in arb_task_set(8),
+        m in 1usize..=4,
+    ) {
+        let ids: Vec<(TaskId, SequentialView)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (TaskId::from_index(i), v))
+            .collect();
+        if let Ok(p) = partition_first_fit(&ids, m, PartitionConfig::exact(DEFAULT_BUDGET)) {
+            for (_, assigned) in p.iter() {
+                let views: Vec<SequentialView> =
+                    assigned.iter().map(|id| tasks[id.index()]).collect();
+                prop_assert!(edf_qpa(&views, DEFAULT_BUDGET).unwrap().is_schedulable());
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! One criterion group per paper experiment (E2–E8): each benchmark runs a
+//! reduced-size instance of the corresponding `fedsched-experiments`
+//! module, so `cargo bench` both times the harness and re-executes every
+//! table/figure pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedsched_experiments::{
+    e10_partition_ablation, e11_policy_ablation, e12_exact_optimum, e13_global_sim,
+    e14_tightness, e15_critical_speed, e2_capacity, e3_acceptance, e4_baselines, e5_minprocs,
+    e6_partition, e7_runtime, e8_anomaly,
+};
+use std::hint::black_box;
+
+fn quick_e3() -> e3_acceptance::E3Config {
+    e3_acceptance::E3Config {
+        m_values: vec![4],
+        steps: 5,
+        systems_per_point: 10,
+        n_tasks: 6,
+        ..e3_acceptance::E3Config::default()
+    }
+}
+
+fn bench_e2(c: &mut Criterion) {
+    c.bench_function("e2_capacity_augmentation", |b| {
+        b.iter(|| e2_capacity::run(black_box(5)));
+    });
+}
+
+fn bench_e3(c: &mut Criterion) {
+    c.bench_function("e3_acceptance_ratio", |b| {
+        let cfg = quick_e3();
+        b.iter(|| e3_acceptance::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e4(c: &mut Criterion) {
+    c.bench_function("e4_baselines", |b| {
+        let cfg = e4_baselines::E4Config {
+            m: 4,
+            steps: 4,
+            systems_per_point: 10,
+            n_tasks: 6,
+            ..e4_baselines::E4Config::default()
+        };
+        b.iter(|| e4_baselines::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e5(c: &mut Criterion) {
+    c.bench_function("e5_minprocs_speedup", |b| {
+        let cfg = e5_minprocs::E5Config {
+            trials: 20,
+            ..e5_minprocs::E5Config::default()
+        };
+        b.iter(|| e5_minprocs::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e6(c: &mut Criterion) {
+    c.bench_function("e6_partition_speedup", |b| {
+        let cfg = e6_partition::E6Config {
+            trials: 10,
+            n_tasks: 8,
+            total_utilization: 2.0,
+            ..e6_partition::E6Config::default()
+        };
+        b.iter(|| e6_partition::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e7(c: &mut Criterion) {
+    c.bench_function("e7_runtime_validation", |b| {
+        let cfg = e7_runtime::E7Config {
+            m: 4,
+            steps: 2,
+            systems_per_point: 3,
+            n_tasks: 5,
+            horizon: 10_000,
+            ..e7_runtime::E7Config::default()
+        };
+        b.iter(|| e7_runtime::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_anomaly");
+    g.bench_function("classic_runtime", |b| {
+        b.iter(|| e8_anomaly::run_classic(black_box(1_000)));
+    });
+    g.bench_function("random_search", |b| {
+        let cfg = e8_anomaly::E8Config {
+            trials: 100,
+            m_values: vec![3],
+            seed: 88,
+        };
+        b.iter(|| e8_anomaly::run_search(black_box(&cfg)));
+    });
+    g.finish();
+}
+
+fn bench_e10(c: &mut Criterion) {
+    c.bench_function("e10_partition_ablation", |b| {
+        let cfg = e10_partition_ablation::E10Config {
+            m: 3,
+            steps: 4,
+            systems_per_point: 10,
+            n_tasks: 6,
+            ..e10_partition_ablation::E10Config::default()
+        };
+        b.iter(|| e10_partition_ablation::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e11(c: &mut Criterion) {
+    c.bench_function("e11_policy_ablation", |b| {
+        let cfg = e11_policy_ablation::E11Config {
+            trials: 25,
+            ..e11_policy_ablation::E11Config::default()
+        };
+        b.iter(|| e11_policy_ablation::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e12(c: &mut Criterion) {
+    c.bench_function("e12_exact_optimum", |b| {
+        let cfg = e12_exact_optimum::E12Config {
+            trials: 10,
+            m_values: vec![3],
+            ..e12_exact_optimum::E12Config::default()
+        };
+        b.iter(|| e12_exact_optimum::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e13(c: &mut Criterion) {
+    c.bench_function("e13_global_sim", |b| {
+        let cfg = e13_global_sim::E13Config {
+            m: 4,
+            steps: 3,
+            systems_per_point: 5,
+            n_tasks: 5,
+            horizon: 10_000,
+            ..e13_global_sim::E13Config::default()
+        };
+        b.iter(|| e13_global_sim::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e14(c: &mut Criterion) {
+    c.bench_function("e14_tightness", |b| {
+        let cfg = e14_tightness::E14Config {
+            m: 4,
+            steps: 3,
+            systems_per_point: 10,
+            n_tasks: 5,
+            ..e14_tightness::E14Config::default()
+        };
+        b.iter(|| e14_tightness::run(black_box(&cfg)));
+    });
+}
+
+fn bench_e15(c: &mut Criterion) {
+    c.bench_function("e15_critical_speed", |b| {
+        let cfg = e15_critical_speed::E15Config {
+            m: 4,
+            systems_per_topology: 5,
+            n_tasks: 5,
+            grid: 4,
+            ..e15_critical_speed::E15Config::default()
+        };
+        b.iter(|| e15_critical_speed::run(black_box(&cfg)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_e2, bench_e3, bench_e4, bench_e5, bench_e6, bench_e7, bench_e8,
+        bench_e10, bench_e11, bench_e12, bench_e13, bench_e14, bench_e15
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E1 benchmarks: the paper's Figure 1 / Example 1 quantities and the
+//! admission of the example task — plus the linear-time `len`/`vol`
+//! computations the paper highlights in Section II.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_dag::examples::{paper_example2, paper_figure1};
+use fedsched_dag::system::TaskSystem;
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_figure1");
+    g.bench_function("derive_quantities", |b| {
+        let tau1 = paper_figure1();
+        b.iter(|| {
+            let dag = black_box(tau1.dag());
+            (dag.volume(), dag.longest_chain().length)
+        });
+    });
+    g.bench_function("construct_task", |b| {
+        b.iter(paper_figure1);
+    });
+    g.bench_function("fedcons_admit", |b| {
+        let system: TaskSystem = [paper_figure1()].into_iter().collect();
+        b.iter(|| fedcons(black_box(&system), 2, FedConsConfig::default()));
+    });
+    g.finish();
+}
+
+fn bench_example2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_example2");
+    for n in [4u32, 16, 64] {
+        g.bench_function(format!("fedcons_n{n}"), |b| {
+            b.iter_batched(
+                || paper_example2(n),
+                |sys| fedcons(&sys, n, FedConsConfig::default()),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure1, bench_example2);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! E9 — scalability of the analyses: the paper claims `len`/`vol` are
+//! linear-time (Section II) and the whole admission is polynomial; these
+//! benchmarks chart the actual cost against DAG size, task count and
+//! processor count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedsched_analysis::dbf::SequentialView;
+use fedsched_analysis::edf::{edf_exact, edf_qpa, DEFAULT_BUDGET};
+use fedsched_bench::{bench_dag, bench_system, wide_dag};
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_analysis::response_time::edf_response_times;
+use fedsched_graham::list::{list_schedule, list_schedule_with, PriorityPolicy};
+use fedsched_graham::optimal::optimal_makespan;
+use std::hint::black_box;
+
+fn bench_graph_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability_graph_metrics");
+    for v in [50u32, 200, 800] {
+        let dag = bench_dag(v, 1);
+        g.bench_with_input(BenchmarkId::new("longest_chain", v), &dag, |b, dag| {
+            b.iter(|| black_box(dag).longest_chain());
+        });
+        g.bench_with_input(BenchmarkId::new("volume", v), &dag, |b, dag| {
+            b.iter(|| black_box(dag).volume());
+        });
+    }
+    g.finish();
+}
+
+fn bench_list_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability_list_scheduling");
+    for v in [50u32, 200, 800] {
+        let dag = bench_dag(v, 2);
+        g.bench_with_input(BenchmarkId::new("ls_m4", v), &dag, |b, dag| {
+            b.iter(|| list_schedule(black_box(dag), 4));
+        });
+        g.bench_with_input(BenchmarkId::new("ls_cpf_m4", v), &dag, |b, dag| {
+            b.iter(|| list_schedule_with(black_box(dag), 4, PriorityPolicy::CriticalPathFirst));
+        });
+    }
+    for w in [64usize, 512] {
+        let dag = wide_dag(w);
+        g.bench_with_input(BenchmarkId::new("ls_wide_m8", w), &dag, |b, dag| {
+            b.iter(|| list_schedule(black_box(dag), 8));
+        });
+    }
+    g.finish();
+}
+
+fn bench_edf_tests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability_edf_tests");
+    for n in [5usize, 20, 50] {
+        let system = bench_system(n, n as f64 * 0.08, 3);
+        let views: Vec<SequentialView> =
+            system.iter().map(|(_, t)| SequentialView::of(t)).collect();
+        g.bench_with_input(BenchmarkId::new("exhaustive", n), &views, |b, v| {
+            b.iter(|| edf_exact(black_box(v), DEFAULT_BUDGET));
+        });
+        g.bench_with_input(BenchmarkId::new("qpa", n), &views, |b, v| {
+            b.iter(|| edf_qpa(black_box(v), DEFAULT_BUDGET));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fedcons(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability_fedcons");
+    for n in [5usize, 20, 50] {
+        let system = bench_system(n, 4.0, 4);
+        g.bench_with_input(BenchmarkId::new("admit_m8", n), &system, |b, s| {
+            b.iter(|| fedcons(black_box(s), 8, FedConsConfig::default()));
+        });
+    }
+    // U/m = 0.5 per point; m is capped so 16 tasks with u ≤ 1.5 can
+    // actually carry the load (m = 64 would need U = 32 > 16·1.5).
+    for m in [4u32, 8, 16] {
+        let system = bench_system(16, f64::from(m) * 0.5, 5);
+        g.bench_with_input(BenchmarkId::new("admit_n16", m), &system, |b, s| {
+            b.iter(|| fedcons(black_box(s), m, FedConsConfig::default()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_response_times(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability_response_times");
+    for n in [5usize, 15, 30] {
+        let system = bench_system(n, n as f64 * 0.06, 6);
+        let views: Vec<SequentialView> =
+            system.iter().map(|(_, t)| SequentialView::of(t)).collect();
+        g.bench_with_input(BenchmarkId::new("spuri", n), &views, |b, v| {
+            b.iter(|| edf_response_times(black_box(v), 5_000_000));
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimal_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scalability_optimal_makespan");
+    for v in [6u32, 9, 12] {
+        let dag = bench_dag(v, 7);
+        g.bench_with_input(BenchmarkId::new("bnb_m3", v), &dag, |b, dag| {
+            b.iter(|| optimal_makespan(black_box(dag), 3, 5_000_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_metrics, bench_list_scheduling, bench_edf_tests, bench_fedcons,
+        bench_response_times, bench_optimal_solver
+}
+criterion_main!(benches);

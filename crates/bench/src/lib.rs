@@ -1,0 +1,44 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! The actual benchmarks live in `benches/`; each one regenerates part of
+//! the paper's evaluation (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded outcomes).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fedsched_dag::graph::{Dag, DagBuilder};
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::time::Duration;
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::{DeadlineTightness, Span, Topology, WcetRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic random DAG with roughly `vertices` vertices.
+#[must_use]
+pub fn bench_dag(vertices: u32, seed: u64) -> Dag {
+    Topology::ErdosRenyi {
+        vertices: Span::new(vertices.max(2), vertices.max(2)),
+        edge_probability: 0.15,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed), WcetRange::new(1, 20))
+}
+
+/// A deterministic wide DAG: `width` independent unit jobs.
+#[must_use]
+pub fn wide_dag(width: usize) -> Dag {
+    let mut b = DagBuilder::new();
+    b.add_vertices(std::iter::repeat_n(Duration::new(1), width));
+    b.build().expect("no edges, no cycles")
+}
+
+/// A deterministic constrained-deadline task system for admission benches.
+#[must_use]
+pub fn bench_system(n_tasks: usize, total_utilization: f64, seed: u64) -> TaskSystem {
+    SystemConfig::new(n_tasks, total_utilization)
+        .with_max_task_utilization(1.5)
+        .with_tightness(DeadlineTightness::new(0.3, 1.0))
+        .generate_seeded(seed)
+        .expect("bench target is feasible")
+}

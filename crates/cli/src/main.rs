@@ -1,0 +1,217 @@
+//! The `fedsched` command-line tool: thin argument parsing over
+//! [`fedsched_cli`]'s command implementations.
+
+use std::fs;
+use std::process::ExitCode;
+
+use fedsched_cli::{
+    analyze, analyze_to_json, dot, generate, import_stg, info, parse_policy, simulate,
+    simulate_with_svg, AnalyzeOptions, CliError, GenerateOptions, SimulateOptions, USAGE,
+};
+
+fn run() -> Result<String, CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing subcommand".into()))?;
+
+    // Tiny flag cursor shared by all subcommands.
+    let rest: Vec<&str> = it.collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut flags: Vec<(&str, Option<&str>)> = Vec::new();
+    let mut i = 0;
+    let takes_value = |f: &str| {
+        matches!(
+            f,
+            "--tasks"
+                | "--utilization"
+                | "--max-task-u"
+                | "--seed"
+                | "--topology"
+                | "-m"
+                | "--policy"
+                | "--horizon"
+                | "--sporadic"
+                | "--exec-min"
+                | "--trace"
+                | "--task"
+                | "--save"
+                | "--svg"
+                | "--deadline"
+                | "--period"
+        )
+    };
+    while i < rest.len() {
+        let a = rest[i];
+        if a.starts_with('-') {
+            if takes_value(a) {
+                let v = rest
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("{a} needs a value")))?;
+                flags.push((a, Some(v)));
+                i += 2;
+            } else {
+                flags.push((a, None));
+                i += 1;
+            }
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    // Reject flags the subcommand does not understand: silent typo
+    // swallowing (e.g. `--utilisation`) is worse than an error.
+    let known: &[&str] = match command {
+        "generate" => &[
+            "--tasks", "--utilization", "--max-task-u", "--seed", "--topology", "--implicit",
+        ],
+        "info" => &[],
+        "analyze" => &["-m", "--policy", "--exact-partition", "--save"],
+        "simulate" => &[
+            "-m", "--policy", "--horizon", "--sporadic", "--exec-min", "--seed", "--trace",
+            "--svg",
+        ],
+        "dot" => &["--task"],
+        "import-stg" => &["--deadline", "--period"],
+        _ => &[],
+    };
+    if let Some((bad, _)) = flags.iter().find(|(f, _)| !known.contains(f)) {
+        return Err(CliError::Usage(format!(
+            "unknown flag {bad:?} for `{command}`"
+        )));
+    }
+    let flag = |name: &str| flags.iter().find(|(f, _)| *f == name).map(|(_, v)| *v);
+    let parse_num = |name: &str, v: &str| -> Result<f64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(format!("{name} expects a number, got {v:?}")))
+    };
+    let read_input = |positional: &[&str]| -> Result<String, CliError> {
+        let path = positional
+            .first()
+            .ok_or_else(|| CliError::Usage("missing <system.json> argument".into()))?;
+        Ok(fs::read_to_string(path)?)
+    };
+
+    match command {
+        "generate" => {
+            let mut opts = GenerateOptions::default();
+            if let Some(Some(v)) = flag("--tasks") {
+                opts.tasks = parse_num("--tasks", v)? as usize;
+            }
+            if let Some(Some(v)) = flag("--utilization") {
+                opts.utilization = parse_num("--utilization", v)?;
+            }
+            if let Some(Some(v)) = flag("--max-task-u") {
+                opts.max_task_utilization = parse_num("--max-task-u", v)?;
+            }
+            if let Some(Some(v)) = flag("--seed") {
+                opts.seed = parse_num("--seed", v)? as u64;
+            }
+            if let Some(Some(v)) = flag("--topology") {
+                opts.topology = v.to_owned();
+            }
+            if flag("--implicit").is_some() {
+                opts.implicit = true;
+            }
+            generate(&opts)
+        }
+        "info" => info(&read_input(&positional)?),
+        "analyze" => {
+            let processors = match flag("-m") {
+                Some(Some(v)) => parse_num("-m", v)? as u32,
+                _ => return Err(CliError::Usage("analyze requires -m <processors>".into())),
+            };
+            let policy = match flag("--policy") {
+                Some(Some(v)) => parse_policy(v)?,
+                _ => fedsched_graham::list::PriorityPolicy::ListOrder,
+            };
+            let opts = AnalyzeOptions {
+                processors,
+                policy,
+                exact_partition: flag("--exact-partition").is_some(),
+            };
+            let input = read_input(&positional)?;
+            if let Some(Some(path)) = flag("--save") {
+                let artifact = analyze_to_json(&input, opts)?;
+                fs::write(path, artifact)?;
+            }
+            analyze(&input, opts)
+        }
+        "simulate" => {
+            let mut opts = SimulateOptions::default();
+            match flag("-m") {
+                Some(Some(v)) => opts.processors = parse_num("-m", v)? as u32,
+                _ => return Err(CliError::Usage("simulate requires -m <processors>".into())),
+            }
+            if let Some(Some(v)) = flag("--policy") {
+                opts.policy = parse_policy(v)?;
+            }
+            if let Some(Some(v)) = flag("--horizon") {
+                opts.horizon = parse_num("--horizon", v)? as u64;
+            }
+            if let Some(Some(v)) = flag("--sporadic") {
+                opts.sporadic_slack = parse_num("--sporadic", v)?;
+            }
+            if let Some(Some(v)) = flag("--exec-min") {
+                opts.exec_min_fraction = parse_num("--exec-min", v)?;
+            }
+            if let Some(Some(v)) = flag("--seed") {
+                opts.seed = parse_num("--seed", v)? as u64;
+            }
+            if let Some(Some(v)) = flag("--trace") {
+                opts.trace_window = parse_num("--trace", v)? as u64;
+            }
+            let input = read_input(&positional)?;
+            let svg_window = flag("--svg").flatten().map(|path| {
+                let window = if opts.trace_window > 0 { opts.trace_window } else { 200 };
+                (path, window)
+            });
+            match svg_window {
+                Some((path, window)) => {
+                    let (text, svg) = simulate_with_svg(&input, opts, window)?;
+                    fs::write(path, svg)?;
+                    Ok(text)
+                }
+                None => simulate(&input, opts),
+            }
+        }
+        "import-stg" => {
+            let deadline = match flag("--deadline") {
+                Some(Some(v)) => parse_num("--deadline", v)? as u64,
+                _ => return Err(CliError::Usage("import-stg requires --deadline".into())),
+            };
+            let period = match flag("--period") {
+                Some(Some(v)) => parse_num("--period", v)? as u64,
+                _ => return Err(CliError::Usage("import-stg requires --period".into())),
+            };
+            import_stg(&read_input(&positional)?, deadline, period)
+        }
+        "dot" => {
+            let task = match flag("--task") {
+                Some(Some(v)) => Some(parse_num("--task", v)? as usize),
+                _ => None,
+            };
+            dot(&read_input(&positional)?, task)
+        }
+        "-h" | "--help" | "help" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::NotSchedulable(msg)) => {
+            eprintln!("not schedulable: {msg}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Baseline schedulers and tests the paper positions FEDCONS against.
+//!
+//! * [`li_federated`] — the implicit-deadline federated algorithm of Li,
+//!   Saifullah, Agrawal, Gill & Lu (ECRTS'14) \[17\]: high-*utilization* tasks
+//!   get `m_i = ⌈(vol_i − len_i) / (T_i − len_i)⌉` dedicated processors;
+//!   low-utilization tasks are partitioned by utilization. Capacity
+//!   augmentation bound 2 (hence speedup 2).
+//! * [`global_edf_li_test`] — the global-EDF capacity-augmentation test of
+//!   Li et al. (ECRTS'13) \[16\] for implicit deadlines (bound `4 − 2/m`).
+//! * [`global_edf_density_test`] — a *sequentialising* density baseline for
+//!   constrained deadlines: execute every dag-job sequentially (`C = vol`)
+//!   under global EDF and apply the Goossens–Funk–Baruah density condition
+//!   `Σ δ_i ≤ m − (m − 1)·δ_max`. Sound, but blind to intra-task
+//!   parallelism — exactly the kind of baseline federated scheduling is
+//!   meant to beat on high-density workloads.
+
+use core::fmt;
+
+use fedsched_analysis::dbf::SequentialView;
+use fedsched_dag::rational::Rational;
+use fedsched_dag::system::{TaskId, TaskSystem};
+use fedsched_dag::task::DeadlineClass;
+use fedsched_graham::list::{list_schedule_with, PriorityPolicy};
+use fedsched_graham::schedule::TemplateSchedule;
+
+/// A dedicated assignment made by the Li et al. federated algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiCluster {
+    /// The high-utilization task.
+    pub task: TaskId,
+    /// Dedicated processor count `m_i = ⌈(vol−len)/(T−len)⌉`.
+    pub processors: u32,
+    /// A work-conserving (LS) template witnessing the deadline on
+    /// `processors` processors.
+    pub template: TemplateSchedule,
+}
+
+/// Result of the Li et al. implicit-deadline federated admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiFederatedSchedule {
+    /// Dedicated clusters for the high-utilization tasks.
+    pub clusters: Vec<LiCluster>,
+    /// Per-shared-processor task lists for the low-utilization tasks
+    /// (first-fit decreasing by utilization, per-processor `U ≤ 1`).
+    pub shared: Vec<Vec<TaskId>>,
+}
+
+/// Why the Li et al. federated admission declined a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiFederatedFailure {
+    /// The algorithm is defined for implicit-deadline systems only.
+    NotImplicitDeadline {
+        /// The first offending task.
+        task: TaskId,
+    },
+    /// A high-utilization task is infeasible (`len = T` with extra work) or
+    /// needs more processors than remain.
+    HighUtilizationTask {
+        /// The task that could not be placed.
+        task: TaskId,
+        /// Remaining processors when it was considered.
+        remaining: u32,
+    },
+    /// A low-utilization task fits on no shared processor.
+    LowUtilizationTask {
+        /// The task that could not be placed.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for LiFederatedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiFederatedFailure::NotImplicitDeadline { task } => {
+                write!(f, "task {task} is not implicit-deadline")
+            }
+            LiFederatedFailure::HighUtilizationTask { task, remaining } => write!(
+                f,
+                "high-utilization task {task} fits in no cluster within {remaining} processors"
+            ),
+            LiFederatedFailure::LowUtilizationTask { task } => {
+                write!(f, "low-utilization task {task} fits on no shared processor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiFederatedFailure {}
+
+/// The federated scheduling algorithm of Li et al. \[17\] for
+/// implicit-deadline sporadic DAG task systems.
+///
+/// High-utilization tasks (`u_i ≥ 1`) receive
+/// `m_i = ⌈(vol_i − len_i) / (T_i − len_i)⌉` dedicated processors (with
+/// `m_i = 1` when `vol_i = len_i`); Graham's bound guarantees any
+/// work-conserving scheduler meets the deadline on that many. Low-utilization
+/// tasks are partitioned first-fit-decreasing by utilization with a
+/// per-processor budget of 1 (exact for EDF with implicit deadlines).
+///
+/// # Errors
+///
+/// See [`LiFederatedFailure`].
+pub fn li_federated(
+    system: &TaskSystem,
+    m: u32,
+) -> Result<LiFederatedSchedule, LiFederatedFailure> {
+    if let Some((id, _)) = system
+        .iter()
+        .find(|(_, t)| t.deadline_class() != DeadlineClass::Implicit)
+    {
+        return Err(LiFederatedFailure::NotImplicitDeadline { task: id });
+    }
+
+    let mut remaining = m;
+    let mut clusters = Vec::new();
+    for (id, task) in system.iter() {
+        if !task.is_high_utilization() {
+            continue;
+        }
+        let vol = task.volume().ticks();
+        let len = task.longest_chain_length().ticks();
+        let t = task.period().ticks();
+        let needed = if vol == len {
+            if len <= t {
+                1
+            } else {
+                return Err(LiFederatedFailure::HighUtilizationTask {
+                    task: id,
+                    remaining,
+                });
+            }
+        } else {
+            if len >= t {
+                return Err(LiFederatedFailure::HighUtilizationTask {
+                    task: id,
+                    remaining,
+                });
+            }
+            u32::try_from((vol - len).div_ceil(t - len)).expect("cluster size fits u32")
+        };
+        if needed > remaining {
+            return Err(LiFederatedFailure::HighUtilizationTask {
+                task: id,
+                remaining,
+            });
+        }
+        let template = list_schedule_with(task.dag(), needed, PriorityPolicy::ListOrder);
+        debug_assert!(
+            template.makespan() <= task.deadline(),
+            "Graham bound guarantees the Li cluster size"
+        );
+        clusters.push(LiCluster {
+            task: id,
+            processors: needed,
+            template,
+        });
+        remaining -= needed;
+    }
+
+    // Low-utilization tasks: first-fit decreasing by utilization.
+    let mut low: Vec<TaskId> = system
+        .iter()
+        .filter(|(_, t)| !t.is_high_utilization())
+        .map(|(id, _)| id)
+        .collect();
+    low.sort_by(|&a, &b| {
+        system
+            .task(b)
+            .utilization()
+            .cmp(&system.task(a).utilization())
+            .then(a.cmp(&b))
+    });
+    let mut shared: Vec<Vec<TaskId>> = vec![Vec::new(); remaining as usize];
+    let mut budgets: Vec<Rational> = vec![Rational::ONE; remaining as usize];
+    for id in low {
+        let u = system.task(id).utilization();
+        match budgets.iter().position(|b| *b >= u) {
+            Some(k) => {
+                budgets[k] = budgets[k] - u;
+                shared[k].push(id);
+            }
+            None => return Err(LiFederatedFailure::LowUtilizationTask { task: id }),
+        }
+    }
+    Ok(LiFederatedSchedule { clusters, shared })
+}
+
+/// The global-EDF sufficient test of Li et al. \[16\] for implicit-deadline
+/// DAG task systems (capacity augmentation bound `b = 4 − 2/m`): accept iff
+///
+/// ```text
+/// U_sum ≤ m / b   and   len_i ≤ T_i / b  for all i.
+/// ```
+///
+/// Returns `false` for non-implicit systems (the bound does not apply).
+#[must_use]
+pub fn global_edf_li_test(system: &TaskSystem, m: u32) -> bool {
+    if m == 0 {
+        return system.is_empty();
+    }
+    if system.deadline_class() != DeadlineClass::Implicit {
+        return false;
+    }
+    let m_rat = Rational::from_integer(i128::from(m));
+    // b = 4 − 2/m = (4m − 2)/m.
+    let b = Rational::new(4 * i128::from(m) - 2, i128::from(m));
+    if system.total_utilization() > m_rat / b {
+        return false;
+    }
+    system.iter().all(|(_, t)| {
+        Rational::from(t.longest_chain_length().ticks())
+            <= Rational::from(t.period().ticks()) / b
+    })
+}
+
+/// A sound global-EDF baseline for constrained deadlines that *ignores*
+/// intra-task parallelism: run each dag-job sequentially (`C_i = vol_i`)
+/// under global EDF and apply the density condition
+/// `Σ δ_i ≤ m − (m − 1)·δ_max` (with `δ_max ≤ 1` required for the
+/// sequentialisation to be feasible at all).
+///
+/// This is the "natural analog of what you could do without a DAG-aware
+/// scheduler"; FEDCONS should dominate it whenever high-density tasks are
+/// present, since those have `δ > 1` and fail here outright.
+#[must_use]
+pub fn global_edf_density_test(system: &TaskSystem, m: u32) -> bool {
+    if system.is_empty() {
+        return true;
+    }
+    if m == 0 {
+        return false;
+    }
+    let views: Vec<SequentialView> = system.iter().map(|(_, t)| SequentialView::of(t)).collect();
+    let max_density = views
+        .iter()
+        .map(SequentialView::density)
+        .max()
+        .expect("non-empty");
+    if max_density > Rational::ONE {
+        return false;
+    }
+    let total: Rational = views.iter().map(SequentialView::density).sum();
+    let m_rat = Rational::from_integer(i128::from(m));
+    total <= m_rat - (m_rat - Rational::ONE) * max_density
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::graph::DagBuilder;
+    use fedsched_dag::task::DagTask;
+    use fedsched_dag::time::Duration;
+
+    fn parallel_implicit(k: usize, w: u64, t: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_vertices(std::iter::repeat_n(Duration::new(w), k));
+        DagTask::implicit_deadline(b.build().unwrap(), Duration::new(t)).unwrap()
+    }
+
+    fn seq_implicit(c: u64, t: u64) -> DagTask {
+        DagTask::sequential(Duration::new(c), Duration::new(t), Duration::new(t)).unwrap()
+    }
+
+    #[test]
+    fn li_cluster_sizing_formula() {
+        // 8 unit jobs, T = 2: vol 8, len 1 ⇒ ⌈7/1⌉ = 7 processors.
+        let system: TaskSystem = [parallel_implicit(8, 1, 2)].into_iter().collect();
+        let s = li_federated(&system, 8).unwrap();
+        assert_eq!(s.clusters.len(), 1);
+        assert_eq!(s.clusters[0].processors, 7);
+        assert!(s.clusters[0].template.makespan() <= Duration::new(2));
+    }
+
+    #[test]
+    fn li_sequential_high_utilization_edge_case() {
+        // vol = len = T: a full-utilization chain needs exactly 1 processor.
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([2, 3].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        let task = DagTask::implicit_deadline(b.build().unwrap(), Duration::new(5)).unwrap();
+        let system: TaskSystem = [task].into_iter().collect();
+        let s = li_federated(&system, 1).unwrap();
+        assert_eq!(s.clusters[0].processors, 1);
+    }
+
+    #[test]
+    fn li_rejects_constrained_systems() {
+        let t = DagTask::sequential(Duration::new(1), Duration::new(2), Duration::new(4)).unwrap();
+        let system: TaskSystem = [t].into_iter().collect();
+        assert!(matches!(
+            li_federated(&system, 4),
+            Err(LiFederatedFailure::NotImplicitDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn li_partitions_low_utilization_tasks() {
+        let system: TaskSystem = [
+            seq_implicit(3, 4), // u = 3/4
+            seq_implicit(1, 2), // u = 1/2
+            seq_implicit(1, 4), // u = 1/4
+        ]
+        .into_iter()
+        .collect();
+        let s = li_federated(&system, 2).unwrap();
+        assert!(s.clusters.is_empty());
+        // FFD: 3/4 → P0; 1/2 → P1; 1/4 → P0.
+        assert_eq!(s.shared[0], vec![TaskId::from_index(0), TaskId::from_index(2)]);
+        assert_eq!(s.shared[1], vec![TaskId::from_index(1)]);
+        // One processor cannot host u = 3/2.
+        assert!(matches!(
+            li_federated(&system, 1),
+            Err(LiFederatedFailure::LowUtilizationTask { .. })
+        ));
+    }
+
+    #[test]
+    fn li_runs_out_of_processors() {
+        let system: TaskSystem = [parallel_implicit(8, 1, 2)].into_iter().collect();
+        let e = li_federated(&system, 3).unwrap_err();
+        assert!(matches!(
+            e,
+            LiFederatedFailure::HighUtilizationTask { remaining: 3, .. }
+        ));
+        assert!(e.to_string().contains("3 processors"));
+    }
+
+    #[test]
+    fn global_edf_li_accepts_light_systems() {
+        // m = 4 ⇒ b = 3.5; U ≤ 4/3.5 ≈ 1.14 and len ≤ T/3.5.
+        let system: TaskSystem = [parallel_implicit(4, 1, 8), parallel_implicit(4, 1, 8)]
+            .into_iter()
+            .collect();
+        assert!(global_edf_li_test(&system, 4));
+        // Heavier: U = 4 > 4/3.5.
+        let heavy: TaskSystem = (0..8).map(|_| parallel_implicit(4, 1, 2)).collect();
+        assert!(!global_edf_li_test(&heavy, 4));
+    }
+
+    #[test]
+    fn global_edf_li_rejects_long_chains() {
+        // len = T fails len ≤ T/b.
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([4, 4].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        let t = DagTask::implicit_deadline(b.build().unwrap(), Duration::new(8)).unwrap();
+        let system: TaskSystem = [t].into_iter().collect();
+        assert!(!global_edf_li_test(&system, 4));
+    }
+
+    #[test]
+    fn global_edf_li_is_implicit_only() {
+        let t = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8)).unwrap();
+        let system: TaskSystem = [t].into_iter().collect();
+        assert!(!global_edf_li_test(&system, 8));
+    }
+
+    #[test]
+    fn density_baseline_basic() {
+        let light = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8))
+            .unwrap();
+        let system: TaskSystem = [light.clone(), light.clone(), light].into_iter().collect();
+        // Σδ = 3/4, δmax = 1/4: 3/4 ≤ 2 − 1·(1/4) on m = 2 ✓.
+        assert!(global_edf_density_test(&system, 2));
+        assert!(global_edf_density_test(&system, 1));
+    }
+
+    #[test]
+    fn density_baseline_rejects_high_density() {
+        // δ = 2 > 1: sequentialisation infeasible, DAG-aware FEDCONS wins.
+        let mut b = DagBuilder::new();
+        b.add_vertices([2, 2].map(Duration::new));
+        let t = DagTask::new(b.build().unwrap(), Duration::new(2), Duration::new(4)).unwrap();
+        let system: TaskSystem = [t].into_iter().collect();
+        assert!(!global_edf_density_test(&system, 64));
+    }
+
+    #[test]
+    fn density_baseline_edge_cases() {
+        assert!(global_edf_density_test(&TaskSystem::new(), 0));
+        let t = DagTask::sequential(Duration::new(1), Duration::new(1), Duration::new(1)).unwrap();
+        let system: TaskSystem = [t].into_iter().collect();
+        assert!(!global_edf_density_test(&system, 0));
+        // δmax = 1: condition becomes Σδ ≤ 1, so a single such task passes.
+        assert!(global_edf_density_test(&system, 3));
+    }
+}

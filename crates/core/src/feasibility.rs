@@ -1,0 +1,201 @@
+//! Necessary feasibility conditions and the demand *load* of a system.
+//!
+//! The speedup definitions of the paper compare against an "optimal
+//! clairvoyant federated scheduling algorithm", which is not computable.
+//! What *is* computable are necessary conditions that any scheduler —
+//! clairvoyant or not — must satisfy; they bound the optimum from below and
+//! let the experiments measure empirical speedup factors soundly (every
+//! measured factor is an upper bound on the true one, so the Lemma/Theorem
+//! inequalities stay falsifiable).
+
+use fedsched_analysis::dbf::SequentialView;
+use fedsched_analysis::edf::demand_horizon;
+use fedsched_dag::rational::Rational;
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::time::Duration;
+
+/// The *load* of the system's sequential demand:
+///
+/// ```text
+/// LOAD(τ) = max_{t > 0}  Σ_i dbf(τ_i, t) / t
+/// ```
+///
+/// computed over deadline points up to the demand horizon, visiting at most
+/// `max_points` of them. Because every job really does need `vol_i` units of
+/// work between release and deadline, `LOAD(τ) ≤ m` is necessary for
+/// feasibility on `m` unit-speed processors (regardless of intra-task
+/// parallelism).
+///
+/// Truncation is safe: the ratio at *any* prefix of deadline points is a
+/// valid lower bound on the true load (and the result is always at least
+/// `U_sum`), so exhausting `max_points` merely weakens the bound — it never
+/// makes it wrong.
+#[must_use]
+pub fn demand_load(system: &TaskSystem, max_points: usize) -> Rational {
+    let views: Vec<SequentialView> = system.iter().map(|(_, t)| SequentialView::of(t)).collect();
+    if views.is_empty() {
+        return Rational::ZERO;
+    }
+    let horizon = demand_horizon(&views);
+
+    use core::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = views
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Reverse((v.deadline.ticks(), i)))
+        .collect();
+    let mut demand: u128 = 0;
+    let mut best = Rational::ZERO;
+    let mut spent = 0usize;
+    while let Some(&Reverse((t, _))) = heap.peek() {
+        if t > horizon.ticks() {
+            break;
+        }
+        while let Some(&Reverse((t2, i))) = heap.peek() {
+            if t2 != t {
+                break;
+            }
+            heap.pop();
+            demand += u128::from(views[i].wcet.ticks());
+            if let Some(next) = t2.checked_add(views[i].period.ticks()) {
+                heap.push(Reverse((next, i)));
+            }
+            spent += 1;
+        }
+        let ratio = Rational::new(
+            i128::try_from(demand).expect("demand fits i128"),
+            i128::from(t),
+        );
+        best = best.max(ratio);
+        if spent >= max_points {
+            break;
+        }
+    }
+    // The long-run ratio tends to U_sum; include it (relevant when the
+    // horizon cuts off before the utilization dominates).
+    best.max(system.total_utilization())
+}
+
+/// The standard necessary feasibility conditions for `m` unit-speed
+/// processors:
+///
+/// 1. `len_i ≤ D_i` for every task (chain feasibility);
+/// 2. `U_sum(τ) ≤ m` (long-run capacity);
+/// 3. `vol_i ≤ m · min(D_i, T_i)` for every task (window capacity).
+///
+/// Any system failing these is unschedulable by *every* algorithm, federated
+/// or otherwise. (The sharper [`demand_load`] condition is separate because
+/// it needs a computation budget.)
+#[must_use]
+pub fn necessary_feasible(system: &TaskSystem, m: u32) -> bool {
+    let m_rat = Rational::from_integer(i128::from(m));
+    system.all_chains_feasible()
+        && system.total_utilization() <= m_rat
+        && system.iter().all(|(_, t)| {
+            Rational::from(t.volume().ticks())
+                <= m_rat * Rational::from(t.deadline_period_min().ticks())
+        })
+}
+
+/// The maximum demand/supply ratio of a *single* task scheduled alone:
+/// `max(len_i / D_i, vol_i / (m · min(D_i, T_i)))`, the factor by which unit
+/// processors are too slow for the task on an `m`-processor cluster.
+///
+/// Used by experiment E5: the optimal makespan of a DAG on `m` processors is
+/// at least `max(len, vol/m)`, so the reciprocal of this ratio bounds the
+/// clairvoyant speed advantage.
+#[must_use]
+pub fn isolation_pressure(
+    len: Duration,
+    vol: Duration,
+    window: Duration,
+    m: u32,
+) -> Rational {
+    let chain = Rational::ratio(len, window);
+    let work = Rational::new(
+        i128::from(vol.ticks()),
+        i128::from(m) * i128::from(window.ticks()),
+    );
+    chain.max(work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::examples::{paper_example2, paper_figure1};
+    use fedsched_dag::task::DagTask;
+
+    fn seq(c: u64, d: u64, t: u64) -> DagTask {
+        DagTask::sequential(Duration::new(c), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    #[test]
+    fn load_of_example2_is_n() {
+        // Example 2: n unit jobs all due at t = 1 ⇒ LOAD = n. This is the
+        // paper's unbounded-capacity-augmentation argument, quantified.
+        for n in [1u32, 4, 16] {
+            let sys = paper_example2(n);
+            let load = demand_load(&sys, 1_000_000);
+            assert_eq!(load, Rational::from_integer(i128::from(n)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn load_at_least_utilization() {
+        let sys: TaskSystem = [paper_figure1()].into_iter().collect();
+        let load = demand_load(&sys, 1_000_000);
+        assert!(load >= sys.total_utilization());
+        // Single low-density task: the peak is δ = 9/16 at t = D.
+        assert_eq!(load, Rational::new(9, 16));
+    }
+
+    #[test]
+    fn empty_system_has_zero_load() {
+        assert_eq!(demand_load(&TaskSystem::new(), 10), Rational::ZERO);
+    }
+
+    #[test]
+    fn necessary_conditions() {
+        let sys: TaskSystem = [seq(2, 4, 8), seq(2, 4, 8)].into_iter().collect();
+        assert!(necessary_feasible(&sys, 1));
+        // Infeasible chain.
+        let bad: TaskSystem = [seq(5, 4, 8)].into_iter().collect();
+        assert!(!necessary_feasible(&bad, 8));
+        // Over-utilized.
+        let heavy: TaskSystem = (0..3).map(|_| seq(8, 8, 8)).collect();
+        assert!(!necessary_feasible(&heavy, 2));
+        assert!(necessary_feasible(&heavy, 3));
+    }
+
+    #[test]
+    fn window_capacity_condition() {
+        // vol = 6, min(D,T) = 2 ⇒ needs m ≥ 3 even with full parallelism.
+        let mut b = fedsched_dag::graph::DagBuilder::new();
+        b.add_vertices([2, 2, 2].map(Duration::new));
+        let t = DagTask::new(b.build().unwrap(), Duration::new(2), Duration::new(4)).unwrap();
+        let sys: TaskSystem = [t].into_iter().collect();
+        assert!(!necessary_feasible(&sys, 2));
+        assert!(necessary_feasible(&sys, 3));
+    }
+
+    #[test]
+    fn isolation_pressure_picks_binding_constraint() {
+        // len 6, vol 9, window 16.
+        let p1 = isolation_pressure(Duration::new(6), Duration::new(9), Duration::new(16), 1);
+        assert_eq!(p1, Rational::new(9, 16)); // work-bound binds on 1 proc
+        let p4 = isolation_pressure(Duration::new(6), Duration::new(9), Duration::new(16), 4);
+        assert_eq!(p4, Rational::new(6, 16)); // chain binds on 4 procs
+    }
+
+    #[test]
+    fn truncation_still_lower_bounds() {
+        // With a single point visited, the load is still a valid (weaker)
+        // lower bound: at least U_sum, at most the untruncated value.
+        let sys: TaskSystem = [seq(1, 2, 4), seq(1, 5, 6)].into_iter().collect();
+        let truncated = demand_load(&sys, 1);
+        let full = demand_load(&sys, 1_000_000);
+        assert!(truncated >= sys.total_utilization());
+        assert!(truncated <= full);
+    }
+}

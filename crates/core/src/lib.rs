@@ -1,0 +1,66 @@
+//! `FEDCONS` — federated scheduling of constrained-deadline sporadic DAG
+//! task systems (Baruah, DATE 2015).
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`minprocs`] — `MINPROCS` (Fig. 3): minimum LS cluster size per
+//!   high-density task, with the frozen template schedule;
+//! * [`mod@fedcons`] — `FEDCONS` (Fig. 2): the two-phase federated admission,
+//!   producing a complete run-time configuration
+//!   ([`fedcons::FederatedSchedule`]);
+//! * [`baselines`] — the implicit-deadline federated algorithm of Li et
+//!   al. \[17\] and two global-EDF tests, used by the comparison experiments;
+//! * [`feasibility`] — necessary conditions and the demand load, the
+//!   computable stand-ins for the paper's clairvoyant optimum;
+//! * [`speedup`] — exact rational processor-speed scaling and the binary
+//!   search used to measure empirical speedup factors (Definition 1).
+//!
+//! # Examples
+//!
+//! Admitting a mixed system and inspecting the resulting configuration:
+//!
+//! ```
+//! use fedsched_core::fedcons::{fedcons, FedConsConfig};
+//! use fedsched_dag::graph::DagBuilder;
+//! use fedsched_dag::system::TaskSystem;
+//! use fedsched_dag::task::DagTask;
+//! use fedsched_dag::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A high-density task: 6 parallel unit jobs due within 2 ticks.
+//! let mut b = DagBuilder::new();
+//! b.add_vertices([1, 1, 1, 1, 1, 1].map(Duration::new));
+//! let wide = DagTask::new(b.build()?, Duration::new(2), Duration::new(10))?;
+//! // A light sequential task.
+//! let light = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8))?;
+//!
+//! let system: TaskSystem = [wide, light].into_iter().collect();
+//! let schedule = fedcons(&system, 4, FedConsConfig::default())?;
+//! assert_eq!(schedule.clusters().len(), 1);      // the wide task's cluster
+//! assert_eq!(schedule.clusters()[0].processors, 3);
+//! assert_eq!(schedule.shared_processors(), 1);    // EDF pool for the rest
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod fedcons;
+pub mod feasibility;
+pub mod minprocs;
+pub mod speedup;
+
+pub use baselines::{
+    global_edf_density_test, global_edf_li_test, li_federated, LiFederatedFailure,
+    LiFederatedSchedule,
+};
+pub use fedcons::{
+    fedcons, fedcons_constraining, DedicatedCluster, FedConsConfig, FedConsFailure,
+    FederatedSchedule,
+};
+pub use feasibility::{demand_load, necessary_feasible};
+pub use minprocs::{min_procs, MinProcsResult};
+pub use speedup::{required_speed, system_at_speed, DEFAULT_SPEED_DENOMINATOR};

@@ -1,0 +1,141 @@
+//! `MINPROCS` — the per-task processor sizing of paper Fig. 3.
+//!
+//! For a high-density constrained-deadline task, all jobs of one dag-job
+//! must finish before the next is released (`D ≤ T`), so scheduling the task
+//! on a dedicated cluster reduces to a makespan problem: find the smallest
+//! `μ` for which Graham's List Scheduling finishes the DAG within `D`.
+
+use fedsched_dag::task::DagTask;
+use fedsched_graham::list::{list_schedule_with, PriorityPolicy};
+use fedsched_graham::schedule::TemplateSchedule;
+
+/// A successful `MINPROCS` sizing: the processor count and the frozen
+/// template schedule `σ_i` that witnesses it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinProcsResult {
+    /// The minimum processor count found (`μ` in Fig. 3).
+    pub processors: u32,
+    /// The LS schedule of the task's DAG on `processors` processors,
+    /// used as the run-time lookup table.
+    pub template: TemplateSchedule,
+}
+
+/// `MINPROCS(τ_i, m_r)` (paper Fig. 3): the minimum `μ ∈ [⌈δ_i⌉, m_r]` for
+/// which List Scheduling produces a schedule of `G_i` with makespan `≤ D_i`,
+/// together with that schedule. Returns `None` (the paper's `∞`) if no
+/// `μ ≤ available` suffices.
+///
+/// Two deviations from the literal pseudocode, both conservative:
+///
+/// * if `len_i > D_i`, no processor count can help (the chain alone misses
+///   the deadline), so we fail fast without running LS;
+/// * the search starts at `max(1, ⌈δ_i⌉)` — `⌈δ_i⌉` exactly as in Fig. 3,
+///   clamped to one processor for degenerate inputs.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_core::minprocs::min_procs;
+/// use fedsched_dag::examples::paper_figure1;
+/// use fedsched_graham::list::PriorityPolicy;
+///
+/// let tau1 = paper_figure1(); // low-density, but MINPROCS still sizes it
+/// let r = min_procs(&tau1, 4, PriorityPolicy::ListOrder).expect("fits");
+/// assert_eq!(r.processors, 1); // vol 9 ≤ D 16: one processor suffices
+/// ```
+#[must_use]
+pub fn min_procs(
+    task: &DagTask,
+    available: u32,
+    policy: PriorityPolicy,
+) -> Option<MinProcsResult> {
+    if !task.is_chain_feasible() {
+        return None;
+    }
+    let start = task.min_processors_lower_bound().max(1);
+    for mu in start..=available {
+        let template = list_schedule_with(task.dag(), mu, policy);
+        if template.makespan() <= task.deadline() {
+            return Some(MinProcsResult {
+                processors: mu,
+                template,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::examples::paper_figure1;
+    use fedsched_dag::graph::DagBuilder;
+    use fedsched_dag::time::Duration;
+    use fedsched_graham::list::makespan_lower_bound;
+
+    /// k independent vertices of WCET w, deadline d, period t.
+    fn parallel_task(k: usize, w: u64, d: u64, t: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_vertices(std::iter::repeat_n(Duration::new(w), k));
+        DagTask::new(b.build().unwrap(), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    #[test]
+    fn wide_task_needs_many_processors() {
+        // 6 unit jobs, D = 2: needs 3 processors.
+        let t = parallel_task(6, 1, 2, 10);
+        let r = min_procs(&t, 8, PriorityPolicy::ListOrder).unwrap();
+        assert_eq!(r.processors, 3);
+        assert!(r.template.makespan() <= t.deadline());
+        r.template.validate(t.dag()).unwrap();
+    }
+
+    #[test]
+    fn search_starts_at_density_ceiling() {
+        // δ = 6/2 = 3 ⇒ the result can never be below 3, and here equals it.
+        let t = parallel_task(6, 1, 2, 10);
+        assert_eq!(t.min_processors_lower_bound(), 3);
+    }
+
+    #[test]
+    fn fails_when_available_too_small() {
+        let t = parallel_task(6, 1, 2, 10);
+        assert_eq!(min_procs(&t, 2, PriorityPolicy::ListOrder), None);
+    }
+
+    #[test]
+    fn fails_fast_on_infeasible_chain() {
+        // Chain of length 5 with D = 4: hopeless on any cluster size.
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([2, 3].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        let t = DagTask::new(b.build().unwrap(), Duration::new(4), Duration::new(10)).unwrap();
+        assert_eq!(min_procs(&t, 100, PriorityPolicy::ListOrder), None);
+    }
+
+    #[test]
+    fn sequential_low_density_task_takes_one_processor() {
+        let t = paper_figure1();
+        let r = min_procs(&t, 4, PriorityPolicy::ListOrder).unwrap();
+        assert_eq!(r.processors, 1);
+        assert_eq!(r.template.makespan(), t.volume());
+    }
+
+    #[test]
+    fn result_is_minimal() {
+        // Check minimality by re-running LS on fewer processors.
+        let t = parallel_task(7, 2, 6, 10); // vol 14, D 6 ⇒ ⌈14/6⌉ = 3
+        let r = min_procs(&t, 10, PriorityPolicy::ListOrder).unwrap();
+        for mu in 1..r.processors {
+            let s = fedsched_graham::list::list_schedule(t.dag(), mu);
+            assert!(s.makespan() > t.deadline(), "μ = {mu} should not fit");
+        }
+    }
+
+    #[test]
+    fn template_never_beats_lower_bound() {
+        let t = parallel_task(5, 3, 9, 12);
+        let r = min_procs(&t, 6, PriorityPolicy::CriticalPathFirst).unwrap();
+        assert!(r.template.makespan() >= makespan_lower_bound(t.dag(), r.processors));
+    }
+}

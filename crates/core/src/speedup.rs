@@ -1,0 +1,194 @@
+//! Empirical speedup measurement (Definition 1 of the paper).
+//!
+//! A speed-`s` processor executes work `s` times faster; equivalently, every
+//! deadline and period stretches by `s` while the work stays fixed. For a
+//! rational speed `s = p/q` this can be modelled *exactly* in integer ticks:
+//! scale every WCET by `q` and every deadline/period by `p` — a uniform
+//! rescaling of the timeline that preserves schedulability relations.
+//!
+//! [`required_speed`] binary-searches the smallest grid speed at which a
+//! given admission test accepts a system. Both FEDCONS and the partitioning
+//! test are monotone in speed (all their inequalities are linear in the
+//! scaled quantities), so the search is sound.
+
+use fedsched_dag::graph::DagBuilder;
+use fedsched_dag::rational::Rational;
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+
+/// The system as seen by speed-`speed` processors: WCETs multiplied by the
+/// denominator, deadlines and periods by the numerator.
+///
+/// # Panics
+///
+/// Panics if `speed` is not positive, or if scaling overflows the tick
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_core::speedup::system_at_speed;
+/// use fedsched_dag::examples::paper_figure1;
+/// use fedsched_dag::rational::Rational;
+/// use fedsched_dag::system::TaskSystem;
+///
+/// let sys: TaskSystem = [paper_figure1()].into_iter().collect();
+/// let doubled = system_at_speed(&sys, Rational::from_integer(2));
+/// // Density halves on speed-2 processors.
+/// assert_eq!(doubled.tasks()[0].density(), Rational::new(9, 32));
+/// ```
+#[must_use]
+pub fn system_at_speed(system: &TaskSystem, speed: Rational) -> TaskSystem {
+    assert!(speed > Rational::ZERO, "speed must be positive");
+    let p = u64::try_from(speed.numer()).expect("speed numerator fits u64");
+    let q = u64::try_from(speed.denom()).expect("speed denominator fits u64");
+    system
+        .iter()
+        .map(|(_, task)| {
+            let mut b = DagBuilder::with_capacity(task.dag().vertex_count());
+            let ids =
+                b.add_vertices(task.dag().wcets().iter().map(|w| Duration::new(w.ticks() * q)));
+            for (a, z) in task.dag().edges() {
+                b.add_edge(ids[a.index()], ids[z.index()])
+                    .expect("edges copied from a valid DAG");
+            }
+            DagTask::new(
+                b.build().expect("copied DAG stays acyclic"),
+                Duration::new(task.deadline().ticks() * p),
+                Duration::new(task.period().ticks() * p),
+            )
+            .expect("scaling preserves validity")
+        })
+        .collect()
+}
+
+/// Default denominator of the speed search grid: speeds are multiples of
+/// `1/64`.
+pub const DEFAULT_SPEED_DENOMINATOR: u32 = 64;
+
+/// Binary-searches the minimum speed `s = k / grid` (for integer `k`,
+/// `s ≤ max_speed`) at which `accepts` admits the scaled system, assuming
+/// `accepts` is monotone in speed. Returns `None` if even `max_speed` is
+/// rejected.
+///
+/// # Panics
+///
+/// Panics if `grid` is zero or `max_speed < 1`.
+pub fn required_speed<F>(
+    system: &TaskSystem,
+    accepts: F,
+    grid: u32,
+    max_speed: u32,
+) -> Option<Rational>
+where
+    F: Fn(&TaskSystem) -> bool,
+{
+    assert!(grid > 0, "speed grid must be positive");
+    assert!(max_speed >= 1, "maximum speed must be at least 1");
+    let hi_k = u64::from(max_speed) * u64::from(grid);
+    let probe = |k: u64| {
+        let s = Rational::new(i128::from(k), i128::from(grid));
+        accepts(&system_at_speed(system, s))
+    };
+    if !probe(hi_k) {
+        return None;
+    }
+    // Smallest accepted k in [1, hi_k].
+    let mut lo = 1u64; // exclusive candidates below lo are unknown-accepted
+    let mut hi = hi_k; // known accepted
+    if probe(lo) {
+        return Some(Rational::new(1, i128::from(grid)));
+    }
+    // Invariant: probe(lo) = false, probe(hi) = true.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(Rational::new(i128::from(hi), i128::from(grid)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedcons::{fedcons, FedConsConfig};
+    use fedsched_dag::examples::{paper_example2, paper_figure1};
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let sys: TaskSystem = [paper_figure1()].into_iter().collect();
+        let scaled = system_at_speed(&sys, Rational::new(3, 2));
+        let t = &scaled.tasks()[0];
+        assert_eq!(t.volume(), Duration::new(18)); // ×2 (denominator)
+        assert_eq!(t.deadline(), Duration::new(48)); // ×3 (numerator)
+        assert_eq!(t.period(), Duration::new(60));
+        assert_eq!(t.dag().edge_count(), 5);
+        // Density scales by 1/s.
+        assert_eq!(t.density(), Rational::new(9, 16) / Rational::new(3, 2));
+    }
+
+    #[test]
+    fn speed_one_is_identity_up_to_ticks() {
+        let sys: TaskSystem = [paper_figure1()].into_iter().collect();
+        let same = system_at_speed(&sys, Rational::ONE);
+        assert_eq!(same, sys);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn non_positive_speed_panics() {
+        let sys = TaskSystem::new();
+        let _ = system_at_speed(&sys, Rational::ZERO);
+    }
+
+    #[test]
+    fn example2_requires_speed_n() {
+        // The paper's Example 2: on m = n processors, FEDCONS needs speed 1
+        // (each task gets a cluster). On m = 1 processor, the n unit jobs
+        // due at time 1 need speed n.
+        let n = 4u32;
+        let sys = paper_example2(n);
+        let accepts_on_one =
+            |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
+        let speed = required_speed(&sys, accepts_on_one, 1, 16).unwrap();
+        assert_eq!(speed, Rational::from_integer(i128::from(n)));
+    }
+
+    #[test]
+    fn figure1_needs_speed_nine_sixteenths_on_one_processor() {
+        // vol = 9 must fit in D = 16 on one processor: the exact break-even
+        // speed is 9/16, and it lies on the 1/64 grid.
+        let sys: TaskSystem = [paper_figure1()].into_iter().collect();
+        let accepts = |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
+        let speed = required_speed(&sys, accepts, 64, 4).unwrap();
+        assert_eq!(speed, Rational::new(9, 16));
+    }
+
+    #[test]
+    fn returns_none_when_even_max_speed_fails() {
+        let sys = paper_example2(64);
+        let accepts = |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
+        assert_eq!(required_speed(&sys, accepts, 1, 4), None);
+    }
+
+    #[test]
+    fn search_matches_linear_scan() {
+        let sys = paper_example2(6);
+        let accepts = |s: &TaskSystem| fedcons(s, 2, FedConsConfig::default()).is_ok();
+        let found = required_speed(&sys, accepts, 2, 8).unwrap();
+        // Linear scan over the same grid.
+        let mut expected = None;
+        for k in 1..=16u64 {
+            let s = Rational::new(i128::from(k), 2);
+            if accepts(&system_at_speed(&sys, s)) {
+                expected = Some(s);
+                break;
+            }
+        }
+        assert_eq!(Some(found), expected);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error types for model construction and validation.
+
+use core::fmt;
+
+use crate::graph::VertexId;
+
+/// An error raised while building a precedence graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphBuildError {
+    /// An edge endpoint was not a vertex of the builder.
+    UnknownVertex {
+        /// The offending id.
+        vertex: VertexId,
+    },
+    /// An edge from a vertex to itself was requested.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// The same directed edge was added twice.
+    DuplicateEdge {
+        /// Edge source.
+        from: VertexId,
+        /// Edge target.
+        to: VertexId,
+    },
+    /// The edges form a directed cycle, so the graph is not a DAG.
+    Cycle,
+}
+
+impl fmt::Display for GraphBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphBuildError::UnknownVertex { vertex } => {
+                write!(f, "edge endpoint {vertex} is not a vertex of this graph")
+            }
+            GraphBuildError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphBuildError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            GraphBuildError::Cycle => write!(f, "edges form a directed cycle"),
+        }
+    }
+}
+
+impl std::error::Error for GraphBuildError {}
+
+/// An error raised while constructing a sporadic DAG task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskBuildError {
+    /// The relative deadline was zero.
+    ZeroDeadline,
+    /// The period was zero.
+    ZeroPeriod,
+    /// The DAG has no vertices, so the task would generate empty dag-jobs.
+    EmptyDag,
+    /// A vertex has zero WCET; the paper's model has `e_v ∈ ℕ` with jobs
+    /// that perform actual work, and zero-WCET vertices break density and
+    /// list-scheduling invariants downstream.
+    ZeroWcet {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for TaskBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskBuildError::ZeroDeadline => write!(f, "relative deadline must be positive"),
+            TaskBuildError::ZeroPeriod => write!(f, "period must be positive"),
+            TaskBuildError::EmptyDag => write!(f, "task DAG must contain at least one vertex"),
+            TaskBuildError::ZeroWcet { vertex } => {
+                write!(f, "vertex {vertex} has zero worst-case execution time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            GraphBuildError::UnknownVertex { vertex: VertexId::from_index(3) }.to_string(),
+            GraphBuildError::SelfLoop { vertex: VertexId::from_index(0) }.to_string(),
+            GraphBuildError::DuplicateEdge {
+                from: VertexId::from_index(0),
+                to: VertexId::from_index(1),
+            }
+            .to_string(),
+            GraphBuildError::Cycle.to_string(),
+            TaskBuildError::ZeroDeadline.to_string(),
+            TaskBuildError::ZeroPeriod.to_string(),
+            TaskBuildError::EmptyDag.to_string(),
+            TaskBuildError::ZeroWcet { vertex: VertexId::from_index(2) }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m:?} ends with punctuation");
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("edge"));
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GraphBuildError>();
+        assert_error::<TaskBuildError>();
+    }
+}

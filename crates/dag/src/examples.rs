@@ -1,0 +1,133 @@
+//! The worked examples from the paper, as ready-made constructors.
+
+use crate::graph::DagBuilder;
+use crate::system::TaskSystem;
+use crate::task::DagTask;
+use crate::time::Duration;
+
+/// The sporadic DAG task `τ_1` of the paper's **Figure 1 / Example 1**.
+///
+/// Five vertices, five precedence edges, `len_1 = 6`, `vol_1 = 9`,
+/// `D_1 = 16`, `T_1 = 20`, hence `δ_1 = 9/16` and `u_1 = 9/20` — a
+/// low-density task.
+///
+/// The figure itself is only partially recoverable from the archived text
+/// (vertex WCETs are drawn, not all listed); this constructor uses the
+/// topology below, which matches every quantity the paper states:
+///
+/// ```text
+///        ┌─> v1(3) ─┐
+/// v0(1) ─┤          ├─> v3(2)
+///        └─> v2(2) ─┴─> v4(1)
+/// ```
+///
+/// (Longest chain: `v0 → v1 → v3`, length `1 + 3 + 2 = 6`.)
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_dag::examples::paper_figure1;
+/// use fedsched_dag::rational::Rational;
+///
+/// let tau1 = paper_figure1();
+/// assert_eq!(tau1.density(), Rational::new(9, 16));
+/// assert!(tau1.is_low_density());
+/// ```
+#[must_use]
+pub fn paper_figure1() -> DagTask {
+    let mut b = DagBuilder::new();
+    let v = b.add_vertices([1, 3, 2, 2, 1].map(Duration::new));
+    b.add_edge(v[0], v[1]).expect("fresh edge");
+    b.add_edge(v[0], v[2]).expect("fresh edge");
+    b.add_edge(v[1], v[3]).expect("fresh edge");
+    b.add_edge(v[2], v[3]).expect("fresh edge");
+    b.add_edge(v[2], v[4]).expect("fresh edge");
+    DagTask::new(b.build().expect("acyclic"), Duration::new(16), Duration::new(20))
+        .expect("valid parameters")
+}
+
+/// The task system of the paper's **Example 2**, which shows that capacity
+/// augmentation bounds are meaningless for constrained deadlines.
+///
+/// `n` tasks, each a single vertex with WCET 1, `D_i = 1`, `T_i = n`.
+/// `U_sum = n · (1/n) = 1` and `len_i = 1 ≤ D_i`, yet if all tasks release
+/// simultaneously, `n` units of work must finish within one time unit — a
+/// processor of speed `n` is required. As `n → ∞` the necessary speedup is
+/// unbounded, so no algorithm has a finite capacity augmentation bound for
+/// constrained-deadline systems.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_dag::examples::paper_example2;
+/// use fedsched_dag::rational::Rational;
+///
+/// let sys = paper_example2(8);
+/// assert_eq!(sys.len(), 8);
+/// assert_eq!(sys.total_utilization(), Rational::ONE);
+/// assert!(sys.all_chains_feasible());
+/// // ... and yet total density — the work that can be demanded in a unit
+/// // window — is n:
+/// assert_eq!(sys.total_density(), Rational::from_integer(8));
+/// ```
+#[must_use]
+pub fn paper_example2(n: u32) -> TaskSystem {
+    assert!(n > 0, "Example 2 needs at least one task");
+    (0..n)
+        .map(|_| {
+            DagTask::sequential(Duration::new(1), Duration::new(1), Duration::new(u64::from(n)))
+                .expect("valid parameters")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rational;
+    use crate::task::DeadlineClass;
+
+    #[test]
+    fn figure1_matches_every_stated_quantity() {
+        let t = paper_figure1();
+        assert_eq!(t.dag().vertex_count(), 5);
+        assert_eq!(t.dag().edge_count(), 5);
+        assert_eq!(t.volume(), Duration::new(9));
+        assert_eq!(t.longest_chain_length(), Duration::new(6));
+        assert_eq!(t.deadline(), Duration::new(16));
+        assert_eq!(t.period(), Duration::new(20));
+        assert_eq!(t.density(), Rational::new(9, 16));
+        assert_eq!(t.utilization(), Rational::new(9, 20));
+        assert!(t.is_low_density());
+        assert_eq!(t.deadline_class(), DeadlineClass::Constrained);
+    }
+
+    #[test]
+    fn example2_utilization_is_one_for_every_n() {
+        for n in [1u32, 2, 3, 10, 100] {
+            let sys = paper_example2(n);
+            assert_eq!(sys.total_utilization(), Rational::ONE, "n = {n}");
+            assert_eq!(sys.total_density(), Rational::from_integer(i128::from(n)));
+            assert!(sys.all_chains_feasible());
+        }
+    }
+
+    #[test]
+    fn example2_is_constrained_for_n_over_one() {
+        assert_eq!(paper_example2(1).deadline_class(), DeadlineClass::Implicit);
+        assert_eq!(
+            paper_example2(4).deadline_class(),
+            DeadlineClass::Constrained
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn example2_rejects_zero() {
+        let _ = paper_example2(0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The sporadic DAG task model of Baruah (DATE 2015).
+//!
+//! This crate is the model substrate for the `fedsched` workspace: it defines
+//! integer-tick time ([`time`]), exact rational arithmetic ([`rational`]),
+//! weighted precedence DAGs ([`graph`]), sporadic DAG tasks ([`task`]) and
+//! task systems ([`system`]), together with the paper's worked examples
+//! ([`examples`]).
+//!
+//! A *sporadic DAG task* `τ_i = (G_i, D_i, T_i)` releases *dag-jobs*: at each
+//! release, every vertex of `G_i` becomes a job, subject to the precedence
+//! edges; all of them must finish within `D_i`, and consecutive releases are
+//! separated by at least `T_i`. The quantities the federated-scheduling
+//! analysis is built on:
+//!
+//! * `vol_i` — total work of one dag-job ([`task::DagTask::volume`]);
+//! * `len_i` — longest chain ([`task::DagTask::longest_chain_length`]);
+//! * `u_i = vol_i / T_i` — utilization ([`task::DagTask::utilization`]);
+//! * `δ_i = vol_i / min(D_i, T_i)` — density ([`task::DagTask::density`]).
+//!
+//! # Examples
+//!
+//! Rebuilding the paper's Figure 1 task by hand:
+//!
+//! ```
+//! use fedsched_dag::graph::DagBuilder;
+//! use fedsched_dag::rational::Rational;
+//! use fedsched_dag::task::DagTask;
+//! use fedsched_dag::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let v = b.add_vertices([1, 3, 2, 2, 1].map(Duration::new));
+//! b.add_edge(v[0], v[1])?;
+//! b.add_edge(v[0], v[2])?;
+//! b.add_edge(v[1], v[3])?;
+//! b.add_edge(v[2], v[3])?;
+//! b.add_edge(v[2], v[4])?;
+//! let tau1 = DagTask::new(b.build()?, Duration::new(16), Duration::new(20))?;
+//! assert_eq!(tau1.volume(), Duration::new(9));
+//! assert_eq!(tau1.longest_chain_length(), Duration::new(6));
+//! assert_eq!(tau1.density(), Rational::new(9, 16));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod examples;
+pub mod graph;
+pub mod rational;
+pub mod stg;
+pub mod system;
+pub mod task;
+pub mod time;
+
+pub use error::{GraphBuildError, TaskBuildError};
+pub use graph::{Chain, Dag, DagBuilder, VertexId};
+pub use rational::Rational;
+pub use system::{TaskId, TaskSystem};
+pub use stg::{parse_stg, ParseStgError};
+pub use task::{DagTask, DeadlineClass};
+pub use time::{Duration, Time};

@@ -1,0 +1,282 @@
+//! Import of Standard Task Graph (STG) files.
+//!
+//! The STG suite (Tobita & Kasahara) is the scheduling community's stock of
+//! benchmark precedence graphs; supporting it lets this workspace analyse
+//! the same DAGs other tools publish results for.
+//!
+//! The format, per graph:
+//!
+//! ```text
+//! <n>                         # number of *application* tasks
+//! 0    0  0                   # entry dummy: id, time, #preds
+//! 1    7  1   0               # task 1: time 7, one predecessor (0)
+//! 2    3  2   0 1             # task 2: time 3, predecessors 0 and 1
+//! …
+//! <n+1> 0 <k> …               # exit dummy
+//! # comment lines and blank lines are ignored
+//! ```
+//!
+//! The entry/exit dummies have zero processing time; since this model
+//! requires positive WCETs, they are *dropped* and their precedence
+//! influence is preserved by transitive adjacency (an edge through a dummy
+//! contributes nothing to any chain). Edges incident only to dummies vanish
+//! with them.
+
+use core::fmt;
+
+use crate::graph::{Dag, DagBuilder, VertexId};
+use crate::time::Duration;
+
+/// An error raised while parsing an STG document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseStgError {
+    /// The document contained no task-count header.
+    MissingHeader,
+    /// A line could not be tokenised into the expected integers.
+    MalformedLine {
+        /// 1-based line number in the input.
+        line: usize,
+    },
+    /// A task referenced a predecessor id that has not been declared.
+    UnknownPredecessor {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The undeclared id.
+        id: u64,
+    },
+    /// Fewer task lines than the header promised.
+    TruncatedDocument {
+        /// Tasks promised by the header (including dummies).
+        expected: usize,
+        /// Task lines found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseStgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseStgError::MissingHeader => write!(f, "missing task-count header"),
+            ParseStgError::MalformedLine { line } => {
+                write!(f, "malformed STG line {line}")
+            }
+            ParseStgError::UnknownPredecessor { line, id } => {
+                write!(f, "line {line} references undeclared predecessor {id}")
+            }
+            ParseStgError::TruncatedDocument { expected, found } => write!(
+                f,
+                "document promises {expected} task lines but contains {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseStgError {}
+
+/// Parses one STG document into a [`Dag`].
+///
+/// Zero-time vertices (the STG entry/exit dummies, and any other zero-time
+/// task) are elided: their predecessors are connected directly to their
+/// successors, preserving the precedence relation without violating the
+/// positive-WCET invariant of this model.
+///
+/// # Errors
+///
+/// See [`ParseStgError`].
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_dag::stg::parse_stg;
+/// use fedsched_dag::time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let doc = "\
+/// 3
+/// 0 0 0
+/// 1 7 1 0
+/// 2 3 1 0
+/// 3 2 2 1 2
+/// 4 0 1 3
+/// ";
+/// let dag = parse_stg(doc)?;
+/// assert_eq!(dag.vertex_count(), 3); // dummies elided
+/// assert_eq!(dag.volume(), Duration::new(12));
+/// assert_eq!(dag.longest_chain().length, Duration::new(9)); // 7 + 2
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_stg(input: &str) -> Result<Dag, ParseStgError> {
+    // Tokenise into (line_no, id, time, preds).
+    let mut records: Vec<(usize, u64, u64, Vec<u64>)> = Vec::new();
+    let mut header: Option<usize> = None;
+    for (line_no, raw) in input.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut nums = Vec::new();
+        for tok in line.split_whitespace() {
+            match tok.parse::<u64>() {
+                Ok(v) => nums.push(v),
+                // Trailing annotations after a '#' are tolerated.
+                Err(_) if tok.starts_with('#') => break,
+                Err(_) => return Err(ParseStgError::MalformedLine { line: line_no }),
+            }
+        }
+        if header.is_none() {
+            if nums.len() != 1 {
+                return Err(ParseStgError::MalformedLine { line: line_no });
+            }
+            header = Some(nums[0] as usize);
+            continue;
+        }
+        if nums.len() < 3 {
+            return Err(ParseStgError::MalformedLine { line: line_no });
+        }
+        let (id, time, npred) = (nums[0], nums[1], nums[2] as usize);
+        if nums.len() != 3 + npred {
+            return Err(ParseStgError::MalformedLine { line: line_no });
+        }
+        records.push((line_no, id, time, nums[3..].to_vec()));
+    }
+    let expected = header.ok_or(ParseStgError::MissingHeader)? + 2; // + dummies
+    if records.len() < expected {
+        return Err(ParseStgError::TruncatedDocument {
+            expected,
+            found: records.len(),
+        });
+    }
+
+    // Map STG ids to dense indices; zero-time tasks are elided, with their
+    // (transitive) predecessors forwarded to their successors.
+    use std::collections::HashMap;
+    let mut builder = DagBuilder::new();
+    // For each STG id: Real(vertex) or the set of real ancestors it stands
+    // for (for elided zero-time tasks).
+    enum Slot {
+        Real(VertexId),
+        Elided(Vec<VertexId>),
+    }
+    let mut slots: HashMap<u64, Slot> = HashMap::new();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (line_no, id, time, preds) in &records {
+        // Resolve this record's effective predecessors.
+        let mut real_preds: Vec<VertexId> = Vec::new();
+        for p in preds {
+            match slots.get(p) {
+                Some(Slot::Real(v)) => real_preds.push(*v),
+                Some(Slot::Elided(vs)) => real_preds.extend(vs.iter().copied()),
+                None => {
+                    return Err(ParseStgError::UnknownPredecessor {
+                        line: *line_no,
+                        id: *p,
+                    })
+                }
+            }
+        }
+        real_preds.sort_unstable();
+        real_preds.dedup();
+        if *time == 0 {
+            slots.insert(*id, Slot::Elided(real_preds));
+        } else {
+            let v = builder.add_vertex(Duration::new(*time));
+            for p in &real_preds {
+                edges.push((*p, v));
+            }
+            slots.insert(*id, Slot::Real(v));
+        }
+    }
+    for (a, b) in edges {
+        builder
+            .add_edge(a, b)
+            .expect("ids resolved in declaration order cannot duplicate or cycle");
+    }
+    Ok(builder.build().expect("STG precedence is acyclic"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# fork-join with an extra chain
+5
+0 0 0
+1 4 1 0
+2 6 1 1
+3 2 1 1
+4 5 2 2 3
+5 1 1 4
+6 0 1 5
+";
+
+    #[test]
+    fn parses_and_elides_dummies() {
+        let dag = parse_stg(SAMPLE).unwrap();
+        assert_eq!(dag.vertex_count(), 5);
+        assert_eq!(dag.volume(), Duration::new(18));
+        // 4 → 6 → 5 → 1 = 16.
+        assert_eq!(dag.longest_chain().length, Duration::new(16));
+        assert_eq!(dag.sources().len(), 1);
+        assert_eq!(dag.sinks().len(), 1);
+    }
+
+    #[test]
+    fn zero_time_interior_tasks_forward_precedence() {
+        // 1 → (dummy 2) → 3 must become 1 → 3.
+        let doc = "\
+2
+0 0 0
+1 3 1 0
+2 0 1 1
+3 4 1 2
+4 0 1 3
+";
+        let dag = parse_stg(doc).unwrap();
+        assert_eq!(dag.vertex_count(), 2);
+        assert_eq!(dag.edge_count(), 1);
+        assert_eq!(dag.longest_chain().length, Duration::new(7));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let doc = "# head\n\n1\n0 0 0\n\n1 5 1 0\n# tail\n2 0 1 1\n";
+        let dag = parse_stg(doc).unwrap();
+        assert_eq!(dag.vertex_count(), 1);
+        assert_eq!(dag.volume(), Duration::new(5));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_stg(""), Err(ParseStgError::MissingHeader));
+        assert_eq!(
+            parse_stg("2 3\n"),
+            Err(ParseStgError::MalformedLine { line: 1 })
+        );
+        assert!(matches!(
+            parse_stg("1\n0 0 0\n1 5 1 9\n2 0 1 1\n"),
+            Err(ParseStgError::UnknownPredecessor { id: 9, .. })
+        ));
+        assert!(matches!(
+            parse_stg("4\n0 0 0\n1 5 1 0\n"),
+            Err(ParseStgError::TruncatedDocument { .. })
+        ));
+        assert!(matches!(
+            parse_stg("1\n0 0 0\n1 5 2 0\n"),
+            Err(ParseStgError::MalformedLine { .. })
+        ));
+        // Non-numeric token.
+        assert!(matches!(
+            parse_stg("1\n0 0 0\n1 x 1 0\n2 0 1 1\n"),
+            Err(ParseStgError::MalformedLine { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseStgError::UnknownPredecessor { line: 4, id: 9 };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Task systems: `τ = {τ_1, …, τ_n}`.
+
+use core::fmt;
+use core::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rational::Rational;
+use crate::task::{DagTask, DeadlineClass};
+use crate::time::Duration;
+
+/// A dense index identifying a task within one [`TaskSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// The dense index of this task.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a task id from a dense index.
+    #[must_use]
+    pub const fn from_index(index: usize) -> TaskId {
+        TaskId(index as u32)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// A finite collection of independent sporadic DAG tasks.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_dag::system::TaskSystem;
+/// use fedsched_dag::task::DagTask;
+/// use fedsched_dag::time::Duration;
+/// use fedsched_dag::rational::Rational;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys: TaskSystem = [
+///     DagTask::sequential(Duration::new(1), Duration::new(2), Duration::new(4))?,
+///     DagTask::sequential(Duration::new(2), Duration::new(6), Duration::new(8))?,
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert_eq!(sys.len(), 2);
+/// assert_eq!(sys.total_utilization(), Rational::new(1, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSystem {
+    tasks: Vec<DagTask>,
+}
+
+impl TaskSystem {
+    /// Creates an empty task system.
+    #[must_use]
+    pub fn new() -> TaskSystem {
+        TaskSystem::default()
+    }
+
+    /// Creates a task system from a vector of tasks.
+    #[must_use]
+    pub fn from_tasks(tasks: Vec<DagTask>) -> TaskSystem {
+        TaskSystem { tasks }
+    }
+
+    /// Adds a task, returning its id.
+    pub fn push(&mut self, task: DagTask) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(task);
+        id
+    }
+
+    /// Number of tasks `n`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the system contains no tasks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; use [`TaskSystem::get`] for a checked
+    /// lookup.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &DagTask {
+        &self.tasks[id.index()]
+    }
+
+    /// Checked task lookup.
+    #[must_use]
+    pub fn get(&self, id: TaskId) -> Option<&DagTask> {
+        self.tasks.get(id.index())
+    }
+
+    /// Iterator over `(TaskId, &DagTask)` pairs.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (TaskId, &DagTask)> + '_ {
+        self.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TaskId(i as u32), t))
+    }
+
+    /// Iterator over the task ids.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(|i| TaskId(i as u32))
+    }
+
+    /// The tasks as a slice, indexed by [`TaskId::index`].
+    #[must_use]
+    pub fn tasks(&self) -> &[DagTask] {
+        &self.tasks
+    }
+
+    /// Total utilization `U_sum(τ) = Σ u_i` (paper Section II).
+    #[must_use]
+    pub fn total_utilization(&self) -> Rational {
+        self.tasks.iter().map(DagTask::utilization).sum()
+    }
+
+    /// Total density `Σ δ_i`.
+    #[must_use]
+    pub fn total_density(&self) -> Rational {
+        self.tasks.iter().map(DagTask::density).sum()
+    }
+
+    /// The largest single-task density `max_i δ_i`, or zero for an empty
+    /// system.
+    #[must_use]
+    pub fn max_density(&self) -> Rational {
+        self.tasks
+            .iter()
+            .map(DagTask::density)
+            .max()
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// Ids of the high-density tasks `τ_high` (δ ≥ 1), in id order.
+    #[must_use]
+    pub fn high_density_ids(&self) -> Vec<TaskId> {
+        self.ids()
+            .filter(|&id| self.task(id).is_high_density())
+            .collect()
+    }
+
+    /// Ids of the low-density tasks `τ_low` (δ < 1), in id order.
+    #[must_use]
+    pub fn low_density_ids(&self) -> Vec<TaskId> {
+        self.ids()
+            .filter(|&id| self.task(id).is_low_density())
+            .collect()
+    }
+
+    /// The strictest deadline class that covers every task in the system:
+    /// implicit if all tasks are implicit, constrained if all satisfy
+    /// `D ≤ T`, arbitrary otherwise. An empty system reports implicit.
+    #[must_use]
+    pub fn deadline_class(&self) -> DeadlineClass {
+        let mut class = DeadlineClass::Implicit;
+        for t in &self.tasks {
+            match t.deadline_class() {
+                DeadlineClass::Arbitrary => return DeadlineClass::Arbitrary,
+                DeadlineClass::Constrained => class = DeadlineClass::Constrained,
+                DeadlineClass::Implicit => {}
+            }
+        }
+        class
+    }
+
+    /// `true` if every task satisfies `len_i ≤ D_i` — the per-task necessary
+    /// feasibility condition. Systems failing this are unschedulable by any
+    /// algorithm on unit-speed processors.
+    #[must_use]
+    pub fn all_chains_feasible(&self) -> bool {
+        self.tasks.iter().all(DagTask::is_chain_feasible)
+    }
+
+    /// The hyperperiod — least common multiple of all periods — used by the
+    /// simulator to bound observation windows. Saturates at `Duration::MAX`
+    /// on overflow.
+    #[must_use]
+    pub fn hyperperiod(&self) -> Duration {
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut l: u64 = 1;
+        for t in &self.tasks {
+            let p = t.period().ticks();
+            let g = gcd(l, p);
+            match (l / g).checked_mul(p) {
+                Some(v) => l = v,
+                None => return Duration::MAX,
+            }
+        }
+        Duration::new(l)
+    }
+}
+
+impl FromIterator<DagTask> for TaskSystem {
+    fn from_iter<I: IntoIterator<Item = DagTask>>(iter: I) -> Self {
+        TaskSystem {
+            tasks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<DagTask> for TaskSystem {
+    fn extend<I: IntoIterator<Item = DagTask>>(&mut self, iter: I) {
+        self.tasks.extend(iter);
+    }
+}
+
+impl Index<TaskId> for TaskSystem {
+    type Output = DagTask;
+    fn index(&self, id: TaskId) -> &DagTask {
+        self.task(id)
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSystem {
+    type Item = &'a DagTask;
+    type IntoIter = std::slice::Iter<'a, DagTask>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+impl IntoIterator for TaskSystem {
+    type Item = DagTask;
+    type IntoIter = std::vec::IntoIter<DagTask>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.into_iter()
+    }
+}
+
+impl fmt::Display for TaskSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TaskSystem(n={}, U_sum={}, class={})",
+            self.len(),
+            self.total_utilization(),
+            self.deadline_class()
+        )?;
+        for (id, t) in self.iter() {
+            writeln!(f, "  {id}: {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(c: u64, d: u64, t: u64) -> DagTask {
+        DagTask::sequential(Duration::new(c), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    fn sample() -> TaskSystem {
+        // u = 1/4, δ = 1/2; u = δ = 3/2 (high density); u = 1/2, δ = 1.
+        TaskSystem::from_tasks(vec![seq(1, 2, 4), seq(6, 4, 4), seq(3, 3, 6)])
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = sample();
+        assert_eq!(
+            s.total_utilization(),
+            Rational::new(1, 4) + Rational::new(3, 2) + Rational::new(1, 2)
+        );
+        assert_eq!(
+            s.total_density(),
+            Rational::new(1, 2) + Rational::new(3, 2) + Rational::ONE
+        );
+        assert_eq!(s.max_density(), Rational::new(3, 2));
+    }
+
+    #[test]
+    fn density_partition() {
+        let s = sample();
+        assert_eq!(s.high_density_ids(), vec![TaskId(1), TaskId(2)]);
+        assert_eq!(s.low_density_ids(), vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn deadline_class_aggregation() {
+        let implicit = TaskSystem::from_tasks(vec![seq(1, 4, 4)]);
+        assert_eq!(implicit.deadline_class(), DeadlineClass::Implicit);
+        let constrained = TaskSystem::from_tasks(vec![seq(1, 4, 4), seq(1, 3, 4)]);
+        assert_eq!(constrained.deadline_class(), DeadlineClass::Constrained);
+        let arbitrary = TaskSystem::from_tasks(vec![seq(1, 3, 4), seq(1, 6, 4)]);
+        assert_eq!(arbitrary.deadline_class(), DeadlineClass::Arbitrary);
+        assert_eq!(TaskSystem::new().deadline_class(), DeadlineClass::Implicit);
+    }
+
+    #[test]
+    fn hyperperiod() {
+        let s = TaskSystem::from_tasks(vec![seq(1, 4, 4), seq(1, 6, 6), seq(1, 10, 10)]);
+        assert_eq!(s.hyperperiod(), Duration::new(60));
+        assert_eq!(TaskSystem::new().hyperperiod(), Duration::new(1));
+    }
+
+    #[test]
+    fn hyperperiod_overflow_saturates() {
+        let s = TaskSystem::from_tasks(vec![
+            seq(1, u64::MAX - 1, u64::MAX - 1),
+            seq(1, u64::MAX - 2, u64::MAX - 2),
+        ]);
+        assert_eq!(s.hyperperiod(), Duration::MAX);
+    }
+
+    #[test]
+    fn collection_traits() {
+        let s: TaskSystem = sample().into_iter().collect();
+        assert_eq!(s.len(), 3);
+        let mut s2 = TaskSystem::new();
+        s2.extend(sample());
+        assert_eq!(s2, s);
+        assert_eq!(s[TaskId(1)].volume(), Duration::new(6));
+        assert_eq!((&s).into_iter().count(), 3);
+        assert_eq!(s.get(TaskId(99)), None);
+    }
+
+    #[test]
+    fn chain_feasibility_aggregate() {
+        assert!(!sample().all_chains_feasible()); // τ1: len 6 > D 4
+        let ok = TaskSystem::from_tasks(vec![seq(1, 2, 4)]);
+        assert!(ok.all_chains_feasible());
+    }
+
+    #[test]
+    fn display_lists_tasks() {
+        let s = sample();
+        let txt = s.to_string();
+        assert!(txt.contains("n=3"));
+        assert!(txt.contains("τ0"));
+        assert!(txt.contains("τ2"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = sample();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TaskSystem = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

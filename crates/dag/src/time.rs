@@ -1,0 +1,415 @@
+//! Integer-tick time representation.
+//!
+//! The paper specifies vertex worst-case execution times as natural numbers
+//! (`e_v ∈ ℕ`) and deadlines/periods as positive reals. All admission tests in
+//! this workspace are exact, so every temporal quantity is represented as an
+//! integer number of abstract *ticks*; callers with real-valued parameters are
+//! expected to scale them to a common integer grid first.
+//!
+//! Two newtypes keep instants and durations apart ([`Time`] is a point on the
+//! timeline, [`Duration`] is a length of time), so that e.g. adding two
+//! instants — a classic unit bug — does not type-check.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedsched_dag::time::{Duration, Time};
+//!
+//! let release = Time::new(100);
+//! let relative_deadline = Duration::new(16);
+//! let absolute_deadline = release + relative_deadline;
+//! assert_eq!(absolute_deadline, Time::new(116));
+//! assert_eq!(absolute_deadline - release, relative_deadline);
+//! ```
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A length of time, in integer ticks.
+///
+/// Used for worst-case execution times, relative deadlines, periods, chain
+/// lengths, volumes, makespans and response times.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_dag::time::Duration;
+///
+/// let wcet = Duration::new(3);
+/// assert_eq!(wcet + wcet, Duration::new(6));
+/// assert_eq!(wcet.ticks(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+/// An instant on the timeline, in integer ticks since time zero.
+///
+/// Used for release times, start times, finish times and absolute deadlines.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_dag::time::{Duration, Time};
+///
+/// let t = Time::ZERO + Duration::new(42);
+/// assert_eq!(t.ticks(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration of `ticks` ticks.
+    #[must_use]
+    pub const fn new(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Returns the number of ticks in this duration.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this duration is zero ticks long.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Duration(v)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Duration(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating subtraction: returns [`Duration::ZERO`] if `rhs > self`.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[must_use]
+    pub const fn checked_mul(self, k: u64) -> Option<Duration> {
+        match self.0.checked_mul(k) {
+            Some(v) => Some(Duration(v)),
+            None => None,
+        }
+    }
+
+    /// Division rounding toward positive infinity: `⌈self / rhs⌉`.
+    ///
+    /// This is the form that appears throughout schedulability analysis,
+    /// e.g. the minimum processor count `⌈vol / D⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[must_use]
+    pub const fn div_ceil(self, rhs: Duration) -> u64 {
+        assert!(rhs.0 != 0, "division by zero duration");
+        self.0.div_ceil(rhs.0)
+    }
+}
+
+impl Time {
+    /// The origin of the timeline.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates the instant `ticks` ticks after time zero.
+    #[must_use]
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the number of ticks since time zero.
+    #[must_use]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The duration elapsed from the time origin to this instant.
+    #[must_use]
+    pub const fn since_origin(self) -> Duration {
+        Duration(self.0)
+    }
+
+    /// Checked advance; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating difference: returns [`Duration::ZERO`] if `earlier` is
+    /// actually later than `self`.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Duration {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (durations are unsigned).
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<Duration> for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+impl Mul<Duration> for u64 {
+    type Output = Duration;
+    fn mul(self, d: Duration) -> Duration {
+        Duration(self * d.0)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = u64;
+    /// Integer (floor) division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Duration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Duration> for Duration {
+    fn sum<I: Iterator<Item = &'a Duration>>(iter: I) -> Duration {
+        iter.copied().sum()
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would precede time zero.
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    /// The duration from `rhs` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+}
+
+impl From<Duration> for u64 {
+    fn from(d: Duration) -> Self {
+        d.0
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::new(5);
+        let b = Duration::new(3);
+        assert_eq!(a + b, Duration::new(8));
+        assert_eq!(a - b, Duration::new(2));
+        assert_eq!(a * 2, Duration::new(10));
+        assert_eq!(3 * b, Duration::new(9));
+        assert_eq!(a / b, 1);
+        assert_eq!(a % b, Duration::new(2));
+    }
+
+    #[test]
+    fn duration_div_ceil() {
+        assert_eq!(Duration::new(9).div_ceil(Duration::new(4)), 3);
+        assert_eq!(Duration::new(8).div_ceil(Duration::new(4)), 2);
+        assert_eq!(Duration::new(1).div_ceil(Duration::new(4)), 1);
+        assert_eq!(Duration::new(0).div_ceil(Duration::new(4)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn duration_div_ceil_by_zero_panics() {
+        let _ = Duration::new(1).div_ceil(Duration::ZERO);
+    }
+
+    #[test]
+    fn time_duration_interplay() {
+        let t = Time::new(10);
+        let d = Duration::new(6);
+        assert_eq!(t + d, Time::new(16));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - d, Time::new(4));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            Duration::new(2).saturating_sub(Duration::new(5)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Time::new(2).saturating_since(Time::new(5)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Time::new(7).saturating_since(Time::new(5)),
+            Duration::new(2)
+        );
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(Duration::MAX.checked_add(Duration::new(1)), None);
+        assert_eq!(
+            Duration::new(1).checked_add(Duration::new(2)),
+            Some(Duration::new(3))
+        );
+        assert_eq!(Duration::new(1).checked_sub(Duration::new(2)), None);
+        assert_eq!(Duration::MAX.checked_mul(2), None);
+        assert_eq!(Time::MAX.checked_add(Duration::new(1)), None);
+    }
+
+    #[test]
+    fn sums() {
+        let ds = [Duration::new(1), Duration::new(2), Duration::new(3)];
+        let total: Duration = ds.iter().sum();
+        assert_eq!(total, Duration::new(6));
+        let total: Duration = ds.into_iter().sum();
+        assert_eq!(total, Duration::new(6));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Duration::new(1) < Duration::new(2));
+        assert!(Time::new(1) < Time::new(2));
+        assert_eq!(Duration::new(7).to_string(), "7");
+        assert_eq!(Time::new(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(u64::from(Duration::from(9u64)), 9);
+        assert_eq!(u64::from(Time::from(9u64)), 9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests for the model substrate.
+
+use fedsched_dag::graph::{Dag, DagBuilder, VertexId};
+use fedsched_dag::rational::Rational;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use proptest::prelude::*;
+
+/// Strategy: a random DAG with `n` vertices whose edges always go from a
+/// lower to a higher index (hence acyclic by construction), with random
+/// positive WCETs.
+fn arb_dag(max_vertices: usize) -> impl Strategy<Value = Dag> {
+    (1..=max_vertices)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(1u64..=20, n),
+                prop::collection::vec(any::<bool>(), n * (n - 1) / 2),
+            )
+        })
+        .prop_map(|(wcets, edge_flags)| {
+            let mut b = DagBuilder::new();
+            let vs = b.add_vertices(wcets.into_iter().map(Duration::new));
+            let mut k = 0;
+            for i in 0..vs.len() {
+                for j in (i + 1)..vs.len() {
+                    if edge_flags[k] {
+                        b.add_edge(vs[i], vs[j]).expect("forward edges are fresh");
+                    }
+                    k += 1;
+                }
+            }
+            b.build().expect("forward-only edges cannot cycle")
+        })
+}
+
+proptest! {
+    /// The longest chain never exceeds the volume, and both are positive for
+    /// non-empty DAGs with positive WCETs.
+    #[test]
+    fn chain_bounded_by_volume(dag in arb_dag(12)) {
+        let chain = dag.longest_chain();
+        prop_assert!(chain.length <= dag.volume());
+        prop_assert!(chain.length > Duration::ZERO);
+    }
+
+    /// The witnessing chain is an actual path: consecutive vertices are
+    /// connected by edges, and its WCETs sum to the reported length.
+    #[test]
+    fn chain_witness_is_a_real_path(dag in arb_dag(12)) {
+        let chain = dag.longest_chain();
+        let sum: Duration = chain.vertices.iter().map(|&v| dag.wcet(v)).sum();
+        prop_assert_eq!(sum, chain.length);
+        for w in chain.vertices.windows(2) {
+            prop_assert!(dag.successors(w[0]).contains(&w[1]));
+        }
+    }
+
+    /// No single-vertex chain beats the DP answer: every vertex's
+    /// earliest-start + wcet is at most the longest chain length.
+    #[test]
+    fn earliest_starts_consistent_with_chain(dag in arb_dag(12)) {
+        let est = dag.earliest_starts();
+        let len = dag.longest_chain().length;
+        for v in dag.vertices() {
+            prop_assert!(est[v.index()] + dag.wcet(v) <= len);
+        }
+        // ... and the bound is tight for at least one vertex.
+        let max = dag
+            .vertices()
+            .map(|v| est[v.index()] + dag.wcet(v))
+            .max()
+            .unwrap();
+        prop_assert_eq!(max, len);
+    }
+
+    /// The topological order is a permutation respecting all edges.
+    #[test]
+    fn topological_order_is_valid(dag in arb_dag(12)) {
+        let order = dag.topological_order();
+        prop_assert_eq!(order.len(), dag.vertex_count());
+        let mut pos = vec![usize::MAX; dag.vertex_count()];
+        for (i, v) in order.iter().enumerate() {
+            prop_assert_eq!(pos[v.index()], usize::MAX, "vertex repeated");
+            pos[v.index()] = i;
+        }
+        for (a, b) in dag.edges() {
+            prop_assert!(pos[a.index()] < pos[b.index()]);
+        }
+    }
+
+    /// Reachability agrees with edge membership and is transitive along
+    /// sampled triples.
+    #[test]
+    fn reachability_contains_edges(dag in arb_dag(10)) {
+        for (a, b) in dag.edges() {
+            prop_assert!(dag.is_reachable(a, b));
+        }
+        // Ancestors and reachability agree.
+        for v in dag.vertices() {
+            for a in dag.ancestors(v) {
+                prop_assert!(dag.is_reachable(a, v));
+            }
+        }
+    }
+
+    /// Density ≥ utilization for constrained deadlines, with equality iff
+    /// D = T.
+    #[test]
+    fn density_dominates_utilization(
+        dag in arb_dag(8),
+        d in 1u64..=100,
+        extra in 0u64..=50,
+    ) {
+        let t = DagTask::new(dag, Duration::new(d), Duration::new(d + extra)).unwrap();
+        prop_assert!(t.density() >= t.utilization());
+        if extra == 0 {
+            prop_assert_eq!(t.density(), t.utilization());
+        }
+    }
+
+    /// Serialization round-trips through JSON.
+    #[test]
+    fn task_serde_roundtrip(dag in arb_dag(8), d in 1u64..=100, t in 1u64..=100) {
+        let task = DagTask::new(dag, Duration::new(d), Duration::new(t)).unwrap();
+        let json = serde_json::to_string(&task).unwrap();
+        let back: DagTask = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(task, back);
+    }
+}
+
+proptest! {
+    /// Rational arithmetic: field axioms on random small fractions.
+    #[test]
+    fn rational_field_axioms(
+        a in -50i128..=50, b in 1i128..=50,
+        c in -50i128..=50, d in 1i128..=50,
+        e in -50i128..=50, f in 1i128..=50,
+    ) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        let z = Rational::new(e, f);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x * y) * z, x * (y * z));
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+        prop_assert_eq!(x + Rational::ZERO, x);
+        prop_assert_eq!(x * Rational::ONE, x);
+        prop_assert_eq!(x - x, Rational::ZERO);
+        if !y.is_zero() {
+            prop_assert_eq!((x / y) * y, x);
+        }
+    }
+
+    /// Ordering is total and consistent with f64 on small fractions.
+    #[test]
+    fn rational_ordering_matches_f64(
+        a in -50i128..=50, b in 1i128..=50,
+        c in -50i128..=50, d in 1i128..=50,
+    ) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        let cmp = x.cmp(&y);
+        let fcmp = x.to_f64().partial_cmp(&y.to_f64()).unwrap();
+        prop_assert_eq!(cmp, fcmp);
+    }
+
+    /// ceil/floor bracket the value.
+    #[test]
+    fn rational_ceil_floor_bracket(a in -500i128..=500, b in 1i128..=50) {
+        let x = Rational::new(a, b);
+        prop_assert!(Rational::from_integer(x.floor()) <= x);
+        prop_assert!(x <= Rational::from_integer(x.ceil()));
+        prop_assert!(x.ceil() - x.floor() <= 1);
+    }
+}
+
+#[test]
+fn vertex_id_index_roundtrip() {
+    for i in [0usize, 1, 7, 1000] {
+        assert_eq!(VertexId::from_index(i).index(), i);
+    }
+}
+
+proptest! {
+    /// Structural statistics are internally consistent: average parallelism
+    /// (vol/len) never exceeds the peak earliest-start width, which never
+    /// exceeds the vertex count; transitive reduction preserves all of them.
+    #[test]
+    fn stats_and_reduction_consistency(dag in arb_dag(12)) {
+        let s = dag.stats();
+        prop_assert!(s.peak_width >= 1);
+        prop_assert!(s.peak_width <= s.vertices);
+        prop_assert!(s.parallelism <= s.peak_width as f64 + 1e-9);
+        prop_assert!(s.parallelism >= 1.0 - 1e-9);
+
+        let reduced = dag.transitive_reduction();
+        let rs = reduced.stats();
+        prop_assert_eq!(rs.vertices, s.vertices);
+        prop_assert!(rs.edges <= s.edges);
+        prop_assert_eq!(rs.volume, s.volume);
+        prop_assert_eq!(rs.longest_chain, s.longest_chain);
+        // Reachability is exactly preserved.
+        prop_assert_eq!(dag.transitive_closure(), reduced.transitive_closure());
+    }
+
+    /// The closure matrix is transitively closed and acyclic (no vertex
+    /// reaches itself).
+    #[test]
+    fn closure_is_transitive_and_irreflexive(dag in arb_dag(10)) {
+        let c = dag.transitive_closure();
+        let n = dag.vertex_count();
+        for a in 0..n {
+            prop_assert!(!c[a][a], "cycle through v{a}");
+            for b in 0..n {
+                if !c[a][b] { continue; }
+                for z in 0..n {
+                    if c[b][z] {
+                        prop_assert!(c[a][z], "transitivity broken: {a}->{b}->{z}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! **E10 (ablation) — how much acceptance does `DBF*` leave on the table?**
+//!
+//! The paper's partitioning phase (Fig. 4) tests placements with the
+//! polynomial-time `DBF*` approximation. The exact EDF processor-demand
+//! criterion (pseudo-polynomial, via QPA) can gate the very same first-fit
+//! instead. This ablation sweeps normalized utilization and reports both
+//! acceptance curves plus the analysis cost proxy (probes per system),
+//! quantifying the approximation's price — the design trade-off DESIGN.md
+//! calls out.
+
+use fedsched_analysis::dbf::SequentialView;
+use fedsched_analysis::partition::{partition_first_fit, PartitionConfig};
+use fedsched_dag::system::{TaskId, TaskSystem};
+use fedsched_dag::task::DagTask;
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::DeadlineTightness;
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration of the partition-test ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E10Config {
+    /// Shared-pool size.
+    pub m: usize,
+    /// Normalized-utilization steps in `(0, 1]`.
+    pub steps: usize,
+    /// Systems per point.
+    pub systems_per_point: usize,
+    /// Tasks per system.
+    pub n_tasks: usize,
+    /// QPA budget for the exact test.
+    pub exact_budget: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E10Config {
+    fn default() -> Self {
+        E10Config {
+            m: 4,
+            steps: 20,
+            systems_per_point: 200,
+            n_tasks: 10,
+            exact_budget: 200_000,
+            seed: 1010,
+        }
+    }
+}
+
+/// One point of the ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E10Row {
+    /// Normalized utilization `U / m`.
+    pub normalized_utilization: f64,
+    /// Low-density systems generated.
+    pub generated: usize,
+    /// Accepted by the paper's `DBF*` first-fit.
+    pub approx_accepted: usize,
+    /// Accepted by the exact-EDF first-fit.
+    pub exact_accepted: usize,
+}
+
+/// Runs the ablation over low-density task sets.
+#[must_use]
+pub fn run(cfg: &E10Config) -> Vec<E10Row> {
+    let mut rows = Vec::new();
+    for step in 1..=cfg.steps {
+        let norm_u = step as f64 / cfg.steps as f64;
+        let gen_cfg = SystemConfig::new(cfg.n_tasks, norm_u * cfg.m as f64)
+            .with_max_task_utilization(0.95)
+            .with_tightness(DeadlineTightness::new(0.3, 1.0));
+        let mut row = E10Row {
+            normalized_utilization: norm_u,
+            generated: 0,
+            approx_accepted: 0,
+            exact_accepted: 0,
+        };
+        for i in 0..cfg.systems_per_point {
+            let seed = mix_seed(&[cfg.seed, step as u64, i as u64]);
+            let Some(raw) = gen_cfg.generate_seeded(seed) else {
+                continue;
+            };
+            // Keep the low-density subset: this ablation isolates the
+            // partitioning phase.
+            let system: TaskSystem = raw.into_iter().filter(DagTask::is_low_density).collect();
+            if system.is_empty() {
+                continue;
+            }
+            row.generated += 1;
+            let views: Vec<(TaskId, SequentialView)> = system
+                .iter()
+                .map(|(id, t)| (id, SequentialView::of(t)))
+                .collect();
+            if partition_first_fit(&views, cfg.m, PartitionConfig::approx()).is_ok() {
+                row.approx_accepted += 1;
+            }
+            if partition_first_fit(&views, cfg.m, PartitionConfig::exact(cfg.exact_budget))
+                .is_ok()
+            {
+                row.exact_accepted += 1;
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Renders E10 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E10Row], cfg: &E10Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E10 (ablation): DBF* vs exact-EDF first-fit acceptance, m = {}",
+            cfg.m
+        ),
+        ["U/m", "generated", "DBF* ratio", "exact-EDF ratio", "gap"],
+    );
+    for r in rows {
+        let g = r.generated.max(1) as f64;
+        let a = r.approx_accepted as f64 / g;
+        let e = r.exact_accepted as f64 / g;
+        t.push_row([
+            fmt3(r.normalized_utilization),
+            r.generated.to_string(),
+            fmt3(a),
+            fmt3(e),
+            fmt3(e - a),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> E10Config {
+        E10Config {
+            m: 3,
+            steps: 5,
+            systems_per_point: 25,
+            n_tasks: 8,
+            ..E10Config::default()
+        }
+    }
+
+    #[test]
+    fn exact_never_accepts_fewer_at_low_load_and_curves_decrease() {
+        let rows = run(&small());
+        assert_eq!(rows.len(), 5);
+        // At the lowest point both accept everything.
+        assert_eq!(rows[0].approx_accepted, rows[0].generated);
+        assert_eq!(rows[0].exact_accepted, rows[0].generated);
+        // Aggregate: exact acceptance ≥ approx acceptance (first-fit
+        // divergence could flip single systems, but not the aggregate).
+        let approx: usize = rows.iter().map(|r| r.approx_accepted).sum();
+        let exact: usize = rows.iter().map(|r| r.exact_accepted).sum();
+        assert!(exact >= approx, "exact {exact} < approx {approx}");
+    }
+
+    #[test]
+    fn gap_appears_under_load() {
+        // Somewhere in the sweep the exact test must accept systems the
+        // approximation rejects — that is the point of the ablation.
+        let cfg = E10Config {
+            steps: 8,
+            systems_per_point: 40,
+            ..small()
+        };
+        let rows = run(&cfg);
+        let gap: i64 = rows
+            .iter()
+            .map(|r| r.exact_accepted as i64 - r.approx_accepted as i64)
+            .sum();
+        assert!(gap > 0, "no acceptance gap observed");
+    }
+
+    #[test]
+    fn deterministic_and_renders() {
+        let a = run(&small());
+        assert_eq!(a, run(&small()));
+        let t = to_table(&a, &small());
+        assert_eq!(t.len(), a.len());
+        assert!(t.to_string().contains("exact-EDF"));
+    }
+}

@@ -1,0 +1,192 @@
+//! **E11 (ablation) — does the List-Scheduling priority list matter?**
+//!
+//! Graham's `(2 − 1/m)` bound holds for *any* list, so the paper leaves the
+//! priority order unspecified. Typical-case cluster sizes do depend on it:
+//! this ablation sizes random high-density tasks with `MINPROCS` under each
+//! [`PriorityPolicy`] and compares the processor counts — i.e. how much
+//! platform capacity a smarter list saves in practice.
+
+use fedsched_core::minprocs::min_procs;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use fedsched_gen::{Span, Topology, WcetRange};
+use fedsched_graham::list::PriorityPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration of the priority-policy ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E11Config {
+    /// Random high-density tasks to size.
+    pub trials: usize,
+    /// Cluster-size cap offered to `MINPROCS`.
+    pub max_processors: u32,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E11Config {
+    fn default() -> Self {
+        E11Config {
+            trials: 500,
+            max_processors: 64,
+            seed: 1111,
+        }
+    }
+}
+
+/// Aggregate sizing results for one priority policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E11Row {
+    /// The list-construction policy.
+    pub policy: PriorityPolicy,
+    /// Tasks successfully sized (same set for every policy).
+    pub sized: usize,
+    /// Mean cluster size.
+    pub mean_processors: f64,
+    /// Total processors across all tasks.
+    pub total_processors: u64,
+    /// Tasks where this policy needed strictly fewer processors than
+    /// [`PriorityPolicy::ListOrder`].
+    pub beats_list_order: usize,
+    /// Tasks where it needed strictly more.
+    pub loses_to_list_order: usize,
+}
+
+/// Runs the ablation.
+#[must_use]
+pub fn run(cfg: &E11Config) -> Vec<E11Row> {
+    let policies = [
+        PriorityPolicy::ListOrder,
+        PriorityPolicy::CriticalPathFirst,
+        PriorityPolicy::LongestWcetFirst,
+    ];
+    let topo = Topology::ErdosRenyi {
+        vertices: Span::new(10, 40),
+        edge_probability: 0.12,
+    };
+    // Per-policy cluster sizes, aligned by trial.
+    let mut sizes: Vec<Vec<u32>> = vec![Vec::new(); policies.len()];
+    for i in 0..cfg.trials {
+        let mut rng = StdRng::seed_from_u64(mix_seed(&[cfg.seed, i as u64]));
+        let dag = topo.generate(&mut rng, WcetRange::new(1, 20));
+        let len = dag.longest_chain().length.ticks();
+        let vol = dag.volume().ticks();
+        if vol == len {
+            continue;
+        }
+        let d = rng.gen_range(len..=vol);
+        let task = DagTask::new(dag, Duration::new(d), Duration::new(2 * d))
+            .expect("generated parameters are valid");
+        let per_policy: Vec<Option<u32>> = policies
+            .iter()
+            .map(|&p| min_procs(&task, cfg.max_processors, p).map(|r| r.processors))
+            .collect();
+        // Keep the trial only if every policy sized it (they almost always
+        // do; dropping keeps the comparison apples-to-apples).
+        if per_policy.iter().all(Option::is_some) {
+            for (k, s) in per_policy.into_iter().enumerate() {
+                sizes[k].push(s.expect("checked"));
+            }
+        }
+    }
+    policies
+        .iter()
+        .enumerate()
+        .map(|(k, &policy)| {
+            let n = sizes[k].len();
+            let total: u64 = sizes[k].iter().map(|&s| u64::from(s)).sum();
+            let beats = sizes[k]
+                .iter()
+                .zip(&sizes[0])
+                .filter(|(a, b)| a < b)
+                .count();
+            let loses = sizes[k]
+                .iter()
+                .zip(&sizes[0])
+                .filter(|(a, b)| a > b)
+                .count();
+            E11Row {
+                policy,
+                sized: n,
+                mean_processors: total as f64 / n.max(1) as f64,
+                total_processors: total,
+                beats_list_order: beats,
+                loses_to_list_order: loses,
+            }
+        })
+        .collect()
+}
+
+/// Renders E11 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E11Row]) -> Table {
+    let mut t = Table::new(
+        "E11 (ablation): MINPROCS cluster sizes per LS priority policy",
+        ["policy", "tasks", "mean procs", "total procs", "beats list-order", "loses"],
+    );
+    for r in rows {
+        t.push_row([
+            format!("{:?}", r.policy),
+            r.sized.to_string(),
+            fmt3(r.mean_processors),
+            r.total_processors.to_string(),
+            r.beats_list_order.to_string(),
+            r.loses_to_list_order.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> E11Config {
+        E11Config {
+            trials: 80,
+            ..E11Config::default()
+        }
+    }
+
+    #[test]
+    fn all_policies_size_the_same_tasks() {
+        let rows = run(&small());
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].sized > 0);
+        assert!(rows.iter().all(|r| r.sized == rows[0].sized));
+    }
+
+    #[test]
+    fn list_order_never_beats_itself() {
+        let rows = run(&small());
+        assert_eq!(rows[0].policy, PriorityPolicy::ListOrder);
+        assert_eq!(rows[0].beats_list_order, 0);
+        assert_eq!(rows[0].loses_to_list_order, 0);
+    }
+
+    #[test]
+    fn critical_path_first_is_no_worse_on_average() {
+        let rows = run(&small());
+        let cpf = rows
+            .iter()
+            .find(|r| r.policy == PriorityPolicy::CriticalPathFirst)
+            .unwrap();
+        assert!(
+            cpf.mean_processors <= rows[0].mean_processors + 0.05,
+            "CPF mean {} vs list-order {}",
+            cpf.mean_processors,
+            rows[0].mean_processors
+        );
+    }
+
+    #[test]
+    fn deterministic_and_renders() {
+        let a = run(&small());
+        assert_eq!(a, run(&small()));
+        assert_eq!(to_table(&a).len(), 3);
+    }
+}

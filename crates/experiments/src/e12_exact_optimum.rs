@@ -1,0 +1,189 @@
+//! **E12 (oracle study) — List Scheduling vs. the true optimum.**
+//!
+//! E5 measures Lemma 1 against computable *lower bounds* on the clairvoyant
+//! optimum; on small DAGs we can do better: compute the exact minimum
+//! makespan by branch-and-bound and report the genuine `LS / OPT` ratio
+//! distribution per processor count and priority policy. Graham's bound
+//! says the ratio never exceeds `2 − 1/m`; this experiment shows where the
+//! real ratios sit and how often LS is *exactly* optimal.
+
+use fedsched_gen::{Span, Topology, WcetRange};
+use fedsched_graham::list::{list_schedule_with, PriorityPolicy};
+use fedsched_graham::optimal::optimal_makespan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration for the exact-optimum study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E12Config {
+    /// Random DAGs per (m, policy) cell.
+    pub trials: usize,
+    /// Processor counts.
+    pub m_values: Vec<u32>,
+    /// Vertices per DAG (kept small: the solver is exponential).
+    pub vertices: Span,
+    /// Branch-and-bound node budget per instance.
+    pub node_budget: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E12Config {
+    fn default() -> Self {
+        E12Config {
+            trials: 300,
+            m_values: vec![2, 3, 4],
+            vertices: Span::new(6, 11),
+            node_budget: 5_000_000,
+            seed: 1212,
+        }
+    }
+}
+
+/// Aggregate ratios for one (m, policy) cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E12Row {
+    /// Processor count.
+    pub m: u32,
+    /// The LS priority policy.
+    pub policy: PriorityPolicy,
+    /// Instances where the optimum was proved (budget not exhausted).
+    pub solved: usize,
+    /// Fraction of solved instances where LS was exactly optimal.
+    pub optimal_fraction: f64,
+    /// Mean `LS / OPT` ratio.
+    pub mean_ratio: f64,
+    /// Worst observed `LS / OPT` ratio.
+    pub max_ratio: f64,
+    /// Graham's bound `2 − 1/m`.
+    pub bound: f64,
+}
+
+/// Runs the study.
+///
+/// # Panics
+///
+/// Panics if any observed ratio exceeds Graham's bound (a bug, not a
+/// finding).
+#[must_use]
+pub fn run(cfg: &E12Config) -> Vec<E12Row> {
+    let topo = Topology::ErdosRenyi {
+        vertices: cfg.vertices,
+        edge_probability: 0.25,
+    };
+    let policies = [PriorityPolicy::ListOrder, PriorityPolicy::CriticalPathFirst];
+    let mut rows = Vec::new();
+    for &m in &cfg.m_values {
+        // Share instances (and their optima) across policies.
+        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+        for i in 0..cfg.trials {
+            let mut rng = StdRng::seed_from_u64(mix_seed(&[cfg.seed, u64::from(m), i as u64]));
+            let dag = topo.generate(&mut rng, WcetRange::new(1, 9));
+            let opt = optimal_makespan(&dag, m, cfg.node_budget);
+            if !opt.is_exact() {
+                continue;
+            }
+            let opt = opt.value().ticks() as f64;
+            for (k, &policy) in policies.iter().enumerate() {
+                let ls = list_schedule_with(&dag, m, policy).makespan().ticks() as f64;
+                let ratio = ls / opt;
+                let bound = 2.0 - 1.0 / f64::from(m);
+                assert!(
+                    ratio <= bound + 1e-9,
+                    "Graham ratio violated: {ratio} > {bound}"
+                );
+                ratios[k].push(ratio);
+            }
+        }
+        for (k, &policy) in policies.iter().enumerate() {
+            let rs = &ratios[k];
+            let solved = rs.len();
+            let optimal = rs.iter().filter(|&&r| r <= 1.0 + 1e-12).count();
+            rows.push(E12Row {
+                m,
+                policy,
+                solved,
+                optimal_fraction: optimal as f64 / solved.max(1) as f64,
+                mean_ratio: rs.iter().sum::<f64>() / solved.max(1) as f64,
+                max_ratio: rs.iter().copied().fold(0.0, f64::max),
+                bound: 2.0 - 1.0 / f64::from(m),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders E12 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E12Row]) -> Table {
+    let mut t = Table::new(
+        "E12 (oracle): LS makespan vs exact optimum on small DAGs",
+        ["m", "policy", "solved", "LS optimal", "mean LS/OPT", "max LS/OPT", "bound 2−1/m"],
+    );
+    for r in rows {
+        t.push_row([
+            r.m.to_string(),
+            format!("{:?}", r.policy),
+            r.solved.to_string(),
+            fmt3(r.optimal_fraction),
+            fmt3(r.mean_ratio),
+            fmt3(r.max_ratio),
+            fmt3(r.bound),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> E12Config {
+        E12Config {
+            trials: 40,
+            m_values: vec![2, 3],
+            vertices: Span::new(5, 8),
+            node_budget: 2_000_000,
+            ..E12Config::default()
+        }
+    }
+
+    #[test]
+    fn ratios_respect_graham_bound_and_ls_is_often_optimal() {
+        let rows = run(&small());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.solved > 20, "solver should handle small instances");
+            assert!(r.max_ratio <= r.bound + 1e-9);
+            assert!(r.mean_ratio >= 1.0 - 1e-12);
+            // LS hits the optimum on a solid majority of small DAGs.
+            assert!(r.optimal_fraction > 0.5, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn critical_path_first_at_least_matches_list_order() {
+        let rows = run(&small());
+        for m in [2u32, 3] {
+            let lo = rows
+                .iter()
+                .find(|r| r.m == m && r.policy == PriorityPolicy::ListOrder)
+                .unwrap();
+            let cpf = rows
+                .iter()
+                .find(|r| r.m == m && r.policy == PriorityPolicy::CriticalPathFirst)
+                .unwrap();
+            assert!(cpf.mean_ratio <= lo.mean_ratio + 0.02, "m={m}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_renders() {
+        let a = run(&small());
+        assert_eq!(a, run(&small()));
+        assert_eq!(to_table(&a).len(), a.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! **E14 — deadline tightness: the dimension the paper adds.**
+//!
+//! The paper's whole point is handling `D < T`. This experiment fixes the
+//! platform and utilization and sweeps how tight the deadlines are drawn
+//! within `[len, T]` (tightness fraction 0 = deadlines hug the critical
+//! path, 1 = implicit deadlines). As deadlines tighten, densities grow,
+//! low-density tasks migrate into the high-density class (costing dedicated
+//! processors), and acceptance falls — quantifying the price of deadline
+//! constraint that the implicit-deadline algorithm of \[17\] never faces.
+
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::DeadlineTightness;
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration of the tightness sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E14Config {
+    /// Platform size.
+    pub m: u32,
+    /// Normalized utilization (fixed across the sweep).
+    pub normalized_utilization: f64,
+    /// Number of tightness steps in `\[0, 1\]`.
+    pub steps: usize,
+    /// Systems per step.
+    pub systems_per_point: usize,
+    /// Tasks per system.
+    pub n_tasks: usize,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E14Config {
+    fn default() -> Self {
+        E14Config {
+            m: 8,
+            normalized_utilization: 0.5,
+            steps: 10,
+            systems_per_point: 200,
+            n_tasks: 8,
+            seed: 1414,
+        }
+    }
+}
+
+/// One tightness point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E14Row {
+    /// Centre of the tightness band used at this point.
+    pub tightness: f64,
+    /// Systems generated.
+    pub generated: usize,
+    /// Accepted by FEDCONS.
+    pub accepted: usize,
+    /// Mean fraction of tasks that were high-density.
+    pub mean_high_density_fraction: f64,
+    /// Mean processors consumed by dedicated clusters in accepted systems.
+    pub mean_dedicated: f64,
+}
+
+/// Runs the sweep, from implicit deadlines (tightness 1) down to
+/// chain-hugging ones (tightness 0).
+#[must_use]
+pub fn run(cfg: &E14Config) -> Vec<E14Row> {
+    let mut rows = Vec::new();
+    for step in 0..cfg.steps {
+        // A narrow band centred on the step's fraction, swept from loose
+        // to tight.
+        let hi = 1.0 - step as f64 / cfg.steps as f64;
+        let lo = (hi - 1.0 / cfg.steps as f64).max(0.0);
+        let gen_cfg = SystemConfig::new(
+            cfg.n_tasks,
+            cfg.normalized_utilization * f64::from(cfg.m),
+        )
+        .with_max_task_utilization(1.2)
+        .with_tightness(DeadlineTightness::new(lo, hi));
+        let mut generated = 0usize;
+        let mut accepted = 0usize;
+        let mut high_fraction_sum = 0.0f64;
+        let mut dedicated_sum = 0u64;
+        for i in 0..cfg.systems_per_point {
+            let seed = mix_seed(&[cfg.seed, step as u64, i as u64]);
+            let Some(system) = gen_cfg.generate_seeded(seed) else {
+                continue;
+            };
+            generated += 1;
+            high_fraction_sum +=
+                system.high_density_ids().len() as f64 / system.len() as f64;
+            if let Ok(schedule) = fedcons(&system, cfg.m, FedConsConfig::default()) {
+                accepted += 1;
+                dedicated_sum += u64::from(schedule.shared_first());
+            }
+        }
+        rows.push(E14Row {
+            tightness: (lo + hi) / 2.0,
+            generated,
+            accepted,
+            mean_high_density_fraction: high_fraction_sum / generated.max(1) as f64,
+            mean_dedicated: dedicated_sum as f64 / accepted.max(1) as f64,
+        });
+    }
+    rows
+}
+
+/// Renders E14 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E14Row], cfg: &E14Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E14: deadline tightness sweep (m = {}, U/m = {})",
+            cfg.m, cfg.normalized_utilization
+        ),
+        ["D tightness", "generated", "accepted", "ratio", "high-δ fraction", "mean dedicated procs"],
+    );
+    for r in rows {
+        t.push_row([
+            fmt3(r.tightness),
+            r.generated.to_string(),
+            r.accepted.to_string(),
+            fmt3(r.accepted as f64 / r.generated.max(1) as f64),
+            fmt3(r.mean_high_density_fraction),
+            fmt3(r.mean_dedicated),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> E14Config {
+        E14Config {
+            m: 4,
+            steps: 5,
+            systems_per_point: 30,
+            n_tasks: 6,
+            ..E14Config::default()
+        }
+    }
+
+    #[test]
+    fn tighter_deadlines_mean_more_high_density_tasks() {
+        let rows = run(&small());
+        assert_eq!(rows.len(), 5);
+        // Rows go loose → tight; the high-density fraction must rise.
+        assert!(
+            rows.last().unwrap().mean_high_density_fraction
+                > rows[0].mean_high_density_fraction
+        );
+        // Implicit-ish deadlines with U/m = 0.5 and u ≤ 1.2: nearly no
+        // high-density tasks.
+        assert!(rows[0].mean_high_density_fraction < 0.15);
+    }
+
+    #[test]
+    fn acceptance_degrades_as_deadlines_tighten() {
+        let rows = run(&small());
+        let loose = rows[0].accepted as f64 / rows[0].generated.max(1) as f64;
+        let tight =
+            rows.last().unwrap().accepted as f64 / rows.last().unwrap().generated.max(1) as f64;
+        assert!(loose > tight, "loose {loose} vs tight {tight}");
+        assert!(loose > 0.9);
+    }
+
+    #[test]
+    fn deterministic_and_renders() {
+        let a = run(&small());
+        assert_eq!(a, run(&small()));
+        let t = to_table(&a, &small());
+        assert_eq!(t.len(), a.len());
+    }
+}

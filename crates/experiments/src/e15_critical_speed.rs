@@ -1,0 +1,204 @@
+//! **E15 — critical-speed distribution (sensitivity analysis).**
+//!
+//! For each random system, the *critical speed* is the minimum processor
+//! speed at which FEDCONS first accepts it on a fixed platform — the
+//! speedup-metric (Definition 1) turned into a per-system sensitivity
+//! measure, directly comparable across topologies. Values ≤ 1 mean the
+//! system is accepted as-is with margin; the distribution's upper tail
+//! shows how far typical systems sit from the `3 − 1/m` worst case.
+
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_core::speedup::required_speed;
+use fedsched_dag::system::TaskSystem;
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::{DeadlineTightness, Span, Topology};
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration of the critical-speed study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E15Config {
+    /// Platform size.
+    pub m: u32,
+    /// Normalized utilization of the generated systems.
+    pub normalized_utilization: f64,
+    /// Systems per topology.
+    pub systems_per_topology: usize,
+    /// Tasks per system.
+    pub n_tasks: usize,
+    /// Speed grid denominator.
+    pub grid: u32,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E15Config {
+    fn default() -> Self {
+        E15Config {
+            m: 8,
+            normalized_utilization: 0.6,
+            systems_per_topology: 100,
+            n_tasks: 8,
+            grid: 32,
+            seed: 1515,
+        }
+    }
+}
+
+/// Distribution summary for one topology family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E15Row {
+    /// Topology label.
+    pub topology: String,
+    /// Systems measured.
+    pub measured: usize,
+    /// Fraction whose critical speed is ≤ 1 (accepted as generated).
+    pub accepted_at_unit_speed: f64,
+    /// Median critical speed.
+    pub median_speed: f64,
+    /// 90th-percentile critical speed.
+    pub p90_speed: f64,
+    /// Maximum observed critical speed.
+    pub max_speed: f64,
+}
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        (
+            "layered",
+            Topology::Layered {
+                layers: Span::new(2, 5),
+                width: Span::new(1, 5),
+                edge_probability: 0.3,
+            },
+        ),
+        (
+            "erdos-renyi",
+            Topology::ErdosRenyi {
+                vertices: Span::new(5, 20),
+                edge_probability: 0.2,
+            },
+        ),
+        (
+            "fork-join",
+            Topology::NestedForkJoin {
+                depth: Span::new(1, 3),
+                branching: Span::new(2, 3),
+            },
+        ),
+        (
+            "series-parallel",
+            Topology::SeriesParallel {
+                operations: Span::new(3, 12),
+            },
+        ),
+    ]
+}
+
+/// Runs the study across the four topology families.
+#[must_use]
+pub fn run(cfg: &E15Config) -> Vec<E15Row> {
+    let mut rows = Vec::new();
+    for (name, topo) in topologies() {
+        let gen_cfg = SystemConfig::new(
+            cfg.n_tasks,
+            cfg.normalized_utilization * f64::from(cfg.m),
+        )
+        .with_max_task_utilization(1.5)
+        .with_topology(topo)
+        .with_tightness(DeadlineTightness::new(0.2, 1.0));
+        let mut speeds: Vec<f64> = Vec::new();
+        for i in 0..cfg.systems_per_topology {
+            let seed = mix_seed(&[cfg.seed, i as u64]);
+            let Some(system) = gen_cfg.generate_seeded(seed) else {
+                continue;
+            };
+            let accepts = |s: &TaskSystem| fedcons(s, cfg.m, FedConsConfig::default()).is_ok();
+            if let Some(speed) = required_speed(&system, accepts, cfg.grid, 4) {
+                speeds.push(speed.to_f64());
+            }
+        }
+        speeds.sort_by(f64::total_cmp);
+        let n = speeds.len();
+        let pct = |q: f64| {
+            if n == 0 {
+                f64::NAN
+            } else {
+                speeds[((n as f64 - 1.0) * q).round() as usize]
+            }
+        };
+        rows.push(E15Row {
+            topology: name.to_owned(),
+            measured: n,
+            accepted_at_unit_speed: speeds.iter().filter(|&&s| s <= 1.0).count() as f64
+                / n.max(1) as f64,
+            median_speed: pct(0.5),
+            p90_speed: pct(0.9),
+            max_speed: speeds.last().copied().unwrap_or(f64::NAN),
+        });
+    }
+    rows
+}
+
+/// Renders E15 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E15Row], cfg: &E15Config) -> Table {
+    let bound = 3.0 - 1.0 / f64::from(cfg.m);
+    let mut t = Table::new(
+        format!(
+            "E15: critical-speed distribution by topology (m = {}, U/m = {}, Thm-1 bound {bound:.3})",
+            cfg.m, cfg.normalized_utilization
+        ),
+        ["topology", "systems", "≤ 1.0", "median", "p90", "max"],
+    );
+    for r in rows {
+        t.push_row([
+            r.topology.clone(),
+            r.measured.to_string(),
+            fmt3(r.accepted_at_unit_speed),
+            fmt3(r.median_speed),
+            fmt3(r.p90_speed),
+            fmt3(r.max_speed),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> E15Config {
+        E15Config {
+            m: 4,
+            systems_per_topology: 15,
+            n_tasks: 6,
+            grid: 8,
+            ..E15Config::default()
+        }
+    }
+
+    #[test]
+    fn distributions_are_sane() {
+        let rows = run(&small());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.measured > 10, "{}: {}", r.topology, r.measured);
+            assert!(r.median_speed <= r.p90_speed);
+            assert!(r.p90_speed <= r.max_speed);
+            // Typical systems at U/m = 0.6 sit far under the 3 − 1/m bound.
+            assert!(r.max_speed < 3.0 - 1.0 / 4.0);
+            assert!(r.accepted_at_unit_speed > 0.2, "{}", r.topology);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_renders() {
+        let a = run(&small());
+        assert_eq!(a, run(&small()));
+        let t = to_table(&a, &small());
+        assert_eq!(t.len(), 4);
+        assert!(t.title.contains("bound 2.750"));
+    }
+}

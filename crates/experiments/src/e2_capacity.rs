@@ -1,0 +1,111 @@
+//! **E2 — Example 2: capacity augmentation bounds are unbounded.**
+//!
+//! The paper's Example 2 constructs, for every `n`, a system with
+//! `U_sum = 1` and `len_i ≤ D_i` that nevertheless needs a speed-`n`
+//! processor. This experiment quantifies it: for growing `n` we report the
+//! exact demand load and the measured speed at which FEDCONS (or any
+//! algorithm — the load is a lower bound for all of them) first accepts the
+//! system on a single processor. The required speed grows linearly in `n`;
+//! no finite capacity augmentation bound can exist.
+
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_core::feasibility::demand_load;
+use fedsched_core::speedup::required_speed;
+use fedsched_dag::examples::paper_example2;
+use fedsched_dag::system::TaskSystem;
+
+use crate::common::fmt3;
+use crate::table::Table;
+
+/// One row of the E2 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E2Row {
+    /// Number of tasks `n` in the Example-2 system.
+    pub n: u32,
+    /// Total utilization (always exactly 1).
+    pub utilization: f64,
+    /// Exact demand load — the necessary speed for *any* scheduler on one
+    /// processor.
+    pub load: f64,
+    /// Measured speed at which FEDCONS first accepts on one processor.
+    pub fedcons_speed: f64,
+}
+
+/// Runs E2 for `n = 1, 2, 4, …, 2^max_pow`.
+///
+/// # Panics
+///
+/// Panics if the internal speed search fails (cannot happen: speed `n`
+/// always suffices and is within the search range).
+#[must_use]
+pub fn run(max_pow: u32) -> Vec<E2Row> {
+    (0..=max_pow)
+        .map(|p| {
+            let n = 1u32 << p;
+            let system = paper_example2(n);
+            let load = demand_load(&system, 1_000_000).to_f64();
+            let accepts = |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
+            let speed = required_speed(&system, accepts, 1, n.max(1))
+                .expect("speed n always suffices")
+                .to_f64();
+            E2Row {
+                n,
+                utilization: system.total_utilization().to_f64(),
+                load,
+                fedcons_speed: speed,
+            }
+        })
+        .collect()
+}
+
+/// Renders E2 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E2Row]) -> Table {
+    let mut t = Table::new(
+        "E2: Example 2 — required speed grows without bound (capacity augmentation is meaningless)",
+        ["n", "U_sum", "load (necessary speed)", "FEDCONS speed on 1 proc"],
+    );
+    for r in rows {
+        t.push_row([
+            r.n.to_string(),
+            fmt3(r.utilization),
+            fmt3(r.load),
+            fmt3(r.fedcons_speed),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_speed_is_exactly_n() {
+        let rows = run(4);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert_eq!(r.utilization, 1.0);
+            assert_eq!(r.load, f64::from(r.n));
+            assert_eq!(r.fedcons_speed, f64::from(r.n));
+        }
+    }
+
+    #[test]
+    fn growth_is_unbounded_in_n() {
+        let rows = run(6);
+        for w in rows.windows(2) {
+            assert!(w[1].fedcons_speed > w[0].fedcons_speed);
+        }
+        assert_eq!(rows.last().unwrap().fedcons_speed, 64.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = to_table(&run(2));
+        assert_eq!(t.len(), 3);
+        let s = t.to_string();
+        assert!(s.contains("E2"));
+        assert!(s.contains("4.000"));
+    }
+}

@@ -1,0 +1,218 @@
+//! **E4 — baseline comparison** (the Section III "A note" discussion made
+//! quantitative): on implicit-deadline systems, FEDCONS coincides with the
+//! Li et al. federated algorithm in spirit; on constrained-deadline systems
+//! only FEDCONS and the sequentialising global-EDF density test apply, and
+//! FEDCONS should dominate whenever parallelism matters.
+
+use fedsched_core::baselines::{global_edf_density_test, global_edf_li_test, li_federated};
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::{DeadlineTightness, Span, Topology};
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration for the baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E4Config {
+    /// Platform size.
+    pub m: u32,
+    /// Normalized-utilization steps in `(0, 1]`.
+    pub steps: usize,
+    /// Systems per point.
+    pub systems_per_point: usize,
+    /// Tasks per system.
+    pub n_tasks: usize,
+    /// Per-task utilization cap.
+    pub max_task_utilization: f64,
+    /// Use implicit deadlines (`true`: all four tests apply) or constrained
+    /// (`false`: the implicit-only baselines are reported as 0).
+    pub implicit: bool,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E4Config {
+    fn default() -> Self {
+        E4Config {
+            m: 8,
+            steps: 20,
+            systems_per_point: 200,
+            n_tasks: 8,
+            max_task_utilization: 2.0,
+            implicit: true,
+            seed: 44,
+        }
+    }
+}
+
+/// One point of the comparison: acceptance counts for each algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E4Row {
+    /// Normalized utilization `U_sum / m`.
+    pub normalized_utilization: f64,
+    /// Systems generated.
+    pub generated: usize,
+    /// Accepted by FEDCONS.
+    pub fedcons: usize,
+    /// Accepted by Li et al. federated (implicit-deadline systems only).
+    pub li_federated: usize,
+    /// Accepted by the Li et al. global-EDF capacity test.
+    pub global_edf_li: usize,
+    /// Accepted by the sequentialising global-EDF density test.
+    pub global_edf_density: usize,
+}
+
+/// Runs the comparison sweep.
+#[must_use]
+pub fn run(cfg: &E4Config) -> Vec<E4Row> {
+    let tightness = if cfg.implicit {
+        DeadlineTightness::implicit()
+    } else {
+        DeadlineTightness::new(0.3, 0.9)
+    };
+    let topology = Topology::Layered {
+        layers: Span::new(2, 5),
+        width: Span::new(1, 5),
+        edge_probability: 0.3,
+    };
+    let mut rows = Vec::new();
+    for step in 1..=cfg.steps {
+        let norm_u = step as f64 / cfg.steps as f64;
+        let gen_cfg = SystemConfig::new(cfg.n_tasks, norm_u * f64::from(cfg.m))
+            .with_max_task_utilization(cfg.max_task_utilization)
+            .with_topology(topology)
+            .with_tightness(tightness);
+        let mut row = E4Row {
+            normalized_utilization: norm_u,
+            generated: 0,
+            fedcons: 0,
+            li_federated: 0,
+            global_edf_li: 0,
+            global_edf_density: 0,
+        };
+        for i in 0..cfg.systems_per_point {
+            let seed = mix_seed(&[cfg.seed, step as u64, i as u64]);
+            let Some(system) = gen_cfg.generate_seeded(seed) else {
+                continue;
+            };
+            row.generated += 1;
+            if fedcons(&system, cfg.m, FedConsConfig::default()).is_ok() {
+                row.fedcons += 1;
+            }
+            if li_federated(&system, cfg.m).is_ok() {
+                row.li_federated += 1;
+            }
+            if global_edf_li_test(&system, cfg.m) {
+                row.global_edf_li += 1;
+            }
+            if global_edf_density_test(&system, cfg.m) {
+                row.global_edf_density += 1;
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Renders E4 rows as a table of acceptance ratios.
+#[must_use]
+pub fn to_table(rows: &[E4Row], cfg: &E4Config) -> Table {
+    let kind = if cfg.implicit { "implicit" } else { "constrained" };
+    let mut t = Table::new(
+        format!(
+            "E4: acceptance ratios, FEDCONS vs baselines ({kind}-deadline, m = {})",
+            cfg.m
+        ),
+        ["U/m", "generated", "FEDCONS", "Li-federated", "GEDF-Li", "GEDF-density"],
+    );
+    for r in rows {
+        let ratio = |a: usize| {
+            if r.generated == 0 {
+                "0.000".to_owned()
+            } else {
+                fmt3(a as f64 / r.generated as f64)
+            }
+        };
+        t.push_row([
+            fmt3(r.normalized_utilization),
+            r.generated.to_string(),
+            ratio(r.fedcons),
+            ratio(r.li_federated),
+            ratio(r.global_edf_li),
+            ratio(r.global_edf_density),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(implicit: bool) -> E4Config {
+        E4Config {
+            m: 4,
+            steps: 4,
+            systems_per_point: 25,
+            n_tasks: 6,
+            implicit,
+            ..E4Config::default()
+        }
+    }
+
+    #[test]
+    fn implicit_comparison_shapes() {
+        let cfg = small(true);
+        let rows = run(&cfg);
+        assert_eq!(rows.len(), 4);
+        let total =
+            |f: fn(&E4Row) -> usize| rows.iter().map(f).sum::<usize>() as f64;
+        let gen: f64 = total(|r| r.generated);
+        assert!(gen > 0.0);
+        // Federated algorithms accept more than the conservative global-EDF
+        // capacity test overall.
+        assert!(total(|r| r.fedcons) >= total(|r| r.global_edf_li));
+        // At the lowest utilization point everything reasonable accepts.
+        assert!(rows[0].fedcons as f64 / rows[0].generated as f64 > 0.9);
+    }
+
+    #[test]
+    fn constrained_mode_disables_li_baselines() {
+        let cfg = small(false);
+        let rows = run(&cfg);
+        for r in &rows {
+            assert_eq!(r.li_federated, 0, "Li federated is implicit-only");
+            assert_eq!(r.global_edf_li, 0, "GEDF-Li is implicit-only");
+        }
+        // FEDCONS still accepts plenty at low utilization.
+        assert!(rows[0].fedcons > 0);
+    }
+
+    #[test]
+    fn fedcons_dominates_density_baseline_with_high_density_tasks() {
+        // High per-task utilization cap + tight deadlines produce δ > 1
+        // tasks that the sequentialising baseline can never accept.
+        let cfg = E4Config {
+            m: 8,
+            steps: 2,
+            systems_per_point: 30,
+            n_tasks: 4,
+            max_task_utilization: 3.0,
+            implicit: false,
+            seed: 9,
+        };
+        let rows = run(&cfg);
+        let fed: usize = rows.iter().map(|r| r.fedcons).sum();
+        let dens: usize = rows.iter().map(|r| r.global_edf_density).sum();
+        assert!(fed > dens, "FEDCONS {fed} vs density {dens}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let cfg = small(true);
+        let t = to_table(&run(&cfg), &cfg);
+        assert_eq!(t.len(), 4);
+        assert!(t.to_string().contains("FEDCONS"));
+    }
+}

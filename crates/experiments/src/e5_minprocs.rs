@@ -1,0 +1,186 @@
+//! **E5 — Lemma 1 empirically:** the speedup List Scheduling needs over a
+//! clairvoyant scheduler for a single high-density DAG never exceeds
+//! `2 − 1/m`.
+//!
+//! For each random high-density task we compute the *optimal* processor
+//! lower bound `m_lb = ⌈vol / D⌉` (no scheduler meets the deadline on fewer
+//! unit-speed processors, since `max(len, vol/m) ≤ D` is necessary), then
+//! binary-search the smallest processor speed at which `MINPROCS` fits the
+//! task on exactly `m_lb` processors. Lemma 1 promises that speed is at
+//! most `2 − 1/m_lb`; the experiment reports the measured distribution,
+//! which sits far below the bound.
+
+use fedsched_core::minprocs::min_procs;
+use fedsched_core::speedup::required_speed;
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use fedsched_gen::{Span, Topology, WcetRange};
+use fedsched_graham::list::PriorityPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration for the MINPROCS speedup study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E5Config {
+    /// Number of random high-density tasks.
+    pub trials: usize,
+    /// DAG topology family.
+    pub topology: Topology,
+    /// Vertex WCET range.
+    pub wcet: WcetRange,
+    /// Speed-search grid denominator.
+    pub grid: u32,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E5Config {
+    fn default() -> Self {
+        E5Config {
+            trials: 500,
+            topology: Topology::ErdosRenyi {
+                vertices: Span::new(8, 30),
+                edge_probability: 0.15,
+            },
+            wcet: WcetRange::new(1, 20),
+            grid: 64,
+            seed: 55,
+        }
+    }
+}
+
+/// Aggregated measurements for one optimal-processor-count bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E5Row {
+    /// The lower-bound processor count `m_lb` of this bucket.
+    pub m_lb: u32,
+    /// Trials that landed in the bucket.
+    pub trials: usize,
+    /// Mean measured speedup.
+    pub mean_speed: f64,
+    /// Maximum measured speedup.
+    pub max_speed: f64,
+    /// Lemma 1 bound `2 − 1/m_lb`.
+    pub bound: f64,
+}
+
+/// Runs the study. Every measured speed is checked against Lemma 1; a
+/// violation would be a bug in the implementation, so it panics loudly.
+///
+/// # Panics
+///
+/// Panics if any measured speedup exceeds `2 − 1/m_lb` — i.e. if Lemma 1
+/// were violated.
+#[must_use]
+pub fn run(cfg: &E5Config) -> Vec<E5Row> {
+    let mut buckets: std::collections::BTreeMap<u32, Vec<f64>> = std::collections::BTreeMap::new();
+    for i in 0..cfg.trials {
+        let mut rng = StdRng::seed_from_u64(mix_seed(&[cfg.seed, i as u64]));
+        let dag = cfg.topology.generate(&mut rng, cfg.wcet);
+        let len = dag.longest_chain().length.ticks();
+        let vol = dag.volume().ticks();
+        if vol == len {
+            continue; // a pure chain: m_lb = 1 and LS is optimal; skip
+        }
+        // D uniform in [len, vol] makes the task high-density (δ ≥ 1).
+        let d = rng.gen_range(len..=vol);
+        let t = d + rng.gen_range(0..=d);
+        let task = DagTask::new(dag, Duration::new(d), Duration::new(t))
+            .expect("generated parameters are valid");
+        let m_lb = u32::try_from(vol.div_ceil(d)).expect("fits u32").max(1);
+        let system: TaskSystem = [task].into_iter().collect();
+        let accepts = |s: &TaskSystem| {
+            min_procs(&s.tasks()[0], m_lb, PriorityPolicy::ListOrder).is_some()
+        };
+        let speed = required_speed(&system, accepts, cfg.grid, 3)
+            .expect("speed 2 − 1/m always suffices by Lemma 1")
+            .to_f64();
+        let bound = 2.0 - 1.0 / f64::from(m_lb);
+        assert!(
+            speed <= bound + 1e-9,
+            "Lemma 1 violated: speed {speed} > bound {bound} (m_lb = {m_lb})"
+        );
+        buckets.entry(m_lb).or_default().push(speed);
+    }
+    buckets
+        .into_iter()
+        .map(|(m_lb, speeds)| {
+            let n = speeds.len();
+            let mean = speeds.iter().sum::<f64>() / n as f64;
+            let max = speeds.iter().copied().fold(0.0, f64::max);
+            E5Row {
+                m_lb,
+                trials: n,
+                mean_speed: mean,
+                max_speed: max,
+                bound: 2.0 - 1.0 / f64::from(m_lb),
+            }
+        })
+        .collect()
+}
+
+/// Renders E5 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E5Row]) -> Table {
+    let mut t = Table::new(
+        "E5: measured MINPROCS speedup vs the Lemma 1 bound (2 − 1/m)",
+        ["m_lb", "trials", "mean speed", "max speed", "bound 2−1/m"],
+    );
+    for r in rows {
+        t.push_row([
+            r.m_lb.to_string(),
+            r.trials.to_string(),
+            fmt3(r.mean_speed),
+            fmt3(r.max_speed),
+            fmt3(r.bound),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> E5Config {
+        E5Config {
+            trials: 60,
+            ..E5Config::default()
+        }
+    }
+
+    #[test]
+    fn all_measurements_respect_lemma_one() {
+        // `run` itself asserts the bound; surviving is the test.
+        let rows = run(&small());
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.max_speed <= r.bound + 1e-9);
+            assert!(r.mean_speed <= r.max_speed + 1e-12);
+            assert!(r.trials > 0);
+        }
+    }
+
+    #[test]
+    fn typical_speed_is_well_below_bound() {
+        let rows = run(&small());
+        let overall_mean: f64 =
+            rows.iter().map(|r| r.mean_speed * r.trials as f64).sum::<f64>()
+                / rows.iter().map(|r| r.trials as f64).sum::<f64>();
+        // The paper's point: typical behaviour beats the worst case by far.
+        assert!(overall_mean < 1.6, "mean measured speed {overall_mean}");
+    }
+
+    #[test]
+    fn deterministic_and_renders() {
+        let a = run(&small());
+        let b = run(&small());
+        assert_eq!(a, b);
+        let t = to_table(&a);
+        assert_eq!(t.len(), a.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! **E7 — runtime validation:** every FEDCONS-admitted system executes with
+//! zero deadline misses in the discrete-event runtime, under worst-case
+//! (periodic, WCET) and relaxed (sporadic, early-completion) conditions.
+//!
+//! This closes the loop between the offline analysis (Figs. 2–4) and the
+//! run-time system the paper describes in Section IV — including the
+//! footnote-2 requirement that clusters replay templates rather than
+//! re-running the scheduler.
+
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_dag::time::Duration;
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::DeadlineTightness;
+use fedsched_graham::list::PriorityPolicy;
+use fedsched_sim::federated::{simulate_federated, ClusterDispatch};
+use fedsched_sim::model::{ArrivalModel, ExecutionModel, SimConfig};
+
+use crate::common::{fmt3, mix_seed};
+use crate::table::Table;
+
+/// Configuration for the runtime validation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E7Config {
+    /// Platform size.
+    pub m: u32,
+    /// Normalized-utilization steps in `(0, 1]`.
+    pub steps: usize,
+    /// Systems per step.
+    pub systems_per_point: usize,
+    /// Tasks per system.
+    pub n_tasks: usize,
+    /// Simulation horizon per run (ticks).
+    pub horizon: u64,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for E7Config {
+    fn default() -> Self {
+        E7Config {
+            m: 8,
+            steps: 10,
+            systems_per_point: 30,
+            n_tasks: 8,
+            horizon: 100_000,
+            seed: 77,
+        }
+    }
+}
+
+/// One row: simulation volume at a utilization level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E7Row {
+    /// Normalized utilization.
+    pub normalized_utilization: f64,
+    /// Systems generated at this point.
+    pub generated: usize,
+    /// Systems FEDCONS admitted (and hence simulated).
+    pub admitted: usize,
+    /// Dag-jobs scored across both simulation modes.
+    pub jobs_scored: u64,
+    /// Deadline misses observed (must be zero).
+    pub misses: u64,
+}
+
+/// Runs the validation sweep.
+#[must_use]
+pub fn run(cfg: &E7Config) -> Vec<E7Row> {
+    let mut rows = Vec::new();
+    for step in 1..=cfg.steps {
+        let norm_u = step as f64 / cfg.steps as f64;
+        let gen_cfg = SystemConfig::new(cfg.n_tasks, norm_u * f64::from(cfg.m))
+            .with_max_task_utilization(1.5)
+            .with_tightness(DeadlineTightness::new(0.2, 1.0));
+        let mut row = E7Row {
+            normalized_utilization: norm_u,
+            generated: 0,
+            admitted: 0,
+            jobs_scored: 0,
+            misses: 0,
+        };
+        for i in 0..cfg.systems_per_point {
+            let seed = mix_seed(&[cfg.seed, step as u64, i as u64]);
+            let Some(system) = gen_cfg.generate_seeded(seed) else {
+                continue;
+            };
+            row.generated += 1;
+            let Ok(schedule) = fedcons(&system, cfg.m, FedConsConfig::default()) else {
+                continue;
+            };
+            row.admitted += 1;
+            let worst = SimConfig::worst_case(Duration::new(cfg.horizon));
+            let relaxed = SimConfig {
+                horizon: Duration::new(cfg.horizon),
+                arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.5 },
+                execution: ExecutionModel::UniformFraction { min_fraction: 0.3 },
+                seed,
+            };
+            for config in [worst, relaxed] {
+                let report = simulate_federated(
+                    &system,
+                    &schedule,
+                    config,
+                    ClusterDispatch::Template,
+                    PriorityPolicy::ListOrder,
+                );
+                row.jobs_scored += report.jobs_scored;
+                row.misses += report.miss_count() as u64;
+            }
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Renders E7 rows as a table.
+#[must_use]
+pub fn to_table(rows: &[E7Row]) -> Table {
+    let mut t = Table::new(
+        "E7: runtime validation — admitted systems execute without deadline misses",
+        ["U/m", "generated", "admitted", "jobs scored", "misses"],
+    );
+    for r in rows {
+        t.push_row([
+            fmt3(r.normalized_utilization),
+            r.generated.to_string(),
+            r.admitted.to_string(),
+            r.jobs_scored.to_string(),
+            r.misses.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> E7Config {
+        E7Config {
+            m: 4,
+            steps: 4,
+            systems_per_point: 6,
+            n_tasks: 5,
+            horizon: 20_000,
+            ..E7Config::default()
+        }
+    }
+
+    #[test]
+    fn no_admitted_system_ever_misses() {
+        let rows = run(&small());
+        let jobs: u64 = rows.iter().map(|r| r.jobs_scored).sum();
+        let misses: u64 = rows.iter().map(|r| r.misses).sum();
+        assert!(jobs > 500, "scored {jobs} jobs");
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn admission_rate_decreases_with_load() {
+        let rows = run(&small());
+        assert!(rows[0].admitted >= rows.last().unwrap().admitted);
+        assert!(rows[0].admitted > 0);
+    }
+
+    #[test]
+    fn renders() {
+        let rows = run(&small());
+        let t = to_table(&rows);
+        assert_eq!(t.len(), rows.len());
+        assert!(t.to_string().contains("misses"));
+    }
+}

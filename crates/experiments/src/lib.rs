@@ -1,0 +1,52 @@
+//! Experiment harness regenerating the evaluation of Baruah, DATE 2015.
+//!
+//! Each `eN_*` module reproduces one artifact of the paper (see DESIGN.md
+//! §3 for the full index):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`e2_capacity`] | Example 2 — capacity augmentation is unbounded |
+//! | [`e3_acceptance`] | Section IV "A note" — acceptance ratio vs `U/m` |
+//! | [`e4_baselines`] | Section III — comparison with Li-federated & global EDF |
+//! | [`e5_minprocs`] | Lemma 1 — measured LS speedup vs `2 − 1/m` |
+//! | [`e6_partition`] | Lemma 2 / Theorem 1 — measured partition speedup vs `3 − 1/m` |
+//! | [`e7_runtime`] | Section IV runtime — admitted systems never miss |
+//! | [`e8_anomaly`] | Footnote 2 — Graham's anomaly, offline and at runtime |
+//! | [`e10_partition_ablation`] | ablation: `DBF*` vs exact-EDF partitioning |
+//! | [`e11_policy_ablation`] | ablation: LS priority lists vs cluster sizes |
+//! | [`e12_exact_optimum`] | oracle: LS vs exact optimal makespan on small DAGs |
+//! | [`e13_global_sim`] | provable FEDCONS vs empirical global-EDF window |
+//! | [`e14_tightness`] | deadline-tightness sweep: the cost of `D < T` |
+//! | [`e15_critical_speed`] | critical-speed distributions by topology |
+//!
+//! Every experiment is deterministic given its config (seeds are mixed from
+//! the experiment seed and point coordinates), returns typed rows, and
+//! renders to both aligned text and CSV via [`table::Table`]. The
+//! `run_experiments` binary drives them all:
+//!
+//! ```text
+//! cargo run --release -p fedsched-experiments --bin run_experiments -- all
+//! cargo run --release -p fedsched-experiments --bin run_experiments -- e3 --quick
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod e2_capacity;
+pub mod e3_acceptance;
+pub mod e4_baselines;
+pub mod e5_minprocs;
+pub mod e6_partition;
+pub mod e7_runtime;
+pub mod e10_partition_ablation;
+pub mod e11_policy_ablation;
+pub mod e12_exact_optimum;
+pub mod e13_global_sim;
+pub mod e14_tightness;
+pub mod e15_critical_speed;
+pub mod e8_anomaly;
+pub mod table;
+
+pub use table::Table;

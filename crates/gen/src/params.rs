@@ -1,0 +1,344 @@
+//! Task-parameter generation: utilizations, periods and deadlines.
+//!
+//! The standard recipe of RT schedulability experiments:
+//!
+//! * per-task utilizations by **UUniFast** (Bini & Buttazzo, 2005) for an
+//!   unbiased uniform sample over the simplex `Σ uᵢ = U`, with the
+//!   **discard** variant when a per-task cap applies;
+//! * **log-uniform periods**, so task periods spread over orders of
+//!   magnitude as in real systems;
+//! * **constrained deadlines** drawn from `[len, T]`, parameterised by a
+//!   fraction range so experiments can sweep deadline tightness.
+
+use rand::Rng;
+
+/// Draws `n` utilizations summing to `total` with UUniFast.
+///
+/// The result is uniformly distributed over the standard simplex scaled to
+/// `total`. Individual values can exceed 1 when `total > 1` — that is how
+/// high-utilization (and with tight deadlines, high-density) tasks arise.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total <= 0`.
+pub fn uunifast<R: Rng + ?Sized>(rng: &mut R, n: usize, total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(total > 0.0, "total utilization must be positive");
+    let mut out = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let next = remaining * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        out.push(remaining - next);
+        remaining = next;
+    }
+    out.push(remaining);
+    out
+}
+
+/// UUniFast-Discard: resamples until every utilization is at most
+/// `max_each`. Returns `None` after `max_attempts` failed draws (the target
+/// may be infeasible, e.g. `total > n · max_each`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `total <= 0` or `max_each <= 0`.
+pub fn uunifast_discard<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    total: f64,
+    max_each: f64,
+    max_attempts: usize,
+) -> Option<Vec<f64>> {
+    assert!(max_each > 0.0, "per-task cap must be positive");
+    if total > max_each * n as f64 {
+        return None;
+    }
+    for _ in 0..max_attempts {
+        let candidate = uunifast(rng, n, total);
+        if candidate.iter().all(|&u| u <= max_each) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Log-uniform sample from `[min, max]`: `exp(U[ln min, ln max])`, rounded
+/// to an integer tick count.
+///
+/// # Panics
+///
+/// Panics if `min == 0` or `min > max`.
+pub fn log_uniform_period<R: Rng + ?Sized>(rng: &mut R, min: u64, max: u64) -> u64 {
+    assert!(min >= 1, "periods must be positive");
+    assert!(min <= max, "period minimum exceeds maximum");
+    if min == max {
+        return min;
+    }
+    let lo = (min as f64).ln();
+    let hi = (max as f64).ln();
+    let x = rng.gen_range(lo..=hi).exp().round() as u64;
+    x.clamp(min, max)
+}
+
+/// Rounds a period up to the *period grid*: the nearest value of the form
+/// `m · 2^k` with mantissa `16 ≤ m < 32` (values below 16 are kept as-is).
+///
+/// Restricting generated periods to this 4-bit-mantissa grid is the
+/// standard trick for keeping schedulability experiments tractable: the
+/// least common multiple of any set of grid periods divides
+/// `lcm(16..32) · 2^k_max`, so exact rational utilization sums stay small
+/// and simulator hyperperiods stay bounded — without visibly distorting a
+/// log-uniform period distribution (grid steps are under 7% apart).
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_gen::params::round_period_to_grid;
+///
+/// assert_eq!(round_period_to_grid(16), 16);
+/// assert_eq!(round_period_to_grid(33), 34);   // 17 · 2
+/// assert_eq!(round_period_to_grid(1000), 1024); // 16 · 64
+/// assert_eq!(round_period_to_grid(7), 7);     // below the grid: unchanged
+/// ```
+#[must_use]
+pub fn round_period_to_grid(t: u64) -> u64 {
+    if t < 16 {
+        return t.max(1);
+    }
+    // Smallest grid value ≥ t: shift t down to a 5-bit window, then round
+    // the mantissa up.
+    let bits = 64 - t.leading_zeros(); // t has `bits` significant bits
+    let k = bits - 5; // mantissa window [16, 32)
+    let mantissa = t >> k;
+    debug_assert!((16..32).contains(&mantissa));
+    if mantissa << k == t {
+        t
+    } else {
+        // 32 << k rolls over to 16 << (k+1): still a grid point. Saturate
+        // at the largest representable grid value for inputs near u64::MAX.
+        (mantissa + 1).checked_shl(k).unwrap_or(31 << 59)
+    }
+}
+
+/// Rounds a value *down* to the period grid of [`round_period_to_grid`]
+/// (values below 16 are kept as-is). Used for generated deadlines, which
+/// must not exceed the period.
+#[must_use]
+pub fn round_down_to_grid(t: u64) -> u64 {
+    if t < 16 {
+        return t;
+    }
+    let bits = 64 - t.leading_zeros();
+    let k = bits - 5;
+    (t >> k) << k
+}
+
+/// How tight generated deadlines are relative to the window `[len, T]`:
+/// `D = len + fraction · (T − len)` with `fraction` uniform in
+/// `[min_fraction, max_fraction]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineTightness {
+    /// Lower bound of the fraction (0 = deadlines hug the chain length).
+    pub min_fraction: f64,
+    /// Upper bound of the fraction (1 = implicit deadlines possible).
+    pub max_fraction: f64,
+}
+
+impl DeadlineTightness {
+    /// Creates a tightness range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ min ≤ max ≤ 1`.
+    #[must_use]
+    pub fn new(min_fraction: f64, max_fraction: f64) -> DeadlineTightness {
+        assert!(
+            (0.0..=1.0).contains(&min_fraction)
+                && (0.0..=1.0).contains(&max_fraction)
+                && min_fraction <= max_fraction,
+            "tightness fractions must satisfy 0 ≤ min ≤ max ≤ 1"
+        );
+        DeadlineTightness {
+            min_fraction,
+            max_fraction,
+        }
+    }
+
+    /// Implicit deadlines: `D = T` always.
+    #[must_use]
+    pub fn implicit() -> DeadlineTightness {
+        DeadlineTightness::new(1.0, 1.0)
+    }
+
+    /// Samples a deadline in `[len, period]`.
+    ///
+    /// The result is clamped so that `D ≥ max(len, 1)` (the task stays
+    /// chain-feasible and valid) and `D ≤ period` (constrained).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, len: u64, period: u64) -> u64 {
+        let len = len.min(period);
+        let f = if self.min_fraction == self.max_fraction {
+            self.min_fraction
+        } else {
+            rng.gen_range(self.min_fraction..=self.max_fraction)
+        };
+        let d = len as f64 + f * (period - len) as f64;
+        (d.round() as u64).clamp(len.max(1), period)
+    }
+}
+
+impl Default for DeadlineTightness {
+    /// Deadlines uniformly across the whole `[len, T]` window.
+    fn default() -> Self {
+        DeadlineTightness::new(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut r = rng(1);
+        for &total in &[0.5, 1.0, 3.7] {
+            for &n in &[1usize, 2, 5, 20] {
+                let us = uunifast(&mut r, n, total);
+                assert_eq!(us.len(), n);
+                let sum: f64 = us.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "n={n}, total={total}");
+                assert!(us.iter().all(|&u| u >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn uunifast_discard_respects_cap() {
+        let mut r = rng(2);
+        let us = uunifast_discard(&mut r, 8, 2.0, 0.5, 10_000).unwrap();
+        assert!(us.iter().all(|&u| u <= 0.5));
+        let sum: f64 = us.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uunifast_discard_infeasible_returns_none() {
+        let mut r = rng(3);
+        assert_eq!(uunifast_discard(&mut r, 2, 3.0, 1.0, 100), None);
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            let p = log_uniform_period(&mut r, 10, 10_000);
+            assert!((10..=10_000).contains(&p));
+        }
+        assert_eq!(log_uniform_period(&mut r, 7, 7), 7);
+    }
+
+    #[test]
+    fn log_uniform_spreads_over_decades() {
+        let mut r = rng(5);
+        let samples: Vec<u64> = (0..2000)
+            .map(|_| log_uniform_period(&mut r, 10, 100_000))
+            .collect();
+        let below_1k = samples.iter().filter(|&&p| p < 1000).count();
+        // Log-uniform: half the mass below the geometric midpoint (1000).
+        assert!(below_1k > 700 && below_1k < 1300, "got {below_1k}");
+    }
+
+    #[test]
+    fn deadlines_between_len_and_period() {
+        let mut r = rng(6);
+        let t = DeadlineTightness::default();
+        for _ in 0..1000 {
+            let d = t.sample(&mut r, 15, 100);
+            assert!((15..=100).contains(&d));
+        }
+    }
+
+    #[test]
+    fn implicit_tightness_pins_deadline_to_period() {
+        let mut r = rng(7);
+        let t = DeadlineTightness::implicit();
+        assert_eq!(t.sample(&mut r, 3, 50), 50);
+    }
+
+    #[test]
+    fn tight_tightness_pins_deadline_to_len() {
+        let mut r = rng(8);
+        let t = DeadlineTightness::new(0.0, 0.0);
+        assert_eq!(t.sample(&mut r, 30, 100), 30);
+        // Degenerate: len = 0 still yields a positive deadline.
+        assert_eq!(t.sample(&mut r, 0, 100), 1);
+    }
+
+    #[test]
+    fn deadline_handles_len_exceeding_period() {
+        let mut r = rng(9);
+        let t = DeadlineTightness::default();
+        // len > period is clamped: D = period.
+        assert_eq!(t.sample(&mut r, 200, 100), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "tightness fractions")]
+    fn bad_tightness_panics() {
+        let _ = DeadlineTightness::new(0.8, 0.2);
+    }
+
+    #[test]
+    fn grid_rounding_up_and_down() {
+        for t in 1u64..5000 {
+            let up = round_period_to_grid(t);
+            let down = round_down_to_grid(t);
+            assert!(up >= t);
+            assert!(down <= t);
+            if t >= 16 {
+                // Both are grid points: mantissa in [16, 32).
+                for g in [up, down] {
+                    let bits = 64 - g.leading_zeros();
+                    let m = g >> (bits - 5);
+                    assert!((16..32).contains(&m), "{g} not on grid");
+                }
+                // Grid spacing is under 7%.
+                assert!(up as f64 / t as f64 <= 17.0 / 16.0);
+            } else {
+                assert_eq!(up, t);
+                assert_eq!(down, t);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_points_are_fixed_points() {
+        for k in 0..20u32 {
+            for m in 16u64..32 {
+                let g = m << k;
+                assert_eq!(round_period_to_grid(g), g);
+                assert_eq!(round_down_to_grid(g), g);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_lcm_stays_small() {
+        // The whole point: lcm of every grid point up to 2^20 stays tiny
+        // relative to i128.
+        fn gcd(a: u128, b: u128) -> u128 { if b == 0 { a } else { gcd(b, a % b) } }
+        let mut l: u128 = 1;
+        for k in 0..16u32 {
+            for m in 16u64..32 {
+                let g = u128::from(m << k);
+                l = l / gcd(l, g) * g;
+            }
+        }
+        assert!(l < u128::from(u64::MAX), "lcm {l} too large");
+    }
+}

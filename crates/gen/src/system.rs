@@ -1,0 +1,348 @@
+//! Whole-task-system generation.
+//!
+//! Combines a DAG [`Topology`], UUniFast(-Discard) utilizations, a period
+//! policy and a deadline-tightness range into a reproducible task-system
+//! generator — the workload machinery behind the schedulability experiments
+//! (DESIGN.md experiments E3–E7).
+
+use fedsched_dag::graph::{Dag, DagBuilder};
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::params::{
+    log_uniform_period, round_down_to_grid, round_period_to_grid, uunifast_discard,
+    DeadlineTightness,
+};
+use crate::topology::{Span, Topology, WcetRange};
+
+/// How task periods are chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeriodPolicy {
+    /// Derive the period from the generated DAG volume and the target
+    /// utilization: `T = max(round(vol / u), len, 1)`. WCETs are kept as
+    /// generated, so per-task utilization lands almost exactly on target.
+    DeriveFromUtilization,
+    /// Sample the period log-uniformly from `[min, max]`, then rescale every
+    /// WCET so the DAG volume approximates `u · T`.
+    LogUniform {
+        /// Minimum period.
+        min: u64,
+        /// Maximum period.
+        max: u64,
+    },
+}
+
+/// Configuration for random task-system generation.
+///
+/// Construct with [`SystemConfig::new`] and customise via the `with_*`
+/// builder methods.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_gen::system::SystemConfig;
+///
+/// let config = SystemConfig::new(8, 3.0).with_max_task_utilization(1.5);
+/// let system = config.generate_seeded(42).expect("feasible target");
+/// assert_eq!(system.len(), 8);
+/// let u = system.total_utilization().to_f64();
+/// assert!((u - 3.0).abs() < 0.4, "achieved {u}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    n_tasks: usize,
+    total_utilization: f64,
+    max_task_utilization: f64,
+    topology: Topology,
+    wcet: WcetRange,
+    period: PeriodPolicy,
+    tightness: DeadlineTightness,
+    ensure_chain_feasible: bool,
+}
+
+impl SystemConfig {
+    /// A config for `n_tasks` tasks totalling `total_utilization`, with
+    /// defaults: layered topology, WCETs in `[1, 100]`, periods derived from
+    /// utilization, deadlines uniform in `[len, T]`, per-task utilization
+    /// capped at `total_utilization`, chain feasibility enforced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tasks == 0` or `total_utilization <= 0`.
+    #[must_use]
+    pub fn new(n_tasks: usize, total_utilization: f64) -> SystemConfig {
+        assert!(n_tasks > 0, "need at least one task");
+        assert!(total_utilization > 0.0, "utilization must be positive");
+        SystemConfig {
+            n_tasks,
+            total_utilization,
+            max_task_utilization: total_utilization,
+            topology: Topology::Layered {
+                layers: Span::new(2, 5),
+                width: Span::new(1, 5),
+                edge_probability: 0.3,
+            },
+            wcet: WcetRange::default(),
+            period: PeriodPolicy::DeriveFromUtilization,
+            tightness: DeadlineTightness::default(),
+            ensure_chain_feasible: true,
+        }
+    }
+
+    /// Caps the utilization of any single task.
+    #[must_use]
+    pub fn with_max_task_utilization(mut self, max: f64) -> SystemConfig {
+        assert!(max > 0.0, "per-task cap must be positive");
+        self.max_task_utilization = max;
+        self
+    }
+
+    /// Sets the DAG topology family.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> SystemConfig {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the per-vertex WCET range.
+    #[must_use]
+    pub fn with_wcet(mut self, wcet: WcetRange) -> SystemConfig {
+        self.wcet = wcet;
+        self
+    }
+
+    /// Sets the period policy.
+    #[must_use]
+    pub fn with_period(mut self, period: PeriodPolicy) -> SystemConfig {
+        self.period = period;
+        self
+    }
+
+    /// Sets the deadline tightness range.
+    #[must_use]
+    pub fn with_tightness(mut self, tightness: DeadlineTightness) -> SystemConfig {
+        self.tightness = tightness;
+        self
+    }
+
+    /// If `false`, periods/deadlines are not bumped to keep `len ≤ D`;
+    /// chain-infeasible tasks may then be generated (useful for testing
+    /// rejection paths).
+    #[must_use]
+    pub fn with_chain_feasibility(mut self, ensure: bool) -> SystemConfig {
+        self.ensure_chain_feasible = ensure;
+        self
+    }
+
+    /// Number of tasks this config generates.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Target total utilization.
+    #[must_use]
+    pub fn target_utilization(&self) -> f64 {
+        self.total_utilization
+    }
+
+    /// Generates one task system with the supplied RNG.
+    ///
+    /// Returns `None` if the utilization target is infeasible under the
+    /// per-task cap (UUniFast-Discard gives up).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<TaskSystem> {
+        let utils = uunifast_discard(
+            rng,
+            self.n_tasks,
+            self.total_utilization,
+            self.max_task_utilization,
+            1000,
+        )?;
+        let mut system = TaskSystem::new();
+        for u in utils {
+            // Guard against pathological near-zero utilizations.
+            let u = u.max(1e-4);
+            let dag = self.topology.generate(rng, self.wcet);
+            let task = self.realize_task(rng, dag, u);
+            system.push(task);
+        }
+        Some(system)
+    }
+
+    /// Generates one task system from a fixed seed (deterministic).
+    pub fn generate_seeded(&self, seed: u64) -> Option<TaskSystem> {
+        self.generate(&mut StdRng::seed_from_u64(seed))
+    }
+
+    /// Turns a generated DAG plus a target utilization into a task,
+    /// according to the period policy.
+    fn realize_task<R: Rng + ?Sized>(&self, rng: &mut R, dag: Dag, u: f64) -> DagTask {
+        let (dag, period) = match self.period {
+            PeriodPolicy::DeriveFromUtilization => {
+                let vol = dag.volume().ticks();
+                let len = dag.longest_chain().length.ticks();
+                let mut t = ((vol as f64) / u).round().max(1.0) as u64;
+                if self.ensure_chain_feasible {
+                    t = t.max(len);
+                }
+                // Grid-round upward: keeps utilization-sum denominators and
+                // hyperperiods small (see `params::round_period_to_grid`).
+                (dag, round_period_to_grid(t))
+            }
+            PeriodPolicy::LogUniform { min, max } => {
+                let t = log_uniform_period(rng, min, max);
+                let vol0 = dag.volume().ticks() as f64;
+                let target = (u * t as f64).max(1.0);
+                let factor = target / vol0;
+                let mut b = DagBuilder::with_capacity(dag.vertex_count());
+                let ids = b.add_vertices(
+                    dag.wcets()
+                        .iter()
+                        .map(|w| Duration::new(((w.ticks() as f64 * factor).round() as u64).max(1))),
+                );
+                for (a, z) in dag.edges() {
+                    b.add_edge(ids[a.index()], ids[z.index()])
+                        .expect("copied edges stay fresh");
+                }
+                let scaled = b.build().expect("copied DAG stays acyclic");
+                let t = if self.ensure_chain_feasible {
+                    t.max(scaled.longest_chain().length.ticks())
+                } else {
+                    t
+                };
+                (scaled, round_period_to_grid(t))
+            }
+        };
+        let len = dag.longest_chain().length.ticks();
+        let d = self.tightness.sample(rng, len, period);
+        // Snap deadlines down to the grid too (they are density
+        // denominators); fall back to the raw draw when the snap would
+        // break chain feasibility.
+        let snapped = round_down_to_grid(d);
+        let d = if snapped >= len.max(1) { snapped } else { d };
+        let d = if self.ensure_chain_feasible {
+            d.max(len.max(1)).min(period)
+        } else {
+            d.min(period)
+        };
+        DagTask::new(dag, Duration::new(d), Duration::new(period))
+            .expect("generated parameters are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_utilization() {
+        let cfg = SystemConfig::new(10, 4.0).with_max_task_utilization(1.2);
+        let sys = cfg.generate_seeded(1).unwrap();
+        assert_eq!(sys.len(), 10);
+        let u = sys.total_utilization().to_f64();
+        assert!((u - 4.0).abs() < 0.5, "achieved {u}");
+        assert_eq!(cfg.task_count(), 10);
+        assert_eq!(cfg.target_utilization(), 4.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SystemConfig::new(6, 2.0);
+        assert_eq!(cfg.generate_seeded(9), cfg.generate_seeded(9));
+    }
+
+    #[test]
+    fn chain_feasibility_enforced_by_default() {
+        let cfg = SystemConfig::new(12, 6.0).with_max_task_utilization(2.0);
+        for seed in 0..20 {
+            let sys = cfg.generate_seeded(seed).unwrap();
+            assert!(sys.all_chains_feasible(), "seed {seed}");
+            for (_, t) in sys.iter() {
+                assert!(t.deadline() <= t.period(), "constrained deadline");
+            }
+        }
+    }
+
+    #[test]
+    fn log_uniform_periods_respected() {
+        let cfg = SystemConfig::new(8, 2.0)
+            .with_period(PeriodPolicy::LogUniform { min: 100, max: 10_000 })
+            .with_max_task_utilization(0.9);
+        let sys = cfg.generate_seeded(3).unwrap();
+        for (_, t) in sys.iter() {
+            // Chain-feasibility bumping can only raise above min.
+            assert!(t.period().ticks() >= 100);
+            // Utilization approximately on target per task (cap 0.9 + slack).
+            assert!(t.utilization().to_f64() < 1.2);
+        }
+    }
+
+    #[test]
+    fn implicit_deadline_generation() {
+        let cfg = SystemConfig::new(5, 2.0)
+            .with_tightness(DeadlineTightness::implicit())
+            .with_max_task_utilization(0.8);
+        let sys = cfg.generate_seeded(4).unwrap();
+        for (_, t) in sys.iter() {
+            assert_eq!(t.deadline(), t.period());
+        }
+    }
+
+    #[test]
+    fn infeasible_cap_returns_none() {
+        let cfg = SystemConfig::new(2, 4.0).with_max_task_utilization(1.0);
+        assert_eq!(cfg.generate_seeded(5), None);
+    }
+
+    #[test]
+    fn high_utilization_tasks_emerge_when_cap_allows() {
+        let cfg = SystemConfig::new(4, 6.0).with_max_task_utilization(3.0);
+        let mut saw_high = false;
+        for seed in 0..10 {
+            let sys = cfg.generate_seeded(seed).unwrap();
+            if sys.iter().any(|(_, t)| t.is_high_utilization()) {
+                saw_high = true;
+            }
+        }
+        assert!(saw_high, "expected some high-utilization tasks");
+    }
+
+    #[test]
+    fn tight_deadlines_produce_high_density() {
+        let cfg = SystemConfig::new(6, 3.0)
+            .with_max_task_utilization(1.0)
+            .with_tightness(DeadlineTightness::new(0.0, 0.1));
+        let mut saw_high_density = false;
+        for seed in 0..10 {
+            let sys = cfg.generate_seeded(seed).unwrap();
+            if !sys.high_density_ids().is_empty() {
+                saw_high_density = true;
+            }
+        }
+        assert!(saw_high_density, "tight deadlines should yield δ ≥ 1 tasks");
+    }
+
+    #[test]
+    fn all_topologies_integrate() {
+        for topo in [
+            Topology::ErdosRenyi {
+                vertices: Span::new(5, 15),
+                edge_probability: 0.2,
+            },
+            Topology::NestedForkJoin {
+                depth: Span::new(1, 2),
+                branching: Span::new(2, 3),
+            },
+            Topology::SeriesParallel {
+                operations: Span::new(4, 10),
+            },
+        ] {
+            let cfg = SystemConfig::new(4, 1.5).with_topology(topo);
+            let sys = cfg.generate_seeded(6).unwrap();
+            assert_eq!(sys.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Random DAG topology generators.
+//!
+//! Four families commonly used in real-time schedulability experiments:
+//!
+//! * [`Topology::Layered`] — vertices arranged in layers, edges only between
+//!   consecutive layers (the classic "synchronous parallel" shape);
+//! * [`Topology::ErdosRenyi`] — `G(n, p)` restricted to forward edges over a
+//!   random vertex order;
+//! * [`Topology::NestedForkJoin`] — recursively nested fork-join blocks;
+//! * [`Topology::SeriesParallel`] — random series/parallel composition.
+//!
+//! All generators take an explicit RNG so experiments are reproducible from
+//! a seed, and all produced graphs are valid non-empty DAGs with positive
+//! WCETs.
+
+use fedsched_dag::graph::{Dag, DagBuilder, VertexId};
+use fedsched_dag::time::Duration;
+use rand::Rng;
+
+/// Inclusive integer range used by the generator configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Lower bound (inclusive).
+    pub min: u32,
+    /// Upper bound (inclusive).
+    pub max: u32,
+}
+
+impl Span {
+    /// Creates the span `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `min == 0`.
+    #[must_use]
+    pub fn new(min: u32, max: u32) -> Span {
+        assert!(min <= max, "span minimum exceeds maximum");
+        assert!(min > 0, "span must be positive");
+        Span { min, max }
+    }
+
+    /// Uniform sample from the span.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// The DAG topology family to draw from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// Layered DAG: `layers` layers of `width` vertices; each vertex gets an
+    /// edge from a random vertex of the previous layer, plus extra
+    /// consecutive-layer edges with probability `edge_probability`.
+    Layered {
+        /// Number of layers.
+        layers: Span,
+        /// Vertices per layer.
+        width: Span,
+        /// Probability of each extra consecutive-layer edge.
+        edge_probability: f64,
+    },
+    /// Forward-edge Erdős–Rényi: each pair `(i, j)` with `i < j` is an edge
+    /// with probability `edge_probability`.
+    ErdosRenyi {
+        /// Number of vertices.
+        vertices: Span,
+        /// Edge probability.
+        edge_probability: f64,
+    },
+    /// Recursively nested fork-join: a source forks into `branching`
+    /// sub-blocks which join, nested to `depth` levels.
+    NestedForkJoin {
+        /// Nesting depth (0 = a single vertex).
+        depth: Span,
+        /// Fan-out at each fork.
+        branching: Span,
+    },
+    /// Random series-parallel composition of `operations` binary
+    /// compositions over single-vertex blocks.
+    SeriesParallel {
+        /// Number of composition steps.
+        operations: Span,
+    },
+}
+
+/// Per-vertex WCET distribution: uniform over `[min, max]` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcetRange {
+    /// Minimum WCET (≥ 1).
+    pub min: u64,
+    /// Maximum WCET.
+    pub max: u64,
+}
+
+impl WcetRange {
+    /// Creates the WCET range `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0` or `min > max`.
+    #[must_use]
+    pub fn new(min: u64, max: u64) -> WcetRange {
+        assert!(min >= 1, "WCETs must be positive");
+        assert!(min <= max, "WCET minimum exceeds maximum");
+        WcetRange { min, max }
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        Duration::new(rng.gen_range(self.min..=self.max))
+    }
+}
+
+impl Default for WcetRange {
+    fn default() -> Self {
+        WcetRange { min: 1, max: 100 }
+    }
+}
+
+impl Topology {
+    /// Generates one random DAG from this family with WCETs drawn from
+    /// `wcet`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, wcet: WcetRange) -> Dag {
+        match *self {
+            Topology::Layered {
+                layers,
+                width,
+                edge_probability,
+            } => layered(rng, layers, width, edge_probability, wcet),
+            Topology::ErdosRenyi {
+                vertices,
+                edge_probability,
+            } => erdos_renyi(rng, vertices, edge_probability, wcet),
+            Topology::NestedForkJoin { depth, branching } => {
+                nested_fork_join(rng, depth, branching, wcet)
+            }
+            Topology::SeriesParallel { operations } => series_parallel(rng, operations, wcet),
+        }
+    }
+}
+
+fn layered<R: Rng + ?Sized>(
+    rng: &mut R,
+    layers: Span,
+    width: Span,
+    p: f64,
+    wcet: WcetRange,
+) -> Dag {
+    let n_layers = layers.sample(rng) as usize;
+    let mut b = DagBuilder::new();
+    let mut prev: Vec<VertexId> = Vec::new();
+    for layer in 0..n_layers {
+        let w = width.sample(rng) as usize;
+        let current: Vec<VertexId> = (0..w).map(|_| b.add_vertex(wcet.sample(rng))).collect();
+        if layer > 0 {
+            for &v in &current {
+                // Guarantee connectivity to the previous layer.
+                let anchor = prev[rng.gen_range(0..prev.len())];
+                b.add_edge(anchor, v).expect("fresh forward edge");
+                for &u in &prev {
+                    if u != anchor && rng.gen_bool(p) {
+                        b.add_edge(u, v).expect("fresh forward edge");
+                    }
+                }
+            }
+        }
+        prev = current;
+    }
+    b.build().expect("layered edges are forward-only")
+}
+
+fn erdos_renyi<R: Rng + ?Sized>(rng: &mut R, vertices: Span, p: f64, wcet: WcetRange) -> Dag {
+    let n = vertices.sample(rng) as usize;
+    let mut b = DagBuilder::new();
+    let ids: Vec<VertexId> = (0..n).map(|_| b.add_vertex(wcet.sample(rng))).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(ids[i], ids[j]).expect("fresh forward edge");
+            }
+        }
+    }
+    b.build().expect("forward edges are acyclic")
+}
+
+fn nested_fork_join<R: Rng + ?Sized>(
+    rng: &mut R,
+    depth: Span,
+    branching: Span,
+    wcet: WcetRange,
+) -> Dag {
+    let d = depth.sample(rng);
+    let mut b = DagBuilder::new();
+    build_fj(rng, &mut b, d, branching, wcet);
+    b.build().expect("fork-join blocks are acyclic")
+}
+
+/// Builds one fork-join block, returning its (entry, exit) vertices.
+fn build_fj<R: Rng + ?Sized>(
+    rng: &mut R,
+    b: &mut DagBuilder,
+    depth: u32,
+    branching: Span,
+    wcet: WcetRange,
+) -> (VertexId, VertexId) {
+    if depth == 0 {
+        let v = b.add_vertex(wcet.sample(rng));
+        return (v, v);
+    }
+    let fork = b.add_vertex(wcet.sample(rng));
+    let join = b.add_vertex(wcet.sample(rng));
+    let branches = branching.sample(rng);
+    for _ in 0..branches {
+        let (entry, exit) = build_fj(rng, b, depth - 1, branching, wcet);
+        b.add_edge(fork, entry).expect("fresh edge into branch");
+        b.add_edge(exit, join).expect("fresh edge out of branch");
+    }
+    (fork, join)
+}
+
+fn series_parallel<R: Rng + ?Sized>(rng: &mut R, operations: Span, wcet: WcetRange) -> Dag {
+    // Maintain a forest of blocks as (entry, exit) pairs; repeatedly combine
+    // two random blocks in series or parallel (with synthetic fork/join
+    // vertices), ending with one block.
+    let ops = operations.sample(rng) as usize;
+    let mut b = DagBuilder::new();
+    let mut blocks: Vec<(VertexId, VertexId)> = (0..=ops)
+        .map(|_| {
+            let v = b.add_vertex(wcet.sample(rng));
+            (v, v)
+        })
+        .collect();
+    while blocks.len() > 1 {
+        let i = rng.gen_range(0..blocks.len());
+        let (e1, x1) = blocks.swap_remove(i);
+        let j = rng.gen_range(0..blocks.len());
+        let (e2, x2) = blocks.swap_remove(j);
+        if rng.gen_bool(0.5) {
+            // Series: block1 then block2.
+            b.add_edge(x1, e2).expect("fresh series edge");
+            blocks.push((e1, x2));
+        } else {
+            // Parallel: new fork and join around both blocks.
+            let fork = b.add_vertex(wcet.sample(rng));
+            let join = b.add_vertex(wcet.sample(rng));
+            b.add_edge(fork, e1).expect("fresh fork edge");
+            b.add_edge(fork, e2).expect("fresh fork edge");
+            b.add_edge(x1, join).expect("fresh join edge");
+            b.add_edge(x2, join).expect("fresh join edge");
+            blocks.push((fork, join));
+        }
+    }
+    b.build().expect("series-parallel composition is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn all_topologies() -> Vec<Topology> {
+        vec![
+            Topology::Layered {
+                layers: Span::new(2, 5),
+                width: Span::new(1, 6),
+                edge_probability: 0.3,
+            },
+            Topology::ErdosRenyi {
+                vertices: Span::new(3, 20),
+                edge_probability: 0.25,
+            },
+            Topology::NestedForkJoin {
+                depth: Span::new(1, 3),
+                branching: Span::new(2, 3),
+            },
+            Topology::SeriesParallel {
+                operations: Span::new(2, 12),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_families_produce_valid_nonempty_dags() {
+        let wcet = WcetRange::new(1, 10);
+        for topo in all_topologies() {
+            let mut r = rng(42);
+            for _ in 0..50 {
+                let dag = topo.generate(&mut r, wcet);
+                assert!(dag.vertex_count() > 0, "{topo:?}");
+                assert!(dag.longest_chain().length <= dag.volume());
+                for v in dag.vertices() {
+                    let w = dag.wcet(v).ticks();
+                    assert!((1..=10).contains(&w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let wcet = WcetRange::default();
+        for topo in all_topologies() {
+            let a = topo.generate(&mut rng(7), wcet);
+            let b = topo.generate(&mut rng(7), wcet);
+            assert_eq!(a, b, "{topo:?}");
+            let c = topo.generate(&mut rng(8), wcet);
+            // Extremely unlikely to coincide; tolerate but don't require.
+            let _ = c;
+        }
+    }
+
+    #[test]
+    fn layered_has_connected_layers() {
+        let topo = Topology::Layered {
+            layers: Span::new(4, 4),
+            width: Span::new(3, 3),
+            edge_probability: 0.0,
+        };
+        let dag = topo.generate(&mut rng(1), WcetRange::new(1, 1));
+        assert_eq!(dag.vertex_count(), 12);
+        // With p = 0 each non-first-layer vertex has exactly one predecessor.
+        let sources = dag.sources();
+        assert_eq!(sources.len(), 3);
+        for v in dag.vertices() {
+            if !sources.contains(&v) {
+                assert_eq!(dag.in_degree(v), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = Topology::ErdosRenyi {
+            vertices: Span::new(8, 8),
+            edge_probability: 0.0,
+        }
+        .generate(&mut rng(3), WcetRange::new(2, 2));
+        assert_eq!(empty.edge_count(), 0);
+        let full = Topology::ErdosRenyi {
+            vertices: Span::new(8, 8),
+            edge_probability: 1.0,
+        }
+        .generate(&mut rng(3), WcetRange::new(2, 2));
+        assert_eq!(full.edge_count(), 8 * 7 / 2);
+        // The complete order forces a full chain.
+        assert_eq!(full.longest_chain().length, full.volume());
+    }
+
+    #[test]
+    fn fork_join_structure() {
+        let topo = Topology::NestedForkJoin {
+            depth: Span::new(1, 1),
+            branching: Span::new(3, 3),
+        };
+        let dag = topo.generate(&mut rng(5), WcetRange::new(1, 1));
+        // fork + join + 3 leaves.
+        assert_eq!(dag.vertex_count(), 5);
+        assert_eq!(dag.sources().len(), 1);
+        assert_eq!(dag.sinks().len(), 1);
+        assert_eq!(dag.longest_chain().vertices.len(), 3);
+    }
+
+    #[test]
+    fn series_parallel_single_source_is_possible() {
+        let topo = Topology::SeriesParallel {
+            operations: Span::new(10, 10),
+        };
+        let dag = topo.generate(&mut rng(11), WcetRange::new(1, 4));
+        assert!(dag.vertex_count() >= 11);
+        assert!(dag.edge_count() >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "span minimum exceeds maximum")]
+    fn bad_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "WCETs must be positive")]
+    fn zero_wcet_panics() {
+        let _ = WcetRange::new(0, 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Graham's multiprocessing timing anomalies \[11\].
+//!
+//! Footnote 2 of the paper: *"it is not safe to simply re-run LS during
+//! run-time — it was shown that LS exhibits anomalous behavior in the sense
+//! that reducing the execution-times of jobs may increase the schedule
+//! length. Therefore, we choose to use the schedule σ_i as a lookup table
+//! during run-time."*
+//!
+//! This module reproduces the classic 9-job / 3-processor instance from
+//! Graham's *Bounds on Multiprocessing Timing Anomalies* (SIAM J. Appl.
+//! Math., 1969) in which reducing every execution time by one unit *grows*
+//! the LS makespan from 12 to 13, and provides a randomized anomaly search
+//! used by the E8 experiment.
+
+use fedsched_dag::graph::{Dag, DagBuilder};
+use fedsched_dag::time::Duration;
+
+use crate::list::{list_schedule_ranked, PriorityPolicy};
+use crate::schedule::TemplateSchedule;
+
+/// The classic anomaly instance: 9 jobs, 3 processors, list order
+/// `T1, …, T9`.
+///
+/// Processing times `(3, 2, 2, 2, 4, 4, 4, 4, 9)`; precedence edges
+/// `T1 → T9` and `T4 → {T5, T6, T7, T8}`.
+///
+/// * With the nominal times, LS produces makespan **12**.
+/// * With every time reduced by 1, LS produces makespan **13**.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_graham::anomaly::{classic_anomaly_dag, demonstrate_classic_anomaly};
+///
+/// let demo = demonstrate_classic_anomaly();
+/// assert_eq!(demo.nominal_makespan.ticks(), 12);
+/// assert_eq!(demo.reduced_makespan.ticks(), 13);
+/// assert!(demo.is_anomalous());
+/// ```
+#[must_use]
+pub fn classic_anomaly_dag() -> Dag {
+    let mut b = DagBuilder::new();
+    let v = b.add_vertices([3, 2, 2, 2, 4, 4, 4, 4, 9].map(Duration::new));
+    b.add_edge(v[0], v[8]).expect("fresh edge"); // T1 → T9
+    for &succ in &[4usize, 5, 6, 7] {
+        b.add_edge(v[3], v[succ]).expect("fresh edge"); // T4 → T5..T8
+    }
+    b.build().expect("acyclic")
+}
+
+/// Outcome of scheduling the same DAG twice with re-run LS: once with the
+/// nominal (worst-case) execution times and once with reduced actual times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnomalyDemo {
+    /// Makespan of the LS schedule built from the nominal times.
+    pub nominal_makespan: Duration,
+    /// Makespan of the LS schedule rebuilt from the reduced times.
+    pub reduced_makespan: Duration,
+    /// The schedule built from nominal times (the safe template).
+    pub nominal_schedule: TemplateSchedule,
+    /// The schedule re-run with reduced times (the unsafe on-line rerun).
+    pub reduced_schedule: TemplateSchedule,
+}
+
+impl AnomalyDemo {
+    /// `true` if reducing execution times *increased* the makespan — the
+    /// anomaly the template lookup table defends against.
+    #[must_use]
+    pub fn is_anomalous(&self) -> bool {
+        self.reduced_makespan > self.nominal_makespan
+    }
+}
+
+/// Schedules `dag` with LS (list order) on `processors` twice: with the
+/// vertex WCETs, and with the given `actual` execution times, returning both
+/// makespans.
+///
+/// # Panics
+///
+/// Panics if `processors` is zero or `actual` is not one entry per vertex.
+#[must_use]
+pub fn rerun_with_times(dag: &Dag, processors: u32, actual: &[Duration]) -> AnomalyDemo {
+    let ranks = PriorityPolicy::ListOrder.ranks(dag);
+    let nominal_schedule = list_schedule_ranked(dag, processors, &ranks, dag.wcets());
+    let reduced_schedule = list_schedule_ranked(dag, processors, &ranks, actual);
+    AnomalyDemo {
+        nominal_makespan: nominal_schedule.makespan(),
+        reduced_makespan: reduced_schedule.makespan(),
+        nominal_schedule,
+        reduced_schedule,
+    }
+}
+
+/// Runs the classic instance: nominal times vs. every time reduced by one.
+#[must_use]
+pub fn demonstrate_classic_anomaly() -> AnomalyDemo {
+    let dag = classic_anomaly_dag();
+    let reduced: Vec<Duration> = dag
+        .wcets()
+        .iter()
+        .map(|w| Duration::new(w.ticks() - 1))
+        .collect();
+    rerun_with_times(&dag, 3, &reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_instance_shape() {
+        let dag = classic_anomaly_dag();
+        assert_eq!(dag.vertex_count(), 9);
+        assert_eq!(dag.edge_count(), 5);
+        assert_eq!(dag.volume(), Duration::new(34));
+        // Longest chain: T1(3) → T9(9) = 12.
+        assert_eq!(dag.longest_chain().length, Duration::new(12));
+    }
+
+    #[test]
+    fn nominal_ls_makespan_is_twelve() {
+        let dag = classic_anomaly_dag();
+        let ranks = PriorityPolicy::ListOrder.ranks(&dag);
+        let s = list_schedule_ranked(&dag, 3, &ranks, dag.wcets());
+        s.validate(&dag).unwrap();
+        assert_eq!(s.makespan(), Duration::new(12));
+    }
+
+    #[test]
+    fn reducing_times_grows_makespan_to_thirteen() {
+        let demo = demonstrate_classic_anomaly();
+        assert_eq!(demo.nominal_makespan, Duration::new(12));
+        assert_eq!(demo.reduced_makespan, Duration::new(13));
+        assert!(demo.is_anomalous());
+    }
+
+    #[test]
+    fn template_from_nominal_times_is_a_valid_wcet_schedule() {
+        let dag = classic_anomaly_dag();
+        let demo = demonstrate_classic_anomaly();
+        demo.nominal_schedule.validate(&dag).unwrap();
+    }
+
+    #[test]
+    fn no_anomaly_when_times_unchanged() {
+        let dag = classic_anomaly_dag();
+        let demo = rerun_with_times(&dag, 3, dag.wcets());
+        assert!(!demo.is_anomalous());
+        assert_eq!(demo.nominal_makespan, demo.reduced_makespan);
+    }
+}

@@ -1,0 +1,387 @@
+//! Template schedules: the `σ_i` lookup tables of the paper.
+//!
+//! A [`TemplateSchedule`] fixes, for every vertex of one dag-job, the
+//! processor it runs on and its start/finish offsets relative to the dag-job
+//! release. FEDCONS freezes the List-Scheduling output as such a template and
+//! replays it at run time (paper Section IV and footnote 2: re-running the
+//! scheduler on-line is unsafe because of Graham's timing anomalies).
+
+use core::fmt;
+
+use fedsched_dag::graph::{Dag, VertexId};
+use serde::{Deserialize, Serialize};
+use fedsched_dag::time::Duration;
+
+/// Placement of one vertex in a template schedule, relative to the dag-job
+/// release instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Index of the processor within the task's dedicated cluster,
+    /// `0 .. processor_count`.
+    pub processor: u32,
+    /// Start offset from the release.
+    pub start: Duration,
+    /// Finish offset from the release (`start + wcet`).
+    pub finish: Duration,
+}
+
+/// A way a template schedule can be inconsistent with its DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule has entries for a different number of vertices than the
+    /// DAG.
+    VertexCountMismatch {
+        /// Entries in the schedule.
+        schedule: usize,
+        /// Vertices in the DAG.
+        dag: usize,
+    },
+    /// An entry's duration does not equal the vertex WCET.
+    DurationMismatch {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// An entry starts before all predecessors have finished.
+    PrecedenceViolation {
+        /// The predecessor.
+        before: VertexId,
+        /// The vertex that started too early.
+        after: VertexId,
+    },
+    /// Two vertices overlap in time on the same processor.
+    ProcessorOverlap {
+        /// First vertex.
+        a: VertexId,
+        /// Second vertex.
+        b: VertexId,
+        /// The shared processor.
+        processor: u32,
+    },
+    /// An entry references a processor outside `0..processor_count`.
+    ProcessorOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The referenced processor.
+        processor: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::VertexCountMismatch { schedule, dag } => write!(
+                f,
+                "schedule covers {schedule} vertices but the DAG has {dag}"
+            ),
+            ScheduleError::DurationMismatch { vertex } => {
+                write!(f, "entry for {vertex} does not span its WCET")
+            }
+            ScheduleError::PrecedenceViolation { before, after } => {
+                write!(f, "{after} starts before its predecessor {before} finishes")
+            }
+            ScheduleError::ProcessorOverlap { a, b, processor } => {
+                write!(f, "{a} and {b} overlap on processor {processor}")
+            }
+            ScheduleError::ProcessorOutOfRange { vertex, processor } => {
+                write!(f, "{vertex} placed on out-of-range processor {processor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// An immutable per-dag-job schedule on a dedicated cluster of identical
+/// processors: vertex → (processor, start, finish), all offsets relative to
+/// the dag-job release.
+///
+/// Produced by [`crate::list::list_schedule`]; validated against its DAG by
+/// [`TemplateSchedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateSchedule {
+    processor_count: u32,
+    entries: Vec<ScheduleEntry>,
+    makespan: Duration,
+}
+
+impl TemplateSchedule {
+    /// Assembles a template from per-vertex entries.
+    ///
+    /// The makespan is the maximum finish offset (zero for no entries).
+    /// Consistency with a DAG is *not* checked here; call
+    /// [`TemplateSchedule::validate`].
+    #[must_use]
+    pub fn from_entries(processor_count: u32, entries: Vec<ScheduleEntry>) -> TemplateSchedule {
+        let makespan = entries
+            .iter()
+            .map(|e| e.finish)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        TemplateSchedule {
+            processor_count,
+            entries,
+            makespan,
+        }
+    }
+
+    /// Number of processors in the dedicated cluster.
+    #[must_use]
+    pub fn processor_count(&self) -> u32 {
+        self.processor_count
+    }
+
+    /// The schedule length: the latest finish offset.
+    #[must_use]
+    pub fn makespan(&self) -> Duration {
+        self.makespan
+    }
+
+    /// The entry for vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this schedule.
+    #[must_use]
+    pub fn entry(&self, v: VertexId) -> ScheduleEntry {
+        self.entries[v.index()]
+    }
+
+    /// All entries, indexed by [`VertexId::index`].
+    #[must_use]
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// Number of scheduled vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the schedule contains no vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The vertices assigned to `processor`, sorted by start offset.
+    #[must_use]
+    pub fn jobs_on(&self, processor: u32) -> Vec<VertexId> {
+        let mut on: Vec<VertexId> = (0..self.entries.len())
+            .filter(|&i| self.entries[i].processor == processor)
+            .map(VertexId::from_index)
+            .collect();
+        on.sort_by_key(|v| self.entries[v.index()].start);
+        on
+    }
+
+    /// Total busy time across all processors (should equal the DAG volume
+    /// for a valid schedule).
+    #[must_use]
+    pub fn total_busy_time(&self) -> Duration {
+        self.entries.iter().map(|e| e.finish - e.start).sum()
+    }
+
+    /// Checks that this template is a correct non-preemptive schedule of
+    /// `dag`: every vertex spans exactly its WCET, precedence constraints
+    /// hold, and no two vertices overlap on a processor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self, dag: &Dag) -> Result<(), ScheduleError> {
+        if self.entries.len() != dag.vertex_count() {
+            return Err(ScheduleError::VertexCountMismatch {
+                schedule: self.entries.len(),
+                dag: dag.vertex_count(),
+            });
+        }
+        for v in dag.vertices() {
+            let e = self.entry(v);
+            if e.processor >= self.processor_count {
+                return Err(ScheduleError::ProcessorOutOfRange {
+                    vertex: v,
+                    processor: e.processor,
+                });
+            }
+            if e.finish.saturating_sub(e.start) != dag.wcet(v) || e.finish < e.start {
+                return Err(ScheduleError::DurationMismatch { vertex: v });
+            }
+            for &p in dag.predecessors(v) {
+                if self.entry(p).finish > e.start {
+                    return Err(ScheduleError::PrecedenceViolation {
+                        before: p,
+                        after: v,
+                    });
+                }
+            }
+        }
+        for proc in 0..self.processor_count {
+            let jobs = self.jobs_on(proc);
+            for w in jobs.windows(2) {
+                if self.entry(w[0]).finish > self.entry(w[1]).start {
+                    return Err(ScheduleError::ProcessorOverlap {
+                        a: w[0],
+                        b: w[1],
+                        processor: proc,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders an ASCII Gantt chart, one row per processor, one column per
+    /// tick. Intended for debugging and examples; panics-free for schedules
+    /// of any size but most legible when the makespan is modest.
+    #[must_use]
+    pub fn to_gantt(&self) -> String {
+        use core::fmt::Write as _;
+        let span = self.makespan.ticks() as usize;
+        let mut out = String::new();
+        for proc in 0..self.processor_count {
+            let mut row = vec!['.'; span];
+            for v in self.jobs_on(proc) {
+                let e = self.entry(v);
+                let glyph = char::from_digit((v.index() % 36) as u32, 36).unwrap_or('?');
+                for c in row
+                    .iter_mut()
+                    .take(e.finish.ticks() as usize)
+                    .skip(e.start.ticks() as usize)
+                {
+                    *c = glyph;
+                }
+            }
+            let _ = writeln!(out, "P{proc}: {}", row.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::graph::DagBuilder;
+
+    fn fork() -> Dag {
+        // a(2) → b(3), a → c(1)
+        let mut b = DagBuilder::new();
+        let vs = b.add_vertices([2, 3, 1].map(Duration::new));
+        b.add_edge(vs[0], vs[1]).unwrap();
+        b.add_edge(vs[0], vs[2]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn entry(p: u32, s: u64, f: u64) -> ScheduleEntry {
+        ScheduleEntry {
+            processor: p,
+            start: Duration::new(s),
+            finish: Duration::new(f),
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let dag = fork();
+        let sched = TemplateSchedule::from_entries(
+            2,
+            vec![entry(0, 0, 2), entry(0, 2, 5), entry(1, 2, 3)],
+        );
+        assert_eq!(sched.validate(&dag), Ok(()));
+        assert_eq!(sched.makespan(), Duration::new(5));
+        assert_eq!(sched.total_busy_time(), Duration::new(6));
+        assert_eq!(sched.jobs_on(0), vec![VertexId::from_index(0), VertexId::from_index(1)]);
+    }
+
+    #[test]
+    fn detects_vertex_count_mismatch() {
+        let dag = fork();
+        let sched = TemplateSchedule::from_entries(1, vec![entry(0, 0, 2)]);
+        assert!(matches!(
+            sched.validate(&dag),
+            Err(ScheduleError::VertexCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_duration_mismatch() {
+        let dag = fork();
+        let sched = TemplateSchedule::from_entries(
+            2,
+            vec![entry(0, 0, 2), entry(0, 2, 4), entry(1, 2, 3)],
+        );
+        assert!(matches!(
+            sched.validate(&dag),
+            Err(ScheduleError::DurationMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_precedence_violation() {
+        let dag = fork();
+        let sched = TemplateSchedule::from_entries(
+            2,
+            vec![entry(0, 0, 2), entry(1, 1, 4), entry(1, 4, 5)],
+        );
+        assert!(matches!(
+            sched.validate(&dag),
+            Err(ScheduleError::PrecedenceViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_processor_overlap() {
+        let dag = fork();
+        let sched = TemplateSchedule::from_entries(
+            1,
+            vec![entry(0, 0, 2), entry(0, 2, 5), entry(0, 4, 5)],
+        );
+        assert!(matches!(
+            sched.validate(&dag),
+            Err(ScheduleError::ProcessorOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_out_of_range_processor() {
+        let dag = fork();
+        let sched = TemplateSchedule::from_entries(
+            1,
+            vec![entry(0, 0, 2), entry(0, 2, 5), entry(3, 2, 3)],
+        );
+        assert!(matches!(
+            sched.validate(&dag),
+            Err(ScheduleError::ProcessorOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let sched = TemplateSchedule::from_entries(1, Vec::new());
+        assert!(sched.is_empty());
+        assert_eq!(sched.makespan(), Duration::ZERO);
+        let empty = DagBuilder::new().build().unwrap();
+        assert_eq!(sched.validate(&empty), Ok(()));
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let sched = TemplateSchedule::from_entries(
+            2,
+            vec![entry(0, 0, 2), entry(0, 2, 5), entry(1, 2, 3)],
+        );
+        let g = sched.to_gantt();
+        assert!(g.contains("P0: 00111"));
+        assert!(g.contains("P1: ..2.."));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ScheduleError::ProcessorOverlap {
+            a: VertexId::from_index(1),
+            b: VertexId::from_index(2),
+            processor: 0,
+        };
+        assert!(e.to_string().contains("overlap"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests: LS always emits valid schedules within Graham's
+//! bound, on arbitrary DAGs, processor counts and priority policies.
+
+use fedsched_dag::graph::{Dag, DagBuilder};
+use fedsched_dag::time::Duration;
+use fedsched_graham::list::{
+    graham_upper_bound, list_schedule_with, makespan_lower_bound, PriorityPolicy,
+};
+use proptest::prelude::*;
+
+fn arb_dag(max_vertices: usize) -> impl Strategy<Value = Dag> {
+    (1..=max_vertices)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(1u64..=9, n),
+                prop::collection::vec(0.0f64..1.0, n * (n - 1) / 2),
+                0.0f64..0.8,
+            )
+        })
+        .prop_map(|(wcets, edge_rolls, p)| {
+            let mut b = DagBuilder::new();
+            let vs = b.add_vertices(wcets.into_iter().map(Duration::new));
+            let mut k = 0;
+            for i in 0..vs.len() {
+                for j in (i + 1)..vs.len() {
+                    if edge_rolls[k] < p {
+                        b.add_edge(vs[i], vs[j]).expect("forward edges are fresh");
+                    }
+                    k += 1;
+                }
+            }
+            b.build().expect("forward-only edges cannot cycle")
+        })
+}
+
+fn arb_policy() -> impl Strategy<Value = PriorityPolicy> {
+    prop_oneof![
+        Just(PriorityPolicy::ListOrder),
+        Just(PriorityPolicy::CriticalPathFirst),
+        Just(PriorityPolicy::LongestWcetFirst),
+    ]
+}
+
+proptest! {
+    /// Every LS schedule is a valid non-preemptive schedule of its DAG.
+    #[test]
+    fn ls_schedules_are_valid(dag in arb_dag(14), m in 1u32..=6, policy in arb_policy()) {
+        let s = list_schedule_with(&dag, m, policy);
+        prop_assert_eq!(s.validate(&dag), Ok(()));
+        prop_assert_eq!(s.total_busy_time(), dag.volume());
+    }
+
+    /// Every LS makespan lies between the optimal lower bound and Graham's
+    /// upper bound — the inequality Lemma 1 rests on.
+    #[test]
+    fn ls_makespan_within_graham_bounds(dag in arb_dag(14), m in 1u32..=6, policy in arb_policy()) {
+        let s = list_schedule_with(&dag, m, policy);
+        prop_assert!(s.makespan() >= makespan_lower_bound(&dag, m));
+        prop_assert!(s.makespan() <= graham_upper_bound(&dag, m));
+    }
+
+    /// LS is exact on a single processor: makespan equals the volume.
+    #[test]
+    fn ls_single_processor_is_volume(dag in arb_dag(12), policy in arb_policy()) {
+        let s = list_schedule_with(&dag, 1, policy);
+        prop_assert_eq!(s.makespan(), dag.volume());
+    }
+
+    /// Monotonicity in the *lower bound* sense: more processors never push
+    /// the makespan below `len` nor above the m-processor Graham bound.
+    /// (Note: LS makespans themselves are NOT monotone in m — that is the
+    /// anomaly — so we only assert the bound envelope.)
+    #[test]
+    fn bounds_envelope_shrinks_with_processors(dag in arb_dag(12), m in 1u32..=5) {
+        let lb_m = makespan_lower_bound(&dag, m);
+        let lb_m1 = makespan_lower_bound(&dag, m + 1);
+        prop_assert!(lb_m1 <= lb_m);
+        let ub_m = graham_upper_bound(&dag, m);
+        // Upper bound is not monotone in general form but the formula
+        // (vol + (m-1)len)/m decreases in m when vol ≥ len, which always
+        // holds.
+        let ub_m1 = graham_upper_bound(&dag, m + 1);
+        prop_assert!(ub_m1 <= ub_m + Duration::new(1)); // ceil slack
+    }
+
+    /// Work conservation: at any template start time, no processor was left
+    /// idle while the started job was already available. We verify a
+    /// consequence that is cheap to check: the schedule of an *independent*
+    /// job set (no edges) has no idle gap before the last start.
+    #[test]
+    fn independent_jobs_have_no_internal_idle(
+        wcets in prop::collection::vec(1u64..=9, 1..12),
+        m in 1u32..=4,
+    ) {
+        let mut b = DagBuilder::new();
+        b.add_vertices(wcets.iter().map(|&w| Duration::new(w)));
+        let dag = b.build().unwrap();
+        let s = list_schedule_with(&dag, m, PriorityPolicy::ListOrder);
+        // With independent jobs, every processor's jobs are back-to-back
+        // from time zero.
+        for p in 0..m {
+            let jobs = s.jobs_on(p);
+            let mut expected_start = Duration::ZERO;
+            for v in jobs {
+                let e = s.entry(v);
+                prop_assert_eq!(e.start, expected_start);
+                expected_start = e.finish;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact optimum sits between the analytic lower bound and every LS
+    /// schedule — and Graham's ratio bound holds against the *true* optimum.
+    #[test]
+    fn optimum_brackets_and_graham_ratio(dag in arb_dag(9), m in 1u32..=4) {
+        use fedsched_graham::optimal::optimal_makespan;
+        let opt = optimal_makespan(&dag, m, 3_000_000);
+        prop_assume!(opt.is_exact());
+        let opt = opt.value();
+        prop_assert!(opt >= makespan_lower_bound(&dag, m));
+        for policy in [
+            PriorityPolicy::ListOrder,
+            PriorityPolicy::CriticalPathFirst,
+            PriorityPolicy::LongestWcetFirst,
+        ] {
+            let ls = list_schedule_with(&dag, m, policy).makespan();
+            prop_assert!(ls >= opt, "LS beat the optimum?!");
+            // Lemma 1 against the true optimum:
+            // ls ≤ (2 − 1/m)·opt ⇔ ls·m ≤ (2m − 1)·opt.
+            prop_assert!(
+                u128::from(ls.ticks()) * u128::from(m)
+                    <= u128::from(2 * m - 1) * u128::from(opt.ticks()),
+                "Graham ratio violated: ls={ls}, opt={opt}, m={m}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Precedence semantics are invariant under transitive reduction: the
+    /// reduced DAG admits exactly the same LS schedules (entry-for-entry)
+    /// and the same exact optimum.
+    #[test]
+    fn schedules_invariant_under_transitive_reduction(
+        dag in arb_dag(10),
+        m in 1u32..=4,
+        policy in arb_policy(),
+    ) {
+        let reduced = dag.transitive_reduction();
+        prop_assert!(reduced.edge_count() <= dag.edge_count());
+        let a = list_schedule_with(&dag, m, policy);
+        let b = list_schedule_with(&reduced, m, policy);
+        prop_assert_eq!(a.entries(), b.entries());
+        // The schedule of the original validates against the reduction and
+        // vice versa (same precedence relation).
+        prop_assert_eq!(a.validate(&reduced), Ok(()));
+        prop_assert_eq!(b.validate(&dag), Ok(()));
+    }
+}

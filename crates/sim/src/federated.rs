@@ -1,0 +1,326 @@
+//! Run-time simulation of a federated schedule.
+//!
+//! Reproduces the paper's run-time system: each dedicated cluster replays
+//! its frozen template `σ_i` on every dag-job release (idling on early
+//! completion, per footnote 2), and each shared processor runs preemptive
+//! uniprocessor EDF over its partition slot.
+//!
+//! A deliberately *unsafe* cluster dispatcher is also provided —
+//! [`ClusterDispatch::RerunListScheduling`] — which re-runs LS on-line with
+//! the revealed actual execution times. Graham's anomaly makes this
+//! dispatcher miss deadlines that the template dispatcher provably cannot;
+//! experiment E8 quantifies exactly that.
+
+use fedsched_core::fedcons::FederatedSchedule;
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::time::Duration;
+use fedsched_graham::list::{list_schedule_ranked, PriorityPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{MissRecord, SimConfig, SimReport};
+use crate::trace::{ExecutionTrace, TraceSegment};
+use crate::uniproc::{simulate_edf_uniprocessor_traced, SequentialJob};
+
+/// How a dedicated cluster dispatches the jobs of a released dag-job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterDispatch {
+    /// Replay the frozen template `σ_i`: every vertex starts at its template
+    /// offset; early completions idle the processor (paper footnote 2).
+    /// Safe: actual execution times never exceed WCETs, so precedence holds
+    /// and the completion is never later than the template makespan.
+    #[default]
+    Template,
+    /// Re-run List Scheduling on-line with the actual execution times — the
+    /// scheme footnote 2 warns against. Subject to Graham's timing
+    /// anomalies: *shorter* executions can yield a *longer* schedule.
+    RerunListScheduling,
+}
+
+/// Simulates the complete federated runtime of `schedule` for `system`.
+///
+/// Scored jobs are exactly those whose absolute deadline lies within
+/// `config.horizon`. Consecutive dag-jobs of a cluster task never overlap
+/// under [`ClusterDispatch::Template`] (makespan ≤ D ≤ T); under the unsafe
+/// rerun dispatcher each dag-job is scheduled in isolation, which *favours*
+/// the rerun — the anomaly misses it still exhibits are genuine.
+///
+/// `policy` must match the priority policy the templates were built with so
+/// the rerun dispatcher replays the same list.
+///
+/// # Panics
+///
+/// Panics if `schedule` does not belong to `system` (task ids out of
+/// range).
+#[must_use]
+pub fn simulate_federated(
+    system: &TaskSystem,
+    schedule: &FederatedSchedule,
+    config: SimConfig,
+    dispatch: ClusterDispatch,
+    policy: PriorityPolicy,
+) -> SimReport {
+    simulate_federated_traced(system, schedule, config, dispatch, policy).0
+}
+
+/// Like [`simulate_federated`], additionally recording the full
+/// [`ExecutionTrace`] (every execution slice on every processor) for
+/// visualisation and overlap checking.
+#[must_use]
+pub fn simulate_federated_traced(
+    system: &TaskSystem,
+    schedule: &FederatedSchedule,
+    config: SimConfig,
+    dispatch: ClusterDispatch,
+    policy: PriorityPolicy,
+) -> (SimReport, ExecutionTrace) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut report = SimReport::default();
+    let mut trace = ExecutionTrace::new(schedule.total_processors());
+
+    // Dedicated clusters.
+    for cluster in schedule.clusters() {
+        let task = system.task(cluster.task);
+        let releases = config
+            .arrivals
+            .releases(&mut rng, task.period(), config.horizon);
+        for release in releases {
+            let deadline = release + task.deadline();
+            if deadline.ticks() > config.horizon.ticks() {
+                continue;
+            }
+            let actual: Vec<Duration> = task
+                .dag()
+                .wcets()
+                .iter()
+                .map(|&w| config.execution.sample(&mut rng, w))
+                .collect();
+            let completion_offset = match dispatch {
+                ClusterDispatch::Template => {
+                    let mut latest = Duration::ZERO;
+                    for (v, (&a, e)) in actual
+                        .iter()
+                        .zip(cluster.template.entries())
+                        .enumerate()
+                    {
+                        trace.push(TraceSegment {
+                            processor: cluster.first_processor + e.processor,
+                            task: cluster.task,
+                            vertex: Some(v as u32),
+                            start: release + e.start,
+                            end: release + e.start + a,
+                        });
+                        latest = latest.max(e.start + a);
+                    }
+                    latest
+                }
+                ClusterDispatch::RerunListScheduling => {
+                    let ranks = policy.ranks(task.dag());
+                    let rerun =
+                        list_schedule_ranked(task.dag(), cluster.processors, &ranks, &actual);
+                    for (v, e) in rerun.entries().iter().enumerate() {
+                        trace.push(TraceSegment {
+                            processor: cluster.first_processor + e.processor,
+                            task: cluster.task,
+                            vertex: Some(v as u32),
+                            start: release + e.start,
+                            end: release + e.finish,
+                        });
+                    }
+                    rerun.makespan()
+                }
+            };
+            let completion = release + completion_offset;
+            report.jobs_scored += 1;
+            if completion <= deadline {
+                report.jobs_on_time += 1;
+            } else {
+                report.misses.push(MissRecord {
+                    task: cluster.task,
+                    release,
+                    deadline,
+                    completion,
+                });
+            }
+        }
+    }
+
+    // Shared pool: one EDF simulation per shared processor.
+    for (slot, ids) in schedule.partition().iter() {
+        let processor = schedule.shared_first() + slot as u32;
+        let mut jobs: Vec<SequentialJob> = Vec::new();
+        for &id in ids {
+            let task = system.task(id);
+            let releases = config
+                .arrivals
+                .releases(&mut rng, task.period(), config.horizon);
+            for release in releases {
+                let execution: Duration = task
+                    .dag()
+                    .wcets()
+                    .iter()
+                    .map(|&w| config.execution.sample(&mut rng, w))
+                    .sum();
+                jobs.push(SequentialJob {
+                    task: id,
+                    release,
+                    deadline: release + task.deadline(),
+                    execution,
+                });
+            }
+        }
+        let (proc_report, segments) =
+            simulate_edf_uniprocessor_traced(&jobs, config.horizon, processor);
+        report.absorb(proc_report);
+        for s in segments {
+            trace.push(s);
+        }
+    }
+    (report, trace)
+}
+
+/// Convenience wrapper: random execution-time fractions are the interesting
+/// case for the anomaly experiment, so this samples `runs` different seeds
+/// and reports the total.
+#[must_use]
+pub fn simulate_federated_runs(
+    system: &TaskSystem,
+    schedule: &FederatedSchedule,
+    base: SimConfig,
+    dispatch: ClusterDispatch,
+    policy: PriorityPolicy,
+    runs: u64,
+) -> SimReport {
+    let mut seeds = StdRng::seed_from_u64(base.seed);
+    let mut total = SimReport::default();
+    for _ in 0..runs {
+        let config = SimConfig {
+            seed: seeds.gen(),
+            ..base
+        };
+        total.absorb(simulate_federated(system, schedule, config, dispatch, policy));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ArrivalModel, ExecutionModel};
+    use fedsched_core::fedcons::{fedcons, FedConsConfig};
+    use fedsched_dag::graph::DagBuilder;
+    use fedsched_dag::task::DagTask;
+
+    fn parallel_task(k: usize, w: u64, d: u64, t: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_vertices(std::iter::repeat_n(Duration::new(w), k));
+        DagTask::new(b.build().unwrap(), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    fn seq(c: u64, d: u64, t: u64) -> DagTask {
+        DagTask::sequential(Duration::new(c), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    fn admitted_system() -> (TaskSystem, FederatedSchedule) {
+        let system: TaskSystem = [
+            parallel_task(6, 1, 2, 4), // high-density: δ = 3
+            seq(1, 4, 8),
+            seq(2, 6, 12),
+        ]
+        .into_iter()
+        .collect();
+        let schedule = fedcons(&system, 5, FedConsConfig::default()).unwrap();
+        (system, schedule)
+    }
+
+    #[test]
+    fn admitted_system_is_clean_under_wcet_periodic() {
+        let (system, schedule) = admitted_system();
+        let config = SimConfig::worst_case(Duration::new(10_000));
+        let r = simulate_federated(
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+        );
+        assert!(r.jobs_scored > 2500, "scored {}", r.jobs_scored);
+        assert!(r.is_clean(), "misses: {:?}", r.misses);
+    }
+
+    #[test]
+    fn admitted_system_is_clean_with_early_completions() {
+        let (system, schedule) = admitted_system();
+        let config = SimConfig {
+            horizon: Duration::new(10_000),
+            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.4 },
+            execution: ExecutionModel::UniformFraction { min_fraction: 0.2 },
+            seed: 77,
+        };
+        let r = simulate_federated(
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+        );
+        assert!(r.jobs_scored > 1000);
+        assert!(r.is_clean(), "misses: {:?}", r.misses);
+    }
+
+    #[test]
+    fn multiple_runs_accumulate() {
+        let (system, schedule) = admitted_system();
+        let base = SimConfig {
+            horizon: Duration::new(500),
+            arrivals: ArrivalModel::Periodic,
+            execution: ExecutionModel::UniformFraction { min_fraction: 0.5 },
+            seed: 1,
+        };
+        let r = simulate_federated_runs(
+            &system,
+            &schedule,
+            base,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+            5,
+        );
+        let single = simulate_federated(
+            &system,
+            &schedule,
+            base,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+        );
+        assert_eq!(r.jobs_scored, 5 * single.jobs_scored);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (system, schedule) = admitted_system();
+        let config = SimConfig {
+            horizon: Duration::new(2_000),
+            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.3 },
+            execution: ExecutionModel::UniformFraction { min_fraction: 0.4 },
+            seed: 5,
+        };
+        let a = simulate_federated(
+            &system, &schedule, config, ClusterDispatch::Template, PriorityPolicy::ListOrder,
+        );
+        let b = simulate_federated(
+            &system, &schedule, config, ClusterDispatch::Template, PriorityPolicy::ListOrder,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn horizon_zero_scores_nothing() {
+        let (system, schedule) = admitted_system();
+        let config = SimConfig::worst_case(Duration::ZERO);
+        let r = simulate_federated(
+            &system, &schedule, config, ClusterDispatch::Template, PriorityPolicy::ListOrder,
+        );
+        assert_eq!(r.jobs_scored, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Discrete-event run-time simulator for federated and global scheduling of
+//! sporadic DAG task systems.
+//!
+//! The admission analyses of `fedsched-core` are offline guarantees; this
+//! crate provides the run-time system that cashes them in, as an exact
+//! integer-tick discrete-event simulation:
+//!
+//! * [`model`] — arrival processes, execution-time variation, reports;
+//! * [`uniproc`] — preemptive uniprocessor EDF (the shared-pool runtime);
+//! * [`federated`] — the full federated runtime: template replay on
+//!   dedicated clusters + EDF on the shared pool, plus the deliberately
+//!   unsafe "re-run LS on-line" dispatcher used to demonstrate Graham's
+//!   anomaly (paper footnote 2);
+//! * [`global_edf`] — vertex-level global EDF, the comparison runtime.
+//!
+//! # Examples
+//!
+//! Admit a system with FEDCONS, then watch it run clean:
+//!
+//! ```
+//! use fedsched_core::fedcons::{fedcons, FedConsConfig};
+//! use fedsched_dag::system::TaskSystem;
+//! use fedsched_dag::task::DagTask;
+//! use fedsched_dag::time::Duration;
+//! use fedsched_graham::list::PriorityPolicy;
+//! use fedsched_sim::federated::{simulate_federated, ClusterDispatch};
+//! use fedsched_sim::model::SimConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system: TaskSystem = [
+//!     DagTask::sequential(Duration::new(2), Duration::new(5), Duration::new(10))?,
+//!     DagTask::sequential(Duration::new(3), Duration::new(8), Duration::new(12))?,
+//! ]
+//! .into_iter()
+//! .collect();
+//! let schedule = fedcons(&system, 1, FedConsConfig::default())?;
+//! let report = simulate_federated(
+//!     &system,
+//!     &schedule,
+//!     SimConfig::worst_case(Duration::new(10_000)),
+//!     ClusterDispatch::Template,
+//!     PriorityPolicy::ListOrder,
+//! );
+//! assert!(report.is_clean());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod federated;
+pub mod global_edf;
+pub mod model;
+pub mod trace;
+pub mod uniproc;
+
+pub use federated::{
+    simulate_federated, simulate_federated_runs, simulate_federated_traced, ClusterDispatch,
+};
+pub use global_edf::simulate_global_edf;
+pub use model::{ArrivalModel, ExecutionModel, MissRecord, SimConfig, SimReport};
+pub use trace::{ExecutionTrace, TraceSegment};
+pub use uniproc::{
+    simulate_edf_uniprocessor, simulate_edf_uniprocessor_traced,
+    simulate_edf_uniprocessor_with_completions, SequentialJob,
+};

@@ -1,0 +1,272 @@
+//! Simulation configuration and reporting types.
+
+use core::fmt;
+
+use fedsched_dag::system::TaskId;
+use fedsched_dag::time::{Duration, Time};
+use rand::Rng;
+
+/// How dag-job releases are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Strictly periodic: releases at `0, T, 2T, …` — the densest legal
+    /// sporadic pattern and the worst case for demand.
+    Periodic,
+    /// Sporadic with uniform extra separation: each inter-arrival is
+    /// `T + U(0, max_extra_fraction · T)`.
+    SporadicUniformSlack {
+        /// Maximum extra separation as a fraction of the period.
+        max_extra_fraction: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Release instants within `[0, horizon)` for a task of period
+    /// `period`.
+    pub fn releases<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        period: Duration,
+        horizon: Duration,
+    ) -> Vec<Time> {
+        let mut out = Vec::new();
+        let mut t = Time::ZERO;
+        while t.ticks() < horizon.ticks() {
+            out.push(t);
+            let gap = match *self {
+                ArrivalModel::Periodic => period,
+                ArrivalModel::SporadicUniformSlack { max_extra_fraction } => {
+                    let extra = (period.ticks() as f64 * rng.gen_range(0.0..=max_extra_fraction))
+                        .round() as u64;
+                    period + Duration::new(extra)
+                }
+            };
+            match t.checked_add(gap) {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// How actual vertex execution times relate to WCETs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionModel {
+    /// Every vertex runs for exactly its WCET.
+    Wcet,
+    /// Each vertex runs for `max(1, round(wcet · U(min_fraction, 1)))` —
+    /// early completions, never overruns.
+    UniformFraction {
+        /// Lower bound of the execution-time fraction, in `(0, 1]`.
+        min_fraction: f64,
+    },
+    /// Every vertex runs for `max(1, wcet − 1)` — the deterministic
+    /// "all times reduced by one" perturbation of Graham's classic anomaly
+    /// instance \[11\], used by experiment E8.
+    OneTickShorter,
+}
+
+impl ExecutionModel {
+    /// Samples an actual execution time for a vertex of the given WCET.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, wcet: Duration) -> Duration {
+        match *self {
+            ExecutionModel::Wcet => wcet,
+            ExecutionModel::UniformFraction { min_fraction } => {
+                let f = rng.gen_range(min_fraction..=1.0);
+                Duration::new(((wcet.ticks() as f64 * f).round() as u64).max(1).min(wcet.ticks()))
+            }
+            ExecutionModel::OneTickShorter => {
+                Duration::new(wcet.ticks().saturating_sub(1).max(1))
+            }
+        }
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Simulate releases within `[0, horizon)`; only jobs whose absolute
+    /// deadline is at or before the horizon are scored, so truncation never
+    /// fabricates misses.
+    pub horizon: Duration,
+    /// Release pattern.
+    pub arrivals: ArrivalModel,
+    /// Execution-time variation.
+    pub execution: ExecutionModel,
+    /// RNG seed; every run is deterministic given the config.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A periodic, WCET-exact run over the given horizon — the worst-case
+    /// pattern the admission tests guard against.
+    #[must_use]
+    pub fn worst_case(horizon: Duration) -> SimConfig {
+        SimConfig {
+            horizon,
+            arrivals: ArrivalModel::Periodic,
+            execution: ExecutionModel::Wcet,
+            seed: 0,
+        }
+    }
+}
+
+/// One missed deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissRecord {
+    /// The task whose dag-job missed.
+    pub task: TaskId,
+    /// Release instant of the dag-job.
+    pub release: Time,
+    /// Its absolute deadline.
+    pub deadline: Time,
+    /// When it actually completed.
+    pub completion: Time,
+}
+
+impl MissRecord {
+    /// How late the job was.
+    #[must_use]
+    pub fn lateness(&self) -> Duration {
+        self.completion.saturating_since(self.deadline)
+    }
+}
+
+impl fmt::Display for MissRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} released {} missed deadline {} (completed {}, late by {})",
+            self.task,
+            self.release,
+            self.deadline,
+            self.completion,
+            self.lateness()
+        )
+    }
+}
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimReport {
+    /// Dag-jobs whose deadline fell within the horizon (the scored ones).
+    pub jobs_scored: u64,
+    /// Scored dag-jobs that completed by their deadline.
+    pub jobs_on_time: u64,
+    /// Every scored deadline miss, in completion order.
+    pub misses: Vec<MissRecord>,
+}
+
+impl SimReport {
+    /// `true` if no scored job missed its deadline.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.misses.is_empty()
+    }
+
+    /// Number of missed deadlines.
+    #[must_use]
+    pub fn miss_count(&self) -> usize {
+        self.misses.len()
+    }
+
+    /// The largest lateness observed, if any job missed.
+    #[must_use]
+    pub fn max_lateness(&self) -> Option<Duration> {
+        self.misses.iter().map(MissRecord::lateness).max()
+    }
+
+    /// Merges another report into this one.
+    pub fn absorb(&mut self, other: SimReport) {
+        self.jobs_scored += other.jobs_scored;
+        self.jobs_on_time += other.jobs_on_time;
+        self.misses.extend(other.misses);
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs scored, {} on time, {} misses",
+            self.jobs_scored,
+            self.jobs_on_time,
+            self.miss_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn periodic_releases_are_multiples_of_period() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = ArrivalModel::Periodic.releases(&mut rng, Duration::new(10), Duration::new(35));
+        assert_eq!(
+            r,
+            vec![Time::new(0), Time::new(10), Time::new(20), Time::new(30)]
+        );
+    }
+
+    #[test]
+    fn sporadic_releases_respect_minimum_separation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.5 };
+        let r = model.releases(&mut rng, Duration::new(10), Duration::new(1000));
+        for w in r.windows(2) {
+            let gap = w[1] - w[0];
+            assert!(gap >= Duration::new(10));
+            assert!(gap <= Duration::new(15));
+        }
+        assert!(r.len() >= 60); // mean gap ≤ 12.5 ⇒ at least ~80 releases
+    }
+
+    #[test]
+    fn execution_models_never_exceed_wcet_and_stay_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            ExecutionModel::Wcet.sample(&mut rng, Duration::new(9)),
+            Duration::new(9)
+        );
+        let m = ExecutionModel::UniformFraction { min_fraction: 0.3 };
+        for _ in 0..500 {
+            let s = m.sample(&mut rng, Duration::new(10));
+            assert!(s >= Duration::new(1));
+            assert!(s <= Duration::new(10));
+        }
+        // WCET 1 cannot shrink.
+        assert_eq!(m.sample(&mut rng, Duration::new(1)), Duration::new(1));
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let mut a = SimReport {
+            jobs_scored: 3,
+            jobs_on_time: 3,
+            misses: vec![],
+        };
+        let miss = MissRecord {
+            task: TaskId::from_index(1),
+            release: Time::new(0),
+            deadline: Time::new(5),
+            completion: Time::new(8),
+        };
+        let b = SimReport {
+            jobs_scored: 2,
+            jobs_on_time: 1,
+            misses: vec![miss],
+        };
+        a.absorb(b);
+        assert_eq!(a.jobs_scored, 5);
+        assert!(!a.is_clean());
+        assert_eq!(a.max_lateness(), Some(Duration::new(3)));
+        assert_eq!(miss.lateness(), Duration::new(3));
+        assert!(miss.to_string().contains("late by 3"));
+        assert!(a.to_string().contains("5 jobs scored"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Execution traces: what ran where, when.
+//!
+//! The traced simulation entry points (`simulate_federated_traced`,
+//! `simulate_edf_uniprocessor_traced`) record every execution slice as a
+//! [`TraceSegment`]. Traces support overlap validation (no processor runs
+//! two things at once — a whole-run invariant checked in tests) and ASCII
+//! Gantt rendering of a time window, which the `runtime_trace` example uses
+//! to visualise a federated system in flight.
+
+use core::fmt;
+
+use fedsched_dag::system::TaskId;
+use fedsched_dag::time::{Duration, Time};
+
+/// One contiguous execution slice on one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Global processor index.
+    pub processor: u32,
+    /// The task whose work ran.
+    pub task: TaskId,
+    /// The vertex index within the task's DAG, for cluster/global
+    /// schedules; `None` for sequentialised execution on a shared EDF
+    /// processor.
+    pub vertex: Option<u32>,
+    /// Slice start.
+    pub start: Time,
+    /// Slice end (exclusive).
+    pub end: Time,
+}
+
+impl TraceSegment {
+    /// Length of the slice.
+    #[must_use]
+    pub fn len(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// `true` for degenerate zero-length slices (never recorded, but the
+    /// type allows them).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for TraceSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.vertex {
+            Some(v) => write!(
+                f,
+                "P{} {}..{} {}[v{}]",
+                self.processor, self.start, self.end, self.task, v
+            ),
+            None => write!(
+                f,
+                "P{} {}..{} {}",
+                self.processor, self.start, self.end, self.task
+            ),
+        }
+    }
+}
+
+/// A whole-run execution trace over a fixed processor count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    processors: u32,
+    segments: Vec<TraceSegment>,
+}
+
+impl ExecutionTrace {
+    /// An empty trace over `processors` processors.
+    #[must_use]
+    pub fn new(processors: u32) -> ExecutionTrace {
+        ExecutionTrace {
+            processors,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Processor count the trace spans.
+    #[must_use]
+    pub fn processor_count(&self) -> u32 {
+        self.processors
+    }
+
+    /// Records a slice; zero-length slices are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment references a processor outside the trace or
+    /// ends before it starts.
+    pub fn push(&mut self, segment: TraceSegment) {
+        assert!(
+            segment.processor < self.processors,
+            "segment on out-of-range processor"
+        );
+        assert!(segment.end >= segment.start, "segment ends before start");
+        if !segment.is_empty() {
+            self.segments.push(segment);
+        }
+    }
+
+    /// All recorded slices, in recording order.
+    #[must_use]
+    pub fn segments(&self) -> &[TraceSegment] {
+        &self.segments
+    }
+
+    /// Total busy time across all processors.
+    #[must_use]
+    pub fn total_busy(&self) -> Duration {
+        self.segments.iter().map(TraceSegment::len).sum()
+    }
+
+    /// Merges another trace (e.g. from a different processor subset) into
+    /// this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the other trace spans more processors.
+    pub fn absorb(&mut self, other: ExecutionTrace) {
+        assert!(other.processors <= self.processors);
+        self.segments.extend(other.segments);
+    }
+
+    /// Verifies that no two slices overlap on the same processor, returning
+    /// the first offending pair if any.
+    #[must_use]
+    pub fn find_overlap(&self) -> Option<(TraceSegment, TraceSegment)> {
+        let mut by_proc: Vec<Vec<TraceSegment>> = vec![Vec::new(); self.processors as usize];
+        for &s in &self.segments {
+            by_proc[s.processor as usize].push(s);
+        }
+        for slices in &mut by_proc {
+            slices.sort_by_key(|s| (s.start, s.end));
+            for w in slices.windows(2) {
+                if w[0].end > w[1].start {
+                    return Some((w[0], w[1]));
+                }
+            }
+        }
+        None
+    }
+
+    /// Renders an ASCII Gantt chart of the window `[from, to)`: one row per
+    /// processor, one column per tick, task ids as base-36 glyphs and `.`
+    /// for idle.
+    ///
+    /// Intended for small windows; the width is `to − from` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from`.
+    #[must_use]
+    pub fn to_gantt(&self, from: Time, to: Time) -> String {
+        use core::fmt::Write as _;
+        let width = (to - from).ticks() as usize;
+        let mut rows = vec![vec!['.'; width]; self.processors as usize];
+        for s in &self.segments {
+            if s.end <= from || s.start >= to {
+                continue;
+            }
+            let glyph = char::from_digit((s.task.index() % 36) as u32, 36).unwrap_or('?');
+            let lo = s.start.max(from).ticks() - from.ticks();
+            let hi = s.end.min(to).ticks() - from.ticks();
+            for c in rows[s.processor as usize]
+                .iter_mut()
+                .take(hi as usize)
+                .skip(lo as usize)
+            {
+                *c = glyph;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "t={from}..{to}");
+        for (p, row) in rows.iter().enumerate() {
+            let _ = writeln!(out, "P{p}: {}", row.iter().collect::<String>());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(p: u32, task: usize, s: u64, e: u64) -> TraceSegment {
+        TraceSegment {
+            processor: p,
+            task: TaskId::from_index(task),
+            vertex: None,
+            start: Time::new(s),
+            end: Time::new(e),
+        }
+    }
+
+    #[test]
+    fn push_and_totals() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(seg(0, 1, 0, 3));
+        t.push(seg(1, 2, 1, 2));
+        t.push(seg(0, 1, 5, 5)); // zero-length: dropped
+        assert_eq!(t.segments().len(), 2);
+        assert_eq!(t.total_busy(), Duration::new(4));
+        assert_eq!(t.processor_count(), 2);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut t = ExecutionTrace::new(1);
+        t.push(seg(0, 1, 0, 3));
+        t.push(seg(0, 2, 5, 8));
+        assert_eq!(t.find_overlap(), None);
+        t.push(seg(0, 3, 2, 4));
+        let (a, b) = t.find_overlap().expect("overlap exists");
+        assert_eq!((a.start, b.start), (Time::new(0), Time::new(2)));
+        // Back-to-back slices do not overlap.
+        let mut t2 = ExecutionTrace::new(1);
+        t2.push(seg(0, 1, 0, 3));
+        t2.push(seg(0, 2, 3, 5));
+        assert_eq!(t2.find_overlap(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range processor")]
+    fn rejects_out_of_range_processor() {
+        let mut t = ExecutionTrace::new(1);
+        t.push(seg(1, 0, 0, 1));
+    }
+
+    #[test]
+    fn gantt_window_rendering() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(seg(0, 1, 2, 5));
+        t.push(seg(1, 2, 0, 2));
+        let g = t.to_gantt(Time::new(0), Time::new(6));
+        assert!(g.contains("P0: ..111."));
+        assert!(g.contains("P1: 22...."));
+        // Clipping at the window edges.
+        let clipped = t.to_gantt(Time::new(3), Time::new(5));
+        assert!(clipped.contains("P0: 11"));
+        assert!(clipped.contains("P1: .."));
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = ExecutionTrace::new(3);
+        a.push(seg(0, 1, 0, 1));
+        let mut b = ExecutionTrace::new(2);
+        b.push(seg(1, 2, 0, 1));
+        a.absorb(b);
+        assert_eq!(a.segments().len(), 2);
+    }
+
+    #[test]
+    fn segment_display() {
+        let s = seg(0, 3, 1, 4);
+        assert_eq!(s.to_string(), "P0 t1..t4 τ3");
+        let v = TraceSegment { vertex: Some(2), ..s };
+        assert_eq!(v.to_string(), "P0 t1..t4 τ3[v2]");
+        assert_eq!(s.len(), Duration::new(3));
+    }
+}
+
+impl ExecutionTrace {
+    /// Renders the window `[from, to)` as a standalone SVG document: one
+    /// swim-lane per processor, one rectangle per execution slice, colour-
+    /// coded by task (golden-angle hues, so adjacent task ids contrast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to < from`.
+    #[must_use]
+    pub fn to_svg(&self, from: Time, to: Time) -> String {
+        use core::fmt::Write as _;
+        const LANE_H: u64 = 28;
+        const LANE_GAP: u64 = 6;
+        const MARGIN: u64 = 40;
+        const WIDTH: u64 = 960;
+        let span = (to - from).ticks().max(1);
+        let scale = WIDTH as f64 / span as f64;
+        let height = MARGIN + self.processors as u64 * (LANE_H + LANE_GAP) + MARGIN / 2;
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{height}\" \
+             font-family=\"monospace\" font-size=\"11\">",
+            WIDTH + 2 * MARGIN
+        );
+        let _ = writeln!(
+            svg,
+            "  <text x=\"{MARGIN}\" y=\"20\">execution trace, t = {from} .. {to}</text>"
+        );
+        // Lanes.
+        for p in 0..self.processors {
+            let y = MARGIN + u64::from(p) * (LANE_H + LANE_GAP);
+            let _ = writeln!(
+                svg,
+                "  <text x=\"4\" y=\"{}\">P{p}</text>",
+                y + LANE_H / 2 + 4
+            );
+            let _ = writeln!(
+                svg,
+                "  <rect x=\"{MARGIN}\" y=\"{y}\" width=\"{WIDTH}\" height=\"{LANE_H}\" \
+                 fill=\"#f4f4f4\" stroke=\"#cccccc\"/>"
+            );
+        }
+        // Slices.
+        for s in &self.segments {
+            if s.end <= from || s.start >= to {
+                continue;
+            }
+            let lo = s.start.max(from).ticks() - from.ticks();
+            let hi = s.end.min(to).ticks() - from.ticks();
+            let x = MARGIN as f64 + lo as f64 * scale;
+            let w = ((hi - lo) as f64 * scale).max(1.0);
+            let y = MARGIN + u64::from(s.processor) * (LANE_H + LANE_GAP);
+            let hue = (s.task.index() as f64 * 137.508) % 360.0;
+            let _ = writeln!(
+                svg,
+                "  <rect x=\"{x:.1}\" y=\"{}\" width=\"{w:.1}\" height=\"{}\" \
+                 fill=\"hsl({hue:.0},70%,60%)\" stroke=\"#333333\" stroke-width=\"0.5\">\
+                 <title>{s}</title></rect>",
+                y + 2,
+                LANE_H - 4
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_lanes_and_slices() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(TraceSegment {
+            processor: 0,
+            task: TaskId::from_index(3),
+            vertex: Some(1),
+            start: Time::new(2),
+            end: Time::new(9),
+        });
+        let svg = t.to_svg(Time::ZERO, Time::new(20));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 3); // 2 lanes + 1 slice
+        assert!(svg.contains("<title>P0 t2..t9 τ3[v1]</title>"));
+        assert!(svg.contains(">P1<"));
+    }
+
+    #[test]
+    fn svg_clips_to_window() {
+        let mut t = ExecutionTrace::new(1);
+        t.push(TraceSegment {
+            processor: 0,
+            task: TaskId::from_index(0),
+            vertex: None,
+            start: Time::new(100),
+            end: Time::new(200),
+        });
+        let svg = t.to_svg(Time::ZERO, Time::new(50));
+        assert_eq!(svg.matches("<rect").count(), 1); // lane only
+    }
+}

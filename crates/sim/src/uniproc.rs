@@ -1,0 +1,261 @@
+//! Event-driven preemptive EDF on a single processor.
+//!
+//! Each shared processor of a federated schedule runs preemptive
+//! uniprocessor EDF over the sequentialised low-density tasks assigned to it
+//! (paper Section IV). The engine here is an exact event-driven simulation:
+//! between events (job arrival or completion) the pending job with the
+//! earliest absolute deadline runs; arrivals preempt instantly when they
+//! carry an earlier deadline.
+
+use core::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fedsched_dag::system::TaskId;
+use fedsched_dag::time::{Duration, Time};
+
+use crate::model::{MissRecord, SimReport};
+use crate::trace::TraceSegment;
+
+/// One sequential job released to a uniprocessor EDF queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequentialJob {
+    /// Originating task (for reporting).
+    pub task: TaskId,
+    /// Release instant.
+    pub release: Time,
+    /// Absolute deadline.
+    pub deadline: Time,
+    /// Actual execution demand (≤ the task's WCET/volume).
+    pub execution: Duration,
+}
+
+/// Simulates preemptive EDF over the given jobs on one processor, scoring
+/// every job whose deadline is at or before `horizon`.
+///
+/// Jobs may be supplied in any order. Ties on deadline break by release,
+/// task id and then input order (deterministic).
+///
+/// Completions after `horizon` are still tracked so that a job with
+/// deadline inside the horizon that would finish late is correctly reported
+/// as a miss rather than silently dropped.
+#[must_use]
+pub fn simulate_edf_uniprocessor(jobs: &[SequentialJob], horizon: Duration) -> SimReport {
+    run_edf(jobs, horizon, |_, _, _, _| {})
+}
+
+/// Like [`simulate_edf_uniprocessor`], additionally recording every
+/// execution slice as a [`TraceSegment`] on global processor `processor`.
+#[must_use]
+pub fn simulate_edf_uniprocessor_traced(
+    jobs: &[SequentialJob],
+    horizon: Duration,
+    processor: u32,
+) -> (SimReport, Vec<TraceSegment>) {
+    let mut segments = Vec::new();
+    let report = run_edf(jobs, horizon, |_, job, from, to| {
+        segments.push(TraceSegment {
+            processor,
+            task: job.task,
+            vertex: None,
+            start: from,
+            end: to,
+        });
+    });
+    (report, segments)
+}
+
+/// Like [`simulate_edf_uniprocessor`], additionally returning the
+/// completion instant of every input job (`None` if it never ran to
+/// completion, which cannot happen for finite job lists — every job
+/// eventually completes — but keeps the API total).
+///
+/// Useful for measuring *response times*: `completion − release`, compared
+/// against analytical bounds in the cross-validation tests.
+#[must_use]
+pub fn simulate_edf_uniprocessor_with_completions(
+    jobs: &[SequentialJob],
+    horizon: Duration,
+) -> (SimReport, Vec<Option<Time>>) {
+    let mut completions: Vec<Option<Time>> = vec![None; jobs.len()];
+    // The end of a job's latest slice is its completion once the run ends.
+    let report = run_edf(jobs, horizon, |idx, _, _, to| {
+        completions[idx] = Some(to);
+    });
+    (report, completions)
+}
+
+/// The EDF engine, parameterised over a slice observer invoked for every
+/// contiguous run of a job.
+fn run_edf(
+    jobs: &[SequentialJob],
+    horizon: Duration,
+    mut on_slice: impl FnMut(usize, &SequentialJob, Time, Time),
+) -> SimReport {
+    // Arrival-ordered queue.
+    let mut arrivals: Vec<(usize, &SequentialJob)> = jobs.iter().enumerate().collect();
+    arrivals.sort_by_key(|(i, j)| (j.release, j.deadline, j.task, *i));
+    let mut next_arrival = 0usize;
+
+    // Ready jobs: min-heap keyed by (deadline, release, task, input index).
+    type Key = (u64, u64, u32, usize);
+    let mut ready: BinaryHeap<Reverse<(Key, u64)>> = BinaryHeap::new(); // value: remaining
+    let push_key = |j: &SequentialJob, i: usize| {
+        (
+            j.deadline.ticks(),
+            j.release.ticks(),
+            j.task.index() as u32,
+            i,
+        )
+    };
+
+    let mut now = Time::ZERO;
+    let mut report = SimReport::default();
+    let score = |job: &SequentialJob, completion: Time, report: &mut SimReport| {
+        if job.deadline.ticks() <= horizon.ticks() {
+            report.jobs_scored += 1;
+            if completion <= job.deadline {
+                report.jobs_on_time += 1;
+            } else {
+                report.misses.push(MissRecord {
+                    task: job.task,
+                    release: job.release,
+                    deadline: job.deadline,
+                    completion,
+                });
+            }
+        }
+    };
+
+    loop {
+        // Admit everything that has arrived by `now`.
+        while next_arrival < arrivals.len() && arrivals[next_arrival].1.release <= now {
+            let (i, j) = arrivals[next_arrival];
+            ready.push(Reverse((push_key(j, i), j.execution.ticks())));
+            next_arrival += 1;
+        }
+        let Some(Reverse((key, remaining))) = ready.pop() else {
+            // Idle: jump to the next arrival or finish.
+            match arrivals.get(next_arrival) {
+                Some((_, j)) => {
+                    now = j.release;
+                    continue;
+                }
+                None => break,
+            }
+        };
+        let job = &jobs[key.3];
+        // Run until completion or the next arrival, whichever is first.
+        let completion_at = now + Duration::new(remaining);
+        let next_at = arrivals
+            .get(next_arrival)
+            .map(|(_, j)| j.release)
+            .unwrap_or(Time::MAX);
+        if completion_at <= next_at {
+            on_slice(key.3, job, now, completion_at);
+            now = completion_at;
+            score(job, now, &mut report);
+        } else {
+            let ran = next_at - now;
+            on_slice(key.3, job, now, next_at);
+            ready.push(Reverse((key, remaining - ran.ticks())));
+            now = next_at;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(task: usize, release: u64, deadline: u64, exec: u64) -> SequentialJob {
+        SequentialJob {
+            task: TaskId::from_index(task),
+            release: Time::new(release),
+            deadline: Time::new(deadline),
+            execution: Duration::new(exec),
+        }
+    }
+
+    #[test]
+    fn single_job_on_time() {
+        let r = simulate_edf_uniprocessor(&[job(0, 0, 5, 3)], Duration::new(100));
+        assert_eq!(r.jobs_scored, 1);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn single_job_too_long_misses() {
+        let r = simulate_edf_uniprocessor(&[job(0, 0, 5, 6)], Duration::new(100));
+        assert_eq!(r.miss_count(), 1);
+        assert_eq!(r.misses[0].completion, Time::new(6));
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        // Job B arrives later but has the earlier deadline: it must preempt.
+        let jobs = [job(0, 0, 20, 10), job(1, 2, 6, 3)];
+        let r = simulate_edf_uniprocessor(&jobs, Duration::new(100));
+        assert!(r.is_clean(), "{r}");
+        // A: runs 0–2, preempted, resumes 5–13 (≤ 20); B: 2–5 (≤ 6).
+        assert_eq!(r.jobs_scored, 2);
+    }
+
+    #[test]
+    fn non_preemptive_order_would_miss_but_edf_does_not() {
+        // Classic: long job first, short urgent job arrives during it.
+        let jobs = [job(0, 0, 100, 50), job(1, 1, 4, 2)];
+        let r = simulate_edf_uniprocessor(&jobs, Duration::new(200));
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn overload_misses_latest_deadline_first_job() {
+        // Two jobs due at 4 with total work 6: one must miss.
+        let jobs = [job(0, 0, 4, 3), job(1, 0, 4, 3)];
+        let r = simulate_edf_uniprocessor(&jobs, Duration::new(100));
+        assert_eq!(r.jobs_scored, 2);
+        assert_eq!(r.miss_count(), 1);
+        assert_eq!(r.misses[0].completion, Time::new(6));
+    }
+
+    #[test]
+    fn horizon_scores_only_contained_deadlines() {
+        let jobs = [job(0, 0, 5, 1), job(0, 90, 150, 1)];
+        let r = simulate_edf_uniprocessor(&jobs, Duration::new(100));
+        assert_eq!(r.jobs_scored, 1);
+    }
+
+    #[test]
+    fn miss_with_deadline_inside_horizon_counts_even_if_completion_outside() {
+        let jobs = [job(0, 0, 90, 120)];
+        let r = simulate_edf_uniprocessor(&jobs, Duration::new(100));
+        assert_eq!(r.jobs_scored, 1);
+        assert_eq!(r.miss_count(), 1);
+        assert_eq!(r.misses[0].completion, Time::new(120));
+    }
+
+    #[test]
+    fn idle_gaps_are_skipped() {
+        let jobs = [job(0, 0, 5, 1), job(0, 50, 55, 1)];
+        let r = simulate_edf_uniprocessor(&jobs, Duration::new(100));
+        assert_eq!(r.jobs_scored, 2);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let jobs = [job(1, 0, 10, 2), job(0, 0, 10, 2)];
+        let a = simulate_edf_uniprocessor(&jobs, Duration::new(50));
+        let b = simulate_edf_uniprocessor(&jobs, Duration::new(50));
+        assert_eq!(a, b);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let r = simulate_edf_uniprocessor(&[], Duration::new(10));
+        assert_eq!(r.jobs_scored, 0);
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,174 @@
+//! The soundness contract between offline admission and the runtime:
+//! every FEDCONS-admitted random system runs with zero deadline misses,
+//! under worst-case and relaxed conditions alike — while the unsafe
+//! re-run-LS dispatcher demonstrably misses on the anomaly instance.
+
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::DeadlineTightness;
+use fedsched_graham::anomaly::classic_anomaly_dag;
+use fedsched_graham::list::PriorityPolicy;
+use fedsched_sim::federated::{simulate_federated, simulate_federated_traced, ClusterDispatch};
+use fedsched_sim::model::{ArrivalModel, ExecutionModel, SimConfig};
+use proptest::prelude::*;
+
+fn random_system(seed: u64, n: usize, total_u: f64) -> Option<TaskSystem> {
+    SystemConfig::new(n, total_u)
+        .with_max_task_utilization(1.5)
+        .with_tightness(DeadlineTightness::new(0.2, 1.0))
+        .generate_seeded(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Admitted ⇒ clean under worst-case (periodic, WCET) conditions.
+    #[test]
+    fn admitted_systems_run_clean_worst_case(seed in 0u64..10_000, m in 2u32..=8) {
+        let Some(system) = random_system(seed, 5, f64::from(m) * 0.5) else {
+            return Ok(());
+        };
+        let Ok(schedule) = fedcons(&system, m, FedConsConfig::default()) else {
+            return Ok(());
+        };
+        let horizon = Duration::new(
+            system.hyperperiod().ticks().clamp(10_000, 200_000),
+        );
+        let report = simulate_federated(
+            &system,
+            &schedule,
+            SimConfig::worst_case(horizon),
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+        );
+        prop_assert!(report.is_clean(), "seed {seed}: {:?}", report.misses);
+        prop_assert!(report.jobs_scored > 0);
+    }
+
+    /// Admitted ⇒ clean also under sporadic arrivals and early completions
+    /// (sustainability of the federated runtime).
+    #[test]
+    fn admitted_systems_run_clean_relaxed(seed in 0u64..10_000, m in 2u32..=8) {
+        let Some(system) = random_system(seed, 5, f64::from(m) * 0.5) else {
+            return Ok(());
+        };
+        let Ok(schedule) = fedcons(&system, m, FedConsConfig::default()) else {
+            return Ok(());
+        };
+        let config = SimConfig {
+            horizon: Duration::new(50_000),
+            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.5 },
+            execution: ExecutionModel::UniformFraction { min_fraction: 0.25 },
+            seed,
+        };
+        let report = simulate_federated(
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+        );
+        prop_assert!(report.is_clean(), "seed {seed}: {:?}", report.misses);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    /// The execution trace of an admitted run is physically consistent: no
+    /// processor ever runs two slices at once, and busy time is positive.
+    #[test]
+    fn traces_have_no_processor_overlap(seed in 0u64..10_000, m in 2u32..=6) {
+        let Some(system) = random_system(seed, 5, f64::from(m) * 0.5) else {
+            return Ok(());
+        };
+        let Ok(schedule) = fedcons(&system, m, FedConsConfig::default()) else {
+            return Ok(());
+        };
+        let config = SimConfig {
+            horizon: Duration::new(20_000),
+            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.3 },
+            execution: ExecutionModel::UniformFraction { min_fraction: 0.4 },
+            seed,
+        };
+        let (report, trace) = simulate_federated_traced(
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+        );
+        prop_assert!(report.is_clean());
+        prop_assert_eq!(trace.find_overlap(), None);
+        prop_assert!(trace.total_busy() > Duration::ZERO);
+        prop_assert_eq!(trace.processor_count(), m);
+    }
+}
+
+/// The end-to-end anomaly demonstration (experiment E8): the exact system of
+/// Graham \[11\], admitted by FEDCONS with `D = makespan = 12`, runs clean
+/// forever under the template dispatcher — and misses deadlines under the
+/// re-run-LS dispatcher as soon as execution times shrink by one tick.
+#[test]
+fn rerun_dispatcher_suffers_grahams_anomaly_but_template_does_not() {
+    let task = DagTask::new(classic_anomaly_dag(), Duration::new(12), Duration::new(20))
+        .expect("valid task");
+    let system: TaskSystem = [task].into_iter().collect();
+    let schedule = fedcons(&system, 3, FedConsConfig::default()).expect("admitted on 3");
+    assert_eq!(schedule.clusters().len(), 1);
+    assert_eq!(schedule.clusters()[0].processors, 3);
+    assert_eq!(
+        schedule.clusters()[0].template.makespan(),
+        Duration::new(12)
+    );
+
+    let shorter = SimConfig {
+        horizon: Duration::new(2_000),
+        arrivals: ArrivalModel::Periodic,
+        execution: ExecutionModel::OneTickShorter,
+        seed: 0,
+    };
+
+    // Template replay: early completions only help.
+    let safe = simulate_federated(
+        &system,
+        &schedule,
+        shorter,
+        ClusterDispatch::Template,
+        PriorityPolicy::ListOrder,
+    );
+    assert!(safe.jobs_scored >= 99);
+    assert!(safe.is_clean(), "template dispatcher missed: {:?}", safe.misses);
+
+    // Re-running LS with the shorter times: makespan 13 > D = 12 — every
+    // single job misses.
+    let unsafe_rerun = simulate_federated(
+        &system,
+        &schedule,
+        shorter,
+        ClusterDispatch::RerunListScheduling,
+        PriorityPolicy::ListOrder,
+    );
+    assert_eq!(unsafe_rerun.jobs_on_time, 0);
+    assert_eq!(unsafe_rerun.miss_count() as u64, unsafe_rerun.jobs_scored);
+    assert_eq!(
+        unsafe_rerun.max_lateness(),
+        Some(Duration::new(1)),
+        "the anomaly adds exactly one tick"
+    );
+
+    // With exact WCETs, re-running LS reproduces the template and is clean —
+    // the danger is precisely the *reduction* of execution times.
+    let exact = SimConfig::worst_case(Duration::new(2_000));
+    let rerun_exact = simulate_federated(
+        &system,
+        &schedule,
+        exact,
+        ClusterDispatch::RerunListScheduling,
+        PriorityPolicy::ListOrder,
+    );
+    assert!(rerun_exact.is_clean());
+}

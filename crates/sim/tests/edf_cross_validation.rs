@@ -1,0 +1,170 @@
+//! The sharpest cross-check in the workspace: the *exact* analytical EDF
+//! test (processor demand criterion) versus the *simulated* EDF runtime
+//! must agree in both directions on synchronous periodic workloads.
+//!
+//! * Analysis says **schedulable** ⇒ the simulation never misses (over any
+//!   horizon: EDF optimality + the demand bound).
+//! * Analysis says **unschedulable** with witness `w` ⇒ the synchronous
+//!   periodic simulation misses some deadline at or before `w` (the demand
+//!   in `[0, w]` exceeds `w`, so no scheduler — EDF included — can clear it).
+
+use fedsched_analysis::dbf::SequentialView;
+use fedsched_analysis::edf::{edf_exact, EdfVerdict, DEFAULT_BUDGET};
+use fedsched_dag::system::TaskId;
+use fedsched_dag::time::{Duration, Time};
+use fedsched_sim::uniproc::{simulate_edf_uniprocessor, SequentialJob};
+use proptest::prelude::*;
+
+fn arb_view() -> impl Strategy<Value = SequentialView> {
+    (2u64..=30).prop_flat_map(|t| {
+        (1u64..=t, Just(t)).prop_flat_map(|(c, t)| {
+            (c..=t).prop_map(move |d| {
+                SequentialView::new(Duration::new(c), Duration::new(d), Duration::new(t))
+            })
+        })
+    })
+}
+
+/// Synchronous periodic jobs of every task, releases in `[0, horizon)`.
+fn synchronous_jobs(views: &[SequentialView], horizon: Duration) -> Vec<SequentialJob> {
+    let mut jobs = Vec::new();
+    for (i, v) in views.iter().enumerate() {
+        let mut release = Time::ZERO;
+        while release.ticks() < horizon.ticks() {
+            jobs.push(SequentialJob {
+                task: TaskId::from_index(i),
+                release,
+                deadline: release + v.deadline,
+                execution: v.wcet,
+            });
+            release += v.period;
+        }
+    }
+    jobs
+}
+
+fn hyperperiod(views: &[SequentialView]) -> u64 {
+    fn gcd(a: u64, b: u64) -> u64 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    views
+        .iter()
+        .fold(1u64, |l, v| l / gcd(l, v.period.ticks()) * v.period.ticks())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both directions of the agreement, on random constrained-deadline
+    /// sets small enough to simulate a full hyperperiod.
+    #[test]
+    fn exact_edf_test_agrees_with_simulation(
+        views in prop::collection::vec(arb_view(), 1..=4),
+    ) {
+        let hp = hyperperiod(&views);
+        prop_assume!(hp <= 500_000);
+        let d_max = views.iter().map(|v| v.deadline.ticks()).max().unwrap();
+
+        match edf_exact(&views, DEFAULT_BUDGET).unwrap() {
+            EdfVerdict::Schedulable => {
+                // Simulate two hyperperiods (+slack): must be clean.
+                let horizon = Duration::new(2 * hp + d_max);
+                let jobs = synchronous_jobs(&views, horizon);
+                let report = simulate_edf_uniprocessor(&jobs, horizon);
+                prop_assert!(
+                    report.is_clean(),
+                    "analysis said schedulable but simulation missed: {:?}",
+                    report.misses
+                );
+                prop_assert!(report.jobs_scored > 0);
+            }
+            EdfVerdict::Unschedulable { witness } => {
+                // Simulate past the witness: a miss must surface by then.
+                let horizon = Duration::new(witness.ticks() + d_max + 1);
+                let jobs = synchronous_jobs(&views, horizon);
+                let report = simulate_edf_uniprocessor(&jobs, horizon);
+                let earliest_miss = report
+                    .misses
+                    .iter()
+                    .map(|m| m.deadline)
+                    .min()
+                    .expect("analysis found demand overload; the run must miss");
+                prop_assert!(
+                    earliest_miss.ticks() <= witness.ticks(),
+                    "first miss at {earliest_miss} but witness was {witness}"
+                );
+            }
+        }
+    }
+
+    /// The verdict is sustainable: a schedulable set stays clean when
+    /// execution times shrink (simulated with 60% executions).
+    #[test]
+    fn schedulable_sets_survive_shorter_executions(
+        views in prop::collection::vec(arb_view(), 1..=4),
+    ) {
+        let hp = hyperperiod(&views);
+        prop_assume!(hp <= 300_000);
+        prop_assume!(edf_exact(&views, DEFAULT_BUDGET).unwrap().is_schedulable());
+        let horizon = Duration::new(hp + 64);
+        let mut jobs = synchronous_jobs(&views, horizon);
+        for j in &mut jobs {
+            j.execution = Duration::new((j.execution.ticks() * 3 / 5).max(1));
+        }
+        let report = simulate_edf_uniprocessor(&jobs, horizon);
+        prop_assert!(report.is_clean());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The Spuri response-time bounds dominate every response time the
+    /// simulator ever observes over two hyperperiods of the synchronous
+    /// pattern — and the bound-based verdict matches the exact test.
+    #[test]
+    fn response_time_bounds_dominate_simulation(
+        views in prop::collection::vec(arb_view(), 1..=4),
+    ) {
+        use fedsched_analysis::response_time::edf_response_times;
+        use fedsched_sim::uniproc::simulate_edf_uniprocessor_with_completions;
+
+        let hp = hyperperiod(&views);
+        prop_assume!(hp <= 300_000);
+        let Ok(bounds) = edf_response_times(&views, 5_000_000) else {
+            // U > 1: nothing to validate (no finite bounds exist).
+            return Ok(());
+        };
+
+        // Verdict agreement with the exact processor-demand test.
+        let exact = edf_exact(&views, DEFAULT_BUDGET).unwrap().is_schedulable();
+        prop_assert_eq!(
+            bounds.all_within_deadlines(&views),
+            exact,
+            "WCRT verdict disagrees with exact EDF test"
+        );
+
+        // Observed response times never exceed the bounds.
+        let d_max = views.iter().map(|v| v.deadline.ticks()).max().unwrap();
+        let horizon = Duration::new(2 * hp + d_max);
+        let jobs = synchronous_jobs(&views, horizon);
+        let (_, completions) = simulate_edf_uniprocessor_with_completions(&jobs, horizon);
+        for (job, completion) in jobs.iter().zip(&completions) {
+            let completion = completion.expect("every job completes");
+            let observed = completion - job.release;
+            let bound = bounds.of(job.task.index());
+            prop_assert!(
+                observed <= bound,
+                "task {} released {}: observed response {} exceeds bound {}",
+                job.task,
+                job.release,
+                observed,
+                bound
+            );
+        }
+    }
+}

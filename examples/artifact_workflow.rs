@@ -1,0 +1,79 @@
+//! The offline/online split, end to end: analyse on a workstation, ship the
+//! admission artifact, dispatch from it on the target.
+//!
+//! ```text
+//! cargo run --example artifact_workflow
+//! ```
+//!
+//! FEDCONS's output is not just a yes — it is a complete run-time
+//! configuration (cluster assignments + frozen templates + EDF partition).
+//! This example serialises that artifact to JSON, "ships" it (re-reads it
+//! from disk), independently re-validates every template against the task
+//! system, and then runs the simulator from the *deserialised* artifact,
+//! exactly as an embedded target would.
+
+use fedsched::core::fedcons::{fedcons, FedConsConfig, FederatedSchedule};
+use fedsched::dag::system::TaskSystem;
+use fedsched::dag::time::Duration;
+use fedsched::gen::system::SystemConfig;
+use fedsched::gen::DeadlineTightness;
+use fedsched::graham::list::PriorityPolicy;
+use fedsched::sim::federated::{simulate_federated, ClusterDispatch};
+use fedsched::sim::model::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("fedsched_artifact_demo");
+    std::fs::create_dir_all(&dir)?;
+
+    // ── Offline: generate, admit, persist both artifacts ────────────────
+    let system = SystemConfig::new(6, 3.0)
+        .with_max_task_utilization(1.5)
+        .with_tightness(DeadlineTightness::new(0.3, 1.0))
+        .generate_seeded(99)
+        .expect("feasible target");
+    let schedule = fedcons(&system, 6, FedConsConfig::default())?;
+
+    let system_path = dir.join("system.json");
+    let schedule_path = dir.join("schedule.json");
+    std::fs::write(&system_path, serde_json::to_string_pretty(&system)?)?;
+    std::fs::write(&schedule_path, serde_json::to_string_pretty(&schedule)?)?;
+    println!(
+        "offline: admitted on 6 processors, artifacts written to {}",
+        dir.display()
+    );
+
+    // ── "Ship" ──────────────────────────────────────────────────────────
+    let system: TaskSystem = serde_json::from_str(&std::fs::read_to_string(&system_path)?)?;
+    let shipped: FederatedSchedule =
+        serde_json::from_str(&std::fs::read_to_string(&schedule_path)?)?;
+    assert_eq!(shipped, schedule, "lossless round-trip");
+
+    // ── Online: independent validation before enabling dispatch ─────────
+    for cluster in shipped.clusters() {
+        let task = system.task(cluster.task);
+        cluster
+            .template
+            .validate(task.dag())
+            .expect("shipped template is a valid schedule of the shipped DAG");
+        assert!(cluster.template.makespan() <= task.deadline());
+        println!(
+            "online: template for {} validated ({} processors, makespan {})",
+            cluster.task, cluster.processors, cluster.template.makespan()
+        );
+    }
+
+    // ── Online: dispatch from the deserialised artifact ─────────────────
+    let report = simulate_federated(
+        &system,
+        &shipped,
+        SimConfig::worst_case(Duration::new(200_000)),
+        ClusterDispatch::Template,
+        PriorityPolicy::ListOrder,
+    );
+    println!("online: {report}");
+    assert!(report.is_clean());
+    println!("dispatching from the shipped artifact: all deadlines met.");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

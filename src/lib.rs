@@ -1,0 +1,67 @@
+//! # fedsched
+//!
+//! A complete, from-scratch implementation of **federated scheduling of
+//! constrained-deadline sporadic DAG task systems** (Sanjoy Baruah,
+//! DATE 2015), together with every substrate the paper depends on: the
+//! sporadic DAG task model, Graham's List Scheduling, demand-bound /
+//! exact-EDF analysis, Baruah–Fisher partitioning, baselines, random
+//! workload generation, a discrete-event runtime simulator, and an
+//! experiment harness that regenerates the paper's evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names. Depend on the individual `fedsched-*` crates if you only
+//! need one layer.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`dag`] | `fedsched-dag` | task model: time, rationals, DAGs, tasks, systems |
+//! | [`graham`] | `fedsched-graham` | List Scheduling, templates, timing anomalies |
+//! | [`analysis`] | `fedsched-analysis` | DBF/DBF*, exact EDF, first-fit partitioning |
+//! | [`core`] | `fedsched-core` | `MINPROCS`, `FEDCONS`, baselines, speedup measurement |
+//! | [`sim`] | `fedsched-sim` | discrete-event federated & global-EDF runtimes |
+//! | [`gen`] | `fedsched-gen` | reproducible random workload generation |
+//! | [`experiments`] | `fedsched-experiments` | tables/figures of the paper's evaluation |
+//!
+//! # Quickstart
+//!
+//! Admit a task system onto 4 processors and replay it in the simulator:
+//!
+//! ```
+//! use fedsched::core::fedcons::{fedcons, FedConsConfig};
+//! use fedsched::dag::examples::paper_figure1;
+//! use fedsched::dag::system::TaskSystem;
+//! use fedsched::dag::time::Duration;
+//! use fedsched::graham::list::PriorityPolicy;
+//! use fedsched::sim::federated::{simulate_federated, ClusterDispatch};
+//! use fedsched::sim::model::SimConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let system: TaskSystem = [paper_figure1()].into_iter().collect();
+//! let schedule = fedcons(&system, 4, FedConsConfig::default())?;
+//! let report = simulate_federated(
+//!     &system,
+//!     &schedule,
+//!     SimConfig::worst_case(Duration::new(100_000)),
+//!     ClusterDispatch::Template,
+//!     PriorityPolicy::ListOrder,
+//! );
+//! assert!(report.is_clean());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for complete scenarios (quickstart, an
+//! avionics pipeline, an autonomous-driving perception stack, and the
+//! Graham-anomaly demonstration) and `EXPERIMENTS.md` for the reproduced
+//! evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fedsched_analysis as analysis;
+pub use fedsched_core as core;
+pub use fedsched_dag as dag;
+pub use fedsched_experiments as experiments;
+pub use fedsched_gen as gen;
+pub use fedsched_graham as graham;
+pub use fedsched_sim as sim;

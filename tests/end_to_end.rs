@@ -1,0 +1,174 @@
+//! End-to-end pipeline tests: generate → admit → independently verify every
+//! artifact of the admission → simulate.
+
+use fedsched::analysis::dbf::SequentialView;
+use fedsched::analysis::edf::{edf_exact, edf_qpa, DEFAULT_BUDGET};
+use fedsched::core::fedcons::{fedcons, FedConsConfig};
+use fedsched::dag::system::TaskSystem;
+use fedsched::dag::time::Duration;
+use fedsched::gen::system::SystemConfig;
+use fedsched::gen::{DeadlineTightness, Span, Topology};
+use fedsched::graham::list::PriorityPolicy;
+use fedsched::sim::federated::{simulate_federated, ClusterDispatch};
+use fedsched::sim::model::{ArrivalModel, ExecutionModel, SimConfig};
+
+fn generate(seed: u64, topology: Topology) -> Option<TaskSystem> {
+    SystemConfig::new(8, 4.0)
+        .with_max_task_utilization(1.6)
+        .with_topology(topology)
+        .with_tightness(DeadlineTightness::new(0.2, 1.0))
+        .generate_seeded(seed)
+}
+
+fn topologies() -> Vec<Topology> {
+    vec![
+        Topology::Layered {
+            layers: Span::new(2, 5),
+            width: Span::new(1, 5),
+            edge_probability: 0.3,
+        },
+        Topology::ErdosRenyi {
+            vertices: Span::new(4, 18),
+            edge_probability: 0.2,
+        },
+        Topology::NestedForkJoin {
+            depth: Span::new(1, 2),
+            branching: Span::new(2, 3),
+        },
+        Topology::SeriesParallel {
+            operations: Span::new(3, 12),
+        },
+    ]
+}
+
+/// Every artifact of an accepted admission is independently verifiable:
+/// templates are valid WCET schedules meeting the deadline, every task is
+/// placed exactly once, and each shared processor passes *both* exact EDF
+/// deciders.
+#[test]
+fn admission_artifacts_are_independently_verifiable() {
+    let m = 8;
+    let mut admitted = 0;
+    for topology in topologies() {
+        for seed in 0..40u64 {
+            let Some(system) = generate(seed, topology) else { continue };
+            let Ok(schedule) = fedcons(&system, m, FedConsConfig::default()) else {
+                continue;
+            };
+            admitted += 1;
+
+            // Clusters: valid templates, within deadline, disjoint prefix.
+            let mut placed = vec![false; system.len()];
+            let mut next = 0u32;
+            for c in schedule.clusters() {
+                let task = system.task(c.task);
+                c.template.validate(task.dag()).expect("template is a valid schedule");
+                assert!(c.template.makespan() <= task.deadline());
+                assert_eq!(c.first_processor, next, "clusters are a contiguous prefix");
+                next += c.processors;
+                assert!(!placed[c.task.index()]);
+                placed[c.task.index()] = true;
+                assert!(task.is_high_density());
+            }
+            assert_eq!(next, schedule.shared_first());
+
+            // Shared pool: exact EDF on every processor, both deciders.
+            for (_, ids) in schedule.partition().iter() {
+                let views: Vec<SequentialView> = ids
+                    .iter()
+                    .map(|&id| SequentialView::of(system.task(id)))
+                    .collect();
+                assert!(edf_exact(&views, DEFAULT_BUDGET).unwrap().is_schedulable());
+                assert!(edf_qpa(&views, DEFAULT_BUDGET).unwrap().is_schedulable());
+                for &id in ids {
+                    assert!(!placed[id.index()], "task placed twice");
+                    placed[id.index()] = true;
+                    assert!(system.task(id).is_low_density());
+                }
+            }
+            assert!(placed.iter().all(|&p| p), "every task is placed");
+        }
+    }
+    assert!(admitted >= 40, "only {admitted} systems admitted — sweep too weak");
+}
+
+/// The full loop under every topology: admitted systems simulate clean with
+/// worst-case and relaxed configurations.
+#[test]
+fn generate_admit_simulate_loop() {
+    let m = 6;
+    let mut simulated = 0;
+    for topology in topologies() {
+        for seed in 100..115u64 {
+            let Some(system) = generate(seed, topology) else { continue };
+            let Ok(schedule) = fedcons(&system, m, FedConsConfig::default()) else {
+                continue;
+            };
+            for config in [
+                SimConfig::worst_case(Duration::new(40_000)),
+                SimConfig {
+                    horizon: Duration::new(40_000),
+                    arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.4 },
+                    execution: ExecutionModel::UniformFraction { min_fraction: 0.3 },
+                    seed,
+                },
+            ] {
+                let report = simulate_federated(
+                    &system,
+                    &schedule,
+                    config,
+                    ClusterDispatch::Template,
+                    PriorityPolicy::ListOrder,
+                );
+                assert!(report.is_clean(), "seed {seed}: {:?}", report.misses);
+                simulated += report.jobs_scored;
+            }
+        }
+    }
+    assert!(simulated > 5_000, "simulated only {simulated} jobs");
+}
+
+/// Rejections are honest: when FEDCONS declines, the named reason is real —
+/// a failing high-density task really cannot fit in the remaining
+/// processors, and a failing partition task really fits on no processor.
+#[test]
+fn rejections_name_a_real_culprit() {
+    use fedsched::core::fedcons::FedConsFailure;
+    use fedsched::core::minprocs::min_procs;
+    let m = 3;
+    let mut seen_high = false;
+    let mut seen_partition = false;
+    for seed in 0..200u64 {
+        let Some(system) = generate(
+            seed,
+            Topology::Layered {
+                layers: Span::new(2, 4),
+                width: Span::new(2, 6),
+                edge_probability: 0.4,
+            },
+        ) else {
+            continue;
+        };
+        match fedcons(&system, m, FedConsConfig::default()) {
+            Ok(_) => {}
+            Err(FedConsFailure::HighDensityTask { task, remaining }) => {
+                seen_high = true;
+                assert!(min_procs(
+                    system.task(task),
+                    remaining,
+                    PriorityPolicy::ListOrder
+                )
+                .is_none());
+            }
+            Err(FedConsFailure::Partition(p)) => {
+                seen_partition = true;
+                assert!(system.task(p.task).is_low_density());
+            }
+            Err(FedConsFailure::ArbitraryDeadline { .. }) => {
+                panic!("generator only emits constrained deadlines")
+            }
+        }
+    }
+    assert!(seen_high, "sweep should include high-density rejections");
+    assert!(seen_partition, "sweep should include partition rejections");
+}

@@ -1,0 +1,127 @@
+//! Randomized checks of the paper's analytical results: Lemma 1, Lemma 2 /
+//! Theorem 1 and the monotonicity assumptions behind the speed search.
+
+use fedsched::core::fedcons::{fedcons, FedConsConfig};
+use fedsched::core::feasibility::demand_load;
+use fedsched::core::minprocs::min_procs;
+use fedsched::core::speedup::{required_speed, system_at_speed};
+use fedsched::dag::rational::Rational;
+use fedsched::dag::system::TaskSystem;
+use fedsched::dag::task::DagTask;
+use fedsched::dag::time::Duration;
+use fedsched::gen::system::SystemConfig;
+use fedsched::gen::{DeadlineTightness, Span, Topology, WcetRange};
+use fedsched::graham::list::PriorityPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lemma 1: a task feasible (by the `max(len, vol/m) ≤ D` bound) on `m`
+/// unit-speed processors is MINPROCS-schedulable on `m` processors of speed
+/// `2 − 1/m`.
+#[test]
+fn lemma1_holds_on_random_dags() {
+    let topo = Topology::ErdosRenyi {
+        vertices: Span::new(6, 24),
+        edge_probability: 0.2,
+    };
+    for seed in 0..80u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = topo.generate(&mut rng, WcetRange::new(1, 15));
+        let len = dag.longest_chain().length.ticks();
+        let vol = dag.volume().ticks();
+        if vol == len {
+            continue;
+        }
+        let d = rng.gen_range(len..=vol);
+        let task = DagTask::new(dag, Duration::new(d), Duration::new(2 * d)).unwrap();
+        let m_lb = u32::try_from(vol.div_ceil(d)).unwrap().max(1);
+        let system: TaskSystem = [task].into_iter().collect();
+        // At speed 2 − 1/m (= (2m−1)/m) MINPROCS must succeed on m_lb.
+        let boosted = system_at_speed(
+            &system,
+            Rational::new(2 * i128::from(m_lb) - 1, i128::from(m_lb)),
+        );
+        assert!(
+            min_procs(&boosted.tasks()[0], m_lb, PriorityPolicy::ListOrder).is_some(),
+            "Lemma 1 violated at seed {seed} (m_lb = {m_lb})"
+        );
+    }
+}
+
+/// Theorem 1 (via Lemma 2): a low-density system whose load/utilization
+/// lower bound is `m` is FEDCONS-schedulable on `m` processors of speed
+/// `3 − 1/m`.
+#[test]
+fn theorem1_holds_on_random_low_density_systems() {
+    let cfg = SystemConfig::new(10, 2.5)
+        .with_max_task_utilization(0.9)
+        .with_tightness(DeadlineTightness::new(0.4, 1.0));
+    for seed in 0..50u64 {
+        let Some(raw) = cfg.generate_seeded(seed) else { continue };
+        let system: TaskSystem = raw.into_iter().filter(DagTask::is_low_density).collect();
+        if system.len() < 2 {
+            continue;
+        }
+        let m_lb = u32::try_from(
+            system
+                .total_utilization()
+                .ceil()
+                .max(demand_load(&system, 100_000).ceil())
+                .max(1),
+        )
+        .unwrap();
+        let boosted = system_at_speed(
+            &system,
+            Rational::new(3 * i128::from(m_lb) - 1, i128::from(m_lb)),
+        );
+        assert!(
+            fedcons(&boosted, m_lb, FedConsConfig::default()).is_ok(),
+            "Theorem 1 violated at seed {seed} (m_lb = {m_lb})"
+        );
+    }
+}
+
+/// The speed search assumes monotonicity: if FEDCONS accepts at speed `s`
+/// it accepts at every faster grid speed. Spot-check across random systems.
+#[test]
+fn fedcons_acceptance_is_monotone_in_speed() {
+    let cfg = SystemConfig::new(6, 3.0).with_max_task_utilization(1.4);
+    let m = 4;
+    for seed in 0..30u64 {
+        let Some(system) = cfg.generate_seeded(seed) else { continue };
+        let mut last = false;
+        for k in 4..=24i128 {
+            let s = Rational::new(k, 8);
+            let ok = fedcons(&system_at_speed(&system, s), m, FedConsConfig::default()).is_ok();
+            assert!(
+                ok || !last,
+                "non-monotone acceptance at seed {seed}, speed {s}"
+            );
+            last = ok;
+        }
+    }
+}
+
+/// `required_speed` returns a grid point that is genuinely minimal: the
+/// next-lower grid speed is rejected.
+#[test]
+fn required_speed_is_minimal_on_grid() {
+    let cfg = SystemConfig::new(6, 4.5).with_max_task_utilization(1.5);
+    let m = 3;
+    let grid = 16u32;
+    for seed in 0..30u64 {
+        let Some(system) = cfg.generate_seeded(seed) else { continue };
+        let accepts = |s: &TaskSystem| fedcons(s, m, FedConsConfig::default()).is_ok();
+        let Some(speed) = required_speed(&system, accepts, grid, 4) else {
+            continue;
+        };
+        assert!(accepts(&system_at_speed(&system, speed)));
+        let below = speed - Rational::new(1, i128::from(grid));
+        if below > Rational::ZERO {
+            assert!(
+                !accepts(&system_at_speed(&system, below)),
+                "seed {seed}: speed {speed} not minimal"
+            );
+        }
+    }
+}
