@@ -11,6 +11,8 @@
 //! * [`edf`] — exact processor-demand EDF tests (exhaustive and QPA);
 //! * [`partition`] — deadline-ordered first-fit partitioning (paper Fig. 4,
 //!   \[7\]);
+//! * [`incremental`] — the per-processor partition state factored out of
+//!   the batch partitioner, reusable by online admission control;
 //! * [`response_time`] — Spuri worst-case response-time bounds under EDF,
 //!   giving per-task slack rather than a bare yes/no.
 //!
@@ -39,11 +41,13 @@
 
 pub mod dbf;
 pub mod edf;
+pub mod incremental;
 pub mod partition;
 pub mod response_time;
 
 pub use dbf::{dbf, dbf_approx, total_dbf, total_dbf_approx, SequentialView};
 pub use edf::{edf_exact, edf_qpa, EdfVerdict, TestBudgetExceeded, DEFAULT_BUDGET};
+pub use incremental::{ProcessorState, SharedPool};
 pub use partition::{
     partition_first_fit, Partition, PartitionConfig, PartitionFailure, PartitionTest,
 };

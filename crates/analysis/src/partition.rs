@@ -25,16 +25,16 @@
 use core::fmt;
 
 use fedsched_dag::rational::Rational;
-use serde::{Deserialize, Serialize};
 use fedsched_dag::system::TaskId;
 use fedsched_dag::time::Duration;
+use serde::{Deserialize, Serialize};
 
 use crate::dbf::{dbf_approx, SequentialView};
 use crate::edf::edf_qpa;
+use crate::incremental::SharedPool;
 
 /// The per-processor admission test the first-fit partitioner applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PartitionTest {
     /// The paper's test (Fig. 4): approximate demand `DBF*` evaluated at
     /// the candidate's deadline. Polynomial time; carries the `(3 − 1/m)`
@@ -52,7 +52,6 @@ pub enum PartitionTest {
         budget: usize,
     },
 }
-
 
 /// Options for the first-fit partitioner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,20 +201,12 @@ pub fn partition_first_fit(
     order.sort_by_key(|&i| (tasks[i].1.deadline, tasks[i].0));
 
     let mut assignment: Vec<Vec<TaskId>> = vec![Vec::new(); processors];
-    let mut views: Vec<Vec<SequentialView>> = vec![Vec::new(); processors];
-    let mut utilizations: Vec<Rational> = vec![Rational::ZERO; processors];
+    let mut pool = SharedPool::new(processors, config);
 
     for &i in &order {
         let (id, view) = tasks[i];
-        let placed = (0..processors).find(|&k| {
-            fits(&views[k], utilizations[k], &view, config)
-        });
-        match placed {
-            Some(k) => {
-                assignment[k].push(id);
-                views[k].push(view);
-                utilizations[k] += view.utilization();
-            }
+        match pool.try_place(view) {
+            Some(k) => assignment[k].push(id),
             None => {
                 return Err(PartitionFailure {
                     task: id,
@@ -290,8 +281,8 @@ mod tests {
 
     #[test]
     fn single_task_single_processor() {
-        let p = partition_first_fit(&tasks(&[view(2, 4, 8)]), 1, PartitionConfig::default())
-            .unwrap();
+        let p =
+            partition_first_fit(&tasks(&[view(2, 4, 8)]), 1, PartitionConfig::default()).unwrap();
         assert_eq!(p.tasks_on(0), &[TaskId::from_index(0)]);
         assert_eq!(p.used_processors(), 1);
     }
@@ -377,9 +368,10 @@ mod tests {
         let ts = tasks(&vs);
         let p = partition_first_fit(&ts, 2, PartitionConfig::default()).unwrap();
         for (_, ids) in p.iter() {
-            let proc_views: Vec<SequentialView> =
-                ids.iter().map(|id| vs[id.index()]).collect();
-            assert!(edf_qpa(&proc_views, DEFAULT_BUDGET).unwrap().is_schedulable());
+            let proc_views: Vec<SequentialView> = ids.iter().map(|id| vs[id.index()]).collect();
+            assert!(edf_qpa(&proc_views, DEFAULT_BUDGET)
+                .unwrap()
+                .is_schedulable());
         }
     }
 
@@ -447,7 +439,12 @@ mod exact_test_tests {
         let u = resident[0].utilization();
         let cand = view(4, 8, 16);
         assert!(!fits(&resident, u, &cand, PartitionConfig::approx()));
-        assert!(fits(&resident, u, &cand, PartitionConfig::exact(DEFAULT_BUDGET)));
+        assert!(fits(
+            &resident,
+            u,
+            &cand,
+            PartitionConfig::exact(DEFAULT_BUDGET)
+        ));
         // ... and the exact verdict is genuine.
         let both = [resident[0], cand];
         assert!(edf_qpa(&both, DEFAULT_BUDGET).unwrap().is_schedulable());
@@ -461,8 +458,8 @@ mod exact_test_tests {
             view(2, 6, 12),
             view(5, 16, 16),
         ];
-        let p = partition_first_fit(&tasks(&vs), 2, PartitionConfig::exact(DEFAULT_BUDGET))
-            .unwrap();
+        let p =
+            partition_first_fit(&tasks(&vs), 2, PartitionConfig::exact(DEFAULT_BUDGET)).unwrap();
         for (_, ids) in p.iter() {
             let views: Vec<SequentialView> = ids.iter().map(|id| vs[id.index()]).collect();
             assert!(edf_qpa(&views, DEFAULT_BUDGET).unwrap().is_schedulable());

@@ -60,10 +60,7 @@ impl ResponseTimes {
     /// equivalent to EDF schedulability of the set.
     #[must_use]
     pub fn all_within_deadlines(&self, tasks: &[SequentialView]) -> bool {
-        self.values
-            .iter()
-            .zip(tasks)
-            .all(|(r, t)| *r <= t.deadline)
+        self.values.iter().zip(tasks).all(|(r, t)| *r <= t.deadline)
     }
 }
 

@@ -6,7 +6,7 @@
 //! agree, and `DBF*` dominates `dbf` pointwise.
 
 use fedsched_analysis::dbf::{dbf, dbf_approx, SequentialView};
-use fedsched_analysis::edf::{edf_exact, edf_qpa, demand_horizon, DEFAULT_BUDGET};
+use fedsched_analysis::edf::{demand_horizon, edf_exact, edf_qpa, DEFAULT_BUDGET};
 use fedsched_analysis::partition::{partition_first_fit, PartitionConfig};
 use fedsched_dag::rational::Rational;
 use fedsched_dag::system::TaskId;

@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fedsched_experiments::{
-    e10_partition_ablation, e11_policy_ablation, e12_exact_optimum, e13_global_sim,
-    e14_tightness, e15_critical_speed, e2_capacity, e3_acceptance, e4_baselines, e5_minprocs,
-    e6_partition, e7_runtime, e8_anomaly,
+    e10_partition_ablation, e11_policy_ablation, e12_exact_optimum, e13_global_sim, e14_tightness,
+    e15_critical_speed, e2_capacity, e3_acceptance, e4_baselines, e5_minprocs, e6_partition,
+    e7_runtime, e8_anomaly,
 };
 use std::hint::black_box;
 

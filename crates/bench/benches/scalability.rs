@@ -6,9 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fedsched_analysis::dbf::SequentialView;
 use fedsched_analysis::edf::{edf_exact, edf_qpa, DEFAULT_BUDGET};
+use fedsched_analysis::response_time::edf_response_times;
 use fedsched_bench::{bench_dag, bench_system, wide_dag};
 use fedsched_core::fedcons::{fedcons, FedConsConfig};
-use fedsched_analysis::response_time::edf_response_times;
 use fedsched_graham::list::{list_schedule, list_schedule_with, PriorityPolicy};
 use fedsched_graham::optimal::optimal_makespan;
 use std::hint::black_box;

@@ -18,8 +18,8 @@ use core::fmt;
 use fedsched_analysis::dbf::SequentialView;
 use fedsched_analysis::partition::PartitionConfig;
 use fedsched_analysis::response_time::edf_response_times;
-use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_core::feasibility::{demand_load, necessary_feasible};
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_dag::system::TaskSystem;
 use fedsched_dag::time::{Duration, Time};
 use fedsched_gen::system::SystemConfig;
@@ -195,10 +195,18 @@ pub fn info(json: &str) -> Result<String, CliError> {
         );
     }
     let _ = writeln!(out, "n = {}", system.len());
-    let _ = writeln!(out, "U_sum = {} ({:.3})", system.total_utilization(),
-        system.total_utilization().to_f64());
+    let _ = writeln!(
+        out,
+        "U_sum = {} ({:.3})",
+        system.total_utilization(),
+        system.total_utilization().to_f64()
+    );
     let _ = writeln!(out, "class = {}", system.deadline_class());
-    let _ = writeln!(out, "load  = {:.3}", demand_load(&system, 1_000_000).to_f64());
+    let _ = writeln!(
+        out,
+        "load  = {:.3}",
+        demand_load(&system, 1_000_000).to_f64()
+    );
     let _ = writeln!(out, "chains feasible = {}", system.all_chains_feasible());
     Ok(out)
 }
@@ -279,8 +287,10 @@ pub fn analyze(json: &str, opts: AnalyzeOptions) -> Result<String, CliError> {
                 if ids.is_empty() {
                     continue;
                 }
-                let views: Vec<SequentialView> =
-                    ids.iter().map(|&id| SequentialView::of(system.task(id))).collect();
+                let views: Vec<SequentialView> = ids
+                    .iter()
+                    .map(|&id| SequentialView::of(system.task(id)))
+                    .collect();
                 if let Ok(bounds) = edf_response_times(&views, 5_000_000) {
                     for (k, &id) in ids.iter().enumerate() {
                         let d = views[k].deadline;
@@ -408,7 +418,11 @@ fn render_simulation_text(
         let _ = writeln!(out, "  MISS {miss}");
     }
     if trace_window > 0 {
-        let _ = writeln!(out, "{}", trace.to_gantt(Time::ZERO, Time::new(trace_window)));
+        let _ = writeln!(
+            out,
+            "{}",
+            trace.to_gantt(Time::ZERO, Time::new(trace_window))
+        );
     }
     out
 }
@@ -458,12 +472,9 @@ pub fn simulate_with_svg(
 pub fn import_stg(stg: &str, deadline: u64, period: u64) -> Result<String, CliError> {
     let dag = fedsched_dag::stg::parse_stg(stg)
         .map_err(|e| CliError::Usage(format!("invalid STG document: {e}")))?;
-    let task = fedsched_dag::task::DagTask::new(
-        dag,
-        Duration::new(deadline),
-        Duration::new(period),
-    )
-    .map_err(|e| CliError::Usage(format!("invalid task parameters: {e}")))?;
+    let task =
+        fedsched_dag::task::DagTask::new(dag, Duration::new(deadline), Duration::new(period))
+            .map_err(|e| CliError::Usage(format!("invalid task parameters: {e}")))?;
     let system: TaskSystem = [task].into_iter().collect();
     Ok(serde_json::to_string_pretty(&system)?)
 }
@@ -493,6 +504,199 @@ pub fn dot(json: &str, task: Option<usize>) -> Result<String, CliError> {
     }
 }
 
+/// Options for `fedsched serve`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Platform size `m`.
+    pub processors: u32,
+    /// LS priority policy for cluster templates.
+    pub policy: PriorityPolicy,
+    /// Use the exact-EDF partition admission instead of `DBF*`.
+    pub exact_partition: bool,
+    /// Bind address (e.g. `127.0.0.1:7878`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker-thread count.
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            processors: 8,
+            policy: PriorityPolicy::ListOrder,
+            exact_partition: false,
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: 4,
+        }
+    }
+}
+
+/// `fedsched serve`: binds the admission server and returns its handle, so
+/// the binary can print the bound address before blocking in `join` and
+/// tests can drive the exact production wiring in-process.
+///
+/// # Errors
+///
+/// I/O errors binding the address.
+pub fn start_server(opts: &ServeOptions) -> Result<fedsched_service::ServerHandle, CliError> {
+    let config = fedsched_service::ServerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        admission: fedsched_service::AdmissionConfig {
+            processors: opts.processors,
+            fedcons: FedConsConfig {
+                policy: opts.policy,
+                partition: if opts.exact_partition {
+                    PartitionConfig::exact(fedsched_analysis::edf::DEFAULT_BUDGET)
+                } else {
+                    PartitionConfig::approx()
+                },
+            },
+        },
+    };
+    Ok(fedsched_service::serve(&config)?)
+}
+
+/// One `fedsched client` action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Admit every task of a system JSON (reporting one line per task).
+    Admit {
+        /// The system JSON text.
+        json: String,
+        /// Restrict to one task index of the system.
+        task: Option<usize>,
+    },
+    /// Remove an admitted task by token.
+    Remove {
+        /// The token to remove.
+        token: u64,
+    },
+    /// Query an admitted task's placement by token.
+    Query {
+        /// The token to query.
+        token: u64,
+    },
+    /// Fetch server counters.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+fn render_placement(placement: &fedsched_service::Placement) -> String {
+    match placement {
+        fedsched_service::Placement::Dedicated {
+            first_processor,
+            processors,
+        } => format!(
+            "dedicated cluster P{first_processor}..P{}",
+            first_processor + processors - 1
+        ),
+        fedsched_service::Placement::Shared { processor } => {
+            format!("shared processor P{processor}")
+        }
+    }
+}
+
+fn render_response(response: &fedsched_service::Response) -> String {
+    use fedsched_service::Response;
+    match response {
+        Response::Admitted {
+            token,
+            placement,
+            cache_hit,
+        } => format!(
+            "admitted token={token} on {}{}",
+            render_placement(placement),
+            if *cache_hit { " (cached sizing)" } else { "" }
+        ),
+        Response::Rejected { reason } => format!("rejected: {reason}"),
+        Response::Removed { token, migrated } => {
+            format!("removed token={token} ({migrated} tasks migrated)")
+        }
+        Response::TaskInfo { token, placement } => {
+            format!("token={token} on {}", render_placement(placement))
+        }
+        Response::NotFound { token } => format!("token={token} not found"),
+        Response::Stats { snapshot } => format!(
+            "platform: {} processors ({} dedicated, {} shared), {} resident tasks\n\
+             admitted: {} high / {} low; rejected: {} high / {} low\n\
+             removed: {} ({} replay anomalies)\n\
+             template cache: {} hits / {} misses ({} shapes)\n\
+             admit decisions sampled: {}",
+            snapshot.processors,
+            snapshot.dedicated_processors,
+            snapshot.shared_processors,
+            snapshot.resident_tasks,
+            snapshot.admitted_high,
+            snapshot.admitted_low,
+            snapshot.rejected_high,
+            snapshot.rejected_low,
+            snapshot.removed,
+            snapshot.remove_anomalies,
+            snapshot.cache_hits,
+            snapshot.cache_misses,
+            snapshot.cache_entries,
+            snapshot.latency_buckets_us.iter().sum::<u64>(),
+        ),
+        Response::ShuttingDown => "server shutting down".to_owned(),
+        Response::Error { message } => format!("server error: {message}"),
+    }
+}
+
+/// `fedsched client`: performs one action against a running server and
+/// renders the response(s) as text.
+///
+/// # Errors
+///
+/// Connection and protocol I/O errors, plus JSON errors for `Admit` input.
+pub fn client_command(addr: &str, action: &ClientAction) -> Result<String, CliError> {
+    use core::fmt::Write as _;
+    // Validate admit input before dialing the server.
+    let admit_tasks: Option<Vec<fedsched_dag::task::DagTask>> = match action {
+        ClientAction::Admit { json, task } => {
+            let system = parse_system(json)?;
+            Some(match task {
+                Some(i) => vec![system
+                    .tasks()
+                    .get(*i)
+                    .ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "task index {i} out of range (system has {} tasks)",
+                            system.len()
+                        ))
+                    })?
+                    .clone()],
+                None => system.tasks().to_vec(),
+            })
+        }
+        _ => None,
+    };
+    let mut client = fedsched_service::Client::connect(addr)?;
+    let mut out = String::new();
+    match action {
+        ClientAction::Admit { .. } => {
+            for t in admit_tasks.unwrap_or_default() {
+                let response = client.admit(&t)?;
+                let _ = writeln!(out, "{}", render_response(&response));
+            }
+        }
+        ClientAction::Remove { token } => {
+            let _ = writeln!(out, "{}", render_response(&client.remove(*token)?));
+        }
+        ClientAction::Query { token } => {
+            let _ = writeln!(out, "{}", render_response(&client.query(*token)?));
+        }
+        ClientAction::Stats => {
+            let _ = writeln!(out, "{}", render_response(&client.stats()?));
+        }
+        ClientAction::Shutdown => {
+            let _ = writeln!(out, "{}", render_response(&client.shutdown()?));
+        }
+    }
+    Ok(out)
+}
+
 /// The usage string shown by `fedsched --help` and on bad invocations.
 pub const USAGE: &str = "\
 fedsched — federated scheduling of constrained-deadline sporadic DAG tasks
@@ -509,6 +713,11 @@ USAGE:
                     [--svg out.svg]
   fedsched import-stg <graph.stg> --deadline D --period T   # STG -> system JSON
   fedsched dot      <system.json> [--task K]           # Graphviz to stdout
+  fedsched serve    -m M [--policy list|cpf|lwf] [--exact-partition]
+                    [--addr HOST:PORT] [--workers N]   # admission server
+  fedsched client   admit <system.json> [--task K] [--addr HOST:PORT]
+  fedsched client   remove|query --token T [--addr HOST:PORT]
+  fedsched client   stats|shutdown [--addr HOST:PORT]
 
 Exit codes: 0 ok, 1 usage/io error, 2 not schedulable.
 ";
@@ -648,8 +857,14 @@ mod tests {
     #[test]
     fn policy_parsing() {
         assert_eq!(parse_policy("list").unwrap(), PriorityPolicy::ListOrder);
-        assert_eq!(parse_policy("cpf").unwrap(), PriorityPolicy::CriticalPathFirst);
-        assert_eq!(parse_policy("lwf").unwrap(), PriorityPolicy::LongestWcetFirst);
+        assert_eq!(
+            parse_policy("cpf").unwrap(),
+            PriorityPolicy::CriticalPathFirst
+        );
+        assert_eq!(
+            parse_policy("lwf").unwrap(),
+            PriorityPolicy::LongestWcetFirst
+        );
         assert!(parse_policy("edf").is_err());
     }
 
@@ -707,6 +922,54 @@ mod tests {
     #[test]
     fn malformed_json_is_reported() {
         assert!(matches!(info("{not json"), Err(CliError::Json(_))));
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip() {
+        let handle = start_server(&ServeOptions {
+            processors: 8,
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+        let admit = client_command(
+            &addr,
+            &ClientAction::Admit {
+                json: sample_json(),
+                task: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(admit.lines().count(), 8, "one line per admitted task");
+        assert!(admit.contains("admitted token=0"));
+        let query = client_command(&addr, &ClientAction::Query { token: 0 }).unwrap();
+        assert!(query.contains("token=0 on "));
+        let stats = client_command(&addr, &ClientAction::Stats).unwrap();
+        assert!(stats.contains("platform: 8 processors"));
+        let removed = client_command(&addr, &ClientAction::Remove { token: 0 }).unwrap();
+        assert!(removed.contains("removed token=0"));
+        let missing = client_command(&addr, &ClientAction::Remove { token: 0 }).unwrap();
+        assert!(missing.contains("not found"));
+        let bye = client_command(&addr, &ClientAction::Shutdown).unwrap();
+        assert!(bye.contains("shutting down"));
+        handle.join();
+    }
+
+    #[test]
+    fn client_admit_rejects_bad_task_index_before_connecting() {
+        // Validation runs before dialing: no server listens on this addr,
+        // yet the error is the usage error, not a connection failure.
+        let err = client_command(
+            "127.0.0.1:1",
+            &ClientAction::Admit {
+                json: sample_json(),
+                task: Some(99),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "got {err:?}");
     }
 
     #[test]

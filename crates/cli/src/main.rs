@@ -5,8 +5,9 @@ use std::fs;
 use std::process::ExitCode;
 
 use fedsched_cli::{
-    analyze, analyze_to_json, dot, generate, import_stg, info, parse_policy, simulate,
-    simulate_with_svg, AnalyzeOptions, CliError, GenerateOptions, SimulateOptions, USAGE,
+    analyze, analyze_to_json, client_command, dot, generate, import_stg, info, parse_policy,
+    simulate, simulate_with_svg, start_server, AnalyzeOptions, CliError, ClientAction,
+    GenerateOptions, ServeOptions, SimulateOptions, USAGE,
 };
 
 fn run() -> Result<String, CliError> {
@@ -40,6 +41,9 @@ fn run() -> Result<String, CliError> {
                 | "--svg"
                 | "--deadline"
                 | "--period"
+                | "--addr"
+                | "--workers"
+                | "--token"
         )
     };
     while i < rest.len() {
@@ -64,16 +68,29 @@ fn run() -> Result<String, CliError> {
     // swallowing (e.g. `--utilisation`) is worse than an error.
     let known: &[&str] = match command {
         "generate" => &[
-            "--tasks", "--utilization", "--max-task-u", "--seed", "--topology", "--implicit",
+            "--tasks",
+            "--utilization",
+            "--max-task-u",
+            "--seed",
+            "--topology",
+            "--implicit",
         ],
         "info" => &[],
         "analyze" => &["-m", "--policy", "--exact-partition", "--save"],
         "simulate" => &[
-            "-m", "--policy", "--horizon", "--sporadic", "--exec-min", "--seed", "--trace",
+            "-m",
+            "--policy",
+            "--horizon",
+            "--sporadic",
+            "--exec-min",
+            "--seed",
+            "--trace",
             "--svg",
         ],
         "dot" => &["--task"],
         "import-stg" => &["--deadline", "--period"],
+        "serve" => &["-m", "--policy", "--exact-partition", "--addr", "--workers"],
+        "client" => &["--addr", "--token", "--task"],
         _ => &[],
     };
     if let Some((bad, _)) = flags.iter().find(|(f, _)| !known.contains(f)) {
@@ -164,7 +181,11 @@ fn run() -> Result<String, CliError> {
             }
             let input = read_input(&positional)?;
             let svg_window = flag("--svg").flatten().map(|path| {
-                let window = if opts.trace_window > 0 { opts.trace_window } else { 200 };
+                let window = if opts.trace_window > 0 {
+                    opts.trace_window
+                } else {
+                    200
+                };
                 (path, window)
             });
             match svg_window {
@@ -193,6 +214,67 @@ fn run() -> Result<String, CliError> {
                 _ => None,
             };
             dot(&read_input(&positional)?, task)
+        }
+        "serve" => {
+            let mut opts = ServeOptions::default();
+            match flag("-m") {
+                Some(Some(v)) => opts.processors = parse_num("-m", v)? as u32,
+                _ => return Err(CliError::Usage("serve requires -m <processors>".into())),
+            }
+            if let Some(Some(v)) = flag("--policy") {
+                opts.policy = parse_policy(v)?;
+            }
+            opts.exact_partition = flag("--exact-partition").is_some();
+            if let Some(Some(v)) = flag("--addr") {
+                opts.addr = v.to_owned();
+            }
+            if let Some(Some(v)) = flag("--workers") {
+                opts.workers = parse_num("--workers", v)? as usize;
+            }
+            let handle = start_server(&opts)?;
+            eprintln!(
+                "fedsched admission server on {} ({} workers, m = {})",
+                handle.local_addr(),
+                opts.workers.max(1),
+                opts.processors
+            );
+            handle.join();
+            Ok("server stopped\n".to_owned())
+        }
+        "client" => {
+            let addr = flag("--addr")
+                .flatten()
+                .unwrap_or("127.0.0.1:7878")
+                .to_owned();
+            let action = positional
+                .first()
+                .ok_or_else(|| CliError::Usage("client needs an action".into()))?;
+            let token = || -> Result<u64, CliError> {
+                match flag("--token") {
+                    Some(Some(v)) => Ok(parse_num("--token", v)? as u64),
+                    _ => Err(CliError::Usage(format!("client {action} requires --token"))),
+                }
+            };
+            let action = match *action {
+                "admit" => ClientAction::Admit {
+                    json: read_input(&positional[1..])?,
+                    task: match flag("--task") {
+                        Some(Some(v)) => Some(parse_num("--task", v)? as usize),
+                        _ => None,
+                    },
+                },
+                "remove" => ClientAction::Remove { token: token()? },
+                "query" => ClientAction::Query { token: token()? },
+                "stats" => ClientAction::Stats,
+                "shutdown" => ClientAction::Shutdown,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown client action {other:?} \
+                         (expected admit|remove|query|stats|shutdown)"
+                    )))
+                }
+            };
+            client_command(&addr, &action)
         }
         "-h" | "--help" | "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),

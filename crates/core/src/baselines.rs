@@ -208,8 +208,7 @@ pub fn global_edf_li_test(system: &TaskSystem, m: u32) -> bool {
         return false;
     }
     system.iter().all(|(_, t)| {
-        Rational::from(t.longest_chain_length().ticks())
-            <= Rational::from(t.period().ticks()) / b
+        Rational::from(t.longest_chain_length().ticks()) <= Rational::from(t.period().ticks()) / b
     })
 }
 
@@ -305,7 +304,10 @@ mod tests {
         let s = li_federated(&system, 2).unwrap();
         assert!(s.clusters.is_empty());
         // FFD: 3/4 → P0; 1/2 → P1; 1/4 → P0.
-        assert_eq!(s.shared[0], vec![TaskId::from_index(0), TaskId::from_index(2)]);
+        assert_eq!(
+            s.shared[0],
+            vec![TaskId::from_index(0), TaskId::from_index(2)]
+        );
         assert_eq!(s.shared[1], vec![TaskId::from_index(1)]);
         // One processor cannot host u = 3/2.
         assert!(matches!(
@@ -357,8 +359,8 @@ mod tests {
 
     #[test]
     fn density_baseline_basic() {
-        let light = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8))
-            .unwrap();
+        let light =
+            DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8)).unwrap();
         let system: TaskSystem = [light.clone(), light.clone(), light].into_iter().collect();
         // Σδ = 3/4, δmax = 1/4: 3/4 ≤ 2 − 1·(1/4) on m = 2 ✓.
         assert!(global_edf_density_test(&system, 2));

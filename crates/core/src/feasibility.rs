@@ -106,12 +106,7 @@ pub fn necessary_feasible(system: &TaskSystem, m: u32) -> bool {
 /// at least `max(len, vol/m)`, so the reciprocal of this ratio bounds the
 /// clairvoyant speed advantage.
 #[must_use]
-pub fn isolation_pressure(
-    len: Duration,
-    vol: Duration,
-    window: Duration,
-    m: u32,
-) -> Rational {
+pub fn isolation_pressure(len: Duration, vol: Duration, window: Duration, m: u32) -> Rational {
     let chain = Rational::ratio(len, window);
     let work = Rational::new(
         i128::from(vol.ticks()),

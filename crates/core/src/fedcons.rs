@@ -11,7 +11,6 @@
 use core::fmt;
 
 use fedsched_analysis::dbf::SequentialView;
-use serde::{Deserialize, Serialize};
 use fedsched_analysis::partition::{
     partition_first_fit, Partition, PartitionConfig, PartitionFailure,
 };
@@ -19,6 +18,7 @@ use fedsched_dag::system::{TaskId, TaskSystem};
 use fedsched_dag::task::DeadlineClass;
 use fedsched_graham::list::PriorityPolicy;
 use fedsched_graham::schedule::TemplateSchedule;
+use serde::{Deserialize, Serialize};
 
 use crate::minprocs::min_procs;
 
@@ -363,19 +363,18 @@ mod tests {
     fn mixed_system_gets_clusters_and_partition() {
         // One high-density parallel task (6 unit jobs, D=2 ⇒ 3 procs) and
         // two low-density sequential tasks.
-        let system: TaskSystem = [
-            parallel_task(6, 1, 2, 10),
-            seq(1, 4, 8),
-            seq(2, 6, 12),
-        ]
-        .into_iter()
-        .collect();
+        let system: TaskSystem = [parallel_task(6, 1, 2, 10), seq(1, 4, 8), seq(2, 6, 12)]
+            .into_iter()
+            .collect();
         let s = fedcons(&system, 5, FedConsConfig::default()).unwrap();
         assert_eq!(s.clusters().len(), 1);
         assert_eq!(s.clusters()[0].processors, 3);
         assert_eq!(s.shared_first(), 3);
         assert_eq!(s.shared_processors(), 2);
-        assert_eq!(s.cluster_of(TaskId::from_index(0)).unwrap().task, TaskId::from_index(0));
+        assert_eq!(
+            s.cluster_of(TaskId::from_index(0)).unwrap().task,
+            TaskId::from_index(0)
+        );
         assert!(s.shared_processor_of(TaskId::from_index(1)).is_some());
         assert!(s.shared_processor_of(TaskId::from_index(0)).is_none());
         // Both low tasks fit on one shared processor here.
@@ -403,7 +402,10 @@ mod tests {
     fn fails_when_high_density_exhausts_processors() {
         let system: TaskSystem = [parallel_task(6, 1, 2, 10)].into_iter().collect();
         let e = fedcons(&system, 2, FedConsConfig::default()).unwrap_err();
-        assert!(matches!(e, FedConsFailure::HighDensityTask { remaining: 2, .. }));
+        assert!(matches!(
+            e,
+            FedConsFailure::HighDensityTask { remaining: 2, .. }
+        ));
         assert!(e.to_string().contains("2 remaining"));
     }
 

@@ -48,8 +48,8 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
-pub mod fedcons;
 pub mod feasibility;
+pub mod fedcons;
 pub mod minprocs;
 pub mod speedup;
 
@@ -57,10 +57,10 @@ pub use baselines::{
     global_edf_density_test, global_edf_li_test, li_federated, LiFederatedFailure,
     LiFederatedSchedule,
 };
+pub use feasibility::{demand_load, necessary_feasible};
 pub use fedcons::{
     fedcons, fedcons_constraining, DedicatedCluster, FedConsConfig, FedConsFailure,
     FederatedSchedule,
 };
-pub use feasibility::{demand_load, necessary_feasible};
-pub use minprocs::{min_procs, MinProcsResult};
+pub use minprocs::{intrinsic_min_procs, min_procs, MinProcsResult};
 pub use speedup::{required_speed, system_at_speed, DEFAULT_SPEED_DENOMINATOR};

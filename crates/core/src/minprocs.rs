@@ -44,11 +44,7 @@ pub struct MinProcsResult {
 /// assert_eq!(r.processors, 1); // vol 9 ≤ D 16: one processor suffices
 /// ```
 #[must_use]
-pub fn min_procs(
-    task: &DagTask,
-    available: u32,
-    policy: PriorityPolicy,
-) -> Option<MinProcsResult> {
+pub fn min_procs(task: &DagTask, available: u32, policy: PriorityPolicy) -> Option<MinProcsResult> {
     if !task.is_chain_feasible() {
         return None;
     }
@@ -63,6 +59,23 @@ pub fn min_procs(
         }
     }
     None
+}
+
+/// The *intrinsic* sizing `μ*_i` of a task: [`min_procs`] with the cap set
+/// to the task's vertex count, which is always enough.
+///
+/// With at least as many processors as vertices, List Scheduling never makes
+/// a ready vertex wait, so every vertex starts at its earliest start time
+/// and the makespan equals the longest chain — which fits within `D_i`
+/// whenever the task is chain-feasible, under *every* priority policy.
+/// Hence the search is exhaustive: this returns `Some` iff the task is
+/// chain-feasible, and the result is independent of any platform-size cap
+/// `m_r ≥ μ*_i`. Online admission control relies on exactly that
+/// independence to size clusters without knowing the residual platform.
+#[must_use]
+pub fn intrinsic_min_procs(task: &DagTask, policy: PriorityPolicy) -> Option<MinProcsResult> {
+    let cap = u32::try_from(task.dag().vertex_count()).unwrap_or(u32::MAX);
+    min_procs(task, cap.max(1), policy)
 }
 
 #[cfg(test)]
@@ -130,6 +143,26 @@ mod tests {
             let s = fedsched_graham::list::list_schedule(t.dag(), mu);
             assert!(s.makespan() > t.deadline(), "μ = {mu} should not fit");
         }
+    }
+
+    #[test]
+    fn intrinsic_sizing_matches_uncapped_search() {
+        let t = parallel_task(6, 1, 2, 10);
+        let intrinsic = intrinsic_min_procs(&t, PriorityPolicy::ListOrder).unwrap();
+        let capped = min_procs(&t, 1_000, PriorityPolicy::ListOrder).unwrap();
+        assert_eq!(intrinsic.processors, capped.processors);
+        assert!(intrinsic.processors <= t.dag().vertex_count() as u32);
+    }
+
+    #[test]
+    fn intrinsic_sizing_fails_only_on_infeasible_chains() {
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([2, 3].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        let t = DagTask::new(b.build().unwrap(), Duration::new(4), Duration::new(10)).unwrap();
+        assert_eq!(intrinsic_min_procs(&t, PriorityPolicy::ListOrder), None);
+        let ok = parallel_task(4, 1, 1, 4);
+        assert!(intrinsic_min_procs(&ok, PriorityPolicy::CriticalPathFirst).is_some());
     }
 
     #[test]

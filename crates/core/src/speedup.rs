@@ -47,8 +47,12 @@ pub fn system_at_speed(system: &TaskSystem, speed: Rational) -> TaskSystem {
         .iter()
         .map(|(_, task)| {
             let mut b = DagBuilder::with_capacity(task.dag().vertex_count());
-            let ids =
-                b.add_vertices(task.dag().wcets().iter().map(|w| Duration::new(w.ticks() * q)));
+            let ids = b.add_vertices(
+                task.dag()
+                    .wcets()
+                    .iter()
+                    .map(|w| Duration::new(w.ticks() * q)),
+            );
             for (a, z) in task.dag().edges() {
                 b.add_edge(ids[a.index()], ids[z.index()])
                     .expect("edges copied from a valid DAG");
@@ -152,8 +156,7 @@ mod tests {
         // due at time 1 need speed n.
         let n = 4u32;
         let sys = paper_example2(n);
-        let accepts_on_one =
-            |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
+        let accepts_on_one = |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
         let speed = required_speed(&sys, accepts_on_one, 1, 16).unwrap();
         assert_eq!(speed, Rational::from_integer(i128::from(n)));
     }

@@ -87,8 +87,14 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_without_trailing_punctuation() {
         let msgs = [
-            GraphBuildError::UnknownVertex { vertex: VertexId::from_index(3) }.to_string(),
-            GraphBuildError::SelfLoop { vertex: VertexId::from_index(0) }.to_string(),
+            GraphBuildError::UnknownVertex {
+                vertex: VertexId::from_index(3),
+            }
+            .to_string(),
+            GraphBuildError::SelfLoop {
+                vertex: VertexId::from_index(0),
+            }
+            .to_string(),
             GraphBuildError::DuplicateEdge {
                 from: VertexId::from_index(0),
                 to: VertexId::from_index(1),
@@ -98,7 +104,10 @@ mod tests {
             TaskBuildError::ZeroDeadline.to_string(),
             TaskBuildError::ZeroPeriod.to_string(),
             TaskBuildError::EmptyDag.to_string(),
-            TaskBuildError::ZeroWcet { vertex: VertexId::from_index(2) }.to_string(),
+            TaskBuildError::ZeroWcet {
+                vertex: VertexId::from_index(2),
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m:?} ends with punctuation");

@@ -42,8 +42,12 @@ pub fn paper_figure1() -> DagTask {
     b.add_edge(v[1], v[3]).expect("fresh edge");
     b.add_edge(v[2], v[3]).expect("fresh edge");
     b.add_edge(v[2], v[4]).expect("fresh edge");
-    DagTask::new(b.build().expect("acyclic"), Duration::new(16), Duration::new(20))
-        .expect("valid parameters")
+    DagTask::new(
+        b.build().expect("acyclic"),
+        Duration::new(16),
+        Duration::new(20),
+    )
+    .expect("valid parameters")
 }
 
 /// The task system of the paper's **Example 2**, which shows that capacity
@@ -79,8 +83,12 @@ pub fn paper_example2(n: u32) -> TaskSystem {
     assert!(n > 0, "Example 2 needs at least one task");
     (0..n)
         .map(|_| {
-            DagTask::sequential(Duration::new(1), Duration::new(1), Duration::new(u64::from(n)))
-                .expect("valid parameters")
+            DagTask::sequential(
+                Duration::new(1),
+                Duration::new(1),
+                Duration::new(u64::from(n)),
+            )
+            .expect("valid parameters")
         })
         .collect()
 }

@@ -183,13 +183,17 @@ impl Dag {
     /// Vertices with no predecessors.
     #[must_use]
     pub fn sources(&self) -> Vec<VertexId> {
-        self.vertices().filter(|&v| self.in_degree(v) == 0).collect()
+        self.vertices()
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// Vertices with no successors.
     #[must_use]
     pub fn sinks(&self) -> Vec<VertexId> {
-        self.vertices().filter(|&v| self.out_degree(v) == 0).collect()
+        self.vertices()
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// A topological order of the vertices (every edge goes forward in it).
@@ -227,7 +231,8 @@ impl Dag {
         let mut dist = vec![Duration::ZERO; n];
         let mut pred: Vec<Option<VertexId>> = vec![None; n];
         for &v in &self.topo {
-            let best_in = self.predecessors(v)
+            let best_in = self
+                .predecessors(v)
                 .iter()
                 .copied()
                 .max_by_key(|p| dist[p.index()]);
@@ -495,10 +500,7 @@ mod tests {
         let chain = d.longest_chain();
         // a → c → d: 1 + 3 + 4 = 8.
         assert_eq!(chain.length, Duration::new(8));
-        assert_eq!(
-            chain.vertices,
-            vec![VertexId(0), VertexId(2), VertexId(3)]
-        );
+        assert_eq!(chain.vertices, vec![VertexId(0), VertexId(2), VertexId(3)]);
     }
 
     #[test]

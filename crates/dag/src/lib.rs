@@ -59,7 +59,7 @@ pub mod time;
 pub use error::{GraphBuildError, TaskBuildError};
 pub use graph::{Chain, Dag, DagBuilder, VertexId};
 pub use rational::Rational;
-pub use system::{TaskId, TaskSystem};
 pub use stg::{parse_stg, ParseStgError};
+pub use system::{TaskId, TaskSystem};
 pub use task::{DagTask, DeadlineClass};
 pub use time::{Duration, Time};

@@ -246,10 +246,7 @@ impl Add for Rational {
         let g = gcd(self.den, rhs.den);
         let scale_l = rhs.den / g;
         let scale_r = self.den / g;
-        Rational::new(
-            self.num * scale_l + rhs.num * scale_r,
-            self.den * scale_l,
-        )
+        Rational::new(self.num * scale_l + rhs.num * scale_r, self.den * scale_l)
     }
 }
 
@@ -411,9 +408,13 @@ mod tests {
 
     #[test]
     fn sum_and_display() {
-        let s: Rational = [Rational::new(1, 4), Rational::new(1, 4), Rational::new(1, 2)]
-            .iter()
-            .sum();
+        let s: Rational = [
+            Rational::new(1, 4),
+            Rational::new(1, 4),
+            Rational::new(1, 2),
+        ]
+        .iter()
+        .sum();
         assert_eq!(s, Rational::ONE);
         assert_eq!(Rational::new(9, 16).to_string(), "9/16");
         assert_eq!(Rational::from_integer(3).to_string(), "3");

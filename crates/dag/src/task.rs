@@ -300,7 +300,10 @@ mod tests {
             chain_task(&[1], 6, 5).deadline_class(),
             DeadlineClass::Arbitrary
         );
-        assert_eq!(DeadlineClass::Constrained.to_string(), "constrained-deadline");
+        assert_eq!(
+            DeadlineClass::Constrained.to_string(),
+            "constrained-deadline"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(wcet + wcet, Duration::new(6));
 /// assert_eq!(wcet.ticks(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Duration(u64);
 
@@ -58,7 +60,9 @@ pub struct Duration(u64);
 /// let t = Time::ZERO + Duration::new(42);
 /// assert_eq!(t.ticks(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Time(u64);
 
@@ -368,10 +372,7 @@ mod tests {
             Duration::new(2).saturating_sub(Duration::new(5)),
             Duration::ZERO
         );
-        assert_eq!(
-            Time::new(2).saturating_since(Time::new(5)),
-            Duration::ZERO
-        );
+        assert_eq!(Time::new(2).saturating_since(Time::new(5)), Duration::ZERO);
         assert_eq!(
             Time::new(7).saturating_since(Time::new(5)),
             Duration::new(2)

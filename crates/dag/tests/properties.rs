@@ -214,8 +214,8 @@ proptest! {
             prop_assert!(!c[a][a], "cycle through v{a}");
             for b in 0..n {
                 if !c[a][b] { continue; }
-                for z in 0..n {
-                    if c[b][z] {
+                for (z, &via) in c[b].iter().enumerate() {
+                    if via {
                         prop_assert!(c[a][z], "transitivity broken: {a}->{b}->{z}");
                     }
                 }

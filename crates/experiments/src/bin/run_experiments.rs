@@ -13,9 +13,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fedsched_experiments::{
-    e10_partition_ablation, e11_policy_ablation, e12_exact_optimum, e13_global_sim,
-    e14_tightness, e15_critical_speed, e2_capacity, e3_acceptance, e4_baselines, e5_minprocs,
-    e6_partition, e7_runtime, e8_anomaly, Table,
+    e10_partition_ablation, e11_policy_ablation, e12_exact_optimum, e13_global_sim, e14_tightness,
+    e15_critical_speed, e2_capacity, e3_acceptance, e4_baselines, e5_minprocs, e6_partition,
+    e7_runtime, e8_anomaly, Table,
 };
 
 struct Options {
@@ -36,19 +36,24 @@ fn parse_args() -> Result<Options, String> {
                 out = PathBuf::from(args.next().ok_or("--out needs a directory")?);
             }
             "-h" | "--help" => {
-                return Err("usage: run_experiments [--quick] [--out DIR] [e2..e8|e10..e15|all]...".into())
+                return Err(
+                    "usage: run_experiments [--quick] [--out DIR] [e2..e8|e10..e15|all]...".into(),
+                )
             }
-            e @ ("e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e10" | "e11" | "e12" | "e13" | "e14" | "e15" | "all") => {
+            e @ ("e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e10" | "e11" | "e12" | "e13"
+            | "e14" | "e15" | "all") => {
                 experiments.push(e.to_owned());
             }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
-        experiments = ["e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        experiments = [
+            "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e10", "e11", "e12", "e13", "e14", "e15",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
     }
     Ok(Options {
         quick,
@@ -90,7 +95,11 @@ fn main() -> ExitCode {
                     cfg.systems_per_point = 40;
                 }
                 let rows = e3_acceptance::run(&cfg);
-                emit(&e3_acceptance::to_table(&rows), &opts.out, "e3_acceptance.csv");
+                emit(
+                    &e3_acceptance::to_table(&rows),
+                    &opts.out,
+                    "e3_acceptance.csv",
+                );
             }
             "e4" => {
                 for implicit in [true, false] {
@@ -125,7 +134,11 @@ fn main() -> ExitCode {
                     cfg.trials = 60;
                 }
                 let rows = e6_partition::run(&cfg);
-                emit(&e6_partition::to_table(&rows), &opts.out, "e6_partition.csv");
+                emit(
+                    &e6_partition::to_table(&rows),
+                    &opts.out,
+                    "e6_partition.csv",
+                );
             }
             "e7" => {
                 let mut cfg = e7_runtime::E7Config::default();

@@ -95,8 +95,7 @@ pub fn run(cfg: &E10Config) -> Vec<E10Row> {
             if partition_first_fit(&views, cfg.m, PartitionConfig::approx()).is_ok() {
                 row.approx_accepted += 1;
             }
-            if partition_first_fit(&views, cfg.m, PartitionConfig::exact(cfg.exact_budget))
-                .is_ok()
+            if partition_first_fit(&views, cfg.m, PartitionConfig::exact(cfg.exact_budget)).is_ok()
             {
                 row.exact_accepted += 1;
             }

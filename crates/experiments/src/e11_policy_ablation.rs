@@ -126,7 +126,14 @@ pub fn run(cfg: &E11Config) -> Vec<E11Row> {
 pub fn to_table(rows: &[E11Row]) -> Table {
     let mut t = Table::new(
         "E11 (ablation): MINPROCS cluster sizes per LS priority policy",
-        ["policy", "tasks", "mean procs", "total procs", "beats list-order", "loses"],
+        [
+            "policy",
+            "tasks",
+            "mean procs",
+            "total procs",
+            "beats list-order",
+            "loses",
+        ],
     );
     for r in rows {
         t.push_row([

@@ -121,7 +121,15 @@ pub fn run(cfg: &E12Config) -> Vec<E12Row> {
 pub fn to_table(rows: &[E12Row]) -> Table {
     let mut t = Table::new(
         "E12 (oracle): LS makespan vs exact optimum on small DAGs",
-        ["m", "policy", "solved", "LS optimal", "mean LS/OPT", "max LS/OPT", "bound 2−1/m"],
+        [
+            "m",
+            "policy",
+            "solved",
+            "LS optimal",
+            "mean LS/OPT",
+            "max LS/OPT",
+            "bound 2−1/m",
+        ],
     );
     for r in rows {
         t.push_row([

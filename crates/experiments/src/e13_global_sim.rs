@@ -123,7 +123,13 @@ pub fn to_table(rows: &[E13Row], cfg: &E13Config) -> Table {
             "E13: provable FEDCONS acceptance vs empirical global-EDF window (m = {})",
             cfg.m
         ),
-        ["U/m", "generated", "FEDCONS (provable)", "GEDF window clean", "GEDF-only"],
+        [
+            "U/m",
+            "generated",
+            "FEDCONS (provable)",
+            "GEDF window clean",
+            "GEDF-only",
+        ],
     );
     for r in rows {
         let g = r.generated.max(1) as f64;

@@ -70,12 +70,9 @@ pub fn run(cfg: &E14Config) -> Vec<E14Row> {
         // to tight.
         let hi = 1.0 - step as f64 / cfg.steps as f64;
         let lo = (hi - 1.0 / cfg.steps as f64).max(0.0);
-        let gen_cfg = SystemConfig::new(
-            cfg.n_tasks,
-            cfg.normalized_utilization * f64::from(cfg.m),
-        )
-        .with_max_task_utilization(1.2)
-        .with_tightness(DeadlineTightness::new(lo, hi));
+        let gen_cfg = SystemConfig::new(cfg.n_tasks, cfg.normalized_utilization * f64::from(cfg.m))
+            .with_max_task_utilization(1.2)
+            .with_tightness(DeadlineTightness::new(lo, hi));
         let mut generated = 0usize;
         let mut accepted = 0usize;
         let mut high_fraction_sum = 0.0f64;
@@ -86,8 +83,7 @@ pub fn run(cfg: &E14Config) -> Vec<E14Row> {
                 continue;
             };
             generated += 1;
-            high_fraction_sum +=
-                system.high_density_ids().len() as f64 / system.len() as f64;
+            high_fraction_sum += system.high_density_ids().len() as f64 / system.len() as f64;
             if let Ok(schedule) = fedcons(&system, cfg.m, FedConsConfig::default()) {
                 accepted += 1;
                 dedicated_sum += u64::from(schedule.shared_first());
@@ -112,7 +108,14 @@ pub fn to_table(rows: &[E14Row], cfg: &E14Config) -> Table {
             "E14: deadline tightness sweep (m = {}, U/m = {})",
             cfg.m, cfg.normalized_utilization
         ),
-        ["D tightness", "generated", "accepted", "ratio", "high-δ fraction", "mean dedicated procs"],
+        [
+            "D tightness",
+            "generated",
+            "accepted",
+            "ratio",
+            "high-δ fraction",
+            "mean dedicated procs",
+        ],
     );
     for r in rows {
         t.push_row([
@@ -147,8 +150,7 @@ mod tests {
         assert_eq!(rows.len(), 5);
         // Rows go loose → tight; the high-density fraction must rise.
         assert!(
-            rows.last().unwrap().mean_high_density_fraction
-                > rows[0].mean_high_density_fraction
+            rows.last().unwrap().mean_high_density_fraction > rows[0].mean_high_density_fraction
         );
         // Implicit-ish deadlines with U/m = 0.5 and u ≤ 1.2: nearly no
         // high-density tasks.

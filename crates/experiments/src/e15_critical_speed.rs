@@ -101,13 +101,10 @@ fn topologies() -> Vec<(&'static str, Topology)> {
 pub fn run(cfg: &E15Config) -> Vec<E15Row> {
     let mut rows = Vec::new();
     for (name, topo) in topologies() {
-        let gen_cfg = SystemConfig::new(
-            cfg.n_tasks,
-            cfg.normalized_utilization * f64::from(cfg.m),
-        )
-        .with_max_task_utilization(1.5)
-        .with_topology(topo)
-        .with_tightness(DeadlineTightness::new(0.2, 1.0));
+        let gen_cfg = SystemConfig::new(cfg.n_tasks, cfg.normalized_utilization * f64::from(cfg.m))
+            .with_max_task_utilization(1.5)
+            .with_topology(topo)
+            .with_tightness(DeadlineTightness::new(0.2, 1.0));
         let mut speeds: Vec<f64> = Vec::new();
         for i in 0..cfg.systems_per_topology {
             let seed = mix_seed(&[cfg.seed, i as u64]);

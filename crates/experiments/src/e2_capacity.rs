@@ -8,8 +8,8 @@
 //! system on a single processor. The required speed grows linearly in `n`;
 //! no finite capacity augmentation bound can exist.
 
-use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_core::feasibility::demand_load;
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_core::speedup::required_speed;
 use fedsched_dag::examples::paper_example2;
 use fedsched_dag::system::TaskSystem;
@@ -63,7 +63,12 @@ pub fn run(max_pow: u32) -> Vec<E2Row> {
 pub fn to_table(rows: &[E2Row]) -> Table {
     let mut t = Table::new(
         "E2: Example 2 — required speed grows without bound (capacity augmentation is meaningless)",
-        ["n", "U_sum", "load (necessary speed)", "FEDCONS speed on 1 proc"],
+        [
+            "n",
+            "U_sum",
+            "load (necessary speed)",
+            "FEDCONS speed on 1 proc",
+        ],
     );
     for r in rows {
         t.push_row([

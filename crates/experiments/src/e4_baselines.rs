@@ -118,13 +118,24 @@ pub fn run(cfg: &E4Config) -> Vec<E4Row> {
 /// Renders E4 rows as a table of acceptance ratios.
 #[must_use]
 pub fn to_table(rows: &[E4Row], cfg: &E4Config) -> Table {
-    let kind = if cfg.implicit { "implicit" } else { "constrained" };
+    let kind = if cfg.implicit {
+        "implicit"
+    } else {
+        "constrained"
+    };
     let mut t = Table::new(
         format!(
             "E4: acceptance ratios, FEDCONS vs baselines ({kind}-deadline, m = {})",
             cfg.m
         ),
-        ["U/m", "generated", "FEDCONS", "Li-federated", "GEDF-Li", "GEDF-density"],
+        [
+            "U/m",
+            "generated",
+            "FEDCONS",
+            "Li-federated",
+            "GEDF-Li",
+            "GEDF-density",
+        ],
     );
     for r in rows {
         let ratio = |a: usize| {
@@ -166,8 +177,7 @@ mod tests {
         let cfg = small(true);
         let rows = run(&cfg);
         assert_eq!(rows.len(), 4);
-        let total =
-            |f: fn(&E4Row) -> usize| rows.iter().map(f).sum::<usize>() as f64;
+        let total = |f: fn(&E4Row) -> usize| rows.iter().map(f).sum::<usize>() as f64;
         let gen: f64 = total(|r| r.generated);
         assert!(gen > 0.0);
         // Federated algorithms accept more than the conservative global-EDF

@@ -93,9 +93,8 @@ pub fn run(cfg: &E5Config) -> Vec<E5Row> {
             .expect("generated parameters are valid");
         let m_lb = u32::try_from(vol.div_ceil(d)).expect("fits u32").max(1);
         let system: TaskSystem = [task].into_iter().collect();
-        let accepts = |s: &TaskSystem| {
-            min_procs(&s.tasks()[0], m_lb, PriorityPolicy::ListOrder).is_some()
-        };
+        let accepts =
+            |s: &TaskSystem| min_procs(&s.tasks()[0], m_lb, PriorityPolicy::ListOrder).is_some();
         let speed = required_speed(&system, accepts, cfg.grid, 3)
             .expect("speed 2 − 1/m always suffices by Lemma 1")
             .to_f64();
@@ -168,9 +167,11 @@ mod tests {
     #[test]
     fn typical_speed_is_well_below_bound() {
         let rows = run(&small());
-        let overall_mean: f64 =
-            rows.iter().map(|r| r.mean_speed * r.trials as f64).sum::<f64>()
-                / rows.iter().map(|r| r.trials as f64).sum::<f64>();
+        let overall_mean: f64 = rows
+            .iter()
+            .map(|r| r.mean_speed * r.trials as f64)
+            .sum::<f64>()
+            / rows.iter().map(|r| r.trials as f64).sum::<f64>();
         // The paper's point: typical behaviour beats the worst case by far.
         assert!(overall_mean < 1.6, "mean measured speed {overall_mean}");
     }

@@ -8,8 +8,8 @@
 //! smallest speed at which the first-fit `PARTITION` succeeds on exactly
 //! `m_lb` processors.
 
-use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_core::feasibility::demand_load;
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_core::speedup::required_speed;
 use fedsched_dag::system::TaskSystem;
 use fedsched_gen::system::SystemConfig;
@@ -79,10 +79,7 @@ pub fn run(cfg: &E6Config) -> Vec<E6Row> {
         };
         // Keep the low-density subset (tight deadline draws can still
         // produce δ ≥ 1 stragglers).
-        let system: TaskSystem = raw
-            .into_iter()
-            .filter(|t| t.is_low_density())
-            .collect();
+        let system: TaskSystem = raw.into_iter().filter(|t| t.is_low_density()).collect();
         if system.len() < 2 {
             continue;
         }

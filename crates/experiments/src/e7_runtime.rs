@@ -92,7 +92,9 @@ pub fn run(cfg: &E7Config) -> Vec<E7Row> {
             let worst = SimConfig::worst_case(Duration::new(cfg.horizon));
             let relaxed = SimConfig {
                 horizon: Duration::new(cfg.horizon),
-                arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.5 },
+                arrivals: ArrivalModel::SporadicUniformSlack {
+                    max_extra_fraction: 0.5,
+                },
                 execution: ExecutionModel::UniformFraction { min_fraction: 0.3 },
                 seed,
             };

@@ -13,7 +13,9 @@ use fedsched_dag::system::TaskSystem;
 use fedsched_dag::task::DagTask;
 use fedsched_dag::time::Duration;
 use fedsched_gen::{Span, Topology, WcetRange};
-use fedsched_graham::anomaly::{classic_anomaly_dag, demonstrate_classic_anomaly, rerun_with_times};
+use fedsched_graham::anomaly::{
+    classic_anomaly_dag, demonstrate_classic_anomaly, rerun_with_times,
+};
 use fedsched_graham::list::PriorityPolicy;
 use fedsched_sim::federated::{simulate_federated, ClusterDispatch};
 use fedsched_sim::model::{ArrivalModel, ExecutionModel, SimConfig};
@@ -193,8 +195,8 @@ pub fn run_search(cfg: &E8Config) -> Vec<E8Row> {
                 let demo = rerun_with_times(&dag, m, &reduced);
                 if demo.is_anomalous() {
                     anomalous += 1;
-                    let inc = demo.reduced_makespan.ticks() as f64
-                        / demo.nominal_makespan.ticks() as f64;
+                    let inc =
+                        demo.reduced_makespan.ticks() as f64 / demo.nominal_makespan.ticks() as f64;
                     max_increase = max_increase.max(inc);
                 }
             }
@@ -227,11 +229,21 @@ pub fn to_tables(classic: &ClassicAnomalyReport, rows: &[E8Row]) -> (Table, Tabl
         "template dispatcher misses",
         &classic.template_misses.to_string(),
     ]);
-    a.push_row(["re-run dispatcher misses", &classic.rerun_misses.to_string()]);
+    a.push_row([
+        "re-run dispatcher misses",
+        &classic.rerun_misses.to_string(),
+    ]);
 
     let mut b = Table::new(
         "E8b: random anomaly search — how often shorter times lengthen re-run LS",
-        ["family", "m", "trials", "anomalous", "fraction", "max increase"],
+        [
+            "family",
+            "m",
+            "trials",
+            "anomalous",
+            "fraction",
+            "max increase",
+        ],
     );
     for r in rows {
         b.push_row([

@@ -34,18 +34,18 @@
 #![forbid(unsafe_code)]
 
 pub mod common;
-pub mod e2_capacity;
-pub mod e3_acceptance;
-pub mod e4_baselines;
-pub mod e5_minprocs;
-pub mod e6_partition;
-pub mod e7_runtime;
 pub mod e10_partition_ablation;
 pub mod e11_policy_ablation;
 pub mod e12_exact_optimum;
 pub mod e13_global_sim;
 pub mod e14_tightness;
 pub mod e15_critical_speed;
+pub mod e2_capacity;
+pub mod e3_acceptance;
+pub mod e4_baselines;
+pub mod e5_minprocs;
+pub mod e6_partition;
+pub mod e7_runtime;
 pub mod e8_anomaly;
 pub mod table;
 

@@ -331,7 +331,13 @@ mod tests {
     fn grid_lcm_stays_small() {
         // The whole point: lcm of every grid point up to 2^20 stays tiny
         // relative to i128.
-        fn gcd(a: u128, b: u128) -> u128 { if b == 0 { a } else { gcd(b, a % b) } }
+        fn gcd(a: u128, b: u128) -> u128 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
         let mut l: u128 = 1;
         for k in 0..16u32 {
             for m in 16u64..32 {

@@ -198,11 +198,10 @@ impl SystemConfig {
                 let target = (u * t as f64).max(1.0);
                 let factor = target / vol0;
                 let mut b = DagBuilder::with_capacity(dag.vertex_count());
-                let ids = b.add_vertices(
-                    dag.wcets()
-                        .iter()
-                        .map(|w| Duration::new(((w.ticks() as f64 * factor).round() as u64).max(1))),
-                );
+                let ids =
+                    b.add_vertices(dag.wcets().iter().map(|w| {
+                        Duration::new(((w.ticks() as f64 * factor).round() as u64).max(1))
+                    }));
                 for (a, z) in dag.edges() {
                     b.add_edge(ids[a.index()], ids[z.index()])
                         .expect("copied edges stay fresh");
@@ -269,7 +268,10 @@ mod tests {
     #[test]
     fn log_uniform_periods_respected() {
         let cfg = SystemConfig::new(8, 2.0)
-            .with_period(PeriodPolicy::LogUniform { min: 100, max: 10_000 })
+            .with_period(PeriodPolicy::LogUniform {
+                min: 100,
+                max: 10_000,
+            })
             .with_max_task_utilization(0.9);
         let sys = cfg.generate_seeded(3).unwrap();
         for (_, t) in sys.iter() {

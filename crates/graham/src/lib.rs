@@ -40,9 +40,9 @@ pub mod optimal;
 pub mod schedule;
 
 pub use anomaly::{classic_anomaly_dag, demonstrate_classic_anomaly, AnomalyDemo};
-pub use optimal::{optimal_makespan, OptimalMakespan};
 pub use list::{
     graham_upper_bound, list_schedule, list_schedule_ranked, list_schedule_with,
     makespan_lower_bound, PriorityPolicy,
 };
+pub use optimal::{optimal_makespan, OptimalMakespan};
 pub use schedule::{ScheduleEntry, ScheduleError, TemplateSchedule};

@@ -43,12 +43,7 @@ impl PriorityPolicy {
             PriorityPolicy::ListOrder => (0..n as u64).collect(),
             PriorityPolicy::LongestWcetFirst => {
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by_key(|&i| {
-                    (
-                        core::cmp::Reverse(dag.wcet(VertexId::from_index(i))),
-                        i,
-                    )
-                });
+                order.sort_by_key(|&i| (core::cmp::Reverse(dag.wcet(VertexId::from_index(i))), i));
                 let mut ranks = vec![0u64; n];
                 for (rank, &i) in order.iter().enumerate() {
                     ranks[i] = rank as u64;
@@ -117,12 +112,11 @@ pub fn list_schedule(dag: &Dag, processors: u32) -> TemplateSchedule {
 /// assert!(sched.makespan() <= tau1.deadline());
 /// ```
 #[must_use]
-pub fn list_schedule_with(
-    dag: &Dag,
-    processors: u32,
-    policy: PriorityPolicy,
-) -> TemplateSchedule {
-    assert!(processors > 0, "list scheduling needs at least one processor");
+pub fn list_schedule_with(dag: &Dag, processors: u32, policy: PriorityPolicy) -> TemplateSchedule {
+    assert!(
+        processors > 0,
+        "list scheduling needs at least one processor"
+    );
     let ranks = policy.ranks(dag);
     list_schedule_ranked(dag, processors, &ranks, dag.wcets())
 }
@@ -143,15 +137,15 @@ pub fn list_schedule_ranked(
     ranks: &[u64],
     times: &[Duration],
 ) -> TemplateSchedule {
-    assert!(processors > 0, "list scheduling needs at least one processor");
+    assert!(
+        processors > 0,
+        "list scheduling needs at least one processor"
+    );
     let n = dag.vertex_count();
     assert_eq!(ranks.len(), n, "one rank per vertex");
     assert_eq!(times.len(), n, "one execution time per vertex");
 
-    let mut remaining_preds: Vec<usize> = dag
-        .vertices()
-        .map(|v| dag.in_degree(v))
-        .collect();
+    let mut remaining_preds: Vec<usize> = dag.vertices().map(|v| dag.in_degree(v)).collect();
     // Available jobs, ordered by rank (min-heap via Reverse).
     use core::cmp::Reverse;
     use std::collections::BinaryHeap;

@@ -189,9 +189,7 @@ impl Search<'_> {
             }
             // Assign to the earliest-free processor (identical machines:
             // symmetric, so one representative suffices).
-            let proc = (0..self.m)
-                .min_by_key(|&p| proc_free[p])
-                .expect("m > 0");
+            let proc = (0..self.m).min_by_key(|&p| proc_free[p]).expect("m > 0");
             let saved_free = proc_free[proc];
             proc_free[proc] = end;
             finish[i] = Some(end);

@@ -9,8 +9,8 @@
 use core::fmt;
 
 use fedsched_dag::graph::{Dag, VertexId};
-use serde::{Deserialize, Serialize};
 use fedsched_dag::time::Duration;
+use serde::{Deserialize, Serialize};
 
 /// Placement of one vertex in a template schedule, relative to the dag-job
 /// release instant.
@@ -283,14 +283,15 @@ mod tests {
     #[test]
     fn valid_schedule_passes() {
         let dag = fork();
-        let sched = TemplateSchedule::from_entries(
-            2,
-            vec![entry(0, 0, 2), entry(0, 2, 5), entry(1, 2, 3)],
-        );
+        let sched =
+            TemplateSchedule::from_entries(2, vec![entry(0, 0, 2), entry(0, 2, 5), entry(1, 2, 3)]);
         assert_eq!(sched.validate(&dag), Ok(()));
         assert_eq!(sched.makespan(), Duration::new(5));
         assert_eq!(sched.total_busy_time(), Duration::new(6));
-        assert_eq!(sched.jobs_on(0), vec![VertexId::from_index(0), VertexId::from_index(1)]);
+        assert_eq!(
+            sched.jobs_on(0),
+            vec![VertexId::from_index(0), VertexId::from_index(1)]
+        );
     }
 
     #[test]
@@ -306,10 +307,8 @@ mod tests {
     #[test]
     fn detects_duration_mismatch() {
         let dag = fork();
-        let sched = TemplateSchedule::from_entries(
-            2,
-            vec![entry(0, 0, 2), entry(0, 2, 4), entry(1, 2, 3)],
-        );
+        let sched =
+            TemplateSchedule::from_entries(2, vec![entry(0, 0, 2), entry(0, 2, 4), entry(1, 2, 3)]);
         assert!(matches!(
             sched.validate(&dag),
             Err(ScheduleError::DurationMismatch { .. })
@@ -319,10 +318,8 @@ mod tests {
     #[test]
     fn detects_precedence_violation() {
         let dag = fork();
-        let sched = TemplateSchedule::from_entries(
-            2,
-            vec![entry(0, 0, 2), entry(1, 1, 4), entry(1, 4, 5)],
-        );
+        let sched =
+            TemplateSchedule::from_entries(2, vec![entry(0, 0, 2), entry(1, 1, 4), entry(1, 4, 5)]);
         assert!(matches!(
             sched.validate(&dag),
             Err(ScheduleError::PrecedenceViolation { .. })
@@ -332,10 +329,8 @@ mod tests {
     #[test]
     fn detects_processor_overlap() {
         let dag = fork();
-        let sched = TemplateSchedule::from_entries(
-            1,
-            vec![entry(0, 0, 2), entry(0, 2, 5), entry(0, 4, 5)],
-        );
+        let sched =
+            TemplateSchedule::from_entries(1, vec![entry(0, 0, 2), entry(0, 2, 5), entry(0, 4, 5)]);
         assert!(matches!(
             sched.validate(&dag),
             Err(ScheduleError::ProcessorOverlap { .. })
@@ -345,10 +340,8 @@ mod tests {
     #[test]
     fn detects_out_of_range_processor() {
         let dag = fork();
-        let sched = TemplateSchedule::from_entries(
-            1,
-            vec![entry(0, 0, 2), entry(0, 2, 5), entry(3, 2, 3)],
-        );
+        let sched =
+            TemplateSchedule::from_entries(1, vec![entry(0, 0, 2), entry(0, 2, 5), entry(3, 2, 3)]);
         assert!(matches!(
             sched.validate(&dag),
             Err(ScheduleError::ProcessorOutOfRange { .. })
@@ -366,10 +359,8 @@ mod tests {
 
     #[test]
     fn gantt_renders_rows() {
-        let sched = TemplateSchedule::from_entries(
-            2,
-            vec![entry(0, 0, 2), entry(0, 2, 5), entry(1, 2, 3)],
-        );
+        let sched =
+            TemplateSchedule::from_entries(2, vec![entry(0, 0, 2), entry(0, 2, 5), entry(1, 2, 3)]);
         let g = sched.to_gantt();
         assert!(g.contains("P0: 00111"));
         assert!(g.contains("P1: ..2.."));

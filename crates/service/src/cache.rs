@@ -1,0 +1,184 @@
+//! Memoization of `MINPROCS` sizings and their frozen LS templates.
+//!
+//! `MINPROCS` is by far the most expensive step of an admission decision:
+//! it runs List Scheduling once per candidate cluster size. Its result,
+//! however, depends only on the DAG shape (vertex WCETs and edges), the
+//! relative deadline, and the priority policy — not on the period, not on
+//! the platform, and not on anything else resident in the server (see
+//! [`intrinsic_min_procs`]). Admission workloads repeat DAG shapes all the
+//! time (the same binary released under different periods, re-admission
+//! after removal, …), so the server memoizes sizings under a canonical
+//! encoding of exactly those inputs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fedsched_core::minprocs::intrinsic_min_procs;
+use fedsched_dag::task::DagTask;
+use fedsched_graham::list::PriorityPolicy;
+use fedsched_graham::schedule::TemplateSchedule;
+
+/// A memoized `MINPROCS` result: the intrinsic cluster size `μ*` and the
+/// frozen template that witnesses it (shared, since the same template can
+/// be live in several clusters and the cache at once).
+#[derive(Debug, Clone)]
+pub struct CachedSizing {
+    /// The intrinsic minimum processor count `μ*` of the shape.
+    pub processors: u32,
+    /// The witnessing LS template schedule.
+    pub template: Arc<TemplateSchedule>,
+}
+
+/// The memoization table: canonical task encoding → sizing (`None` records
+/// a chain-infeasible shape, so repeat rejections are also cache hits).
+#[derive(Debug, Default)]
+pub struct TemplateCache {
+    map: HashMap<Box<[u64]>, Option<CachedSizing>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TemplateCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> TemplateCache {
+        TemplateCache::default()
+    }
+
+    /// The sizing for `task` under `policy`, computing and memoizing it on
+    /// first sight. Returns the sizing (`None` if the task is
+    /// chain-infeasible) and whether this was a cache hit.
+    pub fn sizing(
+        &mut self,
+        task: &DagTask,
+        policy: PriorityPolicy,
+    ) -> (Option<CachedSizing>, bool) {
+        let key = canonical_key(task, policy);
+        if let Some(entry) = self.map.get(&key) {
+            self.hits += 1;
+            return (entry.clone(), true);
+        }
+        self.misses += 1;
+        let computed = intrinsic_min_procs(task, policy).map(|r| CachedSizing {
+            processors: r.processors,
+            template: Arc::new(r.template),
+        });
+        self.map.insert(key, computed.clone());
+        (computed, false)
+    }
+
+    /// Lookups that found a memoized entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run `MINPROCS`.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct shapes memoized.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The canonical encoding of everything `MINPROCS` reads: policy, relative
+/// deadline, vertex count, per-vertex WCETs (vertex indices are already
+/// canonical in a [`Dag`](fedsched_dag::graph::Dag)), and the sorted edge
+/// list. The period is deliberately excluded — for the constrained-deadline
+/// tasks the server admits, the sizing never depends on it.
+fn canonical_key(task: &DagTask, policy: PriorityPolicy) -> Box<[u64]> {
+    let dag = task.dag();
+    let policy_tag = match policy {
+        PriorityPolicy::ListOrder => 0u64,
+        PriorityPolicy::CriticalPathFirst => 1,
+        PriorityPolicy::LongestWcetFirst => 2,
+    };
+    let mut key = Vec::with_capacity(3 + dag.vertex_count() + dag.edge_count());
+    key.push(policy_tag);
+    key.push(task.deadline().ticks());
+    key.push(dag.vertex_count() as u64);
+    key.extend(dag.wcets().iter().map(|w| w.ticks()));
+    let mut edges: Vec<u64> = dag
+        .edges()
+        .map(|(from, to)| ((from.index() as u64) << 32) | to.index() as u64)
+        .collect();
+    edges.sort_unstable();
+    key.extend(edges);
+    key.into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::graph::DagBuilder;
+    use fedsched_dag::time::Duration;
+
+    fn wide_task(deadline: u64, period: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_vertices([1, 1, 1, 1, 1, 1].map(Duration::new));
+        DagTask::new(
+            b.build().unwrap(),
+            Duration::new(deadline),
+            Duration::new(period),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let mut cache = TemplateCache::new();
+        let t = wide_task(2, 10);
+        let (first, hit1) = cache.sizing(&t, PriorityPolicy::ListOrder);
+        let (second, hit2) = cache.sizing(&t, PriorityPolicy::ListOrder);
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first.unwrap().processors, second.unwrap().processors);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn period_does_not_split_the_cache() {
+        let mut cache = TemplateCache::new();
+        let (_, h1) = cache.sizing(&wide_task(2, 10), PriorityPolicy::ListOrder);
+        let (_, h2) = cache.sizing(&wide_task(2, 50), PriorityPolicy::ListOrder);
+        assert!(!h1);
+        assert!(h2, "same shape and deadline under another period must hit");
+    }
+
+    #[test]
+    fn policy_and_deadline_split_the_cache() {
+        let mut cache = TemplateCache::new();
+        let t = wide_task(2, 10);
+        cache.sizing(&t, PriorityPolicy::ListOrder);
+        let (_, hit_policy) = cache.sizing(&t, PriorityPolicy::CriticalPathFirst);
+        let (_, hit_deadline) = cache.sizing(&wide_task(3, 10), PriorityPolicy::ListOrder);
+        assert!(!hit_policy);
+        assert!(!hit_deadline);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn chain_infeasible_shapes_are_cached_too() {
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([3, 3].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        let t = DagTask::new(b.build().unwrap(), Duration::new(4), Duration::new(10)).unwrap();
+        let mut cache = TemplateCache::new();
+        let (s1, h1) = cache.sizing(&t, PriorityPolicy::ListOrder);
+        let (s2, h2) = cache.sizing(&t, PriorityPolicy::ListOrder);
+        assert!(s1.is_none() && s2.is_none());
+        assert!(!h1);
+        assert!(h2);
+    }
+}

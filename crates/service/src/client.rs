@@ -1,0 +1,91 @@
+//! A synchronous client for the admission server: one persistent
+//! connection, one request/response pair per call.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use fedsched_dag::task::DagTask;
+
+use crate::protocol::{read_message, write_message, Request, Response};
+
+/// A connected client. Each method writes one request line and blocks for
+/// the matching response line.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, including an unexpected end of stream if the server
+    /// closed the connection.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_message(&mut self.writer, request)?;
+        read_message(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// Requests admission of `task`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn admit(&mut self, task: &DagTask) -> io::Result<Response> {
+        self.call(&Request::Admit { task: task.clone() })
+    }
+
+    /// Requests removal of the task behind `token`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn remove(&mut self, token: u64) -> io::Result<Response> {
+        self.call(&Request::Remove { token })
+    }
+
+    /// Queries the current placement of the task behind `token`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn query(&mut self, token: u64) -> io::Result<Response> {
+        self.call(&Request::Query { token })
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.call(&Request::Stats)
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(&Request::Shutdown)
+    }
+}

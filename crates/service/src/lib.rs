@@ -1,0 +1,68 @@
+//! `fedsched-service` — an online admission-control server for federated
+//! scheduling of constrained-deadline sporadic DAG tasks (Baruah,
+//! DATE 2015), with incremental FEDCONS and analysis caching.
+//!
+//! Batch [`fedcons`](fedsched_core::fedcons::fedcons) answers "is this task
+//! *set* schedulable on `m` processors?" once, offline. A long-running
+//! system instead sees tasks arrive and depart one at a time and must
+//! answer per task, online, without re-analysing the world. This crate
+//! provides that service:
+//!
+//! * [`state`] — [`AdmissionState`](state::AdmissionState): the live
+//!   platform (dedicated clusters plus the shared EDF pool) with
+//!   incremental `admit`/`remove` operations whose decisions provably
+//!   coincide with a batch FEDCONS run over the resident set;
+//! * [`cache`] — memoized `MINPROCS` sizings and frozen LS templates,
+//!   keyed by a canonical DAG encoding, so repeated shapes skip the
+//!   expensive List-Scheduling search entirely;
+//! * [`protocol`] — newline-delimited JSON requests and responses;
+//! * [`server`] — a `TcpListener` shared by a fixed worker-thread pool;
+//! * [`client`] — a blocking client speaking the same protocol;
+//! * [`stats`] — per-phase admission counters, cache hit rates, and a
+//!   log-scale decision-latency histogram.
+//!
+//! # Examples
+//!
+//! An in-process round trip over a loopback socket:
+//!
+//! ```
+//! use fedsched_dag::task::DagTask;
+//! use fedsched_dag::time::Duration;
+//! use fedsched_service::client::Client;
+//! use fedsched_service::protocol::Response;
+//! use fedsched_service::server::{serve, ServerConfig};
+//! use fedsched_service::state::AdmissionConfig;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let handle = serve(&ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 2,
+//!     admission: AdmissionConfig::new(4),
+//! })?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let task = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8))
+//!     .expect("valid task");
+//! assert!(matches!(client.admit(&task)?, Response::Admitted { .. }));
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod state;
+pub mod stats;
+
+pub use cache::TemplateCache;
+pub use client::Client;
+pub use protocol::{Placement, Request, Response};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use state::{AdmissionConfig, AdmissionState, Admitted, RejectReason, Removed, UnknownToken};
+pub use stats::{LatencyHistogram, Stats, StatsSnapshot};

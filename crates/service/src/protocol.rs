@@ -1,0 +1,210 @@
+//! The wire protocol: newline-delimited JSON request/response messages.
+//!
+//! Every message is one JSON document on one line, terminated by `\n`
+//! (the serde externally-tagged enum encoding of [`Request`] and
+//! [`Response`]). A connection carries any number of request/response
+//! pairs in order; the server answers each request before reading the
+//! next, so a client can treat the connection as a synchronous call
+//! channel.
+
+use std::io::{self, BufRead, Write};
+
+use fedsched_dag::task::DagTask;
+use serde::{Deserialize, Serialize};
+
+use crate::stats::StatsSnapshot;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Admit one task; answered with `Admitted` or `Rejected`.
+    Admit {
+        /// The task to admit.
+        task: DagTask,
+    },
+    /// Remove a previously admitted task by its token.
+    Remove {
+        /// The token `Admitted` returned.
+        token: u64,
+    },
+    /// Look up the current placement of an admitted task.
+    Query {
+        /// The token `Admitted` returned.
+        token: u64,
+    },
+    /// Fetch the server's counters.
+    Stats,
+    /// Stop the server; answered with `ShuttingDown`, after which no
+    /// further connections are accepted.
+    Shutdown,
+}
+
+/// Where an admitted task runs on the platform. Processor indices are the
+/// *current* global layout (dedicated clusters pack from processor 0 in
+/// admission order, the shared pool sits above them) and may shift when
+/// other tasks are removed; `Query` always reports the up-to-date layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// A dedicated cluster executing the task's frozen LS template.
+    Dedicated {
+        /// First processor of the cluster.
+        first_processor: u32,
+        /// Cluster width `μ*`.
+        processors: u32,
+    },
+    /// A slot on one shared EDF processor.
+    Shared {
+        /// Global index of the shared processor.
+        processor: u32,
+    },
+}
+
+/// The server's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The task was admitted.
+    Admitted {
+        /// Handle for later `Remove`/`Query` requests.
+        token: u64,
+        /// Where the task was placed.
+        placement: Placement,
+        /// Whether the sizing came out of the template cache.
+        cache_hit: bool,
+    },
+    /// The task was rejected; the state is unchanged.
+    Rejected {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// The task was removed.
+    Removed {
+        /// The removed task's token.
+        token: u64,
+        /// How many shared tasks moved to another processor during the
+        /// replay that reclaimed the freed capacity.
+        migrated: u64,
+    },
+    /// Answer to `Query`.
+    TaskInfo {
+        /// The queried token.
+        token: u64,
+        /// The task's current placement.
+        placement: Placement,
+    },
+    /// The token names no resident task.
+    NotFound {
+        /// The offending token.
+        token: u64,
+    },
+    /// Answer to `Stats`.
+    Stats {
+        /// Counters at the time the request was handled.
+        snapshot: StatsSnapshot,
+    },
+    /// Acknowledgement of `Shutdown`.
+    ShuttingDown,
+    /// The request could not be understood or served.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Writes one message as a JSON line and flushes.
+///
+/// # Errors
+///
+/// I/O errors from the underlying writer; serialization failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn write_message<T: Serialize, W: Write>(writer: &mut W, message: &T) -> io::Result<()> {
+    let line = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads the next message: one JSON document per line, blank lines skipped.
+/// Returns `Ok(None)` on a clean end of stream.
+///
+/// # Errors
+///
+/// I/O errors from the underlying reader; malformed JSON surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_message<T: Deserialize, R: BufRead>(reader: &mut R) -> io::Result<Option<T>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return serde_json::from_str(trimmed)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::time::Duration;
+
+    fn task() -> DagTask {
+        DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8)).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip_over_a_line_stream() {
+        let mut buf = Vec::new();
+        let requests = [
+            Request::Admit { task: task() },
+            Request::Remove { token: 3 },
+            Request::Query { token: 3 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in &requests {
+            write_message(&mut buf, r).unwrap();
+        }
+        let mut reader = io::BufReader::new(&buf[..]);
+        for r in &requests {
+            let got: Request = read_message(&mut reader).unwrap().unwrap();
+            assert_eq!(&got, r);
+        }
+        assert_eq!(read_message::<Request, _>(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let mut buf = Vec::new();
+        let resp = Response::Admitted {
+            token: 7,
+            placement: Placement::Dedicated {
+                first_processor: 2,
+                processors: 3,
+            },
+            cache_hit: true,
+        };
+        write_message(&mut buf, &resp).unwrap();
+        let mut reader = io::BufReader::new(&buf[..]);
+        let got: Response = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_is_invalid_data() {
+        let mut framed = Vec::from(&b"\n\n"[..]);
+        write_message(&mut framed, &Request::Stats).unwrap();
+        let mut reader = io::BufReader::new(&framed[..]);
+        let got: Request = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(got, Request::Stats);
+
+        let mut bad = io::BufReader::new(&b"{not json\n"[..]);
+        let err = read_message::<Request, _>(&mut bad).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

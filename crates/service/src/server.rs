@@ -1,0 +1,223 @@
+//! The admission server: a fixed pool of worker threads sharing one
+//! `TcpListener` and one mutex-protected [`AdmissionState`].
+//!
+//! Each worker runs its own accept loop; the kernel hands every incoming
+//! connection to exactly one of them. A connection is served to completion
+//! (request by request, newline-delimited JSON) before the worker accepts
+//! again, so the worker count bounds the number of concurrently served
+//! clients. The admission state itself is a single critical section per
+//! request — decisions are sub-millisecond, so the lock, not the analysis,
+//! is what serializes, and the TCP framing is the actual concurrency
+//! surface the tests exercise.
+//!
+//! Shutdown: any client may send `Shutdown`. The handling worker flips the
+//! shared flag, answers `ShuttingDown`, finishes its connection, and then
+//! wakes every sibling blocked in `accept` by making one dummy connection
+//! per worker. Workers re-check the flag after each accept, so the wake-up
+//! connections are dropped unserved.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use crate::state::{AdmissionConfig, AdmissionState};
+
+/// Configuration of [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port; read
+    /// it back from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker-thread count (clamped to at least 1).
+    pub workers: usize,
+    /// The admission-control platform and FEDCONS knobs.
+    pub admission: AdmissionConfig,
+}
+
+/// A running server: the bound address, the shared state, and the worker
+/// threads to join.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<Mutex<AdmissionState>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared admission state (for in-process inspection; network
+    /// clients use the `Stats` request).
+    #[must_use]
+    pub fn state(&self) -> Arc<Mutex<AdmissionState>> {
+        Arc::clone(&self.state)
+    }
+
+    /// Blocks until every worker has exited (i.e. until some client sent
+    /// `Shutdown`, or [`Self::shutdown`] was called).
+    pub fn join(self) {
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Initiates shutdown from the hosting process and joins the workers.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Release);
+        wake_workers(self.local_addr, self.workers.len());
+        self.join();
+    }
+}
+
+/// Binds the listener and spawns the worker pool.
+///
+/// # Errors
+///
+/// I/O errors binding the address or spawning threads.
+pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(Mutex::new(AdmissionState::new(config.admission)));
+    let worker_count = config.workers.max(1);
+    let mut workers = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
+        let listener = Arc::clone(&listener);
+        let shutdown = Arc::clone(&shutdown);
+        let state = Arc::clone(&state);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("fedsched-worker-{i}"))
+                .spawn(move || {
+                    worker_loop(&listener, &state, &shutdown, local_addr, worker_count);
+                })?,
+        );
+    }
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        state,
+        workers,
+    })
+}
+
+/// Locks the state, recovering from a poisoned mutex: the state's own
+/// methods leave it consistent even if a panic unwinds elsewhere.
+fn lock(state: &Mutex<AdmissionState>) -> MutexGuard<'_, AdmissionState> {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop(
+    listener: &TcpListener,
+    state: &Mutex<AdmissionState>,
+    shutdown: &AtomicBool,
+    local_addr: SocketAddr,
+    worker_count: usize,
+) {
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shutdown.load(Ordering::Acquire) {
+            return; // wake-up connection; drop it unserved
+        }
+        let triggered_shutdown = serve_connection(stream, state, shutdown).unwrap_or(false);
+        if triggered_shutdown {
+            wake_workers(local_addr, worker_count);
+            return;
+        }
+    }
+}
+
+/// Serves one connection to completion. Returns whether this connection
+/// requested shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    state: &Mutex<AdmissionState>,
+    shutdown: &AtomicBool,
+) -> io::Result<bool> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        match read_message::<Request, _>(&mut reader) {
+            Ok(None) => return Ok(false),
+            Ok(Some(request)) => {
+                let stop = matches!(request, Request::Shutdown);
+                if stop {
+                    shutdown.store(true, Ordering::Release);
+                }
+                let response = dispatch(request, state);
+                write_message(&mut writer, &response)?;
+                if stop {
+                    return Ok(true);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed request: report and drop the connection — the
+                // line framing gives no reliable resynchronization point.
+                let _ = write_message(
+                    &mut writer,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Maps one request to its response against the shared state.
+fn dispatch(request: Request, state: &Mutex<AdmissionState>) -> Response {
+    match request {
+        Request::Admit { task } => match lock(state).admit(task) {
+            Ok(admitted) => Response::Admitted {
+                token: admitted.token,
+                placement: admitted.placement,
+                cache_hit: admitted.cache_hit,
+            },
+            Err(reason) => Response::Rejected {
+                reason: reason.to_string(),
+            },
+        },
+        Request::Remove { token } => match lock(state).remove(token) {
+            Ok(removed) => Response::Removed {
+                token: removed.token,
+                migrated: removed.migrated,
+            },
+            Err(_) => Response::NotFound { token },
+        },
+        Request::Query { token } => match lock(state).query(token) {
+            Some(placement) => Response::TaskInfo { token, placement },
+            None => Response::NotFound { token },
+        },
+        Request::Stats => Response::Stats {
+            snapshot: lock(state).snapshot(),
+        },
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Unblocks workers sitting in `accept` by connecting once per worker.
+fn wake_workers(addr: SocketAddr, worker_count: usize) {
+    for _ in 0..worker_count {
+        let _ = TcpStream::connect(addr);
+    }
+}

@@ -1,0 +1,658 @@
+//! The live admission state: incremental FEDCONS over a fixed platform.
+//!
+//! [`AdmissionState`] maintains exactly the configuration batch
+//! [`fedcons`](fedsched_core::fedcons::fedcons) would produce for the
+//! currently resident task set, but updates it per-operation instead of
+//! re-analysing from scratch:
+//!
+//! * **High-density admit** — the cluster size `μ*` is *intrinsic* (it
+//!   never depends on the residual platform, see
+//!   [`intrinsic_min_procs`](fedsched_core::minprocs::intrinsic_min_procs)),
+//!   so admission only has to check `Σ μ* + μ*_new ≤ m` and that shrinking
+//!   the shared pool displaces no resident shared task. If a shared task
+//!   sits on a processor the shrink would remove, a batch run over the
+//!   union would fail at that same task (the first-fit prefix below the cut
+//!   is identical), so rejecting is exact, not conservative.
+//! * **Low-density admit** — the Baruah–Fisher first-fit processes tasks in
+//!   non-decreasing deadline order, so inserting a task replays placements
+//!   only from its sorted position onward; every placement before that
+//!   position is provably what the batch run computes.
+//! * **Remove** — freeing a cluster grows the shared pool on the high side
+//!   of the processor range and invalidates nothing. Removing a shared task
+//!   replays the suffix after its sorted position; in the (rare,
+//!   first-fit-anomaly) case where the replay fails, the state keeps the
+//!   previous placements minus the removed task — still sound, because
+//!   every per-processor admission test is monotone in the resident set —
+//!   and counts the event in
+//!   [`Stats::remove_anomalies`](crate::stats::Stats).
+//!
+//! The `consistency_oracle` integration test drives randomized
+//! admit/remove interleavings and asserts, operation by operation, that
+//! decisions and placements coincide with a batch `fedcons` re-analysis.
+
+use std::fmt;
+use std::time::Instant;
+
+use fedsched_analysis::dbf::SequentialView;
+use fedsched_analysis::incremental::SharedPool;
+use fedsched_core::fedcons::FedConsConfig;
+use fedsched_dag::task::{DagTask, DeadlineClass};
+
+use crate::cache::{CachedSizing, TemplateCache};
+use crate::protocol::Placement;
+use crate::stats::{Stats, StatsSnapshot};
+
+/// Static configuration of an [`AdmissionState`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Platform size `m` (identical unit-speed processors).
+    pub processors: u32,
+    /// The FEDCONS knobs: LS priority policy and partition admission test.
+    pub fedcons: FedConsConfig,
+}
+
+impl AdmissionConfig {
+    /// Default FEDCONS configuration on `processors` processors.
+    #[must_use]
+    pub fn new(processors: u32) -> AdmissionConfig {
+        AdmissionConfig {
+            processors,
+            fedcons: FedConsConfig::default(),
+        }
+    }
+}
+
+/// Why a task was rejected. Every reason is *exact*: a batch FEDCONS run
+/// over the resident set plus the candidate would reject too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The task has `D > T`; FEDCONS handles constrained deadlines only.
+    ArbitraryDeadline,
+    /// The longest chain exceeds the deadline; no cluster size helps.
+    ChainInfeasible,
+    /// The cluster would not fit: `dedicated + μ* > m`.
+    InsufficientProcessors {
+        /// The candidate's intrinsic cluster size `μ*`.
+        required: u32,
+        /// Processors already bound to clusters.
+        dedicated: u32,
+        /// Platform size `m`.
+        total: u32,
+    },
+    /// Carving out the cluster would displace a resident shared task from
+    /// a processor the shrunk pool no longer contains.
+    DisplacesSharedTask {
+        /// The shared-pool size the admission would have left.
+        pool: u32,
+    },
+    /// The shared-pool first-fit found no processor for the task (and, per
+    /// deadline order, possibly for a later-deadline resident it would
+    /// push over).
+    NoSharedFit {
+        /// The shared-pool size at the time of the attempt.
+        pool: u32,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::ArbitraryDeadline => {
+                write!(f, "arbitrary deadline (D > T) is outside FEDCONS")
+            }
+            RejectReason::ChainInfeasible => {
+                write!(f, "longest chain exceeds the deadline")
+            }
+            RejectReason::InsufficientProcessors {
+                required,
+                dedicated,
+                total,
+            } => write!(
+                f,
+                "cluster needs {required} processors but only {} of {total} are unbound",
+                total - dedicated
+            ),
+            RejectReason::DisplacesSharedTask { pool } => write!(
+                f,
+                "shrinking the shared pool to {pool} processors would displace a resident task"
+            ),
+            RejectReason::NoSharedFit { pool } => {
+                write!(f, "fits on none of the {pool} shared processors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// A successful admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admitted {
+    /// Handle for later removal and queries.
+    pub token: u64,
+    /// Where the task was placed (layout as of this operation).
+    pub placement: Placement,
+    /// Whether the sizing was served from the template cache (always
+    /// `false` for low-density tasks, which need no sizing).
+    pub cache_hit: bool,
+}
+
+/// A successful removal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Removed {
+    /// The removed task's token.
+    pub token: u64,
+    /// Number of shared tasks whose processor changed in the replay.
+    pub migrated: u64,
+}
+
+/// Removal or query of a token that names no resident task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownToken(pub u64);
+
+impl fmt::Display for UnknownToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "token {} names no resident task", self.0)
+    }
+}
+
+impl std::error::Error for UnknownToken {}
+
+/// A live dedicated cluster.
+#[derive(Debug, Clone)]
+struct LiveCluster {
+    token: u64,
+    task: DagTask,
+    sizing: CachedSizing,
+}
+
+/// A live shared-pool task. `processor` is the pool-local index (global
+/// index = dedicated + local).
+#[derive(Debug, Clone)]
+struct LowEntry {
+    token: u64,
+    task: DagTask,
+    view: SequentialView,
+    processor: usize,
+}
+
+/// The incremental admission state; see the module docs for the invariants.
+#[derive(Debug)]
+pub struct AdmissionState {
+    config: AdmissionConfig,
+    next_token: u64,
+    /// Clusters in admission (token) order; they pack the processor range
+    /// `[0, dedicated)` in this order.
+    clusters: Vec<LiveCluster>,
+    dedicated: u32,
+    /// Shared tasks sorted by `(deadline, token)` — the batch first-fit
+    /// order. Tokens increase monotonically, so ties resolve exactly as the
+    /// batch tie-break on ascending `TaskId` does.
+    low: Vec<LowEntry>,
+    cache: TemplateCache,
+    stats: Stats,
+}
+
+impl AdmissionState {
+    /// An empty state over the given platform.
+    #[must_use]
+    pub fn new(config: AdmissionConfig) -> AdmissionState {
+        AdmissionState {
+            config,
+            next_token: 0,
+            clusters: Vec::new(),
+            dedicated: 0,
+            low: Vec::new(),
+            cache: TemplateCache::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Processors currently bound to dedicated clusters.
+    #[must_use]
+    pub fn dedicated_processors(&self) -> u32 {
+        self.dedicated
+    }
+
+    /// Processors currently in the shared pool.
+    #[must_use]
+    pub fn shared_processors(&self) -> u32 {
+        self.config.processors - self.dedicated
+    }
+
+    /// Number of resident tasks.
+    #[must_use]
+    pub fn resident_tasks(&self) -> usize {
+        self.clusters.len() + self.low.len()
+    }
+
+    /// The resident tasks in admission (token) order — the order a batch
+    /// re-analysis must use to reproduce this state's decisions.
+    #[must_use]
+    pub fn resident(&self) -> Vec<(u64, &DagTask)> {
+        let mut all: Vec<(u64, &DagTask)> = self
+            .clusters
+            .iter()
+            .map(|c| (c.token, &c.task))
+            .chain(self.low.iter().map(|e| (e.token, &e.task)))
+            .collect();
+        all.sort_by_key(|&(token, _)| token);
+        all
+    }
+
+    /// The operation counters.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// A serializable snapshot of all counters plus platform occupancy.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            processors: self.config.processors,
+            dedicated_processors: self.dedicated,
+            shared_processors: self.shared_processors(),
+            resident_tasks: self.resident_tasks() as u64,
+            admitted_high: self.stats.admitted_high,
+            admitted_low: self.stats.admitted_low,
+            rejected_high: self.stats.rejected_high,
+            rejected_low: self.stats.rejected_low,
+            removed: self.stats.removed,
+            remove_anomalies: self.stats.remove_anomalies,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_entries: self.cache.len() as u64,
+            latency_buckets_us: self.stats.latency.buckets().to_vec(),
+        }
+    }
+
+    /// Admits one task, or reports exactly why a batch run would reject the
+    /// union too.
+    ///
+    /// # Errors
+    ///
+    /// The [`RejectReason`]; the state is unchanged on rejection.
+    pub fn admit(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+        let start = Instant::now();
+        let high = task.is_high_density();
+        let result = self.admit_inner(task);
+        match &result {
+            Ok(_) if high => self.stats.admitted_high += 1,
+            Ok(_) => self.stats.admitted_low += 1,
+            Err(_) if high => self.stats.rejected_high += 1,
+            Err(_) => self.stats.rejected_low += 1,
+        }
+        self.stats.latency.record(start.elapsed());
+        result
+    }
+
+    fn admit_inner(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+        if task.deadline_class() == DeadlineClass::Arbitrary {
+            return Err(RejectReason::ArbitraryDeadline);
+        }
+        if task.is_high_density() {
+            self.admit_high(task)
+        } else {
+            self.admit_low(task)
+        }
+    }
+
+    /// Phase-1 admission (MINPROCS, Fig. 3) of a high-density task.
+    fn admit_high(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+        let (sizing, cache_hit) = self.cache.sizing(&task, self.config.fedcons.policy);
+        let Some(sizing) = sizing else {
+            return Err(RejectReason::ChainInfeasible);
+        };
+        let mu = sizing.processors;
+        if self.dedicated + mu > self.config.processors {
+            return Err(RejectReason::InsufficientProcessors {
+                required: mu,
+                dedicated: self.dedicated,
+                total: self.config.processors,
+            });
+        }
+        let new_pool = (self.config.processors - self.dedicated - mu) as usize;
+        if self.low.iter().any(|e| e.processor >= new_pool) {
+            // A resident shared task sits on a processor the shrunk pool
+            // would lose. Its first-fit run rejected every lower-indexed
+            // processor against resident sets a batch run reproduces
+            // verbatim, so the batch run fails at that same task: exact.
+            return Err(RejectReason::DisplacesSharedTask {
+                pool: new_pool as u32,
+            });
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let first_processor = self.dedicated;
+        self.dedicated += mu;
+        self.clusters.push(LiveCluster {
+            token,
+            task,
+            sizing,
+        });
+        Ok(Admitted {
+            token,
+            placement: Placement::Dedicated {
+                first_processor,
+                processors: mu,
+            },
+            cache_hit,
+        })
+    }
+
+    /// Phase-2 admission (Baruah–Fisher first-fit, Fig. 4) of a low-density
+    /// task, replaying placements from its deadline position onward.
+    fn admit_low(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+        let view = SequentialView::of(&task);
+        // Sorted insertion point: ties by token, and the candidate's token
+        // will be larger than every resident one.
+        let position = self
+            .low
+            .partition_point(|e| e.view.deadline <= view.deadline);
+        let pool = self.shared_processors() as usize;
+        match self.replay_suffix(position, Some(view), pool) {
+            Some(placements) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                for (entry, &k) in self.low[position..].iter_mut().zip(&placements[1..]) {
+                    entry.processor = k;
+                }
+                let local = placements[0];
+                self.low.insert(
+                    position,
+                    LowEntry {
+                        token,
+                        task,
+                        view,
+                        processor: local,
+                    },
+                );
+                Ok(Admitted {
+                    token,
+                    placement: Placement::Shared {
+                        processor: self.dedicated + local as u32,
+                    },
+                    cache_hit: false,
+                })
+            }
+            None => Err(RejectReason::NoSharedFit { pool: pool as u32 }),
+        }
+    }
+
+    /// Re-runs the deadline-ordered first-fit from `from` onward: residents
+    /// before `from` keep their recorded processors (the batch prefix is
+    /// provably identical), then `candidate` (if any) and the residents
+    /// from `from` on are first-fit in order against `pool` processors.
+    /// Returns the new pool-local placements in that order, or `None` if
+    /// any of them fits nowhere.
+    fn replay_suffix(
+        &self,
+        from: usize,
+        candidate: Option<SequentialView>,
+        pool: usize,
+    ) -> Option<Vec<usize>> {
+        let mut bank = SharedPool::new(pool, self.config.fedcons.partition);
+        for entry in &self.low[..from] {
+            bank.place(entry.processor, entry.view);
+        }
+        candidate
+            .into_iter()
+            .chain(self.low[from..].iter().map(|e| e.view))
+            .map(|v| bank.try_place(v))
+            .collect()
+    }
+
+    /// Removes a resident task by token.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownToken`] if no resident task carries `token`.
+    pub fn remove(&mut self, token: u64) -> Result<Removed, UnknownToken> {
+        if let Some(i) = self.clusters.iter().position(|c| c.token == token) {
+            let cluster = self.clusters.remove(i);
+            self.dedicated -= cluster.sizing.processors;
+            self.stats.removed += 1;
+            // The pool grows on the high end of the processor range; every
+            // shared placement keeps its pool-local index, and a batch
+            // first-fit over the larger pool reproduces those placements
+            // (first-fit never reaches the new processors while the old
+            // ones accept, and they accept exactly as before).
+            return Ok(Removed { token, migrated: 0 });
+        }
+        if let Some(i) = self.low.iter().position(|e| e.token == token) {
+            let _removed = self.low.remove(i);
+            let pool = self.shared_processors() as usize;
+            self.stats.removed += 1;
+            match self.replay_suffix(i, None, pool) {
+                Some(placements) => {
+                    let mut migrated = 0;
+                    for (entry, &k) in self.low[i..].iter_mut().zip(&placements) {
+                        if entry.processor != k {
+                            migrated += 1;
+                        }
+                        entry.processor = k;
+                    }
+                    return Ok(Removed { token, migrated });
+                }
+                None => {
+                    // First-fit anomaly: with less demand, the replayed
+                    // suffix found no home for some task. Keep the previous
+                    // placements (sound: each processor's resident set is a
+                    // subset of an admitted one, and every admission test
+                    // is monotone) and record the event.
+                    self.stats.remove_anomalies += 1;
+                    return Ok(Removed { token, migrated: 0 });
+                }
+            }
+        }
+        Err(UnknownToken(token))
+    }
+
+    /// The current placement of a resident task, or `None` for unknown
+    /// tokens. Cluster base processors are recomputed from the current
+    /// cluster list, so earlier removals are reflected.
+    #[must_use]
+    pub fn query(&self, token: u64) -> Option<Placement> {
+        let mut first = 0u32;
+        for cluster in &self.clusters {
+            if cluster.token == token {
+                return Some(Placement::Dedicated {
+                    first_processor: first,
+                    processors: cluster.sizing.processors,
+                });
+            }
+            first += cluster.sizing.processors;
+        }
+        self.low
+            .iter()
+            .find(|e| e.token == token)
+            .map(|e| Placement::Shared {
+                processor: self.dedicated + e.processor as u32,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::graph::DagBuilder;
+    use fedsched_dag::time::Duration;
+
+    fn wide(units: usize, deadline: u64, period: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_vertices(std::iter::repeat_n(Duration::new(1), units));
+        DagTask::new(
+            b.build().unwrap(),
+            Duration::new(deadline),
+            Duration::new(period),
+        )
+        .unwrap()
+    }
+
+    fn light(c: u64, d: u64, t: u64) -> DagTask {
+        DagTask::sequential(Duration::new(c), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    fn state(m: u32) -> AdmissionState {
+        AdmissionState::new(AdmissionConfig::new(m))
+    }
+
+    #[test]
+    fn admits_high_and_low_like_the_paper_example() {
+        let mut s = state(4);
+        // 6 unit jobs due in 2 → μ* = 3 (as in the fedsched-core docs).
+        let a = s.admit(wide(6, 2, 10)).unwrap();
+        assert_eq!(
+            a.placement,
+            Placement::Dedicated {
+                first_processor: 0,
+                processors: 3
+            }
+        );
+        let b = s.admit(light(1, 4, 8)).unwrap();
+        assert_eq!(b.placement, Placement::Shared { processor: 3 });
+        assert_eq!(s.dedicated_processors(), 3);
+        assert_eq!(s.shared_processors(), 1);
+        assert_eq!(s.resident_tasks(), 2);
+    }
+
+    #[test]
+    fn rejects_arbitrary_deadline_and_infeasible_chain() {
+        let mut s = state(8);
+        let arbitrary =
+            DagTask::sequential(Duration::new(1), Duration::new(9), Duration::new(4)).unwrap();
+        assert_eq!(s.admit(arbitrary), Err(RejectReason::ArbitraryDeadline));
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([3, 3].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        let chain = DagTask::new(b.build().unwrap(), Duration::new(4), Duration::new(10)).unwrap();
+        assert_eq!(s.admit(chain), Err(RejectReason::ChainInfeasible));
+        // Counters split by the candidate's density class: the arbitrary
+        // task above has δ = 1/4, the chain-infeasible one δ = 6/4.
+        assert_eq!(s.stats().rejected_high, 1);
+        assert_eq!(s.stats().rejected_low, 1);
+        assert_eq!(s.resident_tasks(), 0);
+    }
+
+    #[test]
+    fn rejects_cluster_that_does_not_fit() {
+        let mut s = state(4);
+        s.admit(wide(6, 2, 10)).unwrap(); // μ* = 3
+        let err = s.admit(wide(6, 2, 11)).unwrap_err();
+        assert_eq!(
+            err,
+            RejectReason::InsufficientProcessors {
+                required: 3,
+                dedicated: 3,
+                total: 4
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_cluster_that_would_displace_a_shared_task() {
+        let mut s = state(4);
+        // Fill the whole 4-processor shared pool with heavy (but still
+        // low-density: δ = 3/4) sequential tasks; DBF* lets none share.
+        for _ in 0..4 {
+            s.admit(light(3, 4, 16)).unwrap();
+        }
+        // A cluster of μ* = 3 would shrink the pool to 1 ⇒ displacement.
+        let err = s.admit(wide(6, 2, 10)).unwrap_err();
+        assert_eq!(err, RejectReason::DisplacesSharedTask { pool: 1 });
+        assert_eq!(s.resident_tasks(), 4);
+    }
+
+    #[test]
+    fn remove_frees_cluster_processors_for_later_admissions() {
+        let mut s = state(4);
+        let a = s.admit(wide(6, 2, 10)).unwrap();
+        let err = s.admit(wide(6, 2, 11)).unwrap_err();
+        assert!(matches!(err, RejectReason::InsufficientProcessors { .. }));
+        s.remove(a.token).unwrap();
+        assert_eq!(s.dedicated_processors(), 0);
+        let again = s.admit(wide(6, 2, 11)).unwrap();
+        assert_eq!(
+            again.placement,
+            Placement::Dedicated {
+                first_processor: 0,
+                processors: 3
+            }
+        );
+    }
+
+    #[test]
+    fn query_reflects_cluster_compaction_after_removal() {
+        let mut s = state(8);
+        let a = s.admit(wide(6, 2, 10)).unwrap(); // P0..2
+        let b = s.admit(wide(4, 2, 12)).unwrap(); // μ* = 2 → P3..4
+        assert_eq!(
+            s.query(b.token),
+            Some(Placement::Dedicated {
+                first_processor: 3,
+                processors: 2
+            })
+        );
+        s.remove(a.token).unwrap();
+        assert_eq!(
+            s.query(b.token),
+            Some(Placement::Dedicated {
+                first_processor: 0,
+                processors: 2
+            })
+        );
+        assert_eq!(s.query(999), None);
+    }
+
+    #[test]
+    fn low_removal_replays_the_suffix() {
+        let mut s = state(2);
+        // Two heavy tasks (δ = 3/4 each) fill both processors; the second
+        // lands on P1 only because P0 rejects it.
+        let a = s.admit(light(3, 4, 16)).unwrap();
+        assert_eq!(a.placement, Placement::Shared { processor: 0 });
+        let b = s.admit(light(3, 4, 16)).unwrap();
+        assert_eq!(b.placement, Placement::Shared { processor: 1 });
+        let c = s.admit(light(1, 8, 16)).unwrap();
+        // After removing the first heavy task, the replay migrates the
+        // later tasks down to first-fit positions.
+        let removed = s.remove(a.token).unwrap();
+        assert_eq!(removed.migrated, 1);
+        assert_eq!(s.query(b.token), Some(Placement::Shared { processor: 0 }));
+        let _ = c;
+        assert_eq!(s.stats().remove_anomalies, 0);
+    }
+
+    #[test]
+    fn unknown_token_is_an_error() {
+        let mut s = state(2);
+        assert_eq!(s.remove(0), Err(UnknownToken(0)));
+    }
+
+    #[test]
+    fn snapshot_counts_everything() {
+        let mut s = state(4);
+        let t = wide(6, 2, 10);
+        let a = s.admit(t.clone()).unwrap();
+        assert!(!a.cache_hit);
+        s.remove(a.token).unwrap();
+        let b = s.admit(t).unwrap();
+        assert!(b.cache_hit);
+        s.admit(light(1, 4, 8)).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.admitted_high, 2);
+        assert_eq!(snap.admitted_low, 1);
+        assert_eq!(snap.removed, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.resident_tasks, 2);
+        assert_eq!(snap.latency_buckets_us.iter().sum::<u64>(), 3);
+    }
+}

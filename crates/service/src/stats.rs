@@ -1,0 +1,135 @@
+//! Operation counters and a log-scale latency histogram for the server.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in [`LatencyHistogram`]: bucket `i` counts operations
+/// that took `[2^i, 2^{i+1})` microseconds (the last bucket is open-ended).
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// A power-of-two histogram of admission-decision latencies, in
+/// microseconds. Bucket `i` covers `[2^i, 2^{i+1})` µs; sub-microsecond
+/// decisions land in bucket 0 and anything from about 35 minutes up
+/// saturates the last bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one operation that took `elapsed`.
+    pub fn record(&mut self, elapsed: std::time::Duration) {
+        let us = elapsed.as_micros();
+        let bucket = if us <= 1 {
+            0
+        } else {
+            (127 - u128::leading_zeros(us) as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[bucket] += 1;
+    }
+
+    /// Total number of recorded operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts, index `i` covering `[2^i, 2^{i+1})` µs.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// Mutable operation counters kept by
+/// [`AdmissionState`](crate::state::AdmissionState).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// High-density tasks admitted onto dedicated clusters.
+    pub admitted_high: u64,
+    /// Low-density tasks admitted into the shared pool.
+    pub admitted_low: u64,
+    /// Rejected tasks of high density (δ ≥ 1): chain-infeasible shapes and
+    /// clusters that did not fit.
+    pub rejected_high: u64,
+    /// Rejected tasks of low density: shared-pool first-fit failures (and
+    /// arbitrary-deadline submissions whose density is below one).
+    pub rejected_low: u64,
+    /// Tasks removed.
+    pub removed: u64,
+    /// Removals whose suffix replay failed (first-fit anomaly); the state
+    /// keeps the previous — still sound — placements instead.
+    pub remove_anomalies: u64,
+    /// Latency of `admit` decisions (the hot path; removals are not timed).
+    pub latency: LatencyHistogram,
+}
+
+/// A point-in-time, serializable view of the server's counters, returned by
+/// the `Stats` request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Platform size `m` the server was started with.
+    pub processors: u32,
+    /// Processors currently bound to dedicated clusters.
+    pub dedicated_processors: u32,
+    /// Processors currently in the shared EDF pool.
+    pub shared_processors: u32,
+    /// Tasks currently resident (clusters plus shared).
+    pub resident_tasks: u64,
+    /// High-density tasks admitted since start.
+    pub admitted_high: u64,
+    /// Low-density tasks admitted since start.
+    pub admitted_low: u64,
+    /// High-density rejections since start.
+    pub rejected_high: u64,
+    /// Low-density rejections since start.
+    pub rejected_low: u64,
+    /// Removals since start.
+    pub removed: u64,
+    /// Removal replays that hit a first-fit anomaly.
+    pub remove_anomalies: u64,
+    /// Template-cache hits since start.
+    pub cache_hits: u64,
+    /// Template-cache misses since start.
+    pub cache_misses: u64,
+    /// Distinct DAG shapes the template cache holds.
+    pub cache_entries: u64,
+    /// Admission-latency histogram; index `i` counts decisions that took
+    /// `[2^i, 2^{i+1})` microseconds.
+    pub latency_buckets_us: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two_microseconds() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100)); // sub-µs → bucket 0
+        h.record(Duration::from_micros(1)); // → bucket 0
+        h.record(Duration::from_micros(2)); // → bucket 1
+        h.record(Duration::from_micros(3)); // → bucket 1
+        h.record(Duration::from_micros(1024)); // → bucket 10
+        h.record(Duration::from_secs(36_000)); // saturates the last bucket
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[10], 1);
+        assert_eq!(h.buckets()[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(h.total(), 6);
+    }
+}

@@ -1,0 +1,219 @@
+//! The consistency oracle: every incremental admission decision — accept or
+//! reject, and every placement — must coincide with a *batch* FEDCONS
+//! re-analysis of the currently resident task set.
+//!
+//! The test drives seeded random interleavings of `admit` and `remove` over
+//! a pool of more than 500 generated tasks (generator-produced low/mixed
+//! systems plus constructed high-density, chain-infeasible, and
+//! arbitrary-deadline shapes), checking after *every* operation that
+//! `fedcons` over the resident set (in token order) accepts and reproduces
+//! the state's clusters and shared placements bit for bit.
+
+use fedsched_core::fedcons::{fedcons, FederatedSchedule};
+use fedsched_dag::graph::DagBuilder;
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use fedsched_gen::system::SystemConfig;
+use fedsched_service::protocol::Placement;
+use fedsched_service::state::{AdmissionConfig, AdmissionState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A wide parallel task with `width` vertices; high-density when the
+/// deadline is below the volume.
+fn parallel_task(rng: &mut StdRng, width: usize) -> DagTask {
+    let mut b = DagBuilder::new();
+    let mut volume = 0u64;
+    let mut longest = 0u64;
+    for _ in 0..width {
+        let w = rng.gen_range(1..6u64);
+        volume += w;
+        longest = longest.max(w);
+        b.add_vertex(Duration::new(w));
+    }
+    // Chain-feasible but dense: longest ≤ D < volume where possible.
+    let deadline = if volume > longest + 1 {
+        rng.gen_range(longest..volume)
+    } else {
+        longest
+    };
+    let period = deadline + rng.gen_range(0..20u64);
+    DagTask::new(
+        b.build().unwrap(),
+        Duration::new(deadline),
+        Duration::new(period),
+    )
+    .unwrap()
+}
+
+/// A task no cluster size can help: its chain alone exceeds the deadline.
+fn chain_infeasible_task() -> DagTask {
+    let mut b = DagBuilder::new();
+    let v = b.add_vertices([3, 4].map(Duration::new));
+    b.add_edge(v[0], v[1]).unwrap();
+    DagTask::new(b.build().unwrap(), Duration::new(5), Duration::new(12)).unwrap()
+}
+
+/// A task FEDCONS refuses outright: `D > T`.
+fn arbitrary_deadline_task() -> DagTask {
+    DagTask::sequential(Duration::new(1), Duration::new(9), Duration::new(4)).unwrap()
+}
+
+/// More than 500 tasks mixing generator output with adversarial shapes.
+fn task_pool(rng: &mut StdRng) -> Vec<DagTask> {
+    let mut pool: Vec<DagTask> = Vec::new();
+    for chunk in 0..8u64 {
+        let system = SystemConfig::new(50, 8.0)
+            .with_max_task_utilization(0.7)
+            .generate_seeded(1_000 + chunk)
+            .expect("feasible generator target");
+        pool.extend(system.tasks().iter().cloned());
+    }
+    for _ in 0..150 {
+        let width = rng.gen_range(2..8usize);
+        pool.push(parallel_task(rng, width));
+    }
+    for _ in 0..8 {
+        pool.push(chain_infeasible_task());
+        pool.push(arbitrary_deadline_task());
+    }
+    assert!(pool.len() >= 500, "pool has only {} tasks", pool.len());
+    pool
+}
+
+/// Asserts that the batch schedule over the resident set places every task
+/// exactly where the incremental state has it.
+fn assert_placements_match(
+    state: &AdmissionState,
+    resident: &[(u64, DagTask)],
+    schedule: &FederatedSchedule,
+    step: usize,
+) {
+    let system: TaskSystem = resident.iter().map(|(_, t)| t.clone()).collect();
+    let mut cluster_index = 0usize;
+    for (id, task) in system.iter() {
+        let token = resident[id.index()].0;
+        let incremental = state
+            .query(token)
+            .unwrap_or_else(|| panic!("step {step}: token {token} resident but unknown"));
+        if task.is_high_density() {
+            let cluster = &schedule.clusters()[cluster_index];
+            cluster_index += 1;
+            assert_eq!(cluster.task, id, "step {step}: cluster order diverged");
+            assert_eq!(
+                incremental,
+                Placement::Dedicated {
+                    first_processor: cluster.first_processor,
+                    processors: cluster.processors,
+                },
+                "step {step}: cluster placement diverged for token {token}"
+            );
+        } else {
+            let slot = schedule
+                .partition()
+                .processor_of(id)
+                .unwrap_or_else(|| panic!("step {step}: batch lost shared task {id}"));
+            assert_eq!(
+                incremental,
+                Placement::Shared {
+                    processor: schedule.shared_first() + slot as u32,
+                },
+                "step {step}: shared placement diverged for token {token}"
+            );
+        }
+    }
+    assert_eq!(
+        cluster_index,
+        schedule.clusters().len(),
+        "step {step}: batch produced extra clusters"
+    );
+}
+
+fn run_interleaving(seed: u64, operations: usize, processors: u32) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = task_pool(&mut rng);
+    let config = AdmissionConfig::new(processors);
+    let mut state = AdmissionState::new(config);
+    // The oracle's mirror of the resident set, in token order.
+    let mut resident: Vec<(u64, DagTask)> = Vec::new();
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+
+    for step in 0..operations {
+        if !resident.is_empty() && rng.gen_bool(0.4) {
+            let victim = rng.gen_range(0..resident.len());
+            let (token, _) = resident.remove(victim);
+            state.remove(token).expect("resident token must remove");
+        } else {
+            let task = pool[rng.gen_range(0..pool.len())].clone();
+            let decision = state.admit(task.clone());
+
+            // Batch oracle for the decision: FEDCONS over resident ∪ {task}.
+            let union: TaskSystem = resident
+                .iter()
+                .map(|(_, t)| t.clone())
+                .chain([task.clone()])
+                .collect();
+            let batch = fedcons(&union, processors, config.fedcons);
+            assert_eq!(
+                decision.is_ok(),
+                batch.is_ok(),
+                "step {step}: incremental said {decision:?}, batch said {batch:?}"
+            );
+            match decision {
+                Ok(admitted) => {
+                    accepted += 1;
+                    resident.push((admitted.token, task));
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+
+        // Batch oracle for the whole state: the resident set must be
+        // schedulable and placed identically.
+        let system: TaskSystem = resident.iter().map(|(_, t)| t.clone()).collect();
+        let schedule = fedcons(&system, processors, config.fedcons)
+            .unwrap_or_else(|e| panic!("step {step}: resident set became unschedulable: {e}"));
+        assert_placements_match(&state, &resident, &schedule, step);
+    }
+
+    assert_eq!(
+        state.stats().remove_anomalies,
+        0,
+        "seed {seed}: a removal replay hit a first-fit anomaly"
+    );
+    (accepted, rejected)
+}
+
+#[test]
+fn incremental_decisions_match_batch_fedcons() {
+    let mut total_accepted = 0;
+    let mut total_rejected = 0;
+    for seed in [11, 23, 47] {
+        let (accepted, rejected) = run_interleaving(seed, 260, 16);
+        total_accepted += accepted;
+        total_rejected += rejected;
+    }
+    // The interleavings must genuinely exercise both outcomes.
+    assert!(total_accepted >= 100, "only {total_accepted} admissions");
+    assert!(total_rejected >= 50, "only {total_rejected} rejections");
+}
+
+#[test]
+fn token_order_tie_break_matches_batch_task_id_order() {
+    // Same-deadline tasks: the incremental tie-break (token) must agree
+    // with the batch tie-break (TaskId), including across a removal that
+    // shifts the id ↔ token correspondence.
+    let processors = 2;
+    let config = AdmissionConfig::new(processors);
+    let mut state = AdmissionState::new(config);
+    let mk = |c: u64| DagTask::sequential(Duration::new(c), Duration::new(8), Duration::new(16));
+    let a = state.admit(mk(3).unwrap()).unwrap();
+    let b = state.admit(mk(4).unwrap()).unwrap();
+    let c = state.admit(mk(2).unwrap()).unwrap();
+    state.remove(a.token).unwrap();
+    let resident = vec![(b.token, mk(4).unwrap()), (c.token, mk(2).unwrap())];
+    let system: TaskSystem = resident.iter().map(|(_, t)| t.clone()).collect();
+    let schedule = fedcons(&system, processors, config.fedcons).unwrap();
+    assert_placements_match(&state, &resident, &schedule, 0);
+}

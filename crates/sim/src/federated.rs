@@ -98,11 +98,7 @@ pub fn simulate_federated_traced(
             let completion_offset = match dispatch {
                 ClusterDispatch::Template => {
                     let mut latest = Duration::ZERO;
-                    for (v, (&a, e)) in actual
-                        .iter()
-                        .zip(cluster.template.entries())
-                        .enumerate()
-                    {
+                    for (v, (&a, e)) in actual.iter().zip(cluster.template.entries()).enumerate() {
                         trace.push(TraceSegment {
                             processor: cluster.first_processor + e.processor,
                             task: cluster.task,
@@ -198,7 +194,9 @@ pub fn simulate_federated_runs(
             seed: seeds.gen(),
             ..base
         };
-        total.absorb(simulate_federated(system, schedule, config, dispatch, policy));
+        total.absorb(simulate_federated(
+            system, schedule, config, dispatch, policy,
+        ));
     }
     total
 }
@@ -253,7 +251,9 @@ mod tests {
         let (system, schedule) = admitted_system();
         let config = SimConfig {
             horizon: Duration::new(10_000),
-            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.4 },
+            arrivals: ArrivalModel::SporadicUniformSlack {
+                max_extra_fraction: 0.4,
+            },
             execution: ExecutionModel::UniformFraction { min_fraction: 0.2 },
             seed: 77,
         };
@@ -301,15 +301,25 @@ mod tests {
         let (system, schedule) = admitted_system();
         let config = SimConfig {
             horizon: Duration::new(2_000),
-            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.3 },
+            arrivals: ArrivalModel::SporadicUniformSlack {
+                max_extra_fraction: 0.3,
+            },
             execution: ExecutionModel::UniformFraction { min_fraction: 0.4 },
             seed: 5,
         };
         let a = simulate_federated(
-            &system, &schedule, config, ClusterDispatch::Template, PriorityPolicy::ListOrder,
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
         );
         let b = simulate_federated(
-            &system, &schedule, config, ClusterDispatch::Template, PriorityPolicy::ListOrder,
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
         );
         assert_eq!(a, b);
     }
@@ -319,7 +329,11 @@ mod tests {
         let (system, schedule) = admitted_system();
         let config = SimConfig::worst_case(Duration::ZERO);
         let r = simulate_federated(
-            &system, &schedule, config, ClusterDispatch::Template, PriorityPolicy::ListOrder,
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
         );
         assert_eq!(r.jobs_scored, 0);
     }

@@ -102,21 +102,22 @@ pub fn simulate_global_edf(system: &TaskSystem, m: u32, config: SimConfig) -> Si
     let mut active: Vec<usize> = Vec::new(); // indices into `instances`
     let mut now = Time::ZERO;
 
-    let score = |inst: &JobInstance, completion: Time, report: &mut SimReport, horizon: Duration| {
-        if inst.deadline.ticks() <= horizon.ticks() {
-            report.jobs_scored += 1;
-            if completion <= inst.deadline {
-                report.jobs_on_time += 1;
-            } else {
-                report.misses.push(MissRecord {
-                    task: inst.task,
-                    release: inst.release,
-                    deadline: inst.deadline,
-                    completion,
-                });
+    let score =
+        |inst: &JobInstance, completion: Time, report: &mut SimReport, horizon: Duration| {
+            if inst.deadline.ticks() <= horizon.ticks() {
+                report.jobs_scored += 1;
+                if completion <= inst.deadline {
+                    report.jobs_on_time += 1;
+                } else {
+                    report.misses.push(MissRecord {
+                        task: inst.task,
+                        release: inst.release,
+                        deadline: inst.deadline,
+                        completion,
+                    });
+                }
             }
-        }
-    };
+        };
 
     loop {
         // Admit arrivals.
@@ -303,7 +304,9 @@ mod tests {
             .collect();
         let cfg = SimConfig {
             horizon: Duration::new(1_000),
-            arrivals: crate::model::ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.5 },
+            arrivals: crate::model::ArrivalModel::SporadicUniformSlack {
+                max_extra_fraction: 0.5,
+            },
             execution: crate::model::ExecutionModel::UniformFraction { min_fraction: 0.3 },
             seed: 11,
         };

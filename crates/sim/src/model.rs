@@ -74,11 +74,13 @@ impl ExecutionModel {
             ExecutionModel::Wcet => wcet,
             ExecutionModel::UniformFraction { min_fraction } => {
                 let f = rng.gen_range(min_fraction..=1.0);
-                Duration::new(((wcet.ticks() as f64 * f).round() as u64).max(1).min(wcet.ticks()))
+                Duration::new(
+                    ((wcet.ticks() as f64 * f).round() as u64)
+                        .max(1)
+                        .min(wcet.ticks()),
+                )
             }
-            ExecutionModel::OneTickShorter => {
-                Duration::new(wcet.ticks().saturating_sub(1).max(1))
-            }
+            ExecutionModel::OneTickShorter => Duration::new(wcet.ticks().saturating_sub(1).max(1)),
         }
     }
 }
@@ -216,7 +218,9 @@ mod tests {
     #[test]
     fn sporadic_releases_respect_minimum_separation() {
         let mut rng = StdRng::seed_from_u64(1);
-        let model = ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.5 };
+        let model = ArrivalModel::SporadicUniformSlack {
+            max_extra_fraction: 0.5,
+        };
         let r = model.releases(&mut rng, Duration::new(10), Duration::new(1000));
         for w in r.windows(2) {
             let gap = w[1] - w[0];

@@ -257,7 +257,10 @@ mod tests {
     fn segment_display() {
         let s = seg(0, 3, 1, 4);
         assert_eq!(s.to_string(), "P0 t1..t4 τ3");
-        let v = TraceSegment { vertex: Some(2), ..s };
+        let v = TraceSegment {
+            vertex: Some(2),
+            ..s
+        };
         assert_eq!(v.to_string(), "P0 t1..t4 τ3[v2]");
         assert_eq!(s.len(), Duration::new(3));
     }

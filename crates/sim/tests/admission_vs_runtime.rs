@@ -141,7 +141,11 @@ fn rerun_dispatcher_suffers_grahams_anomaly_but_template_does_not() {
         PriorityPolicy::ListOrder,
     );
     assert!(safe.jobs_scored >= 99);
-    assert!(safe.is_clean(), "template dispatcher missed: {:?}", safe.misses);
+    assert!(
+        safe.is_clean(),
+        "template dispatcher missed: {:?}",
+        safe.misses
+    );
 
     // Re-running LS with the shorter times: makespan 13 > D = 12 — every
     // single job misses.

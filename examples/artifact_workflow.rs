@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(cluster.template.makespan() <= task.deadline());
         println!(
             "online: template for {} validated ({} processors, makespan {})",
-            cluster.task, cluster.processors, cluster.template.makespan()
+            cluster.task,
+            cluster.processors,
+            cluster.template.makespan()
         );
     }
 

@@ -14,8 +14,8 @@
 //! simulator confirms the admitted configuration never misses a frame.
 
 use fedsched::core::baselines::global_edf_density_test;
-use fedsched::core::fedcons::{fedcons, FedConsConfig};
 use fedsched::core::feasibility::necessary_feasible;
+use fedsched::core::fedcons::{fedcons, FedConsConfig};
 use fedsched::dag::graph::{Dag, DagBuilder};
 use fedsched::dag::system::TaskSystem;
 use fedsched::dag::task::DagTask;
@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // whole frame's work cannot run sequentially inside the deadline).
     let baseline = global_edf_density_test(&system, m);
     println!("\nDAG-blind global-EDF density test on {m} cores: {baseline}");
-    assert!(!baseline, "sequentialising schedulers must reject this system");
+    assert!(
+        !baseline,
+        "sequentialising schedulers must reject this system"
+    );
 
     // FEDCONS: a dedicated cluster for perception, EDF for the rest.
     let schedule = fedcons(&system, m, FedConsConfig::default())?;

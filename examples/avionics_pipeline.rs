@@ -87,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t.deadline(),
             t.period(),
             t.density(),
-            if t.is_high_density() { "HIGH density — needs a cluster" } else { "low density" },
+            if t.is_high_density() {
+                "HIGH density — needs a cluster"
+            } else {
+                "low density"
+            },
         );
     }
     println!("  U_sum = {}\n", system.total_utilization());
@@ -101,8 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if ids.is_empty() {
             continue;
         }
-        let views: Vec<SequentialView> =
-            ids.iter().map(|&id| SequentialView::of(system.task(id))).collect();
+        let views: Vec<SequentialView> = ids
+            .iter()
+            .map(|&id| SequentialView::of(system.task(id)))
+            .collect();
         let verdict = edf_qpa(&views, DEFAULT_BUDGET)?;
         println!(
             "exact EDF check, shared P{}: {:?}",
@@ -119,7 +125,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &schedule,
         SimConfig {
             horizon: Duration::new(1_000_000),
-            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.2 },
+            arrivals: ArrivalModel::SporadicUniformSlack {
+                max_extra_fraction: 0.2,
+            },
             execution: ExecutionModel::UniformFraction { min_fraction: 0.4 },
             seed: 2024,
         },

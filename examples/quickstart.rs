@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  len  = {}", tau1.longest_chain_length());
     println!("  vol  = {}", tau1.volume());
     println!("  u    = {}", tau1.utilization());
-    println!("  δ    = {} (low-density: {})", tau1.density(), tau1.is_low_density());
+    println!(
+        "  δ    = {} (low-density: {})",
+        tau1.density(),
+        tau1.is_low_density()
+    );
     println!("\nDOT rendering of its DAG:\n{}", tau1.dag().to_dot("tau1"));
 
     // ── 2. A mixed system: τ1 plus a high-density vision task ───────────

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &schedule,
         SimConfig {
             horizon: Duration::new(10_000),
-            arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.25 },
+            arrivals: ArrivalModel::SporadicUniformSlack {
+                max_extra_fraction: 0.25,
+            },
             execution: ExecutionModel::UniformFraction { min_fraction: 0.5 },
             seed: 7,
         },

@@ -51,7 +51,9 @@ fn admission_artifacts_are_independently_verifiable() {
     let mut admitted = 0;
     for topology in topologies() {
         for seed in 0..40u64 {
-            let Some(system) = generate(seed, topology) else { continue };
+            let Some(system) = generate(seed, topology) else {
+                continue;
+            };
             let Ok(schedule) = fedcons(&system, m, FedConsConfig::default()) else {
                 continue;
             };
@@ -62,7 +64,9 @@ fn admission_artifacts_are_independently_verifiable() {
             let mut next = 0u32;
             for c in schedule.clusters() {
                 let task = system.task(c.task);
-                c.template.validate(task.dag()).expect("template is a valid schedule");
+                c.template
+                    .validate(task.dag())
+                    .expect("template is a valid schedule");
                 assert!(c.template.makespan() <= task.deadline());
                 assert_eq!(c.first_processor, next, "clusters are a contiguous prefix");
                 next += c.processors;
@@ -89,7 +93,10 @@ fn admission_artifacts_are_independently_verifiable() {
             assert!(placed.iter().all(|&p| p), "every task is placed");
         }
     }
-    assert!(admitted >= 40, "only {admitted} systems admitted — sweep too weak");
+    assert!(
+        admitted >= 40,
+        "only {admitted} systems admitted — sweep too weak"
+    );
 }
 
 /// The full loop under every topology: admitted systems simulate clean with
@@ -100,7 +107,9 @@ fn generate_admit_simulate_loop() {
     let mut simulated = 0;
     for topology in topologies() {
         for seed in 100..115u64 {
-            let Some(system) = generate(seed, topology) else { continue };
+            let Some(system) = generate(seed, topology) else {
+                continue;
+            };
             let Ok(schedule) = fedcons(&system, m, FedConsConfig::default()) else {
                 continue;
             };
@@ -108,7 +117,9 @@ fn generate_admit_simulate_loop() {
                 SimConfig::worst_case(Duration::new(40_000)),
                 SimConfig {
                     horizon: Duration::new(40_000),
-                    arrivals: ArrivalModel::SporadicUniformSlack { max_extra_fraction: 0.4 },
+                    arrivals: ArrivalModel::SporadicUniformSlack {
+                        max_extra_fraction: 0.4,
+                    },
                     execution: ExecutionModel::UniformFraction { min_fraction: 0.3 },
                     seed,
                 },
@@ -153,12 +164,9 @@ fn rejections_name_a_real_culprit() {
             Ok(_) => {}
             Err(FedConsFailure::HighDensityTask { task, remaining }) => {
                 seen_high = true;
-                assert!(min_procs(
-                    system.task(task),
-                    remaining,
-                    PriorityPolicy::ListOrder
-                )
-                .is_none());
+                assert!(
+                    min_procs(system.task(task), remaining, PriorityPolicy::ListOrder).is_none()
+                );
             }
             Err(FedConsFailure::Partition(p)) => {
                 seen_partition = true;

@@ -1,8 +1,8 @@
 //! E1 — the paper's worked examples, verified end to end (DESIGN.md §3).
 
 use fedsched::core::baselines::global_edf_density_test;
-use fedsched::core::fedcons::{fedcons, FedConsConfig, FedConsFailure};
 use fedsched::core::feasibility::{demand_load, necessary_feasible};
+use fedsched::core::fedcons::{fedcons, FedConsConfig, FedConsFailure};
 use fedsched::dag::examples::{paper_example2, paper_figure1};
 use fedsched::dag::rational::Rational;
 use fedsched::dag::system::TaskSystem;
@@ -20,7 +20,10 @@ fn example1_quantities() {
     assert_eq!(tau1.volume(), Duration::new(9), "vol₁ = 9");
     assert_eq!(tau1.density(), Rational::new(9, 16), "δ₁ = 9/16");
     assert_eq!(tau1.utilization(), Rational::new(9, 20), "u₁ = 9/20");
-    assert!(tau1.is_low_density(), "since δ₁ < 1, τ₁ is a low-density task");
+    assert!(
+        tau1.is_low_density(),
+        "since δ₁ < 1, τ₁ is a low-density task"
+    );
     assert_eq!(tau1.deadline_class(), DeadlineClass::Constrained);
 }
 
@@ -58,10 +61,7 @@ fn example2_unbounded_capacity_augmentation() {
         // all satisfied even on one processor — only the sharper LOAD
         // condition exposes the crunch, requiring n processors:
         assert!(necessary_feasible(&system, 1));
-        assert!(
-            demand_load(&system, 1_000_000)
-                > Rational::from_integer(i128::from(n) - 1)
-        );
+        assert!(demand_load(&system, 1_000_000) > Rational::from_integer(i128::from(n) - 1));
         // FEDCONS matches the necessary bound exactly (each task is
         // high-density with δ = 1 and receives its own processor).
         assert!(fedcons(&system, n, FedConsConfig::default()).is_ok());

@@ -1,0 +1,93 @@
+//! Round-trip tests for the JSON interchange forms of [`TaskSystem`] and
+//! [`DagTask`] — the formats `fedsched generate` emits and every other
+//! subcommand (including the admission server's `Admit` request) consumes —
+//! plus rejection of malformed input.
+
+use fedsched_dag::graph::DagBuilder;
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use fedsched_gen::system::SystemConfig;
+
+fn generated_system(seed: u64) -> TaskSystem {
+    SystemConfig::new(12, 4.0)
+        .with_max_task_utilization(0.9)
+        .generate_seeded(seed)
+        .expect("feasible generator target")
+}
+
+#[test]
+fn task_system_roundtrips_compact_and_pretty() {
+    let system = generated_system(7);
+    let compact = serde_json::to_string(&system).unwrap();
+    let back: TaskSystem = serde_json::from_str(&compact).unwrap();
+    assert_eq!(system, back);
+
+    let pretty = serde_json::to_string_pretty(&system).unwrap();
+    let back_pretty: TaskSystem = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(system, back_pretty);
+}
+
+#[test]
+fn roundtrip_preserves_derived_quantities() {
+    let system = generated_system(11);
+    let back: TaskSystem = serde_json::from_str(&serde_json::to_string(&system).unwrap()).unwrap();
+    assert_eq!(system.total_utilization(), back.total_utilization());
+    assert_eq!(system.total_density(), back.total_density());
+    assert_eq!(system.deadline_class(), back.deadline_class());
+    for ((_, a), (_, b)) in system.iter().zip(back.iter()) {
+        assert_eq!(a.volume(), b.volume());
+        assert_eq!(a.longest_chain_length(), b.longest_chain_length());
+        assert_eq!(a.dag().edge_count(), b.dag().edge_count());
+    }
+}
+
+#[test]
+fn dag_task_with_edges_roundtrips() {
+    let mut b = DagBuilder::new();
+    let v = b.add_vertices([2, 3, 1, 4].map(Duration::new));
+    b.add_edge(v[0], v[1]).unwrap();
+    b.add_edge(v[0], v[2]).unwrap();
+    b.add_edge(v[1], v[3]).unwrap();
+    b.add_edge(v[2], v[3]).unwrap();
+    let task = DagTask::new(b.build().unwrap(), Duration::new(9), Duration::new(12)).unwrap();
+    let json = serde_json::to_string(&task).unwrap();
+    let back: DagTask = serde_json::from_str(&json).unwrap();
+    assert_eq!(task, back);
+    assert_eq!(back.volume(), Duration::new(10));
+    assert_eq!(back.longest_chain_length(), Duration::new(9));
+}
+
+#[test]
+fn malformed_json_is_rejected() {
+    // Syntax errors, truncations, and wrong shapes must all fail cleanly
+    // (never panic, never yield a half-parsed system).
+    let cases = [
+        "",
+        "{",
+        "[1, 2",
+        "null",
+        "42",
+        "\"tasks\"",
+        "{\"tasks\": 3}",
+        "{\"tasks\": [7]}",
+        "{\"no_such_field\": []}",
+        "{\"tasks\": [{\"deadline\": 4}]}",
+    ];
+    for bad in cases {
+        assert!(
+            serde_json::from_str::<TaskSystem>(bad).is_err(),
+            "{bad:?} must not parse as a TaskSystem"
+        );
+    }
+    assert!(serde_json::from_str::<DagTask>("{\"dag\": null}").is_err());
+}
+
+#[test]
+fn wrongly_typed_fields_are_rejected() {
+    // Take a valid document and corrupt one field's type.
+    let system = generated_system(3);
+    let good = serde_json::to_string(&system).unwrap();
+    let corrupted = good.replacen("\"tasks\":[", "\"tasks\":\"", 1);
+    assert!(serde_json::from_str::<TaskSystem>(&corrupted).is_err());
+}

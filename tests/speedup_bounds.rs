@@ -1,8 +1,8 @@
 //! Randomized checks of the paper's analytical results: Lemma 1, Lemma 2 /
 //! Theorem 1 and the monotonicity assumptions behind the speed search.
 
-use fedsched::core::fedcons::{fedcons, FedConsConfig};
 use fedsched::core::feasibility::demand_load;
+use fedsched::core::fedcons::{fedcons, FedConsConfig};
 use fedsched::core::minprocs::min_procs;
 use fedsched::core::speedup::{required_speed, system_at_speed};
 use fedsched::dag::rational::Rational;
@@ -57,7 +57,9 @@ fn theorem1_holds_on_random_low_density_systems() {
         .with_max_task_utilization(0.9)
         .with_tightness(DeadlineTightness::new(0.4, 1.0));
     for seed in 0..50u64 {
-        let Some(raw) = cfg.generate_seeded(seed) else { continue };
+        let Some(raw) = cfg.generate_seeded(seed) else {
+            continue;
+        };
         let system: TaskSystem = raw.into_iter().filter(DagTask::is_low_density).collect();
         if system.len() < 2 {
             continue;
@@ -88,7 +90,9 @@ fn fedcons_acceptance_is_monotone_in_speed() {
     let cfg = SystemConfig::new(6, 3.0).with_max_task_utilization(1.4);
     let m = 4;
     for seed in 0..30u64 {
-        let Some(system) = cfg.generate_seeded(seed) else { continue };
+        let Some(system) = cfg.generate_seeded(seed) else {
+            continue;
+        };
         let mut last = false;
         for k in 4..=24i128 {
             let s = Rational::new(k, 8);
@@ -110,7 +114,9 @@ fn required_speed_is_minimal_on_grid() {
     let m = 3;
     let grid = 16u32;
     for seed in 0..30u64 {
-        let Some(system) = cfg.generate_seeded(seed) else { continue };
+        let Some(system) = cfg.generate_seeded(seed) else {
+            continue;
+        };
         let accepts = |s: &TaskSystem| fedcons(s, m, FedConsConfig::default()).is_ok();
         let Some(speed) = required_speed(&system, accepts, grid, 4) else {
             continue;

@@ -1,0 +1,393 @@
+//! Vendored minimal `criterion` shim.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! small wall-clock benchmark harness exposing the criterion 0.5 API subset
+//! its bench targets use: [`Criterion`] with `bench_function` /
+//! `benchmark_group`, [`BenchmarkGroup`] with `bench_with_input`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`BatchSize`], and the `criterion_group!` / `criterion_main!` macros
+//! (both forms).
+//!
+//! Measurements are real: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose iteration counts are auto-scaled so a sample
+//! takes a meaningful slice of wall time. Output reports min / mean / max
+//! per-iteration latency. There is no statistical outlier analysis, HTML
+//! report, or baseline comparison. Under `cargo test` (which passes
+//! `--test`) every benchmark runs exactly one iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost; the shim times routines
+/// individually, so the variants only influence batching granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many small inputs per batch.
+    SmallInput,
+    /// Few large inputs per batch.
+    LargeInput,
+    /// One fresh input per timed iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId {
+            full: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { full: name }
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    target_sample: Duration,
+    /// `--test` mode: run each routine once, skip timing loops.
+    smoke_only: bool,
+    /// `--quick` mode: cut sample counts for fast local runs.
+    quick: bool,
+}
+
+impl Settings {
+    fn effective_samples(&self) -> usize {
+        if self.quick {
+            self.sample_size.clamp(2, 10)
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            settings: Settings {
+                sample_size: 100,
+                warm_up: Duration::from_millis(300),
+                target_sample: Duration::from_millis(20),
+                smoke_only: false,
+                quick: false,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the wall-time budget one sample aims for.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        // The real crate budgets the whole sampling phase; the shim times
+        // per-sample, so split the budget across the configured samples.
+        let per = d.as_nanos() / (self.settings.sample_size.max(1) as u128);
+        self.settings.target_sample = Duration::from_nanos(per.min(u128::from(u64::MAX)) as u64);
+        self
+    }
+
+    #[doc(hidden)]
+    pub fn __configure_from_args(mut self, args: &[String]) -> Criterion {
+        if args.iter().any(|a| a == "--test") {
+            self.settings.smoke_only = true;
+        }
+        if args.iter().any(|a| a == "--quick") {
+            self.settings.quick = true;
+        }
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, &id.into().full, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            settings: self.settings,
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    settings: Settings,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full);
+        run_benchmark(&self.settings, &full, &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        run_benchmark(&self.settings, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The shim prints results eagerly; this is a no-op
+    /// kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F>(settings: &Settings, name: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if settings.smoke_only {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok (smoke)");
+        return;
+    }
+
+    // Calibrate: grow the per-sample iteration count until one sample costs
+    // a measurable slice of wall time, warming caches along the way.
+    let mut iterations: u64 = 1;
+    let warm_up_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= settings.target_sample || iterations >= 1 << 30 {
+            break;
+        }
+        if warm_up_start.elapsed() >= settings.warm_up && b.elapsed > Duration::ZERO {
+            // Scale straight to the target using the measured rate.
+            let per_iter = b.elapsed.as_nanos().max(1) / u128::from(iterations);
+            let needed = settings.target_sample.as_nanos() / per_iter.max(1);
+            iterations = needed.clamp(1, 1 << 30) as u64;
+            let mut b = Bencher {
+                iterations,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            break;
+        }
+        iterations = iterations.saturating_mul(2);
+    }
+
+    let samples = settings.effective_samples();
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iterations as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let min = per_iter_ns[0];
+    let max = per_iter_ns[per_iter_ns.len() - 1];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name:<60} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        samples,
+        iterations,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a group runnable by `criterion_main!`.
+/// Supports both the positional and the `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(args: &[String]) {
+            let mut c = $crate::Criterion::__configure_from_args($config, args);
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups, tolerating the extra
+/// arguments cargo passes to bench binaries (`--bench`, `--test`, filters).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let args: ::std::vec::Vec<::std::string::String> =
+                ::std::env::args().skip(1).collect();
+            $($group(&args);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u64;
+        quick().bench_function("smoke", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::new("sum", 4), &vec![1u64, 2, 3, 4], |b, v| {
+            b.iter(|| v.iter().sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let args = vec!["--test".to_string()];
+        let mut c = Criterion::default().__configure_from_args(&args);
+        let mut count = 0u64;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,464 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The shim's data model is a self-describing [`serde::Value`] tree, so the
+//! derives only need to generate `to_value` / `from_value` implementations.
+//! Supported shapes (everything this workspace uses):
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs with one field → the inner value (newtype/transparent);
+//! * tuple structs with several fields → JSON arrays;
+//! * unit structs → `null`;
+//! * enums: unit variants → `"Variant"`, newtype variants →
+//!   `{"Variant": value}`, tuple variants → `{"Variant": [..]}`, struct
+//!   variants → `{"Variant": {..}}` (serde's externally-tagged default).
+//!
+//! Generic types are not supported; the macro panics with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim version).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim version).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ── input model ─────────────────────────────────────────────────────────
+
+struct Parsed {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ── parsing ─────────────────────────────────────────────────────────────
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (doc comment, #[serde(..)], ...): skip its group.
+                let _ = it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip optional `pub(..)` restriction group.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut it);
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: found neither `struct` nor `enum`"),
+        }
+    }
+}
+
+fn next_ident(it: &mut impl Iterator<Item = TokenTree>) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+}
+
+fn parse_struct(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Parsed {
+    let name = next_ident(it);
+    reject_generics(it, &name);
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Parsed {
+            name,
+            data: Data::NamedStruct(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Parsed {
+            name,
+            data: Data::TupleStruct(count_tuple_fields(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Parsed {
+            name,
+            data: Data::UnitStruct,
+        },
+        other => panic!("serde shim derive: unexpected struct body {other:?}"),
+    }
+}
+
+/// Field names of a `{ .. }` field list, skipping attributes, visibility and
+/// type tokens (tracking `<`/`>` depth so generic commas don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    'outer: loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde shim derive: unexpected field token {other:?}"),
+                None => break 'outer,
+            }
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to a top-level comma.
+        let mut angle_depth: i32 = 0;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'outer,
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `( .. )` field list (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth: i32 = 0;
+    for tok in stream {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_enum(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Parsed {
+    let name = next_ident(it);
+    reject_generics(it, &name);
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde shim derive: expected enum body, got {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut vit = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let vname = loop {
+            match vit.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = vit.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => panic!("serde shim derive: unexpected variant token {other:?}"),
+                None => {
+                    return Parsed {
+                        name,
+                        data: Data::Enum(variants),
+                    }
+                }
+            }
+        };
+        let kind = match vit.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                let _ = vit.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                let _ = vit.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name: vname, kind });
+        // Skip to the next comma (covers discriminants, which we reject by
+        // simply never seeing them in this workspace).
+        loop {
+            match vit.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => {
+                    return Parsed {
+                        name,
+                        data: Data::Enum(variants),
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ── code generation ─────────────────────────────────────────────────────
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                  ::serde::Value::Seq(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                  ::serde::Value::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__map_field(__map, {f:?}, {name:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", {name:?}))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"array of length {n}\", {name:?})); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn})")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __seq = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", {name:?}))?;\n\
+                                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"array of length {n}\", {name:?})); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::__map_field(__map, {f:?}, {name:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let __map = __payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit}\n\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__tag, __payload) = &__m[0];\n\
+                     match __tag.as_str() {{\n\
+                         {tagged}\n\
+                         __other => ::std::result::Result::Err(\
+                         ::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                     }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"string or single-key object\", {name:?})),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    tagged_arms.join(",\n") + ","
+                },
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
