@@ -31,6 +31,7 @@ use fedsched_dag::rational::Rational;
 use fedsched_dag::time::Duration;
 
 use crate::dbf::SequentialView;
+use crate::probe::AnalysisProbe;
 
 /// Outcome of an exact EDF schedulability test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +170,21 @@ pub fn edf_exact(
     tasks: &[SequentialView],
     budget: usize,
 ) -> Result<EdfVerdict, TestBudgetExceeded> {
+    let mut scratch = AnalysisProbe::default();
+    edf_exact_probed(tasks, budget, &mut scratch)
+}
+
+/// [`edf_exact`] with cost accounting: every deadline point processed adds
+/// one exact-`dbf` evaluation to `probe`.
+///
+/// # Errors
+///
+/// Same as [`edf_exact`].
+pub fn edf_exact_probed(
+    tasks: &[SequentialView],
+    budget: usize,
+    probe: &mut AnalysisProbe,
+) -> Result<EdfVerdict, TestBudgetExceeded> {
     if tasks.is_empty() {
         return Ok(EdfVerdict::Schedulable);
     }
@@ -198,6 +214,7 @@ pub fn edf_exact(
                 heap.push(Reverse((next, i)));
             }
             spent += 1;
+            probe.dbf_exact_evals += 1;
             if spent > budget {
                 return Err(TestBudgetExceeded { budget });
             }
@@ -242,12 +259,28 @@ fn max_deadline_below(tasks: &[SequentialView], t: Duration) -> Option<Duration>
 /// iterations (theoretically impossible for sane inputs before exhausting
 /// distinct demand values, but guarded for robustness).
 pub fn edf_qpa(tasks: &[SequentialView], budget: usize) -> Result<EdfVerdict, TestBudgetExceeded> {
+    let mut scratch = AnalysisProbe::default();
+    edf_qpa_probed(tasks, budget, &mut scratch)
+}
+
+/// [`edf_qpa`] with cost accounting: every QPA iteration evaluates the
+/// exact `dbf` of each task once, adding `tasks.len()` exact-`dbf`
+/// evaluations to `probe`.
+///
+/// # Errors
+///
+/// Same as [`edf_qpa`].
+pub fn edf_qpa_probed(
+    tasks: &[SequentialView],
+    budget: usize,
+    probe: &mut AnalysisProbe,
+) -> Result<EdfVerdict, TestBudgetExceeded> {
     if tasks.is_empty() {
         return Ok(EdfVerdict::Schedulable);
     }
     if total_utilization(tasks) > Rational::ONE {
         // Delegate witness search to the exhaustive walk (guaranteed finite).
-        return edf_exact(tasks, budget);
+        return edf_exact_probed(tasks, budget, probe);
     }
     let horizon = demand_horizon(tasks);
     let d_min = tasks
@@ -267,6 +300,7 @@ pub fn edf_qpa(tasks: &[SequentialView], budget: usize) -> Result<EdfVerdict, Te
         if spent > budget {
             return Err(TestBudgetExceeded { budget });
         }
+        probe.dbf_exact_evals += tasks.len() as u64;
         let h = total_demand(tasks, t);
         if h > u128::from(t.ticks()) {
             return Ok(EdfVerdict::Unschedulable { witness: t });
@@ -408,6 +442,26 @@ mod tests {
     fn utilization_test() {
         assert!(edf_utilization_test(&[view(1, 2, 2), view(1, 2, 2)]));
         assert!(!edf_utilization_test(&[view(2, 2, 2), view(1, 2, 2)]));
+    }
+
+    #[test]
+    fn probed_variants_count_exact_dbf_evaluations() {
+        let tasks = [view(1, 3, 4), view(1, 5, 6), view(2, 9, 12)];
+        let mut probe = AnalysisProbe::default();
+        let v = edf_qpa_probed(&tasks, DEFAULT_BUDGET, &mut probe).unwrap();
+        assert!(v.is_schedulable());
+        // Each QPA iteration evaluates one dbf per task.
+        assert!(probe.dbf_exact_evals >= tasks.len() as u64);
+        assert_eq!(probe.dbf_exact_evals % tasks.len() as u64, 0);
+
+        let mut probe = AnalysisProbe::default();
+        edf_exact_probed(&tasks, DEFAULT_BUDGET, &mut probe).unwrap();
+        assert!(probe.dbf_exact_evals > 0);
+        // The probe never changes the verdict.
+        assert_eq!(
+            edf_qpa(&tasks, DEFAULT_BUDGET).unwrap(),
+            edf_exact(&tasks, DEFAULT_BUDGET).unwrap()
+        );
     }
 
     #[test]

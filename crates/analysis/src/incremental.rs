@@ -24,7 +24,8 @@
 use fedsched_dag::rational::Rational;
 
 use crate::dbf::SequentialView;
-use crate::partition::{fits, PartitionConfig};
+use crate::partition::{fits_probed, PartitionConfig};
+use crate::probe::AnalysisProbe;
 
 /// One shared processor: the sequential views resident on it and their
 /// cached utilization sum (the quantity the Baruah–Fisher test needs in
@@ -70,7 +71,20 @@ impl ProcessorState {
     /// current resident set — exactly [`fits`](crate::partition::fits).
     #[must_use]
     pub fn can_accept(&self, candidate: &SequentialView, config: PartitionConfig) -> bool {
-        fits(&self.resident, self.utilization, candidate, config)
+        let mut scratch = AnalysisProbe::default();
+        self.can_accept_probed(candidate, config, &mut scratch)
+    }
+
+    /// [`Self::can_accept`] with cost accounting — exactly
+    /// [`fits_probed`].
+    #[must_use]
+    pub fn can_accept_probed(
+        &self,
+        candidate: &SequentialView,
+        config: PartitionConfig,
+        probe: &mut AnalysisProbe,
+    ) -> bool {
+        fits_probed(&self.resident, self.utilization, candidate, config, probe)
     }
 
     /// Places `view` unconditionally (callers check [`Self::can_accept`]
@@ -139,16 +153,39 @@ impl SharedPool {
     /// placing it.
     #[must_use]
     pub fn first_fit(&self, candidate: &SequentialView) -> Option<usize> {
+        let mut scratch = AnalysisProbe::default();
+        self.first_fit_probed(candidate, &mut scratch)
+    }
+
+    /// [`Self::first_fit`] with cost accounting: every admission test tried
+    /// along the scan is recorded in `probe`.
+    #[must_use]
+    pub fn first_fit_probed(
+        &self,
+        candidate: &SequentialView,
+        probe: &mut AnalysisProbe,
+    ) -> Option<usize> {
         self.processors
             .iter()
-            .position(|p| p.can_accept(candidate, self.config))
+            .position(|p| p.can_accept_probed(candidate, self.config, probe))
     }
 
     /// First-fit placement: finds the first accepting processor, places the
     /// view there, and returns its index — or `None` (and no change) if the
     /// view fits nowhere.
     pub fn try_place(&mut self, candidate: SequentialView) -> Option<usize> {
-        let k = self.first_fit(&candidate)?;
+        let mut scratch = AnalysisProbe::default();
+        self.try_place_probed(candidate, &mut scratch)
+    }
+
+    /// [`Self::try_place`] with cost accounting (see
+    /// [`Self::first_fit_probed`]).
+    pub fn try_place_probed(
+        &mut self,
+        candidate: SequentialView,
+        probe: &mut AnalysisProbe,
+    ) -> Option<usize> {
+        let k = self.first_fit_probed(&candidate, probe)?;
         self.processors[k].place(candidate);
         Some(k)
     }

@@ -14,7 +14,10 @@
 //! * [`incremental`] — the per-processor partition state factored out of
 //!   the batch partitioner, reusable by online admission control;
 //! * [`response_time`] — Spuri worst-case response-time bounds under EDF,
-//!   giving per-task slack rather than a bare yes/no.
+//!   giving per-task slack rather than a bare yes/no;
+//! * [`probe`] — the [`AnalysisProbe`] cost-counter
+//!   sink threaded through the `*_probed` variants of every analysis, so
+//!   each verdict ships with its analysis cost.
 //!
 //! # Examples
 //!
@@ -43,12 +46,18 @@ pub mod dbf;
 pub mod edf;
 pub mod incremental;
 pub mod partition;
+pub mod probe;
 pub mod response_time;
 
 pub use dbf::{dbf, dbf_approx, total_dbf, total_dbf_approx, SequentialView};
-pub use edf::{edf_exact, edf_qpa, EdfVerdict, TestBudgetExceeded, DEFAULT_BUDGET};
+pub use edf::{
+    edf_exact, edf_exact_probed, edf_qpa, edf_qpa_probed, EdfVerdict, TestBudgetExceeded,
+    DEFAULT_BUDGET,
+};
 pub use incremental::{ProcessorState, SharedPool};
 pub use partition::{
-    partition_first_fit, Partition, PartitionConfig, PartitionFailure, PartitionTest,
+    partition_first_fit, partition_first_fit_probed, Partition, PartitionConfig, PartitionFailure,
+    PartitionTest,
 };
+pub use probe::AnalysisProbe;
 pub use response_time::{edf_response_times, synchronous_busy_period, ResponseTimes};

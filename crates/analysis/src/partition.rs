@@ -30,8 +30,9 @@ use fedsched_dag::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use crate::dbf::{dbf_approx, SequentialView};
-use crate::edf::edf_qpa;
+use crate::edf::edf_qpa_probed;
 use crate::incremental::SharedPool;
+use crate::probe::AnalysisProbe;
 
 /// The per-processor admission test the first-fit partitioner applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -195,6 +196,23 @@ pub fn partition_first_fit(
     processors: usize,
     config: PartitionConfig,
 ) -> Result<Partition, PartitionFailure> {
+    let mut scratch = AnalysisProbe::default();
+    partition_first_fit_probed(tasks, processors, config, &mut scratch)
+}
+
+/// [`partition_first_fit`] with cost accounting: every first-fit admission
+/// test performed along the way is recorded in `probe` (see
+/// [`fits_probed`]).
+///
+/// # Errors
+///
+/// Same as [`partition_first_fit`].
+pub fn partition_first_fit_probed(
+    tasks: &[(TaskId, SequentialView)],
+    processors: usize,
+    config: PartitionConfig,
+    probe: &mut AnalysisProbe,
+) -> Result<Partition, PartitionFailure> {
     // "Without loss of generality, assume that D_i ≤ D_{i+1}": sort by
     // non-decreasing relative deadline (ties by id for determinism).
     let mut order: Vec<usize> = (0..tasks.len()).collect();
@@ -205,7 +223,7 @@ pub fn partition_first_fit(
 
     for &i in &order {
         let (id, view) = tasks[i];
-        match pool.try_place(view) {
+        match pool.try_place_probed(view, probe) {
             Some(k) => assignment[k].push(id),
             None => {
                 return Err(PartitionFailure {
@@ -228,9 +246,33 @@ pub fn fits(
     candidate: &SequentialView,
     config: PartitionConfig,
 ) -> bool {
+    let mut scratch = AnalysisProbe::default();
+    fits_probed(
+        resident,
+        resident_utilization,
+        candidate,
+        config,
+        &mut scratch,
+    )
+}
+
+/// [`fits`] with cost accounting: records one `fits()` call, plus one
+/// `DBF*` evaluation per resident task ([`PartitionTest::ApproxDbf`]) or
+/// the exact-`dbf` evaluations of the QPA run
+/// ([`PartitionTest::ExactEdf`]).
+#[must_use]
+pub fn fits_probed(
+    resident: &[SequentialView],
+    resident_utilization: Rational,
+    candidate: &SequentialView,
+    config: PartitionConfig,
+    probe: &mut AnalysisProbe,
+) -> bool {
+    probe.fits_calls += 1;
     match config.test {
         PartitionTest::ApproxDbf => {
             let d = candidate.deadline;
+            probe.dbf_approx_evals += resident.len() as u64;
             let demand_at_d: Rational = resident.iter().map(|r| dbf_approx(r, d)).sum();
             let slack = Rational::from(d.ticks()) - demand_at_d;
             if slack < Rational::from(candidate.wcet.ticks()) {
@@ -247,7 +289,7 @@ pub fn fits(
             let mut with: Vec<SequentialView> = resident.to_vec();
             with.push(*candidate);
             matches!(
-                edf_qpa(&with, budget),
+                edf_qpa_probed(&with, budget, probe),
                 Ok(crate::edf::EdfVerdict::Schedulable)
             )
         }
@@ -382,6 +424,24 @@ mod tests {
         assert_eq!(slack_at(&[a], Duration::new(4)), Rational::from_integer(2));
         // At t = 8: 8 − (2 + (1/4)·4) = 5.
         assert_eq!(slack_at(&[a], Duration::new(8)), Rational::from_integer(5));
+    }
+
+    #[test]
+    fn probe_counts_fits_and_dbf_star_evaluations() {
+        let vs = [view(1, 8, 16), view(1, 9, 18)];
+        let mut probe = AnalysisProbe::default();
+        let p = partition_first_fit_probed(&tasks(&vs), 3, PartitionConfig::default(), &mut probe)
+            .unwrap();
+        assert_eq!(p.used_processors(), 1);
+        // First task: 1 fits() call on an empty processor (0 DBF* evals);
+        // second task: 1 fits() call against 1 resident (1 DBF* eval).
+        assert_eq!(probe.fits_calls, 2);
+        assert_eq!(probe.dbf_approx_evals, 1);
+        // The probed run places identically to the unprobed one.
+        assert_eq!(
+            p,
+            partition_first_fit(&tasks(&vs), 3, PartitionConfig::default()).unwrap()
+        );
     }
 
     #[test]

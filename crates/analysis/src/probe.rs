@@ -1,0 +1,173 @@
+//! [`AnalysisProbe`] — an instrumentation sink threaded through every
+//! schedulability analysis in the workspace.
+//!
+//! Every probed entry point (`MINPROCS`, `FEDCONS`, first-fit
+//! partitioning, the exact-EDF tests, the admission service's template
+//! cache) takes a `&mut AnalysisProbe` and *adds* to its counters, so one
+//! probe can accumulate the cost of an arbitrary sequence of analyses —
+//! a whole experiment sweep, or the lifetime of an admission server. The
+//! uninstrumented entry points are thin wrappers that discard a scratch
+//! probe; they run the identical code path, so instrumentation can never
+//! change an analysis verdict.
+//!
+//! Counters are deliberately plain public `u64` fields: the probe is a
+//! record, not an abstraction, and its serde form is the stable surface
+//! reported by the CLI (`analyze --json`), the admission server's `Stats`
+//! response, and the experiment CSVs.
+
+use core::fmt;
+use core::ops::AddAssign;
+
+use serde::{Deserialize, Serialize};
+
+/// Cost counters for one or more schedulability analyses.
+///
+/// All counters are cumulative; [`AnalysisProbe::merge`] (or `+=`) folds
+/// one probe into another, so per-operation probes can be aggregated into
+/// a long-lived one.
+///
+/// # Examples
+///
+/// ```
+/// use fedsched_analysis::probe::AnalysisProbe;
+///
+/// let mut total = AnalysisProbe::default();
+/// let mut op = AnalysisProbe::default();
+/// op.ls_runs = 3;
+/// op.fits_calls = 1;
+/// total.merge(&op);
+/// total.merge(&op);
+/// assert_eq!(total.ls_runs, 6);
+/// assert_eq!(total.fits_calls, 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisProbe {
+    /// Graham List-Scheduling simulations run (one per candidate processor
+    /// count tried by `MINPROCS`, one per cluster sized by Li's algorithm).
+    pub ls_runs: u64,
+    /// Makespan-versus-deadline evaluations of an LS template.
+    pub makespan_evaluations: u64,
+    /// Approximate demand-bound (`DBF*`) evaluations, one per resident
+    /// task per first-fit admission test.
+    pub dbf_approx_evals: u64,
+    /// Exact `dbf` evaluations performed by the exact-EDF tests (QPA and
+    /// the exhaustive deadline walk).
+    pub dbf_exact_evals: u64,
+    /// First-fit admission tests (`fits()` calls): candidate-task versus
+    /// resident-set checks, approximate or exact.
+    pub fits_calls: u64,
+    /// Template-cache hits (admission service only).
+    pub cache_hits: u64,
+    /// Template-cache misses (admission service only).
+    pub cache_misses: u64,
+    /// Wall time spent sizing dedicated clusters (FEDCONS phase 1 /
+    /// `MINPROCS`), in nanoseconds.
+    pub sizing_nanos: u64,
+    /// Wall time spent partitioning low-density tasks (FEDCONS phase 2 /
+    /// first-fit), in nanoseconds.
+    pub partition_nanos: u64,
+    /// Total wall time of the analysis as observed by the policy layer,
+    /// in nanoseconds (covers verdict-only tests that have no phases).
+    pub wall_nanos: u64,
+}
+
+impl AnalysisProbe {
+    /// A zeroed probe.
+    #[must_use]
+    pub fn new() -> AnalysisProbe {
+        AnalysisProbe::default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &AnalysisProbe) {
+        self.ls_runs += other.ls_runs;
+        self.makespan_evaluations += other.makespan_evaluations;
+        self.dbf_approx_evals += other.dbf_approx_evals;
+        self.dbf_exact_evals += other.dbf_exact_evals;
+        self.fits_calls += other.fits_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.sizing_nanos += other.sizing_nanos;
+        self.partition_nanos += other.partition_nanos;
+        self.wall_nanos += other.wall_nanos;
+    }
+
+    /// `true` if every counter is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == AnalysisProbe::default()
+    }
+}
+
+impl AddAssign<&AnalysisProbe> for AnalysisProbe {
+    fn add_assign(&mut self, rhs: &AnalysisProbe) {
+        self.merge(rhs);
+    }
+}
+
+impl fmt::Display for AnalysisProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ls_runs={} makespans={} dbf*={} dbf={} fits={} cache={}H/{}M \
+             sizing={}ns partition={}ns wall={}ns",
+            self.ls_runs,
+            self.makespan_evaluations,
+            self.dbf_approx_evals,
+            self.dbf_exact_evals,
+            self.fits_calls,
+            self.cache_hits,
+            self.cache_misses,
+            self.sizing_nanos,
+            self.partition_nanos,
+            self.wall_nanos
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_field_wise_addition() {
+        let mut a = AnalysisProbe {
+            ls_runs: 1,
+            makespan_evaluations: 2,
+            dbf_approx_evals: 3,
+            dbf_exact_evals: 4,
+            fits_calls: 5,
+            cache_hits: 6,
+            cache_misses: 7,
+            sizing_nanos: 8,
+            partition_nanos: 9,
+            wall_nanos: 10,
+        };
+        let b = a;
+        a += &b;
+        assert_eq!(a.ls_runs, 2);
+        assert_eq!(a.wall_nanos, 20);
+        assert!(!a.is_empty());
+        assert!(AnalysisProbe::new().is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let probe = AnalysisProbe {
+            ls_runs: 11,
+            fits_calls: 3,
+            ..AnalysisProbe::default()
+        };
+        let json = serde_json::to_string(&probe).unwrap();
+        let back: AnalysisProbe = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, probe);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let s = AnalysisProbe::default().to_string();
+        for key in ["ls_runs", "dbf*", "fits", "cache", "wall"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -202,4 +202,60 @@ proptest! {
             }
         }
     }
+
+    /// The Spuri RTA is never *tighter* than the exact EDF verdict: whenever
+    /// every response-time upper bound meets its deadline, the exact
+    /// processor-demand criterion must also accept the set. (The converse
+    /// can fail — the RTA is sufficient, not necessary — so only this
+    /// direction is a law.)
+    #[test]
+    fn rta_bounds_never_tighter_than_exact_verdict(tasks in arb_task_set(6)) {
+        use fedsched_analysis::response_time::edf_response_times;
+        if let Ok(bounds) = edf_response_times(&tasks, DEFAULT_BUDGET) {
+            // Each bound is a genuine upper bound: at least the task's own
+            // WCET.
+            for (r, t) in bounds.as_slice().iter().zip(&tasks) {
+                prop_assert!(*r >= t.wcet, "bound {r:?} below WCET {:?}", t.wcet);
+            }
+            if bounds.all_within_deadlines(&tasks) {
+                prop_assert!(
+                    edf_exact(&tasks, DEFAULT_BUDGET).unwrap().is_schedulable(),
+                    "RTA accepted a set the exact test rejects: {tasks:?}"
+                );
+            }
+        }
+    }
+
+    /// Same law on every processor of a random exact-EDF first-fit
+    /// partition: per-processor RTA acceptance implies the per-processor
+    /// exact verdict (the partitioner only relies on the latter).
+    #[test]
+    fn rta_never_tighter_than_exact_on_random_partitions(
+        tasks in arb_task_set(8),
+        m in 1usize..=4,
+    ) {
+        use fedsched_analysis::response_time::edf_response_times;
+        let ids: Vec<(TaskId, SequentialView)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (TaskId::from_index(i), v))
+            .collect();
+        if let Ok(p) = partition_first_fit(&ids, m, PartitionConfig::exact(DEFAULT_BUDGET)) {
+            for (_, assigned) in p.iter() {
+                let views: Vec<SequentialView> =
+                    assigned.iter().map(|id| tasks[id.index()]).collect();
+                if views.is_empty() {
+                    continue;
+                }
+                if let Ok(bounds) = edf_response_times(&views, DEFAULT_BUDGET) {
+                    if bounds.all_within_deadlines(&views) {
+                        prop_assert!(
+                            edf_exact(&views, DEFAULT_BUDGET).unwrap().is_schedulable(),
+                            "RTA tighter than exact on processor {views:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
 }

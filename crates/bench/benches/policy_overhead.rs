@@ -1,0 +1,82 @@
+//! E17 — what does the `SchedulingPolicy` trait layer cost?
+//!
+//! The policy layer adds one dynamic dispatch and an [`AnalysisProbe`]
+//! threaded through every phase of the analysis. Both benchmarks run the
+//! identical FEDCONS code path over the identical workload (a 16-system
+//! admission sweep in the spirit of the E16 admission benchmark):
+//!
+//! * `direct_fedcons` — `fedsched_core::fedcons::fedcons`, the uninstrumented
+//!   entry point (which internally discards a scratch probe).
+//! * `trait_with_probe` — `policy_by_name("fedcons")` followed by
+//!   `SchedulingPolicy::analyze` with a live probe accumulating across the
+//!   sweep, i.e. exactly what the CLI, the experiments, and the admission
+//!   service do.
+//!
+//! The acceptance bar (EXPERIMENTS.md E17) is < 2% added latency: the probe
+//! counters are plain `u64` adds on paths dominated by List-Scheduling
+//! simulation and demand-bound arithmetic, and the virtual call happens
+//! once per system, not per inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_dag::system::TaskSystem;
+use fedsched_gen::system::SystemConfig;
+use fedsched_policy::policy_by_name;
+use std::hint::black_box;
+
+const PROCESSORS: u32 = 64;
+
+/// Sixteen mixed-density 24-task systems: enough high-density tasks to
+/// exercise `MINPROCS` sizing and enough low-density ones to exercise the
+/// first-fit, per system.
+fn workload() -> Vec<TaskSystem> {
+    (0..16)
+        .map(|i| {
+            SystemConfig::new(24, 10.0)
+                .with_max_task_utilization(1.8)
+                .generate_seeded(1700 + i)
+                .expect("feasible generator target")
+        })
+        .collect()
+}
+
+fn bench_policy_overhead(c: &mut Criterion) {
+    let systems = workload();
+    let config = FedConsConfig::default();
+    let policy = policy_by_name("fedcons").expect("fedcons is registered");
+    let mut group = c.benchmark_group("policy_overhead");
+
+    group.bench_function("direct_fedcons", |b| {
+        b.iter(|| {
+            let mut accepted = 0usize;
+            for system in &systems {
+                if fedcons(black_box(system), PROCESSORS, config).is_ok() {
+                    accepted += 1;
+                }
+            }
+            black_box(accepted)
+        });
+    });
+
+    group.bench_function("trait_with_probe", |b| {
+        b.iter(|| {
+            let mut accepted = 0usize;
+            let mut probe = AnalysisProbe::default();
+            for system in &systems {
+                if policy
+                    .analyze(black_box(system), PROCESSORS, &mut probe)
+                    .is_ok()
+                {
+                    accepted += 1;
+                }
+            }
+            black_box((accepted, probe.ls_runs))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_overhead);
+criterion_main!(benches);

@@ -17,6 +17,7 @@ use core::fmt;
 
 use fedsched_analysis::dbf::SequentialView;
 use fedsched_analysis::partition::PartitionConfig;
+use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_analysis::response_time::edf_response_times;
 use fedsched_core::feasibility::{demand_load, necessary_feasible};
 use fedsched_core::fedcons::{fedcons, FedConsConfig};
@@ -25,8 +26,12 @@ use fedsched_dag::time::{Duration, Time};
 use fedsched_gen::system::SystemConfig;
 use fedsched_gen::{DeadlineTightness, Span, Topology};
 use fedsched_graham::list::PriorityPolicy;
+use fedsched_policy::{
+    policy_by_name_with, policy_names, AdmissionFailure, ScheduleOutcome, SchedulingPolicy,
+};
 use fedsched_sim::federated::{simulate_federated_traced, ClusterDispatch};
 use fedsched_sim::model::{ArrivalModel, ExecutionModel, SimConfig};
+use serde::Serialize;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -212,74 +217,115 @@ pub fn info(json: &str) -> Result<String, CliError> {
 }
 
 /// Options for `fedsched analyze`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzeOptions {
     /// Processor count.
     pub processors: u32,
-    /// LS priority policy for templates.
-    pub policy: PriorityPolicy,
+    /// Registry name of the analysis to run (`fedcons`,
+    /// `fedcons-constraining`, `li-federated`, `gedf-li`, `gedf-density`).
+    pub policy: String,
+    /// LS priority policy for templates (FEDCONS-family policies only).
+    pub priority: PriorityPolicy,
     /// Use the exact-EDF partition admission instead of `DBF*`.
     pub exact_partition: bool,
+    /// Emit a machine-readable JSON report (verdict + analysis cost)
+    /// instead of text. The report covers rejections too, so this mode
+    /// always exits 0 on a completed analysis.
+    pub json: bool,
 }
 
-/// `fedsched analyze --save`: runs FEDCONS and returns the admission
-/// artifact — the [`fedsched_core::fedcons::FederatedSchedule`] with every
-/// frozen template — as JSON, suitable for shipping to a runtime.
-///
-/// # Errors
-///
-/// Same as [`analyze`].
-pub fn analyze_to_json(json: &str, opts: AnalyzeOptions) -> Result<String, CliError> {
-    let system = parse_system(json)?;
-    let config = FedConsConfig {
-        policy: opts.policy,
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            processors: 8,
+            policy: "fedcons".to_owned(),
+            priority: PriorityPolicy::ListOrder,
+            exact_partition: false,
+            json: false,
+        }
+    }
+}
+
+fn fedcons_config(opts: &AnalyzeOptions) -> FedConsConfig {
+    FedConsConfig {
+        policy: opts.priority,
         partition: if opts.exact_partition {
             PartitionConfig::exact(fedsched_analysis::edf::DEFAULT_BUDGET)
         } else {
             PartitionConfig::approx()
         },
-    };
-    match fedcons(&system, opts.processors, config) {
-        Ok(schedule) => Ok(serde_json::to_string_pretty(&schedule)?),
+    }
+}
+
+fn lookup_policy(opts: &AnalyzeOptions) -> Result<Box<dyn SchedulingPolicy>, CliError> {
+    policy_by_name_with(&opts.policy, fedcons_config(opts)).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown policy {:?} (expected {})",
+            opts.policy,
+            policy_names().join("|")
+        ))
+    })
+}
+
+/// `fedsched analyze --save`: runs the selected policy and returns the
+/// admission artifact as JSON, suitable for shipping to a runtime. For
+/// `fedcons`-family policies this is the bare
+/// [`fedsched_core::fedcons::FederatedSchedule`] with every frozen
+/// template (unchanged from earlier releases); other policies save their
+/// [`ScheduleOutcome`].
+///
+/// # Errors
+///
+/// Same as [`analyze`].
+pub fn analyze_to_json(json: &str, opts: &AnalyzeOptions) -> Result<String, CliError> {
+    let system = parse_system(json)?;
+    let policy = lookup_policy(opts)?;
+    let mut probe = AnalysisProbe::default();
+    match policy.analyze(&system, opts.processors, &mut probe) {
+        Ok(outcome) => match outcome.as_federated() {
+            Some(schedule) => Ok(serde_json::to_string_pretty(schedule)?),
+            None => Ok(serde_json::to_string_pretty(&outcome)?),
+        },
         Err(e) => Err(CliError::NotSchedulable(e.to_string())),
     }
 }
 
-/// Parses a `--policy` keyword.
+/// Parses a `--priority` keyword (the LS priority policy for templates).
 ///
 /// # Errors
 ///
 /// Usage error for unknown keywords.
-pub fn parse_policy(name: &str) -> Result<PriorityPolicy, CliError> {
+pub fn parse_priority(name: &str) -> Result<PriorityPolicy, CliError> {
     match name {
         "list" => Ok(PriorityPolicy::ListOrder),
         "cpf" => Ok(PriorityPolicy::CriticalPathFirst),
         "lwf" => Ok(PriorityPolicy::LongestWcetFirst),
         other => Err(CliError::Usage(format!(
-            "unknown policy {other:?} (expected list|cpf|lwf)"
+            "unknown priority {other:?} (expected list|cpf|lwf)"
         ))),
     }
 }
 
-/// `fedsched analyze`: runs FEDCONS and describes the outcome.
-///
-/// # Errors
-///
-/// JSON errors, plus [`CliError::NotSchedulable`] when FEDCONS declines
-/// (so shells can branch on the exit code).
-pub fn analyze(json: &str, opts: AnalyzeOptions) -> Result<String, CliError> {
-    let system = parse_system(json)?;
-    let config = FedConsConfig {
-        policy: opts.policy,
-        partition: if opts.exact_partition {
-            PartitionConfig::exact(fedsched_analysis::edf::DEFAULT_BUDGET)
-        } else {
-            PartitionConfig::approx()
-        },
-    };
-    match fedcons(&system, opts.processors, config) {
-        Ok(schedule) => {
-            use core::fmt::Write as _;
+/// The `analyze --json` report: verdict, configuration, and analysis cost.
+#[derive(Debug, Serialize)]
+struct AnalyzeReport {
+    policy: String,
+    processors: u32,
+    schedulable: bool,
+    outcome: Option<ScheduleOutcome>,
+    failure: Option<AdmissionFailure>,
+    probe: AnalysisProbe,
+}
+
+fn render_outcome(
+    system: &TaskSystem,
+    policy: &dyn SchedulingPolicy,
+    processors: u32,
+    outcome: &ScheduleOutcome,
+) -> String {
+    use core::fmt::Write as _;
+    match outcome {
+        ScheduleOutcome::Federated(schedule) => {
             let mut out = schedule.to_string();
             // Per-task worst-case response times on each shared processor:
             // the actual slack behind the yes/no verdict.
@@ -304,9 +350,71 @@ pub fn analyze(json: &str, opts: AnalyzeOptions) -> Result<String, CliError> {
                     }
                 }
             }
+            out
+        }
+        ScheduleOutcome::LiFederated(schedule) => {
+            let mut out = format!(
+                "LiFederatedSchedule: {} dedicated clusters ({} processors), \
+                 {} shared processors\n",
+                schedule.clusters.len(),
+                schedule.clusters.iter().map(|c| c.processors).sum::<u32>(),
+                schedule.shared.len(),
+            );
+            let mut first = 0u32;
+            for c in &schedule.clusters {
+                let _ = writeln!(
+                    out,
+                    "  cluster P{first}..P{}: {}",
+                    first + c.processors - 1,
+                    c.task
+                );
+                first += c.processors;
+            }
+            for (k, ids) in schedule.shared.iter().enumerate() {
+                let names: Vec<String> = ids.iter().map(ToString::to_string).collect();
+                let _ = writeln!(out, "  shared P{}: {}", first + k as u32, names.join(" "));
+            }
+            out
+        }
+        ScheduleOutcome::Verdict => format!(
+            "schedulable: {} accepts the system on {processors} processors \
+             (verdict only, no static configuration)\n",
+            policy.name()
+        ),
+    }
+}
+
+/// `fedsched analyze`: runs the selected policy and describes the outcome.
+///
+/// # Errors
+///
+/// JSON errors, plus [`CliError::NotSchedulable`] when the policy declines
+/// (so shells can branch on the exit code) — except under
+/// [`AnalyzeOptions::json`], where rejections are part of the report.
+pub fn analyze(json: &str, opts: &AnalyzeOptions) -> Result<String, CliError> {
+    let system = parse_system(json)?;
+    let policy = lookup_policy(opts)?;
+    let mut probe = AnalysisProbe::default();
+    let result = policy.analyze(&system, opts.processors, &mut probe);
+    if opts.json {
+        let report = AnalyzeReport {
+            policy: policy.name().to_owned(),
+            processors: opts.processors,
+            schedulable: result.is_ok(),
+            outcome: result.as_ref().ok().cloned(),
+            failure: result.as_ref().err().cloned(),
+            probe,
+        };
+        return Ok(serde_json::to_string_pretty(&report)?);
+    }
+    match result {
+        Ok(outcome) => {
+            use core::fmt::Write as _;
+            let mut out = render_outcome(&system, policy.as_ref(), opts.processors, &outcome);
             if !necessary_feasible(&system, opts.processors) {
                 out.push_str("warning: necessary conditions flag an inconsistency\n");
             }
+            let _ = writeln!(out, "analysis cost: {probe}");
             Ok(out)
         }
         Err(e) => Err(CliError::NotSchedulable(e.to_string())),
@@ -623,7 +731,8 @@ fn render_response(response: &fedsched_service::Response) -> String {
              admitted: {} high / {} low; rejected: {} high / {} low\n\
              removed: {} ({} replay anomalies)\n\
              template cache: {} hits / {} misses ({} shapes)\n\
-             admit decisions sampled: {}",
+             admit decisions sampled: {}\n\
+             analysis cost: {}",
             snapshot.processors,
             snapshot.dedicated_processors,
             snapshot.shared_processors,
@@ -638,6 +747,7 @@ fn render_response(response: &fedsched_service::Response) -> String {
             snapshot.cache_misses,
             snapshot.cache_entries,
             snapshot.latency_buckets_us.iter().sum::<u64>(),
+            snapshot.probe,
         ),
         Response::ShuttingDown => "server shutting down".to_owned(),
         Response::Error { message } => format!("server error: {message}"),
@@ -706,8 +816,10 @@ USAGE:
                     [--seed S] [--topology layered|gnp|fork-join|series-parallel]
                     [--implicit]                       # JSON system to stdout
   fedsched info     <system.json>                      # per-task metrics
-  fedsched analyze  <system.json> -m M [--policy list|cpf|lwf] [--exact-partition]
-                    [--save schedule.json]
+  fedsched analyze  <system.json> -m M
+                    [--policy fedcons|fedcons-constraining|li-federated|gedf-li|gedf-density]
+                    [--priority list|cpf|lwf] [--exact-partition]
+                    [--json] [--save schedule.json]
   fedsched simulate <system.json> -m M [--policy list|cpf|lwf] [--horizon H]
                     [--sporadic F] [--exec-min F] [--seed S] [--trace N]
                     [--svg out.svg]
@@ -719,7 +831,8 @@ USAGE:
   fedsched client   remove|query --token T [--addr HOST:PORT]
   fedsched client   stats|shutdown [--addr HOST:PORT]
 
-Exit codes: 0 ok, 1 usage/io error, 2 not schedulable.
+Exit codes: 0 ok, 1 usage/io error, 2 not schedulable
+(`analyze --json` reports rejections in the JSON and exits 0).
 ";
 
 #[cfg(test)]
@@ -773,26 +886,18 @@ mod tests {
 
     #[test]
     fn analyze_accepts_with_enough_processors() {
-        let out = analyze(
-            &sample_json(),
-            AnalyzeOptions {
-                processors: 8,
-                policy: PriorityPolicy::ListOrder,
-                exact_partition: false,
-            },
-        )
-        .unwrap();
+        let out = analyze(&sample_json(), &AnalyzeOptions::default()).unwrap();
         assert!(out.contains("FederatedSchedule"));
+        assert!(out.contains("analysis cost:"));
     }
 
     #[test]
     fn analyze_rejects_with_too_few_processors() {
         let err = analyze(
             &sample_json(),
-            AnalyzeOptions {
+            &AnalyzeOptions {
                 processors: 1,
-                policy: PriorityPolicy::ListOrder,
-                exact_partition: false,
+                ..AnalyzeOptions::default()
             },
         )
         .unwrap_err();
@@ -803,14 +908,95 @@ mod tests {
     fn analyze_exact_partition_mode_works() {
         let out = analyze(
             &sample_json(),
-            AnalyzeOptions {
-                processors: 8,
-                policy: PriorityPolicy::CriticalPathFirst,
+            &AnalyzeOptions {
+                priority: PriorityPolicy::CriticalPathFirst,
                 exact_partition: true,
+                ..AnalyzeOptions::default()
             },
         )
         .unwrap();
         assert!(out.contains("FederatedSchedule"));
+    }
+
+    #[test]
+    fn analyze_runs_every_registry_policy_by_name() {
+        // Constrained-deadline input: the FEDCONS family analyses it, the
+        // implicit-deadline-only policies reject with a typed failure.
+        let json = sample_json();
+        for name in fedsched_policy::policy_names() {
+            let result = analyze(
+                &json,
+                &AnalyzeOptions {
+                    policy: name.to_owned(),
+                    ..AnalyzeOptions::default()
+                },
+            );
+            match name {
+                "fedcons" | "fedcons-constraining" => {
+                    assert!(result.unwrap().contains("FederatedSchedule"));
+                }
+                _ => assert!(
+                    matches!(result, Ok(_) | Err(CliError::NotSchedulable(_))),
+                    "{name} must complete, got a usage/io error"
+                ),
+            }
+        }
+        assert!(matches!(
+            analyze(
+                &json,
+                &AnalyzeOptions {
+                    policy: "no-such".into(),
+                    ..AnalyzeOptions::default()
+                }
+            ),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn analyze_json_reports_verdict_and_probe_both_ways() {
+        let json = sample_json();
+        let accepted = analyze(
+            &json,
+            &AnalyzeOptions {
+                json: true,
+                ..AnalyzeOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(accepted.contains("\"schedulable\": true"));
+        assert!(accepted.contains("\"probe\""));
+        assert!(accepted.contains("\"ls_runs\""));
+        let rejected = analyze(
+            &json,
+            &AnalyzeOptions {
+                processors: 1,
+                json: true,
+                ..AnalyzeOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(rejected.contains("\"schedulable\": false"));
+        assert!(rejected.contains("\"failure\""));
+    }
+
+    #[test]
+    fn analyze_li_federated_needs_implicit_deadlines() {
+        let implicit = generate(&GenerateOptions {
+            implicit: true,
+            ..GenerateOptions::default()
+        })
+        .unwrap();
+        let out = analyze(
+            &implicit,
+            &AnalyzeOptions {
+                policy: "li-federated".into(),
+                processors: 16,
+                ..AnalyzeOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("LiFederatedSchedule"));
     }
 
     #[test]
@@ -855,17 +1041,17 @@ mod tests {
     }
 
     #[test]
-    fn policy_parsing() {
-        assert_eq!(parse_policy("list").unwrap(), PriorityPolicy::ListOrder);
+    fn priority_parsing() {
+        assert_eq!(parse_priority("list").unwrap(), PriorityPolicy::ListOrder);
         assert_eq!(
-            parse_policy("cpf").unwrap(),
+            parse_priority("cpf").unwrap(),
             PriorityPolicy::CriticalPathFirst
         );
         assert_eq!(
-            parse_policy("lwf").unwrap(),
+            parse_priority("lwf").unwrap(),
             PriorityPolicy::LongestWcetFirst
         );
-        assert!(parse_policy("edf").is_err());
+        assert!(parse_priority("edf").is_err());
     }
 
     #[test]
@@ -892,15 +1078,7 @@ mod tests {
     #[test]
     fn analyze_to_json_roundtrips() {
         use fedsched_core::fedcons::FederatedSchedule;
-        let out = analyze_to_json(
-            &sample_json(),
-            AnalyzeOptions {
-                processors: 8,
-                policy: PriorityPolicy::ListOrder,
-                exact_partition: false,
-            },
-        )
-        .unwrap();
+        let out = analyze_to_json(&sample_json(), &AnalyzeOptions::default()).unwrap();
         let schedule: FederatedSchedule = serde_json::from_str(&out).unwrap();
         assert_eq!(schedule.total_processors(), 8);
     }
@@ -948,6 +1126,7 @@ mod tests {
         assert!(query.contains("token=0 on "));
         let stats = client_command(&addr, &ClientAction::Stats).unwrap();
         assert!(stats.contains("platform: 8 processors"));
+        assert!(stats.contains("analysis cost: ls_runs="));
         let removed = client_command(&addr, &ClientAction::Remove { token: 0 }).unwrap();
         assert!(removed.contains("removed token=0"));
         let missing = client_command(&addr, &ClientAction::Remove { token: 0 }).unwrap();

@@ -5,7 +5,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use fedsched_cli::{
-    analyze, analyze_to_json, client_command, dot, generate, import_stg, info, parse_policy,
+    analyze, analyze_to_json, client_command, dot, generate, import_stg, info, parse_priority,
     simulate, simulate_with_svg, start_server, AnalyzeOptions, CliError, ClientAction,
     GenerateOptions, ServeOptions, SimulateOptions, USAGE,
 };
@@ -32,6 +32,7 @@ fn run() -> Result<String, CliError> {
                 | "--topology"
                 | "-m"
                 | "--policy"
+                | "--priority"
                 | "--horizon"
                 | "--sporadic"
                 | "--exec-min"
@@ -76,7 +77,14 @@ fn run() -> Result<String, CliError> {
             "--implicit",
         ],
         "info" => &[],
-        "analyze" => &["-m", "--policy", "--exact-partition", "--save"],
+        "analyze" => &[
+            "-m",
+            "--policy",
+            "--priority",
+            "--exact-partition",
+            "--json",
+            "--save",
+        ],
         "simulate" => &[
             "-m",
             "--policy",
@@ -139,21 +147,24 @@ fn run() -> Result<String, CliError> {
                 Some(Some(v)) => parse_num("-m", v)? as u32,
                 _ => return Err(CliError::Usage("analyze requires -m <processors>".into())),
             };
-            let policy = match flag("--policy") {
-                Some(Some(v)) => parse_policy(v)?,
-                _ => fedsched_graham::list::PriorityPolicy::ListOrder,
-            };
-            let opts = AnalyzeOptions {
+            let mut opts = AnalyzeOptions {
                 processors,
-                policy,
                 exact_partition: flag("--exact-partition").is_some(),
+                json: flag("--json").is_some(),
+                ..AnalyzeOptions::default()
             };
+            if let Some(Some(v)) = flag("--policy") {
+                opts.policy = v.to_owned();
+            }
+            if let Some(Some(v)) = flag("--priority") {
+                opts.priority = parse_priority(v)?;
+            }
             let input = read_input(&positional)?;
             if let Some(Some(path)) = flag("--save") {
-                let artifact = analyze_to_json(&input, opts)?;
+                let artifact = analyze_to_json(&input, &opts)?;
                 fs::write(path, artifact)?;
             }
-            analyze(&input, opts)
+            analyze(&input, &opts)
         }
         "simulate" => {
             let mut opts = SimulateOptions::default();
@@ -162,7 +173,7 @@ fn run() -> Result<String, CliError> {
                 _ => return Err(CliError::Usage("simulate requires -m <processors>".into())),
             }
             if let Some(Some(v)) = flag("--policy") {
-                opts.policy = parse_policy(v)?;
+                opts.policy = parse_priority(v)?;
             }
             if let Some(Some(v)) = flag("--horizon") {
                 opts.horizon = parse_num("--horizon", v)? as u64;
@@ -222,7 +233,7 @@ fn run() -> Result<String, CliError> {
                 _ => return Err(CliError::Usage("serve requires -m <processors>".into())),
             }
             if let Some(Some(v)) = flag("--policy") {
-                opts.policy = parse_policy(v)?;
+                opts.policy = parse_priority(v)?;
             }
             opts.exact_partition = flag("--exact-partition").is_some();
             if let Some(Some(v)) = flag("--addr") {

@@ -17,14 +17,16 @@
 use core::fmt;
 
 use fedsched_analysis::dbf::SequentialView;
+use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_dag::rational::Rational;
 use fedsched_dag::system::{TaskId, TaskSystem};
 use fedsched_dag::task::DeadlineClass;
 use fedsched_graham::list::{list_schedule_with, PriorityPolicy};
 use fedsched_graham::schedule::TemplateSchedule;
+use serde::{Deserialize, Serialize};
 
 /// A dedicated assignment made by the Li et al. federated algorithm.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LiCluster {
     /// The high-utilization task.
     pub task: TaskId,
@@ -36,7 +38,7 @@ pub struct LiCluster {
 }
 
 /// Result of the Li et al. implicit-deadline federated admission.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LiFederatedSchedule {
     /// Dedicated clusters for the high-utilization tasks.
     pub clusters: Vec<LiCluster>,
@@ -104,6 +106,22 @@ pub fn li_federated(
     system: &TaskSystem,
     m: u32,
 ) -> Result<LiFederatedSchedule, LiFederatedFailure> {
+    let mut scratch = AnalysisProbe::default();
+    li_federated_probed(system, m, &mut scratch)
+}
+
+/// [`li_federated`] with cost accounting: each dedicated cluster costs one
+/// List-Scheduling simulation plus one makespan evaluation, and each
+/// low-utilization placement attempt is counted as a `fits()` call.
+///
+/// # Errors
+///
+/// Same as [`li_federated`].
+pub fn li_federated_probed(
+    system: &TaskSystem,
+    m: u32,
+    probe: &mut AnalysisProbe,
+) -> Result<LiFederatedSchedule, LiFederatedFailure> {
     if let Some((id, _)) = system
         .iter()
         .find(|(_, t)| t.deadline_class() != DeadlineClass::Implicit)
@@ -144,7 +162,9 @@ pub fn li_federated(
                 remaining,
             });
         }
+        probe.ls_runs += 1;
         let template = list_schedule_with(task.dag(), needed, PriorityPolicy::ListOrder);
+        probe.makespan_evaluations += 1;
         debug_assert!(
             template.makespan() <= task.deadline(),
             "Graham bound guarantees the Li cluster size"
@@ -174,6 +194,7 @@ pub fn li_federated(
     let mut budgets: Vec<Rational> = vec![Rational::ONE; remaining as usize];
     for id in low {
         let u = system.task(id).utilization();
+        probe.fits_calls += 1;
         match budgets.iter().position(|b| *b >= u) {
             Some(k) => {
                 budgets[k] = budgets[k] - u;

@@ -9,18 +9,20 @@
 //! shared pool.
 
 use core::fmt;
+use std::time::Instant;
 
 use fedsched_analysis::dbf::SequentialView;
 use fedsched_analysis::partition::{
-    partition_first_fit, Partition, PartitionConfig, PartitionFailure,
+    partition_first_fit_probed, Partition, PartitionConfig, PartitionFailure,
 };
+use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_dag::system::{TaskId, TaskSystem};
-use fedsched_dag::task::DeadlineClass;
+use fedsched_dag::task::{DeadlineClass, TaskClass};
 use fedsched_graham::list::PriorityPolicy;
 use fedsched_graham::schedule::TemplateSchedule;
 use serde::{Deserialize, Serialize};
 
-use crate::minprocs::min_procs;
+use crate::minprocs::min_procs_probed;
 
 /// Options for [`fedcons`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -251,9 +253,32 @@ pub fn fedcons(
     m: u32,
     config: FedConsConfig,
 ) -> Result<FederatedSchedule, FedConsFailure> {
+    let mut scratch = AnalysisProbe::default();
+    fedcons_probed(system, m, config, &mut scratch)
+}
+
+/// [`fedcons`] with cost accounting: records every `MINPROCS`
+/// List-Scheduling simulation, every first-fit admission test, and the
+/// wall time of each phase (`sizing_nanos` for phase 1, `partition_nanos`
+/// for phase 2) in `probe`.
+///
+/// The uninstrumented [`fedcons`] is a wrapper over this function with a
+/// discarded probe, so both produce identical schedules.
+///
+/// # Errors
+///
+/// Same as [`fedcons`].
+pub fn fedcons_probed(
+    system: &TaskSystem,
+    m: u32,
+    config: FedConsConfig,
+    probe: &mut AnalysisProbe,
+) -> Result<FederatedSchedule, FedConsFailure> {
+    // The routing decision (reject arbitrary deadlines, dedicate clusters
+    // to δ ≥ 1, partition the rest) is owned by `DagTask::classify`.
     if let Some((id, _)) = system
         .iter()
-        .find(|(_, t)| t.deadline_class() == DeadlineClass::Arbitrary)
+        .find(|(_, t)| t.classify() == TaskClass::ArbitraryDeadline)
     {
         return Err(FedConsFailure::ArbitraryDeadline { task: id });
     }
@@ -263,9 +288,10 @@ pub fn fedcons(
     let mut clusters = Vec::new();
 
     // Phase 1: size and place every high-density task.
+    let phase1 = Instant::now();
     for id in system.high_density_ids() {
         let task = system.task(id);
-        match min_procs(task, remaining, config.policy) {
+        match min_procs_probed(task, remaining, config.policy, probe) {
             Some(r) => {
                 clusters.push(DedicatedCluster {
                     task: id,
@@ -277,21 +303,26 @@ pub fn fedcons(
                 remaining -= r.processors;
             }
             None => {
+                probe.sizing_nanos += elapsed_nanos(phase1);
                 return Err(FedConsFailure::HighDensityTask {
                     task: id,
                     remaining,
-                })
+                });
             }
         }
     }
+    probe.sizing_nanos += elapsed_nanos(phase1);
 
     // Phase 2: partition the low-density tasks on the remaining processors.
+    let phase2 = Instant::now();
     let low_tasks = system.low_density_ids();
     let views: Vec<(TaskId, SequentialView)> = low_tasks
         .iter()
         .map(|&id| (id, SequentialView::of(system.task(id))))
         .collect();
-    let partition = partition_first_fit(&views, remaining as usize, config.partition)?;
+    let partition = partition_first_fit_probed(&views, remaining as usize, config.partition, probe);
+    probe.partition_nanos += elapsed_nanos(phase2);
+    let partition = partition?;
 
     Ok(FederatedSchedule {
         total_processors: m,
@@ -300,6 +331,11 @@ pub fn fedcons(
         partition,
         low_tasks,
     })
+}
+
+/// Nanoseconds since `start`, saturated into a `u64`.
+fn elapsed_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// A *conservative* extension of FEDCONS to arbitrary-deadline systems: each
@@ -324,8 +360,23 @@ pub fn fedcons_constraining(
     m: u32,
     config: FedConsConfig,
 ) -> Result<FederatedSchedule, FedConsFailure> {
+    let mut scratch = AnalysisProbe::default();
+    fedcons_constraining_probed(system, m, config, &mut scratch)
+}
+
+/// [`fedcons_constraining`] with cost accounting (see [`fedcons_probed`]).
+///
+/// # Errors
+///
+/// Same as [`fedcons_constraining`].
+pub fn fedcons_constraining_probed(
+    system: &TaskSystem,
+    m: u32,
+    config: FedConsConfig,
+    probe: &mut AnalysisProbe,
+) -> Result<FederatedSchedule, FedConsFailure> {
     if system.deadline_class() != DeadlineClass::Arbitrary {
-        return fedcons(system, m, config);
+        return fedcons_probed(system, m, config, probe);
     }
     let tightened: TaskSystem = system
         .iter()
@@ -338,7 +389,7 @@ pub fn fedcons_constraining(
             .expect("tightening preserves validity")
         })
         .collect();
-    fedcons(&tightened, m, config)
+    fedcons_probed(&tightened, m, config, probe)
 }
 
 #[cfg(test)]
@@ -357,6 +408,47 @@ mod tests {
 
     fn seq(c: u64, d: u64, t: u64) -> DagTask {
         DagTask::sequential(Duration::new(c), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    #[test]
+    fn probe_counts_match_hand_derivation_on_paper_examples() {
+        // Figure 1: one low-density task on one processor. Phase 1 sizes
+        // nothing (no LS runs); phase 2 performs exactly one fits() call,
+        // against an empty processor (zero DBF* evaluations).
+        let system: TaskSystem = [paper_figure1()].into_iter().collect();
+        let mut probe = AnalysisProbe::default();
+        let s = fedcons_probed(&system, 1, FedConsConfig::default(), &mut probe).unwrap();
+        assert_eq!(s.partition().used_processors(), 1);
+        assert_eq!(probe.ls_runs, 0);
+        assert_eq!(probe.makespan_evaluations, 0);
+        assert_eq!(probe.fits_calls, 1);
+        assert_eq!(probe.dbf_approx_evals, 0);
+
+        // Example 2 with n = 6: every task has δ = 1, so each is sized by
+        // MINPROCS at its lower bound μ = 1 on the first LS attempt — n LS
+        // runs, n makespan evaluations, and no partitioning work at all.
+        let n = 6u32;
+        let system = paper_example2(n);
+        let mut probe = AnalysisProbe::default();
+        let s = fedcons_probed(&system, n, FedConsConfig::default(), &mut probe).unwrap();
+        assert_eq!(s.clusters().len(), n as usize);
+        assert_eq!(probe.ls_runs, u64::from(n));
+        assert_eq!(probe.makespan_evaluations, u64::from(n));
+        assert_eq!(probe.fits_calls, 0);
+        assert_eq!(probe.dbf_approx_evals, 0);
+    }
+
+    #[test]
+    fn probed_and_unprobed_fedcons_agree_exactly() {
+        let system: TaskSystem = [parallel_task(6, 1, 2, 10), seq(1, 4, 8), seq(2, 6, 12)]
+            .into_iter()
+            .collect();
+        let direct = fedcons(&system, 5, FedConsConfig::default()).unwrap();
+        let mut probe = AnalysisProbe::default();
+        let probed = fedcons_probed(&system, 5, FedConsConfig::default(), &mut probe).unwrap();
+        assert_eq!(direct, probed);
+        // Wall time is recorded for both phases of a successful run.
+        assert!(probe.sizing_nanos > 0 || probe.partition_nanos > 0);
     }
 
     #[test]

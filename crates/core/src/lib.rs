@@ -54,13 +54,15 @@ pub mod minprocs;
 pub mod speedup;
 
 pub use baselines::{
-    global_edf_density_test, global_edf_li_test, li_federated, LiFederatedFailure,
-    LiFederatedSchedule,
+    global_edf_density_test, global_edf_li_test, li_federated, li_federated_probed, LiCluster,
+    LiFederatedFailure, LiFederatedSchedule,
 };
 pub use feasibility::{demand_load, necessary_feasible};
 pub use fedcons::{
-    fedcons, fedcons_constraining, DedicatedCluster, FedConsConfig, FedConsFailure,
-    FederatedSchedule,
+    fedcons, fedcons_constraining, fedcons_constraining_probed, fedcons_probed, DedicatedCluster,
+    FedConsConfig, FedConsFailure, FederatedSchedule,
 };
-pub use minprocs::{intrinsic_min_procs, min_procs, MinProcsResult};
+pub use minprocs::{
+    intrinsic_min_procs, intrinsic_min_procs_probed, min_procs, min_procs_probed, MinProcsResult,
+};
 pub use speedup::{required_speed, system_at_speed, DEFAULT_SPEED_DENOMINATOR};

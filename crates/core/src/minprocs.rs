@@ -5,6 +5,7 @@
 //! on a dedicated cluster reduces to a makespan problem: find the smallest
 //! `μ` for which Graham's List Scheduling finishes the DAG within `D`.
 
+use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_dag::task::DagTask;
 use fedsched_graham::list::{list_schedule_with, PriorityPolicy};
 use fedsched_graham::schedule::TemplateSchedule;
@@ -45,12 +46,28 @@ pub struct MinProcsResult {
 /// ```
 #[must_use]
 pub fn min_procs(task: &DagTask, available: u32, policy: PriorityPolicy) -> Option<MinProcsResult> {
+    let mut scratch = AnalysisProbe::default();
+    min_procs_probed(task, available, policy, &mut scratch)
+}
+
+/// [`min_procs`] with cost accounting: every candidate `μ` tried costs one
+/// List-Scheduling simulation and one makespan-versus-deadline evaluation,
+/// both recorded in `probe`.
+#[must_use]
+pub fn min_procs_probed(
+    task: &DagTask,
+    available: u32,
+    policy: PriorityPolicy,
+    probe: &mut AnalysisProbe,
+) -> Option<MinProcsResult> {
     if !task.is_chain_feasible() {
         return None;
     }
     let start = task.min_processors_lower_bound().max(1);
     for mu in start..=available {
+        probe.ls_runs += 1;
         let template = list_schedule_with(task.dag(), mu, policy);
+        probe.makespan_evaluations += 1;
         if template.makespan() <= task.deadline() {
             return Some(MinProcsResult {
                 processors: mu,
@@ -74,8 +91,19 @@ pub fn min_procs(task: &DagTask, available: u32, policy: PriorityPolicy) -> Opti
 /// independence to size clusters without knowing the residual platform.
 #[must_use]
 pub fn intrinsic_min_procs(task: &DagTask, policy: PriorityPolicy) -> Option<MinProcsResult> {
+    let mut scratch = AnalysisProbe::default();
+    intrinsic_min_procs_probed(task, policy, &mut scratch)
+}
+
+/// [`intrinsic_min_procs`] with cost accounting (see [`min_procs_probed`]).
+#[must_use]
+pub fn intrinsic_min_procs_probed(
+    task: &DagTask,
+    policy: PriorityPolicy,
+    probe: &mut AnalysisProbe,
+) -> Option<MinProcsResult> {
     let cap = u32::try_from(task.dag().vertex_count()).unwrap_or(u32::MAX);
-    min_procs(task, cap.max(1), policy)
+    min_procs_probed(task, cap.max(1), policy, probe)
 }
 
 #[cfg(test)]
@@ -163,6 +191,34 @@ mod tests {
         assert_eq!(intrinsic_min_procs(&t, PriorityPolicy::ListOrder), None);
         let ok = parallel_task(4, 1, 1, 4);
         assert!(intrinsic_min_procs(&ok, PriorityPolicy::CriticalPathFirst).is_some());
+    }
+
+    #[test]
+    fn probe_counts_one_ls_run_per_candidate_mu() {
+        // 6 unit jobs, D = 2: lower bound ⌈6/2⌉ = 3 fits on the first try.
+        let t = parallel_task(6, 1, 2, 10);
+        let mut probe = AnalysisProbe::default();
+        let r = min_procs_probed(&t, 8, PriorityPolicy::ListOrder, &mut probe).unwrap();
+        assert_eq!(r.processors, 3);
+        assert_eq!(probe.ls_runs, 1);
+        assert_eq!(probe.makespan_evaluations, 1);
+
+        // A failing search tries every μ in [lower bound, available].
+        let mut probe = AnalysisProbe::default();
+        assert!(min_procs_probed(&t, 2, PriorityPolicy::ListOrder, &mut probe).is_none());
+        assert_eq!(probe.ls_runs, 0, "search space [3, 2] is empty");
+
+        // An infeasible chain fails before any LS run.
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([2, 3].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        let infeasible =
+            DagTask::new(b.build().unwrap(), Duration::new(4), Duration::new(10)).unwrap();
+        let mut probe = AnalysisProbe::default();
+        assert!(
+            min_procs_probed(&infeasible, 100, PriorityPolicy::ListOrder, &mut probe).is_none()
+        );
+        assert_eq!(probe.ls_runs, 0);
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub use graph::{Chain, Dag, DagBuilder, VertexId};
 pub use rational::Rational;
 pub use stg::{parse_stg, ParseStgError};
 pub use system::{TaskId, TaskSystem};
-pub use task::{DagTask, DeadlineClass};
+pub use task::{DagTask, DeadlineClass, TaskClass};
 pub use time::{Duration, Time};

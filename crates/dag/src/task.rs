@@ -36,6 +36,37 @@ impl fmt::Display for DeadlineClass {
     }
 }
 
+/// How a federated analysis routes a task (paper Section III): arbitrary
+/// deadlines are rejected outright, high-density tasks (`δ ≥ 1`) get
+/// dedicated clusters, and low-density tasks (`δ < 1`) are partitioned
+/// onto the shared pool.
+///
+/// This is the single source of truth for the density/deadline routing
+/// decision; both batch FEDCONS (`fedsched-core`) and the online admission
+/// service (`fedsched-service`) dispatch on it rather than re-deriving the
+/// thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskClass {
+    /// `D > T` — outside the constrained-deadline model, rejected by every
+    /// analysis in this workspace.
+    ArbitraryDeadline,
+    /// `D ≤ T` and `δ ≥ 1` — needs a dedicated cluster sized by `MINPROCS`.
+    HighDensity,
+    /// `D ≤ T` and `δ < 1` — a candidate for the shared partitioned-EDF pool.
+    LowDensity,
+}
+
+impl fmt::Display for TaskClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TaskClass::ArbitraryDeadline => "arbitrary-deadline",
+            TaskClass::HighDensity => "high-density",
+            TaskClass::LowDensity => "low-density",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A sporadic DAG task `τ_i = (G_i, D_i, T_i)`.
 ///
 /// Invariants enforced at construction:
@@ -212,6 +243,21 @@ impl DagTask {
         }
     }
 
+    /// The federated routing class of this task: the deadline-class check
+    /// takes precedence (arbitrary deadlines are outside the model), then
+    /// the density threshold `δ ≥ 1` splits dedicated-cluster tasks from
+    /// shared-pool candidates.
+    #[must_use]
+    pub fn classify(&self) -> TaskClass {
+        if self.deadline_class() == DeadlineClass::Arbitrary {
+            TaskClass::ArbitraryDeadline
+        } else if self.is_high_density() {
+            TaskClass::HighDensity
+        } else {
+            TaskClass::LowDensity
+        }
+    }
+
     /// Whether the task can meet its deadline on *any* number of unit-speed
     /// processors: `len_i ≤ D_i` (standard necessary feasibility condition).
     #[must_use]
@@ -304,6 +350,19 @@ mod tests {
             DeadlineClass::Constrained.to_string(),
             "constrained-deadline"
         );
+    }
+
+    #[test]
+    fn classify_routes_by_deadline_class_then_density() {
+        // Arbitrary deadline wins even at high density.
+        assert_eq!(
+            chain_task(&[9], 6, 5).classify(),
+            TaskClass::ArbitraryDeadline
+        );
+        // δ = 9/9 = 1: the boundary is high-density.
+        assert_eq!(chain_task(&[9], 9, 20).classify(), TaskClass::HighDensity);
+        assert_eq!(chain_task(&[2], 10, 10).classify(), TaskClass::LowDensity);
+        assert_eq!(TaskClass::HighDensity.to_string(), "high-density");
     }
 
     #[test]

@@ -3,17 +3,21 @@
 //! The paper's partitioning phase (Fig. 4) tests placements with the
 //! polynomial-time `DBF*` approximation. The exact EDF processor-demand
 //! criterion (pseudo-polynomial, via QPA) can gate the very same first-fit
-//! instead. This ablation sweeps normalized utilization and reports both
-//! acceptance curves plus the analysis cost proxy (probes per system),
-//! quantifying the approximation's price — the design trade-off DESIGN.md
-//! calls out.
+//! instead. This ablation runs the *same* registry policy (`fedcons`) under
+//! both partition configurations through the [`SchedulingPolicy`] trait and
+//! sweeps normalized utilization, reporting both acceptance curves plus the
+//! measured analysis cost (first-fit probes and demand-bound evaluations,
+//! from [`AnalysisProbe`]) — quantifying the approximation's price, the
+//! design trade-off DESIGN.md calls out.
 
-use fedsched_analysis::dbf::SequentialView;
-use fedsched_analysis::partition::{partition_first_fit, PartitionConfig};
-use fedsched_dag::system::{TaskId, TaskSystem};
+use fedsched_analysis::partition::PartitionConfig;
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_core::fedcons::FedConsConfig;
+use fedsched_dag::system::TaskSystem;
 use fedsched_dag::task::DagTask;
 use fedsched_gen::system::SystemConfig;
 use fedsched_gen::DeadlineTightness;
+use fedsched_policy::{policy_by_name_with, SchedulingPolicy};
 
 use crate::common::{fmt3, mix_seed};
 use crate::table::Table;
@@ -48,22 +52,56 @@ impl Default for E10Config {
     }
 }
 
-/// One point of the ablation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One point of the ablation: acceptance and analysis cost per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct E10Row {
-    /// Normalized utilization `U / m`.
-    pub normalized_utilization: f64,
+    /// Normalized utilization `U / m` (in thousandths, to keep rows `Eq`).
+    pub normalized_utilization_millis: u64,
     /// Low-density systems generated.
     pub generated: usize,
     /// Accepted by the paper's `DBF*` first-fit.
     pub approx_accepted: usize,
     /// Accepted by the exact-EDF first-fit.
     pub exact_accepted: usize,
+    /// First-fit admission tests run by the `DBF*` variant.
+    pub approx_fits_calls: u64,
+    /// `DBF*` evaluations performed by the `DBF*` variant.
+    pub approx_dbf_star_evals: u64,
+    /// First-fit admission tests run by the exact-EDF variant.
+    pub exact_fits_calls: u64,
+    /// Exact `dbf` evaluations performed by the exact-EDF variant.
+    pub exact_dbf_evals: u64,
+}
+
+impl E10Row {
+    /// The point's normalized utilization as a float.
+    #[must_use]
+    pub fn normalized_utilization(&self) -> f64 {
+        self.normalized_utilization_millis as f64 / 1000.0
+    }
+}
+
+/// The two `fedcons` registry instances the ablation compares: identical
+/// sizing phase, `DBF*` vs exact-EDF partition admission.
+fn variants(cfg: &E10Config) -> [Box<dyn SchedulingPolicy>; 2] {
+    let approx = FedConsConfig {
+        partition: PartitionConfig::approx(),
+        ..FedConsConfig::default()
+    };
+    let exact = FedConsConfig {
+        partition: PartitionConfig::exact(cfg.exact_budget),
+        ..FedConsConfig::default()
+    };
+    [
+        policy_by_name_with("fedcons", approx).expect("fedcons is registered"),
+        policy_by_name_with("fedcons", exact).expect("fedcons is registered"),
+    ]
 }
 
 /// Runs the ablation over low-density task sets.
 #[must_use]
 pub fn run(cfg: &E10Config) -> Vec<E10Row> {
+    let policies = variants(cfg);
     let mut rows = Vec::new();
     for step in 1..=cfg.steps {
         let norm_u = step as f64 / cfg.steps as f64;
@@ -71,10 +109,14 @@ pub fn run(cfg: &E10Config) -> Vec<E10Row> {
             .with_max_task_utilization(0.95)
             .with_tightness(DeadlineTightness::new(0.3, 1.0));
         let mut row = E10Row {
-            normalized_utilization: norm_u,
+            normalized_utilization_millis: (norm_u * 1000.0).round() as u64,
             generated: 0,
             approx_accepted: 0,
             exact_accepted: 0,
+            approx_fits_calls: 0,
+            approx_dbf_star_evals: 0,
+            exact_fits_calls: 0,
+            exact_dbf_evals: 0,
         };
         for i in 0..cfg.systems_per_point {
             let seed = mix_seed(&[cfg.seed, step as u64, i as u64]);
@@ -82,23 +124,25 @@ pub fn run(cfg: &E10Config) -> Vec<E10Row> {
                 continue;
             };
             // Keep the low-density subset: this ablation isolates the
-            // partitioning phase.
+            // partitioning phase (phase 1 sizes nothing on these systems).
             let system: TaskSystem = raw.into_iter().filter(DagTask::is_low_density).collect();
             if system.is_empty() {
                 continue;
             }
             row.generated += 1;
-            let views: Vec<(TaskId, SequentialView)> = system
-                .iter()
-                .map(|(id, t)| (id, SequentialView::of(t)))
-                .collect();
-            if partition_first_fit(&views, cfg.m, PartitionConfig::approx()).is_ok() {
-                row.approx_accepted += 1;
+            let mut accepted = [false; 2];
+            let mut probes = [AnalysisProbe::default(), AnalysisProbe::default()];
+            for (k, policy) in policies.iter().enumerate() {
+                accepted[k] = policy
+                    .analyze(&system, cfg.m as u32, &mut probes[k])
+                    .is_ok();
             }
-            if partition_first_fit(&views, cfg.m, PartitionConfig::exact(cfg.exact_budget)).is_ok()
-            {
-                row.exact_accepted += 1;
-            }
+            row.approx_accepted += usize::from(accepted[0]);
+            row.exact_accepted += usize::from(accepted[1]);
+            row.approx_fits_calls += probes[0].fits_calls;
+            row.approx_dbf_star_evals += probes[0].dbf_approx_evals;
+            row.exact_fits_calls += probes[1].fits_calls;
+            row.exact_dbf_evals += probes[1].dbf_exact_evals;
         }
         rows.push(row);
     }
@@ -113,18 +157,32 @@ pub fn to_table(rows: &[E10Row], cfg: &E10Config) -> Table {
             "E10 (ablation): DBF* vs exact-EDF first-fit acceptance, m = {}",
             cfg.m
         ),
-        ["U/m", "generated", "DBF* ratio", "exact-EDF ratio", "gap"],
+        [
+            "U/m",
+            "generated",
+            "DBF* ratio",
+            "exact-EDF ratio",
+            "gap",
+            "DBF* fits",
+            "DBF* evals",
+            "exact fits",
+            "exact dbf evals",
+        ],
     );
     for r in rows {
         let g = r.generated.max(1) as f64;
         let a = r.approx_accepted as f64 / g;
         let e = r.exact_accepted as f64 / g;
         t.push_row([
-            fmt3(r.normalized_utilization),
+            fmt3(r.normalized_utilization()),
             r.generated.to_string(),
             fmt3(a),
             fmt3(e),
             fmt3(e - a),
+            r.approx_fits_calls.to_string(),
+            r.approx_dbf_star_evals.to_string(),
+            r.exact_fits_calls.to_string(),
+            r.exact_dbf_evals.to_string(),
         ]);
     }
     t
@@ -176,11 +234,27 @@ mod tests {
     }
 
     #[test]
+    fn probe_counters_expose_the_cost_asymmetry() {
+        let rows = run(&small());
+        let approx_evals: u64 = rows.iter().map(|r| r.approx_dbf_star_evals).sum();
+        let exact_evals: u64 = rows.iter().map(|r| r.exact_dbf_evals).sum();
+        let fits: u64 = rows.iter().map(|r| r.approx_fits_calls).sum();
+        assert!(fits > 0, "the first-fit must have been exercised");
+        assert!(approx_evals > 0, "DBF* evaluations must be counted");
+        assert!(
+            exact_evals > approx_evals,
+            "the exact test is pseudo-polynomial: it must evaluate dbf far \
+             more often ({exact_evals} vs {approx_evals})"
+        );
+    }
+
+    #[test]
     fn deterministic_and_renders() {
         let a = run(&small());
         assert_eq!(a, run(&small()));
         let t = to_table(&a, &small());
         assert_eq!(t.len(), a.len());
         assert!(t.to_string().contains("exact-EDF"));
+        assert!(t.to_csv().contains("DBF* fits"));
     }
 }

@@ -2,15 +2,21 @@
 //!
 //! Graham's `(2 − 1/m)` bound holds for *any* list, so the paper leaves the
 //! priority order unspecified. Typical-case cluster sizes do depend on it:
-//! this ablation sizes random high-density tasks with `MINPROCS` under each
-//! [`PriorityPolicy`] and compares the processor counts — i.e. how much
-//! platform capacity a smarter list saves in practice.
+//! this ablation runs one `fedcons` registry instance per
+//! [`PriorityPolicy`] through the [`SchedulingPolicy`] trait on random
+//! single-task high-density systems and compares the dedicated processor
+//! counts — i.e. how much platform capacity a smarter list saves in
+//! practice — along with the LS simulations each variant spent
+//! ([`AnalysisProbe::ls_runs`](fedsched_analysis::probe::AnalysisProbe)).
 
-use fedsched_core::minprocs::min_procs;
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_core::fedcons::FedConsConfig;
+use fedsched_dag::system::TaskSystem;
 use fedsched_dag::task::DagTask;
 use fedsched_dag::time::Duration;
 use fedsched_gen::{Span, Topology, WcetRange};
 use fedsched_graham::list::PriorityPolicy;
+use fedsched_policy::{policy_by_name_with, SchedulingPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +28,8 @@ use crate::table::Table;
 pub struct E11Config {
     /// Random high-density tasks to size.
     pub trials: usize,
-    /// Cluster-size cap offered to `MINPROCS`.
+    /// Cluster-size cap offered to `MINPROCS` (the platform handed to the
+    /// policy).
     pub max_processors: u32,
     /// Experiment seed.
     pub seed: u64,
@@ -54,22 +61,46 @@ pub struct E11Row {
     pub beats_list_order: usize,
     /// Tasks where it needed strictly more.
     pub loses_to_list_order: usize,
+    /// List-Scheduling simulations this variant ran across the sweep
+    /// (counted by the analysis probe; the dominant cost of `MINPROCS`).
+    pub ls_runs: u64,
+}
+
+/// The LS priority policies under ablation, in row order.
+const PRIORITIES: [PriorityPolicy; 3] = [
+    PriorityPolicy::ListOrder,
+    PriorityPolicy::CriticalPathFirst,
+    PriorityPolicy::LongestWcetFirst,
+];
+
+/// One `fedcons` registry instance per priority policy.
+fn registry_per_priority() -> Vec<Box<dyn SchedulingPolicy>> {
+    PRIORITIES
+        .iter()
+        .map(|&policy| {
+            policy_by_name_with(
+                "fedcons",
+                FedConsConfig {
+                    policy,
+                    ..FedConsConfig::default()
+                },
+            )
+            .expect("fedcons is registered")
+        })
+        .collect()
 }
 
 /// Runs the ablation.
 #[must_use]
 pub fn run(cfg: &E11Config) -> Vec<E11Row> {
-    let policies = [
-        PriorityPolicy::ListOrder,
-        PriorityPolicy::CriticalPathFirst,
-        PriorityPolicy::LongestWcetFirst,
-    ];
+    let policies = registry_per_priority();
     let topo = Topology::ErdosRenyi {
         vertices: Span::new(10, 40),
         edge_probability: 0.12,
     };
-    // Per-policy cluster sizes, aligned by trial.
+    // Per-policy cluster sizes, aligned by trial, plus probe totals.
     let mut sizes: Vec<Vec<u32>> = vec![Vec::new(); policies.len()];
+    let mut ls_runs = vec![0u64; policies.len()];
     for i in 0..cfg.trials {
         let mut rng = StdRng::seed_from_u64(mix_seed(&[cfg.seed, i as u64]));
         let dag = topo.generate(&mut rng, WcetRange::new(1, 20));
@@ -81,9 +112,22 @@ pub fn run(cfg: &E11Config) -> Vec<E11Row> {
         let d = rng.gen_range(len..=vol);
         let task = DagTask::new(dag, Duration::new(d), Duration::new(2 * d))
             .expect("generated parameters are valid");
+        // A single high-density task (δ = vol/D ≥ 1): FEDCONS phase 1 is
+        // exactly `MINPROCS`, and the dedicated processor count of the
+        // outcome is the cluster size under that policy's list.
+        let system: TaskSystem = [task].into_iter().collect();
         let per_policy: Vec<Option<u32>> = policies
             .iter()
-            .map(|&p| min_procs(&task, cfg.max_processors, p).map(|r| r.processors))
+            .enumerate()
+            .map(|(k, policy)| {
+                let mut probe = AnalysisProbe::default();
+                let sized = policy
+                    .analyze(&system, cfg.max_processors, &mut probe)
+                    .ok()
+                    .map(|outcome| outcome.dedicated_processors());
+                ls_runs[k] += probe.ls_runs;
+                sized
+            })
             .collect();
         // Keep the trial only if every policy sized it (they almost always
         // do; dropping keeps the comparison apples-to-apples).
@@ -93,7 +137,7 @@ pub fn run(cfg: &E11Config) -> Vec<E11Row> {
             }
         }
     }
-    policies
+    PRIORITIES
         .iter()
         .enumerate()
         .map(|(k, &policy)| {
@@ -116,6 +160,7 @@ pub fn run(cfg: &E11Config) -> Vec<E11Row> {
                 total_processors: total,
                 beats_list_order: beats,
                 loses_to_list_order: loses,
+                ls_runs: ls_runs[k],
             }
         })
         .collect()
@@ -133,6 +178,7 @@ pub fn to_table(rows: &[E11Row]) -> Table {
             "total procs",
             "beats list-order",
             "loses",
+            "LS runs",
         ],
     );
     for r in rows {
@@ -143,6 +189,7 @@ pub fn to_table(rows: &[E11Row]) -> Table {
             r.total_processors.to_string(),
             r.beats_list_order.to_string(),
             r.loses_to_list_order.to_string(),
+            r.ls_runs.to_string(),
         ]);
     }
     t
@@ -191,9 +238,26 @@ mod tests {
     }
 
     #[test]
+    fn every_variant_accounts_its_ls_simulations() {
+        let rows = run(&small());
+        for r in &rows {
+            assert!(
+                r.ls_runs >= r.sized as u64,
+                "{:?}: sizing {} tasks takes at least one LS run each, \
+                 probe saw {}",
+                r.policy,
+                r.sized,
+                r.ls_runs
+            );
+        }
+    }
+
+    #[test]
     fn deterministic_and_renders() {
         let a = run(&small());
         assert_eq!(a, run(&small()));
-        assert_eq!(to_table(&a).len(), 3);
+        let t = to_table(&a);
+        assert_eq!(t.len(), 3);
+        assert!(t.to_csv().contains("LS runs"));
     }
 }

@@ -3,11 +3,16 @@
 //! Li et al. federated algorithm in spirit; on constrained-deadline systems
 //! only FEDCONS and the sequentialising global-EDF density test apply, and
 //! FEDCONS should dominate whenever parallelism matters.
+//!
+//! The sweep is policy-generic: it iterates the full
+//! [`SchedulingPolicy`] registry, so a new analysis added to
+//! `fedsched-policy` shows up here (and in the CSV) without touching this
+//! module.
 
-use fedsched_core::baselines::{global_edf_density_test, global_edf_li_test, li_federated};
-use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_gen::system::SystemConfig;
 use fedsched_gen::{DeadlineTightness, Span, Topology};
+use fedsched_policy::{policy_names, registry, SchedulingPolicy};
 
 use crate::common::{fmt3, mix_seed};
 use crate::table::Table;
@@ -25,8 +30,9 @@ pub struct E4Config {
     pub n_tasks: usize,
     /// Per-task utilization cap.
     pub max_task_utilization: f64,
-    /// Use implicit deadlines (`true`: all four tests apply) or constrained
-    /// (`false`: the implicit-only baselines are reported as 0).
+    /// Use implicit deadlines (`true`: every registry policy applies) or
+    /// constrained (`false`: the implicit-only baselines reject everything
+    /// with a typed [`AdmissionFailure`](fedsched_policy::AdmissionFailure)).
     pub implicit: bool,
     /// Experiment seed.
     pub seed: u64,
@@ -46,26 +52,34 @@ impl Default for E4Config {
     }
 }
 
-/// One point of the comparison: acceptance counts for each algorithm.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One point of the comparison: acceptance counts for each registry policy.
+#[derive(Debug, Clone, PartialEq)]
 pub struct E4Row {
     /// Normalized utilization `U_sum / m`.
     pub normalized_utilization: f64,
     /// Systems generated.
     pub generated: usize,
-    /// Accepted by FEDCONS.
-    pub fedcons: usize,
-    /// Accepted by Li et al. federated (implicit-deadline systems only).
-    pub li_federated: usize,
-    /// Accepted by the Li et al. global-EDF capacity test.
-    pub global_edf_li: usize,
-    /// Accepted by the sequentialising global-EDF density test.
-    pub global_edf_density: usize,
+    /// Acceptance counts, aligned with [`policy_names`] order.
+    pub accepted: Vec<usize>,
 }
 
-/// Runs the comparison sweep.
+impl E4Row {
+    /// Acceptance count of the registry policy called `name` (0 for an
+    /// unknown name).
+    #[must_use]
+    pub fn accepted_by(&self, name: &str) -> usize {
+        policy_names()
+            .iter()
+            .position(|&n| n == name)
+            .and_then(|k| self.accepted.get(k).copied())
+            .unwrap_or(0)
+    }
+}
+
+/// Runs the comparison sweep over the whole policy registry.
 #[must_use]
 pub fn run(cfg: &E4Config) -> Vec<E4Row> {
+    let policies: Vec<Box<dyn SchedulingPolicy>> = registry();
     let tightness = if cfg.implicit {
         DeadlineTightness::implicit()
     } else {
@@ -86,10 +100,7 @@ pub fn run(cfg: &E4Config) -> Vec<E4Row> {
         let mut row = E4Row {
             normalized_utilization: norm_u,
             generated: 0,
-            fedcons: 0,
-            li_federated: 0,
-            global_edf_li: 0,
-            global_edf_density: 0,
+            accepted: vec![0; policies.len()],
         };
         for i in 0..cfg.systems_per_point {
             let seed = mix_seed(&[cfg.seed, step as u64, i as u64]);
@@ -97,17 +108,11 @@ pub fn run(cfg: &E4Config) -> Vec<E4Row> {
                 continue;
             };
             row.generated += 1;
-            if fedcons(&system, cfg.m, FedConsConfig::default()).is_ok() {
-                row.fedcons += 1;
-            }
-            if li_federated(&system, cfg.m).is_ok() {
-                row.li_federated += 1;
-            }
-            if global_edf_li_test(&system, cfg.m) {
-                row.global_edf_li += 1;
-            }
-            if global_edf_density_test(&system, cfg.m) {
-                row.global_edf_density += 1;
+            for (k, policy) in policies.iter().enumerate() {
+                let mut probe = AnalysisProbe::default();
+                if policy.analyze(&system, cfg.m, &mut probe).is_ok() {
+                    row.accepted[k] += 1;
+                }
             }
         }
         rows.push(row);
@@ -115,7 +120,8 @@ pub fn run(cfg: &E4Config) -> Vec<E4Row> {
     rows
 }
 
-/// Renders E4 rows as a table of acceptance ratios.
+/// Renders E4 rows as a table of acceptance ratios, one column per
+/// registry policy.
 #[must_use]
 pub fn to_table(rows: &[E4Row], cfg: &E4Config) -> Table {
     let kind = if cfg.implicit {
@@ -123,36 +129,25 @@ pub fn to_table(rows: &[E4Row], cfg: &E4Config) -> Table {
     } else {
         "constrained"
     };
+    let mut headers = vec!["U/m".to_owned(), "generated".to_owned()];
+    headers.extend(policy_names().iter().map(|n| (*n).to_owned()));
     let mut t = Table::new(
         format!(
-            "E4: acceptance ratios, FEDCONS vs baselines ({kind}-deadline, m = {})",
+            "E4: acceptance ratios across the policy registry ({kind}-deadline, m = {})",
             cfg.m
         ),
-        [
-            "U/m",
-            "generated",
-            "FEDCONS",
-            "Li-federated",
-            "GEDF-Li",
-            "GEDF-density",
-        ],
+        headers,
     );
     for r in rows {
-        let ratio = |a: usize| {
-            if r.generated == 0 {
+        let mut cells = vec![fmt3(r.normalized_utilization), r.generated.to_string()];
+        for &a in &r.accepted {
+            cells.push(if r.generated == 0 {
                 "0.000".to_owned()
             } else {
                 fmt3(a as f64 / r.generated as f64)
-            }
-        };
-        t.push_row([
-            fmt3(r.normalized_utilization),
-            r.generated.to_string(),
-            ratio(r.fedcons),
-            ratio(r.li_federated),
-            ratio(r.global_edf_li),
-            ratio(r.global_edf_density),
-        ]);
+            });
+        }
+        t.push_row(cells);
     }
     t
 }
@@ -177,14 +172,17 @@ mod tests {
         let cfg = small(true);
         let rows = run(&cfg);
         assert_eq!(rows.len(), 4);
-        let total = |f: fn(&E4Row) -> usize| rows.iter().map(f).sum::<usize>() as f64;
-        let gen: f64 = total(|r| r.generated);
-        assert!(gen > 0.0);
+        assert!(rows
+            .iter()
+            .all(|r| r.accepted.len() == policy_names().len()));
+        let total = |name: &str| rows.iter().map(|r| r.accepted_by(name)).sum::<usize>() as f64;
+        let generated: usize = rows.iter().map(|r| r.generated).sum();
+        assert!(generated > 0);
         // Federated algorithms accept more than the conservative global-EDF
         // capacity test overall.
-        assert!(total(|r| r.fedcons) >= total(|r| r.global_edf_li));
+        assert!(total("fedcons") >= total("gedf-li"));
         // At the lowest utilization point everything reasonable accepts.
-        assert!(rows[0].fedcons as f64 / rows[0].generated as f64 > 0.9);
+        assert!(rows[0].accepted_by("fedcons") as f64 / rows[0].generated as f64 > 0.9);
     }
 
     #[test]
@@ -192,11 +190,15 @@ mod tests {
         let cfg = small(false);
         let rows = run(&cfg);
         for r in &rows {
-            assert_eq!(r.li_federated, 0, "Li federated is implicit-only");
-            assert_eq!(r.global_edf_li, 0, "GEDF-Li is implicit-only");
+            assert_eq!(
+                r.accepted_by("li-federated"),
+                0,
+                "Li federated is implicit-only"
+            );
+            assert_eq!(r.accepted_by("gedf-li"), 0, "GEDF-Li is implicit-only");
         }
         // FEDCONS still accepts plenty at low utilization.
-        assert!(rows[0].fedcons > 0);
+        assert!(rows[0].accepted_by("fedcons") > 0);
     }
 
     #[test]
@@ -213,16 +215,19 @@ mod tests {
             seed: 9,
         };
         let rows = run(&cfg);
-        let fed: usize = rows.iter().map(|r| r.fedcons).sum();
-        let dens: usize = rows.iter().map(|r| r.global_edf_density).sum();
+        let fed: usize = rows.iter().map(|r| r.accepted_by("fedcons")).sum();
+        let dens: usize = rows.iter().map(|r| r.accepted_by("gedf-density")).sum();
         assert!(fed > dens, "FEDCONS {fed} vs density {dens}");
     }
 
     #[test]
-    fn table_renders() {
+    fn table_renders_one_column_per_policy() {
         let cfg = small(true);
         let t = to_table(&run(&cfg), &cfg);
         assert_eq!(t.len(), 4);
-        assert!(t.to_string().contains("FEDCONS"));
+        let csv = t.to_csv();
+        for name in policy_names() {
+            assert!(csv.contains(name), "missing column {name}");
+        }
     }
 }

@@ -1,0 +1,215 @@
+//! The unified admission-failure taxonomy.
+//!
+//! Every concrete analysis failure (`FedConsFailure`, `LiFederatedFailure`,
+//! `PartitionFailure`, a violated closed-form condition) maps into
+//! [`AdmissionFailure`], which is serde-serializable so failures travel
+//! through the CLI's JSON output and the admission protocol unchanged.
+
+use core::fmt;
+
+use fedsched_analysis::partition::PartitionFailure;
+use fedsched_core::baselines::LiFederatedFailure;
+use fedsched_core::fedcons::FedConsFailure;
+use fedsched_dag::system::TaskId;
+use fedsched_dag::task::DeadlineClass;
+use serde::{Deserialize, Serialize};
+
+/// Why a [`SchedulingPolicy`](crate::SchedulingPolicy) declined a system.
+///
+/// The taxonomy covers all four failure families the workspace's analyses
+/// produce; each variant names the offending task where one exists.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionFailure {
+    /// A task's deadline class is outside the policy's model — e.g.
+    /// FEDCONS is defined for `D ≤ T` only, Li's federated algorithm for
+    /// `D = T` only.
+    UnsupportedDeadlineClass {
+        /// The first offending task.
+        task: TaskId,
+        /// The most general deadline class the policy supports.
+        supported: DeadlineClass,
+    },
+    /// Sizing a dedicated cluster failed: `MINPROCS` (or Li's closed-form
+    /// `m_i`) found no cluster within the remaining processors, or the
+    /// task is infeasible on any cluster (`len > D`).
+    ClusterSizing {
+        /// The task that could not be sized.
+        task: TaskId,
+        /// Processors still unassigned when it was considered.
+        remaining: u32,
+    },
+    /// Placing a task on the shared pool failed: it fit on no processor
+    /// under the partitioner's admission test.
+    SharedPlacement {
+        /// The task that fit nowhere.
+        task: TaskId,
+        /// Shared processors available, when the failing analysis reports
+        /// it (`None` for Li's budget-based partitioning).
+        processors: Option<u32>,
+    },
+    /// A closed-form schedulability condition (a global-EDF test) does
+    /// not hold; there is no single offending task.
+    ConditionViolated {
+        /// The violated condition, e.g. `"U ≤ m/(4 − 2/m)"`.
+        condition: String,
+    },
+}
+
+impl fmt::Display for AdmissionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionFailure::UnsupportedDeadlineClass { task, supported } => {
+                write!(f, "task {task} is outside the supported {supported} model")
+            }
+            AdmissionFailure::ClusterSizing { task, remaining } => write!(
+                f,
+                "no dedicated cluster for task {task} within {remaining} remaining processors"
+            ),
+            AdmissionFailure::SharedPlacement { task, processors } => match processors {
+                Some(p) => write!(f, "task {task} fits on none of the {p} shared processors"),
+                None => write!(f, "task {task} fits on no shared processor"),
+            },
+            AdmissionFailure::ConditionViolated { condition } => {
+                write!(f, "schedulability condition violated: {condition}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionFailure {}
+
+impl From<FedConsFailure> for AdmissionFailure {
+    fn from(e: FedConsFailure) -> Self {
+        match e {
+            FedConsFailure::ArbitraryDeadline { task } => {
+                AdmissionFailure::UnsupportedDeadlineClass {
+                    task,
+                    supported: DeadlineClass::Constrained,
+                }
+            }
+            FedConsFailure::HighDensityTask { task, remaining } => {
+                AdmissionFailure::ClusterSizing { task, remaining }
+            }
+            FedConsFailure::Partition(p) => p.into(),
+        }
+    }
+}
+
+impl From<PartitionFailure> for AdmissionFailure {
+    fn from(p: PartitionFailure) -> Self {
+        AdmissionFailure::SharedPlacement {
+            task: p.task,
+            processors: Some(u32::try_from(p.processors).unwrap_or(u32::MAX)),
+        }
+    }
+}
+
+impl From<LiFederatedFailure> for AdmissionFailure {
+    fn from(e: LiFederatedFailure) -> Self {
+        match e {
+            LiFederatedFailure::NotImplicitDeadline { task } => {
+                AdmissionFailure::UnsupportedDeadlineClass {
+                    task,
+                    supported: DeadlineClass::Implicit,
+                }
+            }
+            LiFederatedFailure::HighUtilizationTask { task, remaining } => {
+                AdmissionFailure::ClusterSizing { task, remaining }
+            }
+            LiFederatedFailure::LowUtilizationTask { task } => AdmissionFailure::SharedPlacement {
+                task,
+                processors: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> TaskId {
+        TaskId::from_index(i)
+    }
+
+    #[test]
+    fn serde_round_trips_every_variant() {
+        let variants = [
+            AdmissionFailure::UnsupportedDeadlineClass {
+                task: id(0),
+                supported: DeadlineClass::Constrained,
+            },
+            AdmissionFailure::ClusterSizing {
+                task: id(3),
+                remaining: 7,
+            },
+            AdmissionFailure::SharedPlacement {
+                task: id(1),
+                processors: Some(4),
+            },
+            AdmissionFailure::SharedPlacement {
+                task: id(2),
+                processors: None,
+            },
+            AdmissionFailure::ConditionViolated {
+                condition: "Σδ ≤ m − (m−1)·δmax".into(),
+            },
+        ];
+        for failure in variants {
+            let json = serde_json::to_string(&failure).unwrap();
+            let back: AdmissionFailure = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, failure, "round trip through {json}");
+        }
+    }
+
+    #[test]
+    fn conversions_preserve_the_offending_task() {
+        let f: AdmissionFailure = FedConsFailure::HighDensityTask {
+            task: id(5),
+            remaining: 2,
+        }
+        .into();
+        assert_eq!(
+            f,
+            AdmissionFailure::ClusterSizing {
+                task: id(5),
+                remaining: 2
+            }
+        );
+
+        let f: AdmissionFailure = FedConsFailure::Partition(PartitionFailure {
+            task: id(9),
+            processors: 3,
+        })
+        .into();
+        assert_eq!(
+            f,
+            AdmissionFailure::SharedPlacement {
+                task: id(9),
+                processors: Some(3)
+            }
+        );
+
+        let f: AdmissionFailure = LiFederatedFailure::NotImplicitDeadline { task: id(1) }.into();
+        assert!(matches!(
+            f,
+            AdmissionFailure::UnsupportedDeadlineClass {
+                supported: DeadlineClass::Implicit,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = AdmissionFailure::SharedPlacement {
+            task: id(1),
+            processors: Some(4),
+        };
+        assert!(f.to_string().contains("none of the 4"));
+        let f = AdmissionFailure::ConditionViolated {
+            condition: "U ≤ m/b".into(),
+        };
+        assert!(f.to_string().contains("U ≤ m/b"));
+    }
+}

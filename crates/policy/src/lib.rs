@@ -1,0 +1,62 @@
+//! `fedsched-policy` — every schedulability analysis in the workspace
+//! behind one trait.
+//!
+//! The paper's FEDCONS (Fig. 2) is one point in a family of federated
+//! analyses; the baselines of Li et al. and the two global-EDF tests are
+//! others, and semi-federated / reservation-based successors are on the
+//! roadmap. Before this crate each analysis exposed a bespoke signature
+//! and failure enum, so every consumer (experiments, CLI, admission
+//! service, benches) hand-rolled per-policy glue. Here they are unified:
+//!
+//! * [`SchedulingPolicy`] — the trait:
+//!   `analyze(&TaskSystem, m, &mut AnalysisProbe) → Result<ScheduleOutcome, AdmissionFailure>`;
+//! * [`ScheduleOutcome`] — what a successful admission produced: a full
+//!   federated configuration, a Li-style federated configuration, or a
+//!   bare verdict (for the closed-form global tests);
+//! * [`AdmissionFailure`] — the unified, serde-serializable failure
+//!   taxonomy every concrete failure enum maps into;
+//! * [`registry()`] — the named registry (`"fedcons"`,
+//!   `"fedcons-constraining"`, `"li-federated"`, `"gedf-li"`,
+//!   `"gedf-density"`) consumers iterate instead of matching on policy
+//!   kinds.
+//!
+//! Every `analyze` call threads an [`AnalysisProbe`] through the
+//! underlying `*_probed` analysis entry points, so each verdict ships with
+//! its cost: LS simulations run by `MINPROCS`, makespan evaluations,
+//! `DBF*`/exact `dbf` evaluations, `fits()` calls, and per-phase wall
+//! time. The probed entry points are the same code the unprobed ones
+//! wrap, so a FEDCONS run through the trait is byte-identical to a direct
+//! [`fedcons`](fedsched_core::fedcons::fedcons) call.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedsched_analysis::probe::AnalysisProbe;
+//! use fedsched_dag::examples::paper_figure1;
+//! use fedsched_dag::system::TaskSystem;
+//! use fedsched_policy::{policy_by_name, ScheduleOutcome};
+//!
+//! let policy = policy_by_name("fedcons").expect("registered");
+//! let system: TaskSystem = [paper_figure1()].into_iter().collect();
+//! let mut probe = AnalysisProbe::default();
+//! let outcome = policy.analyze(&system, 2, &mut probe).expect("schedulable");
+//! assert!(matches!(outcome, ScheduleOutcome::Federated(_)));
+//! assert_eq!(probe.fits_calls, 1); // one first-fit test for the one task
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod failure;
+pub mod outcome;
+pub mod policies;
+pub mod registry;
+
+pub use failure::AdmissionFailure;
+pub use fedsched_analysis::probe::AnalysisProbe;
+pub use outcome::ScheduleOutcome;
+pub use policies::{
+    FedCons, FedConsConstraining, GlobalEdfDensity, GlobalEdfLi, LiFederated, SchedulingPolicy,
+};
+pub use registry::{policy_by_name, policy_by_name_with, policy_names, registry, registry_with};

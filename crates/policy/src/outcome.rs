@@ -1,0 +1,86 @@
+//! What a successful policy run produced.
+
+use fedsched_core::baselines::LiFederatedSchedule;
+use fedsched_core::fedcons::FederatedSchedule;
+use serde::{Deserialize, Serialize};
+
+/// The artifact of a successful
+/// [`SchedulingPolicy::analyze`](crate::SchedulingPolicy::analyze) call.
+///
+/// Analyses differ in how much run-time configuration they produce: the
+/// paper's FEDCONS emits a complete federated configuration (clusters,
+/// templates, and an EDF partition), Li's algorithm a federated
+/// configuration without deadline-ordered partitioning, and the
+/// closed-form global-EDF tests nothing beyond "schedulable". The enum
+/// makes that spread explicit while staying serde-serializable end to
+/// end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleOutcome {
+    /// A full federated configuration (FEDCONS and variants).
+    Federated(FederatedSchedule),
+    /// A Li-style federated configuration (dedicated clusters plus
+    /// utilization-partitioned shared processors).
+    LiFederated(LiFederatedSchedule),
+    /// A bare schedulability verdict: the system is schedulable under the
+    /// policy's run-time scheduler (global EDF), but no static
+    /// configuration is produced.
+    Verdict,
+}
+
+impl ScheduleOutcome {
+    /// The federated configuration, if this outcome carries one.
+    #[must_use]
+    pub fn as_federated(&self) -> Option<&FederatedSchedule> {
+        match self {
+            ScheduleOutcome::Federated(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The Li-style configuration, if this outcome carries one.
+    #[must_use]
+    pub fn as_li_federated(&self) -> Option<&LiFederatedSchedule> {
+        match self {
+            ScheduleOutcome::LiFederated(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total processors dedicated to clusters by this outcome (zero for a
+    /// bare verdict).
+    #[must_use]
+    pub fn dedicated_processors(&self) -> u32 {
+        match self {
+            ScheduleOutcome::Federated(s) => s.shared_first(),
+            ScheduleOutcome::LiFederated(s) => s.clusters.iter().map(|c| c.processors).sum(),
+            ScheduleOutcome::Verdict => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_core::fedcons::{fedcons, FedConsConfig};
+    use fedsched_dag::examples::paper_example2;
+
+    #[test]
+    fn verdict_has_no_configuration() {
+        let o = ScheduleOutcome::Verdict;
+        assert!(o.as_federated().is_none());
+        assert!(o.as_li_federated().is_none());
+        assert_eq!(o.dedicated_processors(), 0);
+    }
+
+    #[test]
+    fn federated_outcome_round_trips_and_reports_clusters() {
+        let system = paper_example2(3);
+        let s = fedcons(&system, 3, FedConsConfig::default()).unwrap();
+        let o = ScheduleOutcome::Federated(s.clone());
+        assert_eq!(o.dedicated_processors(), 3);
+        assert_eq!(o.as_federated(), Some(&s));
+        let json = serde_json::to_string(&o).unwrap();
+        let back: ScheduleOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+    }
+}

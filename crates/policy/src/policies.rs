@@ -1,0 +1,351 @@
+//! The [`SchedulingPolicy`] trait and the five registered analyses.
+
+use core::fmt;
+use std::time::Instant;
+
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_core::baselines::{global_edf_density_test, global_edf_li_test, li_federated_probed};
+use fedsched_core::fedcons::{fedcons_constraining_probed, fedcons_probed, FedConsConfig};
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DeadlineClass;
+
+use crate::failure::AdmissionFailure;
+use crate::outcome::ScheduleOutcome;
+
+/// A schedulability analysis with a uniform signature and built-in cost
+/// accounting.
+///
+/// Implementations must be deterministic: the same `(system, m)` pair must
+/// always produce the same result, and the probe must never influence the
+/// verdict (instrumentation is write-only).
+pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
+    /// The registry name, e.g. `"fedcons"` (kebab-case, stable across
+    /// releases — it is the CLI's `--policy` vocabulary).
+    fn name(&self) -> &'static str;
+
+    /// The paper the analysis comes from.
+    fn citation(&self) -> &'static str;
+
+    /// The proven speedup / capacity-augmentation bound, as prose (e.g.
+    /// `"3 − 1/m"`), or a note that none applies.
+    fn speedup_bound(&self) -> &'static str;
+
+    /// Analyzes `system` on `m` unit-speed processors, accumulating cost
+    /// counters into `probe`.
+    ///
+    /// # Errors
+    ///
+    /// An [`AdmissionFailure`] explaining why the system was declined.
+    fn analyze(
+        &self,
+        system: &TaskSystem,
+        m: u32,
+        probe: &mut AnalysisProbe,
+    ) -> Result<ScheduleOutcome, AdmissionFailure>;
+}
+
+/// Runs `f`, adding its wall time to `probe.wall_nanos`.
+fn timed<T>(probe: &mut AnalysisProbe, f: impl FnOnce(&mut AnalysisProbe) -> T) -> T {
+    let start = Instant::now();
+    let out = f(probe);
+    probe.wall_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    out
+}
+
+/// The paper's FEDCONS (Baruah, DATE 2015, Fig. 2): dedicated LS clusters
+/// for high-density tasks, Baruah–Fisher first-fit for the rest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedCons {
+    /// Priority-list and partitioning knobs forwarded to the algorithm.
+    pub config: FedConsConfig,
+}
+
+impl FedCons {
+    /// FEDCONS with the given configuration.
+    #[must_use]
+    pub fn new(config: FedConsConfig) -> FedCons {
+        FedCons { config }
+    }
+}
+
+impl SchedulingPolicy for FedCons {
+    fn name(&self) -> &'static str {
+        "fedcons"
+    }
+
+    fn citation(&self) -> &'static str {
+        "Baruah, \"The federated scheduling of constrained-deadline sporadic DAG task systems\", DATE 2015"
+    }
+
+    fn speedup_bound(&self) -> &'static str {
+        "3 − 1/m (constrained-deadline speedup, paper Theorem 1)"
+    }
+
+    fn analyze(
+        &self,
+        system: &TaskSystem,
+        m: u32,
+        probe: &mut AnalysisProbe,
+    ) -> Result<ScheduleOutcome, AdmissionFailure> {
+        timed(probe, |p| fedcons_probed(system, m, self.config, p))
+            .map(ScheduleOutcome::Federated)
+            .map_err(Into::into)
+    }
+}
+
+/// FEDCONS after tightening every `D > T` task to `D' = T` — the sound,
+/// conservative extension to arbitrary-deadline systems.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedConsConstraining {
+    /// Priority-list and partitioning knobs forwarded to the algorithm.
+    pub config: FedConsConfig,
+}
+
+impl FedConsConstraining {
+    /// Constraining FEDCONS with the given configuration.
+    #[must_use]
+    pub fn new(config: FedConsConfig) -> FedConsConstraining {
+        FedConsConstraining { config }
+    }
+}
+
+impl SchedulingPolicy for FedConsConstraining {
+    fn name(&self) -> &'static str {
+        "fedcons-constraining"
+    }
+
+    fn citation(&self) -> &'static str {
+        "Baruah, DATE 2015 (Section V names arbitrary deadlines as open; tightening D' = min(D, T) is the standard sound reduction)"
+    }
+
+    fn speedup_bound(&self) -> &'static str {
+        "3 − 1/m on the tightened system (pessimistic for tasks needing the (T, D] slack)"
+    }
+
+    fn analyze(
+        &self,
+        system: &TaskSystem,
+        m: u32,
+        probe: &mut AnalysisProbe,
+    ) -> Result<ScheduleOutcome, AdmissionFailure> {
+        timed(probe, |p| {
+            fedcons_constraining_probed(system, m, self.config, p)
+        })
+        .map(ScheduleOutcome::Federated)
+        .map_err(Into::into)
+    }
+}
+
+/// The implicit-deadline federated algorithm of Li, Saifullah, Agrawal,
+/// Gill & Lu (ECRTS 2014).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiFederated;
+
+impl SchedulingPolicy for LiFederated {
+    fn name(&self) -> &'static str {
+        "li-federated"
+    }
+
+    fn citation(&self) -> &'static str {
+        "Li, Saifullah, Agrawal, Gill & Lu, \"Analysis of federated and global scheduling for parallel real-time tasks\", ECRTS 2014"
+    }
+
+    fn speedup_bound(&self) -> &'static str {
+        "capacity augmentation 2 (implicit deadlines only)"
+    }
+
+    fn analyze(
+        &self,
+        system: &TaskSystem,
+        m: u32,
+        probe: &mut AnalysisProbe,
+    ) -> Result<ScheduleOutcome, AdmissionFailure> {
+        timed(probe, |p| li_federated_probed(system, m, p))
+            .map(ScheduleOutcome::LiFederated)
+            .map_err(Into::into)
+    }
+}
+
+/// The global-EDF capacity-augmentation test of Li et al. (ECRTS 2013)
+/// for implicit-deadline DAG systems: `U ≤ m/b` and `len_i ≤ T_i/b` with
+/// `b = 4 − 2/m`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalEdfLi;
+
+impl SchedulingPolicy for GlobalEdfLi {
+    fn name(&self) -> &'static str {
+        "gedf-li"
+    }
+
+    fn citation(&self) -> &'static str {
+        "Li, Agrawal, Lu & Gill, \"Analysis of global EDF for parallel tasks\", ECRTS 2013"
+    }
+
+    fn speedup_bound(&self) -> &'static str {
+        "capacity augmentation 4 − 2/m (implicit deadlines only)"
+    }
+
+    fn analyze(
+        &self,
+        system: &TaskSystem,
+        m: u32,
+        probe: &mut AnalysisProbe,
+    ) -> Result<ScheduleOutcome, AdmissionFailure> {
+        timed(probe, |_| {
+            if let Some((task, _)) = system
+                .iter()
+                .find(|(_, t)| t.deadline_class() != DeadlineClass::Implicit)
+            {
+                return Err(AdmissionFailure::UnsupportedDeadlineClass {
+                    task,
+                    supported: DeadlineClass::Implicit,
+                });
+            }
+            if global_edf_li_test(system, m) {
+                Ok(ScheduleOutcome::Verdict)
+            } else {
+                Err(AdmissionFailure::ConditionViolated {
+                    condition: "U ≤ m/(4 − 2/m) and len_i ≤ T_i/(4 − 2/m)".into(),
+                })
+            }
+        })
+    }
+}
+
+/// The sequentialising density baseline for constrained deadlines: run
+/// each dag-job sequentially under global EDF and apply the
+/// Goossens–Funk–Baruah condition `Σδ ≤ m − (m − 1)·δmax`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalEdfDensity;
+
+impl SchedulingPolicy for GlobalEdfDensity {
+    fn name(&self) -> &'static str {
+        "gedf-density"
+    }
+
+    fn citation(&self) -> &'static str {
+        "Goossens, Funk & Baruah, \"Priority-driven scheduling of periodic task systems on multiprocessors\", Real-Time Systems 25(2–3), 2003"
+    }
+
+    fn speedup_bound(&self) -> &'static str {
+        "none (sufficient-only density condition, blind to intra-task parallelism)"
+    }
+
+    fn analyze(
+        &self,
+        system: &TaskSystem,
+        m: u32,
+        probe: &mut AnalysisProbe,
+    ) -> Result<ScheduleOutcome, AdmissionFailure> {
+        timed(probe, |_| {
+            if global_edf_density_test(system, m) {
+                Ok(ScheduleOutcome::Verdict)
+            } else {
+                Err(AdmissionFailure::ConditionViolated {
+                    condition: "δmax ≤ 1 and Σδ ≤ m − (m − 1)·δmax (sequentialised jobs)".into(),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_core::fedcons::fedcons;
+    use fedsched_dag::examples::{paper_example2, paper_figure1};
+    use fedsched_dag::task::DagTask;
+    use fedsched_dag::time::Duration;
+
+    fn implicit(c: u64, t: u64) -> DagTask {
+        DagTask::sequential(Duration::new(c), Duration::new(t), Duration::new(t)).unwrap()
+    }
+
+    #[test]
+    fn fedcons_via_trait_is_byte_identical_to_direct_call() {
+        let system = paper_example2(4);
+        let policy = FedCons::default();
+        let mut probe = AnalysisProbe::default();
+        let outcome = policy.analyze(&system, 5, &mut probe).unwrap();
+        let direct = fedcons(&system, 5, FedConsConfig::default()).unwrap();
+        assert_eq!(outcome.as_federated(), Some(&direct));
+        assert_eq!(
+            serde_json::to_string(outcome.as_federated().unwrap()).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "serialized forms must agree byte for byte"
+        );
+    }
+
+    #[test]
+    fn trait_run_records_wall_time_and_analysis_cost() {
+        let system = paper_example2(4);
+        let mut probe = AnalysisProbe::default();
+        FedCons::default().analyze(&system, 5, &mut probe).unwrap();
+        assert_eq!(probe.ls_runs, 4);
+        assert!(probe.wall_nanos > 0);
+    }
+
+    #[test]
+    fn verdict_policies_report_condition_violations() {
+        // δ = 1 per task, n = 4 tasks on m = 2: density condition fails.
+        let system = paper_example2(4);
+        let mut probe = AnalysisProbe::default();
+        let e = GlobalEdfDensity
+            .analyze(&system, 2, &mut probe)
+            .unwrap_err();
+        assert!(matches!(e, AdmissionFailure::ConditionViolated { .. }));
+        // On m = 4 the condition Σδ = 4 ≤ 4 − 3·1 fails too.
+        assert!(GlobalEdfDensity.analyze(&system, 4, &mut probe).is_err());
+        // A light implicit system passes.
+        let light: TaskSystem = [implicit(1, 8), implicit(1, 8)].into_iter().collect();
+        assert_eq!(
+            GlobalEdfDensity.analyze(&light, 2, &mut probe).unwrap(),
+            ScheduleOutcome::Verdict
+        );
+        assert_eq!(
+            GlobalEdfLi.analyze(&light, 4, &mut probe).unwrap(),
+            ScheduleOutcome::Verdict
+        );
+    }
+
+    #[test]
+    fn gedf_li_reports_unsupported_class_for_constrained_systems() {
+        let constrained: TaskSystem =
+            [DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8)).unwrap()]
+                .into_iter()
+                .collect();
+        let mut probe = AnalysisProbe::default();
+        let e = GlobalEdfLi
+            .analyze(&constrained, 8, &mut probe)
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            AdmissionFailure::UnsupportedDeadlineClass {
+                supported: DeadlineClass::Implicit,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn li_federated_outcome_carries_clusters() {
+        let system: TaskSystem = [implicit(4, 4), implicit(1, 4)].into_iter().collect();
+        let mut probe = AnalysisProbe::default();
+        let outcome = LiFederated.analyze(&system, 2, &mut probe).unwrap();
+        let li = outcome.as_li_federated().unwrap();
+        assert_eq!(li.clusters.len(), 1);
+        assert_eq!(probe.ls_runs, 1);
+        assert_eq!(probe.fits_calls, 1);
+    }
+
+    #[test]
+    fn fedcons_constraining_accepts_what_fedcons_accepts() {
+        let system: TaskSystem = [paper_figure1()].into_iter().collect();
+        let mut probe = AnalysisProbe::default();
+        let a = FedCons::default().analyze(&system, 2, &mut probe).unwrap();
+        let b = FedConsConstraining::default()
+            .analyze(&system, 2, &mut probe)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,93 @@
+//! The named policy registry consumers iterate instead of matching on
+//! policy kinds.
+//!
+//! Adding a new analysis to the workspace is now a one-file change: write
+//! the [`SchedulingPolicy`] impl and append it to [`registry_with`] — the
+//! CLI (`analyze --policy <name>`), the experiment harness, and the
+//! benches all pick it up by name.
+
+use fedsched_core::fedcons::FedConsConfig;
+
+use crate::policies::{
+    FedCons, FedConsConstraining, GlobalEdfDensity, GlobalEdfLi, LiFederated, SchedulingPolicy,
+};
+
+/// Every registered policy, with FEDCONS-family members using `config`.
+#[must_use]
+pub fn registry_with(config: FedConsConfig) -> Vec<Box<dyn SchedulingPolicy>> {
+    vec![
+        Box::new(FedCons::new(config)),
+        Box::new(FedConsConstraining::new(config)),
+        Box::new(LiFederated),
+        Box::new(GlobalEdfLi),
+        Box::new(GlobalEdfDensity),
+    ]
+}
+
+/// Every registered policy with default configuration.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn SchedulingPolicy>> {
+    registry_with(FedConsConfig::default())
+}
+
+/// The registry names, in registry order.
+#[must_use]
+pub fn policy_names() -> Vec<&'static str> {
+    registry().iter().map(|p| p.name()).collect()
+}
+
+/// Looks up one policy by registry name, with FEDCONS-family members
+/// using `config`.
+#[must_use]
+pub fn policy_by_name_with(name: &str, config: FedConsConfig) -> Option<Box<dyn SchedulingPolicy>> {
+    registry_with(config).into_iter().find(|p| p.name() == name)
+}
+
+/// Looks up one policy by registry name with default configuration.
+#[must_use]
+pub fn policy_by_name(name: &str) -> Option<Box<dyn SchedulingPolicy>> {
+    policy_by_name_with(name, FedConsConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_stable_and_unique() {
+        let names = policy_names();
+        assert_eq!(
+            names,
+            vec![
+                "fedcons",
+                "fedcons-constraining",
+                "li-federated",
+                "gedf-li",
+                "gedf-density"
+            ]
+        );
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(policy_by_name("fedcons").is_some());
+        assert!(policy_by_name("li-federated").is_some());
+        assert!(policy_by_name("no-such-policy").is_none());
+    }
+
+    #[test]
+    fn every_policy_has_metadata() {
+        for p in registry() {
+            assert!(!p.citation().is_empty(), "{} missing citation", p.name());
+            assert!(
+                !p.speedup_bound().is_empty(),
+                "{} missing speedup bound",
+                p.name()
+            );
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! however, depends only on the DAG shape (vertex WCETs and edges), the
 //! relative deadline, and the priority policy — not on the period, not on
 //! the platform, and not on anything else resident in the server (see
-//! [`intrinsic_min_procs`]). Admission workloads repeat DAG shapes all the
+//! [`intrinsic_min_procs_probed`]). Admission workloads repeat DAG shapes all the
 //! time (the same binary released under different periods, re-admission
 //! after removal, …), so the server memoizes sizings under a canonical
 //! encoding of exactly those inputs.
@@ -13,7 +13,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use fedsched_core::minprocs::intrinsic_min_procs;
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_core::minprocs::intrinsic_min_procs_probed;
 use fedsched_dag::task::DagTask;
 use fedsched_graham::list::PriorityPolicy;
 use fedsched_graham::schedule::TemplateSchedule;
@@ -53,13 +54,27 @@ impl TemplateCache {
         task: &DagTask,
         policy: PriorityPolicy,
     ) -> (Option<CachedSizing>, bool) {
+        let mut scratch = AnalysisProbe::default();
+        self.sizing_probed(task, policy, &mut scratch)
+    }
+
+    /// [`Self::sizing`] with cost accounting: the hit/miss and, on a miss,
+    /// the `MINPROCS` List-Scheduling runs are recorded in `probe`.
+    pub fn sizing_probed(
+        &mut self,
+        task: &DagTask,
+        policy: PriorityPolicy,
+        probe: &mut AnalysisProbe,
+    ) -> (Option<CachedSizing>, bool) {
         let key = canonical_key(task, policy);
         if let Some(entry) = self.map.get(&key) {
             self.hits += 1;
+            probe.cache_hits += 1;
             return (entry.clone(), true);
         }
         self.misses += 1;
-        let computed = intrinsic_min_procs(task, policy).map(|r| CachedSizing {
+        probe.cache_misses += 1;
+        let computed = intrinsic_min_procs_probed(task, policy, probe).map(|r| CachedSizing {
             processors: r.processors,
             template: Arc::new(r.template),
         });
@@ -166,6 +181,20 @@ mod tests {
         assert!(!hit_policy);
         assert!(!hit_deadline);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn probed_lookups_record_hits_misses_and_sizing_cost() {
+        let mut cache = TemplateCache::new();
+        let t = wide_task(2, 10);
+        let mut probe = AnalysisProbe::default();
+        cache.sizing_probed(&t, PriorityPolicy::ListOrder, &mut probe);
+        assert_eq!((probe.cache_hits, probe.cache_misses), (0, 1));
+        assert!(probe.ls_runs > 0, "a miss must run MINPROCS");
+        let before = probe.ls_runs;
+        cache.sizing_probed(&t, PriorityPolicy::ListOrder, &mut probe);
+        assert_eq!((probe.cache_hits, probe.cache_misses), (1, 1));
+        assert_eq!(probe.ls_runs, before, "a hit must not re-run MINPROCS");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! answer per task, online, without re-analysing the world. This crate
 //! provides that service:
 //!
-//! * [`state`] — [`AdmissionState`](state::AdmissionState): the live
+//! * [`state`] — [`AdmissionState`]: the live
 //!   platform (dedicated clusters plus the shared EDF pool) with
 //!   incremental `admit`/`remove` operations whose decisions provably
 //!   coincide with a batch FEDCONS run over the resident set;

@@ -35,8 +35,9 @@ use std::time::Instant;
 
 use fedsched_analysis::dbf::SequentialView;
 use fedsched_analysis::incremental::SharedPool;
+use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_core::fedcons::FedConsConfig;
-use fedsched_dag::task::{DagTask, DeadlineClass};
+use fedsched_dag::task::{DagTask, TaskClass};
 
 use crate::cache::{CachedSizing, TemplateCache};
 use crate::protocol::Placement;
@@ -191,6 +192,8 @@ pub struct AdmissionState {
     low: Vec<LowEntry>,
     cache: TemplateCache,
     stats: Stats,
+    /// Cumulative analysis cost of every operation since start.
+    probe: AnalysisProbe,
 }
 
 impl AdmissionState {
@@ -205,6 +208,7 @@ impl AdmissionState {
             low: Vec::new(),
             cache: TemplateCache::new(),
             stats: Stats::default(),
+            probe: AnalysisProbe::default(),
         }
     }
 
@@ -252,6 +256,12 @@ impl AdmissionState {
         &self.stats
     }
 
+    /// The cumulative analysis cost of every operation since start.
+    #[must_use]
+    pub fn probe(&self) -> &AnalysisProbe {
+        &self.probe
+    }
+
     /// A serializable snapshot of all counters plus platform occupancy.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -270,6 +280,7 @@ impl AdmissionState {
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.len() as u64,
             latency_buckets_us: self.stats.latency.buckets().to_vec(),
+            probe: self.probe,
         }
     }
 
@@ -289,24 +300,29 @@ impl AdmissionState {
             Err(_) if high => self.stats.rejected_high += 1,
             Err(_) => self.stats.rejected_low += 1,
         }
-        self.stats.latency.record(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.latency.record(elapsed);
+        self.probe.wall_nanos += saturating_nanos(elapsed);
         result
     }
 
     fn admit_inner(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
-        if task.deadline_class() == DeadlineClass::Arbitrary {
-            return Err(RejectReason::ArbitraryDeadline);
-        }
-        if task.is_high_density() {
-            self.admit_high(task)
-        } else {
-            self.admit_low(task)
+        // Route by the task-layer classification (the same one FEDCONS
+        // uses) instead of re-deriving density thresholds here.
+        match task.classify() {
+            TaskClass::ArbitraryDeadline => Err(RejectReason::ArbitraryDeadline),
+            TaskClass::HighDensity => self.admit_high(task),
+            TaskClass::LowDensity => self.admit_low(task),
         }
     }
 
     /// Phase-1 admission (MINPROCS, Fig. 3) of a high-density task.
     fn admit_high(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
-        let (sizing, cache_hit) = self.cache.sizing(&task, self.config.fedcons.policy);
+        let phase = Instant::now();
+        let (sizing, cache_hit) =
+            self.cache
+                .sizing_probed(&task, self.config.fedcons.policy, &mut self.probe);
+        self.probe.sizing_nanos += saturating_nanos(phase.elapsed());
         let Some(sizing) = sizing else {
             return Err(RejectReason::ChainInfeasible);
         };
@@ -357,7 +373,11 @@ impl AdmissionState {
             .low
             .partition_point(|e| e.view.deadline <= view.deadline);
         let pool = self.shared_processors() as usize;
-        match self.replay_suffix(position, Some(view), pool) {
+        let phase = Instant::now();
+        let (outcome, replay_probe) = self.replay_suffix(position, Some(view), pool);
+        self.probe.merge(&replay_probe);
+        self.probe.partition_nanos += saturating_nanos(phase.elapsed());
+        match outcome {
             Some(placements) => {
                 let token = self.next_token;
                 self.next_token += 1;
@@ -390,23 +410,27 @@ impl AdmissionState {
     /// before `from` keep their recorded processors (the batch prefix is
     /// provably identical), then `candidate` (if any) and the residents
     /// from `from` on are first-fit in order against `pool` processors.
-    /// Returns the new pool-local placements in that order, or `None` if
-    /// any of them fits nowhere.
+    /// Returns the new pool-local placements in that order (or `None` if
+    /// any of them fits nowhere) together with the analysis cost of the
+    /// replay, for the caller to merge into the cumulative probe (this
+    /// method takes `&self`, so it cannot write the field itself).
     fn replay_suffix(
         &self,
         from: usize,
         candidate: Option<SequentialView>,
         pool: usize,
-    ) -> Option<Vec<usize>> {
+    ) -> (Option<Vec<usize>>, AnalysisProbe) {
+        let mut probe = AnalysisProbe::default();
         let mut bank = SharedPool::new(pool, self.config.fedcons.partition);
         for entry in &self.low[..from] {
             bank.place(entry.processor, entry.view);
         }
-        candidate
+        let placements = candidate
             .into_iter()
             .chain(self.low[from..].iter().map(|e| e.view))
-            .map(|v| bank.try_place(v))
-            .collect()
+            .map(|v| bank.try_place_probed(v, &mut probe))
+            .collect();
+        (placements, probe)
     }
 
     /// Removes a resident task by token.
@@ -430,7 +454,11 @@ impl AdmissionState {
             let _removed = self.low.remove(i);
             let pool = self.shared_processors() as usize;
             self.stats.removed += 1;
-            match self.replay_suffix(i, None, pool) {
+            let phase = Instant::now();
+            let (outcome, replay_probe) = self.replay_suffix(i, None, pool);
+            self.probe.merge(&replay_probe);
+            self.probe.partition_nanos += saturating_nanos(phase.elapsed());
+            match outcome {
                 Some(placements) => {
                     let mut migrated = 0;
                     for (entry, &k) in self.low[i..].iter_mut().zip(&placements) {
@@ -477,6 +505,11 @@ impl AdmissionState {
                 processor: self.dedicated + e.processor as u32,
             })
     }
+}
+
+/// Nanoseconds of a wall-clock interval, saturating at `u64::MAX`.
+fn saturating_nanos(elapsed: std::time::Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -654,5 +687,15 @@ mod tests {
         assert_eq!(snap.cache_misses, 1);
         assert_eq!(snap.resident_tasks, 2);
         assert_eq!(snap.latency_buckets_us.iter().sum::<u64>(), 3);
+        // The cumulative probe mirrors the cache counters, records the
+        // MINPROCS runs of the single cache miss, the shared-pool fit of
+        // the low task, and nonzero per-phase wall time.
+        assert_eq!(snap.probe.cache_hits, 1);
+        assert_eq!(snap.probe.cache_misses, 1);
+        assert!(snap.probe.ls_runs > 0);
+        assert_eq!(snap.probe.fits_calls, 1);
+        assert!(snap.probe.sizing_nanos > 0);
+        assert!(snap.probe.partition_nanos > 0);
+        assert!(snap.probe.wall_nanos >= snap.probe.partition_nanos);
     }
 }

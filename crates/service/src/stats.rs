@@ -1,5 +1,6 @@
 //! Operation counters and a log-scale latency histogram for the server.
 
+use fedsched_analysis::probe::AnalysisProbe;
 use serde::{Deserialize, Serialize};
 
 /// Number of buckets in [`LatencyHistogram`]: bucket `i` counts operations
@@ -110,6 +111,10 @@ pub struct StatsSnapshot {
     /// Admission-latency histogram; index `i` counts decisions that took
     /// `[2^i, 2^{i+1})` microseconds.
     pub latency_buckets_us: Vec<u64>,
+    /// Cumulative analysis cost of every operation since start: LS runs,
+    /// demand-bound evaluations, first-fit probes, cache traffic, and
+    /// per-phase wall time.
+    pub probe: AnalysisProbe,
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! | [`graham`] | `fedsched-graham` | List Scheduling, templates, timing anomalies |
 //! | [`analysis`] | `fedsched-analysis` | DBF/DBF*, exact EDF, first-fit partitioning |
 //! | [`core`] | `fedsched-core` | `MINPROCS`, `FEDCONS`, baselines, speedup measurement |
+//! | [`policy`] | `fedsched-policy` | the `SchedulingPolicy` trait, failure taxonomy, registry |
 //! | [`sim`] | `fedsched-sim` | discrete-event federated & global-EDF runtimes |
 //! | [`gen`] | `fedsched-gen` | reproducible random workload generation |
 //! | [`experiments`] | `fedsched-experiments` | tables/figures of the paper's evaluation |
@@ -64,4 +65,5 @@ pub use fedsched_dag as dag;
 pub use fedsched_experiments as experiments;
 pub use fedsched_gen as gen;
 pub use fedsched_graham as graham;
+pub use fedsched_policy as policy;
 pub use fedsched_sim as sim;
