@@ -214,7 +214,7 @@ pub fn edf_exact_probed(
                 heap.push(Reverse((next, i)));
             }
             spent += 1;
-            probe.dbf_exact_evals += 1;
+            probe.dbf_exact_evals = probe.dbf_exact_evals.saturating_add(1);
             if spent > budget {
                 return Err(TestBudgetExceeded { budget });
             }
@@ -300,7 +300,7 @@ pub fn edf_qpa_probed(
         if spent > budget {
             return Err(TestBudgetExceeded { budget });
         }
-        probe.dbf_exact_evals += tasks.len() as u64;
+        probe.dbf_exact_evals = probe.dbf_exact_evals.saturating_add(tasks.len() as u64);
         let h = total_demand(tasks, t);
         if h > u128::from(t.ticks()) {
             return Ok(EdfVerdict::Unschedulable { witness: t });

@@ -268,11 +268,11 @@ pub fn fits_probed(
     config: PartitionConfig,
     probe: &mut AnalysisProbe,
 ) -> bool {
-    probe.fits_calls += 1;
+    probe.fits_calls = probe.fits_calls.saturating_add(1);
     match config.test {
         PartitionTest::ApproxDbf => {
             let d = candidate.deadline;
-            probe.dbf_approx_evals += resident.len() as u64;
+            probe.dbf_approx_evals = probe.dbf_approx_evals.saturating_add(resident.len() as u64);
             let demand_at_d: Rational = resident.iter().map(|r| dbf_approx(r, d)).sum();
             let slack = Rational::from(d.ticks()) - demand_at_d;
             if slack < Rational::from(candidate.wcet.ticks()) {

@@ -78,18 +78,24 @@ impl AnalysisProbe {
         AnalysisProbe::default()
     }
 
-    /// Adds every counter of `other` into `self`.
+    /// Adds every counter of `other` into `self`, saturating at
+    /// [`u64::MAX`]: a platform-lifetime probe accumulating per-operation
+    /// probes for months must pin at the ceiling rather than silently wrap
+    /// back toward zero (a wrapped counter reads as a healthy small value
+    /// on a metrics dashboard — strictly worse than a saturated one).
     pub fn merge(&mut self, other: &AnalysisProbe) {
-        self.ls_runs += other.ls_runs;
-        self.makespan_evaluations += other.makespan_evaluations;
-        self.dbf_approx_evals += other.dbf_approx_evals;
-        self.dbf_exact_evals += other.dbf_exact_evals;
-        self.fits_calls += other.fits_calls;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
-        self.sizing_nanos += other.sizing_nanos;
-        self.partition_nanos += other.partition_nanos;
-        self.wall_nanos += other.wall_nanos;
+        self.ls_runs = self.ls_runs.saturating_add(other.ls_runs);
+        self.makespan_evaluations = self
+            .makespan_evaluations
+            .saturating_add(other.makespan_evaluations);
+        self.dbf_approx_evals = self.dbf_approx_evals.saturating_add(other.dbf_approx_evals);
+        self.dbf_exact_evals = self.dbf_exact_evals.saturating_add(other.dbf_exact_evals);
+        self.fits_calls = self.fits_calls.saturating_add(other.fits_calls);
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits);
+        self.cache_misses = self.cache_misses.saturating_add(other.cache_misses);
+        self.sizing_nanos = self.sizing_nanos.saturating_add(other.sizing_nanos);
+        self.partition_nanos = self.partition_nanos.saturating_add(other.partition_nanos);
+        self.wall_nanos = self.wall_nanos.saturating_add(other.wall_nanos);
     }
 
     /// `true` if every counter is zero.
@@ -149,6 +155,28 @@ mod tests {
         assert_eq!(a.wall_nanos, 20);
         assert!(!a.is_empty());
         assert!(AnalysisProbe::new().is_empty());
+    }
+
+    #[test]
+    fn merge_saturates_at_u64_max_instead_of_wrapping() {
+        let mut probe = AnalysisProbe {
+            ls_runs: u64::MAX,
+            makespan_evaluations: u64::MAX - 1,
+            wall_nanos: u64::MAX,
+            ..AnalysisProbe::default()
+        };
+        let increment = AnalysisProbe {
+            ls_runs: 1,
+            makespan_evaluations: 5,
+            wall_nanos: u64::MAX,
+            fits_calls: 2,
+            ..AnalysisProbe::default()
+        };
+        probe.merge(&increment);
+        assert_eq!(probe.ls_runs, u64::MAX, "pins at the ceiling, no wrap");
+        assert_eq!(probe.makespan_evaluations, u64::MAX);
+        assert_eq!(probe.wall_nanos, u64::MAX);
+        assert_eq!(probe.fits_calls, 2, "unsaturated fields still add");
     }
 
     #[test]

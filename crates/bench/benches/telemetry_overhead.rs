@@ -1,0 +1,77 @@
+//! E18 — what does the telemetry event bus cost the admission path?
+//!
+//! Every admission through [`AdmissionState`] passes the telemetry sink:
+//! with telemetry disabled the sink is [`EventSink::Noop`] and every
+//! record is a single discarded branch; enabled, spans and counters land
+//! in a fixed-capacity ring buffer. Both benchmarks drive the identical
+//! admission sweep (the E17 workload: sixteen mixed-density 24-task
+//! systems) through the exact production `admit_traced` path:
+//!
+//! * `noop_sink` — `AdmissionConfig::new(m)`, telemetry off (the default).
+//! * `ring_sink` — `with_telemetry(4096)`, every admission emitting its
+//!   spans and counters into the ring.
+//!
+//! The acceptance bar (EXPERIMENTS.md E18) is < 2% added latency for the
+//! disabled path relative to what E17 measured for the bare policy layer,
+//! and the enabled path is expected to stay within a few percent too: the
+//! sink work is a handful of `Instant` reads and vector pushes against an
+//! analysis dominated by List-Scheduling and demand-bound arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedsched_dag::system::TaskSystem;
+use fedsched_gen::system::SystemConfig;
+use fedsched_service::{AdmissionConfig, AdmissionState};
+use std::hint::black_box;
+
+const PROCESSORS: u32 = 64;
+
+/// The E17 workload: sixteen mixed-density 24-task systems, enough
+/// high-density tasks to exercise `MINPROCS` sizing and enough low-density
+/// ones to exercise the first-fit, per system.
+fn workload() -> Vec<TaskSystem> {
+    (0..16)
+        .map(|i| {
+            SystemConfig::new(24, 10.0)
+                .with_max_task_utilization(1.8)
+                .generate_seeded(1700 + i)
+                .expect("feasible generator target")
+        })
+        .collect()
+}
+
+fn sweep(systems: &[TaskSystem], config: AdmissionConfig) -> usize {
+    let mut accepted = 0usize;
+    let mut trace = 0u64;
+    for system in systems {
+        // Fresh state per system so every sweep replays the same mix of
+        // fresh sizings, cache hits, and partition replays.
+        let mut state = AdmissionState::new(config);
+        for task in system.tasks() {
+            trace += 1;
+            if state.admit_traced(task.clone(), Some(trace)).is_ok() {
+                accepted += 1;
+            }
+        }
+    }
+    accepted
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let systems = workload();
+    let mut group = c.benchmark_group("telemetry_overhead");
+
+    group.bench_function("noop_sink", |b| {
+        let config = AdmissionConfig::new(PROCESSORS);
+        b.iter(|| black_box(sweep(black_box(&systems), config)));
+    });
+
+    group.bench_function("ring_sink", |b| {
+        let config = AdmissionConfig::new(PROCESSORS).with_telemetry(4096);
+        b.iter(|| black_box(sweep(black_box(&systems), config)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

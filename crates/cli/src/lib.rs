@@ -29,8 +29,10 @@ use fedsched_graham::list::PriorityPolicy;
 use fedsched_policy::{
     policy_by_name_with, policy_names, AdmissionFailure, ScheduleOutcome, SchedulingPolicy,
 };
-use fedsched_sim::federated::{simulate_federated_traced, ClusterDispatch};
+use fedsched_sim::federated::{simulate_federated_watched, ClusterDispatch};
 use fedsched_sim::model::{ArrivalModel, ExecutionModel, SimConfig};
+use fedsched_sim::watchdog::WatchdogReport;
+use fedsched_telemetry::chrome::ChromeTraceBuilder;
 use serde::Serialize;
 
 /// Errors surfaced to the CLI user.
@@ -456,8 +458,9 @@ impl Default for SimulateOptions {
     }
 }
 
-/// Shared single-run core of the `simulate` subcommand: admit, replay,
-/// and return the report plus the full execution trace.
+/// Shared single-run core of the `simulate` and `trace` subcommands:
+/// admit, replay, and return the report, the full execution trace, and
+/// the anomaly watchdog's counters.
 fn run_federated_simulation(
     json: &str,
     opts: SimulateOptions,
@@ -466,6 +469,7 @@ fn run_federated_simulation(
         fedsched_core::fedcons::FederatedSchedule,
         fedsched_sim::model::SimReport,
         fedsched_sim::trace::ExecutionTrace,
+        WatchdogReport,
     ),
     CliError,
 > {
@@ -502,14 +506,14 @@ fn run_federated_simulation(
         },
         seed: opts.seed,
     };
-    let (report, trace) = simulate_federated_traced(
+    let (report, trace, watchdog) = simulate_federated_watched(
         &system,
         &schedule,
         config,
         ClusterDispatch::Template,
         opts.policy,
     );
-    Ok((schedule, report, trace))
+    Ok((schedule, report, trace, watchdog))
 }
 
 fn render_simulation_text(
@@ -542,7 +546,7 @@ fn render_simulation_text(
 /// JSON errors, [`CliError::NotSchedulable`] if admission fails, and
 /// usage errors for out-of-range fractions.
 pub fn simulate(json: &str, opts: SimulateOptions) -> Result<String, CliError> {
-    let (schedule, report, trace) = run_federated_simulation(json, opts)?;
+    let (schedule, report, trace, _) = run_federated_simulation(json, opts)?;
     Ok(render_simulation_text(
         &schedule,
         &report,
@@ -565,10 +569,94 @@ pub fn simulate_with_svg(
     if window == 0 {
         return Err(CliError::Usage("svg window must be positive".into()));
     }
-    let (schedule, report, trace) = run_federated_simulation(json, opts)?;
+    let (schedule, report, trace, _) = run_federated_simulation(json, opts)?;
     let text = render_simulation_text(&schedule, &report, &trace, opts.trace_window);
     let svg = trace.to_svg(Time::ZERO, Time::new(window));
     Ok((text, svg))
+}
+
+/// Output dialect of the `trace` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome / Perfetto `trace_events` JSON (load in `chrome://tracing`).
+    Chrome,
+    /// ASCII Gantt chart of the first `window` ticks.
+    Gantt,
+    /// One CSV row per execution slice.
+    Csv,
+}
+
+/// Parses a `--format` keyword for the `trace` subcommand.
+///
+/// # Errors
+///
+/// Usage error for unknown keywords.
+pub fn parse_trace_format(name: &str) -> Result<TraceFormat, CliError> {
+    match name {
+        "chrome" => Ok(TraceFormat::Chrome),
+        "gantt" => Ok(TraceFormat::Gantt),
+        "csv" => Ok(TraceFormat::Csv),
+        other => Err(CliError::Usage(format!(
+            "unknown trace format {other:?} (expected chrome|gantt|csv)"
+        ))),
+    }
+}
+
+/// `fedsched trace`: admits with FEDCONS, replays one watched simulation
+/// run, and exports the execution trace in the requested dialect.
+///
+/// Chrome output also carries the anomaly watchdog's nonzero counters as
+/// instant events at the end of the horizon; Gantt output appends one
+/// `watchdog:` summary line; CSV is pure slice data.
+///
+/// # Errors
+///
+/// Same as [`simulate`], plus a usage error if `window` is zero for the
+/// Gantt format.
+pub fn trace_export(
+    json: &str,
+    opts: SimulateOptions,
+    format: TraceFormat,
+    window: u64,
+) -> Result<String, CliError> {
+    use core::fmt::Write as _;
+    let (_, report, trace, watchdog) = run_federated_simulation(json, opts)?;
+    match format {
+        TraceFormat::Chrome => {
+            let mut builder = ChromeTraceBuilder::new();
+            builder.push_execution_trace(&trace);
+            builder.push_watchdog(&watchdog, opts.horizon);
+            let mut out = builder.to_json();
+            out.push('\n');
+            Ok(out)
+        }
+        TraceFormat::Gantt => {
+            if window == 0 {
+                return Err(CliError::Usage(
+                    "gantt output needs --window <ticks>".into(),
+                ));
+            }
+            let mut out = trace.to_gantt(Time::ZERO, Time::new(window));
+            let _ = writeln!(out, "{report}");
+            let _ = writeln!(out, "watchdog: {watchdog}");
+            Ok(out)
+        }
+        TraceFormat::Csv => {
+            let mut out = String::from("processor,task,vertex,start,end\n");
+            for s in trace.segments() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    s.processor,
+                    s.task.index(),
+                    s.vertex.map(|v| v.to_string()).unwrap_or_default(),
+                    s.start.ticks(),
+                    s.end.ticks()
+                );
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// `fedsched import-stg`: converts a Standard Task Graph document into a
@@ -625,6 +713,9 @@ pub struct ServeOptions {
     pub addr: String,
     /// Worker-thread count.
     pub workers: usize,
+    /// Telemetry ring-buffer capacity in events (0 disables the event
+    /// stream; metrics and latency quantiles are always collected).
+    pub telemetry_events: usize,
 }
 
 impl Default for ServeOptions {
@@ -635,6 +726,7 @@ impl Default for ServeOptions {
             exact_partition: false,
             addr: "127.0.0.1:7878".to_owned(),
             workers: 4,
+            telemetry_events: 4096,
         }
     }
 }
@@ -660,6 +752,7 @@ pub fn start_server(opts: &ServeOptions) -> Result<fedsched_service::ServerHandl
                     PartitionConfig::approx()
                 },
             },
+            telemetry_events: opts.telemetry_events,
         },
     };
     Ok(fedsched_service::serve(&config)?)
@@ -674,6 +767,10 @@ pub enum ClientAction {
         json: String,
         /// Restrict to one task index of the system.
         task: Option<usize>,
+        /// Correlation trace id stamped on each request (echoed in the
+        /// response and on every analysis span server-side). Multi-task
+        /// admissions get consecutive ids starting here.
+        trace: Option<u64>,
     },
     /// Remove an admitted task by token.
     Remove {
@@ -687,6 +784,8 @@ pub enum ClientAction {
     },
     /// Fetch server counters.
     Stats,
+    /// Fetch server counters in Prometheus text exposition format.
+    StatsPrometheus,
     /// Stop the server.
     Shutdown,
 }
@@ -713,12 +812,21 @@ fn render_response(response: &fedsched_service::Response) -> String {
             token,
             placement,
             cache_hit,
+            trace_id,
         } => format!(
-            "admitted token={token} on {}{}",
+            "admitted token={token} on {}{}{}",
             render_placement(placement),
-            if *cache_hit { " (cached sizing)" } else { "" }
+            if *cache_hit { " (cached sizing)" } else { "" },
+            trace_id
+                .map(|t| format!(" [trace:{t}]"))
+                .unwrap_or_default()
         ),
-        Response::Rejected { reason } => format!("rejected: {reason}"),
+        Response::Rejected { reason, trace_id } => format!(
+            "rejected: {reason}{}",
+            trace_id
+                .map(|t| format!(" [trace:{t}]"))
+                .unwrap_or_default()
+        ),
         Response::Removed { token, migrated } => {
             format!("removed token={token} ({migrated} tasks migrated)")
         }
@@ -726,29 +834,39 @@ fn render_response(response: &fedsched_service::Response) -> String {
             format!("token={token} on {}", render_placement(placement))
         }
         Response::NotFound { token } => format!("token={token} not found"),
-        Response::Stats { snapshot } => format!(
-            "platform: {} processors ({} dedicated, {} shared), {} resident tasks\n\
-             admitted: {} high / {} low; rejected: {} high / {} low\n\
-             removed: {} ({} replay anomalies)\n\
-             template cache: {} hits / {} misses ({} shapes)\n\
-             admit decisions sampled: {}\n\
-             analysis cost: {}",
-            snapshot.processors,
-            snapshot.dedicated_processors,
-            snapshot.shared_processors,
-            snapshot.resident_tasks,
-            snapshot.admitted_high,
-            snapshot.admitted_low,
-            snapshot.rejected_high,
-            snapshot.rejected_low,
-            snapshot.removed,
-            snapshot.remove_anomalies,
-            snapshot.cache_hits,
-            snapshot.cache_misses,
-            snapshot.cache_entries,
-            snapshot.latency_buckets_us.iter().sum::<u64>(),
-            snapshot.probe,
-        ),
+        Response::Stats { snapshot } => {
+            let quantile = |q: Option<u64>| match q {
+                Some(v) => format!("≤{v}µs"),
+                None => "n/a".to_owned(),
+            };
+            format!(
+                "platform: {} processors ({} dedicated, {} shared), {} resident tasks\n\
+                 admitted: {} high / {} low; rejected: {} high / {} low\n\
+                 removed: {} ({} replay anomalies)\n\
+                 template cache: {} hits / {} misses ({} shapes)\n\
+                 admit decisions sampled: {} (p50 {}, p90 {}, p99 {})\n\
+                 analysis cost: {}",
+                snapshot.processors,
+                snapshot.dedicated_processors,
+                snapshot.shared_processors,
+                snapshot.resident_tasks,
+                snapshot.admitted_high,
+                snapshot.admitted_low,
+                snapshot.rejected_high,
+                snapshot.rejected_low,
+                snapshot.removed,
+                snapshot.remove_anomalies,
+                snapshot.cache_hits,
+                snapshot.cache_misses,
+                snapshot.cache_entries,
+                snapshot.latency_buckets_us.iter().sum::<u64>(),
+                quantile(snapshot.latency_p50_us),
+                quantile(snapshot.latency_p90_us),
+                quantile(snapshot.latency_p99_us),
+                snapshot.probe,
+            )
+        }
+        Response::Metrics { text } => text.clone(),
         Response::ShuttingDown => "server shutting down".to_owned(),
         Response::Error { message } => format!("server error: {message}"),
     }
@@ -764,7 +882,7 @@ pub fn client_command(addr: &str, action: &ClientAction) -> Result<String, CliEr
     use core::fmt::Write as _;
     // Validate admit input before dialing the server.
     let admit_tasks: Option<Vec<fedsched_dag::task::DagTask>> = match action {
-        ClientAction::Admit { json, task } => {
+        ClientAction::Admit { json, task, .. } => {
             let system = parse_system(json)?;
             Some(match task {
                 Some(i) => vec![system
@@ -785,9 +903,12 @@ pub fn client_command(addr: &str, action: &ClientAction) -> Result<String, CliEr
     let mut client = fedsched_service::Client::connect(addr)?;
     let mut out = String::new();
     match action {
-        ClientAction::Admit { .. } => {
-            for t in admit_tasks.unwrap_or_default() {
-                let response = client.admit(&t)?;
+        ClientAction::Admit { trace, .. } => {
+            for (k, t) in admit_tasks.unwrap_or_default().iter().enumerate() {
+                let response = match trace {
+                    Some(base) => client.admit_traced(t, base + k as u64)?,
+                    None => client.admit(t)?,
+                };
                 let _ = writeln!(out, "{}", render_response(&response));
             }
         }
@@ -799,6 +920,10 @@ pub fn client_command(addr: &str, action: &ClientAction) -> Result<String, CliEr
         }
         ClientAction::Stats => {
             let _ = writeln!(out, "{}", render_response(&client.stats()?));
+        }
+        ClientAction::StatsPrometheus => {
+            // Exposition text already ends in a newline; print verbatim.
+            out.push_str(&render_response(&client.stats_prometheus()?));
         }
         ClientAction::Shutdown => {
             let _ = writeln!(out, "{}", render_response(&client.shutdown()?));
@@ -823,13 +948,19 @@ USAGE:
   fedsched simulate <system.json> -m M [--policy list|cpf|lwf] [--horizon H]
                     [--sporadic F] [--exec-min F] [--seed S] [--trace N]
                     [--svg out.svg]
+  fedsched trace    <system.json> -m M --format chrome|gantt|csv
+                    [--policy list|cpf|lwf] [--horizon H] [--sporadic F]
+                    [--exec-min F] [--seed S] [--window N] [--out FILE]
+                    # watched run: chrome://tracing JSON, ASCII Gantt, or CSV
   fedsched import-stg <graph.stg> --deadline D --period T   # STG -> system JSON
   fedsched dot      <system.json> [--task K]           # Graphviz to stdout
   fedsched serve    -m M [--policy list|cpf|lwf] [--exact-partition]
-                    [--addr HOST:PORT] [--workers N]   # admission server
-  fedsched client   admit <system.json> [--task K] [--addr HOST:PORT]
+                    [--addr HOST:PORT] [--workers N] [--telemetry N]
+                    # admission server; GET /metrics on the same port
+  fedsched client   admit <system.json> [--task K] [--trace-id T] [--addr HOST:PORT]
   fedsched client   remove|query --token T [--addr HOST:PORT]
-  fedsched client   stats|shutdown [--addr HOST:PORT]
+  fedsched client   stats [--format prometheus] [--addr HOST:PORT]
+  fedsched client   shutdown [--addr HOST:PORT]
 
 Exit codes: 0 ok, 1 usage/io error, 2 not schedulable
 (`analyze --json` reports rejections in the JSON and exits 0).
@@ -1076,6 +1207,43 @@ mod tests {
     }
 
     #[test]
+    fn trace_export_emits_all_three_dialects() {
+        let json = sample_json();
+        let opts = SimulateOptions {
+            processors: 8,
+            horizon: 2_000,
+            ..SimulateOptions::default()
+        };
+        let chrome = trace_export(&json, opts, TraceFormat::Chrome, 0).unwrap();
+        let doc: fedsched_telemetry::chrome::ChromeTraceDocument =
+            serde_json::from_str(&chrome).unwrap();
+        assert!(!doc.traceEvents.is_empty());
+        assert!(doc.traceEvents.iter().all(|e| e.cat != "analysis"));
+
+        let gantt = trace_export(&json, opts, TraceFormat::Gantt, 80).unwrap();
+        assert!(gantt.contains("P0:"));
+        assert!(gantt.contains("watchdog: misses=0"));
+        assert!(matches!(
+            trace_export(&json, opts, TraceFormat::Gantt, 0),
+            Err(CliError::Usage(_))
+        ));
+
+        let csv = trace_export(&json, opts, TraceFormat::Csv, 0).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("processor,task,vertex,start,end"));
+        let row = lines.next().expect("at least one slice");
+        assert_eq!(row.split(',').count(), 5);
+    }
+
+    #[test]
+    fn trace_format_parsing() {
+        assert_eq!(parse_trace_format("chrome").unwrap(), TraceFormat::Chrome);
+        assert_eq!(parse_trace_format("gantt").unwrap(), TraceFormat::Gantt);
+        assert_eq!(parse_trace_format("csv").unwrap(), TraceFormat::Csv);
+        assert!(parse_trace_format("perfetto").is_err());
+    }
+
+    #[test]
     fn analyze_to_json_roundtrips() {
         use fedsched_core::fedcons::FederatedSchedule;
         let out = analyze_to_json(&sample_json(), &AnalyzeOptions::default()).unwrap();
@@ -1117,16 +1285,23 @@ mod tests {
             &ClientAction::Admit {
                 json: sample_json(),
                 task: None,
+                trace: Some(100),
             },
         )
         .unwrap();
         assert_eq!(admit.lines().count(), 8, "one line per admitted task");
         assert!(admit.contains("admitted token=0"));
+        assert!(admit.contains("[trace:100]"), "trace id echoed: {admit}");
+        assert!(admit.contains("[trace:107]"), "consecutive ids: {admit}");
         let query = client_command(&addr, &ClientAction::Query { token: 0 }).unwrap();
         assert!(query.contains("token=0 on "));
         let stats = client_command(&addr, &ClientAction::Stats).unwrap();
         assert!(stats.contains("platform: 8 processors"));
         assert!(stats.contains("analysis cost: ls_runs="));
+        assert!(stats.contains("p50 ≤"), "quantiles rendered: {stats}");
+        let prom = client_command(&addr, &ClientAction::StatsPrometheus).unwrap();
+        fedsched_telemetry::prometheus::validate_exposition(&prom).expect("valid exposition");
+        assert!(prom.contains("fedsched_admitted_total"));
         let removed = client_command(&addr, &ClientAction::Remove { token: 0 }).unwrap();
         assert!(removed.contains("removed token=0"));
         let missing = client_command(&addr, &ClientAction::Remove { token: 0 }).unwrap();
@@ -1145,6 +1320,7 @@ mod tests {
             &ClientAction::Admit {
                 json: sample_json(),
                 task: Some(99),
+                trace: None,
             },
         )
         .unwrap_err();

@@ -6,8 +6,8 @@ use std::process::ExitCode;
 
 use fedsched_cli::{
     analyze, analyze_to_json, client_command, dot, generate, import_stg, info, parse_priority,
-    simulate, simulate_with_svg, start_server, AnalyzeOptions, CliError, ClientAction,
-    GenerateOptions, ServeOptions, SimulateOptions, USAGE,
+    parse_trace_format, simulate, simulate_with_svg, start_server, trace_export, AnalyzeOptions,
+    CliError, ClientAction, GenerateOptions, ServeOptions, SimulateOptions, USAGE,
 };
 
 fn run() -> Result<String, CliError> {
@@ -45,6 +45,11 @@ fn run() -> Result<String, CliError> {
                 | "--addr"
                 | "--workers"
                 | "--token"
+                | "--telemetry"
+                | "--trace-id"
+                | "--format"
+                | "--window"
+                | "--out"
         )
     };
     while i < rest.len() {
@@ -95,10 +100,28 @@ fn run() -> Result<String, CliError> {
             "--trace",
             "--svg",
         ],
+        "trace" => &[
+            "-m",
+            "--policy",
+            "--horizon",
+            "--sporadic",
+            "--exec-min",
+            "--seed",
+            "--format",
+            "--window",
+            "--out",
+        ],
         "dot" => &["--task"],
         "import-stg" => &["--deadline", "--period"],
-        "serve" => &["-m", "--policy", "--exact-partition", "--addr", "--workers"],
-        "client" => &["--addr", "--token", "--task"],
+        "serve" => &[
+            "-m",
+            "--policy",
+            "--exact-partition",
+            "--addr",
+            "--workers",
+            "--telemetry",
+        ],
+        "client" => &["--addr", "--token", "--task", "--trace-id", "--format"],
         _ => &[],
     };
     if let Some((bad, _)) = flags.iter().find(|(f, _)| !known.contains(f)) {
@@ -208,6 +231,48 @@ fn run() -> Result<String, CliError> {
                 None => simulate(&input, opts),
             }
         }
+        "trace" => {
+            let mut opts = SimulateOptions::default();
+            match flag("-m") {
+                Some(Some(v)) => opts.processors = parse_num("-m", v)? as u32,
+                _ => return Err(CliError::Usage("trace requires -m <processors>".into())),
+            }
+            if let Some(Some(v)) = flag("--policy") {
+                opts.policy = parse_priority(v)?;
+            }
+            if let Some(Some(v)) = flag("--horizon") {
+                opts.horizon = parse_num("--horizon", v)? as u64;
+            }
+            if let Some(Some(v)) = flag("--sporadic") {
+                opts.sporadic_slack = parse_num("--sporadic", v)?;
+            }
+            if let Some(Some(v)) = flag("--exec-min") {
+                opts.exec_min_fraction = parse_num("--exec-min", v)?;
+            }
+            if let Some(Some(v)) = flag("--seed") {
+                opts.seed = parse_num("--seed", v)? as u64;
+            }
+            let format = match flag("--format") {
+                Some(Some(v)) => parse_trace_format(v)?,
+                _ => {
+                    return Err(CliError::Usage(
+                        "trace requires --format chrome|gantt|csv".into(),
+                    ))
+                }
+            };
+            let window = match flag("--window") {
+                Some(Some(v)) => parse_num("--window", v)? as u64,
+                _ => 200,
+            };
+            let out = trace_export(&read_input(&positional)?, opts, format, window)?;
+            match flag("--out").flatten() {
+                Some(path) => {
+                    fs::write(path, &out)?;
+                    Ok(format!("wrote {path}\n"))
+                }
+                None => Ok(out),
+            }
+        }
         "import-stg" => {
             let deadline = match flag("--deadline") {
                 Some(Some(v)) => parse_num("--deadline", v)? as u64,
@@ -242,6 +307,9 @@ fn run() -> Result<String, CliError> {
             if let Some(Some(v)) = flag("--workers") {
                 opts.workers = parse_num("--workers", v)? as usize;
             }
+            if let Some(Some(v)) = flag("--telemetry") {
+                opts.telemetry_events = parse_num("--telemetry", v)? as usize;
+            }
             let handle = start_server(&opts)?;
             eprintln!(
                 "fedsched admission server on {} ({} workers, m = {})",
@@ -273,10 +341,22 @@ fn run() -> Result<String, CliError> {
                         Some(Some(v)) => Some(parse_num("--task", v)? as usize),
                         _ => None,
                     },
+                    trace: match flag("--trace-id") {
+                        Some(Some(v)) => Some(parse_num("--trace-id", v)? as u64),
+                        _ => None,
+                    },
                 },
                 "remove" => ClientAction::Remove { token: token()? },
                 "query" => ClientAction::Query { token: token()? },
-                "stats" => ClientAction::Stats,
+                "stats" => match flag("--format").flatten() {
+                    Some("prometheus") => ClientAction::StatsPrometheus,
+                    Some(other) => {
+                        return Err(CliError::Usage(format!(
+                            "unknown stats format {other:?} (expected prometheus)"
+                        )))
+                    }
+                    None => ClientAction::Stats,
+                },
                 "shutdown" => ClientAction::Shutdown,
                 other => {
                     return Err(CliError::Usage(format!(

@@ -162,9 +162,9 @@ pub fn li_federated_probed(
                 remaining,
             });
         }
-        probe.ls_runs += 1;
+        probe.ls_runs = probe.ls_runs.saturating_add(1);
         let template = list_schedule_with(task.dag(), needed, PriorityPolicy::ListOrder);
-        probe.makespan_evaluations += 1;
+        probe.makespan_evaluations = probe.makespan_evaluations.saturating_add(1);
         debug_assert!(
             template.makespan() <= task.deadline(),
             "Graham bound guarantees the Li cluster size"
@@ -194,7 +194,7 @@ pub fn li_federated_probed(
     let mut budgets: Vec<Rational> = vec![Rational::ONE; remaining as usize];
     for id in low {
         let u = system.task(id).utilization();
-        probe.fits_calls += 1;
+        probe.fits_calls = probe.fits_calls.saturating_add(1);
         match budgets.iter().position(|b| *b >= u) {
             Some(k) => {
                 budgets[k] = budgets[k] - u;

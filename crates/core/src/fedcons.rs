@@ -303,7 +303,7 @@ pub fn fedcons_probed(
                 remaining -= r.processors;
             }
             None => {
-                probe.sizing_nanos += elapsed_nanos(phase1);
+                probe.sizing_nanos = probe.sizing_nanos.saturating_add(elapsed_nanos(phase1));
                 return Err(FedConsFailure::HighDensityTask {
                     task: id,
                     remaining,
@@ -311,7 +311,7 @@ pub fn fedcons_probed(
             }
         }
     }
-    probe.sizing_nanos += elapsed_nanos(phase1);
+    probe.sizing_nanos = probe.sizing_nanos.saturating_add(elapsed_nanos(phase1));
 
     // Phase 2: partition the low-density tasks on the remaining processors.
     let phase2 = Instant::now();
@@ -321,7 +321,7 @@ pub fn fedcons_probed(
         .map(|&id| (id, SequentialView::of(system.task(id))))
         .collect();
     let partition = partition_first_fit_probed(&views, remaining as usize, config.partition, probe);
-    probe.partition_nanos += elapsed_nanos(phase2);
+    probe.partition_nanos = probe.partition_nanos.saturating_add(elapsed_nanos(phase2));
     let partition = partition?;
 
     Ok(FederatedSchedule {

@@ -65,9 +65,9 @@ pub fn min_procs_probed(
     }
     let start = task.min_processors_lower_bound().max(1);
     for mu in start..=available {
-        probe.ls_runs += 1;
+        probe.ls_runs = probe.ls_runs.saturating_add(1);
         let template = list_schedule_with(task.dag(), mu, policy);
-        probe.makespan_evaluations += 1;
+        probe.makespan_evaluations = probe.makespan_evaluations.saturating_add(1);
         if template.makespan() <= task.deadline() {
             return Some(MinProcsResult {
                 processors: mu,

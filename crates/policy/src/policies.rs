@@ -48,7 +48,9 @@ pub trait SchedulingPolicy: fmt::Debug + Send + Sync {
 fn timed<T>(probe: &mut AnalysisProbe, f: impl FnOnce(&mut AnalysisProbe) -> T) -> T {
     let start = Instant::now();
     let out = f(probe);
-    probe.wall_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    probe.wall_nanos = probe
+        .wall_nanos
+        .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     out
 }
 

@@ -69,11 +69,11 @@ impl TemplateCache {
         let key = canonical_key(task, policy);
         if let Some(entry) = self.map.get(&key) {
             self.hits += 1;
-            probe.cache_hits += 1;
+            probe.cache_hits = probe.cache_hits.saturating_add(1);
             return (entry.clone(), true);
         }
         self.misses += 1;
-        probe.cache_misses += 1;
+        probe.cache_misses = probe.cache_misses.saturating_add(1);
         let computed = intrinsic_min_procs_probed(task, policy, probe).map(|r| CachedSizing {
             processors: r.processors,
             template: Arc::new(r.template),

@@ -50,7 +50,23 @@ impl Client {
     ///
     /// See [`Self::call`].
     pub fn admit(&mut self, task: &DagTask) -> io::Result<Response> {
-        self.call(&Request::Admit { task: task.clone() })
+        self.call(&Request::Admit {
+            task: task.clone(),
+            trace_id: None,
+        })
+    }
+
+    /// Requests admission of `task` with a correlation token the server
+    /// echoes back and stamps on the admission's telemetry spans.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn admit_traced(&mut self, task: &DagTask, trace_id: u64) -> io::Result<Response> {
+        self.call(&Request::Admit {
+            task: task.clone(),
+            trace_id: Some(trace_id),
+        })
     }
 
     /// Requests removal of the task behind `token`.
@@ -78,6 +94,16 @@ impl Client {
     /// See [`Self::call`].
     pub fn stats(&mut self) -> io::Result<Response> {
         self.call(&Request::Stats)
+    }
+
+    /// Fetches the server's counters in the Prometheus text exposition
+    /// format.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn stats_prometheus(&mut self) -> io::Result<Response> {
+        self.call(&Request::StatsPrometheus)
     }
 
     /// Asks the server to shut down.

@@ -65,4 +65,4 @@ pub use client::Client;
 pub use protocol::{Placement, Request, Response};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use state::{AdmissionConfig, AdmissionState, Admitted, RejectReason, Removed, UnknownToken};
-pub use stats::{LatencyHistogram, Stats, StatsSnapshot};
+pub use stats::{render_prometheus, LatencyHistogram, Stats, StatsSnapshot};

@@ -21,6 +21,11 @@ pub enum Request {
     Admit {
         /// The task to admit.
         task: DagTask,
+        /// Optional client-minted correlation token. The server echoes it
+        /// in the response and stamps it on every telemetry span the
+        /// admission produces, so one request can be followed across the
+        /// protocol, the analysis phases, and an exported trace.
+        trace_id: Option<u64>,
     },
     /// Remove a previously admitted task by its token.
     Remove {
@@ -34,6 +39,9 @@ pub enum Request {
     },
     /// Fetch the server's counters.
     Stats,
+    /// Fetch the server's counters rendered in the Prometheus text
+    /// exposition format; answered with `Metrics`.
+    StatsPrometheus,
     /// Stop the server; answered with `ShuttingDown`, after which no
     /// further connections are accepted.
     Shutdown,
@@ -60,6 +68,10 @@ pub enum Placement {
 }
 
 /// The server's answer to one [`Request`].
+// `Stats` dominates the enum size, but responses are built once per request
+// and serialized immediately — never stored in bulk — so boxing the snapshot
+// would buy nothing and cost an allocation on the hot stats path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// The task was admitted.
@@ -70,11 +82,15 @@ pub enum Response {
         placement: Placement,
         /// Whether the sizing came out of the template cache.
         cache_hit: bool,
+        /// The request's `trace_id`, echoed back verbatim.
+        trace_id: Option<u64>,
     },
     /// The task was rejected; the state is unchanged.
     Rejected {
         /// Human-readable rejection reason.
         reason: String,
+        /// The request's `trace_id`, echoed back verbatim.
+        trace_id: Option<u64>,
     },
     /// The task was removed.
     Removed {
@@ -100,6 +116,12 @@ pub enum Response {
     Stats {
         /// Counters at the time the request was handled.
         snapshot: StatsSnapshot,
+    },
+    /// Answer to `StatsPrometheus`: the counters in the Prometheus text
+    /// exposition format (the same body `GET /metrics` serves over HTTP).
+    Metrics {
+        /// The exposition text, `# HELP`/`# TYPE` comments included.
+        text: String,
     },
     /// Acknowledgement of `Shutdown`.
     ShuttingDown,
@@ -161,10 +183,18 @@ mod tests {
     fn requests_roundtrip_over_a_line_stream() {
         let mut buf = Vec::new();
         let requests = [
-            Request::Admit { task: task() },
+            Request::Admit {
+                task: task(),
+                trace_id: None,
+            },
+            Request::Admit {
+                task: task(),
+                trace_id: Some(99),
+            },
             Request::Remove { token: 3 },
             Request::Query { token: 3 },
             Request::Stats,
+            Request::StatsPrometheus,
             Request::Shutdown,
         ];
         for r in &requests {
@@ -181,18 +211,32 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         let mut buf = Vec::new();
-        let resp = Response::Admitted {
-            token: 7,
-            placement: Placement::Dedicated {
-                first_processor: 2,
-                processors: 3,
+        let responses = [
+            Response::Admitted {
+                token: 7,
+                placement: Placement::Dedicated {
+                    first_processor: 2,
+                    processors: 3,
+                },
+                cache_hit: true,
+                trace_id: Some(99),
             },
-            cache_hit: true,
-        };
-        write_message(&mut buf, &resp).unwrap();
+            Response::Rejected {
+                reason: "no".into(),
+                trace_id: None,
+            },
+            Response::Metrics {
+                text: "# HELP x y\nx 1\n".into(),
+            },
+        ];
+        for resp in &responses {
+            write_message(&mut buf, resp).unwrap();
+        }
         let mut reader = io::BufReader::new(&buf[..]);
-        let got: Response = read_message(&mut reader).unwrap().unwrap();
-        assert_eq!(got, resp);
+        for resp in &responses {
+            let got: Response = read_message(&mut reader).unwrap().unwrap();
+            assert_eq!(&got, resp);
+        }
     }
 
     #[test]

@@ -16,14 +16,15 @@
 //! per worker. Workers re-check the flag after each accept, so the wake-up
 //! connections are dropped unserved.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-use crate::protocol::{read_message, write_message, Request, Response};
+use crate::protocol::{write_message, Request, Response};
 use crate::state::{AdmissionConfig, AdmissionState};
+use crate::stats::render_prometheus;
 
 /// Configuration of [`serve`].
 #[derive(Debug, Clone)]
@@ -146,6 +147,12 @@ fn worker_loop(
 
 /// Serves one connection to completion. Returns whether this connection
 /// requested shutdown.
+///
+/// The connection normally carries newline-delimited JSON requests, but a
+/// first line reading `GET /metrics` (the opening of a plain HTTP/1.x
+/// request, as a Prometheus scraper sends it) is answered with one HTTP
+/// response carrying the text exposition, after which the connection
+/// closes — scrapers can point at the admission port directly.
 fn serve_connection(
     stream: TcpStream,
     state: &Mutex<AdmissionState>,
@@ -154,10 +161,22 @@ fn serve_connection(
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let mut line = String::new();
     loop {
-        match read_message::<Request, _>(&mut reader) {
-            Ok(None) => return Ok(false),
-            Ok(Some(request)) => {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(false);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "GET /metrics" || trimmed.starts_with("GET /metrics ") {
+            serve_metrics_http(&mut writer, state)?;
+            return Ok(false);
+        }
+        match serde_json::from_str::<Request>(trimmed) {
+            Ok(request) => {
                 let stop = matches!(request, Request::Shutdown);
                 if stop {
                     shutdown.store(true, Ordering::Release);
@@ -168,7 +187,7 @@ fn serve_connection(
                     return Ok(true);
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            Err(e) => {
                 // Malformed request: report and drop the connection — the
                 // line framing gives no reliable resynchronization point.
                 let _ = write_message(
@@ -179,22 +198,36 @@ fn serve_connection(
                 );
                 return Ok(false);
             }
-            Err(e) => return Err(e),
         }
     }
+}
+
+/// Answers a `GET /metrics` scrape with one minimal HTTP response and the
+/// Prometheus exposition body.
+fn serve_metrics_http<W: Write>(writer: &mut W, state: &Mutex<AdmissionState>) -> io::Result<()> {
+    let body = render_prometheus(&lock(state).snapshot());
+    write!(
+        writer,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    writer.flush()
 }
 
 /// Maps one request to its response against the shared state.
 fn dispatch(request: Request, state: &Mutex<AdmissionState>) -> Response {
     match request {
-        Request::Admit { task } => match lock(state).admit(task) {
+        Request::Admit { task, trace_id } => match lock(state).admit_traced(task, trace_id) {
             Ok(admitted) => Response::Admitted {
                 token: admitted.token,
                 placement: admitted.placement,
                 cache_hit: admitted.cache_hit,
+                trace_id,
             },
             Err(reason) => Response::Rejected {
                 reason: reason.to_string(),
+                trace_id,
             },
         },
         Request::Remove { token } => match lock(state).remove(token) {
@@ -210,6 +243,9 @@ fn dispatch(request: Request, state: &Mutex<AdmissionState>) -> Response {
         },
         Request::Stats => Response::Stats {
             snapshot: lock(state).snapshot(),
+        },
+        Request::StatsPrometheus => Response::Metrics {
+            text: render_prometheus(&lock(state).snapshot()),
         },
         Request::Shutdown => Response::ShuttingDown,
     }

@@ -38,6 +38,7 @@ use fedsched_analysis::incremental::SharedPool;
 use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_core::fedcons::FedConsConfig;
 use fedsched_dag::task::{DagTask, TaskClass};
+use fedsched_telemetry::{CounterKind, EventSink, SpanPhase, TelemetryEvent, TraceId};
 
 use crate::cache::{CachedSizing, TemplateCache};
 use crate::protocol::Placement;
@@ -50,16 +51,29 @@ pub struct AdmissionConfig {
     pub processors: u32,
     /// The FEDCONS knobs: LS priority policy and partition admission test.
     pub fedcons: FedConsConfig,
+    /// Capacity of the telemetry ring buffer retaining the most recent
+    /// spans and counters; `0` (the default) disables telemetry entirely —
+    /// the no-op sink reduces every record call to a single branch.
+    pub telemetry_events: usize,
 }
 
 impl AdmissionConfig {
-    /// Default FEDCONS configuration on `processors` processors.
+    /// Default FEDCONS configuration on `processors` processors, telemetry
+    /// disabled.
     #[must_use]
     pub fn new(processors: u32) -> AdmissionConfig {
         AdmissionConfig {
             processors,
             fedcons: FedConsConfig::default(),
+            telemetry_events: 0,
         }
+    }
+
+    /// Enables event telemetry with a ring buffer of `capacity` events.
+    #[must_use]
+    pub fn with_telemetry(mut self, capacity: usize) -> AdmissionConfig {
+        self.telemetry_events = capacity;
+        self
     }
 }
 
@@ -194,6 +208,8 @@ pub struct AdmissionState {
     stats: Stats,
     /// Cumulative analysis cost of every operation since start.
     probe: AnalysisProbe,
+    /// Where per-operation telemetry spans and counters go.
+    sink: EventSink,
 }
 
 impl AdmissionState {
@@ -209,6 +225,7 @@ impl AdmissionState {
             cache: TemplateCache::new(),
             stats: Stats::default(),
             probe: AnalysisProbe::default(),
+            sink: EventSink::ring(config.telemetry_events),
         }
     }
 
@@ -262,6 +279,19 @@ impl AdmissionState {
         &self.probe
     }
 
+    /// The retained telemetry events, oldest first (empty when the
+    /// configured `telemetry_events` capacity is zero).
+    #[must_use]
+    pub fn telemetry_events(&self) -> Vec<TelemetryEvent> {
+        self.sink.events()
+    }
+
+    /// Telemetry events lost to ring-buffer eviction.
+    #[must_use]
+    pub fn telemetry_dropped(&self) -> u64 {
+        self.sink.dropped()
+    }
+
     /// A serializable snapshot of all counters plus platform occupancy.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -280,6 +310,9 @@ impl AdmissionState {
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.len() as u64,
             latency_buckets_us: self.stats.latency.buckets().to_vec(),
+            latency_p50_us: self.stats.latency.quantile(0.5),
+            latency_p90_us: self.stats.latency.quantile(0.9),
+            latency_p99_us: self.stats.latency.quantile(0.99),
             probe: self.probe,
         }
     }
@@ -291,38 +324,99 @@ impl AdmissionState {
     ///
     /// The [`RejectReason`]; the state is unchanged on rejection.
     pub fn admit(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+        self.admit_traced(task, None)
+    }
+
+    /// [`Self::admit`] with a client-supplied correlation token: every
+    /// telemetry span and counter the admission produces is stamped with
+    /// `trace_id`, so one protocol request can be followed through the
+    /// analysis phases in an exported trace.
+    ///
+    /// # Errors
+    ///
+    /// The [`RejectReason`]; the state is unchanged on rejection.
+    pub fn admit_traced(
+        &mut self,
+        task: DagTask,
+        trace_id: Option<u64>,
+    ) -> Result<Admitted, RejectReason> {
+        let trace = trace_id.map(TraceId);
         let start = Instant::now();
+        let span = self.sink.start_span();
         let high = task.is_high_density();
-        let result = self.admit_inner(task);
+        let result = self.admit_inner(task, trace);
         match &result {
             Ok(_) if high => self.stats.admitted_high += 1,
             Ok(_) => self.stats.admitted_low += 1,
             Err(_) if high => self.stats.rejected_high += 1,
             Err(_) => self.stats.rejected_low += 1,
         }
+        self.sink.end_span(span, trace, SpanPhase::Admission);
+        self.sink.count(
+            trace,
+            if result.is_ok() {
+                CounterKind::AdmissionAccepted
+            } else {
+                CounterKind::AdmissionRejected
+            },
+        );
         let elapsed = start.elapsed();
         self.stats.latency.record(elapsed);
-        self.probe.wall_nanos += saturating_nanos(elapsed);
+        self.probe.wall_nanos = self
+            .probe
+            .wall_nanos
+            .saturating_add(saturating_nanos(elapsed));
         result
     }
 
-    fn admit_inner(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+    fn admit_inner(
+        &mut self,
+        task: DagTask,
+        trace: Option<TraceId>,
+    ) -> Result<Admitted, RejectReason> {
         // Route by the task-layer classification (the same one FEDCONS
         // uses) instead of re-deriving density thresholds here.
         match task.classify() {
             TaskClass::ArbitraryDeadline => Err(RejectReason::ArbitraryDeadline),
-            TaskClass::HighDensity => self.admit_high(task),
-            TaskClass::LowDensity => self.admit_low(task),
+            TaskClass::HighDensity => self.admit_high(task, trace),
+            TaskClass::LowDensity => self.admit_low(task, trace),
         }
     }
 
     /// Phase-1 admission (MINPROCS, Fig. 3) of a high-density task.
-    fn admit_high(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+    fn admit_high(
+        &mut self,
+        task: DagTask,
+        trace: Option<TraceId>,
+    ) -> Result<Admitted, RejectReason> {
         let phase = Instant::now();
+        let span = self.sink.start_span();
         let (sizing, cache_hit) =
             self.cache
                 .sizing_probed(&task, self.config.fedcons.policy, &mut self.probe);
-        self.probe.sizing_nanos += saturating_nanos(phase.elapsed());
+        // A cache hit means the interval was pure lookup; a miss means it
+        // ran the MINPROCS sizing — report the phase that actually happened.
+        self.sink.end_span(
+            span,
+            trace,
+            if cache_hit {
+                SpanPhase::CacheLookup
+            } else {
+                SpanPhase::Sizing
+            },
+        );
+        self.sink.count(
+            trace,
+            if cache_hit {
+                CounterKind::CacheHit
+            } else {
+                CounterKind::CacheMiss
+            },
+        );
+        self.probe.sizing_nanos = self
+            .probe
+            .sizing_nanos
+            .saturating_add(saturating_nanos(phase.elapsed()));
         let Some(sizing) = sizing else {
             return Err(RejectReason::ChainInfeasible);
         };
@@ -365,7 +459,11 @@ impl AdmissionState {
 
     /// Phase-2 admission (Baruah–Fisher first-fit, Fig. 4) of a low-density
     /// task, replaying placements from its deadline position onward.
-    fn admit_low(&mut self, task: DagTask) -> Result<Admitted, RejectReason> {
+    fn admit_low(
+        &mut self,
+        task: DagTask,
+        trace: Option<TraceId>,
+    ) -> Result<Admitted, RejectReason> {
         let view = SequentialView::of(&task);
         // Sorted insertion point: ties by token, and the candidate's token
         // will be larger than every resident one.
@@ -374,9 +472,14 @@ impl AdmissionState {
             .partition_point(|e| e.view.deadline <= view.deadline);
         let pool = self.shared_processors() as usize;
         let phase = Instant::now();
+        let span = self.sink.start_span();
         let (outcome, replay_probe) = self.replay_suffix(position, Some(view), pool);
+        self.sink.end_span(span, trace, SpanPhase::Partition);
         self.probe.merge(&replay_probe);
-        self.probe.partition_nanos += saturating_nanos(phase.elapsed());
+        self.probe.partition_nanos = self
+            .probe
+            .partition_nanos
+            .saturating_add(saturating_nanos(phase.elapsed()));
         match outcome {
             Some(placements) => {
                 let token = self.next_token;
@@ -439,6 +542,15 @@ impl AdmissionState {
     ///
     /// [`UnknownToken`] if no resident task carries `token`.
     pub fn remove(&mut self, token: u64) -> Result<Removed, UnknownToken> {
+        let span = self.sink.start_span();
+        let result = self.remove_inner(token);
+        if result.is_ok() {
+            self.sink.end_span(span, None, SpanPhase::Removal);
+        }
+        result
+    }
+
+    fn remove_inner(&mut self, token: u64) -> Result<Removed, UnknownToken> {
         if let Some(i) = self.clusters.iter().position(|c| c.token == token) {
             let cluster = self.clusters.remove(i);
             self.dedicated -= cluster.sizing.processors;
@@ -457,7 +569,10 @@ impl AdmissionState {
             let phase = Instant::now();
             let (outcome, replay_probe) = self.replay_suffix(i, None, pool);
             self.probe.merge(&replay_probe);
-            self.probe.partition_nanos += saturating_nanos(phase.elapsed());
+            self.probe.partition_nanos = self
+                .probe
+                .partition_nanos
+                .saturating_add(saturating_nanos(phase.elapsed()));
             match outcome {
                 Some(placements) => {
                     let mut migrated = 0;
@@ -697,5 +812,72 @@ mod tests {
         assert!(snap.probe.sizing_nanos > 0);
         assert!(snap.probe.partition_nanos > 0);
         assert!(snap.probe.wall_nanos >= snap.probe.partition_nanos);
+        // Quantiles cover the three recorded admissions.
+        assert!(snap.latency_p50_us.is_some());
+        assert!(snap.latency_p99_us >= snap.latency_p50_us);
+    }
+
+    #[test]
+    fn telemetry_stamps_spans_and_counters_with_the_trace_id() {
+        let mut s = AdmissionState::new(AdmissionConfig::new(4).with_telemetry(64));
+        let a = s.admit_traced(wide(6, 2, 10), Some(42)).unwrap();
+        s.admit_traced(light(1, 4, 8), Some(43)).unwrap();
+        s.remove(a.token).unwrap();
+        let events = s.telemetry_events();
+        let phases_for = |id: u64| -> Vec<SpanPhase> {
+            events
+                .iter()
+                .filter(|e| e.trace_id() == Some(TraceId(id)))
+                .filter_map(|e| match e {
+                    TelemetryEvent::Span { phase, .. } => Some(*phase),
+                    TelemetryEvent::Counter { .. } => None,
+                })
+                .collect()
+        };
+        // High-density admission on a cold cache: the sizing actually ran.
+        assert_eq!(
+            phases_for(42),
+            vec![SpanPhase::Sizing, SpanPhase::Admission]
+        );
+        // Low-density admission: partition replay inside the admission.
+        assert_eq!(
+            phases_for(43),
+            vec![SpanPhase::Partition, SpanPhase::Admission]
+        );
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::Counter {
+                kind: CounterKind::CacheMiss,
+                trace_id: Some(TraceId(42)),
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TelemetryEvent::Span {
+                phase: SpanPhase::Removal,
+                trace_id: None,
+                ..
+            }
+        )));
+        // Spans are well-formed on the shared monotonic clock.
+        for e in &events {
+            if let TelemetryEvent::Span {
+                start_nanos,
+                end_nanos,
+                ..
+            } = e
+            {
+                assert!(end_nanos >= start_nanos);
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default_records_nothing() {
+        let mut s = state(4);
+        s.admit_traced(wide(6, 2, 10), Some(1)).unwrap();
+        assert!(s.telemetry_events().is_empty());
+        assert_eq!(s.telemetry_dropped(), 0);
     }
 }

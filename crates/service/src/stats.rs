@@ -53,6 +53,41 @@ impl LatencyHistogram {
     pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
         &self.buckets
     }
+
+    /// An **upper bound** on the `q`-quantile latency, in microseconds.
+    ///
+    /// The histogram only knows which power-of-two bucket each observation
+    /// fell into, so the estimate is the *exclusive upper edge* `2^{i+1}`
+    /// of the bucket containing the `⌈q·total⌉`-th smallest observation —
+    /// the true quantile is guaranteed `<` the returned value (within a
+    /// factor of two of it), never above. The open-ended last bucket
+    /// reports [`u64::MAX`].
+    ///
+    /// Returns `None` for an empty histogram or `q` outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // ⌈q·total⌉ clamped to [1, total]: p0 is the smallest observation,
+        // p100 the largest.
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return Some(if i == LATENCY_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    2u64.pow(i as u32 + 1)
+                });
+            }
+        }
+        unreachable!("rank ≤ total implies some bucket reaches it")
+    }
 }
 
 /// Mutable operation counters kept by
@@ -111,10 +146,123 @@ pub struct StatsSnapshot {
     /// Admission-latency histogram; index `i` counts decisions that took
     /// `[2^i, 2^{i+1})` microseconds.
     pub latency_buckets_us: Vec<u64>,
+    /// Upper bound on the median admission latency, µs (see
+    /// [`LatencyHistogram::quantile`]); `None` before the first admission.
+    pub latency_p50_us: Option<u64>,
+    /// Upper bound on the 90th-percentile admission latency, µs.
+    pub latency_p90_us: Option<u64>,
+    /// Upper bound on the 99th-percentile admission latency, µs.
+    pub latency_p99_us: Option<u64>,
     /// Cumulative analysis cost of every operation since start: LS runs,
     /// demand-bound evaluations, first-fit probes, cache traffic, and
     /// per-phase wall time.
     pub probe: AnalysisProbe,
+}
+
+/// Renders a snapshot in the Prometheus text exposition format — the body
+/// behind both the `StatsPrometheus` protocol request and the server's
+/// `GET /metrics` line. Metric names are stable API, documented in
+/// `docs/OBSERVABILITY.md`.
+#[must_use]
+pub fn render_prometheus(snapshot: &StatsSnapshot) -> String {
+    let mut out = fedsched_telemetry::PromText::new();
+    let gauges: [(&str, &str, u64); 5] = [
+        (
+            "fedsched_processors",
+            "Platform size m the server was started with",
+            u64::from(snapshot.processors),
+        ),
+        (
+            "fedsched_dedicated_processors",
+            "Processors currently bound to dedicated clusters",
+            u64::from(snapshot.dedicated_processors),
+        ),
+        (
+            "fedsched_shared_processors",
+            "Processors currently in the shared EDF pool",
+            u64::from(snapshot.shared_processors),
+        ),
+        (
+            "fedsched_resident_tasks",
+            "Tasks currently resident",
+            snapshot.resident_tasks,
+        ),
+        (
+            "fedsched_cache_entries",
+            "Distinct DAG shapes in the template cache",
+            snapshot.cache_entries,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        out.header(name, help, "gauge");
+        out.sample(name, &[], value);
+    }
+
+    out.header(
+        "fedsched_admitted_total",
+        "Tasks admitted since start, by density class",
+        "counter",
+    );
+    out.sample(
+        "fedsched_admitted_total",
+        &[("density", "high")],
+        snapshot.admitted_high,
+    );
+    out.sample(
+        "fedsched_admitted_total",
+        &[("density", "low")],
+        snapshot.admitted_low,
+    );
+    out.header(
+        "fedsched_rejected_total",
+        "Tasks rejected since start, by density class",
+        "counter",
+    );
+    out.sample(
+        "fedsched_rejected_total",
+        &[("density", "high")],
+        snapshot.rejected_high,
+    );
+    out.sample(
+        "fedsched_rejected_total",
+        &[("density", "low")],
+        snapshot.rejected_low,
+    );
+    let counters: [(&str, &str, u64); 4] = [
+        (
+            "fedsched_removed_total",
+            "Tasks removed since start",
+            snapshot.removed,
+        ),
+        (
+            "fedsched_remove_anomalies_total",
+            "Removal replays that hit a first-fit anomaly",
+            snapshot.remove_anomalies,
+        ),
+        (
+            "fedsched_cache_hits_total",
+            "Template-cache hits since start",
+            snapshot.cache_hits,
+        ),
+        (
+            "fedsched_cache_misses_total",
+            "Template-cache misses since start",
+            snapshot.cache_misses,
+        ),
+    ];
+    for (name, help, value) in counters {
+        out.header(name, help, "counter");
+        out.sample(name, &[], value);
+    }
+
+    out.power_of_two_histogram(
+        "fedsched_admit_latency_us",
+        "Admission decision latency, microseconds",
+        &snapshot.latency_buckets_us,
+    );
+
+    fedsched_telemetry::render_probe("fedsched_analysis", &snapshot.probe, &mut out);
+    out.finish()
 }
 
 #[cfg(test)]
@@ -136,5 +284,70 @@ mod tests {
         assert_eq!(h.buckets()[10], 1);
         assert_eq!(h.buckets()[LATENCY_BUCKETS - 1], 1);
         assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 90 observations in bucket 0 ([1,2) µs), 9 in bucket 3
+        // ([8,16) µs), 1 in bucket 10 ([1024,2048) µs).
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(500));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_micros(9));
+        }
+        h.record(Duration::from_micros(1500));
+        assert_eq!(h.quantile(0.5), Some(2), "p50 in bucket 0 → upper edge 2");
+        assert_eq!(h.quantile(0.9), Some(2), "rank 90 still in bucket 0");
+        assert_eq!(h.quantile(0.99), Some(16), "rank 99 in bucket 3");
+        assert_eq!(h.quantile(1.0), Some(2048), "max in bucket 10");
+        assert_eq!(h.quantile(0.0), Some(2), "p0 is the smallest observation");
+        assert_eq!(h.quantile(1.5), None, "out-of-range q");
+    }
+
+    #[test]
+    fn quantile_saturates_in_the_open_ended_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(36_000));
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_valid_and_complete() {
+        let snapshot = StatsSnapshot {
+            processors: 8,
+            dedicated_processors: 3,
+            shared_processors: 5,
+            resident_tasks: 2,
+            admitted_high: 1,
+            admitted_low: 1,
+            rejected_high: 0,
+            rejected_low: 4,
+            removed: 0,
+            remove_anomalies: 0,
+            cache_hits: 1,
+            cache_misses: 1,
+            cache_entries: 1,
+            latency_buckets_us: vec![0; LATENCY_BUCKETS],
+            latency_p50_us: None,
+            latency_p90_us: None,
+            latency_p99_us: None,
+            probe: AnalysisProbe::default(),
+        };
+        let text = render_prometheus(&snapshot);
+        fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
+        assert!(text
+            .lines()
+            .any(|l| l == "fedsched_admitted_total{density=\"high\"} 1"));
+        assert!(text
+            .lines()
+            .any(|l| l == "fedsched_rejected_total{density=\"low\"} 4"));
+        assert!(text.lines().any(|l| l == "fedsched_processors 8"));
+        assert!(text
+            .lines()
+            .any(|l| l == "fedsched_admit_latency_us_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("fedsched_analysis_ls_runs_total"));
     }
 }

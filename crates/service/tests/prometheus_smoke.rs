@@ -1,0 +1,107 @@
+//! Smoke test for the metrics surface: start a real server, admit a task,
+//! and assert the Prometheus exposition parses — every non-comment line
+//! matches `name{labels} value` — over both transports (the
+//! `StatsPrometheus` protocol request and a raw HTTP `GET /metrics`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use fedsched_service::client::Client;
+use fedsched_service::protocol::Response;
+use fedsched_service::server::{serve, ServerConfig, ServerHandle};
+use fedsched_service::state::AdmissionConfig;
+
+fn start_server() -> ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        admission: AdmissionConfig::new(8).with_telemetry(256),
+    })
+    .expect("bind loopback")
+}
+
+fn task() -> DagTask {
+    DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8)).expect("valid task")
+}
+
+#[test]
+fn exposition_parses_after_an_admission() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let admitted = client.admit_traced(&task(), 7).expect("admit call");
+    let Response::Admitted { trace_id, .. } = admitted else {
+        panic!("admit answered {admitted:?}");
+    };
+    assert_eq!(trace_id, Some(7), "server echoes the trace id");
+
+    let Response::Metrics { text } = client.stats_prometheus().expect("stats call") else {
+        panic!("StatsPrometheus answered something else");
+    };
+    fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
+    assert!(
+        text.lines()
+            .any(|l| l == "fedsched_admitted_total{density=\"low\"} 1"),
+        "admission shows up in the counters:\n{text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("fedsched_admit_latency_us_count 1")),
+        "latency histogram counted the decision:\n{text}"
+    );
+
+    // The server state retained the admission's telemetry, stamped with
+    // the request's trace id.
+    {
+        let state = handle.state();
+        let state = state.lock().expect("state lock");
+        assert!(state
+            .telemetry_events()
+            .iter()
+            .any(|e| e.trace_id() == Some(fedsched_telemetry::TraceId(7))));
+    }
+
+    client.shutdown().expect("shutdown call");
+    handle.join();
+}
+
+#[test]
+fn raw_http_get_metrics_scrape_works() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    client.admit(&task()).expect("admit");
+
+    // Scrape exactly as a Prometheus server would: plain HTTP/1.1.
+    let mut scrape = TcpStream::connect(handle.local_addr()).expect("connect scrape");
+    scrape
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .expect("send request");
+    let mut reader = BufReader::new(scrape);
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    assert!(
+        status.starts_with("HTTP/1.0 200 OK"),
+        "unexpected status {status:?}"
+    );
+    let mut body = String::new();
+    let mut in_body = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read") == 0 {
+            break;
+        }
+        if in_body {
+            body.push_str(&line);
+        } else if line.trim_end().is_empty() {
+            in_body = true;
+        }
+    }
+    fedsched_telemetry::validate_exposition(&body).expect("scraped body parses");
+    assert!(body.contains("fedsched_processors 8"), "{body}");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

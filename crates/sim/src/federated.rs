@@ -20,7 +20,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::model::{MissRecord, SimConfig, SimReport};
 use crate::trace::{ExecutionTrace, TraceSegment};
-use crate::uniproc::{simulate_edf_uniprocessor_traced, SequentialJob};
+use crate::uniproc::{simulate_edf_uniprocessor_watched, SequentialJob};
+use crate::watchdog::WatchdogReport;
 
 /// How a dedicated cluster dispatches the jobs of a released dag-job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,7 +75,32 @@ pub fn simulate_federated_traced(
     dispatch: ClusterDispatch,
     policy: PriorityPolicy,
 ) -> (SimReport, ExecutionTrace) {
+    let (report, trace, _) = simulate_federated_watched(system, schedule, config, dispatch, policy);
+    (report, trace)
+}
+
+/// Like [`simulate_federated_traced`], additionally running the runtime
+/// anomaly watchdog: the returned [`WatchdogReport`] counts deadline
+/// misses, vertices whose observed on-line start diverged from the frozen
+/// template `σᵢ` offset (nonzero only under the unsafe
+/// [`ClusterDispatch::RerunListScheduling`] — the Graham-anomaly exposure
+/// of paper footnote 2), and instants at which a shared EDF processor was
+/// provably overloaded.
+///
+/// # Panics
+///
+/// Panics if `schedule` does not belong to `system` (task ids out of
+/// range).
+#[must_use]
+pub fn simulate_federated_watched(
+    system: &TaskSystem,
+    schedule: &FederatedSchedule,
+    config: SimConfig,
+    dispatch: ClusterDispatch,
+    policy: PriorityPolicy,
+) -> (SimReport, ExecutionTrace, WatchdogReport) {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut watchdog = WatchdogReport::default();
     let mut report = SimReport::default();
     let mut trace = ExecutionTrace::new(schedule.total_processors());
 
@@ -115,6 +141,13 @@ pub fn simulate_federated_traced(
                     let rerun =
                         list_schedule_ranked(task.dag(), cluster.processors, &ranks, &actual);
                     for (v, e) in rerun.entries().iter().enumerate() {
+                        // Watchdog: the on-line start deviated from the
+                        // frozen template offset σᵢ — Graham-anomaly
+                        // exposure, impossible under template dispatch.
+                        if e.start != cluster.template.entries()[v].start {
+                            watchdog.template_divergences =
+                                watchdog.template_divergences.saturating_add(1);
+                        }
                         trace.push(TraceSegment {
                             processor: cluster.first_processor + e.processor,
                             task: cluster.task,
@@ -165,14 +198,16 @@ pub fn simulate_federated_traced(
                 });
             }
         }
-        let (proc_report, segments) =
-            simulate_edf_uniprocessor_traced(&jobs, config.horizon, processor);
+        let (proc_report, segments, overloads) =
+            simulate_edf_uniprocessor_watched(&jobs, config.horizon, processor);
         report.absorb(proc_report);
+        watchdog.shared_overloads = watchdog.shared_overloads.saturating_add(overloads);
         for s in segments {
             trace.push(s);
         }
     }
-    (report, trace)
+    watchdog.deadline_misses = report.misses.len() as u64;
+    (report, trace, watchdog)
 }
 
 /// Convenience wrapper: random execution-time fractions are the interesting

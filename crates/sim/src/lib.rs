@@ -11,7 +11,10 @@
 //!   dedicated clusters + EDF on the shared pool, plus the deliberately
 //!   unsafe "re-run LS on-line" dispatcher used to demonstrate Graham's
 //!   anomaly (paper footnote 2);
-//! * [`global_edf`] — vertex-level global EDF, the comparison runtime.
+//! * [`global_edf`] — vertex-level global EDF, the comparison runtime;
+//! * [`watchdog`] — the runtime anomaly watchdog: deadline misses,
+//!   template divergence, and provable shared-EDF overload, tallied by the
+//!   `_watched` simulation entry points.
 //!
 //! # Examples
 //!
@@ -55,14 +58,17 @@ pub mod global_edf;
 pub mod model;
 pub mod trace;
 pub mod uniproc;
+pub mod watchdog;
 
 pub use federated::{
-    simulate_federated, simulate_federated_runs, simulate_federated_traced, ClusterDispatch,
+    simulate_federated, simulate_federated_runs, simulate_federated_traced,
+    simulate_federated_watched, ClusterDispatch,
 };
 pub use global_edf::simulate_global_edf;
 pub use model::{ArrivalModel, ExecutionModel, MissRecord, SimConfig, SimReport};
 pub use trace::{ExecutionTrace, TraceSegment};
 pub use uniproc::{
-    simulate_edf_uniprocessor, simulate_edf_uniprocessor_traced,
+    simulate_edf_uniprocessor, simulate_edf_uniprocessor_traced, simulate_edf_uniprocessor_watched,
     simulate_edf_uniprocessor_with_completions, SequentialJob,
 };
+pub use watchdog::WatchdogReport;

@@ -40,7 +40,7 @@ pub struct SequentialJob {
 /// as a miss rather than silently dropped.
 #[must_use]
 pub fn simulate_edf_uniprocessor(jobs: &[SequentialJob], horizon: Duration) -> SimReport {
-    run_edf(jobs, horizon, |_, _, _, _| {})
+    run_edf(jobs, horizon, |_, _, _, _| {}, None)
 }
 
 /// Like [`simulate_edf_uniprocessor`], additionally recording every
@@ -52,16 +52,52 @@ pub fn simulate_edf_uniprocessor_traced(
     processor: u32,
 ) -> (SimReport, Vec<TraceSegment>) {
     let mut segments = Vec::new();
-    let report = run_edf(jobs, horizon, |_, job, from, to| {
-        segments.push(TraceSegment {
-            processor,
-            task: job.task,
-            vertex: None,
-            start: from,
-            end: to,
-        });
-    });
+    let report = run_edf(
+        jobs,
+        horizon,
+        |_, job, from, to| {
+            segments.push(TraceSegment {
+                processor,
+                task: job.task,
+                vertex: None,
+                start: from,
+                end: to,
+            });
+        },
+        None,
+    );
     (report, segments)
+}
+
+/// Like [`simulate_edf_uniprocessor_traced`], additionally counting
+/// *overload instants*: events at which, right after admitting arrivals,
+/// some pending absolute deadline `d` had more remaining demand from jobs
+/// due at or before `d` than the `d − now` time left — a certificate that
+/// EDF (optimal on one processor) cannot meet `d`, detected the moment the
+/// overload materialises rather than when the miss occurs.
+#[must_use]
+pub fn simulate_edf_uniprocessor_watched(
+    jobs: &[SequentialJob],
+    horizon: Duration,
+    processor: u32,
+) -> (SimReport, Vec<TraceSegment>, u64) {
+    let mut segments = Vec::new();
+    let mut overloads = 0u64;
+    let report = run_edf(
+        jobs,
+        horizon,
+        |_, job, from, to| {
+            segments.push(TraceSegment {
+                processor,
+                task: job.task,
+                vertex: None,
+                start: from,
+                end: to,
+            });
+        },
+        Some(&mut overloads),
+    );
+    (report, segments, overloads)
 }
 
 /// Like [`simulate_edf_uniprocessor`], additionally returning the
@@ -78,18 +114,27 @@ pub fn simulate_edf_uniprocessor_with_completions(
 ) -> (SimReport, Vec<Option<Time>>) {
     let mut completions: Vec<Option<Time>> = vec![None; jobs.len()];
     // The end of a job's latest slice is its completion once the run ends.
-    let report = run_edf(jobs, horizon, |idx, _, _, to| {
-        completions[idx] = Some(to);
-    });
+    let report = run_edf(
+        jobs,
+        horizon,
+        |idx, _, _, to| {
+            completions[idx] = Some(to);
+        },
+        None,
+    );
     (report, completions)
 }
 
 /// The EDF engine, parameterised over a slice observer invoked for every
-/// contiguous run of a job.
+/// contiguous run of a job, and an optional overload counter bumped at
+/// every arrival-admission instant where pending demand provably exceeds
+/// the time left to some deadline (see
+/// [`simulate_edf_uniprocessor_watched`]).
 fn run_edf(
     jobs: &[SequentialJob],
     horizon: Duration,
     mut on_slice: impl FnMut(usize, &SequentialJob, Time, Time),
+    mut overloads: Option<&mut u64>,
 ) -> SimReport {
     // Arrival-ordered queue.
     let mut arrivals: Vec<(usize, &SequentialJob)> = jobs.iter().enumerate().collect();
@@ -128,10 +173,32 @@ fn run_edf(
 
     loop {
         // Admit everything that has arrived by `now`.
+        let mut admitted_any = false;
         while next_arrival < arrivals.len() && arrivals[next_arrival].1.release <= now {
             let (i, j) = arrivals[next_arrival];
             ready.push(Reverse((push_key(j, i), j.execution.ticks())));
             next_arrival += 1;
+            admitted_any = true;
+        }
+        if admitted_any {
+            if let Some(counter) = overloads.as_deref_mut() {
+                // Demand check over the pending set (every unfinished job
+                // sits in `ready` here): sorted by deadline, if the
+                // cumulative remaining demand through deadline `d` exceeds
+                // `d − now`, EDF provably misses `d`.
+                let mut pending: Vec<(u64, u64)> = ready
+                    .iter()
+                    .map(|Reverse((key, rem))| (key.0, *rem))
+                    .collect();
+                pending.sort_unstable();
+                let mut cumulative = 0u64;
+                if pending.iter().any(|&(deadline, rem)| {
+                    cumulative = cumulative.saturating_add(rem);
+                    now.ticks().saturating_add(cumulative) > deadline
+                }) {
+                    *counter = counter.saturating_add(1);
+                }
+            }
         }
         let Some(Reverse((key, remaining))) = ready.pop() else {
             // Idle: jump to the next arrival or finish.

@@ -1,0 +1,110 @@
+//! The runtime anomaly watchdog: counters for the three ways a federated
+//! runtime deviates from what its offline analysis promised.
+//!
+//! FEDCONS's soundness argument has three load-bearing runtime premises:
+//! dag-jobs complete by their deadlines, dedicated clusters actually follow
+//! the frozen LS template `σᵢ` (re-running LS on-line is exposed to
+//! Graham's timing anomalies, paper footnote 2), and no shared EDF
+//! processor is ever asked for more work than the time remaining to a
+//! deadline. The watched simulation entry points
+//! ([`simulate_federated_watched`](crate::federated::simulate_federated_watched),
+//! [`simulate_edf_uniprocessor_watched`](crate::uniproc::simulate_edf_uniprocessor_watched))
+//! observe all three while the run unfolds and tally violations here.
+//! The report is plain counters — the telemetry layer
+//! (`fedsched-telemetry`) turns it into counter events for export.
+
+use core::fmt;
+
+/// Anomaly counters accumulated over one watched simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Jobs (dag-jobs on clusters, sequential jobs on shared processors)
+    /// that completed after their absolute deadline.
+    pub deadline_misses: u64,
+    /// Vertices whose observed on-line start diverged from the frozen
+    /// template offset `σᵢ` — nonzero only under
+    /// [`ClusterDispatch::RerunListScheduling`](crate::federated::ClusterDispatch),
+    /// where it measures exposure to Graham's timing anomalies.
+    pub template_divergences: u64,
+    /// Instants at which a shared EDF processor was provably overloaded:
+    /// right after admitting arrivals, some absolute deadline `d` had more
+    /// pending demand from jobs due at or before `d` than the `d − now`
+    /// time left to serve it.
+    pub shared_overloads: u64,
+}
+
+impl WatchdogReport {
+    /// A zeroed report.
+    #[must_use]
+    pub fn new() -> WatchdogReport {
+        WatchdogReport::default()
+    }
+
+    /// `true` when the run matched its offline promises: no misses, no
+    /// template divergence, no overload instants.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        *self == WatchdogReport::default()
+    }
+
+    /// Adds every counter of `other` into `self` (saturating).
+    pub fn absorb(&mut self, other: WatchdogReport) {
+        self.deadline_misses = self.deadline_misses.saturating_add(other.deadline_misses);
+        self.template_divergences = self
+            .template_divergences
+            .saturating_add(other.template_divergences);
+        self.shared_overloads = self.shared_overloads.saturating_add(other.shared_overloads);
+    }
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "misses={} divergences={} overloads={}",
+            self.deadline_misses, self.template_divergences, self.shared_overloads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_report_has_all_zero_counters() {
+        assert!(WatchdogReport::new().is_quiet());
+        let noisy = WatchdogReport {
+            template_divergences: 1,
+            ..WatchdogReport::default()
+        };
+        assert!(!noisy.is_quiet());
+    }
+
+    #[test]
+    fn absorb_saturates() {
+        let mut a = WatchdogReport {
+            deadline_misses: u64::MAX,
+            shared_overloads: 1,
+            ..WatchdogReport::default()
+        };
+        a.absorb(WatchdogReport {
+            deadline_misses: 7,
+            shared_overloads: 2,
+            template_divergences: 3,
+        });
+        assert_eq!(a.deadline_misses, u64::MAX);
+        assert_eq!(a.shared_overloads, 3);
+        assert_eq!(a.template_divergences, 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = WatchdogReport {
+            deadline_misses: 2,
+            template_divergences: 0,
+            shared_overloads: 1,
+        };
+        assert_eq!(r.to_string(), "misses=2 divergences=0 overloads=1");
+    }
+}

@@ -1,0 +1,209 @@
+//! Whole-run invariants of the federated runtime's execution traces and
+//! the anomaly watchdog.
+//!
+//! The paper's soundness argument implies physical invariants any faithful
+//! runtime must exhibit: no processor ever runs two things at once — in
+//! particular not across the dedicated-cluster / shared-EDF boundary — and
+//! the simulation is a pure function of its config (two identical runs
+//! render byte-identical Gantt charts). The watchdog must stay quiet on an
+//! admitted system under template dispatch and light up exactly when the
+//! unsafe rerun dispatcher diverges from the frozen template.
+
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_dag::graph::DagBuilder;
+use fedsched_dag::system::{TaskId, TaskSystem};
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::{Duration, Time};
+use fedsched_graham::list::PriorityPolicy;
+use fedsched_sim::{
+    simulate_edf_uniprocessor_watched, simulate_federated_traced, simulate_federated_watched,
+    ArrivalModel, ClusterDispatch, ExecutionModel, SequentialJob, SimConfig,
+};
+
+fn parallel_task(k: usize, w: u64, d: u64, t: u64) -> DagTask {
+    let mut b = DagBuilder::new();
+    b.add_vertices(std::iter::repeat_n(Duration::new(w), k));
+    DagTask::new(b.build().unwrap(), Duration::new(d), Duration::new(t)).unwrap()
+}
+
+fn seq(c: u64, d: u64, t: u64) -> DagTask {
+    DagTask::sequential(Duration::new(c), Duration::new(d), Duration::new(t)).unwrap()
+}
+
+/// One high-density task (gets a dedicated cluster) plus low-density tasks
+/// (sequentialised onto the shared pool), admitted by FEDCONS.
+fn mixed_system() -> (TaskSystem, fedsched_core::fedcons::FederatedSchedule) {
+    let system: TaskSystem = [
+        parallel_task(6, 4, 8, 16), // δ = 3: dedicated cluster
+        seq(1, 4, 8),
+        seq(2, 6, 12),
+        seq(1, 5, 10),
+    ]
+    .into_iter()
+    .collect();
+    let schedule = fedcons(&system, 6, FedConsConfig::default()).unwrap();
+    (system, schedule)
+}
+
+#[test]
+fn no_overlap_within_or_across_the_cluster_shared_boundary() {
+    let (system, schedule) = mixed_system();
+    assert!(
+        !schedule.clusters().is_empty(),
+        "system must exercise the dedicated side"
+    );
+    let shared_first = schedule.shared_first();
+    let config = SimConfig {
+        horizon: Duration::new(5_000),
+        arrivals: ArrivalModel::SporadicUniformSlack {
+            max_extra_fraction: 0.3,
+        },
+        execution: ExecutionModel::UniformFraction { min_fraction: 0.3 },
+        seed: 11,
+    };
+    let (report, trace) = simulate_federated_traced(
+        &system,
+        &schedule,
+        config,
+        ClusterDispatch::Template,
+        PriorityPolicy::ListOrder,
+    );
+    assert!(report.jobs_scored > 500, "scored {}", report.jobs_scored);
+    assert_eq!(trace.find_overlap(), None, "processors double-booked");
+
+    // The boundary is respected in both directions: dag-vertex segments
+    // live strictly on cluster processors, sequentialised segments strictly
+    // on shared ones — and both sides are actually exercised.
+    let mut cluster_segments = 0u64;
+    let mut shared_segments = 0u64;
+    for s in trace.segments() {
+        match s.vertex {
+            Some(_) => {
+                assert!(
+                    s.processor < shared_first,
+                    "cluster segment {s} strayed onto the shared pool"
+                );
+                cluster_segments += 1;
+            }
+            None => {
+                assert!(
+                    s.processor >= shared_first,
+                    "shared segment {s} strayed onto a cluster"
+                );
+                shared_segments += 1;
+            }
+        }
+    }
+    assert!(cluster_segments > 0, "no cluster execution recorded");
+    assert!(shared_segments > 0, "no shared-pool execution recorded");
+}
+
+#[test]
+fn identical_runs_render_byte_identical_gantt_charts() {
+    let (system, schedule) = mixed_system();
+    let config = SimConfig {
+        horizon: Duration::new(2_000),
+        arrivals: ArrivalModel::SporadicUniformSlack {
+            max_extra_fraction: 0.4,
+        },
+        execution: ExecutionModel::UniformFraction { min_fraction: 0.2 },
+        seed: 42,
+    };
+    let run = || {
+        simulate_federated_traced(
+            &system,
+            &schedule,
+            config,
+            ClusterDispatch::Template,
+            PriorityPolicy::ListOrder,
+        )
+    };
+    let (report_a, trace_a) = run();
+    let (report_b, trace_b) = run();
+    assert_eq!(report_a, report_b);
+    assert_eq!(trace_a, trace_b);
+    let gantt_a = trace_a.to_gantt(Time::ZERO, Time::new(240));
+    let gantt_b = trace_b.to_gantt(Time::ZERO, Time::new(240));
+    assert!(gantt_a.as_bytes() == gantt_b.as_bytes(), "gantt diverged");
+    assert!(gantt_a.lines().count() > 1);
+}
+
+#[test]
+fn watchdog_is_quiet_for_template_dispatch_on_an_admitted_system() {
+    let (system, schedule) = mixed_system();
+    let (report, _, watchdog) = simulate_federated_watched(
+        &system,
+        &schedule,
+        SimConfig::worst_case(Duration::new(5_000)),
+        ClusterDispatch::Template,
+        PriorityPolicy::ListOrder,
+    );
+    assert!(report.is_clean(), "misses: {:?}", report.misses);
+    assert!(watchdog.is_quiet(), "watchdog fired: {watchdog}");
+}
+
+#[test]
+fn rerun_dispatch_diverges_from_the_template_but_template_dispatch_never_does() {
+    let (system, schedule) = mixed_system();
+    // Deterministic Graham perturbation: every vertex one tick shorter.
+    // Re-running LS then starts the second wave of the parallel task at
+    // t = 3 instead of the frozen template offset t = 4.
+    let config = SimConfig {
+        horizon: Duration::new(1_000),
+        arrivals: ArrivalModel::Periodic,
+        execution: ExecutionModel::OneTickShorter,
+        seed: 0,
+    };
+    let (report, _, rerun_watchdog) = simulate_federated_watched(
+        &system,
+        &schedule,
+        config,
+        ClusterDispatch::RerunListScheduling,
+        PriorityPolicy::ListOrder,
+    );
+    assert!(
+        rerun_watchdog.template_divergences > 0,
+        "rerun LS under shortened executions must leave the template: {rerun_watchdog}"
+    );
+    assert_eq!(
+        rerun_watchdog.deadline_misses,
+        report.misses.len() as u64,
+        "watchdog misses must mirror the report"
+    );
+
+    let (_, _, template_watchdog) = simulate_federated_watched(
+        &system,
+        &schedule,
+        config,
+        ClusterDispatch::Template,
+        PriorityPolicy::ListOrder,
+    );
+    assert_eq!(
+        template_watchdog.template_divergences, 0,
+        "template replay cannot diverge from itself: {template_watchdog}"
+    );
+}
+
+#[test]
+fn shared_edf_overload_certificate_fires_exactly_when_demand_exceeds_time() {
+    let job = |task: usize, release: u64, deadline: u64, exec: u64| SequentialJob {
+        task: TaskId::from_index(task),
+        release: Time::new(release),
+        deadline: Time::new(deadline),
+        execution: Duration::new(exec),
+    };
+    // Infeasible: 6 units of work due by t = 4. The certificate fires at
+    // the arrival instant, not when the miss materialises at t = 6.
+    let overloaded = [job(0, 0, 4, 3), job(1, 0, 4, 3)];
+    let (report, _, overloads) =
+        simulate_edf_uniprocessor_watched(&overloaded, Duration::new(100), 0);
+    assert!(overloads >= 1, "overload not detected");
+    assert_eq!(report.miss_count(), 1);
+
+    // Feasible set under transient back-to-back load: never flagged.
+    let feasible = [job(0, 0, 10, 4), job(1, 2, 12, 4), job(0, 10, 25, 5)];
+    let (report, _, overloads) =
+        simulate_edf_uniprocessor_watched(&feasible, Duration::new(100), 0);
+    assert_eq!(overloads, 0, "false positive on a feasible job set");
+    assert!(report.is_clean());
+}

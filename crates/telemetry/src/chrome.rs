@@ -1,0 +1,357 @@
+//! Chrome / Perfetto `trace_events` JSON export.
+//!
+//! The [trace-event format] is the JSON array-of-objects dialect that
+//! `chrome://tracing`, Perfetto, and Speedscope all ingest. This module
+//! maps both halves of a FEDCONS run onto it:
+//!
+//! - **Runtime** ([`ChromeTraceBuilder::push_execution_trace`]): every
+//!   [`TraceSegment`] of a simulated run becomes one complete (`ph: "X"`)
+//!   event on process 0, with the processor as the thread id — the viewer
+//!   shows one swim-lane per processor, exactly the Gantt the ASCII
+//!   renderer draws. One simulator tick maps to one microsecond, the
+//!   format's native `ts`/`dur` unit.
+//! - **Analysis** ([`ChromeTraceBuilder::push_events`]): telemetry spans
+//!   (sizing, partition replay, whole admissions) become complete events
+//!   on process 1 with `ts` in microseconds since the process epoch, and
+//!   counters become instant (`ph: "I"`) events. Trace ids ride along in
+//!   `args`, so a request can be followed from protocol to analysis phase.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+use fedsched_sim::trace::{ExecutionTrace, TraceSegment};
+use fedsched_sim::watchdog::WatchdogReport;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{CounterKind, TelemetryEvent};
+
+/// The process id carrying runtime (simulated execution) lanes.
+pub const PID_RUNTIME: u64 = 0;
+/// The process id carrying analysis-phase spans and counters.
+pub const PID_ANALYSIS: u64 = 1;
+
+/// Structured `args` payload attached to every event. Fields that do not
+/// apply are `null` in the JSON, which trace viewers ignore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChromeArgs {
+    /// Dense task index (runtime events).
+    pub task: Option<u64>,
+    /// Vertex index within the task's DAG; `null` for sequentialised
+    /// execution on a shared EDF processor.
+    pub vertex: Option<u64>,
+    /// Global processor index (runtime events).
+    pub processor: Option<u64>,
+    /// The request's correlation token (analysis events).
+    pub trace_id: Option<u64>,
+    /// Free-form annotation (counter kind, divergence details, ...).
+    pub detail: Option<String>,
+}
+
+impl ChromeArgs {
+    fn empty() -> ChromeArgs {
+        ChromeArgs {
+            task: None,
+            vertex: None,
+            processor: None,
+            trace_id: None,
+            detail: None,
+        }
+    }
+}
+
+/// One trace event in the JSON-array dialect.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Display name of the slice (e.g. `"τ3[v2]"`).
+    pub name: String,
+    /// Comma-free category: `"runtime"`, `"analysis"`, or `"counter"`.
+    pub cat: String,
+    /// Event phase: `"X"` (complete) or `"I"` (instant).
+    pub ph: String,
+    /// Start timestamp, microseconds.
+    pub ts: u64,
+    /// Duration, microseconds (zero for instants).
+    pub dur: u64,
+    /// Process lane ([`PID_RUNTIME`] or [`PID_ANALYSIS`]).
+    pub pid: u64,
+    /// Thread lane: processor index on the runtime pid, 0 on analysis.
+    pub tid: u64,
+    /// Structured metadata.
+    pub args: ChromeArgs,
+}
+
+/// The whole `{"traceEvents": [...]}` document `chrome://tracing` loads.
+#[allow(non_snake_case)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChromeTraceDocument {
+    /// All events, in insertion order (viewers sort by `ts` themselves).
+    pub traceEvents: Vec<ChromeEvent>,
+    /// Unit hint for the viewer's ruler ("ms" or "ns"); we emit "ms".
+    pub displayTimeUnit: String,
+}
+
+/// Accumulates events from execution traces and telemetry streams, then
+/// emits one [`ChromeTraceDocument`].
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<ChromeEvent>,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> ChromeTraceBuilder {
+        ChromeTraceBuilder::default()
+    }
+
+    /// Adds every segment of a simulated run as a complete event on the
+    /// runtime pid: `tid` = processor, `ts` = start tick, `dur` = length
+    /// in ticks (1 tick = 1 µs).
+    pub fn push_execution_trace(&mut self, trace: &ExecutionTrace) {
+        for segment in trace.segments() {
+            self.events.push(segment_event(segment));
+        }
+    }
+
+    /// Adds telemetry spans (complete events) and counters (instants) on
+    /// the analysis pid, timestamps converted from nanoseconds to
+    /// microseconds.
+    pub fn push_events(&mut self, events: &[TelemetryEvent]) {
+        for event in events {
+            self.events.push(match *event {
+                TelemetryEvent::Span {
+                    trace_id,
+                    phase,
+                    start_nanos,
+                    end_nanos,
+                } => ChromeEvent {
+                    name: phase.name().to_owned(),
+                    cat: "analysis".to_owned(),
+                    ph: "X".to_owned(),
+                    ts: start_nanos / 1_000,
+                    dur: end_nanos.saturating_sub(start_nanos) / 1_000,
+                    pid: PID_ANALYSIS,
+                    tid: 0,
+                    args: ChromeArgs {
+                        trace_id: trace_id.map(|t| t.0),
+                        ..ChromeArgs::empty()
+                    },
+                },
+                TelemetryEvent::Counter {
+                    trace_id,
+                    kind,
+                    at_nanos,
+                    delta,
+                } => ChromeEvent {
+                    name: kind.name().to_owned(),
+                    cat: "counter".to_owned(),
+                    ph: "I".to_owned(),
+                    ts: at_nanos / 1_000,
+                    dur: 0,
+                    pid: PID_ANALYSIS,
+                    tid: 0,
+                    args: ChromeArgs {
+                        trace_id: trace_id.map(|t| t.0),
+                        detail: Some(format!("{}+{delta}", kind.name())),
+                        ..ChromeArgs::empty()
+                    },
+                },
+            });
+        }
+    }
+
+    /// Adds one instant event per *nonzero* watchdog counter on the
+    /// runtime pid, stamped at `at_ticks` (conventionally the end of the
+    /// simulated window), so anomaly totals appear alongside the execution
+    /// lanes they describe.
+    pub fn push_watchdog(&mut self, report: &WatchdogReport, at_ticks: u64) {
+        for (kind, count) in [
+            (CounterKind::DeadlineMiss, report.deadline_misses),
+            (CounterKind::TemplateDivergence, report.template_divergences),
+            (CounterKind::SharedOverload, report.shared_overloads),
+        ] {
+            if count > 0 {
+                self.events.push(ChromeEvent {
+                    name: kind.name().to_owned(),
+                    cat: "counter".to_owned(),
+                    ph: "I".to_owned(),
+                    ts: at_ticks,
+                    dur: 0,
+                    pid: PID_RUNTIME,
+                    tid: 0,
+                    args: ChromeArgs {
+                        detail: Some(format!("{}+{count}", kind.name())),
+                        ..ChromeArgs::empty()
+                    },
+                });
+            }
+        }
+    }
+
+    /// Number of events accumulated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The finished document.
+    #[must_use]
+    pub fn build(self) -> ChromeTraceDocument {
+        ChromeTraceDocument {
+            traceEvents: self.events,
+            displayTimeUnit: "ms".to_owned(),
+        }
+    }
+
+    /// The finished document as JSON, ready for `chrome://tracing`.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the document contains no non-serializable state.
+    #[must_use]
+    pub fn to_json(self) -> String {
+        serde_json::to_string(&self.build()).expect("chrome trace document serializes")
+    }
+}
+
+fn segment_event(segment: &TraceSegment) -> ChromeEvent {
+    let name = match segment.vertex {
+        Some(v) => format!("{}[v{v}]", segment.task),
+        None => segment.task.to_string(),
+    };
+    ChromeEvent {
+        name,
+        cat: "runtime".to_owned(),
+        ph: "X".to_owned(),
+        ts: segment.start.ticks(),
+        dur: segment.end.saturating_since(segment.start).ticks(),
+        pid: PID_RUNTIME,
+        tid: u64::from(segment.processor),
+        args: ChromeArgs {
+            task: Some(segment.task.index() as u64),
+            vertex: segment.vertex.map(u64::from),
+            processor: Some(u64::from(segment.processor)),
+            ..ChromeArgs::empty()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fedsched_dag::system::TaskId;
+    use fedsched_dag::time::Time;
+
+    use crate::event::{CounterKind, SpanPhase, TraceId};
+
+    use super::*;
+
+    fn sample_trace() -> ExecutionTrace {
+        let mut trace = ExecutionTrace::new(2);
+        trace.push(TraceSegment {
+            processor: 0,
+            task: TaskId::from_index(3),
+            vertex: Some(2),
+            start: Time::new(1),
+            end: Time::new(4),
+        });
+        trace.push(TraceSegment {
+            processor: 1,
+            task: TaskId::from_index(0),
+            vertex: None,
+            start: Time::new(0),
+            end: Time::new(2),
+        });
+        trace
+    }
+
+    #[test]
+    fn segments_become_complete_events_with_metadata() {
+        let mut builder = ChromeTraceBuilder::new();
+        builder.push_execution_trace(&sample_trace());
+        let doc = builder.build();
+        assert_eq!(doc.traceEvents.len(), 2);
+        let first = &doc.traceEvents[0];
+        assert_eq!(first.ph, "X");
+        assert_eq!(first.pid, PID_RUNTIME);
+        assert_eq!(first.tid, 0);
+        assert_eq!(first.ts, 1);
+        assert_eq!(first.dur, 3);
+        assert_eq!(first.name, "τ3[v2]");
+        assert_eq!(first.args.task, Some(3));
+        assert_eq!(first.args.vertex, Some(2));
+        assert_eq!(first.args.processor, Some(0));
+        let second = &doc.traceEvents[1];
+        assert_eq!(second.name, "τ0");
+        assert_eq!(second.args.vertex, None);
+    }
+
+    #[test]
+    fn spans_and_counters_land_on_the_analysis_pid() {
+        let mut builder = ChromeTraceBuilder::new();
+        builder.push_events(&[
+            TelemetryEvent::Span {
+                trace_id: Some(TraceId(7)),
+                phase: SpanPhase::Sizing,
+                start_nanos: 4_000,
+                end_nanos: 9_500,
+            },
+            TelemetryEvent::Counter {
+                trace_id: None,
+                kind: CounterKind::CacheMiss,
+                at_nanos: 12_000,
+                delta: 1,
+            },
+        ]);
+        let doc = builder.build();
+        let span = &doc.traceEvents[0];
+        assert_eq!(span.name, "sizing");
+        assert_eq!(span.ph, "X");
+        assert_eq!(span.pid, PID_ANALYSIS);
+        assert_eq!((span.ts, span.dur), (4, 5));
+        assert_eq!(span.args.trace_id, Some(7));
+        let instant = &doc.traceEvents[1];
+        assert_eq!(instant.ph, "I");
+        assert_eq!(instant.dur, 0);
+        assert_eq!(instant.args.detail.as_deref(), Some("cache_miss+1"));
+    }
+
+    #[test]
+    fn watchdog_counters_appear_only_when_nonzero() {
+        let mut builder = ChromeTraceBuilder::new();
+        builder.push_watchdog(
+            &WatchdogReport {
+                deadline_misses: 0,
+                template_divergences: 4,
+                shared_overloads: 1,
+            },
+            500,
+        );
+        let doc = builder.build();
+        assert_eq!(doc.traceEvents.len(), 2, "zero counters are elided");
+        assert_eq!(doc.traceEvents[0].name, "template_divergence");
+        assert_eq!(doc.traceEvents[0].ts, 500);
+        assert_eq!(doc.traceEvents[0].pid, PID_RUNTIME);
+        assert_eq!(
+            doc.traceEvents[0].args.detail.as_deref(),
+            Some("template_divergence+4")
+        );
+        assert_eq!(doc.traceEvents[1].name, "shared_overload");
+    }
+
+    #[test]
+    fn document_roundtrips_through_json() {
+        let mut builder = ChromeTraceBuilder::new();
+        builder.push_execution_trace(&sample_trace());
+        let doc = builder.build();
+        let json = serde_json::to_string(&doc).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"displayTimeUnit\""));
+        let back: ChromeTraceDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
+    }
+}

@@ -1,0 +1,99 @@
+//! Acceptance test for the Chrome exporter: a real FEDCONS-admitted
+//! federated run exports so that every `TraceSegment` appears exactly once
+//! as a complete `"X"` event with matching processor/task/vertex metadata,
+//! and the document survives a JSON round trip.
+
+use std::collections::HashMap;
+
+use fedsched_core::fedcons::{fedcons, FedConsConfig};
+use fedsched_dag::examples::paper_example2;
+use fedsched_dag::time::Duration;
+use fedsched_graham::list::PriorityPolicy;
+use fedsched_sim::federated::{simulate_federated_traced, ClusterDispatch};
+use fedsched_sim::model::SimConfig;
+use fedsched_telemetry::chrome::{ChromeTraceBuilder, ChromeTraceDocument, PID_RUNTIME};
+
+#[test]
+fn every_segment_exports_exactly_once_with_matching_metadata() {
+    // Paper Example 2 with n = 4: four high-density tasks, each earning a
+    // dedicated single-processor cluster on m = 4.
+    let system = paper_example2(4);
+    let schedule = fedcons(&system, 4, FedConsConfig::default()).expect("example 2 admits on m=n");
+    let horizon = Duration::new(system.hyperperiod().ticks() * 3);
+    let (report, trace) = simulate_federated_traced(
+        &system,
+        &schedule,
+        SimConfig::worst_case(horizon),
+        ClusterDispatch::Template,
+        PriorityPolicy::ListOrder,
+    );
+    assert!(report.is_clean(), "admitted run must be clean");
+    assert!(!trace.segments().is_empty(), "run must produce segments");
+
+    let mut builder = ChromeTraceBuilder::new();
+    builder.push_execution_trace(&trace);
+    let json = builder.to_json();
+    let doc: ChromeTraceDocument = serde_json::from_str(&json).expect("document parses back");
+
+    // Count each segment's expected (ts, dur, tid, task, vertex) tuple,
+    // then consume exporter events against it.
+    let mut expected: HashMap<(u64, u64, u64, u64, Option<u64>), u64> = HashMap::new();
+    for seg in trace.segments() {
+        let key = (
+            seg.start.ticks(),
+            seg.end.saturating_since(seg.start).ticks(),
+            u64::from(seg.processor),
+            seg.task.index() as u64,
+            seg.vertex.map(u64::from),
+        );
+        *expected.entry(key).or_insert(0) += 1;
+    }
+
+    assert_eq!(doc.traceEvents.len(), trace.segments().len());
+    for event in &doc.traceEvents {
+        assert_eq!(event.ph, "X", "runtime segments export as complete events");
+        assert_eq!(event.pid, PID_RUNTIME);
+        assert_eq!(event.cat, "runtime");
+        assert_eq!(
+            event.args.processor,
+            Some(event.tid),
+            "processor arg mirrors the thread lane"
+        );
+        let key = (
+            event.ts,
+            event.dur,
+            event.tid,
+            event.args.task.expect("runtime events carry a task"),
+            event.args.vertex,
+        );
+        let count = expected
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("unexpected event {event:?}"));
+        assert!(*count > 0, "segment {key:?} exported more times than run");
+        *count -= 1;
+    }
+    assert!(
+        expected.values().all(|&c| c == 0),
+        "segments missing from export: {expected:?}"
+    );
+}
+
+#[test]
+fn rerun_dispatch_on_shared_pool_exports_sequential_segments() {
+    // A single low-density task lands in the shared EDF pool: exporter
+    // must handle vertex-less segments (vertex arg null).
+    let system = paper_example2(2);
+    let schedule = fedcons(&system, 2, FedConsConfig::default()).expect("admits");
+    let (_, trace) = simulate_federated_traced(
+        &system,
+        &schedule,
+        SimConfig::worst_case(Duration::new(system.hyperperiod().ticks() * 2)),
+        ClusterDispatch::RerunListScheduling,
+        PriorityPolicy::ListOrder,
+    );
+    let mut builder = ChromeTraceBuilder::new();
+    builder.push_execution_trace(&trace);
+    let doc: ChromeTraceDocument =
+        serde_json::from_str(&builder.to_json()).expect("document parses back");
+    assert_eq!(doc.traceEvents.len(), trace.segments().len());
+}
