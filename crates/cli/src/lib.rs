@@ -716,6 +716,9 @@ pub struct ServeOptions {
     /// Telemetry ring-buffer capacity in events (0 disables the event
     /// stream; metrics and latency quantiles are always collected).
     pub telemetry_events: usize,
+    /// Per-connection hardening: IO deadlines, frame cap, connection cap,
+    /// and request budget.
+    pub limits: fedsched_service::ConnectionLimits,
 }
 
 impl Default for ServeOptions {
@@ -727,6 +730,7 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:7878".to_owned(),
             workers: 4,
             telemetry_events: 4096,
+            limits: fedsched_service::ConnectionLimits::default(),
         }
     }
 }
@@ -754,6 +758,7 @@ pub fn start_server(opts: &ServeOptions) -> Result<fedsched_service::ServerHandl
             },
             telemetry_events: opts.telemetry_events,
         },
+        limits: opts.limits,
     };
     Ok(fedsched_service::serve(&config)?)
 }
@@ -868,17 +873,37 @@ fn render_response(response: &fedsched_service::Response) -> String {
         }
         Response::Metrics { text } => text.clone(),
         Response::ShuttingDown => "server shutting down".to_owned(),
+        Response::Busy { retry_after_ms } => {
+            format!("server busy (retry after {retry_after_ms} ms)")
+        }
         Response::Error { message } => format!("server error: {message}"),
     }
 }
 
 /// `fedsched client`: performs one action against a running server and
-/// renders the response(s) as text.
+/// renders the response(s) as text, under the default client deadlines.
 ///
 /// # Errors
 ///
 /// Connection and protocol I/O errors, plus JSON errors for `Admit` input.
 pub fn client_command(addr: &str, action: &ClientAction) -> Result<String, CliError> {
+    client_command_with(addr, action, None)
+}
+
+/// [`client_command`] with an explicit call deadline: `timeout_ms` becomes
+/// both the connect and per-call IO deadline (`Some(0)` disables deadlines
+/// entirely; `None` keeps the [`fedsched_service::ClientConfig`] defaults).
+///
+/// # Errors
+///
+/// Connection and protocol I/O errors — including `WouldBlock`/`TimedOut`
+/// when a stalled server outlasts the deadline — plus JSON errors for
+/// `Admit` input.
+pub fn client_command_with(
+    addr: &str,
+    action: &ClientAction,
+    timeout_ms: Option<u64>,
+) -> Result<String, CliError> {
     use core::fmt::Write as _;
     // Validate admit input before dialing the server.
     let admit_tasks: Option<Vec<fedsched_dag::task::DagTask>> = match action {
@@ -900,7 +925,20 @@ pub fn client_command(addr: &str, action: &ClientAction) -> Result<String, CliEr
         }
         _ => None,
     };
-    let mut client = fedsched_service::Client::connect(addr)?;
+    let mut config = fedsched_service::ClientConfig::default();
+    match timeout_ms {
+        Some(0) => {
+            config.connect_timeout = None;
+            config.io_timeout = None;
+        }
+        Some(ms) => {
+            let deadline = core::time::Duration::from_millis(ms);
+            config.connect_timeout = Some(deadline);
+            config.io_timeout = Some(deadline);
+        }
+        None => {}
+    }
+    let mut client = fedsched_service::Client::connect_with(addr, config)?;
     let mut out = String::new();
     match action {
         ClientAction::Admit { trace, .. } => {
@@ -956,11 +994,15 @@ USAGE:
   fedsched dot      <system.json> [--task K]           # Graphviz to stdout
   fedsched serve    -m M [--policy list|cpf|lwf] [--exact-partition]
                     [--addr HOST:PORT] [--workers N] [--telemetry N]
-                    # admission server; GET /metrics on the same port
-  fedsched client   admit <system.json> [--task K] [--trace-id T] [--addr HOST:PORT]
-  fedsched client   remove|query --token T [--addr HOST:PORT]
-  fedsched client   stats [--format prometheus] [--addr HOST:PORT]
-  fedsched client   shutdown [--addr HOST:PORT]
+                    [--io-timeout-ms MS] [--idle-strikes N] [--max-conns N]
+                    [--max-frame-bytes N] [--max-requests N]
+                    # admission server; GET /metrics on the same port;
+                    # --io-timeout-ms 0 disables connection deadlines
+  fedsched client   admit <system.json> [--task K] [--trace-id T]
+                    [--addr HOST:PORT] [--timeout-ms MS]
+  fedsched client   remove|query --token T [--addr HOST:PORT] [--timeout-ms MS]
+  fedsched client   stats [--format prometheus] [--addr HOST:PORT] [--timeout-ms MS]
+  fedsched client   shutdown [--addr HOST:PORT] [--timeout-ms MS]
 
 Exit codes: 0 ok, 1 usage/io error, 2 not schedulable
 (`analyze --json` reports rejections in the JSON and exits 0).
@@ -1309,6 +1351,31 @@ mod tests {
         let bye = client_command(&addr, &ClientAction::Shutdown).unwrap();
         assert!(bye.contains("shutting down"));
         handle.join();
+    }
+
+    #[test]
+    fn client_command_times_out_against_a_stalled_server() {
+        // A listener that never accepts: the connection parks in the
+        // backlog and no response ever arrives.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let started = std::time::Instant::now();
+        let err = client_command_with(&addr, &ClientAction::Stats, Some(300)).unwrap_err();
+        let CliError::Io(io) = err else {
+            panic!("expected an I/O deadline error, got {err:?}");
+        };
+        assert!(
+            matches!(
+                io.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "got {io:?}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "--timeout-ms must bound the call, took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use fedsched_cli::{
-    analyze, analyze_to_json, client_command, dot, generate, import_stg, info, parse_priority,
+    analyze, analyze_to_json, client_command_with, dot, generate, import_stg, info, parse_priority,
     parse_trace_format, simulate, simulate_with_svg, start_server, trace_export, AnalyzeOptions,
     CliError, ClientAction, GenerateOptions, ServeOptions, SimulateOptions, USAGE,
 };
@@ -50,6 +50,12 @@ fn run() -> Result<String, CliError> {
                 | "--format"
                 | "--window"
                 | "--out"
+                | "--io-timeout-ms"
+                | "--idle-strikes"
+                | "--max-conns"
+                | "--max-frame-bytes"
+                | "--max-requests"
+                | "--timeout-ms"
         )
     };
     while i < rest.len() {
@@ -120,8 +126,20 @@ fn run() -> Result<String, CliError> {
             "--addr",
             "--workers",
             "--telemetry",
+            "--io-timeout-ms",
+            "--idle-strikes",
+            "--max-conns",
+            "--max-frame-bytes",
+            "--max-requests",
         ],
-        "client" => &["--addr", "--token", "--task", "--trace-id", "--format"],
+        "client" => &[
+            "--addr",
+            "--token",
+            "--task",
+            "--trace-id",
+            "--format",
+            "--timeout-ms",
+        ],
         _ => &[],
     };
     if let Some((bad, _)) = flags.iter().find(|(f, _)| !known.contains(f)) {
@@ -310,6 +328,24 @@ fn run() -> Result<String, CliError> {
             if let Some(Some(v)) = flag("--telemetry") {
                 opts.telemetry_events = parse_num("--telemetry", v)? as usize;
             }
+            if let Some(Some(v)) = flag("--io-timeout-ms") {
+                let ms = parse_num("--io-timeout-ms", v)? as u64;
+                // 0 disables per-connection deadlines (and with them the
+                // bounded-shutdown guarantee).
+                opts.limits.io_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            if let Some(Some(v)) = flag("--idle-strikes") {
+                opts.limits.idle_strikes = parse_num("--idle-strikes", v)? as u32;
+            }
+            if let Some(Some(v)) = flag("--max-conns") {
+                opts.limits.max_connections = parse_num("--max-conns", v)? as usize;
+            }
+            if let Some(Some(v)) = flag("--max-frame-bytes") {
+                opts.limits.max_frame_bytes = parse_num("--max-frame-bytes", v)? as usize;
+            }
+            if let Some(Some(v)) = flag("--max-requests") {
+                opts.limits.max_requests_per_connection = parse_num("--max-requests", v)? as u64;
+            }
             let handle = start_server(&opts)?;
             eprintln!(
                 "fedsched admission server on {} ({} workers, m = {})",
@@ -365,7 +401,11 @@ fn run() -> Result<String, CliError> {
                     )))
                 }
             };
-            client_command(&addr, &action)
+            let timeout_ms = match flag("--timeout-ms") {
+                Some(Some(v)) => Some(parse_num("--timeout-ms", v)? as u64),
+                _ => None,
+            };
+            client_command_with(&addr, &action, timeout_ms)
         }
         "-h" | "--help" | "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),

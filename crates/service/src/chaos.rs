@@ -1,0 +1,144 @@
+//! A fault-injection client for hammering the admission server with
+//! hostile traffic patterns: slowloris trickles, newline-free floods,
+//! garbage bytes, partial writes, and mid-request disconnects.
+//!
+//! Unlike [`Client`](crate::Client), `ChaosClient` speaks raw bytes and
+//! never retries or reconnects — every misbehaviour is deliberate and
+//! visible. It exists for the chaos test-suite
+//! (`crates/service/tests/chaos.rs`) and for anyone reproducing a
+//! hardening regression by hand, so it ships as a public module rather
+//! than test-only code.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A raw TCP client that misbehaves on purpose.
+#[derive(Debug)]
+pub struct ChaosClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ChaosClient {
+    /// Connects without any protocol handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<ChaosClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(ChaosClient {
+            reader: BufReader::new(stream.try_clone()?),
+            stream,
+        })
+    }
+
+    /// Applies one deadline to both directions (so a flood against a
+    /// stalled server returns instead of blocking forever).
+    ///
+    /// # Errors
+    ///
+    /// Socket-option errors.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Writes `bytes` in one burst without reading anything back.
+    ///
+    /// # Errors
+    ///
+    /// Write errors.
+    pub fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Slowloris: writes `bytes` one byte at a time with `pause` between
+    /// bytes, never completing quickly. Stops early (without error) if
+    /// the server drops the connection mid-trickle.
+    ///
+    /// Returns how many bytes the server accepted.
+    pub fn trickle(&mut self, bytes: &[u8], pause: Duration) -> usize {
+        for (i, b) in bytes.iter().enumerate() {
+            if self.stream.write_all(&[*b]).is_err() || self.stream.flush().is_err() {
+                return i;
+            }
+            std::thread::sleep(pause);
+        }
+        bytes.len()
+    }
+
+    /// Floods the server with `total` copies of `byte` and no newline.
+    /// Tolerates mid-flood write errors (the server dropping us is the
+    /// expected outcome) and returns how many bytes were written.
+    pub fn flood(&mut self, byte: u8, total: usize) -> usize {
+        let chunk = [byte; 8192];
+        let mut written = 0usize;
+        while written < total {
+            let n = (total - written).min(chunk.len());
+            match self.stream.write(&chunk[..n]) {
+                Ok(0) | Err(_) => break,
+                Ok(w) => written += w,
+            }
+        }
+        let _ = self.stream.flush();
+        written
+    }
+
+    /// Half-closes the write side, simulating a client that disconnects
+    /// mid-request while still listening.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn disconnect_write(&self) -> io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+
+    /// Reads one response line within `timeout`. Returns `Ok(None)` on a
+    /// clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Read errors, including `WouldBlock`/`TimedOut` on expiry.
+    pub fn read_line_within(&mut self, timeout: Duration) -> io::Result<Option<String>> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => Ok(Some(line)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drains and discards whatever the server sends until end of stream
+    /// or `timeout` of silence; returns the byte count. Useful after a
+    /// flood to observe the framed `Error` without parsing it.
+    ///
+    /// # Errors
+    ///
+    /// Socket-option errors; read errors other than deadline expiry.
+    pub fn drain_within(&mut self, timeout: Duration) -> io::Result<usize> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let mut sink = [0u8; 4096];
+        let mut total = 0usize;
+        loop {
+            match self.reader.read(&mut sink) {
+                Ok(0) => return Ok(total),
+                Ok(n) => total += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(total)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

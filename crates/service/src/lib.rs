@@ -16,10 +16,16 @@
 //!   keyed by a canonical DAG encoding, so repeated shapes skip the
 //!   expensive List-Scheduling search entirely;
 //! * [`protocol`] — newline-delimited JSON requests and responses;
-//! * [`server`] — a `TcpListener` shared by a fixed worker-thread pool;
-//! * [`client`] — a blocking client speaking the same protocol;
-//! * [`stats`] — per-phase admission counters, cache hit rates, and a
-//!   log-scale decision-latency histogram.
+//! * [`server`] — acceptor threads sharing one `TcpListener`, a bounded
+//!   pool of per-connection handlers, and the [`ConnectionLimits`]
+//!   hardening knobs (IO deadlines, frame caps, backpressure);
+//! * [`client`] — a blocking client speaking the same protocol, with
+//!   deadlines and an automatic `Busy` retry ([`ClientConfig`]);
+//! * [`chaos`] — a fault-injection client ([`ChaosClient`]) for driving
+//!   hostile traffic against the server in tests;
+//! * [`stats`] — per-phase admission counters, cache hit rates,
+//!   transport-hardening counters, and a log-scale decision-latency
+//!   histogram.
 //!
 //! # Examples
 //!
@@ -30,7 +36,7 @@
 //! use fedsched_dag::time::Duration;
 //! use fedsched_service::client::Client;
 //! use fedsched_service::protocol::Response;
-//! use fedsched_service::server::{serve, ServerConfig};
+//! use fedsched_service::server::{serve, ConnectionLimits, ServerConfig};
 //! use fedsched_service::state::AdmissionConfig;
 //!
 //! # fn main() -> std::io::Result<()> {
@@ -38,6 +44,7 @@
 //!     addr: "127.0.0.1:0".into(),
 //!     workers: 2,
 //!     admission: AdmissionConfig::new(4),
+//!     limits: ConnectionLimits::default(),
 //! })?;
 //! let mut client = Client::connect(handle.local_addr())?;
 //! let task = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8))
@@ -54,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod server;
@@ -61,8 +69,9 @@ pub mod state;
 pub mod stats;
 
 pub use cache::TemplateCache;
-pub use client::Client;
+pub use chaos::ChaosClient;
+pub use client::{Client, ClientConfig};
 pub use protocol::{Placement, Request, Response};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ConnectionLimits, ServerConfig, ServerHandle, TransportCounters};
 pub use state::{AdmissionConfig, AdmissionState, Admitted, RejectReason, Removed, UnknownToken};
-pub use stats::{render_prometheus, LatencyHistogram, Stats, StatsSnapshot};
+pub use stats::{render_prometheus, LatencyHistogram, Stats, StatsSnapshot, TransportStats};

@@ -125,6 +125,15 @@ pub enum Response {
     },
     /// Acknowledgement of `Shutdown`.
     ShuttingDown,
+    /// The server is already serving its configured maximum number of
+    /// connections and turned this one away without reading from it. The
+    /// connection is closed after this response; retry on a fresh
+    /// connection after a backoff (see `Client`'s automatic Busy retry).
+    Busy {
+        /// Advisory floor, in milliseconds, for the client's retry
+        /// backoff.
+        retry_after_ms: u64,
+    },
     /// The request could not be understood or served.
     Error {
         /// What went wrong.
@@ -227,6 +236,9 @@ mod tests {
             },
             Response::Metrics {
                 text: "# HELP x y\nx 1\n".into(),
+            },
+            Response::Busy {
+                retry_after_ms: 100,
             },
         ];
         for resp in &responses {

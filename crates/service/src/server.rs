@@ -1,30 +1,115 @@
-//! The admission server: a fixed pool of worker threads sharing one
-//! `TcpListener` and one mutex-protected [`AdmissionState`].
+//! The admission server: acceptor threads sharing one `TcpListener`, a
+//! bounded pool of per-connection handler threads, and one
+//! mutex-protected [`AdmissionState`].
 //!
-//! Each worker runs its own accept loop; the kernel hands every incoming
-//! connection to exactly one of them. A connection is served to completion
-//! (request by request, newline-delimited JSON) before the worker accepts
-//! again, so the worker count bounds the number of concurrently served
-//! clients. The admission state itself is a single critical section per
-//! request — decisions are sub-millisecond, so the lock, not the analysis,
-//! is what serializes, and the TCP framing is the actual concurrency
-//! surface the tests exercise.
+//! Each acceptor runs its own accept loop; the kernel hands every
+//! incoming connection to exactly one of them. The acceptor never serves
+//! a connection itself — it either hands the connection to a freshly
+//! spawned handler thread (if a permit is available under
+//! [`ConnectionLimits::max_connections`]) or answers a framed
+//! [`Response::Busy`] and closes. A slow or hostile client therefore pins
+//! at most its own handler and one permit, never an acceptor, and a
+//! well-formed client always gets *some* answer quickly: a served
+//! request or a fast `Busy`.
 //!
-//! Shutdown: any client may send `Shutdown`. The handling worker flips the
-//! shared flag, answers `ShuttingDown`, finishes its connection, and then
-//! wakes every sibling blocked in `accept` by making one dummy connection
-//! per worker. Workers re-check the flag after each accept, so the wake-up
-//! connections are dropped unserved.
+//! Every served connection runs under the deadlines and caps of
+//! [`ConnectionLimits`]:
+//!
+//! * **IO deadlines** — `set_read_timeout`/`set_write_timeout` from
+//!   `io_timeout`. On an idle expiry the handler re-checks the shutdown
+//!   flag and keeps serving; after `idle_strikes` consecutive expiries
+//!   without a complete request it drops the connection (slowloris
+//!   clients trickle bytes but never finish a line, so they strike out
+//!   too).
+//! * **Bounded framing** — requests are read through `Read::take` with a
+//!   `max_frame_bytes` cap; a newline-free byte stream is answered with a
+//!   framed `Error` and dropped after at most `max_frame_bytes + 1`
+//!   buffered bytes, never an unbounded buffer.
+//! * **Request budget** — a connection that has served
+//!   `max_requests_per_connection` requests is asked to reconnect, so no
+//!   single connection monopolises a permit forever.
+//!
+//! Shutdown is drain-based: [`ServerHandle::shutdown`] (or a client
+//! `Shutdown` request) flips the shared flag and wakes the acceptors with
+//! one dummy connection each; handlers observe the flag between requests
+//! *and on every read-deadline expiry*, so with `io_timeout` configured
+//! every handler provably exits within one deadline period and
+//! [`ServerHandle::join`] returns. Transport incidents (timeouts,
+//! oversized frames, busy rejections, drains) are counted lock-free in
+//! [`TransportCounters`] and surfaced both in the Prometheus exposition
+//! and on the telemetry event bus.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fedsched_telemetry::CounterKind;
 
 use crate::protocol::{write_message, Request, Response};
 use crate::state::{AdmissionConfig, AdmissionState};
-use crate::stats::render_prometheus;
+use crate::stats::{render_prometheus, StatsSnapshot, TransportStats};
+
+/// Deadlines and caps protecting every served connection; see the module
+/// docs for how each knob defends the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionLimits {
+    /// Per-connection read *and* write deadline. `None` disables IO
+    /// deadlines entirely — the pre-hardening blocking behaviour — and
+    /// with it the termination bound on [`ServerHandle::shutdown`].
+    pub io_timeout: Option<Duration>,
+    /// Consecutive read-deadline expiries (without a complete request)
+    /// tolerated before the connection is dropped; clamped to at least 1.
+    pub idle_strikes: u32,
+    /// Maximum bytes of one request frame, newline included; an
+    /// overflowing frame gets a framed `Error` and the connection is
+    /// dropped. Clamped to at least 64.
+    pub max_frame_bytes: usize,
+    /// Maximum concurrently served connections; overflow is answered with
+    /// a fast [`Response::Busy`]. Clamped to at least 1.
+    pub max_connections: usize,
+    /// Requests one connection may issue before being asked to reconnect;
+    /// clamped to at least 1.
+    pub max_requests_per_connection: u64,
+}
+
+impl Default for ConnectionLimits {
+    fn default() -> ConnectionLimits {
+        ConnectionLimits {
+            io_timeout: Some(Duration::from_secs(30)),
+            idle_strikes: 4,
+            max_frame_bytes: 1 << 20,
+            max_connections: 256,
+            max_requests_per_connection: 1_000_000,
+        }
+    }
+}
+
+impl ConnectionLimits {
+    fn sanitized(self) -> ConnectionLimits {
+        ConnectionLimits {
+            io_timeout: self.io_timeout.filter(|t| !t.is_zero()),
+            idle_strikes: self.idle_strikes.max(1),
+            max_frame_bytes: self.max_frame_bytes.max(64),
+            max_connections: self.max_connections.max(1),
+            max_requests_per_connection: self.max_requests_per_connection.max(1),
+        }
+    }
+
+    /// How long [`ServerHandle::join`] waits for handler threads to
+    /// drain after the acceptors exit. With deadlines configured every
+    /// blocked read wakes within one `io_timeout`, so two periods plus
+    /// slack bounds the drain; without deadlines the wait is a short
+    /// grace period only (the handlers die with the process).
+    fn drain_deadline(&self) -> Duration {
+        match self.io_timeout {
+            Some(t) => t.saturating_mul(2).saturating_add(Duration::from_secs(5)),
+            None => Duration::from_secs(1),
+        }
+    }
+}
 
 /// Configuration of [`serve`].
 #[derive(Debug, Clone)]
@@ -32,10 +117,141 @@ pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port; read
     /// it back from [`ServerHandle::local_addr`]).
     pub addr: String,
-    /// Worker-thread count (clamped to at least 1).
+    /// Acceptor-thread count (clamped to at least 1). Connections are
+    /// served by per-connection handler threads bounded by
+    /// [`ConnectionLimits::max_connections`], not by this count.
     pub workers: usize,
     /// The admission-control platform and FEDCONS knobs.
     pub admission: AdmissionConfig,
+    /// Per-connection deadlines and caps.
+    pub limits: ConnectionLimits,
+}
+
+/// Lock-free transport-hardening counters kept by the connection layer.
+///
+/// Monotonic since server start; snapshot them with
+/// [`TransportCounters::snapshot`] (also merged into every
+/// [`StatsSnapshot`] the server serves).
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    connections_served: AtomicU64,
+    busy_rejections: AtomicU64,
+    read_timeouts: AtomicU64,
+    connections_timed_out: AtomicU64,
+    oversized_requests: AtomicU64,
+    malformed_requests: AtomicU64,
+    budget_exhausted: AtomicU64,
+    drained_connections: AtomicU64,
+}
+
+impl TransportCounters {
+    /// A point-in-time copy of all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            connections_served: self.connections_served.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            read_timeouts: self.read_timeouts.load(Ordering::Relaxed),
+            connections_timed_out: self.connections_timed_out.load(Ordering::Relaxed),
+            oversized_requests: self.oversized_requests.load(Ordering::Relaxed),
+            malformed_requests: self.malformed_requests.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
+            drained_connections: self.drained_connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The semaphore bounding concurrently served connections, doubling as
+/// the drain barrier graceful shutdown waits on.
+#[derive(Debug)]
+struct Gate {
+    max: usize,
+    active: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl Gate {
+    fn new(max: usize) -> Gate {
+        Gate {
+            max,
+            active: Mutex::new(0),
+            drained: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, usize> {
+        self.active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn try_acquire(self: &Arc<Gate>) -> Option<Permit> {
+        let mut active = self.lock();
+        if *active >= self.max {
+            return None;
+        }
+        *active += 1;
+        Some(Permit {
+            gate: Arc::clone(self),
+        })
+    }
+
+    fn release(&self) {
+        let mut active = self.lock();
+        *active = active.saturating_sub(1);
+        if *active == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until no connection holds a permit, or `timeout` elapses.
+    /// Returns whether the drain completed.
+    fn wait_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut active = self.lock();
+        while *active > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .drained
+                .wait_timeout(active, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            active = guard;
+        }
+        true
+    }
+}
+
+/// One connection's slot under the [`Gate`]. Released on drop, so a
+/// handler closure that never runs (thread-spawn failure) still returns
+/// its permit.
+#[derive(Debug)]
+struct Permit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+/// Everything the acceptors and handlers share.
+#[derive(Debug)]
+struct Shared {
+    state: Arc<Mutex<AdmissionState>>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<TransportCounters>,
+    gate: Arc<Gate>,
+    limits: ConnectionLimits,
+    local_addr: SocketAddr,
+    workers: usize,
 }
 
 /// A running server: the bound address, the shared state, and the worker
@@ -45,6 +261,9 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     state: Arc<Mutex<AdmissionState>>,
+    counters: Arc<TransportCounters>,
+    gate: Arc<Gate>,
+    limits: ConnectionLimits,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -62,15 +281,39 @@ impl ServerHandle {
         Arc::clone(&self.state)
     }
 
-    /// Blocks until every worker has exited (i.e. until some client sent
-    /// `Shutdown`, or [`Self::shutdown`] was called).
+    /// The connection layer's lock-free hardening counters. The returned
+    /// handle stays valid after [`Self::shutdown`]/[`Self::join`] consume
+    /// the server, so tests and hosting processes can assert on the final
+    /// tallies.
+    #[must_use]
+    pub fn transport(&self) -> Arc<TransportCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// A point-in-time copy of the transport counters.
+    #[must_use]
+    pub fn transport_stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+
+    /// Blocks until every acceptor has exited (i.e. until some client
+    /// sent `Shutdown`, or [`Self::shutdown`] was called), then waits for
+    /// the in-flight connection handlers to drain. With
+    /// [`ConnectionLimits::io_timeout`] configured the drain is bounded:
+    /// every handler blocked in a read wakes within one deadline period,
+    /// observes the shutdown flag, and exits.
     pub fn join(self) {
         for worker in self.workers {
             let _ = worker.join();
         }
+        self.gate.wait_drained(self.limits.drain_deadline());
     }
 
-    /// Initiates shutdown from the hosting process and joins the workers.
+    /// Initiates shutdown from the hosting process, joins the acceptors,
+    /// and drains the connection handlers. Terminates within roughly one
+    /// `io_timeout` of the call even if clients hold connections open or
+    /// sit mid-request — the deadline wakes their handlers, which observe
+    /// the flag and exit.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::Release);
         wake_workers(self.local_addr, self.workers.len());
@@ -78,7 +321,7 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener and spawns the worker pool.
+/// Binds the listener and spawns the acceptor pool.
 ///
 /// # Errors
 ///
@@ -87,26 +330,36 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let listener = Arc::new(listener);
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let state = Arc::new(Mutex::new(AdmissionState::new(config.admission)));
+    let limits = config.limits.sanitized();
     let worker_count = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        state: Arc::new(Mutex::new(AdmissionState::new(config.admission))),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        counters: Arc::new(TransportCounters::default()),
+        gate: Arc::new(Gate::new(limits.max_connections)),
+        limits,
+        local_addr,
+        workers: worker_count,
+    });
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
         let listener = Arc::clone(&listener);
-        let shutdown = Arc::clone(&shutdown);
-        let state = Arc::clone(&state);
+        let shared = Arc::clone(&shared);
         workers.push(
             std::thread::Builder::new()
-                .name(format!("fedsched-worker-{i}"))
+                .name(format!("fedsched-acceptor-{i}"))
                 .spawn(move || {
-                    worker_loop(&listener, &state, &shutdown, local_addr, worker_count);
+                    acceptor_loop(&listener, &shared);
                 })?,
         );
     }
     Ok(ServerHandle {
         local_addr,
-        shutdown,
-        state,
+        shutdown: Arc::clone(&shared.shutdown),
+        state: Arc::clone(&shared.state),
+        counters: Arc::clone(&shared.counters),
+        gate: Arc::clone(&shared.gate),
+        limits,
         workers,
     })
 }
@@ -119,33 +372,134 @@ fn lock(state: &Mutex<AdmissionState>) -> MutexGuard<'_, AdmissionState> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn worker_loop(
-    listener: &TcpListener,
-    state: &Mutex<AdmissionState>,
-    shutdown: &AtomicBool,
-    local_addr: SocketAddr,
-    worker_count: usize,
-) {
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
-        if shutdown.load(Ordering::Acquire) {
+        if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => continue,
         };
-        if shutdown.load(Ordering::Acquire) {
+        if shared.shutdown.load(Ordering::Acquire) {
             return; // wake-up connection; drop it unserved
         }
-        let triggered_shutdown = serve_connection(stream, state, shutdown).unwrap_or(false);
-        if triggered_shutdown {
-            wake_workers(local_addr, worker_count);
-            return;
+        let Some(permit) = shared.gate.try_acquire() else {
+            bump(&shared.counters.busy_rejections);
+            lock(&shared.state).count_transport(CounterKind::BusyRejection);
+            reject_busy(&stream);
+            continue;
+        };
+        bump(&shared.counters.connections_served);
+        let handler_shared = Arc::clone(shared);
+        // The permit moves into the closure; if the spawn fails and the
+        // closure is dropped unrun, Permit::drop still releases the slot.
+        let spawned = std::thread::Builder::new()
+            .name("fedsched-conn".to_owned())
+            .spawn(move || {
+                let _permit = permit;
+                let triggered = serve_connection(stream, &handler_shared).unwrap_or(false);
+                if triggered {
+                    wake_workers(handler_shared.local_addr, handler_shared.workers);
+                }
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: the connection was dropped with the
+            // closure. Count it as a rejection so the overload is visible.
+            bump(&shared.counters.busy_rejections);
         }
     }
 }
 
-/// Serves one connection to completion. Returns whether this connection
+/// How long the acceptor spends delivering a `Busy` rejection (writing
+/// the response and draining what the client already sent).
+const BUSY_IO_TIMEOUT: Duration = Duration::from_millis(100);
+/// Most bytes drained from a rejected connection before giving up.
+const BUSY_DRAIN_CAP: usize = 64 * 1024;
+/// The advisory backoff floor sent with every `Busy` response.
+const BUSY_RETRY_AFTER_MS: u64 = 100;
+
+/// Answers an over-capacity connection with a fast framed `Busy` and
+/// closes it. The write FIN-then-drain dance keeps the rejection readable:
+/// closing with unread client bytes in the receive queue would send an
+/// RST, which can discard the `Busy` line from the client's buffer before
+/// it is read.
+fn reject_busy(stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(BUSY_IO_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(BUSY_IO_TIMEOUT));
+    let mut writer = stream;
+    let _ = write_message(
+        &mut writer,
+        &Response::Busy {
+            retry_after_ms: BUSY_RETRY_AFTER_MS,
+        },
+    );
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut reader = stream;
+    let mut sink = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < BUSY_DRAIN_CAP {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// What one bounded, deadline-aware framing attempt produced.
+#[derive(Debug, PartialEq, Eq)]
+enum Frame {
+    /// A complete newline-terminated line sits in the buffer.
+    Line,
+    /// The peer closed the stream (possibly mid-line).
+    Eof,
+    /// The read deadline expired before the line completed; bytes read so
+    /// far stay in the buffer and the next call resumes the same line.
+    TimedOut,
+    /// The line exceeded the cap without a newline.
+    Oversized,
+}
+
+/// Appends to `buf` until a newline, EOF, deadline expiry, or the
+/// `max`-byte cap — whichever comes first. Reads raw bytes (UTF-8 is
+/// validated later, per complete frame) so a deadline expiring mid
+/// multi-byte character loses nothing.
+fn read_frame<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>, max: usize) -> io::Result<Frame> {
+    loop {
+        let budget = (max + 1).saturating_sub(buf.len());
+        if budget == 0 {
+            return Ok(Frame::Oversized);
+        }
+        let mut limited = reader.take(budget as u64);
+        match limited.read_until(b'\n', buf) {
+            Ok(0) => return Ok(Frame::Eof),
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    return Ok(Frame::Line);
+                }
+                if buf.len() > max {
+                    // The take limit (cap + 1) was reached newline-free.
+                    return Ok(Frame::Oversized);
+                }
+                return Ok(Frame::Eof); // EOF mid-line
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(Frame::TimedOut)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves one connection until it closes, misbehaves, exhausts its
+/// request budget, or the server drains. Returns whether this connection
 /// requested shutdown.
 ///
 /// The connection normally carries newline-delimited JSON requests, but a
@@ -153,35 +507,89 @@ fn worker_loop(
 /// request, as a Prometheus scraper sends it) is answered with one HTTP
 /// response carrying the text exposition, after which the connection
 /// closes — scrapers can point at the admission port directly.
-fn serve_connection(
-    stream: TcpStream,
-    state: &Mutex<AdmissionState>,
-    shutdown: &AtomicBool,
-) -> io::Result<bool> {
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
     let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(shared.limits.io_timeout)?;
+    stream.set_write_timeout(shared.limits.io_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut buf = Vec::new();
+    let mut strikes = 0u32;
+    let mut served = 0u64;
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        if shared.shutdown.load(Ordering::Acquire) {
+            bump(&shared.counters.drained_connections);
+            lock(&shared.state).count_transport(CounterKind::ConnectionDrained);
             return Ok(false);
         }
-        let trimmed = line.trim();
+        buf.clear();
+        loop {
+            match read_frame(&mut reader, &mut buf, shared.limits.max_frame_bytes)? {
+                Frame::Line => break,
+                Frame::Eof => return Ok(false),
+                Frame::TimedOut => {
+                    bump(&shared.counters.read_timeouts);
+                    lock(&shared.state).count_transport(CounterKind::ReadTimeout);
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        bump(&shared.counters.drained_connections);
+                        lock(&shared.state).count_transport(CounterKind::ConnectionDrained);
+                        return Ok(false);
+                    }
+                    strikes += 1;
+                    if strikes >= shared.limits.idle_strikes {
+                        bump(&shared.counters.connections_timed_out);
+                        let _ = write_message(
+                            &mut writer,
+                            &Response::Error {
+                                message: "idle timeout: no complete request before the deadline"
+                                    .to_owned(),
+                            },
+                        );
+                        return Ok(false);
+                    }
+                }
+                Frame::Oversized => {
+                    bump(&shared.counters.oversized_requests);
+                    lock(&shared.state).count_transport(CounterKind::OversizedRequest);
+                    let _ = write_message(
+                        &mut writer,
+                        &Response::Error {
+                            message: format!(
+                                "request exceeds the {}-byte frame cap",
+                                shared.limits.max_frame_bytes
+                            ),
+                        },
+                    );
+                    return Ok(false);
+                }
+            }
+        }
+        strikes = 0;
+        let Ok(text) = std::str::from_utf8(&buf) else {
+            bump(&shared.counters.malformed_requests);
+            let _ = write_message(
+                &mut writer,
+                &Response::Error {
+                    message: "request is not valid UTF-8".to_owned(),
+                },
+            );
+            return Ok(false);
+        };
+        let trimmed = text.trim();
         if trimmed.is_empty() {
             continue;
         }
         if trimmed == "GET /metrics" || trimmed.starts_with("GET /metrics ") {
-            serve_metrics_http(&mut writer, state)?;
+            serve_metrics_http(&mut writer, shared)?;
             return Ok(false);
         }
         match serde_json::from_str::<Request>(trimmed) {
             Ok(request) => {
                 let stop = matches!(request, Request::Shutdown);
                 if stop {
-                    shutdown.store(true, Ordering::Release);
+                    shared.shutdown.store(true, Ordering::Release);
                 }
-                let response = dispatch(request, state);
+                let response = dispatch(request, shared);
                 write_message(&mut writer, &response)?;
                 if stop {
                     return Ok(true);
@@ -190,6 +598,7 @@ fn serve_connection(
             Err(e) => {
                 // Malformed request: report and drop the connection — the
                 // line framing gives no reliable resynchronization point.
+                bump(&shared.counters.malformed_requests);
                 let _ = write_message(
                     &mut writer,
                     &Response::Error {
@@ -199,13 +608,38 @@ fn serve_connection(
                 return Ok(false);
             }
         }
+        served += 1;
+        if served >= shared.limits.max_requests_per_connection {
+            bump(&shared.counters.budget_exhausted);
+            let _ = write_message(
+                &mut writer,
+                &Response::Error {
+                    message: format!(
+                        "per-connection request budget ({}) exhausted; reconnect",
+                        shared.limits.max_requests_per_connection
+                    ),
+                },
+            );
+            return Ok(false);
+        }
     }
+}
+
+/// Assembles the snapshot the server serves: the admission counters (one
+/// short critical section — the guard is dropped before any rendering)
+/// merged with the lock-free transport counters.
+fn merged_snapshot(shared: &Shared) -> StatsSnapshot {
+    // Binding the snapshot first bounds the lock to the copy itself;
+    // rendering (and the scrape write) must never block admissions.
+    let mut snapshot = lock(&shared.state).snapshot();
+    snapshot.transport = shared.counters.snapshot();
+    snapshot
 }
 
 /// Answers a `GET /metrics` scrape with one minimal HTTP response and the
 /// Prometheus exposition body.
-fn serve_metrics_http<W: Write>(writer: &mut W, state: &Mutex<AdmissionState>) -> io::Result<()> {
-    let body = render_prometheus(&lock(state).snapshot());
+fn serve_metrics_http<W: Write>(writer: &mut W, shared: &Shared) -> io::Result<()> {
+    let body = render_prometheus(&merged_snapshot(shared));
     write!(
         writer,
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -216,7 +650,8 @@ fn serve_metrics_http<W: Write>(writer: &mut W, state: &Mutex<AdmissionState>) -
 }
 
 /// Maps one request to its response against the shared state.
-fn dispatch(request: Request, state: &Mutex<AdmissionState>) -> Response {
+fn dispatch(request: Request, shared: &Shared) -> Response {
+    let state = &shared.state;
     match request {
         Request::Admit { task, trace_id } => match lock(state).admit_traced(task, trace_id) {
             Ok(admitted) => Response::Admitted {
@@ -242,18 +677,140 @@ fn dispatch(request: Request, state: &Mutex<AdmissionState>) -> Response {
             None => Response::NotFound { token },
         },
         Request::Stats => Response::Stats {
-            snapshot: lock(state).snapshot(),
+            snapshot: merged_snapshot(shared),
         },
         Request::StatsPrometheus => Response::Metrics {
-            text: render_prometheus(&lock(state).snapshot()),
+            text: render_prometheus(&merged_snapshot(shared)),
         },
         Request::Shutdown => Response::ShuttingDown,
     }
 }
 
-/// Unblocks workers sitting in `accept` by connecting once per worker.
+/// Unblocks acceptors sitting in `accept` by connecting once per worker.
 fn wake_workers(addr: SocketAddr, worker_count: usize) {
     for _ in 0..worker_count {
         let _ = TcpStream::connect(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_frame_returns_complete_lines() {
+        let mut reader = io::BufReader::new(&b"{\"op\":1}\nrest"[..]);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_frame(&mut reader, &mut buf, 1024).unwrap(),
+            Frame::Line
+        );
+        assert_eq!(buf, b"{\"op\":1}\n");
+        buf.clear();
+        // The trailing bytes have no newline: EOF mid-line.
+        assert_eq!(read_frame(&mut reader, &mut buf, 1024).unwrap(), Frame::Eof);
+        assert_eq!(buf, b"rest");
+    }
+
+    #[test]
+    fn read_frame_caps_newline_free_streams() {
+        let flood = vec![b'a'; 4096];
+        let mut reader = io::BufReader::new(&flood[..]);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_frame(&mut reader, &mut buf, 100).unwrap(),
+            Frame::Oversized
+        );
+        // Bounded: the cap plus the one probe byte, never the whole flood.
+        assert_eq!(buf.len(), 101);
+    }
+
+    #[test]
+    fn read_frame_accepts_a_line_exactly_at_the_cap() {
+        let mut line = vec![b'x'; 99];
+        line.push(b'\n');
+        let mut reader = io::BufReader::new(&line[..]);
+        let mut buf = Vec::new();
+        assert_eq!(read_frame(&mut reader, &mut buf, 100).unwrap(), Frame::Line);
+        assert_eq!(buf.len(), 100);
+    }
+
+    /// A reader yielding one byte per call, then a timeout, repeatedly —
+    /// a slowloris in miniature.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        ticks: usize,
+    }
+
+    impl io::Read for Trickle {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            self.ticks += 1;
+            if self.ticks.is_multiple_of(2) {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            match self.data.get(self.pos) {
+                Some(&b) => {
+                    out[0] = b;
+                    self.pos += 1;
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn read_frame_resumes_partial_lines_across_timeouts() {
+        let mut reader = io::BufReader::with_capacity(
+            1,
+            Trickle {
+                data: b"ab\n".to_vec(),
+                pos: 0,
+                ticks: 0,
+            },
+        );
+        let mut buf = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match read_frame(&mut reader, &mut buf, 64).unwrap() {
+                Frame::Line => break,
+                Frame::TimedOut => timeouts += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(timeouts < 100, "never completed the line");
+        }
+        assert_eq!(buf, b"ab\n");
+        assert!(timeouts > 0, "the trickle reader must have timed out");
+    }
+
+    #[test]
+    fn limits_sanitize_to_usable_floors() {
+        let limits = ConnectionLimits {
+            io_timeout: Some(Duration::ZERO),
+            idle_strikes: 0,
+            max_frame_bytes: 0,
+            max_connections: 0,
+            max_requests_per_connection: 0,
+        }
+        .sanitized();
+        assert_eq!(limits.io_timeout, None, "zero deadline means no deadline");
+        assert_eq!(limits.idle_strikes, 1);
+        assert_eq!(limits.max_frame_bytes, 64);
+        assert_eq!(limits.max_connections, 1);
+        assert_eq!(limits.max_requests_per_connection, 1);
+    }
+
+    #[test]
+    fn gate_bounds_permits_and_reports_drain() {
+        let gate = Arc::new(Gate::new(2));
+        let a = gate.try_acquire().expect("first permit");
+        let b = gate.try_acquire().expect("second permit");
+        assert!(gate.try_acquire().is_none(), "cap reached");
+        assert!(!gate.wait_drained(Duration::from_millis(10)));
+        drop(a);
+        drop(b);
+        assert!(gate.wait_drained(Duration::from_millis(10)));
+        assert!(gate.try_acquire().is_some(), "permits recycle");
     }
 }

@@ -42,7 +42,7 @@ use fedsched_telemetry::{CounterKind, EventSink, SpanPhase, TelemetryEvent, Trac
 
 use crate::cache::{CachedSizing, TemplateCache};
 use crate::protocol::Placement;
-use crate::stats::{Stats, StatsSnapshot};
+use crate::stats::{Stats, StatsSnapshot, TransportStats};
 
 /// Static configuration of an [`AdmissionState`].
 #[derive(Debug, Clone, Copy)]
@@ -314,7 +314,20 @@ impl AdmissionState {
             latency_p90_us: self.stats.latency.quantile(0.9),
             latency_p99_us: self.stats.latency.quantile(0.99),
             probe: self.probe,
+            // The transport counters live with the server's connection
+            // layer, not behind this lock; the server overwrites this
+            // field when it assembles the snapshot it actually serves.
+            transport: TransportStats::default(),
         }
+    }
+
+    /// Records one transport-level hardening event (read timeout,
+    /// oversized frame, busy rejection, drain) on the telemetry bus, so
+    /// connection-layer incidents interleave with analysis spans on the
+    /// same timeline. The aggregate counts are kept lock-free by the
+    /// server; this is only the event-stream mirror.
+    pub fn count_transport(&mut self, kind: CounterKind) {
+        self.sink.count(None, kind);
     }
 
     /// Admits one task, or reports exactly why a batch run would reject the

@@ -113,6 +113,39 @@ pub struct Stats {
     pub latency: LatencyHistogram,
 }
 
+/// Transport-level hardening counters: everything the server's connection
+/// layer did to defend itself against hostile, slow, or bursty clients.
+///
+/// These are kept in lock-free atomics by the server (they must stay
+/// observable even when the admission lock is contended) and merged into
+/// [`StatsSnapshot`] when a snapshot is taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Connections accepted and handed to a handler since start.
+    pub connections_served: u64,
+    /// Connections turned away with `Busy` because the concurrent
+    /// connection cap was reached.
+    pub busy_rejections: u64,
+    /// Per-connection read deadlines that expired (the connection is kept
+    /// unless expiries repeat).
+    pub read_timeouts: u64,
+    /// Connections dropped after repeated consecutive read-deadline
+    /// expiries without a complete request.
+    pub connections_timed_out: u64,
+    /// Request frames that exceeded the configured byte cap (the
+    /// connection is dropped after a framed `Error`).
+    pub oversized_requests: u64,
+    /// Request lines that were not valid UTF-8 JSON (the connection is
+    /// dropped after a framed `Error`).
+    pub malformed_requests: u64,
+    /// Connections dropped because they exhausted the per-connection
+    /// request budget.
+    pub budget_exhausted: u64,
+    /// Connections closed by the graceful-shutdown drain while the client
+    /// still held them open.
+    pub drained_connections: u64,
+}
+
 /// A point-in-time, serializable view of the server's counters, returned by
 /// the `Stats` request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -157,6 +190,9 @@ pub struct StatsSnapshot {
     /// demand-bound evaluations, first-fit probes, cache traffic, and
     /// per-phase wall time.
     pub probe: AnalysisProbe,
+    /// Transport-level hardening counters (timeouts, oversized frames,
+    /// busy rejections, drain events).
+    pub transport: TransportStats,
 }
 
 /// Renders a snapshot in the Prometheus text exposition format — the body
@@ -255,6 +291,53 @@ pub fn render_prometheus(snapshot: &StatsSnapshot) -> String {
         out.sample(name, &[], value);
     }
 
+    let transport: [(&str, &str, u64); 8] = [
+        (
+            "fedsched_connections_served_total",
+            "Connections accepted and handed to a handler since start",
+            snapshot.transport.connections_served,
+        ),
+        (
+            "fedsched_busy_rejections_total",
+            "Connections turned away at the concurrent-connection cap",
+            snapshot.transport.busy_rejections,
+        ),
+        (
+            "fedsched_read_timeouts_total",
+            "Per-connection read deadlines that expired",
+            snapshot.transport.read_timeouts,
+        ),
+        (
+            "fedsched_connections_timed_out_total",
+            "Connections dropped after repeated idle read deadlines",
+            snapshot.transport.connections_timed_out,
+        ),
+        (
+            "fedsched_oversized_requests_total",
+            "Request frames rejected for exceeding the byte cap",
+            snapshot.transport.oversized_requests,
+        ),
+        (
+            "fedsched_malformed_requests_total",
+            "Request lines that were not valid UTF-8 JSON",
+            snapshot.transport.malformed_requests,
+        ),
+        (
+            "fedsched_request_budget_exhausted_total",
+            "Connections dropped at the per-connection request budget",
+            snapshot.transport.budget_exhausted,
+        ),
+        (
+            "fedsched_drained_connections_total",
+            "Connections closed by the graceful-shutdown drain",
+            snapshot.transport.drained_connections,
+        ),
+    ];
+    for (name, help, value) in transport {
+        out.header(name, help, "counter");
+        out.sample(name, &[], value);
+    }
+
     out.power_of_two_histogram(
         "fedsched_admit_latency_us",
         "Admission decision latency, microseconds",
@@ -335,6 +418,16 @@ mod tests {
             latency_p90_us: None,
             latency_p99_us: None,
             probe: AnalysisProbe::default(),
+            transport: TransportStats {
+                connections_served: 9,
+                busy_rejections: 3,
+                read_timeouts: 2,
+                connections_timed_out: 1,
+                oversized_requests: 5,
+                malformed_requests: 6,
+                budget_exhausted: 7,
+                drained_connections: 4,
+            },
         };
         let text = render_prometheus(&snapshot);
         fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
@@ -349,5 +442,56 @@ mod tests {
             .lines()
             .any(|l| l == "fedsched_admit_latency_us_bucket{le=\"+Inf\"} 0"));
         assert!(text.contains("fedsched_analysis_ls_runs_total"));
+        // Every transport hardening counter is exported under its stable
+        // name with the value the snapshot carried.
+        for line in [
+            "fedsched_connections_served_total 9",
+            "fedsched_busy_rejections_total 3",
+            "fedsched_read_timeouts_total 2",
+            "fedsched_connections_timed_out_total 1",
+            "fedsched_oversized_requests_total 5",
+            "fedsched_malformed_requests_total 6",
+            "fedsched_request_budget_exhausted_total 7",
+            "fedsched_drained_connections_total 4",
+        ] {
+            assert!(text.lines().any(|l| l == line), "missing {line:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn snapshots_with_transport_counters_roundtrip() {
+        let snapshot = StatsSnapshot {
+            processors: 2,
+            dedicated_processors: 0,
+            shared_processors: 2,
+            resident_tasks: 0,
+            admitted_high: 0,
+            admitted_low: 0,
+            rejected_high: 0,
+            rejected_low: 0,
+            removed: 0,
+            remove_anomalies: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            latency_buckets_us: vec![0; LATENCY_BUCKETS],
+            latency_p50_us: None,
+            latency_p90_us: None,
+            latency_p99_us: None,
+            probe: AnalysisProbe::default(),
+            transport: TransportStats {
+                connections_served: 9,
+                busy_rejections: 3,
+                read_timeouts: 2,
+                connections_timed_out: 1,
+                oversized_requests: 5,
+                malformed_requests: 6,
+                budget_exhausted: 7,
+                drained_connections: 4,
+            },
+        };
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.transport, snapshot.transport);
     }
 }

@@ -1,0 +1,411 @@
+//! Fault-injection suite: drives hostile and overloaded traffic —
+//! slowloris trickles, newline-free floods, garbage bytes, partial
+//! writes, mid-request disconnects, connection hogs — against a real
+//! server over loopback and asserts the hardening layer holds: bounded
+//! memory, bounded time, fast `Busy` rejections, drain-based shutdown,
+//! and a counter incremented for every failure mode.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration as Ticks;
+use fedsched_service::chaos::ChaosClient;
+use fedsched_service::client::{Client, ClientConfig};
+use fedsched_service::protocol::Response;
+use fedsched_service::server::{
+    serve, ConnectionLimits, ServerConfig, ServerHandle, TransportCounters,
+};
+use fedsched_service::state::AdmissionConfig;
+use fedsched_service::stats::TransportStats;
+
+fn start_server(limits: ConnectionLimits) -> ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        admission: AdmissionConfig::new(16).with_telemetry(256),
+        limits,
+    })
+    .expect("bind loopback")
+}
+
+fn task() -> DagTask {
+    DagTask::sequential(Ticks::new(1), Ticks::new(4), Ticks::new(8)).expect("valid task")
+}
+
+/// Polls the transport counters until `pred` holds or five seconds pass.
+fn wait_for(counters: &TransportCounters, pred: impl Fn(&TransportStats) -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if pred(&counters.snapshot()) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn slowloris_clients_strike_out_and_cannot_starve_admissions() {
+    let handle = start_server(ConnectionLimits {
+        io_timeout: Some(Duration::from_millis(150)),
+        idle_strikes: 2,
+        ..ConnectionLimits::default()
+    });
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // Four attackers trickle bytes with pauses beyond the read deadline,
+    // never completing a request line.
+    let attackers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut chaos = ChaosClient::connect(addr).expect("attacker connect");
+                chaos.trickle(b"{\"Admit\":{\"task\":", Duration::from_millis(400));
+            })
+        })
+        .collect();
+
+    // While the attack runs, a well-formed client's admissions go through.
+    let mut client = Client::connect(addr).expect("client connect");
+    for _ in 0..10 {
+        assert!(
+            matches!(client.admit(&task()).unwrap(), Response::Admitted { .. }),
+            "admissions must not starve under slowloris load"
+        );
+    }
+
+    // Every attacker eventually times out repeatedly and is dropped.
+    assert!(
+        wait_for(&counters, |t| t.read_timeouts >= 1),
+        "trickle pauses beyond the deadline must register as read timeouts"
+    );
+    assert!(
+        wait_for(&counters, |t| t.connections_timed_out >= 4),
+        "all four slowloris connections must strike out, got {:?}",
+        counters.snapshot()
+    );
+    for attacker in attackers {
+        attacker.join().expect("attacker thread");
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn newline_free_floods_are_rejected_with_bounded_memory() {
+    let handle = start_server(ConnectionLimits {
+        max_frame_bytes: 64 * 1024,
+        ..ConnectionLimits::default()
+    });
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // A 10 MiB stream with no newline: the server must give up after the
+    // 64 KiB frame cap, not buffer the flood.
+    let mut chaos = ChaosClient::connect(addr).expect("flood connect");
+    chaos
+        .set_io_timeout(Some(Duration::from_millis(500)))
+        .expect("set deadline");
+    let written = chaos.flood(b'a', 10 * 1024 * 1024);
+    assert!(written > 64 * 1024, "the flood outran the frame cap");
+    assert!(
+        wait_for(&counters, |t| t.oversized_requests == 1),
+        "the flood must register exactly one oversized rejection, got {:?}",
+        counters.snapshot()
+    );
+    // Best-effort: the framed Error may be lost to the connection reset,
+    // but the drain must terminate either way.
+    let _ = chaos.drain_within(Duration::from_millis(500));
+    drop(chaos);
+
+    // The server survives with memory to spare: normal service continues.
+    let mut client = Client::connect(addr).expect("client connect");
+    assert!(matches!(
+        client.admit(&task()).unwrap(),
+        Response::Admitted { .. }
+    ));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_returns_promptly_with_silent_clients_connected() {
+    let handle = start_server(ConnectionLimits {
+        io_timeout: Some(Duration::from_millis(200)),
+        idle_strikes: 50, // never strike out during the test
+        ..ConnectionLimits::default()
+    });
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // Three clients connect and go silent; a fourth stalls mid-request.
+    let silent: Vec<_> = (0..3)
+        .map(|_| ChaosClient::connect(addr).expect("silent connect"))
+        .collect();
+    let mut partial = ChaosClient::connect(addr).expect("partial connect");
+    partial.send(b"{\"Admit\"").expect("partial write");
+    assert!(
+        wait_for(&counters, |t| t.connections_served == 4),
+        "all four connections must reach their handlers"
+    );
+
+    // Shutdown must terminate despite the held-open connections: every
+    // handler wakes within one read deadline, observes the flag, exits.
+    let (tx, rx) = mpsc::channel();
+    let shutdown = std::thread::spawn(move || {
+        let started = Instant::now();
+        handle.shutdown();
+        tx.send(started.elapsed()).expect("report elapsed");
+    });
+    let elapsed = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("shutdown() must return with silent clients connected");
+    assert!(
+        elapsed < Duration::from_secs(6),
+        "drain took {elapsed:?}, beyond the deadline bound"
+    );
+    shutdown.join().expect("shutdown thread");
+    assert!(
+        counters.snapshot().drained_connections >= 3,
+        "the drain must be visible in the counters, got {:?}",
+        counters.snapshot()
+    );
+    drop(silent);
+    drop(partial);
+}
+
+#[test]
+fn over_capacity_connections_get_a_fast_busy_and_clients_retry_through() {
+    let handle = start_server(ConnectionLimits {
+        max_connections: 1,
+        ..ConnectionLimits::default()
+    });
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // The hog occupies the only permit; a completed request/response pair
+    // proves its handler is live before we probe.
+    let mut hog = ChaosClient::connect(addr).expect("hog connect");
+    hog.send(b"\"Stats\"\n").expect("hog request");
+    assert!(
+        hog.read_line_within(Duration::from_secs(2))
+            .expect("hog read")
+            .is_some(),
+        "the hog's handler must be serving"
+    );
+
+    // A raw probe is turned away with a framed Busy, fast — no deadline
+    // expiry involved.
+    let mut probe = ChaosClient::connect(addr).expect("probe connect");
+    let started = Instant::now();
+    let line = probe
+        .read_line_within(Duration::from_secs(2))
+        .expect("probe read")
+        .expect("probe must get a response, not silence");
+    assert!(line.contains("Busy"), "expected a Busy line, got {line:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "Busy must be fast, took {:?}",
+        started.elapsed()
+    );
+
+    // A hardened client retries through the saturation once the hog leaves.
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        drop(hog);
+    });
+    let mut client = Client::connect_with(
+        addr,
+        ClientConfig {
+            busy_retries: 20,
+            backoff_base: Duration::from_millis(30),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("client connect");
+    assert!(
+        matches!(client.admit(&task()).unwrap(), Response::Admitted { .. }),
+        "the Busy retry must land once capacity frees up"
+    );
+    assert!(
+        counters.snapshot().busy_rejections >= 1,
+        "rejections must be counted, got {:?}",
+        counters.snapshot()
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn garbage_partial_writes_and_disconnects_leave_the_server_serving() {
+    let handle = start_server(ConnectionLimits::default());
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // Garbage bytes (not even UTF-8) on a complete line: framed Error.
+    let mut garbage = ChaosClient::connect(addr).expect("garbage connect");
+    garbage
+        .send(b"\x00\xff\xfe total garbage\n")
+        .expect("garbage send");
+    let line = garbage
+        .read_line_within(Duration::from_secs(2))
+        .expect("garbage read")
+        .expect("garbage must be answered before the drop");
+    assert!(line.contains("Error"), "expected Error, got {line:?}");
+
+    // Valid UTF-8, invalid JSON: also a framed Error.
+    let mut notjson = ChaosClient::connect(addr).expect("notjson connect");
+    notjson.send(b"{this is not json\n").expect("notjson send");
+    let line = notjson
+        .read_line_within(Duration::from_secs(2))
+        .expect("notjson read")
+        .expect("malformed JSON must be answered");
+    assert!(line.contains("Error"), "expected Error, got {line:?}");
+
+    // A mid-request disconnect (partial line, then write-side close) is
+    // dropped quietly — no response, no handler wedge.
+    let mut dropped = ChaosClient::connect(addr).expect("dropped connect");
+    dropped.send(b"{\"Admit\":{\"task\"").expect("partial send");
+    dropped.disconnect_write().expect("half close");
+    assert_eq!(
+        dropped
+            .read_line_within(Duration::from_secs(2))
+            .expect("dropped read"),
+        None,
+        "a mid-request disconnect gets EOF, not a response"
+    );
+
+    assert!(
+        wait_for(&counters, |t| t.malformed_requests >= 2),
+        "both malformed requests must be counted, got {:?}",
+        counters.snapshot()
+    );
+
+    // After all of it, a well-formed client is served normally.
+    let mut client = Client::connect(addr).expect("client connect");
+    assert!(matches!(
+        client.admit(&task()).unwrap(),
+        Response::Admitted { .. }
+    ));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn client_calls_fail_within_the_deadline_against_a_stalled_server() {
+    // A listener that accepts nothing: connections sit in the backlog and
+    // no byte is ever answered.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind stall");
+    let addr = listener.local_addr().expect("stall addr");
+
+    let mut client = Client::connect_with(
+        addr,
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(2)),
+            io_timeout: Some(Duration::from_millis(300)),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect lands in the backlog");
+    let started = Instant::now();
+    let err = client.stats().expect_err("the call must not hang");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "expected a deadline error, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the deadline must bound the call, took {:?}",
+        started.elapsed()
+    );
+    drop(listener);
+}
+
+#[test]
+fn per_connection_request_budgets_force_reconnection() {
+    let handle = start_server(ConnectionLimits {
+        max_requests_per_connection: 3,
+        ..ConnectionLimits::default()
+    });
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    let mut client = Client::connect(addr).expect("client connect");
+    for _ in 0..3 {
+        assert!(matches!(client.stats().unwrap(), Response::Stats { .. }));
+    }
+    // The budget notice was framed after the third response and the
+    // connection closed; depending on buffering the fourth call sees the
+    // Error line or the closed stream. Either way it terminates.
+    match client.stats() {
+        Ok(Response::Error { message }) => {
+            assert!(message.contains("budget"), "unexpected error: {message}");
+        }
+        Ok(other) => panic!("the fourth call cannot succeed, got {other:?}"),
+        Err(_) => {}
+    }
+    assert!(
+        wait_for(&counters, |t| t.budget_exhausted == 1),
+        "the exhausted budget must be counted, got {:?}",
+        counters.snapshot()
+    );
+    // The client reconnects transparently and service continues.
+    assert!(matches!(client.stats().unwrap(), Response::Stats { .. }));
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn every_chaos_counter_surfaces_in_the_live_prometheus_exposition() {
+    let handle = start_server(ConnectionLimits {
+        max_frame_bytes: 1024,
+        ..ConnectionLimits::default()
+    });
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // One oversized flood and one malformed line.
+    let mut flood = ChaosClient::connect(addr).expect("flood connect");
+    flood
+        .set_io_timeout(Some(Duration::from_millis(500)))
+        .expect("set deadline");
+    flood.flood(b'x', 8 * 1024);
+    let mut garbage = ChaosClient::connect(addr).expect("garbage connect");
+    garbage.send(b"nonsense\n").expect("garbage send");
+    assert!(
+        wait_for(&counters, |t| t.oversized_requests == 1
+            && t.malformed_requests == 1),
+        "both incidents must be counted, got {:?}",
+        counters.snapshot()
+    );
+
+    let mut client = Client::connect(addr).expect("client connect");
+    let Response::Metrics { text } = client.stats_prometheus().expect("scrape") else {
+        panic!("StatsPrometheus answered something else");
+    };
+    fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
+    for line in [
+        "fedsched_oversized_requests_total 1",
+        "fedsched_malformed_requests_total 1",
+    ] {
+        assert!(
+            text.lines().any(|l| l == line),
+            "expected {line:?} in the exposition:\n{text}"
+        );
+    }
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("fedsched_connections_served_total ")),
+        "served connections render:\n{text}"
+    );
+    drop(client);
+    drop(flood);
+    drop(garbage);
+    handle.shutdown();
+}

@@ -10,7 +10,7 @@ use fedsched_dag::task::DagTask;
 use fedsched_dag::time::Duration;
 use fedsched_service::client::Client;
 use fedsched_service::protocol::Response;
-use fedsched_service::server::{serve, ServerConfig, ServerHandle};
+use fedsched_service::server::{serve, ConnectionLimits, ServerConfig, ServerHandle};
 use fedsched_service::state::AdmissionConfig;
 
 fn start_server() -> ServerHandle {
@@ -18,6 +18,7 @@ fn start_server() -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         admission: AdmissionConfig::new(8).with_telemetry(256),
+        limits: ConnectionLimits::default(),
     })
     .expect("bind loopback")
 }
@@ -51,6 +52,23 @@ fn exposition_parses_after_an_admission() {
             .any(|l| l.starts_with("fedsched_admit_latency_us_count 1")),
         "latency histogram counted the decision:\n{text}"
     );
+    // Transport-hardening counters ride along in the same exposition.
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("fedsched_connections_served_total ")),
+        "connection counter is exposed:\n{text}"
+    );
+    for name in [
+        "fedsched_busy_rejections_total 0",
+        "fedsched_read_timeouts_total 0",
+        "fedsched_oversized_requests_total 0",
+        "fedsched_drained_connections_total 0",
+    ] {
+        assert!(
+            text.lines().any(|l| l == name),
+            "quiet counter {name:?} renders as zero:\n{text}"
+        );
+    }
 
     // The server state retained the admission's telemetry, stamped with
     // the request's trace id.

@@ -9,7 +9,7 @@ use fedsched_dag::task::DagTask;
 use fedsched_dag::time::Duration;
 use fedsched_service::client::Client;
 use fedsched_service::protocol::{Placement, Response};
-use fedsched_service::server::{serve, ServerConfig, ServerHandle};
+use fedsched_service::server::{serve, ConnectionLimits, ServerConfig, ServerHandle};
 use fedsched_service::state::AdmissionConfig;
 
 const CLIENTS: usize = 4;
@@ -20,6 +20,7 @@ fn start_server(processors: u32) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         workers: CLIENTS,
         admission: AdmissionConfig::new(processors),
+        limits: ConnectionLimits::default(),
     })
     .expect("bind loopback")
 }

@@ -84,6 +84,18 @@ pub enum CounterKind {
     /// An instant at which a shared EDF processor's pending demand
     /// provably exceeded the time left to a deadline.
     SharedOverload,
+    /// A per-connection read deadline expired on the admission server
+    /// (the connection is kept unless expiries repeat).
+    ReadTimeout,
+    /// A request frame exceeded the server's configured byte cap and the
+    /// connection was rejected.
+    OversizedRequest,
+    /// A connection was turned away because the server was already
+    /// serving its configured maximum number of connections.
+    BusyRejection,
+    /// A connection was closed by the graceful-shutdown drain while the
+    /// client still held it open.
+    ConnectionDrained,
 }
 
 impl CounterKind {
@@ -98,6 +110,10 @@ impl CounterKind {
             CounterKind::DeadlineMiss => "deadline_miss",
             CounterKind::TemplateDivergence => "template_divergence",
             CounterKind::SharedOverload => "shared_overload",
+            CounterKind::ReadTimeout => "read_timeout",
+            CounterKind::OversizedRequest => "oversized_request",
+            CounterKind::BusyRejection => "busy_rejection",
+            CounterKind::ConnectionDrained => "connection_drained",
         }
     }
 }
@@ -237,6 +253,17 @@ mod tests {
             CounterKind::TemplateDivergence.name(),
             "template_divergence"
         );
+        for kind in [
+            CounterKind::ReadTimeout,
+            CounterKind::OversizedRequest,
+            CounterKind::BusyRejection,
+            CounterKind::ConnectionDrained,
+        ] {
+            assert!(kind
+                .name()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
         assert_eq!(TraceId(4).to_string(), "trace:4");
     }
 }
