@@ -47,6 +47,15 @@ pub struct AnalysisProbe {
     pub ls_runs: u64,
     /// Makespan-versus-deadline evaluations of an LS template.
     pub makespan_evaluations: u64,
+    /// Candidate cluster sizes `μ` eliminated from a `MINPROCS` search by
+    /// Graham's bounds (`makespan_lower_bound` / `graham_upper_bound`)
+    /// without running List Scheduling on them.
+    pub ls_runs_pruned: u64,
+    /// Work items offered to the parallel fan-out layer (`MINPROCS` wave
+    /// candidates, FEDCONS phase-1 sizings, experiment trials). Counted
+    /// identically at every pool width — including width 1, where the items
+    /// run inline — so the counter is part of the determinism contract.
+    pub par_tasks_dispatched: u64,
     /// Approximate demand-bound (`DBF*`) evaluations, one per resident
     /// task per first-fit admission test.
     pub dbf_approx_evals: u64,
@@ -88,6 +97,10 @@ impl AnalysisProbe {
         self.makespan_evaluations = self
             .makespan_evaluations
             .saturating_add(other.makespan_evaluations);
+        self.ls_runs_pruned = self.ls_runs_pruned.saturating_add(other.ls_runs_pruned);
+        self.par_tasks_dispatched = self
+            .par_tasks_dispatched
+            .saturating_add(other.par_tasks_dispatched);
         self.dbf_approx_evals = self.dbf_approx_evals.saturating_add(other.dbf_approx_evals);
         self.dbf_exact_evals = self.dbf_exact_evals.saturating_add(other.dbf_exact_evals);
         self.fits_calls = self.fits_calls.saturating_add(other.fits_calls);
@@ -103,6 +116,23 @@ impl AnalysisProbe {
     pub fn is_empty(&self) -> bool {
         *self == AnalysisProbe::default()
     }
+
+    /// A copy with the wall-clock fields (`sizing_nanos`, `partition_nanos`,
+    /// `wall_nanos`) zeroed, leaving only the deterministic work counters.
+    ///
+    /// This is the comparison form of the determinism contract: two analyses
+    /// of the same input must produce equal `deterministic()` probes at any
+    /// pool width, while the nanosecond fields are measurements and may
+    /// differ run to run.
+    #[must_use]
+    pub fn deterministic(&self) -> AnalysisProbe {
+        AnalysisProbe {
+            sizing_nanos: 0,
+            partition_nanos: 0,
+            wall_nanos: 0,
+            ..*self
+        }
+    }
 }
 
 impl AddAssign<&AnalysisProbe> for AnalysisProbe {
@@ -115,10 +145,12 @@ impl fmt::Display for AnalysisProbe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ls_runs={} makespans={} dbf*={} dbf={} fits={} cache={}H/{}M \
-             sizing={}ns partition={}ns wall={}ns",
+            "ls_runs={} makespans={} pruned={} dispatched={} dbf*={} dbf={} fits={} \
+             cache={}H/{}M sizing={}ns partition={}ns wall={}ns",
             self.ls_runs,
             self.makespan_evaluations,
+            self.ls_runs_pruned,
+            self.par_tasks_dispatched,
             self.dbf_approx_evals,
             self.dbf_exact_evals,
             self.fits_calls,
@@ -140,6 +172,8 @@ mod tests {
         let mut a = AnalysisProbe {
             ls_runs: 1,
             makespan_evaluations: 2,
+            ls_runs_pruned: 11,
+            par_tasks_dispatched: 12,
             dbf_approx_evals: 3,
             dbf_exact_evals: 4,
             fits_calls: 5,
@@ -152,6 +186,8 @@ mod tests {
         let b = a;
         a += &b;
         assert_eq!(a.ls_runs, 2);
+        assert_eq!(a.ls_runs_pruned, 22);
+        assert_eq!(a.par_tasks_dispatched, 24);
         assert_eq!(a.wall_nanos, 20);
         assert!(!a.is_empty());
         assert!(AnalysisProbe::new().is_empty());
@@ -194,8 +230,38 @@ mod tests {
     #[test]
     fn display_mentions_every_counter() {
         let s = AnalysisProbe::default().to_string();
-        for key in ["ls_runs", "dbf*", "fits", "cache", "wall"] {
+        for key in [
+            "ls_runs",
+            "pruned",
+            "dispatched",
+            "dbf*",
+            "fits",
+            "cache",
+            "wall",
+        ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
+    }
+
+    #[test]
+    fn deterministic_view_zeroes_only_wall_clock_fields() {
+        let probe = AnalysisProbe {
+            ls_runs: 3,
+            ls_runs_pruned: 4,
+            par_tasks_dispatched: 5,
+            sizing_nanos: 100,
+            partition_nanos: 200,
+            wall_nanos: 300,
+            ..AnalysisProbe::default()
+        };
+        let det = probe.deterministic();
+        assert_eq!(det.ls_runs, 3);
+        assert_eq!(det.ls_runs_pruned, 4);
+        assert_eq!(det.par_tasks_dispatched, 5);
+        assert_eq!(det.sizing_nanos, 0);
+        assert_eq!(det.partition_nanos, 0);
+        assert_eq!(det.wall_nanos, 0);
+        // Idempotent: a deterministic view is its own deterministic view.
+        assert_eq!(det.deterministic(), det);
     }
 }

@@ -1,0 +1,511 @@
+//! Reproducible analysis-engine benchmark: the bound-guided parallel
+//! engine versus a seed-equivalent naive baseline, on the workloads the
+//! optimization targets. Writes a machine-readable `BENCH_analysis.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! analysis_bench [--quick] [--out FILE]
+//! ```
+//!
+//! The **baseline** reproduces the pre-optimization engine faithfully: a
+//! literal Fig. 3 sweep from the processor lower bound upward, one full
+//! List-Scheduling run — including a fresh priority-rank computation —
+//! per candidate, strictly sequentially, with no Graham-bound pruning.
+//!
+//! The **engine** columns run the current analysis at pool widths 1, 2, 4
+//! and 8. On a single-core host the width-1 column already isolates the
+//! algorithmic gains (rank hoisting, bound-guided candidate windows,
+//! certificate decisions); wider pools add wall-clock scaling on
+//! multi-core hosts. Every suite asserts the engine's verdicts equal the
+//! baseline's before any timing is reported — the speedup is never bought
+//! with a different answer.
+
+use std::cell::{Cell, RefCell};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_core::fedcons::{fedcons, fedcons_probed, FedConsConfig};
+use fedsched_core::minprocs::{min_procs_fits_probed, min_procs_probed};
+use fedsched_core::speedup::required_speed;
+use fedsched_dag::system::TaskSystem;
+use fedsched_dag::task::DagTask;
+use fedsched_dag::time::Duration;
+use fedsched_gen::system::SystemConfig;
+use fedsched_gen::{DeadlineTightness, Span, Topology, WcetRange};
+use fedsched_graham::list::{list_schedule_with, PriorityPolicy};
+use fedsched_parallel::Pool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Pool widths exercised by the engine columns.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct BaselineRun {
+    wall_nanos: u64,
+    ls_runs: u64,
+}
+
+#[derive(Serialize)]
+struct EngineRun {
+    threads: usize,
+    wall_nanos: u64,
+    ls_runs: u64,
+    ls_runs_pruned: u64,
+    par_tasks_dispatched: u64,
+    /// Baseline wall time divided by this run's wall time.
+    speedup_vs_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct Suite {
+    workload: &'static str,
+    policy: &'static str,
+    items: usize,
+    baseline: BaselineRun,
+    engine: Vec<EngineRun>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    quick: bool,
+    host_parallelism: usize,
+    suites: Vec<Suite>,
+}
+
+fn nanos_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn policy_name(policy: PriorityPolicy) -> &'static str {
+    match policy {
+        PriorityPolicy::ListOrder => "list",
+        PriorityPolicy::CriticalPathFirst => "cpf",
+        PriorityPolicy::LongestWcetFirst => "lwf",
+    }
+}
+
+/// The pre-optimization `MINPROCS`: sweep every candidate from the lower
+/// bound up, one `list_schedule_with` (ranks recomputed inside) per
+/// candidate, no bounds. Returns the minimal fitting count.
+fn naive_min_procs(
+    task: &DagTask,
+    available: u32,
+    policy: PriorityPolicy,
+    ls_runs: &mut u64,
+) -> Option<u32> {
+    if !task.is_chain_feasible() {
+        return None;
+    }
+    let start = task.min_processors_lower_bound().max(1);
+    for mu in start..=available {
+        *ls_runs += 1;
+        let template = list_schedule_with(task.dag(), mu, policy);
+        if template.makespan() <= task.deadline() {
+            return Some(mu);
+        }
+    }
+    None
+}
+
+/// A system pre-split by density class, so the baseline is not charged
+/// for clones inside the timed region (the pre-optimization engine never
+/// cloned either).
+struct SplitSystem {
+    full: TaskSystem,
+    lows: TaskSystem,
+}
+
+impl SplitSystem {
+    fn new(full: TaskSystem) -> SplitSystem {
+        let lows = full
+            .tasks()
+            .iter()
+            .filter(|t| t.is_low_density())
+            .cloned()
+            .collect();
+        SplitSystem { full, lows }
+    }
+}
+
+/// The pre-optimization FEDCONS: naive phase-1 sizing of each high-density
+/// task against the shrinking remainder, then the (unchanged) phase-2
+/// first-fit partition of the low-density subset.
+fn naive_fedcons(split: &SplitSystem, m: u32, policy: PriorityPolicy, ls_runs: &mut u64) -> bool {
+    let mut remaining = m;
+    for id in split.full.high_density_ids() {
+        match naive_min_procs(split.full.task(id), remaining, policy, ls_runs) {
+            Some(mu) => remaining -= mu,
+            None => return false,
+        }
+    }
+    if split.lows.is_empty() {
+        return true;
+    }
+    let config = FedConsConfig {
+        policy,
+        ..FedConsConfig::default()
+    };
+    fedcons(&split.lows, remaining, config).is_ok()
+}
+
+/// High-density tasks with deadlines at a controlled tightness: `d = len +
+/// frac · (vol − len)` for `frac` uniform in `frac_range`. Small fractions
+/// squeeze the deadline toward the critical path, so List Scheduling needs
+/// well more than the `⌈vol/D⌉` lower bound and a sizing sweep visits
+/// several candidates — the regime the analysis actually struggles in.
+fn high_density_tasks(count: usize, seed: u64, frac_range: (f64, f64)) -> Vec<DagTask> {
+    let topology = Topology::ErdosRenyi {
+        vertices: Span::new(40, 120),
+        edge_probability: 0.08,
+    };
+    (0..count)
+        .filter_map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let dag = topology.generate(&mut rng, WcetRange::new(1, 20));
+            let len = dag.longest_chain().length.ticks();
+            let vol = dag.volume().ticks();
+            if vol == len {
+                return None;
+            }
+            let frac = rng.gen_range(frac_range.0..=frac_range.1);
+            let slack = ((vol - len) as f64 * frac) as u64;
+            let d = (len + slack.max(1)).min(vol);
+            let t = d + rng.gen_range(0..=d);
+            DagTask::new(dag, Duration::new(d), Duration::new(t)).ok()
+        })
+        .collect()
+}
+
+/// Batch-FEDCONS workload: mixed-density constrained-deadline systems at
+/// moderate normalized utilization on an `m = 16` platform, with tight
+/// deadlines so phase-1 sizing sweeps carry the analysis cost.
+fn fedcons_systems(count: usize, seed: u64) -> Vec<TaskSystem> {
+    let config = SystemConfig::new(10, 5.0)
+        .with_max_task_utilization(2.0)
+        .with_topology(Topology::ErdosRenyi {
+            vertices: Span::new(20, 60),
+            edge_probability: 0.1,
+        })
+        .with_tightness(DeadlineTightness::new(0.1, 0.6));
+    (0..count)
+        .filter_map(|i| config.generate_seeded(seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Sizing suite: full `MINPROCS` (minimal count + template) per task. The
+/// candidate sweep is where rank hoisting pays: the baseline recomputes
+/// the priority ranks for every candidate it visits.
+fn suite_minprocs_sizing(tasks: &[DagTask], policy: PriorityPolicy) -> Suite {
+    let available = 64u32;
+    let mut baseline_runs = 0u64;
+    let start = Instant::now();
+    let baseline_sizes: Vec<Option<u32>> = tasks
+        .iter()
+        .map(|t| naive_min_procs(t, available, policy, &mut baseline_runs))
+        .collect();
+    let baseline = BaselineRun {
+        wall_nanos: nanos_since(start),
+        ls_runs: baseline_runs,
+    };
+
+    let engine = THREADS
+        .iter()
+        .map(|&threads| {
+            let pool = Pool::new(threads);
+            let mut probe = AnalysisProbe::default();
+            let start = Instant::now();
+            let sizes: Vec<Option<u32>> = pool.install(|| {
+                tasks
+                    .iter()
+                    .map(|t| {
+                        min_procs_probed(t, available, policy, &mut probe).map(|r| r.processors)
+                    })
+                    .collect()
+            });
+            let wall_nanos = nanos_since(start);
+            assert_eq!(sizes, baseline_sizes, "engine sizing must match baseline");
+            EngineRun {
+                threads,
+                wall_nanos,
+                ls_runs: probe.ls_runs,
+                ls_runs_pruned: probe.ls_runs_pruned,
+                par_tasks_dispatched: probe.par_tasks_dispatched,
+                speedup_vs_baseline: baseline.wall_nanos as f64 / wall_nanos.max(1) as f64,
+            }
+        })
+        .collect();
+
+    Suite {
+        workload: "minprocs_sizing",
+        policy: policy_name(policy),
+        items: tasks.len(),
+        baseline,
+        engine,
+    }
+}
+
+/// Admission-fits suite: "does τ fit in the processors this platform has
+/// left?" — the decision the admission server and every speed search ask.
+/// With headroom available, the Graham upper-bound certificate settles
+/// most queries with zero LS runs, while the baseline must sweep from the
+/// lower bound to the first fitting candidate.
+fn suite_admission_fits(tasks: &[DagTask], available: u32, policy: PriorityPolicy) -> Suite {
+    let mut baseline_runs = 0u64;
+    let start = Instant::now();
+    let baseline_verdicts: Vec<bool> = tasks
+        .iter()
+        .map(|t| naive_min_procs(t, available, policy, &mut baseline_runs).is_some())
+        .collect();
+    let baseline = BaselineRun {
+        wall_nanos: nanos_since(start),
+        ls_runs: baseline_runs,
+    };
+
+    let engine = THREADS
+        .iter()
+        .map(|&threads| {
+            let pool = Pool::new(threads);
+            let mut probe = AnalysisProbe::default();
+            let start = Instant::now();
+            let verdicts: Vec<bool> = pool.install(|| {
+                tasks
+                    .iter()
+                    .map(|t| min_procs_fits_probed(t, available, policy, &mut probe))
+                    .collect()
+            });
+            let wall_nanos = nanos_since(start);
+            assert_eq!(
+                verdicts, baseline_verdicts,
+                "engine verdicts must match baseline"
+            );
+            EngineRun {
+                threads,
+                wall_nanos,
+                ls_runs: probe.ls_runs,
+                ls_runs_pruned: probe.ls_runs_pruned,
+                par_tasks_dispatched: probe.par_tasks_dispatched,
+                speedup_vs_baseline: baseline.wall_nanos as f64 / wall_nanos.max(1) as f64,
+            }
+        })
+        .collect();
+
+    Suite {
+        workload: "admission_fits",
+        policy: policy_name(policy),
+        items: tasks.len(),
+        baseline,
+        engine,
+    }
+}
+
+/// Experiments suite: the E5 speed search verbatim — `required_speed`
+/// binary-searches the smallest acceptable processor speed at exactly the
+/// `⌈vol/D⌉` lower bound, issuing one acceptance probe per grid point.
+/// The baseline probes with a full naive sizing; the engine probes with
+/// the decision-only `min_procs_fits`.
+fn suite_speed_search(tasks: &[DagTask], grid: u32) -> Suite {
+    let policy = PriorityPolicy::ListOrder;
+    let systems: Vec<(TaskSystem, u32)> = tasks
+        .iter()
+        .map(|t| {
+            let m_lb = t.min_processors_lower_bound().max(1);
+            ([t.clone()].into_iter().collect(), m_lb)
+        })
+        .collect();
+
+    let baseline_runs = Cell::new(0u64);
+    let start = Instant::now();
+    let baseline_speeds: Vec<Option<f64>> = systems
+        .iter()
+        .map(|(system, m_lb)| {
+            let accepts = |s: &TaskSystem| {
+                let mut runs = baseline_runs.get();
+                let fits = naive_min_procs(&s.tasks()[0], *m_lb, policy, &mut runs).is_some();
+                baseline_runs.set(runs);
+                fits
+            };
+            required_speed(system, accepts, grid, 3).map(|s| s.to_f64())
+        })
+        .collect();
+    let baseline = BaselineRun {
+        wall_nanos: nanos_since(start),
+        ls_runs: baseline_runs.get(),
+    };
+
+    let engine = THREADS
+        .iter()
+        .map(|&threads| {
+            let pool = Pool::new(threads);
+            let probe = RefCell::new(AnalysisProbe::default());
+            let start = Instant::now();
+            let speeds: Vec<Option<f64>> = pool.install(|| {
+                systems
+                    .iter()
+                    .map(|(system, m_lb)| {
+                        let accepts = |s: &TaskSystem| {
+                            min_procs_fits_probed(
+                                &s.tasks()[0],
+                                *m_lb,
+                                policy,
+                                &mut probe.borrow_mut(),
+                            )
+                        };
+                        required_speed(system, accepts, grid, 3).map(|s| s.to_f64())
+                    })
+                    .collect()
+            });
+            let wall_nanos = nanos_since(start);
+            assert_eq!(speeds, baseline_speeds, "engine speeds must match baseline");
+            let probe = probe.into_inner();
+            EngineRun {
+                threads,
+                wall_nanos,
+                ls_runs: probe.ls_runs,
+                ls_runs_pruned: probe.ls_runs_pruned,
+                par_tasks_dispatched: probe.par_tasks_dispatched,
+                speedup_vs_baseline: baseline.wall_nanos as f64 / wall_nanos.max(1) as f64,
+            }
+        })
+        .collect();
+
+    Suite {
+        workload: "experiments_speed_search_e5",
+        policy: policy_name(policy),
+        items: tasks.len(),
+        baseline,
+        engine,
+    }
+}
+
+/// Batch-FEDCONS suite: whole-system admission over many generated
+/// systems, the experiments-harness shape.
+fn suite_batch_fedcons(systems: &[TaskSystem], m: u32, policy: PriorityPolicy) -> Suite {
+    let splits: Vec<SplitSystem> = systems.iter().cloned().map(SplitSystem::new).collect();
+    let mut baseline_runs = 0u64;
+    let start = Instant::now();
+    let baseline_verdicts: Vec<bool> = splits
+        .iter()
+        .map(|s| naive_fedcons(s, m, policy, &mut baseline_runs))
+        .collect();
+    let baseline = BaselineRun {
+        wall_nanos: nanos_since(start),
+        ls_runs: baseline_runs,
+    };
+
+    let config = FedConsConfig {
+        policy,
+        ..FedConsConfig::default()
+    };
+    let engine = THREADS
+        .iter()
+        .map(|&threads| {
+            let pool = Pool::new(threads);
+            let mut probe = AnalysisProbe::default();
+            let start = Instant::now();
+            let verdicts: Vec<bool> = pool.install(|| {
+                systems
+                    .iter()
+                    .map(|s| fedcons_probed(s, m, config, &mut probe).is_ok())
+                    .collect()
+            });
+            let wall_nanos = nanos_since(start);
+            assert_eq!(
+                verdicts, baseline_verdicts,
+                "engine verdicts must match baseline"
+            );
+            EngineRun {
+                threads,
+                wall_nanos,
+                ls_runs: probe.ls_runs,
+                ls_runs_pruned: probe.ls_runs_pruned,
+                par_tasks_dispatched: probe.par_tasks_dispatched,
+                speedup_vs_baseline: baseline.wall_nanos as f64 / wall_nanos.max(1) as f64,
+            }
+        })
+        .collect();
+
+    Suite {
+        workload: "batch_fedcons",
+        policy: policy_name(policy),
+        items: systems.len(),
+        baseline,
+        engine,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out = String::from("BENCH_analysis.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument {other:?} (usage: analysis_bench [--quick] [--out FILE])"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (n_tasks, n_systems) = if quick { (60, 30) } else { (300, 120) };
+    // Tight deadlines: sizing sweeps several candidates per task.
+    let tight_tasks = high_density_tasks(n_tasks, 0xF17, (0.05, 0.4));
+    // E5's own distribution: deadline uniform across the whole [len, vol]
+    // feasibility window.
+    let e5_tasks = high_density_tasks(n_tasks, 0xE5, (0.0, 1.0));
+    let systems = fedcons_systems(n_systems, 0xE3);
+
+    let report = Report {
+        quick,
+        host_parallelism: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        suites: vec![
+            suite_minprocs_sizing(&tight_tasks, PriorityPolicy::CriticalPathFirst),
+            suite_admission_fits(&tight_tasks, 64, PriorityPolicy::CriticalPathFirst),
+            suite_speed_search(&e5_tasks, if quick { 16 } else { 64 }),
+            suite_batch_fedcons(&systems, 16, PriorityPolicy::CriticalPathFirst),
+        ],
+    };
+
+    for suite in &report.suites {
+        println!(
+            "{} [{}] ({} items): baseline {:.1} ms / {} LS runs",
+            suite.workload,
+            suite.policy,
+            suite.items,
+            suite.baseline.wall_nanos as f64 / 1e6,
+            suite.baseline.ls_runs,
+        );
+        for run in &suite.engine {
+            println!(
+                "  engine @{} threads: {:.1} ms / {} LS runs ({} pruned, {} dispatched) — {:.2}x",
+                run.threads,
+                run.wall_nanos as f64 / 1e6,
+                run.ls_runs,
+                run.ls_runs_pruned,
+                run.par_tasks_dispatched,
+                run.speedup_vs_baseline,
+            );
+        }
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

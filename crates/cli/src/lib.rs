@@ -1004,6 +1004,10 @@ USAGE:
   fedsched client   stats [--format prometheus] [--addr HOST:PORT] [--timeout-ms MS]
   fedsched client   shutdown [--addr HOST:PORT] [--timeout-ms MS]
 
+Global flags: --threads N sizes the analysis thread pool for any
+subcommand (default: FEDSCHED_THREADS, else all cores; analysis results
+are byte-identical at every pool size).
+
 Exit codes: 0 ok, 1 usage/io error, 2 not schedulable
 (`analyze --json` reports rejections in the JSON and exits 0).
 ";

@@ -22,7 +22,7 @@ use fedsched_graham::list::PriorityPolicy;
 use fedsched_graham::schedule::TemplateSchedule;
 use serde::{Deserialize, Serialize};
 
-use crate::minprocs::min_procs_probed;
+use crate::minprocs::{intrinsic_min_procs_probed, MinProcsResult};
 
 /// Options for [`fedcons`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -287,12 +287,39 @@ pub fn fedcons_probed(
     let mut next_processor = 0u32;
     let mut clusters = Vec::new();
 
-    // Phase 1: size and place every high-density task.
+    // Phase 1: size every high-density task, then place the sizings.
+    //
+    // Each sizing is *intrinsic* (capped by the task's own vertex count,
+    // never by the residual platform), which makes the sizings independent
+    // of each other — so they all fan out through the parallel façade at
+    // once. The verdict is unchanged from the sequential Fig. 2 loop: the
+    // minimal cluster size within `remaining` equals the intrinsic `μ*_i`
+    // whenever `μ*_i ≤ remaining`, and the task is unsizable otherwise, so
+    // the sequential placement replay below fails at exactly the same task
+    // with exactly the same `remaining` as the literal loop. Per-task
+    // probes are merged in task order, keeping every counter byte-identical
+    // at any pool width. The one intended difference: a run that fails
+    // mid-phase has speculatively sized the later tasks too (they are
+    // likely to be re-offered, and the service caches sizings by shape).
     let phase1 = Instant::now();
-    for id in system.high_density_ids() {
-        let task = system.task(id);
-        match min_procs_probed(task, remaining, config.policy, probe) {
-            Some(r) => {
+    let high_ids = system.high_density_ids();
+    if high_ids.len() > 1 {
+        probe.par_tasks_dispatched = probe
+            .par_tasks_dispatched
+            .saturating_add(high_ids.len() as u64);
+    }
+    let sizings: Vec<(Option<MinProcsResult>, AnalysisProbe)> =
+        fedsched_parallel::par_map(&high_ids, |&id| {
+            let mut local = AnalysisProbe::default();
+            let sizing = intrinsic_min_procs_probed(system.task(id), config.policy, &mut local);
+            (sizing, local)
+        });
+    for (_, local) in &sizings {
+        probe.merge(local);
+    }
+    for (&id, (sizing, _)) in high_ids.iter().zip(sizings) {
+        match sizing {
+            Some(r) if r.processors <= remaining => {
                 clusters.push(DedicatedCluster {
                     task: id,
                     first_processor: next_processor,
@@ -302,7 +329,7 @@ pub fn fedcons_probed(
                 next_processor += r.processors;
                 remaining -= r.processors;
             }
-            None => {
+            _ => {
                 probe.sizing_nanos = probe.sizing_nanos.saturating_add(elapsed_nanos(phase1));
                 return Err(FedConsFailure::HighDensityTask {
                     task: id,
@@ -423,10 +450,18 @@ mod tests {
         assert_eq!(probe.makespan_evaluations, 0);
         assert_eq!(probe.fits_calls, 1);
         assert_eq!(probe.dbf_approx_evals, 0);
+        assert_eq!(probe.ls_runs_pruned, 0, "no MINPROCS search ran at all");
+        assert_eq!(
+            probe.par_tasks_dispatched, 0,
+            "phase 1 had nothing to fan out"
+        );
 
         // Example 2 with n = 6: every task has δ = 1, so each is sized by
         // MINPROCS at its lower bound μ = 1 on the first LS attempt — n LS
         // runs, n makespan evaluations, and no partitioning work at all.
+        // Each task is a single vertex (vol = len = 1), so its candidate
+        // window is exactly {1}: the Graham bracket prunes nothing, and the
+        // only fan-out is phase 1 offering the n sizings to the pool.
         let n = 6u32;
         let system = paper_example2(n);
         let mut probe = AnalysisProbe::default();
@@ -436,6 +471,15 @@ mod tests {
         assert_eq!(probe.makespan_evaluations, u64::from(n));
         assert_eq!(probe.fits_calls, 0);
         assert_eq!(probe.dbf_approx_evals, 0);
+        assert_eq!(
+            probe.ls_runs_pruned, 0,
+            "windows of one candidate prune nothing"
+        );
+        assert_eq!(
+            probe.par_tasks_dispatched,
+            u64::from(n),
+            "one fan-out item per sizing"
+        );
     }
 
     #[test]

@@ -4,10 +4,36 @@
 //! must finish before the next is released (`D ≤ T`), so scheduling the task
 //! on a dedicated cluster reduces to a makespan problem: find the smallest
 //! `μ` for which Graham's List Scheduling finishes the DAG within `D`.
+//!
+//! # Bound-guided search
+//!
+//! The literal Fig. 3 sweep tries every `μ ∈ [⌈δ⌉, m_r]`. This module
+//! narrows that window with Graham's two bounds before running a single LS
+//! simulation:
+//!
+//! * **Bottom:** `makespan_lower_bound(G, μ) = max(len, ⌈vol/μ⌉) ≤ D` is
+//!   necessary, and holds exactly for `μ ≥ ⌈vol/D⌉ = ⌈δ⌉` — the paper's own
+//!   starting point, so the bottom of the window is already optimal.
+//! * **Top:** `graham_upper_bound(G, μ) ≤ D` is *sufficient* for LS to fit,
+//!   and [`graham_bracket`] computes the smallest such `μ` in closed form.
+//!   No candidate above `min(bracket, vertex_count)` can be the minimal
+//!   answer, because that candidate itself is guaranteed to pass (with
+//!   `μ = vertex_count` every vertex starts at its earliest start time and
+//!   the makespan equals the longest chain). Everything above is recorded
+//!   in [`AnalysisProbe::ls_runs_pruned`] without an LS run.
+//!
+//! Inside the surviving window the search must still return the *smallest*
+//! passing `μ`: the LS makespan is **not** monotone in `μ` (Graham's
+//! timing anomalies), so binary search is unsound. Candidates are evaluated
+//! in geometrically growing waves (1, 2, 4, 8, 8, …); each wave fans out
+//! through [`fedsched_parallel::par_map`] and the first wave containing a
+//! pass answers with its smallest passing member. The wave schedule is
+//! fixed, so the exact set of LS runs — and every probe counter — is
+//! byte-identical at any pool width.
 
 use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_dag::task::DagTask;
-use fedsched_graham::list::{list_schedule_with, PriorityPolicy};
+use fedsched_graham::list::{graham_bracket, list_schedule_ranked, PriorityPolicy};
 use fedsched_graham::schedule::TemplateSchedule;
 
 /// A successful `MINPROCS` sizing: the processor count and the frozen
@@ -21,17 +47,125 @@ pub struct MinProcsResult {
     pub template: TemplateSchedule,
 }
 
+/// Upper limit on the number of candidates evaluated speculatively per
+/// wave. The schedule 1, 2, 4, 8, 8, … keeps the first probe as cheap as
+/// the sequential early-exit loop (windows that pass at `⌈δ⌉` run exactly
+/// one LS) while bounding the overshoot on late passes to one wave.
+pub const SPECULATION_WAVE_LIMIT: u32 = 8;
+
+/// The surviving candidate window of one `MINPROCS` search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CandidateWindow {
+    /// Smallest candidate: `max(1, ⌈δ⌉)`, the first `μ` whose makespan
+    /// lower bound fits within the deadline.
+    lo: u32,
+    /// Largest candidate worth an LS run.
+    hi: u32,
+    /// `true` when `hi` carries a pass certificate (`graham_upper_bound ≤ D`
+    /// or `hi = vertex_count`), i.e. when the cap was not imposed by the
+    /// caller's `available` budget.
+    certified: bool,
+    /// Candidates of `[lo, available]` above `hi`, excluded by the bounds
+    /// without an LS run.
+    pruned: u64,
+}
+
+/// Computes the bound-guided window for `task` on `available` processors,
+/// or `None` when `[⌈δ⌉, available]` is already empty. The caller must have
+/// checked chain feasibility.
+fn candidate_window(task: &DagTask, available: u32) -> Option<CandidateWindow> {
+    debug_assert!(task.is_chain_feasible());
+    let lo = task.min_processors_lower_bound().max(1);
+    if lo > available {
+        return None;
+    }
+    let vertices = u32::try_from(task.dag().vertex_count())
+        .unwrap_or(u32::MAX)
+        .max(1);
+    let cap = match graham_bracket(task.dag(), task.deadline()) {
+        Some(bracket) => bracket.min(vertices),
+        None => vertices,
+    }
+    // `cap ≥ lo` always holds (a certified pass cannot sit below the lower
+    // bound); the clamp guards degenerate arithmetic only.
+    .max(lo);
+    if cap <= available {
+        Some(CandidateWindow {
+            lo,
+            hi: cap,
+            certified: true,
+            pruned: u64::from(available - cap),
+        })
+    } else {
+        Some(CandidateWindow {
+            lo,
+            hi: available,
+            certified: false,
+            pruned: 0,
+        })
+    }
+}
+
+/// Sweeps `window` in geometric waves, returning the smallest passing `μ`
+/// and its template. Ranks are computed once per task (not per candidate)
+/// and every wave wider than one candidate fans out through the parallel
+/// façade; the accounting in `probe` is independent of the pool width.
+fn sweep_window(
+    task: &DagTask,
+    window: CandidateWindow,
+    policy: PriorityPolicy,
+    probe: &mut AnalysisProbe,
+) -> Option<(u32, TemplateSchedule)> {
+    let dag = task.dag();
+    let deadline = task.deadline();
+    let ranks = policy.ranks(dag);
+    let times = dag.wcets();
+    let mut next = window.lo;
+    let mut wave = 1u32;
+    while next <= window.hi {
+        let last = next.saturating_add(wave - 1).min(window.hi);
+        let candidates: Vec<u32> = (next..=last).collect();
+        let count = candidates.len() as u64;
+        probe.ls_runs = probe.ls_runs.saturating_add(count);
+        probe.makespan_evaluations = probe.makespan_evaluations.saturating_add(count);
+        if candidates.len() > 1 {
+            probe.par_tasks_dispatched = probe.par_tasks_dispatched.saturating_add(count);
+        }
+        let templates = fedsched_parallel::par_map(&candidates, |&mu| {
+            list_schedule_ranked(dag, mu, &ranks, times)
+        });
+        for (&mu, template) in candidates.iter().zip(templates) {
+            if template.makespan() <= deadline {
+                return Some((mu, template));
+            }
+        }
+        next = match last.checked_add(1) {
+            Some(n) => n,
+            None => break,
+        };
+        wave = (wave * 2).min(SPECULATION_WAVE_LIMIT);
+    }
+    debug_assert!(!window.certified, "a certified window always passes");
+    None
+}
+
 /// `MINPROCS(τ_i, m_r)` (paper Fig. 3): the minimum `μ ∈ [⌈δ_i⌉, m_r]` for
 /// which List Scheduling produces a schedule of `G_i` with makespan `≤ D_i`,
 /// together with that schedule. Returns `None` (the paper's `∞`) if no
 /// `μ ≤ available` suffices.
 ///
-/// Two deviations from the literal pseudocode, both conservative:
+/// Three deviations from the literal pseudocode, all answer-preserving:
 ///
 /// * if `len_i > D_i`, no processor count can help (the chain alone misses
 ///   the deadline), so we fail fast without running LS;
 /// * the search starts at `max(1, ⌈δ_i⌉)` — `⌈δ_i⌉` exactly as in Fig. 3,
-///   clamped to one processor for degenerate inputs.
+///   clamped to one processor for degenerate inputs;
+/// * the top of the window is bracketed by [`graham_bracket`] and the
+///   vertex count (see the module docs): candidates above the bracket are
+///   counted in [`AnalysisProbe::ls_runs_pruned`] instead of being run.
+///   Since the bracket candidate is *guaranteed* to pass, the minimal
+///   passing `μ` is never above it and the returned sizing — and its
+///   template — is identical to the full Fig. 3 sweep.
 ///
 /// # Examples
 ///
@@ -52,7 +186,9 @@ pub fn min_procs(task: &DagTask, available: u32, policy: PriorityPolicy) -> Opti
 
 /// [`min_procs`] with cost accounting: every candidate `μ` tried costs one
 /// List-Scheduling simulation and one makespan-versus-deadline evaluation,
-/// both recorded in `probe`.
+/// every candidate excluded by the Graham bounds costs one
+/// `ls_runs_pruned` tick, and wave fan-outs are recorded in
+/// `par_tasks_dispatched` — all independent of the pool width.
 #[must_use]
 pub fn min_procs_probed(
     task: &DagTask,
@@ -63,19 +199,56 @@ pub fn min_procs_probed(
     if !task.is_chain_feasible() {
         return None;
     }
-    let start = task.min_processors_lower_bound().max(1);
-    for mu in start..=available {
-        probe.ls_runs = probe.ls_runs.saturating_add(1);
-        let template = list_schedule_with(task.dag(), mu, policy);
-        probe.makespan_evaluations = probe.makespan_evaluations.saturating_add(1);
-        if template.makespan() <= task.deadline() {
-            return Some(MinProcsResult {
-                processors: mu,
-                template,
-            });
-        }
+    let window = candidate_window(task, available)?;
+    probe.ls_runs_pruned = probe.ls_runs_pruned.saturating_add(window.pruned);
+    sweep_window(task, window, policy, probe).map(|(processors, template)| MinProcsResult {
+        processors,
+        template,
+    })
+}
+
+/// The feasibility verdict of [`min_procs`] without the sizing: `true` iff
+/// `min_procs(task, available, policy)` would return `Some`.
+///
+/// The decision problem is strictly cheaper than the sizing problem: when
+/// the bound-guided window is *certified* — its top candidate carries a
+/// `graham_upper_bound ≤ D` (or `μ = vertex_count`) pass certificate within
+/// the `available` budget — the verdict is `true` with **zero** LS runs,
+/// and the whole window is recorded as pruned. Only windows truncated by
+/// `available` (where acceptance is genuinely open) are swept. Speed-search
+/// drivers (E5, `required_speed`) probe acceptance hundreds of times per
+/// task and never look at the template, so they use this entry point.
+#[must_use]
+pub fn min_procs_fits(task: &DagTask, available: u32, policy: PriorityPolicy) -> bool {
+    let mut scratch = AnalysisProbe::default();
+    min_procs_fits_probed(task, available, policy, &mut scratch)
+}
+
+/// [`min_procs_fits`] with cost accounting (see [`min_procs_probed`]).
+#[must_use]
+pub fn min_procs_fits_probed(
+    task: &DagTask,
+    available: u32,
+    policy: PriorityPolicy,
+    probe: &mut AnalysisProbe,
+) -> bool {
+    if !task.is_chain_feasible() {
+        return false;
     }
-    None
+    let Some(window) = candidate_window(task, available) else {
+        return false;
+    };
+    if window.certified {
+        // Certificate accept: some μ ≤ available is guaranteed to pass, and
+        // the verdict does not need to know which one is minimal.
+        let span = u64::from(window.hi - window.lo) + 1;
+        probe.ls_runs_pruned = probe
+            .ls_runs_pruned
+            .saturating_add(span.saturating_add(window.pruned));
+        return true;
+    }
+    probe.ls_runs_pruned = probe.ls_runs_pruned.saturating_add(window.pruned);
+    sweep_window(task, window, policy, probe).is_some()
 }
 
 /// The *intrinsic* sizing `μ*_i` of a task: [`min_procs`] with the cap set
@@ -89,6 +262,10 @@ pub fn min_procs_probed(
 /// chain-feasible, and the result is independent of any platform-size cap
 /// `m_r ≥ μ*_i`. Online admission control relies on exactly that
 /// independence to size clusters without knowing the residual platform.
+///
+/// The candidate window is additionally capped by the [`graham_bracket`]
+/// certificate, so wide DAGs no longer sweep toward the vertex count: the
+/// search stops at the first `μ` Graham's bound already proves sufficient.
 #[must_use]
 pub fn intrinsic_min_procs(task: &DagTask, policy: PriorityPolicy) -> Option<MinProcsResult> {
     let mut scratch = AnalysisProbe::default();
@@ -207,6 +384,7 @@ mod tests {
         let mut probe = AnalysisProbe::default();
         assert!(min_procs_probed(&t, 2, PriorityPolicy::ListOrder, &mut probe).is_none());
         assert_eq!(probe.ls_runs, 0, "search space [3, 2] is empty");
+        assert_eq!(probe.ls_runs_pruned, 0, "an empty window prunes nothing");
 
         // An infeasible chain fails before any LS run.
         let mut b = DagBuilder::new();
@@ -222,9 +400,175 @@ mod tests {
     }
 
     #[test]
+    fn bound_pruning_skips_exactly_the_claimed_candidates() {
+        // 6 unit jobs, D = 2: vol 6, len 1 ⇒ lo = ⌈6/2⌉ = 3 and the Graham
+        // bracket is ⌈(6−1)/(2−1)⌉ = 5 (< vertex count 6). Against 8
+        // available processors the literal Fig. 3 window is [3, 8]; the
+        // bounds cut it to [3, 5], pruning exactly candidates {6, 7, 8}.
+        // μ = 3 passes on the first wave, so exactly one LS runs.
+        let t = parallel_task(6, 1, 2, 10);
+        let mut probe = AnalysisProbe::default();
+        let r = min_procs_probed(&t, 8, PriorityPolicy::ListOrder, &mut probe).unwrap();
+        assert_eq!(r.processors, 3);
+        assert_eq!(probe.ls_runs, 1);
+        assert_eq!(probe.ls_runs_pruned, 3, "candidates 6, 7, 8 are pruned");
+        assert_eq!(
+            probe.par_tasks_dispatched, 0,
+            "a one-candidate wave runs inline"
+        );
+
+        // The same task with available exactly at the bracket: nothing to
+        // prune above the top, identical answer.
+        let mut probe = AnalysisProbe::default();
+        let r = min_procs_probed(&t, 5, PriorityPolicy::ListOrder, &mut probe).unwrap();
+        assert_eq!(r.processors, 3);
+        assert_eq!(probe.ls_runs_pruned, 0);
+    }
+
+    #[test]
+    fn wave_sweep_returns_minimum_passing_candidate() {
+        // Two unit-cost independent vertices a1(3), a2(3) plus a chain
+        // c1(2) → c2(2) → c3(2): vol 12, len 6, D 7 ⇒ lo = ⌈12/7⌉ = 2,
+        // bracket ⌈(12−6)/(7−6)⌉ = 6 capped by vertex count 5. Hand-run of
+        // ListOrder LS: μ = 2 finishes at 9 (fail), μ = 3 at 6 (pass).
+        // Waves are {2} then {3, 4}: three LS runs, answer μ = 3 even
+        // though μ = 4 was evaluated speculatively in the same wave.
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([3, 3, 2, 2, 2].map(Duration::new));
+        b.add_edge(v[2], v[3]).unwrap();
+        b.add_edge(v[3], v[4]).unwrap();
+        let t = DagTask::new(b.build().unwrap(), Duration::new(7), Duration::new(10)).unwrap();
+        let mut probe = AnalysisProbe::default();
+        let r = min_procs_probed(&t, 10, PriorityPolicy::ListOrder, &mut probe).unwrap();
+        assert_eq!(r.processors, 3, "smallest passing μ, not just any pass");
+        assert_eq!(probe.ls_runs, 3, "waves {{2}} and {{3, 4}}");
+        assert_eq!(probe.ls_runs_pruned, 5, "candidates 6..=10 never run");
+        assert_eq!(
+            probe.par_tasks_dispatched, 2,
+            "the two-candidate wave fans out"
+        );
+        // Cross-check minimality the expensive way.
+        let s2 = fedsched_graham::list::list_schedule(t.dag(), 2);
+        assert!(s2.makespan() > t.deadline());
+    }
+
+    #[test]
+    fn fits_verdict_always_matches_full_sizing() {
+        let tasks = [
+            parallel_task(6, 1, 2, 10),
+            parallel_task(7, 2, 6, 10),
+            parallel_task(4, 1, 1, 4),
+            paper_figure1(),
+        ];
+        for t in &tasks {
+            for available in 0..=12u32 {
+                for policy in [PriorityPolicy::ListOrder, PriorityPolicy::CriticalPathFirst] {
+                    assert_eq!(
+                        min_procs_fits(t, available, policy),
+                        min_procs(t, available, policy).is_some(),
+                        "available = {available}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fits_accepts_certified_windows_without_ls_runs() {
+        // 6 unit jobs, D = 2, 8 available: the window [3, 5] is certified
+        // (bracket 5 ≤ 8), so the verdict needs no LS at all and the whole
+        // Fig. 3 window [3, 8] is pruned.
+        let t = parallel_task(6, 1, 2, 10);
+        let mut probe = AnalysisProbe::default();
+        assert!(min_procs_fits_probed(
+            &t,
+            8,
+            PriorityPolicy::ListOrder,
+            &mut probe
+        ));
+        assert_eq!(probe.ls_runs, 0, "certificate accept");
+        assert_eq!(probe.ls_runs_pruned, 6, "all of [3, 8] decided by bounds");
+
+        // Truncated window: available = 4 < bracket 5 ⇒ acceptance is open
+        // and the sweep must actually run ({3} passes immediately).
+        let mut probe = AnalysisProbe::default();
+        assert!(min_procs_fits_probed(
+            &t,
+            4,
+            PriorityPolicy::ListOrder,
+            &mut probe
+        ));
+        assert_eq!(probe.ls_runs, 1);
+
+        // Certificate reject: empty window costs nothing.
+        let mut probe = AnalysisProbe::default();
+        assert!(!min_procs_fits_probed(
+            &t,
+            2,
+            PriorityPolicy::ListOrder,
+            &mut probe
+        ));
+        assert_eq!(probe.ls_runs, 0);
+        assert_eq!(probe.ls_runs_pruned, 0);
+    }
+
+    #[test]
     fn template_never_beats_lower_bound() {
         let t = parallel_task(5, 3, 9, 12);
         let r = min_procs(&t, 6, PriorityPolicy::CriticalPathFirst).unwrap();
         assert!(r.template.makespan() >= makespan_lower_bound(t.dag(), r.processors));
+    }
+
+    #[test]
+    fn bound_guided_search_agrees_with_literal_sweep() {
+        // Oracle: the unpruned, unhoisted Fig. 3 loop, exactly as seeded.
+        fn literal_sweep(
+            task: &DagTask,
+            available: u32,
+            policy: PriorityPolicy,
+        ) -> Option<MinProcsResult> {
+            if !task.is_chain_feasible() {
+                return None;
+            }
+            let start = task.min_processors_lower_bound().max(1);
+            for mu in start..=available {
+                let template = fedsched_graham::list::list_schedule_with(task.dag(), mu, policy);
+                if template.makespan() <= task.deadline() {
+                    return Some(MinProcsResult {
+                        processors: mu,
+                        template,
+                    });
+                }
+            }
+            None
+        }
+
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([3, 3, 2, 2, 2].map(Duration::new));
+        b.add_edge(v[2], v[3]).unwrap();
+        b.add_edge(v[3], v[4]).unwrap();
+        let fork = DagTask::new(b.build().unwrap(), Duration::new(7), Duration::new(10)).unwrap();
+        let tasks = [
+            parallel_task(6, 1, 2, 10),
+            parallel_task(7, 2, 6, 10),
+            parallel_task(9, 3, 5, 30),
+            fork,
+            paper_figure1(),
+        ];
+        for t in &tasks {
+            for available in 0..=12u32 {
+                for policy in [
+                    PriorityPolicy::ListOrder,
+                    PriorityPolicy::CriticalPathFirst,
+                    PriorityPolicy::LongestWcetFirst,
+                ] {
+                    assert_eq!(
+                        min_procs(t, available, policy),
+                        literal_sweep(t, available, policy),
+                        "available = {available}, policy = {policy:?}"
+                    );
+                }
+            }
+        }
     }
 }

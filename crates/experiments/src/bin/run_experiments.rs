@@ -3,11 +3,13 @@
 //! Usage:
 //!
 //! ```text
-//! run_experiments [--quick] [--out DIR] [e2|e3|e4|e5|e6|e7|e8|all]...
+//! run_experiments [--quick] [--threads N] [--out DIR] [e2|e3|e4|e5|e6|e7|e8|all]...
 //! ```
 //!
 //! Prints each table and writes its CSV next to it under `--out`
 //! (default `results/`). `--quick` shrinks the sweeps for smoke runs.
+//! `--threads N` sizes the analysis thread pool (results are
+//! byte-identical at every pool size).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,9 +37,20 @@ fn parse_args() -> Result<Options, String> {
             "--out" => {
                 out = PathBuf::from(args.next().ok_or("--out needs a directory")?);
             }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads expects an integer >= 1, got {v:?}"))?;
+                fedsched_parallel::configure_threads(n);
+            }
             "-h" | "--help" => {
                 return Err(
-                    "usage: run_experiments [--quick] [--out DIR] [e2..e8|e10..e15|all]...".into(),
+                    "usage: run_experiments [--quick] [--threads N] [--out DIR] \
+                     [e2..e8|e10..e15|all]..."
+                        .into(),
                 )
             }
             e @ ("e2" | "e3" | "e4" | "e5" | "e6" | "e7" | "e8" | "e10" | "e11" | "e12" | "e13"

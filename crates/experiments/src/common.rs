@@ -20,6 +20,24 @@ pub fn fmt3(x: f64) -> String {
     format!("{x:.3}")
 }
 
+/// Runs `trials` independent experiment trials through the workspace's
+/// parallel façade and returns the per-trial results **in trial order**.
+///
+/// Every trial must derive its randomness from its own index (the
+/// experiments seed each trial with [`mix_seed`] over the trial number), so
+/// results are independent of execution order and any fold over the
+/// returned vector is byte-identical to the sequential `for` loop it
+/// replaces — at any pool width, including the `FEDSCHED_THREADS=1`
+/// escape hatch.
+pub fn par_trials<R, F>(trials: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..trials).collect();
+    fedsched_parallel::par_map(&indices, |&i| run(i))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +54,13 @@ mod tests {
     fn fmt3_rounds() {
         assert_eq!(fmt3(0.12345), "0.123");
         assert_eq!(fmt3(1.0), "1.000");
+    }
+
+    #[test]
+    fn par_trials_preserves_trial_order() {
+        let out = par_trials(100, |i| mix_seed(&[7, i as u64]));
+        let expected: Vec<u64> = (0..100).map(|i| mix_seed(&[7, i as u64])).collect();
+        assert_eq!(out, expected);
+        assert!(par_trials(0, |i| i).is_empty());
     }
 }

@@ -39,23 +39,25 @@ pub struct E2Row {
 /// always suffices and is within the search range).
 #[must_use]
 pub fn run(max_pow: u32) -> Vec<E2Row> {
-    (0..=max_pow)
-        .map(|p| {
-            let n = 1u32 << p;
-            let system = paper_example2(n);
-            let load = demand_load(&system, 1_000_000).to_f64();
-            let accepts = |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
-            let speed = required_speed(&system, accepts, 1, n.max(1))
-                .expect("speed n always suffices")
-                .to_f64();
-            E2Row {
-                n,
-                utilization: system.total_utilization().to_f64(),
-                load,
-                fedcons_speed: speed,
-            }
-        })
-        .collect()
+    // Rows are independent (each builds its own Example-2 system), so they
+    // fan out through the parallel façade; `par_map` returns them in row
+    // order, identical to the sequential map.
+    let pows: Vec<u32> = (0..=max_pow).collect();
+    fedsched_parallel::par_map(&pows, |&p| {
+        let n = 1u32 << p;
+        let system = paper_example2(n);
+        let load = demand_load(&system, 1_000_000).to_f64();
+        let accepts = |s: &TaskSystem| fedcons(s, 1, FedConsConfig::default()).is_ok();
+        let speed = required_speed(&system, accepts, 1, n.max(1))
+            .expect("speed n always suffices")
+            .to_f64();
+        E2Row {
+            n,
+            utilization: system.total_utilization().to_f64(),
+            load,
+            fedcons_speed: speed,
+        }
+    })
 }
 
 /// Renders E2 rows as a table.

@@ -13,7 +13,7 @@ use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_gen::system::SystemConfig;
 use fedsched_gen::{DeadlineTightness, Span, Topology};
 
-use crate::common::{fmt3, mix_seed};
+use crate::common::{fmt3, mix_seed, par_trials};
 use crate::table::Table;
 
 /// Configuration of the acceptance-ratio sweep.
@@ -98,18 +98,16 @@ pub fn run(cfg: &E3Config) -> Vec<E3Row> {
                 .with_max_task_utilization(cfg.max_task_utilization)
                 .with_topology(cfg.topology)
                 .with_tightness(DeadlineTightness::new(cfg.tightness.0, cfg.tightness.1));
-            let mut generated = 0;
-            let mut accepted = 0;
-            for i in 0..cfg.systems_per_point {
+            // Each system is seeded from its own index, so the verdicts fan
+            // out through the parallel façade; counting them afterwards is
+            // byte-identical to the sequential loop at any pool width.
+            let verdicts = par_trials(cfg.systems_per_point, |i| {
                 let seed = mix_seed(&[cfg.seed, u64::from(m), step as u64, i as u64]);
-                let Some(system) = gen_cfg.generate_seeded(seed) else {
-                    continue;
-                };
-                generated += 1;
-                if fedcons(&system, m, FedConsConfig::default()).is_ok() {
-                    accepted += 1;
-                }
-            }
+                let system = gen_cfg.generate_seeded(seed)?;
+                Some(fedcons(&system, m, FedConsConfig::default()).is_ok())
+            });
+            let generated = verdicts.iter().flatten().count();
+            let accepted = verdicts.iter().flatten().filter(|&&ok| ok).count();
             rows.push(E3Row {
                 m,
                 normalized_utilization: norm_u,

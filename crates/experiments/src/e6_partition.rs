@@ -15,7 +15,7 @@ use fedsched_dag::system::TaskSystem;
 use fedsched_gen::system::SystemConfig;
 use fedsched_gen::DeadlineTightness;
 
-use crate::common::{fmt3, mix_seed};
+use crate::common::{fmt3, mix_seed, par_trials};
 use crate::table::Table;
 
 /// Configuration for the partition speedup study.
@@ -71,17 +71,17 @@ pub fn run(cfg: &E6Config) -> Vec<E6Row> {
     let gen_cfg = SystemConfig::new(cfg.n_tasks, cfg.total_utilization)
         .with_max_task_utilization(0.9)
         .with_tightness(DeadlineTightness::new(0.4, 1.0));
-    let mut buckets: std::collections::BTreeMap<u32, Vec<f64>> = std::collections::BTreeMap::new();
-    for i in 0..cfg.trials {
+    // Trials seed from their own index, so they fan out through the
+    // parallel façade; folding the measurements in trial order keeps the
+    // buckets byte-identical to the sequential loop.
+    let measurements = par_trials(cfg.trials, |i| {
         let seed = mix_seed(&[cfg.seed, i as u64]);
-        let Some(raw) = gen_cfg.generate_seeded(seed) else {
-            continue;
-        };
+        let raw = gen_cfg.generate_seeded(seed)?;
         // Keep the low-density subset (tight deadline draws can still
         // produce δ ≥ 1 stragglers).
         let system: TaskSystem = raw.into_iter().filter(|t| t.is_low_density()).collect();
         if system.len() < 2 {
-            continue;
+            return None;
         }
         let u_ceil = system.total_utilization().ceil().max(1);
         let load_ceil = demand_load(&system, 200_000).ceil().max(1);
@@ -95,6 +95,10 @@ pub fn run(cfg: &E6Config) -> Vec<E6Row> {
             speed <= bound + 1e-9,
             "Lemma 2 violated: speed {speed} > bound {bound} (m_lb = {m_lb})"
         );
+        Some((m_lb, speed))
+    });
+    let mut buckets: std::collections::BTreeMap<u32, Vec<f64>> = std::collections::BTreeMap::new();
+    for (m_lb, speed) in measurements.into_iter().flatten() {
         buckets.entry(m_lb).or_default().push(speed);
     }
     buckets

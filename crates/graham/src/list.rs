@@ -253,6 +253,42 @@ pub fn graham_upper_bound(dag: &Dag, m: u32) -> Duration {
     Duration::new((vol + (m - 1) * len).div_ceil(m))
 }
 
+/// The smallest processor count `μ` whose Graham upper bound fits within
+/// `deadline`, or `None` if no finite `μ` does.
+///
+/// Since [`graham_upper_bound`] is an upper bound on *every* LS makespan,
+/// `graham_bracket(dag, d) = Some(μ)` is a certificate that List Scheduling
+/// meets the deadline on `μ` processors under any priority policy — no LS
+/// run is needed to know it. `MINPROCS` uses this to bracket the top of its
+/// candidate window: no candidate above the bracket can be the minimal
+/// answer, because the bracket itself is guaranteed to pass.
+///
+/// Derivation: with integer ticks, `⌈(vol + (μ−1)·len)/μ⌉ ≤ d` is
+/// equivalent to `vol − len ≤ μ·(d − len)`, so the smallest such `μ` is
+/// `⌈(vol − len)/(d − len)⌉` when `d > len` (clamped to ≥ 1). When
+/// `d < len`, or `d = len` with `vol > len`, no finite `μ` satisfies the
+/// bound and the result is `None`; a bracket larger than `u32::MAX` is also
+/// reported as `None`.
+#[must_use]
+pub fn graham_bracket(dag: &Dag, deadline: Duration) -> Option<u32> {
+    let vol = dag.volume().ticks();
+    let len = dag.longest_chain().length.ticks();
+    let d = deadline.ticks();
+    if d < len {
+        return None;
+    }
+    if vol <= len {
+        // A chain (or empty DAG): GUB(1) = vol ≤ len ≤ d.
+        return Some(1);
+    }
+    if d == len {
+        return None;
+    }
+    u32::try_from((vol - len).div_ceil(d - len))
+        .ok()
+        .map(|b| b.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +421,48 @@ mod tests {
         assert_eq!(graham_upper_bound(t.dag(), 2), Duration::new(8));
         // ⌈(9 + 2·6)/3⌉ = 7
         assert_eq!(graham_upper_bound(t.dag(), 3), Duration::new(7));
+    }
+
+    #[test]
+    fn bracket_is_the_smallest_mu_with_gub_within_deadline() {
+        let t = paper_figure1(); // vol 9, len 6
+        for d in [7u64, 8, 9, 12, 100] {
+            let deadline = Duration::new(d);
+            let b =
+                graham_bracket(t.dag(), deadline).expect("vol > len and d > len ⇒ finite bracket");
+            assert!(
+                graham_upper_bound(t.dag(), b) <= deadline,
+                "d = {d}: bracket {b} must certify"
+            );
+            if b > 1 {
+                assert!(
+                    graham_upper_bound(t.dag(), b - 1) > deadline,
+                    "d = {d}: bracket {b} must be minimal"
+                );
+            }
+        }
+        // ⌈(9−6)/(7−6)⌉ = 3 and ⌈(9−6)/(8−6)⌉ = 2, matching the GUB table.
+        assert_eq!(graham_bracket(t.dag(), Duration::new(7)), Some(3));
+        assert_eq!(graham_bracket(t.dag(), Duration::new(8)), Some(2));
+        assert_eq!(graham_bracket(t.dag(), Duration::new(9)), Some(1));
+    }
+
+    #[test]
+    fn bracket_edge_cases() {
+        let t = paper_figure1(); // vol 9, len 6
+
+        // Deadline below the chain: hopeless.
+        assert_eq!(graham_bracket(t.dag(), Duration::new(5)), None);
+        // Deadline exactly the chain with parallel slack: GUB never reaches
+        // len for finite μ, so there is no certificate (LS may still fit).
+        assert_eq!(graham_bracket(t.dag(), Duration::new(6)), None);
+        // A pure chain certifies on one processor at its own length.
+        let c = chain(&[2, 3, 4]);
+        assert_eq!(graham_bracket(&c, Duration::new(9)), Some(1));
+        assert_eq!(graham_bracket(&c, Duration::new(8)), None);
+        // Empty DAG: any deadline is fine on one processor.
+        let empty = DagBuilder::new().build().unwrap();
+        assert_eq!(graham_bracket(&empty, Duration::ZERO), Some(1));
     }
 
     #[test]

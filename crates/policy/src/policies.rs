@@ -279,6 +279,28 @@ mod tests {
     }
 
     #[test]
+    fn trait_outcomes_and_probes_are_pool_size_independent() {
+        // The determinism contract as seen through the policy layer: the
+        // outcome and every non-timing probe counter must be identical
+        // whether the analysis under the trait ran sequentially or fanned
+        // out over an oversubscribed pool.
+        let system = paper_example2(4);
+        let baseline = fedsched_parallel::Pool::new(1).install(|| {
+            let mut probe = AnalysisProbe::default();
+            let outcome = FedCons::default().analyze(&system, 5, &mut probe);
+            (outcome, probe.deterministic())
+        });
+        for width in [2, 8] {
+            let run = fedsched_parallel::Pool::new(width).install(|| {
+                let mut probe = AnalysisProbe::default();
+                let outcome = FedCons::default().analyze(&system, 5, &mut probe);
+                (outcome, probe.deterministic())
+            });
+            assert_eq!(run, baseline, "width {width}");
+        }
+    }
+
+    #[test]
     fn trait_run_records_wall_time_and_analysis_cost() {
         let system = paper_example2(4);
         let mut probe = AnalysisProbe::default();

@@ -357,6 +357,11 @@ impl AdmissionState {
         let start = Instant::now();
         let span = self.sink.start_span();
         let high = task.is_high_density();
+        // The analysis layer accumulates these into the platform-lifetime
+        // probe; diffing around the admission yields this request's share
+        // for the event stream.
+        let pruned_before = self.probe.ls_runs_pruned;
+        let dispatched_before = self.probe.par_tasks_dispatched;
         let result = self.admit_inner(task, trace);
         match &result {
             Ok(_) if high => self.stats.admitted_high += 1,
@@ -365,6 +370,18 @@ impl AdmissionState {
             Err(_) => self.stats.rejected_low += 1,
         }
         self.sink.end_span(span, trace, SpanPhase::Admission);
+        let pruned = self.probe.ls_runs_pruned.saturating_sub(pruned_before);
+        if pruned > 0 {
+            self.sink.add(trace, CounterKind::LsRunsPruned, pruned);
+        }
+        let dispatched = self
+            .probe
+            .par_tasks_dispatched
+            .saturating_sub(dispatched_before);
+        if dispatched > 0 {
+            self.sink
+                .add(trace, CounterKind::ParTasksDispatched, dispatched);
+        }
         self.sink.count(
             trace,
             if result.is_ok() {

@@ -96,6 +96,12 @@ pub enum CounterKind {
     /// A connection was closed by the graceful-shutdown drain while the
     /// client still held it open.
     ConnectionDrained,
+    /// A `MINPROCS` candidate eliminated by the Graham bounds without
+    /// running List Scheduling.
+    LsRunsPruned,
+    /// A work item offered to the parallel analysis fan-out (counted
+    /// independently of the pool width actually in effect).
+    ParTasksDispatched,
 }
 
 impl CounterKind {
@@ -114,6 +120,8 @@ impl CounterKind {
             CounterKind::OversizedRequest => "oversized_request",
             CounterKind::BusyRejection => "busy_rejection",
             CounterKind::ConnectionDrained => "connection_drained",
+            CounterKind::LsRunsPruned => "ls_runs_pruned",
+            CounterKind::ParTasksDispatched => "par_tasks_dispatched",
         }
     }
 }
@@ -258,6 +266,8 @@ mod tests {
             CounterKind::OversizedRequest,
             CounterKind::BusyRejection,
             CounterKind::ConnectionDrained,
+            CounterKind::LsRunsPruned,
+            CounterKind::ParTasksDispatched,
         ] {
             assert!(kind
                 .name()

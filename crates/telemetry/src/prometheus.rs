@@ -111,7 +111,7 @@ fn escape_label(v: &str) -> String {
 /// Renders the cumulative [`AnalysisProbe`] counters under stable
 /// `<prefix>_*` metric names (the service uses prefix `fedsched_analysis`).
 pub fn render_probe(prefix: &str, probe: &AnalysisProbe, out: &mut PromText) {
-    let counters: [(&str, &str, u64); 10] = [
+    let counters: [(&str, &str, u64); 12] = [
         (
             "ls_runs",
             "Graham List-Scheduling simulations run",
@@ -121,6 +121,16 @@ pub fn render_probe(prefix: &str, probe: &AnalysisProbe, out: &mut PromText) {
             "makespan_evaluations",
             "Makespan-versus-deadline template evaluations",
             probe.makespan_evaluations,
+        ),
+        (
+            "ls_runs_pruned",
+            "MINPROCS candidates eliminated by Graham bounds without an LS run",
+            probe.ls_runs_pruned,
+        ),
+        (
+            "par_tasks_dispatched",
+            "Work items offered to the parallel analysis fan-out",
+            probe.par_tasks_dispatched,
         ),
         (
             "dbf_approx_evals",
@@ -264,6 +274,8 @@ mod tests {
         for name in [
             "ls_runs",
             "makespan_evaluations",
+            "ls_runs_pruned",
+            "par_tasks_dispatched",
             "dbf_approx_evals",
             "dbf_exact_evals",
             "fits_calls",

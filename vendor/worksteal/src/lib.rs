@@ -1,0 +1,427 @@
+//! Vendored minimal work-stealing thread pool (offline build).
+//!
+//! An API-compatible subset of the rayon-core surface the workspace needs:
+//! a fixed-width [`ThreadPool`] with a [`ThreadPool::scope`] that runs
+//! borrowed (non-`'static`) closures and joins them all before returning.
+//!
+//! Design, in order of priority:
+//!
+//! * **Correctness over throughput.** All queues live behind one `Mutex` +
+//!   `Condvar`; the jobs this workspace submits are millisecond-scale
+//!   schedulability analyses, so lock traffic is noise. Per-worker deques
+//!   still give work-stealing semantics: a worker pops its own queue from
+//!   the back (LIFO, cache-warm), steals from the *front* of the longest
+//!   foreign queue (FIFO, oldest first), and falls back to a shared
+//!   injector for jobs submitted from outside the pool.
+//! * **No deadlocks under nesting.** A thread blocked in `scope` waiting
+//!   for its spawned jobs *helps*: it executes queued jobs (anyone's) until
+//!   its own are done. Nested scopes therefore always make progress, even
+//!   on a pool of width 1.
+//! * **Panics propagate.** The first panic of any spawned job is captured
+//!   and re-raised from `scope` on the submitting thread, after all jobs
+//!   of the scope have been joined.
+//!
+//! A pool of width ≤ 1 spawns no threads at all: `scope` runs every job
+//! inline, in submission order, on the calling thread. That is the
+//! sequential escape hatch the façade crate exposes.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queues of pending jobs, all behind one lock.
+#[derive(Default)]
+struct Queues {
+    /// One deque per worker thread; owner pops the back, thieves the front.
+    locals: Vec<VecDeque<Job>>,
+    /// Jobs submitted from threads outside the pool.
+    injector: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Queues {
+    /// Next job for worker `index`: own queue first, then the injector,
+    /// then steal the oldest job of the longest foreign queue.
+    fn take_for(&mut self, index: usize) -> Option<Job> {
+        if let Some(job) = self.locals[index].pop_back() {
+            return Some(job);
+        }
+        self.take_foreign(Some(index))
+    }
+
+    /// Next job for a helping thread that owns no local queue.
+    fn take_any(&mut self) -> Option<Job> {
+        self.take_foreign(None)
+    }
+
+    fn take_foreign(&mut self, own: Option<usize>) -> Option<Job> {
+        if let Some(job) = self.injector.pop_front() {
+            return Some(job);
+        }
+        let victim = self
+            .locals
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| Some(*i) != own && !q.is_empty())
+            .max_by_key(|(_, q)| q.len())
+            .map(|(i, _)| i)?;
+        self.locals[victim].pop_front()
+    }
+}
+
+struct Shared {
+    queues: Mutex<Queues>,
+    /// Signalled on every job submission, and on the completion that
+    /// drops a scope's pending count to zero.
+    work: Condvar,
+}
+
+thread_local! {
+    /// `(pool tag, worker index + 1)` of the pool this thread works for;
+    /// `(0, 0)` when the thread is not a pool worker. The tag keeps workers
+    /// of distinct pools from pushing into each other's local queues.
+    static WORKER: Cell<(usize, usize)> = const { Cell::new((0, 0)) };
+}
+
+/// A fixed-width work-stealing thread pool.
+///
+/// `width` counts the submitting thread: a pool of width `w` runs at most
+/// `w` jobs concurrently — `w − 1` on worker threads plus the thread
+/// blocked in [`ThreadPool::scope`], which helps while it waits. Width 1
+/// spawns no threads and runs everything inline.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool of the given width (clamped to at least 1).
+    #[must_use]
+    pub fn new(width: usize) -> ThreadPool {
+        let width = width.max(1);
+        let workers = width - 1;
+        let shared = Arc::new(Shared {
+            queues: Mutex::new(Queues {
+                locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                injector: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("worksteal-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            width,
+        }
+    }
+
+    /// The concurrency width this pool was built with (≥ 1).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowed jobs can be spawned,
+    /// then blocks — helping to execute queued jobs — until every job
+    /// spawned on the scope has finished.
+    ///
+    /// # Panics
+    ///
+    /// If `f` or any spawned job panics, the (first) panic is re-raised
+    /// here after all jobs of the scope have been joined.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'_, 'scope>) -> R) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+            _scope: PhantomData,
+        };
+        // Join before propagating anything: spawned jobs borrow stack data
+        // of `f`'s caller, so they must be done even when `f` panics.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.help_until_done(&scope.state);
+        let job_panic = scope.state.panic.lock().unwrap().take();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = job_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Tag distinguishing this pool's workers in the thread-local.
+    fn tag(&self) -> usize {
+        Arc::as_ptr(&self.shared) as usize
+    }
+
+    fn push(&self, job: Job) {
+        let mut queues = self.shared.queues.lock().unwrap();
+        let (tag, index) = WORKER.get();
+        if tag == self.tag() && index > 0 {
+            queues.locals[index - 1].push_back(job);
+        } else {
+            queues.injector.push_back(job);
+        }
+        self.shared.work.notify_one();
+    }
+
+    /// Executes queued jobs (anyone's) until `state.pending` drops to zero.
+    fn help_until_done(&self, state: &ScopeState) {
+        while state.pending.load(Ordering::Acquire) != 0 {
+            let job = {
+                let mut queues = self.shared.queues.lock().unwrap();
+                if state.pending.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                match queues.take_any() {
+                    Some(job) => Some(job),
+                    None => {
+                        // The outstanding jobs are running on workers; sleep
+                        // until a completion wakes us. The timeout is only a
+                        // backstop — completions notify under the lock.
+                        let _ = self
+                            .shared
+                            .work
+                            .wait_timeout(queues, Duration::from_millis(1))
+                            .unwrap();
+                        None
+                    }
+                }
+            };
+            if let Some(job) = job {
+                job();
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.queues.lock().unwrap().shutdown = true;
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    WORKER.set((Arc::as_ptr(shared) as usize, index + 1));
+    loop {
+        let job = {
+            let mut queues = shared.queues.lock().unwrap();
+            loop {
+                if let Some(job) = queues.take_for(index) {
+                    break job;
+                }
+                if queues.shutdown {
+                    return;
+                }
+                queues = shared.work.wait(queues).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// Handle for spawning borrowed jobs inside [`ThreadPool::scope`].
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant in `'scope`, as in rayon: keeps callers from shrinking the
+    /// lifetime of the borrows a spawned job captures.
+    _scope: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Spawns `body` on the pool. It may borrow anything that outlives the
+    /// enclosing `scope` call; panics are captured and re-raised by `scope`.
+    pub fn spawn(&self, body: impl FnOnce() + Send + 'scope) {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let shared = Arc::clone(&self.pool.shared);
+        let wrapped = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            // Only the scope owner waits on completions, and only the drop
+            // to zero can unblock it — intermediate completions would wake
+            // it to no effect (and wake every idle worker with it). Notify
+            // under the lock so an owner that just checked `pending` and is
+            // about to wait cannot miss the wakeup; its wait also has a
+            // timeout backstop.
+            if state.pending.fetch_sub(1, Ordering::Release) == 1 {
+                let _guard = shared.queues.lock().unwrap();
+                shared.work.notify_all();
+            }
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapped);
+        // SAFETY: `scope` does not return (or propagate a panic) before
+        // `help_until_done` has observed `pending == 0`, i.e. before every
+        // spawned job has run to completion and dropped its captures. The
+        // borrows of lifetime `'scope` inside `body` therefore never outlive
+        // their referents; the transmute only erases that lifetime so the
+        // job can sit in the (`'static`) queues.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        if self.pool.width <= 1 {
+            job();
+        } else {
+            self.pool.push(job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn width_is_clamped_to_one() {
+        assert_eq!(ThreadPool::new(0).width(), 1);
+        assert_eq!(ThreadPool::new(3).width(), 3);
+    }
+
+    #[test]
+    fn scope_joins_all_jobs() {
+        for width in [1, 2, 4] {
+            let pool = ThreadPool::new(width);
+            let sum = AtomicU64::new(0);
+            pool.scope(|s| {
+                for i in 1..=100u64 {
+                    let sum = &sum;
+                    s.spawn(move || {
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 5050, "width {width}");
+        }
+    }
+
+    #[test]
+    fn jobs_borrow_stack_data() {
+        let pool = ThreadPool::new(4);
+        let data = vec![1u64, 2, 3, 4, 5];
+        let mut out = vec![0u64; data.len()];
+        pool.scope(|s| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move || *slot = x * x);
+            }
+        });
+        assert_eq!(out, vec![1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn nested_scopes_make_progress() {
+        for width in [1, 2, 3] {
+            let pool = ThreadPool::new(width);
+            let total = AtomicU64::new(0);
+            pool.scope(|outer| {
+                for _ in 0..4 {
+                    let (pool, total) = (&pool, &total);
+                    outer.spawn(move || {
+                        pool.scope(|inner| {
+                            for _ in 0..4 {
+                                inner.spawn(move || {
+                                    total.fetch_add(1, Ordering::Relaxed);
+                                });
+                            }
+                        });
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 16, "width {width}");
+        }
+    }
+
+    #[test]
+    fn width_one_runs_inline_in_submission_order() {
+        let pool = ThreadPool::new(1);
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..5 {
+                let order = &order;
+                s.spawn(move || order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let answer = pool.scope(|_| 42);
+        assert_eq!(answer, 42);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_after_join() {
+        for width in [1, 3] {
+            let pool = ThreadPool::new(width);
+            let completed = AtomicU64::new(0);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    s.spawn(|| panic!("job panic"));
+                    for _ in 0..8 {
+                        let completed = &completed;
+                        s.spawn(move || {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }));
+            assert!(result.is_err(), "width {width}");
+            // Every sibling job was still joined before the panic resumed.
+            assert_eq!(completed.load(Ordering::Relaxed), 8, "width {width}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_small_scopes() {
+        let pool = ThreadPool::new(4);
+        for round in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            pool.scope(|s| {
+                for i in 0..10 {
+                    let sum = &sum;
+                    s.spawn(move || {
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 45, "round {round}");
+        }
+    }
+}
