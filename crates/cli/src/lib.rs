@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 use core::fmt;
+use std::path::PathBuf;
 
 use fedsched_analysis::dbf::SequentialView;
 use fedsched_analysis::partition::PartitionConfig;
@@ -23,6 +24,9 @@ use fedsched_core::feasibility::{demand_load, necessary_feasible};
 use fedsched_core::fedcons::{fedcons, FedConsConfig};
 use fedsched_dag::system::TaskSystem;
 use fedsched_dag::time::{Duration, Time};
+use fedsched_durable::{
+    DurableStore, FsyncPolicy, StoreConfig, DEFAULT_SNAPSHOT_BYTES, DEFAULT_SNAPSHOT_RECORDS,
+};
 use fedsched_gen::system::SystemConfig;
 use fedsched_gen::{DeadlineTightness, Span, Topology};
 use fedsched_graham::list::PriorityPolicy;
@@ -719,6 +723,17 @@ pub struct ServeOptions {
     /// Per-connection hardening: IO deadlines, frame cap, connection cap,
     /// and request budget.
     pub limits: fedsched_service::ConnectionLimits,
+    /// Durability directory: when set, every admission decision is
+    /// journaled there and the server recovers its state from the
+    /// directory on boot. `None` keeps the server purely in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// When to fsync the write-ahead log (`every`, `interval:<ms>`, or
+    /// `never`); only meaningful with `data_dir`.
+    pub fsync: FsyncPolicy,
+    /// Install a snapshot after this many WAL records (with `data_dir`).
+    pub snapshot_records: u64,
+    /// Install a snapshot after this many WAL bytes (with `data_dir`).
+    pub snapshot_bytes: u64,
 }
 
 impl Default for ServeOptions {
@@ -731,6 +746,10 @@ impl Default for ServeOptions {
             workers: 4,
             telemetry_events: 4096,
             limits: fedsched_service::ConnectionLimits::default(),
+            data_dir: None,
+            fsync: FsyncPolicy::Every,
+            snapshot_records: DEFAULT_SNAPSHOT_RECORDS,
+            snapshot_bytes: DEFAULT_SNAPSHOT_BYTES,
         }
     }
 }
@@ -746,21 +765,246 @@ pub fn start_server(opts: &ServeOptions) -> Result<fedsched_service::ServerHandl
     let config = fedsched_service::ServerConfig {
         addr: opts.addr.clone(),
         workers: opts.workers,
-        admission: fedsched_service::AdmissionConfig {
-            processors: opts.processors,
-            fedcons: FedConsConfig {
-                policy: opts.policy,
-                partition: if opts.exact_partition {
-                    PartitionConfig::exact(fedsched_analysis::edf::DEFAULT_BUDGET)
-                } else {
-                    PartitionConfig::approx()
-                },
-            },
-            telemetry_events: opts.telemetry_events,
-        },
+        admission: admission_config(opts),
         limits: opts.limits,
+        durability: opts.data_dir.as_ref().map(|dir| store_config(opts, dir)),
     };
     Ok(fedsched_service::serve(&config)?)
+}
+
+/// The [`fedsched_service::AdmissionConfig`] a `serve`, `compact`, or
+/// `recover` invocation describes. `compact`/`recover` must pass the same
+/// `-m`/`--policy`/`--exact-partition` the serving process used: recovery
+/// refuses to reinterpret a log under a different configuration.
+fn admission_config(opts: &ServeOptions) -> fedsched_service::AdmissionConfig {
+    fedsched_service::AdmissionConfig {
+        processors: opts.processors,
+        fedcons: FedConsConfig {
+            policy: opts.policy,
+            partition: if opts.exact_partition {
+                PartitionConfig::exact(fedsched_analysis::edf::DEFAULT_BUDGET)
+            } else {
+                PartitionConfig::approx()
+            },
+        },
+        telemetry_events: opts.telemetry_events,
+    }
+}
+
+fn store_config(opts: &ServeOptions, dir: &std::path::Path) -> StoreConfig {
+    let mut config = StoreConfig::new(dir);
+    config.fsync = opts.fsync;
+    config.snapshot_every_records = opts.snapshot_records;
+    config.snapshot_every_bytes = opts.snapshot_bytes;
+    config
+}
+
+/// The directory a `compact`/`recover` invocation operates on, or a usage
+/// error naming the subcommand when `--data-dir` was omitted.
+fn require_data_dir<'a>(opts: &'a ServeOptions, command: &str) -> Result<&'a PathBuf, CliError> {
+    opts.data_dir
+        .as_ref()
+        .ok_or_else(|| CliError::Usage(format!("{command} requires --data-dir <dir>")))
+}
+
+fn open_recovered(
+    opts: &ServeOptions,
+    dir: &std::path::Path,
+) -> Result<
+    (
+        DurableStore,
+        fedsched_durable::RecoveredLog,
+        fedsched_service::AdmissionState,
+        fedsched_service::ReplayReport,
+    ),
+    CliError,
+> {
+    let (store, recovered) = DurableStore::open(store_config(opts, dir))?;
+    let (state, report) = fedsched_service::recover_state(admission_config(opts), &recovered)
+        .map_err(|e| {
+            CliError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("cannot recover {}: {e}", dir.display()),
+            ))
+        })?;
+    Ok((store, recovered, state, report))
+}
+
+/// `fedsched recover`: opens a durability directory, rebuilds the
+/// admission state exactly as `serve --data-dir` would on boot, and
+/// reports what was recovered — without binding a socket. Use it to
+/// sanity-check a data directory after a crash or before a migration.
+///
+/// # Errors
+///
+/// Usage error without `--data-dir`; I/O errors opening the store; an
+/// `InvalidData` I/O error when the log does not replay cleanly under the
+/// given configuration.
+pub fn recover_store(opts: &ServeOptions) -> Result<String, CliError> {
+    let dir = require_data_dir(opts, "recover")?.clone();
+    let (store, recovered, state, report) = open_recovered(opts, &dir)?;
+    let snapshot = state.snapshot();
+    let mut out = String::new();
+    use fmt::Write as _;
+    let _ = writeln!(out, "recovered {}", dir.display());
+    let _ = writeln!(
+        out,
+        "  wal: {} records in {} bytes ({} truncated{})",
+        recovered.wal_report.records_recovered,
+        store.wal_len(),
+        recovered.wal_report.truncated_bytes,
+        if recovered.wal_report.tail_was_corrupt {
+            ", corrupt tail"
+        } else {
+            ""
+        },
+    );
+    match report.snapshot_seq {
+        Some(seq) => {
+            let _ = writeln!(
+                out,
+                "  snapshot: seq {seq} + {} replayed records ({} stale snapshot(s) skipped)",
+                report.replayed_records, report.snapshots_skipped
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  snapshot: none, {} records replayed from genesis",
+                report.replayed_records
+            );
+        }
+    }
+    let _ = writeln!(out, "  replay: {:.3} ms", report.replay_nanos as f64 / 1e6);
+    let _ = writeln!(
+        out,
+        "  state: {} resident task(s), {} dedicated + {} shared processor(s) in use",
+        state.resident_tasks(),
+        state.dedicated_processors(),
+        state.shared_processors(),
+    );
+    let _ = writeln!(
+        out,
+        "  stats: {} admitted, {} rejected, {} removed, cache {} hit(s) / {} miss(es)",
+        snapshot.admitted_high + snapshot.admitted_low,
+        snapshot.rejected_high + snapshot.rejected_low,
+        snapshot.removed,
+        snapshot.cache_hits,
+        snapshot.cache_misses,
+    );
+    Ok(out)
+}
+
+/// `fedsched compact`: recovers the admission state from a durability
+/// directory, writes one fresh snapshot of it, and truncates the
+/// write-ahead log. Run it offline (the admission server must not be
+/// serving from the same directory) to bound restart time after long
+/// uptimes.
+///
+/// # Errors
+///
+/// As [`recover_store`], plus I/O errors writing the snapshot.
+pub fn compact_store(opts: &ServeOptions) -> Result<String, CliError> {
+    let dir = require_data_dir(opts, "compact")?.clone();
+    let (mut store, _recovered, state, report) = open_recovered(opts, &dir)?;
+    let compacted = store.compact(&state.export())?;
+    let mut out = String::new();
+    use fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "compacted {} ({} resident task(s), {} replayed record(s))",
+        dir.display(),
+        state.resident_tasks(),
+        report.replayed_records
+    );
+    let _ = writeln!(
+        out,
+        "  snapshot: seq {} in {} bytes",
+        compacted.snapshot_seq, compacted.snapshot_bytes
+    );
+    let _ = writeln!(
+        out,
+        "  wal: {} -> {} bytes, {} old file(s) removed",
+        compacted.wal_bytes_before, compacted.wal_bytes_after, compacted.files_removed
+    );
+    Ok(out)
+}
+
+/// The multi-line effective-configuration banner `fedsched serve` logs at
+/// startup: every knob after flag/default/environment resolution, so an
+/// operator can read back exactly what the server is running with.
+pub fn serve_banner(opts: &ServeOptions, handle: &fedsched_service::ServerHandle) -> String {
+    let mut out = String::new();
+    use fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "fedsched admission server on {} (m = {}, policy = {:?}, partition = {})",
+        handle.local_addr(),
+        opts.processors,
+        opts.policy,
+        if opts.exact_partition {
+            "exact-edf"
+        } else {
+            "dbf-approx"
+        },
+    );
+    let _ = writeln!(
+        out,
+        "  transport: {} worker(s), telemetry ring {} event(s), io-timeout {}, \
+         idle-strikes {}, max-conns {}, max-frame-bytes {}, max-requests {}",
+        opts.workers.max(1),
+        opts.telemetry_events,
+        match opts.limits.io_timeout {
+            Some(t) => format!("{} ms", t.as_millis()),
+            None => "off".to_owned(),
+        },
+        opts.limits.idle_strikes,
+        opts.limits.max_connections,
+        opts.limits.max_frame_bytes,
+        opts.limits.max_requests_per_connection,
+    );
+    let _ = writeln!(
+        out,
+        "  analysis threads: {} ({})",
+        fedsched_parallel::width(),
+        match std::env::var("FEDSCHED_THREADS") {
+            Ok(v) => format!("FEDSCHED_THREADS={v}"),
+            Err(_) => "FEDSCHED_THREADS unset".to_owned(),
+        },
+    );
+    match &opts.data_dir {
+        None => {
+            let _ = writeln!(out, "  durability: off (in-memory only)");
+        }
+        Some(dir) => {
+            let _ = writeln!(
+                out,
+                "  durability: {} (fsync {}, snapshot every {} records / {} bytes)",
+                dir.display(),
+                opts.fsync,
+                opts.snapshot_records,
+                opts.snapshot_bytes,
+            );
+            if let Some(boot) = handle.boot_report() {
+                let _ = writeln!(
+                    out,
+                    "  recovered: {} replayed record(s){} in {:.3} ms{}",
+                    boot.replayed_records,
+                    match boot.snapshot_seq {
+                        Some(seq) => format!(" after snapshot seq {seq}"),
+                        None => String::new(),
+                    },
+                    boot.replay_nanos as f64 / 1e6,
+                    if boot.truncated_bytes > 0 {
+                        format!(" ({} torn byte(s) truncated)", boot.truncated_bytes)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+        }
+    }
+    out
 }
 
 /// One `fedsched client` action.
@@ -996,8 +1240,15 @@ USAGE:
                     [--addr HOST:PORT] [--workers N] [--telemetry N]
                     [--io-timeout-ms MS] [--idle-strikes N] [--max-conns N]
                     [--max-frame-bytes N] [--max-requests N]
+                    [--data-dir DIR] [--fsync every|interval:MS|never]
+                    [--snapshot-records N] [--snapshot-bytes N]
                     # admission server; GET /metrics on the same port;
-                    # --io-timeout-ms 0 disables connection deadlines
+                    # --io-timeout-ms 0 disables connection deadlines;
+                    # --data-dir journals decisions and recovers on boot
+  fedsched recover  -m M --data-dir DIR [--policy list|cpf|lwf]
+                    [--exact-partition]  # replay a journal, report state
+  fedsched compact  -m M --data-dir DIR [--policy list|cpf|lwf]
+                    [--exact-partition]  # fold the journal into a snapshot
   fedsched client   admit <system.json> [--task K] [--trace-id T]
                     [--addr HOST:PORT] [--timeout-ms MS]
   fedsched client   remove|query --token T [--addr HOST:PORT] [--timeout-ms MS]
@@ -1355,6 +1606,129 @@ mod tests {
         let bye = client_command(&addr, &ClientAction::Shutdown).unwrap();
         assert!(bye.contains("shutting down"));
         handle.join();
+    }
+
+    #[test]
+    fn serve_recover_compact_roundtrip_with_data_dir() {
+        let dir = std::env::temp_dir().join(format!(
+            "fedsched-cli-durable-roundtrip-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            data_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+
+        let handle = start_server(&opts).unwrap();
+        let banner = serve_banner(&opts, &handle);
+        assert!(banner.contains("durability: "), "banner: {banner}");
+        assert!(banner.contains("fsync every"), "banner: {banner}");
+        assert!(
+            banner.contains("recovered: 0 replayed record(s)"),
+            "fresh dir boots empty: {banner}"
+        );
+        assert!(banner.contains("FEDSCHED_THREADS"), "banner: {banner}");
+        let addr = handle.local_addr().to_string();
+        client_command(
+            &addr,
+            &ClientAction::Admit {
+                json: sample_json(),
+                task: None,
+                trace: None,
+            },
+        )
+        .unwrap();
+        client_command(&addr, &ClientAction::Remove { token: 3 }).unwrap();
+        client_command(&addr, &ClientAction::Shutdown).unwrap();
+        handle.join();
+
+        // Offline recovery replays the journal into the surviving state.
+        let report = recover_store(&opts).unwrap();
+        assert!(report.contains("7 resident task(s)"), "{report}");
+        assert!(report.contains("8 admitted"), "{report}");
+        assert!(report.contains("1 removed"), "{report}");
+
+        // Compaction folds the journal into one snapshot.
+        let compacted = compact_store(&opts).unwrap();
+        assert!(compacted.contains("7 resident task(s)"), "{compacted}");
+        assert!(compacted.contains("snapshot: seq"), "{compacted}");
+        assert!(
+            compacted.contains("-> 44 bytes"),
+            "wal truncated to magic + marker: {compacted}"
+        );
+
+        // A restarted server picks the state straight back up — from the
+        // snapshot alone, with nothing left to replay.
+        let handle = start_server(&ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            ..opts.clone()
+        })
+        .unwrap();
+        let boot = handle.boot_report().expect("durability enabled");
+        assert_eq!(boot.replayed_records, 0, "compacted: snapshot only");
+        let addr = handle.local_addr().to_string();
+        let query = client_command(&addr, &ClientAction::Query { token: 0 }).unwrap();
+        assert!(query.contains("token=0 on "), "state survived: {query}");
+        let gone = client_command(&addr, &ClientAction::Query { token: 3 }).unwrap();
+        assert!(gone.contains("not found"), "removal survived: {gone}");
+        client_command(&addr, &ClientAction::Shutdown).unwrap();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_and_compact_require_a_data_dir() {
+        for f in [recover_store, compact_store] {
+            let err = f(&ServeOptions::default()).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn recover_refuses_a_mismatched_configuration() {
+        let dir = std::env::temp_dir().join(format!(
+            "fedsched-cli-durable-mismatch-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            data_dir: Some(dir.clone()),
+            // Snapshot immediately: the config check lives in snapshot
+            // restore, so the directory must contain one.
+            snapshot_records: 1,
+            ..ServeOptions::default()
+        };
+        let handle = start_server(&opts).unwrap();
+        let addr = handle.local_addr().to_string();
+        client_command(
+            &addr,
+            &ClientAction::Admit {
+                json: sample_json(),
+                task: Some(0),
+                trace: None,
+            },
+        )
+        .unwrap();
+        client_command(&addr, &ClientAction::Shutdown).unwrap();
+        handle.join();
+
+        // Same directory, different platform size: recovery must refuse
+        // rather than reinterpret the journal.
+        let err = recover_store(&ServeOptions {
+            processors: 16,
+            ..opts.clone()
+        })
+        .unwrap_err();
+        let CliError::Io(io) = err else {
+            panic!("expected InvalidData, got {err:?}");
+        };
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData, "got {io:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,10 +5,12 @@ use std::fs;
 use std::process::ExitCode;
 
 use fedsched_cli::{
-    analyze, analyze_to_json, client_command_with, dot, generate, import_stg, info, parse_priority,
-    parse_trace_format, simulate, simulate_with_svg, start_server, trace_export, AnalyzeOptions,
-    CliError, ClientAction, GenerateOptions, ServeOptions, SimulateOptions, USAGE,
+    analyze, analyze_to_json, client_command_with, compact_store, dot, generate, import_stg, info,
+    parse_priority, parse_trace_format, recover_store, serve_banner, simulate, simulate_with_svg,
+    start_server, trace_export, AnalyzeOptions, CliError, ClientAction, GenerateOptions,
+    ServeOptions, SimulateOptions, USAGE,
 };
+use fedsched_durable::FsyncPolicy;
 
 fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +59,10 @@ fn run() -> Result<String, CliError> {
                 | "--max-requests"
                 | "--timeout-ms"
                 | "--threads"
+                | "--data-dir"
+                | "--fsync"
+                | "--snapshot-records"
+                | "--snapshot-bytes"
         )
     };
     while i < rest.len() {
@@ -143,6 +149,19 @@ fn run() -> Result<String, CliError> {
             "--max-conns",
             "--max-frame-bytes",
             "--max-requests",
+            "--data-dir",
+            "--fsync",
+            "--snapshot-records",
+            "--snapshot-bytes",
+        ],
+        "recover" | "compact" => &[
+            "-m",
+            "--policy",
+            "--exact-partition",
+            "--data-dir",
+            "--fsync",
+            "--snapshot-records",
+            "--snapshot-bytes",
         ],
         "client" => &[
             "--addr",
@@ -321,11 +340,15 @@ fn run() -> Result<String, CliError> {
             };
             dot(&read_input(&positional)?, task)
         }
-        "serve" => {
+        "serve" | "recover" | "compact" => {
             let mut opts = ServeOptions::default();
             match flag("-m") {
                 Some(Some(v)) => opts.processors = parse_num("-m", v)? as u32,
-                _ => return Err(CliError::Usage("serve requires -m <processors>".into())),
+                _ => {
+                    return Err(CliError::Usage(format!(
+                        "{command} requires -m <processors>"
+                    )))
+                }
             }
             if let Some(Some(v)) = flag("--policy") {
                 opts.policy = parse_priority(v)?;
@@ -358,15 +381,28 @@ fn run() -> Result<String, CliError> {
             if let Some(Some(v)) = flag("--max-requests") {
                 opts.limits.max_requests_per_connection = parse_num("--max-requests", v)? as u64;
             }
-            let handle = start_server(&opts)?;
-            eprintln!(
-                "fedsched admission server on {} ({} workers, m = {})",
-                handle.local_addr(),
-                opts.workers.max(1),
-                opts.processors
-            );
-            handle.join();
-            Ok("server stopped\n".to_owned())
+            if let Some(Some(v)) = flag("--data-dir") {
+                opts.data_dir = Some(v.into());
+            }
+            if let Some(Some(v)) = flag("--fsync") {
+                opts.fsync = FsyncPolicy::parse(v).map_err(CliError::Usage)?;
+            }
+            if let Some(Some(v)) = flag("--snapshot-records") {
+                opts.snapshot_records = parse_num("--snapshot-records", v)? as u64;
+            }
+            if let Some(Some(v)) = flag("--snapshot-bytes") {
+                opts.snapshot_bytes = parse_num("--snapshot-bytes", v)? as u64;
+            }
+            match command {
+                "recover" => recover_store(&opts),
+                "compact" => compact_store(&opts),
+                _ => {
+                    let handle = start_server(&opts)?;
+                    eprint!("{}", serve_banner(&opts, &handle));
+                    handle.join();
+                    Ok("server stopped\n".to_owned())
+                }
+            }
         }
         "client" => {
             let addr = flag("--addr")

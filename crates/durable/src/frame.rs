@@ -1,0 +1,241 @@
+//! Length-prefixed, CRC-checksummed frames — the on-disk unit of both the
+//! WAL and snapshot files.
+//!
+//! A frame is `[len: u32 LE][crc: u32 LE][payload: len bytes]` where `crc`
+//! is [`crc32`] over the payload alone. The format is deliberately minimal:
+//! no per-frame sequence numbers (the WAL is strictly append-only, order
+//! *is* position) and no compression (payloads are single admission
+//! records; snapshots are written tmp+rename, not streamed).
+//!
+//! [`scan_frames`] walks a byte buffer and classifies the tail:
+//!
+//! * a **clean** tail ends exactly at the last complete frame;
+//! * a **torn** tail has a partial header or a payload shorter than its
+//!   declared length — the signature of a crash mid-`write`;
+//! * a **corrupt** tail has a complete frame whose CRC does not match, or
+//!   a length prefix beyond [`MAX_FRAME_LEN`] — bit rot or an overwrite.
+//!
+//! In all three non-clean cases the scanner stops at the last byte of the
+//! last *valid* frame. Everything after the first bad frame is untrusted
+//! even if later bytes happen to parse: the log is append-only, so a bad
+//! frame means the writer died or the file was damaged there, and any
+//! subsequent bytes are stale or coincidental.
+
+use crate::crc32::crc32;
+
+/// Bytes of frame header: 4-byte little-endian length + 4-byte CRC.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a frame's payload length. A prefix above this is treated
+/// as corruption, not as a real frame — no admission record or snapshot in
+/// this system approaches it, and the cap stops a flipped length bit from
+/// making the scanner wait for gigabytes that will never exist.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// How the byte sequence after the last valid frame looked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The buffer ends exactly at a frame boundary.
+    Clean,
+    /// The buffer ends mid-frame (partial header or short payload):
+    /// `trailing` bytes follow the last valid frame.
+    Torn {
+        /// Number of untrusted bytes after the last valid frame.
+        trailing: usize,
+    },
+    /// A complete frame failed its CRC, or a length prefix exceeded
+    /// [`MAX_FRAME_LEN`]: `trailing` bytes follow the last valid frame.
+    Corrupt {
+        /// Number of untrusted bytes after the last valid frame.
+        trailing: usize,
+    },
+}
+
+impl TailState {
+    /// Bytes that must be truncated to restore a clean frame boundary.
+    #[must_use]
+    pub fn trailing(self) -> usize {
+        match self {
+            TailState::Clean => 0,
+            TailState::Torn { trailing } | TailState::Corrupt { trailing } => trailing,
+        }
+    }
+}
+
+/// The result of scanning a buffer for frames.
+#[derive(Debug)]
+pub struct ScanOutcome<'a> {
+    /// Payloads of the complete, CRC-valid frames, in file order.
+    pub frames: Vec<&'a [u8]>,
+    /// Bytes covered by those frames — the length to truncate the file to
+    /// when the tail is not clean.
+    pub valid_len: usize,
+    /// Classification of whatever followed the last valid frame.
+    pub tail: TailState,
+}
+
+/// Encodes one frame (`header + payload`) ready to append.
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("frame payload exceeds u32::MAX");
+    assert!(len <= MAX_FRAME_LEN, "frame payload exceeds MAX_FRAME_LEN");
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Scans `buf` from the start, collecting valid frames and classifying the
+/// tail. Never panics on hostile input; a bad frame simply ends the scan.
+#[must_use]
+pub fn scan_frames(buf: &[u8]) -> ScanOutcome<'_> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let remaining = buf.len() - pos;
+        if remaining == 0 {
+            return ScanOutcome {
+                frames,
+                valid_len: pos,
+                tail: TailState::Clean,
+            };
+        }
+        if remaining < HEADER_LEN {
+            return ScanOutcome {
+                frames,
+                valid_len: pos,
+                tail: TailState::Torn {
+                    trailing: remaining,
+                },
+            };
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return ScanOutcome {
+                frames,
+                valid_len: pos,
+                tail: TailState::Corrupt {
+                    trailing: remaining,
+                },
+            };
+        }
+        let body = len as usize;
+        if remaining - HEADER_LEN < body {
+            return ScanOutcome {
+                frames,
+                valid_len: pos,
+                tail: TailState::Torn {
+                    trailing: remaining,
+                },
+            };
+        }
+        let payload = &buf[pos + HEADER_LEN..pos + HEADER_LEN + body];
+        if crc32(payload) != crc {
+            return ScanOutcome {
+                frames,
+                valid_len: pos,
+                tail: TailState::Corrupt {
+                    trailing: remaining,
+                },
+            };
+        }
+        frames.push(payload);
+        pos += HEADER_LEN + body;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        let payloads: [&[u8]; 3] = [b"first", b"", b"third record, longer"];
+        for p in payloads {
+            buf.extend_from_slice(&encode_frame(p));
+        }
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.tail, TailState::Clean);
+        assert_eq!(scan.valid_len, buf.len());
+        assert_eq!(scan.frames, payloads);
+    }
+
+    #[test]
+    fn empty_buffer_is_clean() {
+        let scan = scan_frames(&[]);
+        assert_eq!(scan.tail, TailState::Clean);
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.frames.is_empty());
+    }
+
+    #[test]
+    fn torn_header_is_detected() {
+        let mut buf = encode_frame(b"whole");
+        let good_len = buf.len();
+        buf.extend_from_slice(&[0x05, 0x00, 0x00]); // 3 of 8 header bytes
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.tail, TailState::Torn { trailing: 3 });
+        assert_eq!(scan.frames, vec![b"whole".as_slice()]);
+    }
+
+    #[test]
+    fn torn_payload_is_detected() {
+        let mut buf = encode_frame(b"keep me");
+        let good_len = buf.len();
+        let torn = encode_frame(b"half written record");
+        buf.extend_from_slice(&torn[..torn.len() - 4]);
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(
+            scan.tail,
+            TailState::Torn {
+                trailing: torn.len() - 4
+            }
+        );
+        assert_eq!(scan.frames.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_crc_is_detected() {
+        let mut buf = encode_frame(b"keep me");
+        let good_len = buf.len();
+        let mut bad = encode_frame(b"bit rot victim");
+        let bad_len = bad.len();
+        *bad.last_mut().unwrap() ^= 0x40;
+        buf.extend_from_slice(&bad);
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.tail, TailState::Corrupt { trailing: bad_len });
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_corruption() {
+        let mut buf = encode_frame(b"good");
+        let good_len = buf.len();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 12]);
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.valid_len, good_len);
+        assert!(matches!(scan.tail, TailState::Corrupt { trailing: 16 }));
+    }
+
+    #[test]
+    fn bad_frame_hides_later_valid_bytes() {
+        // Valid frame, corrupt frame, valid frame: the scanner must stop at
+        // the corruption and NOT resynchronise on the later valid frame.
+        let mut buf = encode_frame(b"one");
+        let good_len = buf.len();
+        let mut bad = encode_frame(b"two");
+        bad[HEADER_LEN] ^= 0xFF;
+        buf.extend_from_slice(&bad);
+        buf.extend_from_slice(&encode_frame(b"three"));
+        let scan = scan_frames(&buf);
+        assert_eq!(scan.valid_len, good_len);
+        assert_eq!(scan.frames, vec![b"one".as_slice()]);
+        assert!(matches!(scan.tail, TailState::Corrupt { .. }));
+    }
+}

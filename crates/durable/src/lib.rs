@@ -1,0 +1,72 @@
+//! `fedsched-durable` — durable platform state for the federated-scheduling
+//! admission server (Baruah, DATE 2015).
+//!
+//! A production admission server cannot forget its admitted systems on
+//! restart: the federated partition — and with it the incremental-FEDCONS
+//! state, the frozen LS σ templates, and the `MINPROCS` template cache —
+//! is expensive to recompute, and re-admission after a crash can produce a
+//! *different* partition than the one clients were promised (first-fit
+//! removal anomalies make the live placement history-dependent). This
+//! crate is the storage engine underneath that guarantee:
+//!
+//! * [`crc32()`] — the CRC-32/ISO-HDLC checksum every frame carries;
+//! * [`frame`] — length-prefixed, checksummed frames with torn- and
+//!   corrupt-tail classification ([`frame::scan_frames`]);
+//! * [`record`] — the serde DTOs: the [`LogRecord`] decision log entries
+//!   and the structural [`PersistedState`] snapshot;
+//! * [`wal`] — the append-only log file with [`FsyncPolicy`]-controlled
+//!   durability and torn-tail repair on open;
+//! * [`snapshot`] — atomic (tmp + rename + dir-sync) snapshot files;
+//! * [`store`] — [`DurableStore`]: the data directory as one object, with
+//!   snapshot-threshold bookkeeping, recovery-point selection, and
+//!   [`compact`](DurableStore::compact).
+//!
+//! The crate deliberately knows nothing about sockets or the admission
+//! protocol: the service crate drives it (append on every decision, replay
+//! on boot), the CLI exposes `--data-dir` / `--fsync` / `compact`, and
+//! docs/DURABILITY.md specifies the format bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use fedsched_durable::{DurableStore, FsyncPolicy, LogRecord, StoreConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("fedsched-durable-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut config = StoreConfig::new(&dir);
+//! config.fsync = FsyncPolicy::Every;
+//! let (mut store, recovered) = DurableStore::open(config.clone())?;
+//! assert!(recovered.suffix.is_empty());
+//! store.append(&LogRecord::Depart { token: 7, anomaly: false })?;
+//!
+//! // A reopen — e.g. after a crash — replays the acknowledged decision.
+//! drop(store);
+//! let (_store, recovered) = DurableStore::open(config)?;
+//! assert_eq!(recovered.suffix.len(), 1);
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod crc32;
+pub mod frame;
+pub mod record;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use frame::{scan_frames, ScanOutcome, TailState, MAX_FRAME_LEN};
+pub use record::{
+    LogRecord, PersistedCacheEntry, PersistedCluster, PersistedConfig, PersistedShared,
+    PersistedSizing, PersistedState, PersistedStats, PoolAssignment, FORMAT_VERSION,
+};
+pub use snapshot::{list_snapshots, load_snapshot, snapshot_file_name, write_snapshot};
+pub use store::{
+    CompactReport, DurableStore, RecoveredLog, StoreConfig, DEFAULT_SNAPSHOT_BYTES,
+    DEFAULT_SNAPSHOT_RECORDS, WAL_FILE,
+};
+pub use wal::{FsyncPolicy, WalOpenReport, WalStats, WalWriter};

@@ -1,0 +1,370 @@
+//! The serde DTOs that live inside WAL frames and snapshot files.
+//!
+//! Two deliberate properties:
+//!
+//! 1. **The WAL is a decision log, not a state dump.** Every algorithm in
+//!    the admission path (MINPROCS sizing, Baruah–Fisher DBF\* first-fit)
+//!    is deterministic, so recovery re-executes the logged decision
+//!    sequence against the real engine and the state machine lands exactly
+//!    where the pre-crash server was. The outcomes recorded alongside each
+//!    decision — the assigned pool, the frozen σ template, whether the
+//!    template cache hit — are *verification data*: replay asserts the
+//!    re-derived outcome matches the logged one, so silent version drift
+//!    (an algorithm change between writer and reader) or nondeterminism is
+//!    caught at boot instead of surfacing as a broken promise to a client.
+//! 2. **Snapshots are structural.** A snapshot captures placements as they
+//!    are, *not* as a fresh batch admission would produce them: first-fit
+//!    removal anomalies mean the live partition can legitimately differ
+//!    from re-admitting the resident set, and a restore must reproduce the
+//!    promises actually made.
+//!
+//! All types serialize through the workspace's vendored serde (externally
+//! tagged enums, unknown map keys ignored), so a newer writer adding a
+//! field degrades readably: old readers ignore it, and a record an old
+//! reader cannot interpret at all (a new enum variant) fails loudly rather
+//! than being misapplied.
+
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_dag::task::DagTask;
+use fedsched_graham::list::PriorityPolicy;
+use fedsched_graham::schedule::TemplateSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Current on-disk format version, embedded in every snapshot. Bump when a
+/// change is not readable by older code.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Where an admitted task was placed — mirrors the service protocol's
+/// `Placement` without depending on the service crate (the dependency runs
+/// the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolAssignment {
+    /// A dedicated cluster of `processors` processors starting at platform
+    /// processor `first_processor`.
+    Dedicated {
+        /// First platform processor index of the cluster.
+        first_processor: u32,
+        /// Cluster width `μ*`.
+        processors: u32,
+    },
+    /// A slot on one shared EDF processor (pool-local index).
+    Shared {
+        /// Pool-local processor index.
+        processor: u64,
+    },
+}
+
+/// A memoized `MINPROCS` result as persisted: `None` inside an
+/// `Option<PersistedSizing>` field records a chain-infeasible shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedSizing {
+    /// Intrinsic minimum processor count `μ*`.
+    pub processors: u32,
+    /// The frozen LS template witnessing `μ*`.
+    pub template: TemplateSchedule,
+}
+
+/// One entry of the append-only write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A task was admitted. `token` pins the identity the client was
+    /// given; `placement`, `cache_hit` and `sizing` (the frozen σ
+    /// template, for dedicated placements) are the logged outcomes replay
+    /// verifies.
+    Admit {
+        /// The admission token returned to the client.
+        token: u64,
+        /// The admitted task, exactly as submitted.
+        task: DagTask,
+        /// Where the task was placed.
+        placement: PoolAssignment,
+        /// Whether the template cache hit on the original decision.
+        cache_hit: bool,
+        /// The frozen σ template for dedicated placements (`None` for
+        /// shared-pool admissions — they have no template).
+        sizing: Option<PersistedSizing>,
+    },
+    /// A task was rejected. Rejections mutate counters and (for
+    /// chain-infeasible shapes) the template cache, so they are logged
+    /// with the full task and re-executed on replay.
+    Reject {
+        /// The rejected task.
+        task: DagTask,
+        /// Whether it was classed high-density (δ ≥ 1).
+        high_density: bool,
+        /// Whether the template cache hit on the original decision (only
+        /// meaningful for high-density rejections; `false` otherwise).
+        cache_hit: bool,
+    },
+    /// A task departed. Replay re-runs the removal (including the suffix
+    /// replay of later shared-pool admissions) and verifies the logged
+    /// anomaly outcome.
+    Depart {
+        /// The departing task's admission token.
+        token: u64,
+        /// Whether the original removal's suffix replay hit a first-fit
+        /// anomaly and kept the previous placements.
+        anomaly: bool,
+    },
+    /// A new `MINPROCS` template-cache entry was computed (always adjacent
+    /// to the `Admit`/`Reject` that computed it). Replay verifies the
+    /// re-derived entry — processors *and* template bytes — against this
+    /// record, and offline tooling can rebuild the cache from the log
+    /// without running the scheduler.
+    CacheInsert {
+        /// A task exhibiting the cached shape (period irrelevant to the
+        /// cache key).
+        task: DagTask,
+        /// The computed sizing; `None` for chain-infeasible shapes.
+        sizing: Option<PersistedSizing>,
+    },
+    /// Snapshot `seq` was durably written; records before this marker are
+    /// covered by `snapshot-<seq>` and recovery replays only what follows.
+    SnapshotMarker {
+        /// Snapshot sequence number.
+        seq: u64,
+    },
+}
+
+impl LogRecord {
+    /// Stable lower-case tag for telemetry and the `recover` subcommand.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LogRecord::Admit { .. } => "admit",
+            LogRecord::Reject { .. } => "reject",
+            LogRecord::Depart { .. } => "depart",
+            LogRecord::CacheInsert { .. } => "cache_insert",
+            LogRecord::SnapshotMarker { .. } => "snapshot_marker",
+        }
+    }
+}
+
+/// The server configuration a snapshot (and WAL) was produced under.
+/// Recovery refuses to load state into a server configured differently —
+/// a partition computed for `m` processors under one priority policy is
+/// meaningless under another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedConfig {
+    /// Platform size `m`.
+    pub processors: u32,
+    /// The LS priority policy sizings were computed under.
+    pub policy: PriorityPolicy,
+    /// Whether the approximate first-fit also enforced the utilization
+    /// check.
+    pub utilization_check: bool,
+    /// `Some(budget)` when the exact-EDF partition test was active, `None`
+    /// for the paper's approximate `DBF*` test.
+    pub exact_budget: Option<u64>,
+}
+
+/// One live dedicated cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedCluster {
+    /// Admission token.
+    pub token: u64,
+    /// The resident task.
+    pub task: DagTask,
+    /// Cluster width `μ*` (the σ template itself is recovered from the
+    /// snapshot's cache section, which covers every sized shape).
+    pub processors: u32,
+}
+
+/// One live shared-pool entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedShared {
+    /// Admission token.
+    pub token: u64,
+    /// The resident task.
+    pub task: DagTask,
+    /// Pool-local processor index the task is placed on.
+    pub processor: u64,
+}
+
+/// One template-cache entry, keyed by the cache's canonical DAG encoding
+/// (policy tag, deadline, vertex count, WCETs, sorted edges) rather than a
+/// task exemplar — the encoding is the cache's identity, so restoring it
+/// verbatim is exact by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedCacheEntry {
+    /// The canonical cache key.
+    pub key: Vec<u64>,
+    /// The memoized sizing (`None` = chain-infeasible shape).
+    pub sizing: Option<PersistedSizing>,
+}
+
+/// The admission counters, persisted verbatim.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedStats {
+    /// High-density tasks admitted since start.
+    pub admitted_high: u64,
+    /// Low-density tasks admitted since start.
+    pub admitted_low: u64,
+    /// High-density rejections since start.
+    pub rejected_high: u64,
+    /// Low-density rejections since start.
+    pub rejected_low: u64,
+    /// Removals since start.
+    pub removed: u64,
+    /// Removal replays that hit a first-fit anomaly.
+    pub remove_anomalies: u64,
+    /// Template-cache hits since start.
+    pub cache_hits: u64,
+    /// Template-cache misses since start.
+    pub cache_misses: u64,
+    /// Admission-latency histogram buckets (`[2^i, 2^{i+1})` µs).
+    pub latency_buckets_us: Vec<u64>,
+}
+
+/// A structural snapshot of the whole admission state: everything needed
+/// to answer `stats`, `query`, and new admissions exactly as the server
+/// that wrote it would.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistedState {
+    /// On-disk format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// The configuration the state was produced under.
+    pub config: PersistedConfig,
+    /// The next admission token the server would have handed out.
+    pub next_token: u64,
+    /// Dedicated clusters in admission order.
+    pub clusters: Vec<PersistedCluster>,
+    /// Shared-pool entries in EDF order (deadline, then token).
+    pub shared: Vec<PersistedShared>,
+    /// The full template cache.
+    pub cache: Vec<PersistedCacheEntry>,
+    /// Admission counters.
+    pub stats: PersistedStats,
+    /// Cumulative analysis cost counters.
+    pub probe: AnalysisProbe,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::graph::DagBuilder;
+    use fedsched_dag::time::Duration;
+
+    fn task() -> DagTask {
+        let mut b = DagBuilder::new();
+        let v = b.add_vertices([2, 3, 1].map(Duration::new));
+        b.add_edge(v[0], v[1]).unwrap();
+        DagTask::new(b.build().unwrap(), Duration::new(6), Duration::new(10)).unwrap()
+    }
+
+    fn sizing() -> PersistedSizing {
+        use fedsched_graham::schedule::ScheduleEntry;
+        PersistedSizing {
+            processors: 2,
+            template: TemplateSchedule::from_entries(
+                2,
+                vec![ScheduleEntry {
+                    processor: 0,
+                    start: Duration::new(0),
+                    finish: Duration::new(5),
+                }],
+            ),
+        }
+    }
+
+    #[test]
+    fn log_records_roundtrip_through_json() {
+        let records = vec![
+            LogRecord::Admit {
+                token: 7,
+                task: task(),
+                placement: PoolAssignment::Dedicated {
+                    first_processor: 0,
+                    processors: 2,
+                },
+                cache_hit: false,
+                sizing: Some(sizing()),
+            },
+            LogRecord::Admit {
+                token: 8,
+                task: task(),
+                placement: PoolAssignment::Shared { processor: 3 },
+                cache_hit: true,
+                sizing: None,
+            },
+            LogRecord::Reject {
+                task: task(),
+                high_density: true,
+                cache_hit: false,
+            },
+            LogRecord::Depart {
+                token: 7,
+                anomaly: true,
+            },
+            LogRecord::CacheInsert {
+                task: task(),
+                sizing: None,
+            },
+            LogRecord::SnapshotMarker { seq: 3 },
+        ];
+        for record in records {
+            let json = serde_json::to_string(&record).unwrap();
+            let back: LogRecord = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn persisted_state_roundtrips_through_json() {
+        let state = PersistedState {
+            version: FORMAT_VERSION,
+            config: PersistedConfig {
+                processors: 8,
+                policy: PriorityPolicy::CriticalPathFirst,
+                utilization_check: true,
+                exact_budget: None,
+            },
+            next_token: 11,
+            clusters: vec![PersistedCluster {
+                token: 3,
+                task: task(),
+                processors: 2,
+            }],
+            shared: vec![PersistedShared {
+                token: 5,
+                task: task(),
+                processor: 1,
+            }],
+            cache: vec![PersistedCacheEntry {
+                key: vec![0, 6, 3, 2, 3, 1],
+                sizing: Some(sizing()),
+            }],
+            stats: PersistedStats {
+                admitted_high: 1,
+                admitted_low: 1,
+                rejected_high: 2,
+                rejected_low: 0,
+                removed: 1,
+                remove_anomalies: 0,
+                cache_hits: 1,
+                cache_misses: 2,
+                latency_buckets_us: vec![0; 22],
+            },
+            probe: AnalysisProbe::default(),
+        };
+        let json = serde_json::to_string(&state).unwrap();
+        let back: PersistedState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn record_kinds_are_stable() {
+        assert_eq!(
+            LogRecord::SnapshotMarker { seq: 0 }.kind(),
+            "snapshot_marker"
+        );
+        assert_eq!(
+            LogRecord::Depart {
+                token: 1,
+                anomaly: false
+            }
+            .kind(),
+            "depart"
+        );
+    }
+}

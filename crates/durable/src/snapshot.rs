@@ -1,0 +1,258 @@
+//! Snapshot files: one whole [`PersistedState`] per file, written
+//! atomically (tmp + rename + directory sync) and checksummed with the
+//! same frame format as the WAL.
+//!
+//! A snapshot is never updated in place and never required to exist: the
+//! WAL alone can rebuild the state from empty, a snapshot only shortens
+//! replay. That asymmetry makes the write protocol simple — if the process
+//! dies mid-snapshot, the `.tmp` file is garbage that the next open
+//! ignores, and recovery falls back to the previous snapshot (or the full
+//! log). A snapshot only becomes load-bearing once its `SnapshotMarker`
+//! lands in the WAL, which happens strictly after the rename.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::{encode_frame, scan_frames, TailState};
+use crate::record::PersistedState;
+
+/// Magic bytes opening every snapshot file (`FSSNAP` + version 1).
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"FSSNAP\x00\x01";
+
+/// The file name of snapshot `seq` (zero-padded so lexicographic order is
+/// numeric order).
+#[must_use]
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("snapshot-{seq:016}.snap")
+}
+
+/// Parses a file name produced by [`snapshot_file_name`].
+#[must_use]
+pub fn parse_snapshot_seq(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("snapshot-")?.strip_suffix(".snap")?;
+    if digits.len() != 16 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Best-effort directory sync, so renames and unlinks survive power loss.
+/// Ignored on platforms where directories cannot be opened for sync.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+/// Writes snapshot `seq` atomically into `dir`.
+///
+/// The data path is: write `snapshot-<seq>.snap.tmp`, `fsync` it, rename
+/// over the final name, `fsync` the directory. Only after all of that may
+/// the caller append the `SnapshotMarker` to the WAL.
+///
+/// # Errors
+///
+/// I/O errors from any step; serialization failures surface as
+/// `InvalidData`.
+pub fn write_snapshot(dir: &Path, seq: u64, state: &PersistedState) -> io::Result<u64> {
+    let final_path = dir.join(snapshot_file_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));
+    let payload = serde_json::to_string(state)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut bytes = SNAPSHOT_MAGIC.to_vec();
+    bytes.extend_from_slice(&encode_frame(payload.as_bytes()));
+    let total = bytes.len() as u64;
+    {
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&bytes)?;
+        tmp.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir);
+    Ok(total)
+}
+
+/// Loads snapshot `seq` from `dir`, verifying magic and CRC.
+///
+/// # Errors
+///
+/// I/O errors; `InvalidData` for bad magic, a torn/corrupt frame, trailing
+/// bytes, or an undecodable payload. Callers treat any error as "this
+/// snapshot is unusable" and fall back to an earlier one or the full log.
+pub fn load_snapshot(dir: &Path, seq: u64) -> io::Result<PersistedState> {
+    let path = dir.join(snapshot_file_name(seq));
+    let mut bytes = Vec::new();
+    File::open(&path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} is not a fedsched snapshot (bad magic)", path.display()),
+        ));
+    }
+    let scan = scan_frames(&bytes[SNAPSHOT_MAGIC.len()..]);
+    if scan.tail != TailState::Clean || scan.frames.len() != 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} is damaged ({} valid frame(s), tail {:?})",
+                path.display(),
+                scan.frames.len(),
+                scan.tail
+            ),
+        ));
+    }
+    let text = std::str::from_utf8(scan.frames[0])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "snapshot payload is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("snapshot {} undecodable ({e})", path.display()),
+        )
+    })
+}
+
+/// Sequence numbers of all well-named snapshot files in `dir`, ascending.
+/// `.tmp` leftovers and foreign files are ignored.
+///
+/// # Errors
+///
+/// I/O errors from reading the directory.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if let Some(seq) = parse_snapshot_seq(name) {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// Deletes every snapshot file in `dir` with sequence `< keep`, plus any
+/// stale `.tmp` leftovers. Returns the deleted paths.
+///
+/// # Errors
+///
+/// I/O errors from reading the directory or unlinking.
+pub fn prune_snapshots(dir: &Path, keep: u64) -> io::Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_tmp = name.starts_with("snapshot-") && name.ends_with(".snap.tmp");
+        let old = parse_snapshot_seq(name).is_some_and(|seq| seq < keep);
+        if stale_tmp || old {
+            fs::remove_file(entry.path())?;
+            removed.push(entry.path());
+        }
+    }
+    sync_dir(dir);
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PersistedConfig, PersistedStats, FORMAT_VERSION};
+    use fedsched_analysis::probe::AnalysisProbe;
+    use fedsched_graham::list::PriorityPolicy;
+
+    fn state(next_token: u64) -> PersistedState {
+        PersistedState {
+            version: FORMAT_VERSION,
+            config: PersistedConfig {
+                processors: 4,
+                policy: PriorityPolicy::ListOrder,
+                utilization_check: true,
+                exact_budget: None,
+            },
+            next_token,
+            clusters: Vec::new(),
+            shared: Vec::new(),
+            cache: Vec::new(),
+            stats: PersistedStats::default(),
+            probe: AnalysisProbe::default(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fedsched-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_names_roundtrip() {
+        assert_eq!(snapshot_file_name(7), "snapshot-0000000000000007.snap");
+        assert_eq!(
+            parse_snapshot_seq("snapshot-0000000000000007.snap"),
+            Some(7)
+        );
+        assert_eq!(parse_snapshot_seq("snapshot-7.snap"), None);
+        assert_eq!(
+            parse_snapshot_seq("snapshot-0000000000000007.snap.tmp"),
+            None
+        );
+        assert_eq!(parse_snapshot_seq("wal.log"), None);
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let bytes = write_snapshot(&dir, 3, &state(42)).unwrap();
+        assert!(bytes > SNAPSHOT_MAGIC.len() as u64);
+        let loaded = load_snapshot(&dir, 3).unwrap();
+        assert_eq!(loaded, state(42));
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_fails_to_load() {
+        let dir = tmpdir("corrupt");
+        write_snapshot(&dir, 1, &state(1)).unwrap();
+        let path = dir.join(snapshot_file_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_snapshot(&dir, 1).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_fails_to_load() {
+        let dir = tmpdir("truncated");
+        write_snapshot(&dir, 1, &state(1)).unwrap();
+        let path = dir.join(snapshot_file_name(1));
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        assert!(load_snapshot(&dir, 1).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_removes_old_snapshots_and_tmp_litter() {
+        let dir = tmpdir("prune");
+        for seq in 1..=3 {
+            write_snapshot(&dir, seq, &state(seq)).unwrap();
+        }
+        fs::write(dir.join("snapshot-0000000000000009.snap.tmp"), b"junk").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"keep").unwrap();
+        let removed = prune_snapshots(&dir, 3).unwrap();
+        assert_eq!(removed.len(), 3, "two old snapshots + one tmp");
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![3]);
+        assert!(dir.join("unrelated.txt").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -12,6 +12,7 @@
 
 use fedsched_dag::graph::{Dag, VertexId};
 use fedsched_dag::time::Duration;
+use serde::{Deserialize, Serialize};
 
 use crate::schedule::{ScheduleEntry, TemplateSchedule};
 
@@ -19,7 +20,7 @@ use crate::schedule::{ScheduleEntry, TemplateSchedule};
 ///
 /// All policies are deterministic; ties break toward the smaller vertex
 /// index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum PriorityPolicy {
     /// Vertices in their insertion (index) order — the "plain list" of
     /// Graham's original formulation and the default.

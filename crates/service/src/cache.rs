@@ -105,6 +105,50 @@ impl TemplateCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// The memoized entry for `task` under `policy` without touching the
+    /// hit/miss counters — `None` if the shape has never been sized,
+    /// `Some(None)` for a memoized chain-infeasible shape. Recovery uses
+    /// this to verify replayed `CacheInsert` records against the rebuilt
+    /// cache without perturbing the statistics it is reconstructing.
+    #[must_use]
+    pub fn peek(&self, task: &DagTask, policy: PriorityPolicy) -> Option<&Option<CachedSizing>> {
+        self.map.get(&canonical_key(task, policy))
+    }
+
+    /// Every memoized entry as `(canonical key, sizing)`, sorted by key so
+    /// exports are deterministic. The key is the cache's identity (policy
+    /// tag, deadline, vertex count, WCETs, sorted edges); persisting it
+    /// verbatim makes a later [`TemplateCache::restore`] exact by
+    /// construction.
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<(Vec<u64>, Option<CachedSizing>)> {
+        let mut entries: Vec<(Vec<u64>, Option<CachedSizing>)> = self
+            .map
+            .iter()
+            .map(|(k, v)| (k.to_vec(), v.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Rebuilds a cache structurally from exported entries and the counter
+    /// values the exporting cache carried.
+    #[must_use]
+    pub fn restore(
+        entries: Vec<(Vec<u64>, Option<CachedSizing>)>,
+        hits: u64,
+        misses: u64,
+    ) -> TemplateCache {
+        TemplateCache {
+            map: entries
+                .into_iter()
+                .map(|(k, v)| (k.into_boxed_slice(), v))
+                .collect(),
+            hits,
+            misses,
+        }
+    }
 }
 
 /// The canonical encoding of everything `MINPROCS` reads: policy, relative

@@ -24,8 +24,12 @@
 //! * [`chaos`] — a fault-injection client ([`ChaosClient`]) for driving
 //!   hostile traffic against the server in tests;
 //! * [`stats`] — per-phase admission counters, cache hit rates,
-//!   transport-hardening counters, and a log-scale decision-latency
-//!   histogram.
+//!   transport-hardening counters, durability counters, and a log-scale
+//!   decision-latency histogram;
+//! * [`recovery`] — rebuilding the admission state from a
+//!   `fedsched-durable` snapshot plus write-ahead-log suffix: snapshots
+//!   restore structurally, the log suffix replays by verified
+//!   re-execution through the real engine.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@
 //!     workers: 2,
 //!     admission: AdmissionConfig::new(4),
 //!     limits: ConnectionLimits::default(),
+//!     durability: None,
 //! })?;
 //! let mut client = Client::connect(handle.local_addr())?;
 //! let task = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8))
@@ -64,6 +69,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod state;
 pub mod stats;
@@ -72,6 +78,9 @@ pub use cache::TemplateCache;
 pub use chaos::ChaosClient;
 pub use client::{Client, ClientConfig};
 pub use protocol::{Placement, Request, Response};
+pub use recovery::{recover_state, RecoverError, ReplayReport};
 pub use server::{serve, ConnectionLimits, ServerConfig, ServerHandle, TransportCounters};
 pub use state::{AdmissionConfig, AdmissionState, Admitted, RejectReason, Removed, UnknownToken};
-pub use stats::{render_prometheus, LatencyHistogram, Stats, StatsSnapshot, TransportStats};
+pub use stats::{
+    render_prometheus, DurabilityStats, LatencyHistogram, Stats, StatsSnapshot, TransportStats,
+};

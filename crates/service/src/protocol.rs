@@ -251,6 +251,148 @@ mod tests {
         }
     }
 
+    /// Every request variant, struct payloads and units alike.
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Admit {
+                task: task(),
+                trace_id: Some(99),
+            },
+            Request::Remove { token: 3 },
+            Request::Query { token: 4 },
+            Request::Stats,
+            Request::StatsPrometheus,
+            Request::Shutdown,
+        ]
+    }
+
+    /// Every response variant, with both placement shapes represented.
+    fn all_responses() -> Vec<Response> {
+        let snapshot =
+            crate::state::AdmissionState::new(crate::state::AdmissionConfig::new(4)).snapshot();
+        vec![
+            Response::Admitted {
+                token: 7,
+                placement: Placement::Dedicated {
+                    first_processor: 2,
+                    processors: 3,
+                },
+                cache_hit: true,
+                trace_id: Some(99),
+            },
+            Response::Admitted {
+                token: 8,
+                placement: Placement::Shared { processor: 5 },
+                cache_hit: false,
+                trace_id: None,
+            },
+            Response::Rejected {
+                reason: "no".into(),
+                trace_id: Some(1),
+            },
+            Response::Removed {
+                token: 7,
+                migrated: 2,
+            },
+            Response::TaskInfo {
+                token: 8,
+                placement: Placement::Shared { processor: 5 },
+            },
+            Response::NotFound { token: 42 },
+            Response::Stats { snapshot },
+            Response::Metrics {
+                text: "# HELP x y\nx 1\n".into(),
+            },
+            Response::ShuttingDown,
+            Response::Busy {
+                retry_after_ms: 100,
+            },
+            Response::Error {
+                message: "nope".into(),
+            },
+        ]
+    }
+
+    /// Injects an unknown field at the front of the variant's payload
+    /// object: what a message from a newer peer looks like.
+    fn with_unknown_field(json: &str) -> Option<String> {
+        let idx = json.find(":{")? + 2;
+        let comma = if json[idx..].starts_with('}') {
+            ""
+        } else {
+            ","
+        };
+        Some(format!(
+            "{}\"added_in_a_future_version\":[1,2,3]{comma}{}",
+            &json[..idx],
+            &json[idx..]
+        ))
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        for request in all_requests() {
+            let line = serde_json::to_string(&request).unwrap();
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, request, "through {line}");
+        }
+    }
+
+    #[test]
+    fn every_response_variant_roundtrips() {
+        for response in all_responses() {
+            let line = serde_json::to_string(&response).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, response, "through {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_from_newer_peers_are_tolerated() {
+        // Struct-payload variants must ignore fields a newer server or
+        // client adds; unit variants have no payload to extend.
+        let mut exercised = 0;
+        for request in all_requests() {
+            let line = serde_json::to_string(&request).unwrap();
+            if let Some(extended) = with_unknown_field(&line) {
+                let back: Request =
+                    serde_json::from_str(&extended).unwrap_or_else(|e| panic!("{extended}: {e}"));
+                assert_eq!(back, request, "through {extended}");
+                exercised += 1;
+            }
+        }
+        for response in all_responses() {
+            let line = serde_json::to_string(&response).unwrap();
+            if let Some(extended) = with_unknown_field(&line) {
+                let back: Response =
+                    serde_json::from_str(&extended).unwrap_or_else(|e| panic!("{extended}: {e}"));
+                assert_eq!(back, response, "through {extended}");
+                exercised += 1;
+            }
+        }
+        assert!(exercised >= 12, "only {exercised} payload variants seen");
+    }
+
+    #[test]
+    fn unknown_fields_inside_a_stats_snapshot_are_tolerated() {
+        // The snapshot is the widest, most version-churned payload: a
+        // newer server adding a counter must not break an older client.
+        let snapshot =
+            crate::state::AdmissionState::new(crate::state::AdmissionConfig::new(4)).snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let extended = json.replacen('{', "{\"a_new_counter\":0,", 1);
+        let back: crate::stats::StatsSnapshot = serde_json::from_str(&extended).unwrap();
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn unknown_variants_are_rejected_not_misread() {
+        let err = serde_json::from_str::<Request>("{\"AdmitBatch\":{\"tasks\":[]}}");
+        assert!(err.is_err(), "an unknown request variant cannot parse");
+        let err = serde_json::from_str::<Response>("\"Rebooting\"");
+        assert!(err.is_err(), "an unknown response variant cannot parse");
+    }
+
     #[test]
     fn blank_lines_are_skipped_and_garbage_is_invalid_data() {
         let mut framed = Vec::from(&b"\n\n"[..]);

@@ -1,0 +1,804 @@
+//! Boot recovery: rebuilding an [`AdmissionState`] from a durable snapshot
+//! plus a write-ahead-log suffix, with verification.
+//!
+//! The division of labour with `fedsched-durable` is deliberate: the
+//! storage crate knows frames, fsync, and recovery-point selection but
+//! nothing about admission; this module knows how to turn persisted bytes
+//! back into live state. Two different mechanisms are combined:
+//!
+//! * **Snapshots restore structurally.** First-fit removal anomalies make
+//!   the live partition history-dependent, so a snapshot's placements are
+//!   installed as-is — *not* re-derived by re-admitting the resident set,
+//!   which could legally produce a different (and promise-breaking)
+//!   partition.
+//! * **The WAL suffix replays by re-execution.** Every admission algorithm
+//!   is deterministic, so re-running each logged decision through the real
+//!   engine reproduces every deterministic counter — stats, cache traffic,
+//!   probe work counts — exactly. The outcomes recorded in the log (token,
+//!   placement, cache hit, the frozen σ template) are treated as
+//!   *assertions*: any mismatch between the re-derived and the logged
+//!   outcome aborts recovery with [`RecoverError::Divergence`] instead of
+//!   silently serving promises the pre-crash server never made.
+//!
+//! What recovery deliberately does **not** reproduce: admission-latency
+//! histogram entries for replayed records (replay latency is not decision
+//! latency) and the wall-time fields of the analysis probe (they are
+//! re-measured, not restored — compare probes through
+//! [`fedsched_analysis::probe::AnalysisProbe::deterministic`]).
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use fedsched_analysis::dbf::SequentialView;
+use fedsched_analysis::partition::PartitionTest;
+use fedsched_durable::{
+    LogRecord, PersistedCacheEntry, PersistedCluster, PersistedConfig, PersistedShared,
+    PersistedSizing, PersistedState, PersistedStats, PoolAssignment, RecoveredLog, FORMAT_VERSION,
+};
+use fedsched_telemetry::EventSink;
+
+use crate::cache::{CachedSizing, TemplateCache};
+use crate::protocol::Placement;
+use crate::state::{
+    AdmissionConfig, AdmissionState, Admitted, LiveCluster, LowEntry, RejectReason,
+};
+use crate::stats::{LatencyHistogram, Stats};
+
+/// What boot recovery did, for telemetry and the `recover` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Sequence number of the snapshot recovery started from, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Logged decisions re-executed (snapshot markers excluded).
+    pub replayed_records: u64,
+    /// Bytes of torn or corrupt WAL tail truncated on open.
+    pub truncated_bytes: u64,
+    /// Damaged snapshot files skipped in favour of an older recovery
+    /// point.
+    pub snapshots_skipped: u64,
+    /// Wall time the replay took, nanoseconds.
+    pub replay_nanos: u64,
+}
+
+/// Why a snapshot or log could not be turned back into live state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The snapshot's on-disk format version is not this build's.
+    Version {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The data directory was produced under a different server
+    /// configuration (platform size, policy, or partition test). A
+    /// partition computed for one configuration is meaningless under
+    /// another, so recovery refuses rather than guessing.
+    ConfigMismatch {
+        /// The configuration the data directory was written under.
+        persisted: String,
+        /// The configuration the server was started with.
+        requested: String,
+    },
+    /// The snapshot is internally inconsistent (a cluster without its
+    /// cached sizing, a shared placement outside the pool, unsorted
+    /// entries).
+    Corrupt(String),
+    /// Re-executing a logged decision produced a different outcome than
+    /// the log recorded — version drift or nondeterminism. Serving would
+    /// break promises clients already hold, so recovery aborts.
+    Divergence(String),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Version { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not the supported version {expected}"
+            ),
+            RecoverError::ConfigMismatch {
+                persisted,
+                requested,
+            } => write!(
+                f,
+                "data directory was written under {persisted} but the server was started with {requested}"
+            ),
+            RecoverError::Corrupt(detail) => write!(f, "snapshot is inconsistent: {detail}"),
+            RecoverError::Divergence(detail) => {
+                write!(f, "replay diverged from the logged outcome: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+/// The [`PersistedConfig`] equivalent of a live [`AdmissionConfig`]
+/// (telemetry capacity is runtime-only and deliberately not persisted).
+#[must_use]
+pub fn persisted_config(config: &AdmissionConfig) -> PersistedConfig {
+    PersistedConfig {
+        processors: config.processors,
+        policy: config.fedcons.policy,
+        utilization_check: config.fedcons.partition.utilization_check,
+        exact_budget: match config.fedcons.partition.test {
+            PartitionTest::ApproxDbf => None,
+            PartitionTest::ExactEdf { budget } => Some(budget as u64),
+        },
+    }
+}
+
+/// The log-side mirror of a protocol [`Placement`]. Shared placements keep
+/// the *platform* processor index the client was told, pinned at decision
+/// time.
+fn assignment_of(placement: Placement) -> PoolAssignment {
+    match placement {
+        Placement::Dedicated {
+            first_processor,
+            processors,
+        } => PoolAssignment::Dedicated {
+            first_processor,
+            processors,
+        },
+        Placement::Shared { processor } => PoolAssignment::Shared {
+            processor: u64::from(processor),
+        },
+    }
+}
+
+fn persist_sizing(sizing: &CachedSizing) -> PersistedSizing {
+    PersistedSizing {
+        processors: sizing.processors,
+        template: (*sizing.template).clone(),
+    }
+}
+
+/// The WAL records one admission decision produces: the `Admit`/`Reject`
+/// itself, plus a `CacheInsert` when the decision computed a fresh
+/// `MINPROCS` entry. Call with the cache length and hit count sampled
+/// *before* the decision, while still holding the state lock, so log order
+/// equals decision order.
+#[must_use]
+pub(crate) fn admit_records(
+    state: &AdmissionState,
+    task: &fedsched_dag::task::DagTask,
+    result: &Result<Admitted, RejectReason>,
+    cache_len_before: usize,
+    cache_hits_before: u64,
+) -> Vec<LogRecord> {
+    let mut records = Vec::with_capacity(2);
+    match result {
+        Ok(admitted) => {
+            let sizing = match admitted.placement {
+                Placement::Dedicated { .. } => {
+                    state
+                        .template_of(admitted.token)
+                        .map(|template| PersistedSizing {
+                            processors: match admitted.placement {
+                                Placement::Dedicated { processors, .. } => processors,
+                                Placement::Shared { .. } => unreachable!("dedicated arm"),
+                            },
+                            template: (*template).clone(),
+                        })
+                }
+                Placement::Shared { .. } => None,
+            };
+            records.push(LogRecord::Admit {
+                token: admitted.token,
+                task: task.clone(),
+                placement: assignment_of(admitted.placement),
+                cache_hit: admitted.cache_hit,
+                sizing,
+            });
+        }
+        Err(_) => {
+            records.push(LogRecord::Reject {
+                task: task.clone(),
+                high_density: task.is_high_density(),
+                cache_hit: state.cache.hits() > cache_hits_before,
+            });
+        }
+    }
+    if state.cache.len() > cache_len_before {
+        let entry = state
+            .cache
+            .peek(task, state.config.fedcons.policy)
+            .expect("a decision that grew the cache memoized this shape");
+        records.push(LogRecord::CacheInsert {
+            task: task.clone(),
+            sizing: entry.as_ref().map(persist_sizing),
+        });
+    }
+    records
+}
+
+/// The WAL record one successful removal produces. Call with the anomaly
+/// count sampled before the removal, under the state lock.
+#[must_use]
+pub(crate) fn remove_record(
+    state: &AdmissionState,
+    token: u64,
+    anomalies_before: u64,
+) -> LogRecord {
+    LogRecord::Depart {
+        token,
+        anomaly: state.stats.remove_anomalies > anomalies_before,
+    }
+}
+
+impl AdmissionState {
+    /// A structural [`PersistedState`] of everything a restarted server
+    /// needs: configuration, placements exactly as promised, the full
+    /// template cache under its canonical keys, counters, and the analysis
+    /// probe. Snapshot this under the same lock as the decisions it covers.
+    #[must_use]
+    pub fn export(&self) -> PersistedState {
+        PersistedState {
+            version: FORMAT_VERSION,
+            config: persisted_config(&self.config),
+            next_token: self.next_token,
+            clusters: self
+                .clusters
+                .iter()
+                .map(|c| PersistedCluster {
+                    token: c.token,
+                    task: c.task.clone(),
+                    processors: c.sizing.processors,
+                })
+                .collect(),
+            shared: self
+                .low
+                .iter()
+                .map(|e| PersistedShared {
+                    token: e.token,
+                    task: e.task.clone(),
+                    processor: e.processor as u64,
+                })
+                .collect(),
+            cache: self
+                .cache
+                .export_entries()
+                .into_iter()
+                .map(|(key, sizing)| PersistedCacheEntry {
+                    key,
+                    sizing: sizing.as_ref().map(persist_sizing),
+                })
+                .collect(),
+            stats: PersistedStats {
+                admitted_high: self.stats.admitted_high,
+                admitted_low: self.stats.admitted_low,
+                rejected_high: self.stats.rejected_high,
+                rejected_low: self.stats.rejected_low,
+                removed: self.stats.removed,
+                remove_anomalies: self.stats.remove_anomalies,
+                cache_hits: self.cache.hits(),
+                cache_misses: self.cache.misses(),
+                latency_buckets_us: self.stats.latency.buckets().to_vec(),
+            },
+            probe: self.probe,
+        }
+    }
+
+    /// Rebuilds a state structurally from a snapshot, verifying the format
+    /// version, the configuration, and the snapshot's internal invariants.
+    ///
+    /// Every cluster's frozen σ template is recovered from the snapshot's
+    /// own cache section: an admitted cluster's shape always passed through
+    /// the cache (which never evicts), so a missing entry is corruption,
+    /// not a condition to paper over with a recompute.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Version`], [`RecoverError::ConfigMismatch`], or
+    /// [`RecoverError::Corrupt`].
+    pub fn restore(
+        config: AdmissionConfig,
+        persisted: &PersistedState,
+    ) -> Result<AdmissionState, RecoverError> {
+        if persisted.version != FORMAT_VERSION {
+            return Err(RecoverError::Version {
+                found: persisted.version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let requested = persisted_config(&config);
+        if requested != persisted.config {
+            return Err(RecoverError::ConfigMismatch {
+                persisted: format!("{:?}", persisted.config),
+                requested: format!("{requested:?}"),
+            });
+        }
+        let cache = TemplateCache::restore(
+            persisted
+                .cache
+                .iter()
+                .map(|e| {
+                    (
+                        e.key.clone(),
+                        e.sizing.as_ref().map(|s| CachedSizing {
+                            processors: s.processors,
+                            template: Arc::new(s.template.clone()),
+                        }),
+                    )
+                })
+                .collect(),
+            persisted.stats.cache_hits,
+            persisted.stats.cache_misses,
+        );
+        let mut clusters = Vec::with_capacity(persisted.clusters.len());
+        let mut dedicated = 0u32;
+        for c in &persisted.clusters {
+            let sizing = cache
+                .peek(&c.task, config.fedcons.policy)
+                .and_then(Clone::clone)
+                .ok_or_else(|| {
+                    RecoverError::Corrupt(format!(
+                        "cluster token {} has no cached sizing for its shape",
+                        c.token
+                    ))
+                })?;
+            if sizing.processors != c.processors {
+                return Err(RecoverError::Corrupt(format!(
+                    "cluster token {} records width {} but its cached sizing says {}",
+                    c.token, c.processors, sizing.processors
+                )));
+            }
+            dedicated = dedicated.checked_add(sizing.processors).ok_or_else(|| {
+                RecoverError::Corrupt("dedicated processor count overflows".to_owned())
+            })?;
+            clusters.push(LiveCluster {
+                token: c.token,
+                task: c.task.clone(),
+                sizing,
+            });
+        }
+        if dedicated > config.processors {
+            return Err(RecoverError::Corrupt(format!(
+                "clusters bind {dedicated} processors on a {}-processor platform",
+                config.processors
+            )));
+        }
+        let pool = (config.processors - dedicated) as usize;
+        let mut low = Vec::with_capacity(persisted.shared.len());
+        for e in &persisted.shared {
+            let processor = usize::try_from(e.processor)
+                .ok()
+                .filter(|&p| p < pool)
+                .ok_or_else(|| {
+                    RecoverError::Corrupt(format!(
+                        "shared token {} sits on pool processor {} of a {pool}-processor pool",
+                        e.token, e.processor
+                    ))
+                })?;
+            low.push(LowEntry {
+                token: e.token,
+                task: e.task.clone(),
+                view: SequentialView::of(&e.task),
+                processor,
+            });
+        }
+        if low
+            .windows(2)
+            .any(|w| (w[0].view.deadline, w[0].token) > (w[1].view.deadline, w[1].token))
+        {
+            return Err(RecoverError::Corrupt(
+                "shared entries are not in EDF (deadline, token) order".to_owned(),
+            ));
+        }
+        let max_token = clusters
+            .iter()
+            .map(|c| c.token)
+            .chain(low.iter().map(|e| e.token))
+            .max();
+        if max_token.is_some_and(|t| t >= persisted.next_token) {
+            return Err(RecoverError::Corrupt(format!(
+                "next_token {} is not past the largest resident token {}",
+                persisted.next_token,
+                max_token.unwrap_or(0)
+            )));
+        }
+        Ok(AdmissionState {
+            config,
+            next_token: persisted.next_token,
+            clusters,
+            dedicated,
+            low,
+            cache,
+            stats: Stats {
+                admitted_high: persisted.stats.admitted_high,
+                admitted_low: persisted.stats.admitted_low,
+                rejected_high: persisted.stats.rejected_high,
+                rejected_low: persisted.stats.rejected_low,
+                removed: persisted.stats.removed,
+                remove_anomalies: persisted.stats.remove_anomalies,
+                latency: LatencyHistogram::from_buckets(&persisted.stats.latency_buckets_us),
+            },
+            probe: persisted.probe,
+            sink: EventSink::ring(config.telemetry_events),
+        })
+    }
+
+    /// Re-executes a WAL suffix through the real engine, verifying each
+    /// logged outcome, and returns the number of decisions replayed.
+    ///
+    /// Replayed admissions do not enter the latency histogram (replay
+    /// speed is not decision latency); every deterministic counter follows
+    /// from the re-execution itself.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Divergence`] when a re-derived outcome differs from
+    /// the logged one. The state is not usable afterwards.
+    pub fn replay(&mut self, records: &[LogRecord]) -> Result<u64, RecoverError> {
+        let mut applied = 0u64;
+        for record in records {
+            match record {
+                LogRecord::SnapshotMarker { .. } => continue,
+                LogRecord::Admit {
+                    token,
+                    task,
+                    placement,
+                    cache_hit,
+                    sizing,
+                } => {
+                    if *token < self.next_token {
+                        return Err(RecoverError::Divergence(format!(
+                            "logged admit token {token} is below the replay cursor {}",
+                            self.next_token
+                        )));
+                    }
+                    self.next_token = *token;
+                    let high = task.is_high_density();
+                    match self.admit_inner(task.clone(), None) {
+                        Ok(admitted) => {
+                            if high {
+                                self.stats.admitted_high += 1;
+                            } else {
+                                self.stats.admitted_low += 1;
+                            }
+                            if assignment_of(admitted.placement) != *placement {
+                                return Err(RecoverError::Divergence(format!(
+                                    "admit token {token}: re-derived placement {:?} != logged {placement:?}",
+                                    assignment_of(admitted.placement)
+                                )));
+                            }
+                            if admitted.cache_hit != *cache_hit {
+                                return Err(RecoverError::Divergence(format!(
+                                    "admit token {token}: re-derived cache_hit {} != logged {cache_hit}",
+                                    admitted.cache_hit
+                                )));
+                            }
+                            let template = self.template_of(admitted.token);
+                            let template_matches = match (template.as_deref(), sizing) {
+                                (None, None) => true,
+                                (Some(got), Some(want)) => *got == want.template,
+                                _ => false,
+                            };
+                            if !template_matches {
+                                return Err(RecoverError::Divergence(format!(
+                                    "admit token {token}: re-derived σ template differs from the logged one"
+                                )));
+                            }
+                        }
+                        Err(reason) => {
+                            return Err(RecoverError::Divergence(format!(
+                                "logged admit token {token} was re-rejected: {reason}"
+                            )));
+                        }
+                    }
+                }
+                LogRecord::Reject {
+                    task,
+                    high_density,
+                    cache_hit,
+                } => {
+                    let high = task.is_high_density();
+                    if high != *high_density {
+                        return Err(RecoverError::Divergence(format!(
+                            "logged rejection classed {} but the task is {}",
+                            if *high_density { "high" } else { "low" },
+                            if high { "high" } else { "low" }
+                        )));
+                    }
+                    let hits_before = self.cache.hits();
+                    match self.admit_inner(task.clone(), None) {
+                        Ok(_) => {
+                            return Err(RecoverError::Divergence(
+                                "a logged rejection was re-admitted".to_owned(),
+                            ));
+                        }
+                        Err(_) => {
+                            if high {
+                                self.stats.rejected_high += 1;
+                            } else {
+                                self.stats.rejected_low += 1;
+                            }
+                            let hit = self.cache.hits() > hits_before;
+                            if hit != *cache_hit {
+                                return Err(RecoverError::Divergence(format!(
+                                    "rejection: re-derived cache_hit {hit} != logged {cache_hit}"
+                                )));
+                            }
+                        }
+                    }
+                }
+                LogRecord::Depart { token, anomaly } => {
+                    let anomalies_before = self.stats.remove_anomalies;
+                    if self.remove_inner(*token).is_err() {
+                        return Err(RecoverError::Divergence(format!(
+                            "logged departure of token {token}, which is not resident on replay"
+                        )));
+                    }
+                    let hit_anomaly = self.stats.remove_anomalies > anomalies_before;
+                    if hit_anomaly != *anomaly {
+                        return Err(RecoverError::Divergence(format!(
+                            "departure of token {token}: re-derived anomaly {hit_anomaly} != logged {anomaly}"
+                        )));
+                    }
+                }
+                LogRecord::CacheInsert { task, sizing } => {
+                    let Some(entry) = self.cache.peek(task, self.config.fedcons.policy) else {
+                        return Err(RecoverError::Divergence(
+                            "a logged cache insert is absent after re-execution".to_owned(),
+                        ));
+                    };
+                    let matches = match (entry, sizing) {
+                        (None, None) => true,
+                        (Some(got), Some(want)) => {
+                            got.processors == want.processors && *got.template == want.template
+                        }
+                        _ => false,
+                    };
+                    if !matches {
+                        return Err(RecoverError::Divergence(
+                            "a re-derived cache entry differs from the logged one".to_owned(),
+                        ));
+                    }
+                }
+            }
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+/// Recovers a full [`AdmissionState`] from what [`fedsched_durable`]'s
+/// store found on disk: structural restore of the snapshot (if any), then
+/// verified re-execution of the WAL suffix.
+///
+/// # Errors
+///
+/// Any [`RecoverError`] from [`AdmissionState::restore`] or
+/// [`AdmissionState::replay`].
+pub fn recover_state(
+    config: AdmissionConfig,
+    recovered: &RecoveredLog,
+) -> Result<(AdmissionState, ReplayReport), RecoverError> {
+    let start = Instant::now();
+    let mut state = match &recovered.snapshot {
+        Some(snapshot) => AdmissionState::restore(config, snapshot)?,
+        None => AdmissionState::new(config),
+    };
+    let replayed = state.replay(&recovered.suffix)?;
+    Ok((
+        state,
+        ReplayReport {
+            snapshot_seq: recovered.snapshot_seq,
+            replayed_records: replayed,
+            truncated_bytes: recovered.wal_report.truncated_bytes,
+            snapshots_skipped: recovered.snapshots_skipped,
+            replay_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedsched_dag::graph::DagBuilder;
+    use fedsched_dag::task::DagTask;
+    use fedsched_dag::time::Duration;
+
+    fn wide(units: usize, deadline: u64, period: u64) -> DagTask {
+        let mut b = DagBuilder::new();
+        b.add_vertices(std::iter::repeat_n(Duration::new(1), units));
+        DagTask::new(
+            b.build().unwrap(),
+            Duration::new(deadline),
+            Duration::new(period),
+        )
+        .unwrap()
+    }
+
+    fn light(c: u64, d: u64, t: u64) -> DagTask {
+        DagTask::sequential(Duration::new(c), Duration::new(d), Duration::new(t)).unwrap()
+    }
+
+    /// Runs `ops` through a state while journaling exactly as the server
+    /// would, returning the state and the log.
+    fn drive(config: AdmissionConfig, ops: &[Op]) -> (AdmissionState, Vec<LogRecord>) {
+        let mut state = AdmissionState::new(config);
+        let mut log = Vec::new();
+        let mut tokens = Vec::new();
+        for op in ops {
+            match op {
+                Op::Admit(task) => {
+                    let len_before = state.cache.len();
+                    let hits_before = state.cache.hits();
+                    let result = state.admit(task.clone());
+                    if let Ok(admitted) = &result {
+                        tokens.push(admitted.token);
+                    }
+                    log.extend(admit_records(
+                        &state,
+                        task,
+                        &result,
+                        len_before,
+                        hits_before,
+                    ));
+                }
+                Op::RemoveNth(i) => {
+                    let token = tokens[*i];
+                    let anomalies_before = state.stats.remove_anomalies;
+                    state.remove(token).unwrap();
+                    log.push(remove_record(&state, token, anomalies_before));
+                }
+            }
+        }
+        (state, log)
+    }
+
+    enum Op {
+        Admit(DagTask),
+        RemoveNth(usize),
+    }
+
+    fn ops() -> Vec<Op> {
+        vec![
+            Op::Admit(wide(6, 2, 10)),  // high, μ*=3, cache miss
+            Op::Admit(light(3, 4, 16)), // low
+            Op::Admit(wide(6, 2, 12)),  // high, cache hit, rejected (no room)
+            Op::RemoveNth(0),           // free the cluster
+            Op::Admit(wide(6, 2, 12)),  // high, cache hit, admitted
+            Op::Admit(light(1, 8, 16)), // low
+        ]
+    }
+
+    fn reference_config() -> AdmissionConfig {
+        AdmissionConfig::new(4)
+    }
+
+    #[test]
+    fn export_restore_roundtrips_the_whole_snapshot() {
+        let (state, _) = drive(reference_config(), &ops());
+        let persisted = state.export();
+        let restored = AdmissionState::restore(reference_config(), &persisted).unwrap();
+        // Structural restore reproduces every counter verbatim — the
+        // latency histogram and probe included.
+        assert_eq!(restored.snapshot(), state.snapshot());
+        assert_eq!(restored.resident(), state.resident());
+        // And the restored state keeps serving: re-export equals export.
+        assert_eq!(restored.export(), persisted);
+    }
+
+    #[test]
+    fn restore_refuses_other_configs_and_versions() {
+        let (state, _) = drive(reference_config(), &ops());
+        let persisted = state.export();
+        let other = AdmissionConfig::new(8);
+        assert!(matches!(
+            AdmissionState::restore(other, &persisted),
+            Err(RecoverError::ConfigMismatch { .. })
+        ));
+        let mut versioned = persisted.clone();
+        versioned.version = FORMAT_VERSION + 1;
+        assert!(matches!(
+            AdmissionState::restore(reference_config(), &versioned),
+            Err(RecoverError::Version { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_a_cluster_without_its_sizing() {
+        let (state, _) = drive(reference_config(), &ops());
+        let mut persisted = state.export();
+        persisted.cache.clear();
+        assert!(matches!(
+            AdmissionState::restore(reference_config(), &persisted),
+            Err(RecoverError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn replay_reproduces_the_full_decision_sequence() {
+        let (reference, log) = drive(reference_config(), &ops());
+        let mut replayed = AdmissionState::new(reference_config());
+        let applied = replayed.replay(&log).unwrap();
+        assert_eq!(applied, log.len() as u64);
+        // Everything deterministic matches: placements, tokens, counters,
+        // cache traffic, probe work counts.
+        assert_eq!(replayed.resident(), reference.resident());
+        let mut a = replayed.snapshot();
+        let mut b = reference.snapshot();
+        // Replay skips the latency histogram and wall time is re-measured.
+        a.latency_buckets_us = Vec::new();
+        b.latency_buckets_us = Vec::new();
+        a.latency_p50_us = None;
+        b.latency_p50_us = None;
+        a.latency_p90_us = None;
+        b.latency_p90_us = None;
+        a.latency_p99_us = None;
+        b.latency_p99_us = None;
+        a.probe = a.probe.deterministic();
+        b.probe = b.probe.deterministic();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_plus_suffix_equals_pure_replay() {
+        let all = ops();
+        let (mid_state, mid_log) = drive(reference_config(), &all[..3]);
+        let persisted = mid_state.export();
+        drop(mid_log);
+        // Decisions after the snapshot point, journaled against the live
+        // continuation of the same state.
+        let (reference, full_log) = drive(reference_config(), &all);
+        let suffix = &full_log[mid_suffix_start(&full_log)..];
+        let mut state = AdmissionState::restore(reference_config(), &persisted).unwrap();
+        state.replay(suffix).unwrap();
+        assert_eq!(state.resident(), reference.resident());
+        assert_eq!(
+            state.snapshot().admitted_high,
+            reference.snapshot().admitted_high
+        );
+        assert_eq!(state.snapshot().removed, reference.snapshot().removed);
+    }
+
+    /// Index in the full log where the suffix after `ops()[..3]` starts:
+    /// the first three ops produce 2 + 1 + 1 records (admit+insert, admit,
+    /// reject with a cache hit inserts nothing).
+    fn mid_suffix_start(log: &[LogRecord]) -> usize {
+        assert_eq!(log[0].kind(), "admit");
+        assert_eq!(log[1].kind(), "cache_insert");
+        assert_eq!(log[2].kind(), "admit");
+        assert_eq!(log[3].kind(), "reject");
+        4
+    }
+
+    #[test]
+    fn replay_catches_a_tampered_outcome() {
+        let (_, mut log) = drive(reference_config(), &ops());
+        // Flip the logged cache_hit of the first admission.
+        if let LogRecord::Admit { cache_hit, .. } = &mut log[0] {
+            *cache_hit = !*cache_hit;
+        } else {
+            panic!("first record is the admit");
+        }
+        let mut state = AdmissionState::new(reference_config());
+        assert!(matches!(
+            state.replay(&log),
+            Err(RecoverError::Divergence(_))
+        ));
+    }
+
+    #[test]
+    fn recover_state_from_empty_log_is_a_fresh_state() {
+        let recovered = RecoveredLog {
+            snapshot: None,
+            snapshot_seq: None,
+            suffix: Vec::new(),
+            wal_report: fedsched_durable::WalOpenReport {
+                records_recovered: 0,
+                truncated_bytes: 0,
+                tail_was_corrupt: false,
+            },
+            snapshots_skipped: 0,
+        };
+        let (state, report) = recover_state(reference_config(), &recovered).unwrap();
+        assert_eq!(state.resident_tasks(), 0);
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(report.snapshot_seq, None);
+    }
+}

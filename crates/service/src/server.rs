@@ -46,11 +46,13 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fedsched_durable::{DurableStore, LogRecord, StoreConfig};
 use fedsched_telemetry::CounterKind;
 
 use crate::protocol::{write_message, Request, Response};
+use crate::recovery::{admit_records, recover_state, remove_record, ReplayReport};
 use crate::state::{AdmissionConfig, AdmissionState};
-use crate::stats::{render_prometheus, StatsSnapshot, TransportStats};
+use crate::stats::{render_prometheus, DurabilityStats, StatsSnapshot, TransportStats};
 
 /// Deadlines and caps protecting every served connection; see the module
 /// docs for how each knob defends the server.
@@ -125,6 +127,10 @@ pub struct ServerConfig {
     pub admission: AdmissionConfig,
     /// Per-connection deadlines and caps.
     pub limits: ConnectionLimits,
+    /// Durability: `Some` journals every decision to a write-ahead log in
+    /// the given data directory (recovering prior state at boot), `None`
+    /// keeps all state in memory.
+    pub durability: Option<StoreConfig>,
 }
 
 /// Lock-free transport-hardening counters kept by the connection layer.
@@ -242,6 +248,26 @@ impl Drop for Permit {
     }
 }
 
+/// The open durable store plus what boot recovery found in it.
+///
+/// The store sits behind its own mutex, acquired only while the state
+/// lock is already held (append order must equal decision order) or when
+/// no state lock is held at all (metrics, final sync) — never the other
+/// way around, so the lock order is acyclic.
+#[derive(Debug)]
+struct Journal {
+    store: Mutex<DurableStore>,
+    boot: ReplayReport,
+}
+
+impl Journal {
+    fn lock(&self) -> MutexGuard<'_, DurableStore> {
+        self.store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
 /// Everything the acceptors and handlers share.
 #[derive(Debug)]
 struct Shared {
@@ -252,6 +278,7 @@ struct Shared {
     limits: ConnectionLimits,
     local_addr: SocketAddr,
     workers: usize,
+    journal: Option<Arc<Journal>>,
 }
 
 /// A running server: the bound address, the shared state, and the worker
@@ -265,6 +292,7 @@ pub struct ServerHandle {
     gate: Arc<Gate>,
     limits: ConnectionLimits,
     workers: Vec<JoinHandle<()>>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl ServerHandle {
@@ -296,6 +324,14 @@ impl ServerHandle {
         self.counters.snapshot()
     }
 
+    /// What boot recovery replayed from the data directory, or `None`
+    /// when the server runs without durability. Hosting processes log
+    /// this at startup.
+    #[must_use]
+    pub fn boot_report(&self) -> Option<ReplayReport> {
+        self.journal.as_ref().map(|j| j.boot)
+    }
+
     /// Blocks until every acceptor has exited (i.e. until some client
     /// sent `Shutdown`, or [`Self::shutdown`] was called), then waits for
     /// the in-flight connection handlers to drain. With
@@ -307,6 +343,11 @@ impl ServerHandle {
             let _ = worker.join();
         }
         self.gate.wait_drained(self.limits.drain_deadline());
+        // Whatever the fsync policy, leave nothing in the page cache on
+        // an orderly exit.
+        if let Some(journal) = &self.journal {
+            let _ = journal.lock().sync();
+        }
     }
 
     /// Initiates shutdown from the hosting process, joins the acceptors,
@@ -321,25 +362,54 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener and spawns the acceptor pool.
+/// Binds the listener and spawns the acceptor pool. With
+/// [`ServerConfig::durability`] set, the data directory is opened (and
+/// created if absent) first: the newest loadable snapshot is restored
+/// structurally and the WAL suffix is re-executed through the admission
+/// engine, so the server answers `stats` and new admissions exactly as
+/// the pre-crash instance would have.
 ///
 /// # Errors
 ///
-/// I/O errors binding the address or spawning threads.
+/// I/O errors binding the address or spawning threads; with durability,
+/// an unreadable WAL or — worse — a replay whose re-derived outcome
+/// diverges from a logged one (`InvalidData`: serving would break
+/// promises clients already hold).
 pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let (initial_state, journal) = match &config.durability {
+        Some(store_config) => {
+            let (store, recovered) = DurableStore::open(store_config.clone())?;
+            let (mut state, boot) = recover_state(config.admission, &recovered).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("refusing to serve from {}: {e}", store_config.dir.display()),
+                )
+            })?;
+            state.add_counter(CounterKind::WalRecordReplayed, boot.replayed_records);
+            (
+                state,
+                Some(Arc::new(Journal {
+                    store: Mutex::new(store),
+                    boot,
+                })),
+            )
+        }
+        None => (AdmissionState::new(config.admission), None),
+    };
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let listener = Arc::new(listener);
     let limits = config.limits.sanitized();
     let worker_count = config.workers.max(1);
     let shared = Arc::new(Shared {
-        state: Arc::new(Mutex::new(AdmissionState::new(config.admission))),
+        state: Arc::new(Mutex::new(initial_state)),
         shutdown: Arc::new(AtomicBool::new(false)),
         counters: Arc::new(TransportCounters::default()),
         gate: Arc::new(Gate::new(limits.max_connections)),
         limits,
         local_addr,
         workers: worker_count,
+        journal,
     });
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
@@ -361,6 +431,7 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         gate: Arc::clone(&shared.gate),
         limits,
         workers,
+        journal: shared.journal.clone(),
     })
 }
 
@@ -633,7 +704,64 @@ fn merged_snapshot(shared: &Shared) -> StatsSnapshot {
     // rendering (and the scrape write) must never block admissions.
     let mut snapshot = lock(&shared.state).snapshot();
     snapshot.transport = shared.counters.snapshot();
+    if let Some(journal) = &shared.journal {
+        let store = journal.lock();
+        let wal = store.wal_stats();
+        snapshot.durability = DurabilityStats {
+            enabled: true,
+            wal_records_appended: wal.records_appended,
+            wal_bytes_appended: wal.bytes_appended,
+            wal_fsyncs: wal.fsyncs,
+            wal_len_bytes: store.wal_len(),
+            snapshots_written: store.snapshots_written(),
+            last_snapshot_seq: store.last_snapshot_seq(),
+            replayed_records: journal.boot.replayed_records,
+            replay_nanos: journal.boot.replay_nanos,
+            truncated_bytes: journal.boot.truncated_bytes,
+            snapshots_skipped: journal.boot.snapshots_skipped,
+        };
+    }
     snapshot
+}
+
+/// Appends the records one decision produced, then takes a snapshot if a
+/// threshold was crossed — all while the caller still holds the state
+/// lock, so WAL order equals decision order and the snapshot covers
+/// exactly the decisions before it.
+fn journal_append(
+    journal: &Journal,
+    state: &mut AdmissionState,
+    records: &[LogRecord],
+) -> io::Result<()> {
+    let mut store = journal.lock();
+    for record in records {
+        let before = store.wal_stats();
+        store.append(record)?;
+        let after = store.wal_stats();
+        state.add_counter(CounterKind::WalRecordAppended, 1);
+        state.add_counter(
+            CounterKind::WalBytesWritten,
+            after.bytes_appended - before.bytes_appended,
+        );
+        if after.fsyncs > before.fsyncs {
+            state.add_counter(CounterKind::WalFsync, after.fsyncs - before.fsyncs);
+        }
+    }
+    if store.should_snapshot() {
+        store.install_snapshot(&state.export())?;
+        state.add_counter(CounterKind::WalSnapshotWritten, 1);
+    }
+    Ok(())
+}
+
+/// The response for a decision whose journal append failed. The decision
+/// stays applied in memory (still sound — it passed admission), but it is
+/// *not* acknowledged: after a crash the log has no record of it, and the
+/// client saw an error, so both sides agree it may not survive.
+fn journal_error(e: &io::Error) -> Response {
+    Response::Error {
+        message: format!("durability failure, decision not acknowledged: {e}"),
+    }
 }
 
 /// Answers a `GET /metrics` scrape with one minimal HTTP response and the
@@ -653,25 +781,52 @@ fn serve_metrics_http<W: Write>(writer: &mut W, shared: &Shared) -> io::Result<(
 fn dispatch(request: Request, shared: &Shared) -> Response {
     let state = &shared.state;
     match request {
-        Request::Admit { task, trace_id } => match lock(state).admit_traced(task, trace_id) {
-            Ok(admitted) => Response::Admitted {
-                token: admitted.token,
-                placement: admitted.placement,
-                cache_hit: admitted.cache_hit,
-                trace_id,
-            },
-            Err(reason) => Response::Rejected {
-                reason: reason.to_string(),
-                trace_id,
-            },
-        },
-        Request::Remove { token } => match lock(state).remove(token) {
-            Ok(removed) => Response::Removed {
-                token: removed.token,
-                migrated: removed.migrated,
-            },
-            Err(_) => Response::NotFound { token },
-        },
+        Request::Admit { task, trace_id } => {
+            let mut guard = lock(state);
+            // The journal needs the task after admission consumes it.
+            let journaled = shared.journal.as_ref().map(|_| task.clone());
+            let cache_len_before = guard.cache.len();
+            let cache_hits_before = guard.cache.hits();
+            let result = guard.admit_traced(task, trace_id);
+            if let (Some(journal), Some(task)) = (shared.journal.as_deref(), journaled) {
+                let records =
+                    admit_records(&guard, &task, &result, cache_len_before, cache_hits_before);
+                if let Err(e) = journal_append(journal, &mut guard, &records) {
+                    return journal_error(&e);
+                }
+            }
+            match result {
+                Ok(admitted) => Response::Admitted {
+                    token: admitted.token,
+                    placement: admitted.placement,
+                    cache_hit: admitted.cache_hit,
+                    trace_id,
+                },
+                Err(reason) => Response::Rejected {
+                    reason: reason.to_string(),
+                    trace_id,
+                },
+            }
+        }
+        Request::Remove { token } => {
+            let mut guard = lock(state);
+            let anomalies_before = guard.stats.remove_anomalies;
+            match guard.remove(token) {
+                Ok(removed) => {
+                    if let Some(journal) = shared.journal.as_deref() {
+                        let record = remove_record(&guard, token, anomalies_before);
+                        if let Err(e) = journal_append(journal, &mut guard, &[record]) {
+                            return journal_error(&e);
+                        }
+                    }
+                    Response::Removed {
+                        token: removed.token,
+                        migrated: removed.migrated,
+                    }
+                }
+                Err(_) => Response::NotFound { token },
+            }
+        }
         Request::Query { token } => match lock(state).query(token) {
             Some(placement) => Response::TaskInfo { token, placement },
             None => Response::NotFound { token },
@@ -682,7 +837,13 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
         Request::StatsPrometheus => Response::Metrics {
             text: render_prometheus(&merged_snapshot(shared)),
         },
-        Request::Shutdown => Response::ShuttingDown,
+        Request::Shutdown => {
+            // Flush the tail before acknowledging, whatever the policy.
+            if let Some(journal) = &shared.journal {
+                let _ = journal.lock().sync();
+            }
+            Response::ShuttingDown
+        }
     }
 }
 

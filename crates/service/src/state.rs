@@ -42,7 +42,7 @@ use fedsched_telemetry::{CounterKind, EventSink, SpanPhase, TelemetryEvent, Trac
 
 use crate::cache::{CachedSizing, TemplateCache};
 use crate::protocol::Placement;
-use crate::stats::{Stats, StatsSnapshot, TransportStats};
+use crate::stats::{DurabilityStats, Stats, StatsSnapshot, TransportStats};
 
 /// Static configuration of an [`AdmissionState`].
 #[derive(Debug, Clone, Copy)]
@@ -175,41 +175,41 @@ impl std::error::Error for UnknownToken {}
 
 /// A live dedicated cluster.
 #[derive(Debug, Clone)]
-struct LiveCluster {
-    token: u64,
-    task: DagTask,
-    sizing: CachedSizing,
+pub(crate) struct LiveCluster {
+    pub(crate) token: u64,
+    pub(crate) task: DagTask,
+    pub(crate) sizing: CachedSizing,
 }
 
 /// A live shared-pool task. `processor` is the pool-local index (global
 /// index = dedicated + local).
 #[derive(Debug, Clone)]
-struct LowEntry {
-    token: u64,
-    task: DagTask,
-    view: SequentialView,
-    processor: usize,
+pub(crate) struct LowEntry {
+    pub(crate) token: u64,
+    pub(crate) task: DagTask,
+    pub(crate) view: SequentialView,
+    pub(crate) processor: usize,
 }
 
 /// The incremental admission state; see the module docs for the invariants.
 #[derive(Debug)]
 pub struct AdmissionState {
-    config: AdmissionConfig,
-    next_token: u64,
+    pub(crate) config: AdmissionConfig,
+    pub(crate) next_token: u64,
     /// Clusters in admission (token) order; they pack the processor range
     /// `[0, dedicated)` in this order.
-    clusters: Vec<LiveCluster>,
-    dedicated: u32,
+    pub(crate) clusters: Vec<LiveCluster>,
+    pub(crate) dedicated: u32,
     /// Shared tasks sorted by `(deadline, token)` — the batch first-fit
     /// order. Tokens increase monotonically, so ties resolve exactly as the
     /// batch tie-break on ascending `TaskId` does.
-    low: Vec<LowEntry>,
-    cache: TemplateCache,
-    stats: Stats,
+    pub(crate) low: Vec<LowEntry>,
+    pub(crate) cache: TemplateCache,
+    pub(crate) stats: Stats,
     /// Cumulative analysis cost of every operation since start.
-    probe: AnalysisProbe,
+    pub(crate) probe: AnalysisProbe,
     /// Where per-operation telemetry spans and counters go.
-    sink: EventSink,
+    pub(crate) sink: EventSink,
 }
 
 impl AdmissionState {
@@ -318,7 +318,31 @@ impl AdmissionState {
             // layer, not behind this lock; the server overwrites this
             // field when it assembles the snapshot it actually serves.
             transport: TransportStats::default(),
+            // Likewise: the journal lives with the server, which fills
+            // this in when durability is enabled.
+            durability: DurabilityStats::default(),
         }
+    }
+
+    /// The frozen LS σ template of a resident dedicated cluster, or
+    /// `None` for unknown tokens and shared-pool residents. The journal
+    /// uses this to persist the exact template a client was promised.
+    #[must_use]
+    pub fn template_of(
+        &self,
+        token: u64,
+    ) -> Option<std::sync::Arc<fedsched_graham::schedule::TemplateSchedule>> {
+        self.clusters
+            .iter()
+            .find(|c| c.token == token)
+            .map(|c| std::sync::Arc::clone(&c.sizing.template))
+    }
+
+    /// Adds `delta` to a counter on the telemetry bus (a no-op when
+    /// telemetry is disabled). The durability layer reports WAL appends,
+    /// fsyncs, and snapshot writes through this.
+    pub fn add_counter(&mut self, kind: CounterKind, delta: u64) {
+        self.sink.add(None, kind, delta);
     }
 
     /// Records one transport-level hardening event (read timeout,
@@ -399,7 +423,7 @@ impl AdmissionState {
         result
     }
 
-    fn admit_inner(
+    pub(crate) fn admit_inner(
         &mut self,
         task: DagTask,
         trace: Option<TraceId>,
@@ -580,7 +604,7 @@ impl AdmissionState {
         result
     }
 
-    fn remove_inner(&mut self, token: u64) -> Result<Removed, UnknownToken> {
+    pub(crate) fn remove_inner(&mut self, token: u64) -> Result<Removed, UnknownToken> {
         if let Some(i) = self.clusters.iter().position(|c| c.token == token) {
             let cluster = self.clusters.remove(i);
             self.dedicated -= cluster.sizing.processors;

@@ -54,6 +54,19 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Rebuilds a histogram from exported bucket counts (shorter slices
+    /// fill the low buckets; excess counts land in the open-ended last
+    /// bucket, so no observation is ever dropped on restore).
+    #[must_use]
+    pub fn from_buckets(counts: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for (i, &count) in counts.iter().enumerate() {
+            let bucket = i.min(LATENCY_BUCKETS - 1);
+            h.buckets[bucket] = h.buckets[bucket].saturating_add(count);
+        }
+        h
+    }
+
     /// An **upper bound** on the `q`-quantile latency, in microseconds.
     ///
     /// The histogram only knows which power-of-two bucket each observation
@@ -146,6 +159,37 @@ pub struct TransportStats {
     pub drained_connections: u64,
 }
 
+/// Durability-layer counters: what the write-ahead log and snapshot
+/// machinery did since the server started, plus what boot recovery
+/// replayed. All zeros when the server runs without a data directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityStats {
+    /// Whether the server runs with a write-ahead log at all.
+    pub enabled: bool,
+    /// Decision records appended to the WAL since start.
+    pub wal_records_appended: u64,
+    /// Bytes appended to the WAL since start (frames, magic excluded).
+    pub wal_bytes_appended: u64,
+    /// `fsync`s the WAL issued since start.
+    pub wal_fsyncs: u64,
+    /// Current on-disk length of the WAL file, bytes.
+    pub wal_len_bytes: u64,
+    /// Snapshots written since start (boot-recovery snapshots included).
+    pub snapshots_written: u64,
+    /// Sequence number of the newest durable snapshot (0 before the
+    /// first).
+    pub last_snapshot_seq: u64,
+    /// Logged decisions re-executed during boot recovery.
+    pub replayed_records: u64,
+    /// Wall time boot recovery spent replaying, nanoseconds.
+    pub replay_nanos: u64,
+    /// Bytes of torn or corrupt WAL tail truncated at boot.
+    pub truncated_bytes: u64,
+    /// Snapshot files that were damaged or missing and had to be skipped
+    /// in favour of an older recovery point at boot.
+    pub snapshots_skipped: u64,
+}
+
 /// A point-in-time, serializable view of the server's counters, returned by
 /// the `Stats` request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -193,6 +237,9 @@ pub struct StatsSnapshot {
     /// Transport-level hardening counters (timeouts, oversized frames,
     /// busy rejections, drain events).
     pub transport: TransportStats,
+    /// Write-ahead-log and snapshot counters; all zeros when the server
+    /// runs without durability.
+    pub durability: DurabilityStats,
 }
 
 /// Renders a snapshot in the Prometheus text exposition format — the body
@@ -338,6 +385,81 @@ pub fn render_prometheus(snapshot: &StatsSnapshot) -> String {
         out.sample(name, &[], value);
     }
 
+    // Durability metrics are always exposed (zeros without a data
+    // directory) so dashboards need no conditional scraping.
+    out.header(
+        "fedsched_wal_enabled",
+        "Whether the server runs with a write-ahead log (0/1)",
+        "gauge",
+    );
+    out.sample(
+        "fedsched_wal_enabled",
+        &[],
+        u64::from(snapshot.durability.enabled),
+    );
+    let wal_gauges: [(&str, &str, u64); 2] = [
+        (
+            "fedsched_wal_size_bytes",
+            "Current on-disk length of the write-ahead log",
+            snapshot.durability.wal_len_bytes,
+        ),
+        (
+            "fedsched_wal_last_snapshot_seq",
+            "Sequence number of the newest durable snapshot",
+            snapshot.durability.last_snapshot_seq,
+        ),
+    ];
+    for (name, help, value) in wal_gauges {
+        out.header(name, help, "gauge");
+        out.sample(name, &[], value);
+    }
+    let wal_counters: [(&str, &str, u64); 8] = [
+        (
+            "fedsched_wal_records_appended_total",
+            "Decision records appended to the write-ahead log",
+            snapshot.durability.wal_records_appended,
+        ),
+        (
+            "fedsched_wal_bytes_written_total",
+            "Bytes appended to the write-ahead log",
+            snapshot.durability.wal_bytes_appended,
+        ),
+        (
+            "fedsched_wal_fsyncs_total",
+            "fsyncs issued by the write-ahead log",
+            snapshot.durability.wal_fsyncs,
+        ),
+        (
+            "fedsched_wal_snapshots_written_total",
+            "Durable state snapshots written since start",
+            snapshot.durability.snapshots_written,
+        ),
+        (
+            "fedsched_wal_replayed_records_total",
+            "Logged decisions re-executed during boot recovery",
+            snapshot.durability.replayed_records,
+        ),
+        (
+            "fedsched_wal_replay_nanos_total",
+            "Wall time boot recovery spent replaying, nanoseconds",
+            snapshot.durability.replay_nanos,
+        ),
+        (
+            "fedsched_wal_truncated_bytes_total",
+            "Bytes of torn or corrupt WAL tail truncated at boot",
+            snapshot.durability.truncated_bytes,
+        ),
+        (
+            "fedsched_wal_snapshots_skipped_total",
+            "Damaged snapshot files skipped during boot recovery",
+            snapshot.durability.snapshots_skipped,
+        ),
+    ];
+    for (name, help, value) in wal_counters {
+        out.header(name, help, "counter");
+        out.sample(name, &[], value);
+    }
+
     out.power_of_two_histogram(
         "fedsched_admit_latency_us",
         "Admission decision latency, microseconds",
@@ -428,6 +550,19 @@ mod tests {
                 budget_exhausted: 7,
                 drained_connections: 4,
             },
+            durability: DurabilityStats {
+                enabled: true,
+                wal_records_appended: 11,
+                wal_bytes_appended: 2048,
+                wal_fsyncs: 11,
+                wal_len_bytes: 2056,
+                snapshots_written: 1,
+                last_snapshot_seq: 1,
+                replayed_records: 5,
+                replay_nanos: 1234,
+                truncated_bytes: 17,
+                snapshots_skipped: 0,
+            },
         };
         let text = render_prometheus(&snapshot);
         fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
@@ -489,9 +624,74 @@ mod tests {
                 budget_exhausted: 7,
                 drained_connections: 4,
             },
+            durability: DurabilityStats {
+                enabled: true,
+                wal_records_appended: 3,
+                ..DurabilityStats::default()
+            },
         };
         let json = serde_json::to_string(&snapshot).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.transport, snapshot.transport);
+        assert_eq!(back.durability, snapshot.durability);
+    }
+
+    #[test]
+    fn histograms_rebuild_from_exported_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(900));
+        let rebuilt = LatencyHistogram::from_buckets(h.buckets());
+        assert_eq!(rebuilt, h);
+        // Excess buckets saturate into the open-ended last one.
+        let mut long = vec![0u64; LATENCY_BUCKETS + 3];
+        long[LATENCY_BUCKETS + 2] = 4;
+        long[0] = 1;
+        let clamped = LatencyHistogram::from_buckets(&long);
+        assert_eq!(clamped.buckets()[0], 1);
+        assert_eq!(clamped.buckets()[LATENCY_BUCKETS - 1], 4);
+        assert_eq!(clamped.total(), 5);
+    }
+
+    #[test]
+    fn wal_metrics_are_always_exposed() {
+        let snapshot = StatsSnapshot {
+            processors: 2,
+            dedicated_processors: 0,
+            shared_processors: 2,
+            resident_tasks: 0,
+            admitted_high: 0,
+            admitted_low: 0,
+            rejected_high: 0,
+            rejected_low: 0,
+            removed: 0,
+            remove_anomalies: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            latency_buckets_us: vec![0; LATENCY_BUCKETS],
+            latency_p50_us: None,
+            latency_p90_us: None,
+            latency_p99_us: None,
+            probe: AnalysisProbe::default(),
+            transport: TransportStats::default(),
+            durability: DurabilityStats::default(),
+        };
+        let text = render_prometheus(&snapshot);
+        fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
+        // Disabled durability still renders the whole family, zeroed.
+        for line in [
+            "fedsched_wal_enabled 0",
+            "fedsched_wal_size_bytes 0",
+            "fedsched_wal_records_appended_total 0",
+            "fedsched_wal_bytes_written_total 0",
+            "fedsched_wal_fsyncs_total 0",
+            "fedsched_wal_snapshots_written_total 0",
+            "fedsched_wal_replayed_records_total 0",
+            "fedsched_wal_truncated_bytes_total 0",
+            "fedsched_wal_snapshots_skipped_total 0",
+        ] {
+            assert!(text.lines().any(|l| l == line), "missing {line:?}:\n{text}");
+        }
     }
 }

@@ -5,14 +5,17 @@
 //! memory, bounded time, fast `Busy` rejections, drain-based shutdown,
 //! and a counter incremented for every failure mode.
 
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use fedsched_dag::task::DagTask;
 use fedsched_dag::time::Duration as Ticks;
+use fedsched_durable::{DurableStore, FsyncPolicy, StoreConfig};
 use fedsched_service::chaos::ChaosClient;
 use fedsched_service::client::{Client, ClientConfig};
-use fedsched_service::protocol::Response;
+use fedsched_service::protocol::{Placement, Response};
+use fedsched_service::recover_state;
 use fedsched_service::server::{
     serve, ConnectionLimits, ServerConfig, ServerHandle, TransportCounters,
 };
@@ -25,8 +28,30 @@ fn start_server(limits: ConnectionLimits) -> ServerHandle {
         workers: 2,
         admission: AdmissionConfig::new(16).with_telemetry(256),
         limits,
+        durability: None,
     })
     .expect("bind loopback")
+}
+
+/// A fresh scratch directory for one durability test.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fedsched-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_durable_server(dir: &std::path::Path) -> ServerHandle {
+    serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        admission: AdmissionConfig::new(16).with_telemetry(256),
+        limits: ConnectionLimits::default(),
+        durability: Some(StoreConfig {
+            fsync: FsyncPolicy::Every,
+            ..StoreConfig::new(dir)
+        }),
+    })
+    .expect("bind loopback with durability")
 }
 
 fn task() -> DagTask {
@@ -408,4 +433,134 @@ fn every_chaos_counter_surfaces_in_the_live_prometheus_exposition() {
     drop(flood);
     drop(garbage);
     handle.shutdown();
+}
+
+#[test]
+fn a_durable_server_under_hostile_traffic_recovers_to_its_exact_final_state() {
+    let dir = scratch_dir("hostile");
+    let handle = start_durable_server(&dir);
+    let addr = handle.local_addr();
+
+    // Hostile traffic interleaved with real decisions: garbage lines and a
+    // mid-request disconnect must not leave half-written journal entries.
+    let mut garbage = ChaosClient::connect(addr).expect("garbage connect");
+    garbage.send(b"\x00\xff not json\n").expect("garbage send");
+    let mut client = Client::connect(addr).expect("client connect");
+    let mut placements: Vec<(u64, Placement)> = Vec::new();
+    for i in 0..6 {
+        let Response::Admitted {
+            token, placement, ..
+        } = client.admit(&task()).unwrap()
+        else {
+            panic!("admission {i} must land");
+        };
+        placements.push((token, placement));
+    }
+    let mut dropped = ChaosClient::connect(addr).expect("dropped connect");
+    dropped.send(b"{\"Admit\":{\"task\"").expect("partial send");
+    dropped.disconnect_write().expect("half close");
+    let (removed_token, _) = placements.remove(2);
+    assert!(matches!(
+        client.remove(removed_token).unwrap(),
+        Response::Removed { .. }
+    ));
+    // The removal replays the shared pool and may migrate survivors:
+    // re-query for the placements actually in force at shutdown.
+    for (token, placement) in &mut placements {
+        let Response::TaskInfo { placement: now, .. } = client.query(*token).unwrap() else {
+            panic!("token {token} must still be resident");
+        };
+        *placement = now;
+    }
+    let Response::Stats { snapshot: live } = client.stats().unwrap() else {
+        panic!("stats answered something else");
+    };
+    assert!(live.durability.enabled, "journaling must be on");
+    assert!(
+        live.durability.wal_records_appended >= 7,
+        "6 admits + 1 depart"
+    );
+    assert!(live.durability.wal_len_bytes > 0);
+    assert!(live.durability.wal_fsyncs >= live.durability.wal_records_appended);
+    drop(client);
+    drop(garbage);
+    drop(dropped);
+    handle.shutdown();
+
+    // Offline recovery must reproduce the exact final state: same
+    // decision counters, same resident placements, token for token.
+    let (_store, recovered) = DurableStore::open(StoreConfig::new(&dir)).expect("reopen journal");
+    let (state, report) = recover_state(AdmissionConfig::new(16).with_telemetry(256), &recovered)
+        .expect("journal replays cleanly");
+    assert_eq!(report.replayed_records, recovered.suffix.len() as u64);
+    let rec = state.snapshot();
+    assert_eq!(rec.admitted_high + rec.admitted_low, 6);
+    assert_eq!(rec.removed, 1);
+    assert_eq!(
+        (rec.cache_hits, rec.cache_misses),
+        (live.cache_hits, live.cache_misses)
+    );
+    assert_eq!(state.resident_tasks(), placements.len());
+    for (token, placement) in &placements {
+        assert_eq!(
+            state.query(*token).as_ref(),
+            Some(placement),
+            "placement for token {token} must survive recovery"
+        );
+    }
+    assert_eq!(state.query(removed_token), None, "the removal must survive");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_wal_tail_is_truncated_and_the_server_restarts_serving() {
+    let dir = scratch_dir("torn-tail");
+    let handle = start_durable_server(&dir);
+    let addr = handle.local_addr();
+    let mut client = Client::connect(addr).expect("client connect");
+    let Response::Admitted {
+        token, placement, ..
+    } = client.admit(&task()).unwrap()
+    else {
+        panic!("seed admission must land");
+    };
+    drop(client);
+    handle.shutdown();
+
+    // A crash mid-append leaves a torn frame: a header promising more
+    // payload than ever reached the disk.
+    let wal = dir.join(fedsched_durable::WAL_FILE);
+    let clean_len = std::fs::metadata(&wal).expect("wal exists").len();
+    let mut torn = std::fs::read(&wal).expect("read wal");
+    torn.extend_from_slice(&100u32.to_le_bytes()); // len: 100 bytes promised
+    torn.extend_from_slice(&0u32.to_le_bytes()); // crc (never checked: torn first)
+    torn.extend_from_slice(b"half"); // 4 of 100 payload bytes
+    std::fs::write(&wal, &torn).expect("tear the tail");
+
+    // Restart on the same directory: the torn tail is truncated, every
+    // complete frame survives, and the server picks up where it left off.
+    let handle = start_durable_server(&dir);
+    let boot = handle.boot_report().expect("durability enabled");
+    assert_eq!(boot.truncated_bytes, 12, "exactly the torn frame goes");
+    assert_eq!(
+        std::fs::metadata(&wal).expect("wal exists").len(),
+        clean_len,
+        "truncation restores the last clean length"
+    );
+    let mut client = Client::connect(handle.local_addr()).expect("reconnect");
+    let Response::TaskInfo {
+        placement: survived,
+        ..
+    } = client.query(token).unwrap()
+    else {
+        panic!("the pre-crash admission must still be resident");
+    };
+    assert_eq!(survived, placement);
+    assert!(
+        matches!(client.admit(&task()).unwrap(), Response::Admitted { .. }),
+        "new admissions must proceed after recovery"
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -19,6 +19,7 @@ fn start_server() -> ServerHandle {
         workers: 2,
         admission: AdmissionConfig::new(8).with_telemetry(256),
         limits: ConnectionLimits::default(),
+        durability: None,
     })
     .expect("bind loopback")
 }

@@ -21,6 +21,7 @@ fn start_server(processors: u32) -> ServerHandle {
         workers: CLIENTS,
         admission: AdmissionConfig::new(processors),
         limits: ConnectionLimits::default(),
+        durability: None,
     })
     .expect("bind loopback")
 }

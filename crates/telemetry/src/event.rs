@@ -102,6 +102,17 @@ pub enum CounterKind {
     /// A work item offered to the parallel analysis fan-out (counted
     /// independently of the pool width actually in effect).
     ParTasksDispatched,
+    /// A decision record appended to the admission server's write-ahead
+    /// log.
+    WalRecordAppended,
+    /// Bytes written to the write-ahead log (delta carries the count).
+    WalBytesWritten,
+    /// An `fsync` issued by the write-ahead log.
+    WalFsync,
+    /// A durable state snapshot written next to the write-ahead log.
+    WalSnapshotWritten,
+    /// A logged decision re-executed during boot recovery.
+    WalRecordReplayed,
 }
 
 impl CounterKind {
@@ -122,6 +133,11 @@ impl CounterKind {
             CounterKind::ConnectionDrained => "connection_drained",
             CounterKind::LsRunsPruned => "ls_runs_pruned",
             CounterKind::ParTasksDispatched => "par_tasks_dispatched",
+            CounterKind::WalRecordAppended => "wal_record_appended",
+            CounterKind::WalBytesWritten => "wal_bytes_written",
+            CounterKind::WalFsync => "wal_fsync",
+            CounterKind::WalSnapshotWritten => "wal_snapshot_written",
+            CounterKind::WalRecordReplayed => "wal_record_replayed",
         }
     }
 }
@@ -268,6 +284,11 @@ mod tests {
             CounterKind::ConnectionDrained,
             CounterKind::LsRunsPruned,
             CounterKind::ParTasksDispatched,
+            CounterKind::WalRecordAppended,
+            CounterKind::WalBytesWritten,
+            CounterKind::WalFsync,
+            CounterKind::WalSnapshotWritten,
+            CounterKind::WalRecordReplayed,
         ] {
             assert!(kind
                 .name()
