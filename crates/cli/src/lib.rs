@@ -734,6 +734,10 @@ pub struct ServeOptions {
     pub snapshot_records: u64,
     /// Install a snapshot after this many WAL bytes (with `data_dir`).
     pub snapshot_bytes: u64,
+    /// Blue/green warm start: import the template-cache section of the
+    /// newest loadable snapshot in this (other server's) data directory.
+    /// Placements, tokens, and counters are *not* taken over.
+    pub handoff_from: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -750,6 +754,7 @@ impl Default for ServeOptions {
             fsync: FsyncPolicy::Every,
             snapshot_records: DEFAULT_SNAPSHOT_RECORDS,
             snapshot_bytes: DEFAULT_SNAPSHOT_BYTES,
+            handoff_from: None,
         }
     }
 }
@@ -768,6 +773,7 @@ pub fn start_server(opts: &ServeOptions) -> Result<fedsched_service::ServerHandl
         admission: admission_config(opts),
         limits: opts.limits,
         durability: opts.data_dir.as_ref().map(|dir| store_config(opts, dir)),
+        handoff_from: opts.handoff_from.clone(),
     };
     Ok(fedsched_service::serve(&config)?)
 }
@@ -1003,6 +1009,15 @@ pub fn serve_banner(opts: &ServeOptions, handle: &fedsched_service::ServerHandle
                 );
             }
         }
+    }
+    if let (Some(dir), Some(absorbed)) = (&opts.handoff_from, handle.handoff_absorbed()) {
+        let _ = writeln!(
+            out,
+            "  handoff: {} template-cache entr{} imported from {}",
+            absorbed,
+            if absorbed == 1 { "y" } else { "ies" },
+            dir.display(),
+        );
     }
     out
 }
@@ -1242,9 +1257,12 @@ USAGE:
                     [--max-frame-bytes N] [--max-requests N]
                     [--data-dir DIR] [--fsync every|interval:MS|never]
                     [--snapshot-records N] [--snapshot-bytes N]
+                    [--handoff-from DIR]
                     # admission server; GET /metrics on the same port;
                     # --io-timeout-ms 0 disables connection deadlines;
-                    # --data-dir journals decisions and recovers on boot
+                    # --data-dir journals decisions and recovers on boot;
+                    # --handoff-from warm-starts the template cache from
+                    # another server's snapshot (blue/green restarts)
   fedsched recover  -m M --data-dir DIR [--policy list|cpf|lwf]
                     [--exact-partition]  # replay a journal, report state
   fedsched compact  -m M --data-dir DIR [--policy list|cpf|lwf]

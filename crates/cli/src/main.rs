@@ -63,6 +63,7 @@ fn run() -> Result<String, CliError> {
                 | "--fsync"
                 | "--snapshot-records"
                 | "--snapshot-bytes"
+                | "--handoff-from"
         )
     };
     while i < rest.len() {
@@ -153,6 +154,7 @@ fn run() -> Result<String, CliError> {
             "--fsync",
             "--snapshot-records",
             "--snapshot-bytes",
+            "--handoff-from",
         ],
         "recover" | "compact" => &[
             "-m",
@@ -392,6 +394,9 @@ fn run() -> Result<String, CliError> {
             }
             if let Some(Some(v)) = flag("--snapshot-bytes") {
                 opts.snapshot_bytes = parse_num("--snapshot-bytes", v)? as u64;
+            }
+            if let Some(Some(v)) = flag("--handoff-from") {
+                opts.handoff_from = Some(v.into());
             }
             match command {
                 "recover" => recover_store(&opts),

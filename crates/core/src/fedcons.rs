@@ -7,6 +7,12 @@
 //! success the admission produces a complete run-time configuration: one
 //! frozen template per dedicated cluster, plus an EDF task partition for the
 //! shared pool.
+//!
+//! Every phase-1 sizing bottoms out in the List-Scheduling kernel, which
+//! runs on the calling thread's reusable
+//! [`LsWorkspace`](fedsched_graham::workspace::LsWorkspace) — across the
+//! whole batch of high-density tasks, steady-state analysis performs one
+//! allocation per frozen template and none inside the kernel loop.
 
 use core::fmt;
 use std::time::Instant;

@@ -15,7 +15,7 @@
 //!   necessary, and holds exactly for `μ ≥ ⌈vol/D⌉ = ⌈δ⌉` — the paper's own
 //!   starting point, so the bottom of the window is already optimal.
 //! * **Top:** `graham_upper_bound(G, μ) ≤ D` is *sufficient* for LS to fit,
-//!   and [`graham_bracket`] computes the smallest such `μ` in closed form.
+//!   and [`graham_bracket`](fedsched_graham::list::graham_bracket) computes the smallest such `μ` in closed form.
 //!   No candidate above `min(bracket, vertex_count)` can be the minimal
 //!   answer, because that candidate itself is guaranteed to pass (with
 //!   `μ = vertex_count` every vertex starts at its earliest start time and
@@ -33,7 +33,9 @@
 
 use fedsched_analysis::probe::AnalysisProbe;
 use fedsched_dag::task::DagTask;
-use fedsched_graham::list::{graham_bracket, list_schedule_ranked, PriorityPolicy};
+use fedsched_graham::list::{
+    graham_bracket_from_lengths, list_makespan_ranked, list_schedule_ranked, PriorityPolicy,
+};
 use fedsched_graham::schedule::TemplateSchedule;
 
 /// A successful `MINPROCS` sizing: the processor count and the frozen
@@ -82,7 +84,11 @@ fn candidate_window(task: &DagTask, available: u32) -> Option<CandidateWindow> {
     let vertices = u32::try_from(task.dag().vertex_count())
         .unwrap_or(u32::MAX)
         .max(1);
-    let cap = match graham_bracket(task.dag(), task.deadline()) {
+    // The task caches its volume and chain length, so the bracket costs
+    // constant time here — no chain dynamic program per sizing.
+    let bracket =
+        graham_bracket_from_lengths(task.volume(), task.longest_chain_length(), task.deadline());
+    let cap = match bracket {
         Some(bracket) => bracket.min(vertices),
         None => vertices,
     }
@@ -109,7 +115,9 @@ fn candidate_window(task: &DagTask, available: u32) -> Option<CandidateWindow> {
 /// Sweeps `window` in geometric waves, returning the smallest passing `μ`
 /// and its template. Ranks are computed once per task (not per candidate)
 /// and every wave wider than one candidate fans out through the parallel
-/// façade; the accounting in `probe` is independent of the pool width.
+/// façade; a one-candidate wave runs inline on the caller's kernel
+/// workspace without building a candidate vector. The accounting in
+/// `probe` is independent of the pool width.
 fn sweep_window(
     task: &DagTask,
     window: CandidateWindow,
@@ -124,19 +132,24 @@ fn sweep_window(
     let mut wave = 1u32;
     while next <= window.hi {
         let last = next.saturating_add(wave - 1).min(window.hi);
-        let candidates: Vec<u32> = (next..=last).collect();
-        let count = candidates.len() as u64;
+        let count = u64::from(last - next) + 1;
         probe.ls_runs = probe.ls_runs.saturating_add(count);
         probe.makespan_evaluations = probe.makespan_evaluations.saturating_add(count);
-        if candidates.len() > 1 {
-            probe.par_tasks_dispatched = probe.par_tasks_dispatched.saturating_add(count);
-        }
-        let templates = fedsched_parallel::par_map(&candidates, |&mu| {
-            list_schedule_ranked(dag, mu, &ranks, times)
-        });
-        for (&mu, template) in candidates.iter().zip(templates) {
+        if count == 1 {
+            let template = list_schedule_ranked(dag, next, &ranks, times);
             if template.makespan() <= deadline {
-                return Some((mu, template));
+                return Some((next, template));
+            }
+        } else {
+            probe.par_tasks_dispatched = probe.par_tasks_dispatched.saturating_add(count);
+            let candidates: Vec<u32> = (next..=last).collect();
+            let templates = fedsched_parallel::par_map(&candidates, |&mu| {
+                list_schedule_ranked(dag, mu, &ranks, times)
+            });
+            for (&mu, template) in candidates.iter().zip(templates) {
+                if template.makespan() <= deadline {
+                    return Some((mu, template));
+                }
             }
         }
         next = match last.checked_add(1) {
@@ -147,6 +160,52 @@ fn sweep_window(
     }
     debug_assert!(!window.certified, "a certified window always passes");
     None
+}
+
+/// The decision-only twin of [`sweep_window`]: identical wave schedule and
+/// probe accounting, but each candidate runs the allocation-free
+/// makespan-only kernel path and no template is materialised. Used by the
+/// fit test on windows truncated by `available`, where only the verdict
+/// matters.
+fn sweep_window_fits(
+    task: &DagTask,
+    window: CandidateWindow,
+    policy: PriorityPolicy,
+    probe: &mut AnalysisProbe,
+) -> bool {
+    let dag = task.dag();
+    let deadline = task.deadline();
+    let ranks = policy.ranks(dag);
+    let times = dag.wcets();
+    let mut next = window.lo;
+    let mut wave = 1u32;
+    while next <= window.hi {
+        let last = next.saturating_add(wave - 1).min(window.hi);
+        let count = u64::from(last - next) + 1;
+        probe.ls_runs = probe.ls_runs.saturating_add(count);
+        probe.makespan_evaluations = probe.makespan_evaluations.saturating_add(count);
+        if count == 1 {
+            if list_makespan_ranked(dag, next, &ranks, times) <= deadline {
+                return true;
+            }
+        } else {
+            probe.par_tasks_dispatched = probe.par_tasks_dispatched.saturating_add(count);
+            let candidates: Vec<u32> = (next..=last).collect();
+            let makespans = fedsched_parallel::par_map(&candidates, |&mu| {
+                list_makespan_ranked(dag, mu, &ranks, times)
+            });
+            if makespans.iter().any(|&makespan| makespan <= deadline) {
+                return true;
+            }
+        }
+        next = match last.checked_add(1) {
+            Some(n) => n,
+            None => break,
+        };
+        wave = (wave * 2).min(SPECULATION_WAVE_LIMIT);
+    }
+    debug_assert!(!window.certified, "a certified window always passes");
+    false
 }
 
 /// `MINPROCS(τ_i, m_r)` (paper Fig. 3): the minimum `μ ∈ [⌈δ_i⌉, m_r]` for
@@ -160,7 +219,7 @@ fn sweep_window(
 ///   the deadline), so we fail fast without running LS;
 /// * the search starts at `max(1, ⌈δ_i⌉)` — `⌈δ_i⌉` exactly as in Fig. 3,
 ///   clamped to one processor for degenerate inputs;
-/// * the top of the window is bracketed by [`graham_bracket`] and the
+/// * the top of the window is bracketed by [`graham_bracket`](fedsched_graham::list::graham_bracket) and the
 ///   vertex count (see the module docs): candidates above the bracket are
 ///   counted in [`AnalysisProbe::ls_runs_pruned`] instead of being run.
 ///   Since the bracket candidate is *guaranteed* to pass, the minimal
@@ -248,7 +307,7 @@ pub fn min_procs_fits_probed(
         return true;
     }
     probe.ls_runs_pruned = probe.ls_runs_pruned.saturating_add(window.pruned);
-    sweep_window(task, window, policy, probe).is_some()
+    sweep_window_fits(task, window, policy, probe)
 }
 
 /// The *intrinsic* sizing `μ*_i` of a task: [`min_procs`] with the cap set
@@ -263,7 +322,7 @@ pub fn min_procs_fits_probed(
 /// `m_r ≥ μ*_i`. Online admission control relies on exactly that
 /// independence to size clusters without knowing the residual platform.
 ///
-/// The candidate window is additionally capped by the [`graham_bracket`]
+/// The candidate window is additionally capped by the [`graham_bracket`](fedsched_graham::list::graham_bracket)
 /// certificate, so wide DAGs no longer sweep toward the vertex count: the
 /// search stops at the first `μ` Graham's bound already proves sufficient.
 #[must_use]

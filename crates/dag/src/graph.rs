@@ -20,7 +20,7 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::error::GraphBuildError;
 use crate::time::Duration;
@@ -79,12 +79,21 @@ impl fmt::Display for VertexId {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Adjacency is stored as a CSR-style arena: one flat `targets` array per
+/// direction, sliced by `offsets[v]..offsets[v + 1]`. Repeated traversals
+/// (the List-Scheduling kernel, chain DP, reachability) walk contiguous
+/// memory instead of chasing one heap allocation per vertex, and per-vertex
+/// slices stay order-preserving: targets appear in edge-insertion order,
+/// exactly as the former nested `Vec<Vec<VertexId>>` layout stored them.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dag {
     wcets: Vec<Duration>,
-    successors: Vec<Vec<VertexId>>,
-    predecessors: Vec<Vec<VertexId>>,
-    edge_count: usize,
+    /// `succ_offsets[v]..succ_offsets[v + 1]` indexes `succ_targets`.
+    succ_offsets: Vec<u32>,
+    succ_targets: Vec<VertexId>,
+    /// `pred_offsets[v]..pred_offsets[v + 1]` indexes `pred_targets`.
+    pred_offsets: Vec<u32>,
+    pred_targets: Vec<VertexId>,
     /// A topological order, computed once at build time.
     topo: Vec<VertexId>,
 }
@@ -118,7 +127,7 @@ impl Dag {
     /// Number of directed edges `|E|`.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.succ_targets.len()
     }
 
     /// Iterator over all vertex ids, in dense index order.
@@ -155,7 +164,9 @@ impl Dag {
     /// Panics if `v` is not a vertex of this DAG.
     #[must_use]
     pub fn successors(&self, v: VertexId) -> &[VertexId] {
-        &self.successors[v.index()]
+        let lo = self.succ_offsets[v.index()] as usize;
+        let hi = self.succ_offsets[v.index() + 1] as usize;
+        &self.succ_targets[lo..hi]
     }
 
     /// Direct predecessors of `v` (vertices `v` must wait for).
@@ -165,19 +176,21 @@ impl Dag {
     /// Panics if `v` is not a vertex of this DAG.
     #[must_use]
     pub fn predecessors(&self, v: VertexId) -> &[VertexId] {
-        &self.predecessors[v.index()]
+        let lo = self.pred_offsets[v.index()] as usize;
+        let hi = self.pred_offsets[v.index() + 1] as usize;
+        &self.pred_targets[lo..hi]
     }
 
     /// In-degree of `v`.
     #[must_use]
     pub fn in_degree(&self, v: VertexId) -> usize {
-        self.predecessors[v.index()].len()
+        (self.pred_offsets[v.index() + 1] - self.pred_offsets[v.index()]) as usize
     }
 
     /// Out-degree of `v`.
     #[must_use]
     pub fn out_degree(&self, v: VertexId) -> usize {
-        self.successors[v.index()].len()
+        (self.succ_offsets[v.index() + 1] - self.succ_offsets[v.index()]) as usize
     }
 
     /// Vertices with no predecessors.
@@ -435,14 +448,35 @@ impl DagBuilder {
     /// cycle.
     pub fn build(self) -> Result<Dag, GraphBuildError> {
         let n = self.wcets.len();
-        let mut successors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-        let mut predecessors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        u32::try_from(self.edges.len()).expect("edge count exceeds u32 range");
+        // Counting sort of the edge list into both CSR arenas. The fill is
+        // stable, so each per-vertex slice lists its targets in
+        // edge-insertion order — the same order the nested-Vec layout
+        // produced (longest-chain tie-breaking observes it).
+        let mut succ_offsets = vec![0u32; n + 1];
+        let mut pred_offsets = vec![0u32; n + 1];
         for &(a, b) in &self.edges {
-            successors[a.index()].push(b);
-            predecessors[b.index()].push(a);
+            succ_offsets[a.index() + 1] += 1;
+            pred_offsets[b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            succ_offsets[i + 1] += succ_offsets[i];
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let mut succ_cursor: Vec<u32> = succ_offsets[..n].to_vec();
+        let mut pred_cursor: Vec<u32> = pred_offsets[..n].to_vec();
+        let mut succ_targets = vec![VertexId(0); self.edges.len()];
+        let mut pred_targets = vec![VertexId(0); self.edges.len()];
+        for &(a, b) in &self.edges {
+            succ_targets[succ_cursor[a.index()] as usize] = b;
+            succ_cursor[a.index()] += 1;
+            pred_targets[pred_cursor[b.index()] as usize] = a;
+            pred_cursor[b.index()] += 1;
         }
         // Kahn's algorithm; deterministic FIFO order.
-        let mut in_deg: Vec<usize> = predecessors.iter().map(Vec::len).collect();
+        let mut in_deg: Vec<u32> = (0..n)
+            .map(|i| pred_offsets[i + 1] - pred_offsets[i])
+            .collect();
         let mut frontier: std::collections::VecDeque<VertexId> = (0..n)
             .filter(|&i| in_deg[i] == 0)
             .map(|i| VertexId(i as u32))
@@ -450,7 +484,9 @@ impl DagBuilder {
         let mut topo = Vec::with_capacity(n);
         while let Some(v) = frontier.pop_front() {
             topo.push(v);
-            for &w in &successors[v.index()] {
+            let lo = succ_offsets[v.index()] as usize;
+            let hi = succ_offsets[v.index() + 1] as usize;
+            for &w in &succ_targets[lo..hi] {
                 in_deg[w.index()] -= 1;
                 if in_deg[w.index()] == 0 {
                     frontier.push_back(w);
@@ -462,9 +498,91 @@ impl DagBuilder {
         }
         Ok(Dag {
             wcets: self.wcets,
-            edge_count: self.edges.len(),
-            successors,
-            predecessors,
+            succ_offsets,
+            succ_targets,
+            pred_offsets,
+            pred_targets,
+            topo,
+        })
+    }
+}
+
+/// The serialized form of [`Dag`] is frozen to the shape the former
+/// nested-adjacency layout derived: `{wcets, successors, predecessors,
+/// edge_count, topo}` with per-vertex target lists. Snapshots, WAL records
+/// and wire requests written before the CSR refactor decode unchanged, and
+/// re-serialization stays byte-identical.
+impl Serialize for Dag {
+    fn to_value(&self) -> Value {
+        let nested = |lists: &mut dyn Iterator<Item = &[VertexId]>| {
+            Value::Seq(lists.map(Serialize::to_value).collect())
+        };
+        Value::Map(vec![
+            ("wcets".to_owned(), self.wcets.to_value()),
+            (
+                "successors".to_owned(),
+                nested(&mut self.vertices().map(|v| self.successors(v))),
+            ),
+            (
+                "predecessors".to_owned(),
+                nested(&mut self.vertices().map(|v| self.predecessors(v))),
+            ),
+            ("edge_count".to_owned(), self.edge_count().to_value()),
+            ("topo".to_owned(), self.topo.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Dag {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("object", "Dag"))?;
+        let field = |key| serde::__map_field(map, key, "Dag");
+        let wcets = Vec::<Duration>::from_value(field("wcets")?)?;
+        let successors = Vec::<Vec<VertexId>>::from_value(field("successors")?)?;
+        let predecessors = Vec::<Vec<VertexId>>::from_value(field("predecessors")?)?;
+        let edge_count = usize::from_value(field("edge_count")?)?;
+        let topo = Vec::<VertexId>::from_value(field("topo")?)?;
+        let n = wcets.len();
+        if successors.len() != n || predecessors.len() != n || topo.len() != n {
+            return Err(DeError::custom(
+                "Dag adjacency/topo length disagrees with vertex count",
+            ));
+        }
+        let succ_total: usize = successors.iter().map(Vec::len).sum();
+        let pred_total: usize = predecessors.iter().map(Vec::len).sum();
+        if succ_total != edge_count || pred_total != edge_count {
+            return Err(DeError::custom("Dag edge_count disagrees with adjacency"));
+        }
+        if u32::try_from(edge_count).is_err() {
+            return Err(DeError::custom("Dag edge count exceeds u32 range"));
+        }
+        let in_range = |ids: &[VertexId]| ids.iter().all(|id| id.index() < n);
+        if !successors.iter().all(|s| in_range(s))
+            || !predecessors.iter().all(|p| in_range(p))
+            || !in_range(&topo)
+        {
+            return Err(DeError::custom("Dag vertex id out of range"));
+        }
+        let flatten = |nested: &[Vec<VertexId>]| {
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut targets = Vec::with_capacity(edge_count);
+            offsets.push(0u32);
+            for list in nested {
+                targets.extend_from_slice(list);
+                offsets.push(targets.len() as u32);
+            }
+            (offsets, targets)
+        };
+        let (succ_offsets, succ_targets) = flatten(&successors);
+        let (pred_offsets, pred_targets) = flatten(&predecessors);
+        Ok(Dag {
+            wcets,
+            succ_offsets,
+            succ_targets,
+            pred_offsets,
+            pred_targets,
             topo,
         })
     }

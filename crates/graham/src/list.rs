@@ -10,11 +10,12 @@
 //! The priority list only affects typical-case quality, never the bound;
 //! [`PriorityPolicy`] offers the common choices.
 
-use fedsched_dag::graph::{Dag, VertexId};
+use fedsched_dag::graph::Dag;
 use fedsched_dag::time::Duration;
 use serde::{Deserialize, Serialize};
 
-use crate::schedule::{ScheduleEntry, TemplateSchedule};
+use crate::schedule::TemplateSchedule;
+use crate::workspace::with_thread_workspace;
 
 /// How the priority list handed to LS is derived from the DAG.
 ///
@@ -43,13 +44,7 @@ impl PriorityPolicy {
         match self {
             PriorityPolicy::ListOrder => (0..n as u64).collect(),
             PriorityPolicy::LongestWcetFirst => {
-                let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by_key(|&i| (core::cmp::Reverse(dag.wcet(VertexId::from_index(i))), i));
-                let mut ranks = vec![0u64; n];
-                for (rank, &i) in order.iter().enumerate() {
-                    ranks[i] = rank as u64;
-                }
-                ranks
+                ranks_by_key(n, |i| core::cmp::Reverse(dag.wcets()[i]))
             }
             PriorityPolicy::CriticalPathFirst => {
                 // Downward distance to a sink, inclusive of own WCET,
@@ -64,16 +59,24 @@ impl PriorityPolicy {
                         .unwrap_or(Duration::ZERO);
                     tail[v.index()] = best + dag.wcet(v);
                 }
-                let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by_key(|&i| (core::cmp::Reverse(tail[i]), i));
-                let mut ranks = vec![0u64; n];
-                for (rank, &i) in order.iter().enumerate() {
-                    ranks[i] = rank as u64;
-                }
-                ranks
+                ranks_by_key(n, |i| core::cmp::Reverse(tail[i]))
             }
         }
     }
+}
+
+/// Dense ranks from a sort key: vertices are ordered by `(key, index)` and
+/// each receives its position in that order as its rank. Shared by every
+/// [`PriorityPolicy`] arm, so "smaller rank = earlier, ties toward the
+/// smaller index" is encoded exactly once.
+fn ranks_by_key<K: Ord>(n: usize, key: impl Fn(usize) -> K) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (key(i), i));
+    let mut ranks = vec![0u64; n];
+    for (rank, &i) in order.iter().enumerate() {
+        ranks[i] = rank as u64;
+    }
+    ranks
 }
 
 /// Runs Graham's List Scheduling on `dag` with `processors` identical
@@ -122,10 +125,14 @@ pub fn list_schedule_with(dag: &Dag, processors: u32, policy: PriorityPolicy) ->
     list_schedule_ranked(dag, processors, &ranks, dag.wcets())
 }
 
-/// Core LS loop, shared by template construction and the anomaly
+/// Core LS entry point, shared by template construction and the anomaly
 /// demonstrations: schedules `dag` with per-vertex execution times `times`
 /// (which may differ from the WCETs — that is precisely what the anomaly
 /// experiments vary) and explicit priority `ranks`.
+///
+/// Runs on the calling thread's reusable
+/// [`LsWorkspace`](crate::workspace::LsWorkspace), so steady-state calls
+/// perform exactly one allocation: the returned template's entry vector.
 ///
 /// # Panics
 ///
@@ -138,86 +145,34 @@ pub fn list_schedule_ranked(
     ranks: &[u64],
     times: &[Duration],
 ) -> TemplateSchedule {
-    assert!(
-        processors > 0,
-        "list scheduling needs at least one processor"
-    );
-    let n = dag.vertex_count();
-    assert_eq!(ranks.len(), n, "one rank per vertex");
-    assert_eq!(times.len(), n, "one execution time per vertex");
+    assert_eq!(ranks.len(), dag.vertex_count(), "one rank per vertex");
+    with_thread_workspace(|ws| {
+        ws.prepare(ranks);
+        ws.template(dag, processors, times)
+    })
+}
 
-    let mut remaining_preds: Vec<usize> = dag.vertices().map(|v| dag.in_degree(v)).collect();
-    // Available jobs, ordered by rank (min-heap via Reverse).
-    use core::cmp::Reverse;
-    use std::collections::BinaryHeap;
-    let mut available: BinaryHeap<Reverse<(u64, u32)>> = dag
-        .vertices()
-        .filter(|&v| remaining_preds[v.index()] == 0)
-        .map(|v| Reverse((ranks[v.index()], v.index() as u32)))
-        .collect();
-
-    // Processors: min-heap of (free_at, processor index).
-    let mut procs: BinaryHeap<Reverse<(u64, u32)>> =
-        (0..processors).map(|p| Reverse((0u64, p))).collect();
-    // Running jobs: min-heap of (finish, vertex).
-    let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-
-    let mut entries = vec![
-        ScheduleEntry {
-            processor: 0,
-            start: Duration::ZERO,
-            finish: Duration::ZERO,
-        };
-        n
-    ];
-    let mut now = 0u64;
-    let mut scheduled = 0usize;
-
-    while scheduled < n {
-        // Retire every job finishing at or before `now`.
-        while let Some(&Reverse((f, v))) = running.peek() {
-            if f > now {
-                break;
-            }
-            running.pop();
-            let v = VertexId::from_index(v as usize);
-            for &s in dag.successors(v) {
-                remaining_preds[s.index()] -= 1;
-                if remaining_preds[s.index()] == 0 {
-                    available.push(Reverse((ranks[s.index()], s.index() as u32)));
-                }
-            }
-        }
-        // Start available jobs on idle processors (work conservation).
-        while let Some(&Reverse((free_at, _))) = procs.peek() {
-            if free_at > now || available.is_empty() {
-                break;
-            }
-            let Reverse((_, p)) = procs.pop().expect("peeked");
-            let Reverse((_, vi)) = available.pop().expect("non-empty");
-            let v = VertexId::from_index(vi as usize);
-            let dur = times[v.index()].ticks();
-            entries[v.index()] = ScheduleEntry {
-                processor: p,
-                start: Duration::new(now),
-                finish: Duration::new(now + dur),
-            };
-            scheduled += 1;
-            running.push(Reverse((now + dur, vi)));
-            procs.push(Reverse((now + dur, p)));
-        }
-        if scheduled == n {
-            break;
-        }
-        // Advance to the next job completion (the only event that can free a
-        // processor or release new available jobs).
-        match running.peek() {
-            Some(&Reverse((f, _))) => now = f,
-            None => unreachable!("jobs remain but nothing is running or available"),
-        }
-    }
-
-    TemplateSchedule::from_entries(processors, entries)
+/// The decision-only variant of [`list_schedule_ranked`]: the same kernel
+/// run, returning just the makespan without materialising a template.
+/// Allocation-free in steady state — callers that only compare against a
+/// deadline (the non-certified `MINPROCS` fit test) use this.
+///
+/// # Panics
+///
+/// Panics if `processors` is zero or `times`/`ranks` are not
+/// `dag.vertex_count()` long.
+#[must_use]
+pub fn list_makespan_ranked(
+    dag: &Dag,
+    processors: u32,
+    ranks: &[u64],
+    times: &[Duration],
+) -> Duration {
+    assert_eq!(ranks.len(), dag.vertex_count(), "one rank per vertex");
+    with_thread_workspace(|ws| {
+        ws.prepare(ranks);
+        ws.makespan(dag, processors, times)
+    })
 }
 
 /// Lower bound on the optimal makespan of `dag` on `m` processors:
@@ -272,8 +227,23 @@ pub fn graham_upper_bound(dag: &Dag, m: u32) -> Duration {
 /// reported as `None`.
 #[must_use]
 pub fn graham_bracket(dag: &Dag, deadline: Duration) -> Option<u32> {
-    let vol = dag.volume().ticks();
-    let len = dag.longest_chain().length.ticks();
+    graham_bracket_from_lengths(dag.volume(), dag.longest_chain().length, deadline)
+}
+
+/// [`graham_bracket`] from precomputed `vol` and `len`.
+///
+/// The bracket depends on the DAG only through its volume and longest-chain
+/// length; callers that cache those (such as
+/// `DagTask`, which carries both) can bracket in constant
+/// time without re-running the chain dynamic program.
+#[must_use]
+pub fn graham_bracket_from_lengths(
+    volume: Duration,
+    chain: Duration,
+    deadline: Duration,
+) -> Option<u32> {
+    let vol = volume.ticks();
+    let len = chain.ticks();
     let d = deadline.ticks();
     if d < len {
         return None;

@@ -1,0 +1,336 @@
+//! A reusable, allocation-free workspace for the List-Scheduling kernel.
+//!
+//! [`crate::list::list_schedule_ranked`] is the hot loop of every analysis
+//! in this workspace: `MINPROCS` runs it once per candidate cluster size,
+//! FEDCONS once per admitted task, the simulator once per watched dag-job
+//! release. The original kernel allocated three `BinaryHeap`s, a
+//! predecessor-counter `Vec` and an entry `Vec` on *every* call;
+//! [`LsWorkspace`] hoists all of that state into one arena that is created
+//! once (per analysis, or per pool thread via [`with_thread_workspace`])
+//! and reused, so a warmed-up kernel run performs no heap allocation at
+//! all on the makespan-only path and exactly one (the returned entry
+//! vector) when a [`TemplateSchedule`] is materialised.
+//!
+//! # Equivalence with the heap-based kernel
+//!
+//! The produced schedules are bit-for-bit identical to the retired
+//! `BinaryHeap` implementation. All three queues order tuples whose second
+//! component is unique — `(rank, vertex)`, `(free_at, processor)`,
+//! `(finish, vertex)` — so each queue's pop sequence is a *total* order
+//! and any correct min-priority queue reproduces it exactly. The ready set
+//! exploits this: `prepare` sorts the vertices once by `(rank, vertex)`
+//! into a priority permutation, after which "pop the minimum-rank
+//! available vertex" becomes "pop the lowest set bit" of a bitset indexed
+//! by priority position.
+
+use std::cell::RefCell;
+
+use fedsched_dag::graph::{Dag, VertexId};
+use fedsched_dag::time::Duration;
+
+use crate::schedule::{ScheduleEntry, TemplateSchedule};
+
+/// Reusable state for the List-Scheduling kernel; see the module docs.
+///
+/// A workspace is prepared for one priority assignment with
+/// [`LsWorkspace::prepare`] and then runs any number of schedules under it
+/// (different processor counts, different execution-time vectors) without
+/// allocating.
+#[derive(Debug, Default)]
+pub struct LsWorkspace {
+    /// Priority position → vertex: the vertices sorted by `(rank, index)`.
+    order: Vec<u32>,
+    /// Vertex → priority position; inverse of `order`.
+    position: Vec<u32>,
+    /// The ranks `prepare` was last called with, for memoized re-prepares.
+    prepared_ranks: Vec<u64>,
+    /// Unscheduled-predecessor counters, reset per run.
+    remaining_preds: Vec<u32>,
+    /// Bit-packed set of available jobs, indexed by priority position.
+    ready: Vec<u64>,
+    /// Number of bits set in `ready`.
+    ready_count: usize,
+    /// Lowest word of `ready` that may contain a set bit.
+    ready_hint: usize,
+    /// Min-heap of `(free_at, processor)`, replacing a `BinaryHeap`.
+    procs: Vec<(u64, u32)>,
+    /// Min-heap of `(finish, vertex)`, replacing a `BinaryHeap`.
+    running: Vec<(u64, u32)>,
+    /// Entry buffer reused across runs; cloned once per template.
+    entries: Vec<ScheduleEntry>,
+    /// Vertex count of the prepared priority assignment.
+    n: usize,
+}
+
+impl LsWorkspace {
+    /// An empty workspace; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> LsWorkspace {
+        LsWorkspace::default()
+    }
+
+    /// Installs the priority assignment `ranks` (one rank per vertex;
+    /// smaller = scheduled earlier, ties toward the smaller vertex index).
+    ///
+    /// Re-preparing with ranks equal to the previous call is free: the
+    /// sorted priority permutation only depends on the rank values, so it
+    /// is memoized.
+    pub fn prepare(&mut self, ranks: &[u64]) {
+        let n = ranks.len();
+        if self.n == n && self.prepared_ranks == ranks {
+            return;
+        }
+        self.n = n;
+        self.prepared_ranks.clear();
+        self.prepared_ranks.extend_from_slice(ranks);
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        let (order, prepared) = (&mut self.order, &self.prepared_ranks);
+        order.sort_unstable_by_key(|&v| (prepared[v as usize], v));
+        self.position.clear();
+        self.position.resize(n, 0);
+        for (pos, &v) in self.order.iter().enumerate() {
+            self.position[v as usize] = pos as u32;
+        }
+    }
+
+    /// Runs the kernel and materialises the schedule as a
+    /// [`TemplateSchedule`] (one allocation: the returned entry vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors` is zero or if `dag`/`times` do not match the
+    /// prepared vertex count.
+    #[must_use]
+    pub fn template(&mut self, dag: &Dag, processors: u32, times: &[Duration]) -> TemplateSchedule {
+        let _ = self.run(dag, processors, times);
+        TemplateSchedule::from_entries(processors, self.entries.clone())
+    }
+
+    /// Runs the kernel and returns only the makespan — the decision-only
+    /// path, allocation-free once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors` is zero or if `dag`/`times` do not match the
+    /// prepared vertex count.
+    pub fn makespan(&mut self, dag: &Dag, processors: u32, times: &[Duration]) -> Duration {
+        self.run(dag, processors, times)
+    }
+
+    /// The core work-conserving loop. Fills `self.entries` and returns the
+    /// makespan.
+    fn run(&mut self, dag: &Dag, processors: u32, times: &[Duration]) -> Duration {
+        assert!(
+            processors > 0,
+            "list scheduling needs at least one processor"
+        );
+        let n = self.n;
+        assert_eq!(dag.vertex_count(), n, "one rank per vertex");
+        assert_eq!(times.len(), n, "one execution time per vertex");
+
+        self.remaining_preds.clear();
+        self.remaining_preds
+            .extend(dag.vertices().map(|v| dag.in_degree(v) as u32));
+        self.ready.clear();
+        self.ready.resize(n.div_ceil(64), 0);
+        self.ready_count = 0;
+        self.ready_hint = 0;
+        for v in 0..n {
+            if self.remaining_preds[v] == 0 {
+                self.ready_insert(self.position[v] as usize);
+            }
+        }
+        self.procs.clear();
+        // All keys equal: the vector is already a valid min-heap.
+        self.procs.extend((0..processors).map(|p| (0u64, p)));
+        self.running.clear();
+        self.entries.clear();
+        self.entries.resize(
+            n,
+            ScheduleEntry {
+                processor: 0,
+                start: Duration::ZERO,
+                finish: Duration::ZERO,
+            },
+        );
+
+        let mut now = 0u64;
+        let mut scheduled = 0usize;
+        let mut makespan = 0u64;
+        while scheduled < n {
+            // Retire every job finishing at or before `now`.
+            while let Some(&(f, v)) = self.running.first() {
+                if f > now {
+                    break;
+                }
+                heap_pop(&mut self.running);
+                for &s in dag.successors(VertexId::from_index(v as usize)) {
+                    let si = s.index();
+                    self.remaining_preds[si] -= 1;
+                    if self.remaining_preds[si] == 0 {
+                        self.ready_insert(self.position[si] as usize);
+                    }
+                }
+            }
+            // Start available jobs on idle processors (work conservation).
+            while let Some(&(free_at, _)) = self.procs.first() {
+                if free_at > now || self.ready_count == 0 {
+                    break;
+                }
+                let (_, p) = heap_pop(&mut self.procs).expect("peeked");
+                let pos = self.ready_pop_min();
+                let vi = self.order[pos] as usize;
+                let finish = now + times[vi].ticks();
+                self.entries[vi] = ScheduleEntry {
+                    processor: p,
+                    start: Duration::new(now),
+                    finish: Duration::new(finish),
+                };
+                scheduled += 1;
+                makespan = makespan.max(finish);
+                heap_push(&mut self.running, (finish, vi as u32));
+                heap_push(&mut self.procs, (finish, p));
+            }
+            if scheduled == n {
+                break;
+            }
+            // Advance to the next job completion (the only event that can
+            // free a processor or release new available jobs).
+            now = self
+                .running
+                .first()
+                .expect("jobs remain but nothing is running or available")
+                .0;
+        }
+        Duration::new(makespan)
+    }
+
+    fn ready_insert(&mut self, pos: usize) {
+        self.ready[pos / 64] |= 1u64 << (pos % 64);
+        self.ready_count += 1;
+        self.ready_hint = self.ready_hint.min(pos / 64);
+    }
+
+    /// Pops the lowest set priority position; caller checks `ready_count`.
+    fn ready_pop_min(&mut self) -> usize {
+        let mut w = self.ready_hint;
+        while self.ready[w] == 0 {
+            w += 1;
+        }
+        self.ready_hint = w;
+        let bit = self.ready[w].trailing_zeros() as usize;
+        self.ready[w] &= self.ready[w] - 1;
+        self.ready_count -= 1;
+        w * 64 + bit
+    }
+}
+
+/// Sift-up push onto a binary min-heap stored in a plain `Vec`.
+fn heap_push(heap: &mut Vec<(u64, u32)>, item: (u64, u32)) {
+    heap.push(item);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if heap[parent] <= heap[i] {
+            break;
+        }
+        heap.swap(parent, i);
+        i = parent;
+    }
+}
+
+/// Pops the minimum of a binary min-heap stored in a plain `Vec`.
+fn heap_pop(heap: &mut Vec<(u64, u32)>) -> Option<(u64, u32)> {
+    if heap.is_empty() {
+        return None;
+    }
+    let min = heap.swap_remove(0);
+    let len = heap.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        let mut smallest = i;
+        if l < len && heap[l] < heap[smallest] {
+            smallest = l;
+        }
+        if r < len && heap[r] < heap[smallest] {
+            smallest = r;
+        }
+        if smallest == i {
+            break;
+        }
+        heap.swap(i, smallest);
+        i = smallest;
+    }
+    Some(min)
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<LsWorkspace> = RefCell::new(LsWorkspace::new());
+}
+
+/// Runs `f` with this thread's shared [`LsWorkspace`].
+///
+/// Every thread — the caller of an analysis as much as each
+/// `fedsched-parallel` pool worker — owns one lazily created workspace, so
+/// the public `list_schedule*` entry points stay allocation-free in steady
+/// state without any signature change.
+///
+/// # Panics
+///
+/// Panics if `f` itself re-enters `with_thread_workspace` (the workspace
+/// is a single mutable resource per thread).
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut LsWorkspace) -> R) -> R {
+    WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_orders_arbitrary_pushes() {
+        let mut heap = Vec::new();
+        for item in [(5u64, 1u32), (3, 2), (5, 0), (1, 9), (3, 1), (0, 4)] {
+            heap_push(&mut heap, item);
+        }
+        let mut popped = Vec::new();
+        while let Some(item) = heap_pop(&mut heap) {
+            popped.push(item);
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn ready_set_pops_in_position_order() {
+        let mut ws = LsWorkspace {
+            ready: vec![0; 3],
+            ..LsWorkspace::default()
+        };
+        for pos in [150, 3, 64, 0, 149] {
+            ws.ready_insert(pos);
+        }
+        let mut popped = Vec::new();
+        while ws.ready_count > 0 {
+            popped.push(ws.ready_pop_min());
+        }
+        assert_eq!(popped, vec![0, 3, 64, 149, 150]);
+    }
+
+    #[test]
+    fn prepare_is_memoized_and_permutation_is_rank_sorted() {
+        let mut ws = LsWorkspace::new();
+        ws.prepare(&[7, 7, 2, 9]);
+        // Sorted by (rank, vertex): v2, v0, v1, v3.
+        assert_eq!(ws.order, vec![2, 0, 1, 3]);
+        assert_eq!(ws.position, vec![1, 2, 0, 3]);
+        let before = ws.order.clone();
+        ws.prepare(&[7, 7, 2, 9]);
+        assert_eq!(ws.order, before);
+        ws.prepare(&[0, 1, 2, 3]);
+        assert_eq!(ws.order, vec![0, 1, 2, 3]);
+    }
+}

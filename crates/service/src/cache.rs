@@ -132,6 +132,27 @@ impl TemplateCache {
         entries
     }
 
+    /// Merges exported entries from another server's cache, keeping any
+    /// entry this cache already holds and leaving the hit/miss counters
+    /// untouched: imported warmth must not fabricate traffic statistics.
+    /// Returns how many entries were absorbed.
+    ///
+    /// Safe across server configurations: a memoized sizing is intrinsic
+    /// to `(policy, deadline, DAG shape)` — the canonical key — and never
+    /// depends on the platform the donor ran on.
+    pub fn absorb_entries(&mut self, entries: Vec<(Vec<u64>, Option<CachedSizing>)>) -> usize {
+        let mut absorbed = 0;
+        for (key, sizing) in entries {
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                self.map.entry(key.into_boxed_slice())
+            {
+                slot.insert(sizing);
+                absorbed += 1;
+            }
+        }
+        absorbed
+    }
+
     /// Rebuilds a cache structurally from exported entries and the counter
     /// values the exporting cache carried.
     #[must_use]

@@ -50,6 +50,7 @@
 //!     admission: AdmissionConfig::new(4),
 //!     limits: ConnectionLimits::default(),
 //!     durability: None,
+//!     handoff_from: None,
 //! })?;
 //! let mut client = Client::connect(handle.local_addr())?;
 //! let task = DagTask::sequential(Duration::new(1), Duration::new(4), Duration::new(8))

@@ -41,14 +41,18 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fedsched_durable::{DurableStore, LogRecord, StoreConfig};
+use fedsched_durable::{
+    list_snapshots, load_snapshot, DurableStore, LogRecord, StoreConfig, FORMAT_VERSION,
+};
 use fedsched_telemetry::CounterKind;
 
+use crate::cache::CachedSizing;
 use crate::protocol::{write_message, Request, Response};
 use crate::recovery::{admit_records, recover_state, remove_record, ReplayReport};
 use crate::state::{AdmissionConfig, AdmissionState};
@@ -131,6 +135,14 @@ pub struct ServerConfig {
     /// the given data directory (recovering prior state at boot), `None`
     /// keeps all state in memory.
     pub durability: Option<StoreConfig>,
+    /// Warm-start handoff for blue/green restarts: `Some(dir)` imports the
+    /// template-cache section — and *only* that section — of the newest
+    /// loadable snapshot in another server's data directory. No placements,
+    /// tokens, or counters are taken over; the new server merely starts
+    /// with the donor's memoized `MINPROCS` sizings so its first admissions
+    /// hit warm instead of recomputing. Damaged or version-mismatched
+    /// snapshots fall back to older ones; an empty donor imports nothing.
+    pub handoff_from: Option<PathBuf>,
 }
 
 /// Lock-free transport-hardening counters kept by the connection layer.
@@ -293,6 +305,7 @@ pub struct ServerHandle {
     limits: ConnectionLimits,
     workers: Vec<JoinHandle<()>>,
     journal: Option<Arc<Journal>>,
+    handoff_absorbed: Option<u64>,
 }
 
 impl ServerHandle {
@@ -330,6 +343,13 @@ impl ServerHandle {
     #[must_use]
     pub fn boot_report(&self) -> Option<ReplayReport> {
         self.journal.as_ref().map(|j| j.boot)
+    }
+
+    /// How many template-cache entries the `--handoff-from` warm start
+    /// imported, or `None` when no handoff directory was configured.
+    #[must_use]
+    pub fn handoff_absorbed(&self) -> Option<u64> {
+        self.handoff_absorbed
     }
 
     /// Blocks until every acceptor has exited (i.e. until some client
@@ -376,7 +396,7 @@ impl ServerHandle {
 /// diverges from a logged one (`InvalidData`: serving would break
 /// promises clients already hold).
 pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
-    let (initial_state, journal) = match &config.durability {
+    let (mut initial_state, journal) = match &config.durability {
         Some(store_config) => {
             let (store, recovered) = DurableStore::open(store_config.clone())?;
             let (mut state, boot) = recover_state(config.admission, &recovered).map_err(|e| {
@@ -395,6 +415,27 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
             )
         }
         None => (AdmissionState::new(config.admission), None),
+    };
+    let handoff_absorbed = match &config.handoff_from {
+        Some(dir) => {
+            let absorbed = import_handoff_cache(&mut initial_state, dir)?;
+            if absorbed > 0 {
+                if let Some(journal) = &journal {
+                    // The imported entries exist in no snapshot or WAL
+                    // record of *this* data directory, but they change
+                    // which future admissions are logged as cache hits.
+                    // Snapshot (and compact) before serving, so a later
+                    // crash-recovery replay starts from the same warm
+                    // cache those decisions were judged against instead
+                    // of diverging on a cold one.
+                    let mut store = journal.lock();
+                    store.compact(&initial_state.export())?;
+                    initial_state.add_counter(CounterKind::WalSnapshotWritten, 1);
+                }
+            }
+            Some(absorbed)
+        }
+        None => None,
     };
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
@@ -432,7 +473,40 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         limits,
         workers,
         journal: shared.journal.clone(),
+        handoff_absorbed,
     })
+}
+
+/// Imports the template-cache section of the newest loadable snapshot in
+/// `dir` into `state`'s cache; see [`ServerConfig::handoff_from`]. Walks
+/// the donor's snapshots newest-first, skipping damaged or
+/// version-mismatched files exactly like boot recovery does, and absorbs
+/// the first readable one. Returns the number of entries imported.
+fn import_handoff_cache(state: &mut AdmissionState, dir: &Path) -> io::Result<u64> {
+    let seqs = list_snapshots(dir)?;
+    for seq in seqs.into_iter().rev() {
+        let Ok(snapshot) = load_snapshot(dir, seq) else {
+            continue;
+        };
+        if snapshot.version != FORMAT_VERSION {
+            continue;
+        }
+        let entries = snapshot
+            .cache
+            .iter()
+            .map(|e| {
+                (
+                    e.key.clone(),
+                    e.sizing.as_ref().map(|s| CachedSizing {
+                        processors: s.processors,
+                        template: Arc::new(s.template.clone()),
+                    }),
+                )
+            })
+            .collect();
+        return Ok(state.cache.absorb_entries(entries) as u64);
+    }
+    Ok(0)
 }
 
 /// Locks the state, recovering from a poisoned mutex: the state's own

@@ -29,6 +29,7 @@ fn start_server(limits: ConnectionLimits) -> ServerHandle {
         admission: AdmissionConfig::new(16).with_telemetry(256),
         limits,
         durability: None,
+        handoff_from: None,
     })
     .expect("bind loopback")
 }
@@ -50,6 +51,7 @@ fn start_durable_server(dir: &std::path::Path) -> ServerHandle {
             fsync: FsyncPolicy::Every,
             ..StoreConfig::new(dir)
         }),
+        handoff_from: None,
     })
     .expect("bind loopback with durability")
 }

@@ -20,6 +20,7 @@ fn start_server() -> ServerHandle {
         admission: AdmissionConfig::new(8).with_telemetry(256),
         limits: ConnectionLimits::default(),
         durability: None,
+        handoff_from: None,
     })
     .expect("bind loopback")
 }

@@ -22,6 +22,7 @@ fn start_server(processors: u32) -> ServerHandle {
         admission: AdmissionConfig::new(processors),
         limits: ConnectionLimits::default(),
         durability: None,
+        handoff_from: None,
     })
     .expect("bind loopback")
 }

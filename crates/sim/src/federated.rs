@@ -107,6 +107,12 @@ pub fn simulate_federated_watched(
     // Dedicated clusters.
     for cluster in schedule.clusters() {
         let task = system.task(cluster.task);
+        // Priority ranks depend only on the DAG, not on the sampled
+        // execution times — hoist them out of the per-release loop.
+        let rerun_ranks = match dispatch {
+            ClusterDispatch::RerunListScheduling => Some(policy.ranks(task.dag())),
+            ClusterDispatch::Template => None,
+        };
         let releases = config
             .arrivals
             .releases(&mut rng, task.period(), config.horizon);
@@ -137,9 +143,11 @@ pub fn simulate_federated_watched(
                     latest
                 }
                 ClusterDispatch::RerunListScheduling => {
-                    let ranks = policy.ranks(task.dag());
+                    let ranks = rerun_ranks
+                        .as_ref()
+                        .expect("hoisted above for this dispatch");
                     let rerun =
-                        list_schedule_ranked(task.dag(), cluster.processors, &ranks, &actual);
+                        list_schedule_ranked(task.dag(), cluster.processors, ranks, &actual);
                     for (v, e) in rerun.entries().iter().enumerate() {
                         // Watchdog: the on-line start deviated from the
                         // frozen template offset σᵢ — Graham-anomaly
