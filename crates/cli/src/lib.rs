@@ -971,6 +971,14 @@ pub fn serve_banner(opts: &ServeOptions, handle: &fedsched_service::ServerHandle
     );
     let _ = writeln!(
         out,
+        "  slow-request log: {}",
+        match opts.limits.slow_request {
+            Some(t) => format!("over {} ms of processing time", t.as_millis()),
+            None => "off".to_owned(),
+        },
+    );
+    let _ = writeln!(
+        out,
         "  analysis threads: {} ({})",
         fedsched_parallel::width(),
         match std::env::var("FEDSCHED_THREADS") {
@@ -1022,6 +1030,136 @@ pub fn serve_banner(opts: &ServeOptions, handle: &fedsched_service::ServerHandle
     out
 }
 
+/// Options for `fedsched loadgen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenOptions {
+    /// Target server (`None` spawns a throwaway in-process server — the
+    /// CI mode, no external orchestration needed).
+    pub addr: Option<String>,
+    /// Platform size for the spawned server (ignored with `addr`).
+    pub processors: u32,
+    /// CI shape (seconds of wall clock) instead of the benchmark shape.
+    pub quick: bool,
+    /// Where the machine-readable report is written.
+    pub out: String,
+    /// Override the preset's connection count.
+    pub connections: Option<usize>,
+    /// Override the preset's first offered rate (requests/second).
+    pub rate: Option<f64>,
+    /// Override the preset's between-rung growth factor.
+    pub growth: Option<f64>,
+    /// Override the preset's rung cap.
+    pub steps: Option<usize>,
+    /// Override the preset's per-rung warmup (milliseconds).
+    pub warmup_ms: Option<u64>,
+    /// Override the preset's per-rung measured window (milliseconds).
+    pub measure_ms: Option<u64>,
+    /// Arrival process (`poisson` or `fixed`).
+    pub process: Option<String>,
+    /// Arrival-timeline seed.
+    pub seed: Option<u64>,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> LoadgenOptions {
+        LoadgenOptions {
+            addr: None,
+            processors: 8,
+            quick: false,
+            out: "BENCH_service.json".to_owned(),
+            connections: None,
+            rate: None,
+            growth: None,
+            steps: None,
+            warmup_ms: None,
+            measure_ms: None,
+            process: None,
+            seed: None,
+        }
+    }
+}
+
+/// `fedsched loadgen`: open-loop latency sweep against an admission
+/// server — a running one (`--addr`) or a spawned in-process one —
+/// writing the `BENCH_service.json` report next to the human summary.
+///
+/// # Errors
+///
+/// Usage errors for bad overrides; I/O errors spawning the server or
+/// writing the report.
+pub fn loadgen(opts: &LoadgenOptions) -> Result<String, CliError> {
+    let mut config = if opts.quick {
+        fedsched_loadgen::SweepConfig::quick()
+    } else {
+        fedsched_loadgen::SweepConfig::full()
+    };
+    if let Some(n) = opts.connections {
+        config.load.connections = n.max(1);
+    }
+    if let Some(r) = opts.rate {
+        if r <= 0.0 {
+            return Err(CliError::Usage("--rate must be positive".into()));
+        }
+        config.start_rps = r;
+    }
+    if let Some(g) = opts.growth {
+        if g <= 1.0 {
+            return Err(CliError::Usage("--growth must be above 1.0".into()));
+        }
+        config.growth = g;
+    }
+    if let Some(n) = opts.steps {
+        config.max_steps = n.max(1);
+    }
+    if let Some(ms) = opts.warmup_ms {
+        config.load.warmup = core::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = opts.measure_ms {
+        if ms == 0 {
+            return Err(CliError::Usage("--duration-ms must be positive".into()));
+        }
+        config.load.measure = core::time::Duration::from_millis(ms);
+    }
+    if let Some(p) = &opts.process {
+        config.load.process =
+            fedsched_loadgen::ArrivalProcess::parse(p).map_err(CliError::Usage)?;
+    }
+    if let Some(s) = opts.seed {
+        config.load.seed = s;
+    }
+
+    // Spawn mode binds an ephemeral port; the sweep is the only client.
+    let spawned = match &opts.addr {
+        Some(_) => None,
+        None => Some(start_server(&ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            processors: opts.processors,
+            ..ServeOptions::default()
+        })?),
+    };
+    let addr = match (&opts.addr, &spawned) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(handle)) => handle.local_addr().to_string(),
+        (None, None) => unreachable!("spawned when no addr was given"),
+    };
+
+    let report = fedsched_loadgen::run_sweep(&addr, &config, opts.quick);
+
+    if let Some(handle) = spawned {
+        let mut client = fedsched_service::Client::connect(handle.local_addr())?;
+        client.shutdown()?;
+        handle.join();
+    }
+
+    let json = serde_json::to_string_pretty(&report)
+        .map_err(|e| CliError::Usage(format!("report serialization failed: {e}")))?;
+    std::fs::write(&opts.out, json)?;
+    let mut out = fedsched_loadgen::render_report(&report);
+    use fmt::Write as _;
+    let _ = writeln!(out, "wrote {}", opts.out);
+    Ok(out)
+}
+
 /// One `fedsched client` action.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientAction {
@@ -1069,6 +1207,13 @@ fn render_placement(placement: &fedsched_service::Placement) -> String {
     }
 }
 
+fn render_timing(timing: fedsched_service::RequestTiming) -> String {
+    format!(
+        " (server: read {}µs, parse {}µs, cache {}µs, analysis {}µs, wal {}µs)",
+        timing.read_us, timing.parse_us, timing.cache_us, timing.analysis_us, timing.wal_us
+    )
+}
+
 fn render_response(response: &fedsched_service::Response) -> String {
     use fedsched_service::Response;
     match response {
@@ -1077,19 +1222,26 @@ fn render_response(response: &fedsched_service::Response) -> String {
             placement,
             cache_hit,
             trace_id,
+            timing,
         } => format!(
-            "admitted token={token} on {}{}{}",
+            "admitted token={token} on {}{}{}{}",
             render_placement(placement),
             if *cache_hit { " (cached sizing)" } else { "" },
             trace_id
                 .map(|t| format!(" [trace:{t}]"))
-                .unwrap_or_default()
+                .unwrap_or_default(),
+            timing.map(render_timing).unwrap_or_default()
         ),
-        Response::Rejected { reason, trace_id } => format!(
-            "rejected: {reason}{}",
+        Response::Rejected {
+            reason,
+            trace_id,
+            timing,
+        } => format!(
+            "rejected: {reason}{}{}",
             trace_id
                 .map(|t| format!(" [trace:{t}]"))
-                .unwrap_or_default()
+                .unwrap_or_default(),
+            timing.map(render_timing).unwrap_or_default()
         ),
         Response::Removed { token, migrated } => {
             format!("removed token={token} ({migrated} tasks migrated)")
@@ -1254,15 +1406,25 @@ USAGE:
   fedsched serve    -m M [--policy list|cpf|lwf] [--exact-partition]
                     [--addr HOST:PORT] [--workers N] [--telemetry N]
                     [--io-timeout-ms MS] [--idle-strikes N] [--max-conns N]
-                    [--max-frame-bytes N] [--max-requests N]
+                    [--max-frame-bytes N] [--max-requests N] [--slow-ms MS]
                     [--data-dir DIR] [--fsync every|interval:MS|never]
                     [--snapshot-records N] [--snapshot-bytes N]
                     [--handoff-from DIR]
                     # admission server; GET /metrics on the same port;
                     # --io-timeout-ms 0 disables connection deadlines;
+                    # --slow-ms logs one line per request whose server-side
+                    # processing exceeds MS (0 disables);
                     # --data-dir journals decisions and recovers on boot;
                     # --handoff-from warm-starts the template cache from
                     # another server's snapshot (blue/green restarts)
+  fedsched loadgen  [--addr HOST:PORT | -m M] [--quick] [--out FILE]
+                    [--connections N] [--rate RPS] [--growth F] [--steps N]
+                    [--warmup-ms MS] [--duration-ms MS]
+                    [--process poisson|fixed] [--seed S]
+                    # open-loop latency sweep (coordinated-omission-safe):
+                    # finds the max sustainable request rate and writes
+                    # BENCH_service.json; without --addr it spawns an
+                    # in-process server on an ephemeral port
   fedsched recover  -m M --data-dir DIR [--policy list|cpf|lwf]
                     [--exact-partition]  # replay a journal, report state
   fedsched compact  -m M --data-dir DIR [--policy list|cpf|lwf]

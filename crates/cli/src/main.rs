@@ -6,9 +6,9 @@ use std::process::ExitCode;
 
 use fedsched_cli::{
     analyze, analyze_to_json, client_command_with, compact_store, dot, generate, import_stg, info,
-    parse_priority, parse_trace_format, recover_store, serve_banner, simulate, simulate_with_svg,
-    start_server, trace_export, AnalyzeOptions, CliError, ClientAction, GenerateOptions,
-    ServeOptions, SimulateOptions, USAGE,
+    loadgen, parse_priority, parse_trace_format, recover_store, serve_banner, simulate,
+    simulate_with_svg, start_server, trace_export, AnalyzeOptions, CliError, ClientAction,
+    GenerateOptions, LoadgenOptions, ServeOptions, SimulateOptions, USAGE,
 };
 use fedsched_durable::FsyncPolicy;
 
@@ -57,8 +57,16 @@ fn run() -> Result<String, CliError> {
                 | "--max-conns"
                 | "--max-frame-bytes"
                 | "--max-requests"
+                | "--slow-ms"
                 | "--timeout-ms"
                 | "--threads"
+                | "--connections"
+                | "--rate"
+                | "--growth"
+                | "--steps"
+                | "--warmup-ms"
+                | "--duration-ms"
+                | "--process"
                 | "--data-dir"
                 | "--fsync"
                 | "--snapshot-records"
@@ -150,6 +158,7 @@ fn run() -> Result<String, CliError> {
             "--max-conns",
             "--max-frame-bytes",
             "--max-requests",
+            "--slow-ms",
             "--data-dir",
             "--fsync",
             "--snapshot-records",
@@ -172,6 +181,20 @@ fn run() -> Result<String, CliError> {
             "--trace-id",
             "--format",
             "--timeout-ms",
+        ],
+        "loadgen" => &[
+            "--addr",
+            "-m",
+            "--quick",
+            "--out",
+            "--connections",
+            "--rate",
+            "--growth",
+            "--steps",
+            "--warmup-ms",
+            "--duration-ms",
+            "--process",
+            "--seed",
         ],
         _ => &[],
     };
@@ -383,6 +406,11 @@ fn run() -> Result<String, CliError> {
             if let Some(Some(v)) = flag("--max-requests") {
                 opts.limits.max_requests_per_connection = parse_num("--max-requests", v)? as u64;
             }
+            if let Some(Some(v)) = flag("--slow-ms") {
+                let ms = parse_num("--slow-ms", v)? as u64;
+                // 0 disables the slow-request log.
+                opts.limits.slow_request = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             if let Some(Some(v)) = flag("--data-dir") {
                 opts.data_dir = Some(v.into());
             }
@@ -408,6 +436,46 @@ fn run() -> Result<String, CliError> {
                     Ok("server stopped\n".to_owned())
                 }
             }
+        }
+        "loadgen" => {
+            let mut opts = LoadgenOptions {
+                quick: flag("--quick").is_some(),
+                ..LoadgenOptions::default()
+            };
+            if let Some(Some(v)) = flag("--addr") {
+                opts.addr = Some(v.to_owned());
+            }
+            if let Some(Some(v)) = flag("-m") {
+                opts.processors = parse_num("-m", v)? as u32;
+            }
+            if let Some(Some(v)) = flag("--out") {
+                opts.out = v.to_owned();
+            }
+            if let Some(Some(v)) = flag("--connections") {
+                opts.connections = Some(parse_num("--connections", v)? as usize);
+            }
+            if let Some(Some(v)) = flag("--rate") {
+                opts.rate = Some(parse_num("--rate", v)?);
+            }
+            if let Some(Some(v)) = flag("--growth") {
+                opts.growth = Some(parse_num("--growth", v)?);
+            }
+            if let Some(Some(v)) = flag("--steps") {
+                opts.steps = Some(parse_num("--steps", v)? as usize);
+            }
+            if let Some(Some(v)) = flag("--warmup-ms") {
+                opts.warmup_ms = Some(parse_num("--warmup-ms", v)? as u64);
+            }
+            if let Some(Some(v)) = flag("--duration-ms") {
+                opts.measure_ms = Some(parse_num("--duration-ms", v)? as u64);
+            }
+            if let Some(Some(v)) = flag("--process") {
+                opts.process = Some(v.to_owned());
+            }
+            if let Some(Some(v)) = flag("--seed") {
+                opts.seed = Some(parse_num("--seed", v)? as u64);
+            }
+            loadgen(&opts)
         }
         "client" => {
             let addr = flag("--addr")

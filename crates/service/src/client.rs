@@ -69,6 +69,7 @@ pub struct Client {
     config: ClientConfig,
     conn: Option<Conn>,
     rng: u64,
+    busy_retry_attempts: u64,
 }
 
 impl Client {
@@ -107,6 +108,7 @@ impl Client {
             config,
             conn: None,
             rng: seed | 1, // xorshift64 must never be seeded with zero
+            busy_retry_attempts: 0,
         };
         client.dial()?;
         Ok(client)
@@ -116,6 +118,16 @@ impl Client {
     #[must_use]
     pub fn config(&self) -> ClientConfig {
         self.config
+    }
+
+    /// How many times this client has re-sent a request after a
+    /// [`Response::Busy`] rejection, over its whole lifetime. The final
+    /// `Busy` returned when retries are exhausted is not an attempt —
+    /// this counts actual re-sends, so a load generator can tell retry
+    /// pressure apart from give-ups.
+    #[must_use]
+    pub fn busy_retry_attempts(&self) -> u64 {
+        self.busy_retry_attempts
     }
 
     fn dial(&mut self) -> io::Result<()> {
@@ -201,6 +213,7 @@ impl Client {
                     }
                     let pause = self.backoff(attempt, retry_after_ms);
                     attempt += 1;
+                    self.busy_retry_attempts += 1;
                     std::thread::sleep(pause);
                 }
                 Ok(response) => return Ok(response),
@@ -221,6 +234,7 @@ impl Client {
         self.call(&Request::Admit {
             task: task.clone(),
             trace_id: None,
+            echo_timing: false,
         })
     }
 
@@ -234,6 +248,23 @@ impl Client {
         self.call(&Request::Admit {
             task: task.clone(),
             trace_id: Some(trace_id),
+            echo_timing: false,
+        })
+    }
+
+    /// Requests admission of `task` and asks the server to echo its
+    /// per-stage timing breakdown (`timing` on `Admitted`/`Rejected`) —
+    /// how a load generator splits server time from network and queueing
+    /// time per request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::call`].
+    pub fn admit_timed(&mut self, task: &DagTask, trace_id: Option<u64>) -> io::Result<Response> {
+        self.call(&Request::Admit {
+            task: task.clone(),
+            trace_id,
+            echo_timing: true,
         })
     }
 
@@ -299,6 +330,7 @@ mod tests {
             },
             conn: None,
             rng: 0x1234_5678_9abc_def1,
+            busy_retry_attempts: 0,
         };
         for attempt in 0..32 {
             let pause = client.backoff(attempt, 0);

@@ -78,10 +78,14 @@ pub mod stats;
 pub use cache::TemplateCache;
 pub use chaos::ChaosClient;
 pub use client::{Client, ClientConfig};
-pub use protocol::{Placement, Request, Response};
+pub use protocol::{Placement, Request, RequestTiming, Response};
 pub use recovery::{recover_state, RecoverError, ReplayReport};
-pub use server::{serve, ConnectionLimits, ServerConfig, ServerHandle, TransportCounters};
+pub use server::{
+    serve, ConnectionLimits, ServerConfig, ServerHandle, StageCounters, StageTimer,
+    TransportCounters,
+};
 pub use state::{AdmissionConfig, AdmissionState, Admitted, RejectReason, Removed, UnknownToken};
 pub use stats::{
-    render_prometheus, DurabilityStats, LatencyHistogram, Stats, StatsSnapshot, TransportStats,
+    render_prometheus, DurabilityStats, LatencyHistogram, RequestStage, StageStats, Stats,
+    StatsSnapshot, TransportStats,
 };

@@ -14,6 +14,37 @@ use serde::{Deserialize, Serialize};
 
 use crate::stats::StatsSnapshot;
 
+/// Keeps `false` booleans off the wire so old peers see byte-identical
+/// messages (unknown-field tolerance covers new peers).
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
+/// The server-side stage breakdown echoed in an admission response when
+/// the request set `echo_timing` — how a load generator splits server
+/// time from network and queueing time without scraping `/metrics`.
+///
+/// All figures are microseconds, truncated. The serialize/ack stage is
+/// absent by construction: the echo is part of the serialized response,
+/// so that stage cannot time itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RequestTiming {
+    /// Reading and framing the request line (includes waiting for the
+    /// client's bytes, so think time inflates it on interactive
+    /// connections).
+    pub read_us: u64,
+    /// Parsing the framed line into a typed request.
+    pub parse_us: u64,
+    /// Template-cache lookup (zero on a cache miss: the probe time is
+    /// real sizing work then, credited to analysis).
+    pub cache_us: u64,
+    /// Admission analysis, state-lock wait included.
+    pub analysis_us: u64,
+    /// Write-ahead-log append + fsync (zero without durability).
+    pub wal_us: u64,
+}
+
 /// A client request.
 // `Admit` dominates the enum's size (a `DagTask` inlines the CSR edge
 // arenas), but requests are decoded one at a time and consumed
@@ -31,6 +62,12 @@ pub enum Request {
         /// admission produces, so one request can be followed across the
         /// protocol, the analysis phases, and an exported trace.
         trace_id: Option<u64>,
+        /// When `true`, the response carries a [`RequestTiming`] with the
+        /// server-side per-stage breakdown. Defaults to `false` and is
+        /// omitted from the wire then, so requests from older clients and
+        /// to older servers are byte-identical.
+        #[serde(default, skip_serializing_if = "is_false")]
+        echo_timing: bool,
     },
     /// Remove a previously admitted task by its token.
     Remove {
@@ -89,6 +126,10 @@ pub enum Response {
         cache_hit: bool,
         /// The request's `trace_id`, echoed back verbatim.
         trace_id: Option<u64>,
+        /// Per-stage server timing, present iff the request asked for it
+        /// with `echo_timing` (omitted from the wire otherwise).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        timing: Option<RequestTiming>,
     },
     /// The task was rejected; the state is unchanged.
     Rejected {
@@ -96,6 +137,10 @@ pub enum Response {
         reason: String,
         /// The request's `trace_id`, echoed back verbatim.
         trace_id: Option<u64>,
+        /// Per-stage server timing, present iff the request asked for it
+        /// with `echo_timing` (omitted from the wire otherwise).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        timing: Option<RequestTiming>,
     },
     /// The task was removed.
     Removed {
@@ -200,10 +245,12 @@ mod tests {
             Request::Admit {
                 task: task(),
                 trace_id: None,
+                echo_timing: false,
             },
             Request::Admit {
                 task: task(),
                 trace_id: Some(99),
+                echo_timing: true,
             },
             Request::Remove { token: 3 },
             Request::Query { token: 3 },
@@ -234,10 +281,18 @@ mod tests {
                 },
                 cache_hit: true,
                 trace_id: Some(99),
+                timing: Some(RequestTiming {
+                    read_us: 12,
+                    parse_us: 3,
+                    cache_us: 0,
+                    analysis_us: 450,
+                    wal_us: 88,
+                }),
             },
             Response::Rejected {
                 reason: "no".into(),
                 trace_id: None,
+                timing: None,
             },
             Response::Metrics {
                 text: "# HELP x y\nx 1\n".into(),
@@ -262,6 +317,7 @@ mod tests {
             Request::Admit {
                 task: task(),
                 trace_id: Some(99),
+                echo_timing: true,
             },
             Request::Remove { token: 3 },
             Request::Query { token: 4 },
@@ -284,16 +340,25 @@ mod tests {
                 },
                 cache_hit: true,
                 trace_id: Some(99),
+                timing: Some(RequestTiming {
+                    read_us: 12,
+                    parse_us: 3,
+                    cache_us: 7,
+                    analysis_us: 450,
+                    wal_us: 0,
+                }),
             },
             Response::Admitted {
                 token: 8,
                 placement: Placement::Shared { processor: 5 },
                 cache_hit: false,
                 trace_id: None,
+                timing: None,
             },
             Response::Rejected {
                 reason: "no".into(),
                 trace_id: Some(1),
+                timing: None,
             },
             Response::Removed {
                 token: 7,
@@ -388,6 +453,62 @@ mod tests {
         let extended = json.replacen('{', "{\"a_new_counter\":0,", 1);
         let back: crate::stats::StatsSnapshot = serde_json::from_str(&extended).unwrap();
         assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn timing_fields_stay_off_the_wire_unless_asked_for() {
+        // An old server must see byte-identical admits from a new client
+        // that doesn't opt in, and an old client must parse responses
+        // from a server that never echoes.
+        let silent = serde_json::to_string(&Request::Admit {
+            task: task(),
+            trace_id: None,
+            echo_timing: false,
+        })
+        .unwrap();
+        assert!(!silent.contains("echo_timing"), "through {silent}");
+        let opted_in = serde_json::to_string(&Request::Admit {
+            task: task(),
+            trace_id: None,
+            echo_timing: true,
+        })
+        .unwrap();
+        assert!(
+            opted_in.contains("\"echo_timing\":true"),
+            "through {opted_in}"
+        );
+
+        let response = serde_json::to_string(&Response::Rejected {
+            reason: "no".into(),
+            trace_id: None,
+            timing: None,
+        })
+        .unwrap();
+        assert!(!response.contains("timing"), "through {response}");
+
+        // A pre-timing peer's messages (no new fields at all) still parse.
+        let old_admit = "{\"Admit\":{\"task\":".to_owned()
+            + &serde_json::to_string(&task()).unwrap()
+            + ",\"trace_id\":null}}";
+        let back: Request = serde_json::from_str(&old_admit).unwrap();
+        assert_eq!(
+            back,
+            Request::Admit {
+                task: task(),
+                trace_id: None,
+                echo_timing: false,
+            }
+        );
+        let old_rejected = "{\"Rejected\":{\"reason\":\"no\",\"trace_id\":null}}";
+        let back: Response = serde_json::from_str(old_rejected).unwrap();
+        assert_eq!(
+            back,
+            Response::Rejected {
+                reason: "no".into(),
+                trace_id: None,
+                timing: None,
+            }
+        );
     }
 
     #[test]

@@ -50,13 +50,16 @@ use std::time::{Duration, Instant};
 use fedsched_durable::{
     list_snapshots, load_snapshot, DurableStore, LogRecord, StoreConfig, FORMAT_VERSION,
 };
-use fedsched_telemetry::CounterKind;
+use fedsched_telemetry::{monotonic_nanos, CounterKind, SpanPhase, TelemetryEvent, TraceId};
 
 use crate::cache::CachedSizing;
-use crate::protocol::{write_message, Request, Response};
+use crate::protocol::{write_message, Request, RequestTiming, Response};
 use crate::recovery::{admit_records, recover_state, remove_record, ReplayReport};
 use crate::state::{AdmissionConfig, AdmissionState};
-use crate::stats::{render_prometheus, DurabilityStats, StatsSnapshot, TransportStats};
+use crate::stats::{
+    render_prometheus, DurabilityStats, LatencyHistogram, RequestStage, StageStats, StatsSnapshot,
+    TransportStats, LATENCY_BUCKETS, REQUEST_STAGES,
+};
 
 /// Deadlines and caps protecting every served connection; see the module
 /// docs for how each knob defends the server.
@@ -79,6 +82,13 @@ pub struct ConnectionLimits {
     /// Requests one connection may issue before being asked to reconnect;
     /// clamped to at least 1.
     pub max_requests_per_connection: u64,
+    /// Slow-request log threshold (`--slow-ms`): a request whose
+    /// *processing* time — every stage except the read/frame stage, which
+    /// contains client think time — reaches it is logged to stderr as one
+    /// structured `fedsched-slow-request` line with the per-stage
+    /// breakdown, keyed by trace id. `None` (the default) disables the
+    /// log; zero is sanitized to `None`.
+    pub slow_request: Option<Duration>,
 }
 
 impl Default for ConnectionLimits {
@@ -89,6 +99,7 @@ impl Default for ConnectionLimits {
             max_frame_bytes: 1 << 20,
             max_connections: 256,
             max_requests_per_connection: 1_000_000,
+            slow_request: None,
         }
     }
 }
@@ -101,6 +112,7 @@ impl ConnectionLimits {
             max_frame_bytes: self.max_frame_bytes.max(64),
             max_connections: self.max_connections.max(1),
             max_requests_per_connection: self.max_requests_per_connection.max(1),
+            slow_request: self.slow_request.filter(|t| !t.is_zero()),
         }
     }
 
@@ -181,6 +193,155 @@ impl TransportCounters {
 
 fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A zero-allocation per-request stage stopwatch.
+///
+/// Lives on the handler's stack: two fixed arrays of nanosecond tallies
+/// and end stamps, fed by the shared telemetry clock
+/// ([`monotonic_nanos`]), so stamping a boundary is one clock read and
+/// two array writes — no heap traffic on the warm path (enforced by the
+/// counting-allocator suite in `tests/stage_alloc.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimer {
+    /// Monotonic stamp of the previous boundary.
+    last: u64,
+    /// Nanoseconds credited to each stage so far.
+    nanos: [u64; REQUEST_STAGES],
+    /// Monotonic end stamp of each stage's last credited interval (zero
+    /// until the stage is first stamped).
+    ends: [u64; REQUEST_STAGES],
+}
+
+impl StageTimer {
+    /// Starts timing a request: the first boundary is "now".
+    #[must_use]
+    pub fn start() -> StageTimer {
+        StageTimer {
+            last: monotonic_nanos(),
+            nanos: [0; REQUEST_STAGES],
+            ends: [0; REQUEST_STAGES],
+        }
+    }
+
+    /// Credits the interval since the previous boundary to `stage` and
+    /// advances the boundary. Safe to call repeatedly for the same stage
+    /// (intervals accumulate — a frame resumed across read deadlines
+    /// credits each attempt).
+    pub fn stamp(&mut self, stage: RequestStage) {
+        let now = monotonic_nanos();
+        let i = stage.index();
+        self.nanos[i] = self.nanos[i].saturating_add(now.saturating_sub(self.last));
+        self.ends[i] = now;
+        self.last = now;
+    }
+
+    /// Credits the interval since the previous boundary to the three
+    /// dispatch-internal stages at once: `cache_ns` to the cache lookup,
+    /// `wal_ns` to the WAL append, and the remainder (lock wait and the
+    /// analysis itself) to the analysis stage.
+    pub fn stamp_dispatch(&mut self, cache_ns: u64, wal_ns: u64) {
+        let now = monotonic_nanos();
+        let total = now.saturating_sub(self.last);
+        let analysis = total.saturating_sub(cache_ns).saturating_sub(wal_ns);
+        let cache = RequestStage::CacheLookup.index();
+        let wal = RequestStage::WalAppend.index();
+        let ana = RequestStage::Analysis.index();
+        self.nanos[cache] = self.nanos[cache].saturating_add(cache_ns);
+        self.nanos[wal] = self.nanos[wal].saturating_add(wal_ns);
+        self.nanos[ana] = self.nanos[ana].saturating_add(analysis);
+        self.ends[cache] = now;
+        self.ends[wal] = now;
+        self.ends[ana] = now;
+        self.last = now;
+    }
+
+    /// Nanoseconds credited to `stage` so far.
+    #[must_use]
+    pub fn nanos(&self, stage: RequestStage) -> u64 {
+        self.nanos[stage.index()]
+    }
+
+    /// Microseconds credited to `stage` so far (truncating).
+    #[must_use]
+    pub fn micros(&self, stage: RequestStage) -> u64 {
+        self.nanos[stage.index()] / 1_000
+    }
+
+    /// Total processing nanoseconds: every stage except read/frame, which
+    /// contains the wait for the client's bytes and would make every idle
+    /// interactive session look slow.
+    #[must_use]
+    pub fn processing_nanos(&self) -> u64 {
+        RequestStage::ALL
+            .iter()
+            .filter(|s| **s != RequestStage::ReadFrame)
+            .map(|s| self.nanos[s.index()])
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// The monotonic `(start, end)` of `stage`'s last credited interval,
+    /// or `None` if the stage was never stamped — what the Chrome server
+    /// lane replays as a span.
+    #[must_use]
+    pub fn last_interval(&self, stage: RequestStage) -> Option<(u64, u64)> {
+        let i = stage.index();
+        (self.ends[i] != 0).then(|| (self.ends[i].saturating_sub(self.nanos[i]), self.ends[i]))
+    }
+}
+
+/// Lock-free per-stage pipeline histograms kept by the connection layer,
+/// mirroring the [`TransportCounters`] design: the handler records into
+/// atomics without the admission lock, snapshots merge into
+/// [`StatsSnapshot`].
+#[derive(Debug)]
+pub struct StageCounters {
+    requests_total: AtomicU64,
+    buckets: [[AtomicU64; LATENCY_BUCKETS]; REQUEST_STAGES],
+}
+
+impl Default for StageCounters {
+    fn default() -> StageCounters {
+        StageCounters {
+            requests_total: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+impl StageCounters {
+    /// Records one fully answered request: every stage's tally lands in
+    /// its power-of-two bucket (zero-duration stages in bucket 0), then
+    /// the request total is bumped — so each per-stage histogram count
+    /// equals `requests_total` at all times, fault injection included.
+    /// Allocation-free.
+    pub fn record(&self, timer: &StageTimer) {
+        for stage in RequestStage::ALL {
+            let bucket = LatencyHistogram::bucket_for_micros(u128::from(timer.micros(stage)));
+            self.buckets[stage.index()][bucket].fetch_add(1, Ordering::Relaxed);
+        }
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all stage buckets and the request total.
+    #[must_use]
+    pub fn snapshot(&self) -> StageStats {
+        let load = |stage: RequestStage| -> Vec<u64> {
+            self.buckets[stage.index()]
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect()
+        };
+        StageStats {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            read_frame_buckets_us: load(RequestStage::ReadFrame),
+            parse_buckets_us: load(RequestStage::Parse),
+            cache_lookup_buckets_us: load(RequestStage::CacheLookup),
+            analysis_buckets_us: load(RequestStage::Analysis),
+            wal_append_buckets_us: load(RequestStage::WalAppend),
+            serialize_buckets_us: load(RequestStage::Serialize),
+        }
+    }
 }
 
 /// The semaphore bounding concurrently served connections, doubling as
@@ -291,6 +452,7 @@ struct Shared {
     local_addr: SocketAddr,
     workers: usize,
     journal: Option<Arc<Journal>>,
+    stages: Arc<StageCounters>,
 }
 
 /// A running server: the bound address, the shared state, and the worker
@@ -306,6 +468,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     journal: Option<Arc<Journal>>,
     handoff_absorbed: Option<u64>,
+    stages: Arc<StageCounters>,
 }
 
 impl ServerHandle {
@@ -335,6 +498,20 @@ impl ServerHandle {
     #[must_use]
     pub fn transport_stats(&self) -> TransportStats {
         self.counters.snapshot()
+    }
+
+    /// The connection layer's lock-free per-stage pipeline histograms.
+    /// Like [`Self::transport`], the handle outlives
+    /// [`Self::shutdown`]/[`Self::join`].
+    #[must_use]
+    pub fn stage_counters(&self) -> Arc<StageCounters> {
+        Arc::clone(&self.stages)
+    }
+
+    /// A point-in-time copy of the per-stage pipeline histograms.
+    #[must_use]
+    pub fn stage_stats(&self) -> StageStats {
+        self.stages.snapshot()
     }
 
     /// What boot recovery replayed from the data directory, or `None`
@@ -451,6 +628,7 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         local_addr,
         workers: worker_count,
         journal,
+        stages: Arc::new(StageCounters::default()),
     });
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
@@ -474,6 +652,7 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         workers,
         journal: shared.journal.clone(),
         handoff_absorbed,
+        stages: Arc::clone(&shared.stages),
     })
 }
 
@@ -668,6 +847,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
             return Ok(false);
         }
         buf.clear();
+        let mut timer = StageTimer::start();
         loop {
             match read_frame(&mut reader, &mut buf, shared.limits.max_frame_bytes)? {
                 Frame::Line => break,
@@ -710,6 +890,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
             }
         }
         strikes = 0;
+        timer.stamp(RequestStage::ReadFrame);
         let Ok(text) = std::str::from_utf8(&buf) else {
             bump(&shared.counters.malformed_requests);
             let _ = write_message(
@@ -730,12 +911,20 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
         }
         match serde_json::from_str::<Request>(trimmed) {
             Ok(request) => {
+                timer.stamp(RequestStage::Parse);
+                let trace_id = match &request {
+                    Request::Admit { trace_id, .. } => *trace_id,
+                    _ => None,
+                };
                 let stop = matches!(request, Request::Shutdown);
                 if stop {
                     shared.shutdown.store(true, Ordering::Release);
                 }
-                let response = dispatch(request, shared);
+                let response = dispatch(request, shared, &mut timer);
                 write_message(&mut writer, &response)?;
+                timer.stamp(RequestStage::Serialize);
+                shared.stages.record(&timer);
+                log_slow_request(&shared.limits, trace_id, &timer);
                 if stop {
                     return Ok(true);
                 }
@@ -778,6 +967,7 @@ fn merged_snapshot(shared: &Shared) -> StatsSnapshot {
     // rendering (and the scrape write) must never block admissions.
     let mut snapshot = lock(&shared.state).snapshot();
     snapshot.transport = shared.counters.snapshot();
+    snapshot.stages = shared.stages.snapshot();
     if let Some(journal) = &shared.journal {
         let store = journal.lock();
         let wal = store.wal_stats();
@@ -851,34 +1041,132 @@ fn serve_metrics_http<W: Write>(writer: &mut W, shared: &Shared) -> io::Result<(
     writer.flush()
 }
 
-/// Maps one request to its response against the shared state.
-fn dispatch(request: Request, shared: &Shared) -> Response {
+/// Builds the per-request timing echo from the stages the timer has
+/// credited so far (everything but serialize, which cannot echo itself).
+fn request_timing(timer: &StageTimer) -> RequestTiming {
+    RequestTiming {
+        read_us: timer.micros(RequestStage::ReadFrame),
+        parse_us: timer.micros(RequestStage::Parse),
+        cache_us: timer.micros(RequestStage::CacheLookup),
+        analysis_us: timer.micros(RequestStage::Analysis),
+        wal_us: timer.micros(RequestStage::WalAppend),
+    }
+}
+
+/// Emits one structured `fedsched-slow-request` stderr line when the
+/// request's *processing* time (every stage except read/frame, which
+/// contains client think time) reached the configured `--slow-ms`
+/// threshold.
+fn log_slow_request(limits: &ConnectionLimits, trace_id: Option<u64>, timer: &StageTimer) {
+    let Some(threshold) = limits.slow_request else {
+        return;
+    };
+    let processing = timer.processing_nanos();
+    if u128::from(processing) < threshold.as_nanos() {
+        return;
+    }
+    let trace = match trace_id {
+        Some(id) => id.to_string(),
+        None => "-".to_owned(),
+    };
+    eprintln!(
+        "fedsched-slow-request trace_id={trace} total_us={} read_us={} parse_us={} cache_us={} analysis_us={} wal_us={} serialize_us={}",
+        processing / 1_000,
+        timer.micros(RequestStage::ReadFrame),
+        timer.micros(RequestStage::Parse),
+        timer.micros(RequestStage::CacheLookup),
+        timer.micros(RequestStage::Analysis),
+        timer.micros(RequestStage::WalAppend),
+        timer.micros(RequestStage::Serialize),
+    );
+}
+
+/// Replays the read/frame and parse intervals the handler stamped before
+/// taking the state lock as retro-dated server-lane spans, so the Chrome
+/// export shows the full request pipeline, not only what happens inside
+/// dispatch.
+fn emit_request_spans(guard: &mut AdmissionState, trace_id: Option<u64>, timer: &StageTimer) {
+    if !guard.sink.is_enabled() {
+        return;
+    }
+    for (stage, phase) in [
+        (RequestStage::ReadFrame, SpanPhase::RequestRead),
+        (RequestStage::Parse, SpanPhase::RequestParse),
+    ] {
+        if let Some((start_nanos, end_nanos)) = timer.last_interval(stage) {
+            guard.sink.record(TelemetryEvent::Span {
+                trace_id: trace_id.map(TraceId),
+                phase,
+                start_nanos,
+                end_nanos,
+            });
+        }
+    }
+}
+
+/// Maps one request to its response against the shared state, crediting
+/// the dispatch interval to the cache-lookup / analysis / WAL-append
+/// stages of `timer` on the way out.
+fn dispatch(request: Request, shared: &Shared, timer: &mut StageTimer) -> Response {
     let state = &shared.state;
     match request {
-        Request::Admit { task, trace_id } => {
+        Request::Admit {
+            task,
+            trace_id,
+            echo_timing,
+        } => {
             let mut guard = lock(state);
             // The journal needs the task after admission consumes it.
             let journaled = shared.journal.as_ref().map(|_| task.clone());
             let cache_len_before = guard.cache.len();
             let cache_hits_before = guard.cache.hits();
+            let sizing_nanos_before = guard.probe.sizing_nanos;
             let result = guard.admit_traced(task, trace_id);
+            // On a template-cache hit the whole sizing-probe delta *is*
+            // the cache lookup (admit_high spans it as CacheLookup); on a
+            // miss the delta is real sizing work, credited to analysis.
+            let cache_ns = if guard.cache.hits() > cache_hits_before {
+                guard.probe.sizing_nanos.saturating_sub(sizing_nanos_before)
+            } else {
+                0
+            };
+            let mut wal_ns = 0u64;
             if let (Some(journal), Some(task)) = (shared.journal.as_deref(), journaled) {
                 let records =
                     admit_records(&guard, &task, &result, cache_len_before, cache_hits_before);
-                if let Err(e) = journal_append(journal, &mut guard, &records) {
+                let wal_start = monotonic_nanos();
+                let appended = journal_append(journal, &mut guard, &records);
+                let wal_end = monotonic_nanos();
+                wal_ns = wal_end.saturating_sub(wal_start);
+                if guard.sink.is_enabled() {
+                    guard.sink.record(TelemetryEvent::Span {
+                        trace_id: trace_id.map(TraceId),
+                        phase: SpanPhase::WalAppend,
+                        start_nanos: wal_start,
+                        end_nanos: wal_end,
+                    });
+                }
+                if let Err(e) = appended {
+                    timer.stamp_dispatch(cache_ns, wal_ns);
                     return journal_error(&e);
                 }
             }
+            emit_request_spans(&mut guard, trace_id, timer);
+            drop(guard);
+            timer.stamp_dispatch(cache_ns, wal_ns);
+            let timing = echo_timing.then(|| request_timing(timer));
             match result {
                 Ok(admitted) => Response::Admitted {
                     token: admitted.token,
                     placement: admitted.placement,
                     cache_hit: admitted.cache_hit,
                     trace_id,
+                    timing,
                 },
                 Err(reason) => Response::Rejected {
                     reason: reason.to_string(),
                     trace_id,
+                    timing,
                 },
             }
         }
@@ -887,35 +1175,59 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
             let anomalies_before = guard.stats.remove_anomalies;
             match guard.remove(token) {
                 Ok(removed) => {
+                    let mut wal_ns = 0u64;
                     if let Some(journal) = shared.journal.as_deref() {
                         let record = remove_record(&guard, token, anomalies_before);
-                        if let Err(e) = journal_append(journal, &mut guard, &[record]) {
+                        let wal_start = monotonic_nanos();
+                        let appended = journal_append(journal, &mut guard, &[record]);
+                        wal_ns = monotonic_nanos().saturating_sub(wal_start);
+                        if let Err(e) = appended {
+                            timer.stamp_dispatch(0, wal_ns);
                             return journal_error(&e);
                         }
                     }
+                    drop(guard);
+                    timer.stamp_dispatch(0, wal_ns);
                     Response::Removed {
                         token: removed.token,
                         migrated: removed.migrated,
                     }
                 }
-                Err(_) => Response::NotFound { token },
+                Err(_) => {
+                    drop(guard);
+                    timer.stamp_dispatch(0, 0);
+                    Response::NotFound { token }
+                }
             }
         }
-        Request::Query { token } => match lock(state).query(token) {
-            Some(placement) => Response::TaskInfo { token, placement },
-            None => Response::NotFound { token },
-        },
-        Request::Stats => Response::Stats {
-            snapshot: merged_snapshot(shared),
-        },
-        Request::StatsPrometheus => Response::Metrics {
-            text: render_prometheus(&merged_snapshot(shared)),
-        },
+        Request::Query { token } => {
+            let response = match lock(state).query(token) {
+                Some(placement) => Response::TaskInfo { token, placement },
+                None => Response::NotFound { token },
+            };
+            timer.stamp_dispatch(0, 0);
+            response
+        }
+        Request::Stats => {
+            let response = Response::Stats {
+                snapshot: merged_snapshot(shared),
+            };
+            timer.stamp_dispatch(0, 0);
+            response
+        }
+        Request::StatsPrometheus => {
+            let response = Response::Metrics {
+                text: render_prometheus(&merged_snapshot(shared)),
+            };
+            timer.stamp_dispatch(0, 0);
+            response
+        }
         Request::Shutdown => {
             // Flush the tail before acknowledging, whatever the policy.
             if let Some(journal) = &shared.journal {
                 let _ = journal.lock().sync();
             }
+            timer.stamp_dispatch(0, 0);
             Response::ShuttingDown
         }
     }
@@ -1027,6 +1339,7 @@ mod tests {
             max_frame_bytes: 0,
             max_connections: 0,
             max_requests_per_connection: 0,
+            slow_request: Some(Duration::ZERO),
         }
         .sanitized();
         assert_eq!(limits.io_timeout, None, "zero deadline means no deadline");
@@ -1034,6 +1347,59 @@ mod tests {
         assert_eq!(limits.max_frame_bytes, 64);
         assert_eq!(limits.max_connections, 1);
         assert_eq!(limits.max_requests_per_connection, 1);
+        assert_eq!(
+            limits.slow_request, None,
+            "a zero slow threshold would log everything; treat it as off"
+        );
+    }
+
+    #[test]
+    fn stage_timer_credits_intervals_and_sums_processing_time() {
+        let mut timer = StageTimer::start();
+        timer.stamp(RequestStage::ReadFrame);
+        std::thread::sleep(Duration::from_millis(2));
+        timer.stamp(RequestStage::Parse);
+        timer.stamp_dispatch(0, 0);
+        timer.stamp(RequestStage::Serialize);
+        assert!(timer.nanos(RequestStage::Parse) >= 1_000_000);
+        let (start, end) = timer
+            .last_interval(RequestStage::Parse)
+            .expect("parse was stamped");
+        assert_eq!(end - start, timer.nanos(RequestStage::Parse));
+        assert!(
+            timer.last_interval(RequestStage::ReadFrame).is_some(),
+            "read was stamped"
+        );
+        let processing: u64 = RequestStage::ALL
+            .iter()
+            .filter(|s| **s != RequestStage::ReadFrame)
+            .map(|s| timer.nanos(*s))
+            .sum();
+        assert_eq!(timer.processing_nanos(), processing);
+        assert!(timer.micros(RequestStage::Parse) >= 1_000);
+    }
+
+    #[test]
+    fn stage_counters_record_every_stage_once_per_request() {
+        let counters = StageCounters::default();
+        let mut timer = StageTimer::start();
+        timer.stamp(RequestStage::ReadFrame);
+        timer.stamp(RequestStage::Parse);
+        timer.stamp_dispatch(5_000, 3_000);
+        timer.stamp(RequestStage::Serialize);
+        counters.record(&timer);
+        counters.record(&timer);
+        let stats = counters.snapshot();
+        assert_eq!(stats.requests_total, 2);
+        for stage in RequestStage::ALL {
+            let total: u64 = stats.buckets(stage).iter().sum();
+            assert_eq!(
+                total,
+                2,
+                "stage {} must record exactly once per request",
+                stage.name()
+            );
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ use fedsched_telemetry::{CounterKind, EventSink, SpanPhase, TelemetryEvent, Trac
 
 use crate::cache::{CachedSizing, TemplateCache};
 use crate::protocol::Placement;
-use crate::stats::{DurabilityStats, Stats, StatsSnapshot, TransportStats};
+use crate::stats::{DurabilityStats, StageStats, Stats, StatsSnapshot, TransportStats};
 
 /// Static configuration of an [`AdmissionState`].
 #[derive(Debug, Clone, Copy)]
@@ -321,6 +321,9 @@ impl AdmissionState {
             // Likewise: the journal lives with the server, which fills
             // this in when durability is enabled.
             durability: DurabilityStats::default(),
+            // And the per-stage pipeline histograms, kept lock-free by
+            // the connection layer.
+            stages: StageStats::default(),
         }
     }
 

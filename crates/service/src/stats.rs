@@ -7,6 +7,99 @@ use serde::{Deserialize, Serialize};
 /// that took `[2^i, 2^{i+1})` microseconds (the last bucket is open-ended).
 pub const LATENCY_BUCKETS: usize = 22;
 
+/// Number of pipeline stages every served request is decomposed into.
+pub const REQUEST_STAGES: usize = 6;
+
+/// One stage of the server's request pipeline, in serving order.
+///
+/// Every request the server fully answers is recorded **exactly once** in
+/// every stage's histogram — stages that did not apply (no cache lookup on
+/// a `Stats` request, no WAL append without durability) record a zero
+/// duration. That invariant makes the per-stage histogram `_count`s equal
+/// `fedsched_requests_total`, so a dashboard can always divide by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestStage {
+    /// Reading and framing the request line off the socket (includes
+    /// waiting for the client's bytes, so queueing at the socket shows up
+    /// here).
+    ReadFrame = 0,
+    /// UTF-8 validation plus JSON parsing of the framed line.
+    Parse = 1,
+    /// Template-cache lookup of a high-density admission (zero unless the
+    /// sizing was served from the cache).
+    CacheLookup = 2,
+    /// The admission/removal/stats work itself: everything inside dispatch
+    /// that is neither a cache hit nor the WAL append.
+    Analysis = 3,
+    /// Appending the decision's records to the write-ahead log, fsync and
+    /// threshold snapshots included (zero without durability).
+    WalAppend = 4,
+    /// Serializing the response and writing it back to the client.
+    Serialize = 5,
+}
+
+impl RequestStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [RequestStage; REQUEST_STAGES] = [
+        RequestStage::ReadFrame,
+        RequestStage::Parse,
+        RequestStage::CacheLookup,
+        RequestStage::Analysis,
+        RequestStage::WalAppend,
+        RequestStage::Serialize,
+    ];
+
+    /// The stable lower-snake name used in metric names and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestStage::ReadFrame => "read_frame",
+            RequestStage::Parse => "parse",
+            RequestStage::CacheLookup => "cache_lookup",
+            RequestStage::Analysis => "analysis",
+            RequestStage::WalAppend => "wal_append",
+            RequestStage::Serialize => "serialize",
+        }
+    }
+
+    /// The stage's index into per-stage arrays (pipeline order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// HELP text for the stage's Prometheus histogram.
+    #[must_use]
+    pub fn help(self) -> &'static str {
+        match self {
+            RequestStage::ReadFrame => {
+                "Time reading and framing the request line, client wait included, microseconds \
+                 (power-of-two buckets: derived quantiles are bucket upper bounds)"
+            }
+            RequestStage::Parse => {
+                "Time validating UTF-8 and parsing the request JSON, microseconds \
+                 (power-of-two buckets: derived quantiles are bucket upper bounds)"
+            }
+            RequestStage::CacheLookup => {
+                "Time serving a sizing from the template cache, zero on misses and non-admissions, \
+                 microseconds (power-of-two buckets: derived quantiles are bucket upper bounds)"
+            }
+            RequestStage::Analysis => {
+                "Time in admission analysis and state mutation, lock wait included, microseconds \
+                 (power-of-two buckets: derived quantiles are bucket upper bounds)"
+            }
+            RequestStage::WalAppend => {
+                "Time appending to the write-ahead log, fsync included, zero without durability, \
+                 microseconds (power-of-two buckets: derived quantiles are bucket upper bounds)"
+            }
+            RequestStage::Serialize => {
+                "Time serializing and writing the response, microseconds \
+                 (power-of-two buckets: derived quantiles are bucket upper bounds)"
+            }
+        }
+    }
+}
+
 /// A power-of-two histogram of admission-decision latencies, in
 /// microseconds. Bucket `i` covers `[2^i, 2^{i+1})` µs; sub-microsecond
 /// decisions land in bucket 0 and anything from about 35 minutes up
@@ -33,13 +126,20 @@ impl LatencyHistogram {
 
     /// Records one operation that took `elapsed`.
     pub fn record(&mut self, elapsed: std::time::Duration) {
-        let us = elapsed.as_micros();
-        let bucket = if us <= 1 {
+        self.buckets[Self::bucket_for_micros(elapsed.as_micros())] += 1;
+    }
+
+    /// The bucket index an observation of `us` microseconds falls into:
+    /// `⌊log2 us⌋`, clamped into `[0, LATENCY_BUCKETS)`. Shared by this
+    /// histogram and the server's lock-free per-stage bucket atomics so
+    /// both bucket identically.
+    #[must_use]
+    pub fn bucket_for_micros(us: u128) -> usize {
+        if us <= 1 {
             0
         } else {
             (127 - u128::leading_zeros(us) as usize).min(LATENCY_BUCKETS - 1)
-        };
-        self.buckets[bucket] += 1;
+        }
     }
 
     /// Total number of recorded operations.
@@ -190,6 +290,71 @@ pub struct DurabilityStats {
     pub snapshots_skipped: u64,
 }
 
+/// Per-stage request-pipeline latency buckets plus the request total they
+/// all sum to.
+///
+/// Kept in lock-free atomics by the server (the hot path must not take the
+/// admission lock to time transport stages) and merged into
+/// [`StatsSnapshot`] when a snapshot is taken. The invariant documented on
+/// [`RequestStage`] holds: each stage's bucket counts sum to
+/// `requests_total`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Requests fully answered on the NDJSON protocol since start.
+    /// Aborted exchanges (malformed lines, oversized frames, idle
+    /// timeouts, `GET /metrics` scrapes) are not requests and count in
+    /// the transport counters instead.
+    pub requests_total: u64,
+    /// [`RequestStage::ReadFrame`] buckets, `[2^i, 2^{i+1})` µs each.
+    pub read_frame_buckets_us: Vec<u64>,
+    /// [`RequestStage::Parse`] buckets.
+    pub parse_buckets_us: Vec<u64>,
+    /// [`RequestStage::CacheLookup`] buckets.
+    pub cache_lookup_buckets_us: Vec<u64>,
+    /// [`RequestStage::Analysis`] buckets.
+    pub analysis_buckets_us: Vec<u64>,
+    /// [`RequestStage::WalAppend`] buckets.
+    pub wal_append_buckets_us: Vec<u64>,
+    /// [`RequestStage::Serialize`] buckets.
+    pub serialize_buckets_us: Vec<u64>,
+}
+
+impl Default for StageStats {
+    fn default() -> StageStats {
+        StageStats {
+            requests_total: 0,
+            read_frame_buckets_us: vec![0; LATENCY_BUCKETS],
+            parse_buckets_us: vec![0; LATENCY_BUCKETS],
+            cache_lookup_buckets_us: vec![0; LATENCY_BUCKETS],
+            analysis_buckets_us: vec![0; LATENCY_BUCKETS],
+            wal_append_buckets_us: vec![0; LATENCY_BUCKETS],
+            serialize_buckets_us: vec![0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl StageStats {
+    /// The bucket counts of one stage.
+    #[must_use]
+    pub fn buckets(&self, stage: RequestStage) -> &[u64] {
+        match stage {
+            RequestStage::ReadFrame => &self.read_frame_buckets_us,
+            RequestStage::Parse => &self.parse_buckets_us,
+            RequestStage::CacheLookup => &self.cache_lookup_buckets_us,
+            RequestStage::Analysis => &self.analysis_buckets_us,
+            RequestStage::WalAppend => &self.wal_append_buckets_us,
+            RequestStage::Serialize => &self.serialize_buckets_us,
+        }
+    }
+
+    /// One stage's buckets rebuilt as a [`LatencyHistogram`], for quantile
+    /// queries.
+    #[must_use]
+    pub fn histogram(&self, stage: RequestStage) -> LatencyHistogram {
+        LatencyHistogram::from_buckets(self.buckets(stage))
+    }
+}
+
 /// A point-in-time, serializable view of the server's counters, returned by
 /// the `Stats` request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -240,6 +405,11 @@ pub struct StatsSnapshot {
     /// Write-ahead-log and snapshot counters; all zeros when the server
     /// runs without durability.
     pub durability: DurabilityStats,
+    /// Per-stage request-pipeline latency decomposition (and the request
+    /// total every stage's buckets sum to). Defaults for snapshots from
+    /// servers predating the decomposition.
+    #[serde(default)]
+    pub stages: StageStats,
 }
 
 /// Renders a snapshot in the Prometheus text exposition format — the body
@@ -462,9 +632,30 @@ pub fn render_prometheus(snapshot: &StatsSnapshot) -> String {
 
     out.power_of_two_histogram(
         "fedsched_admit_latency_us",
-        "Admission decision latency, microseconds",
+        "Admission decision latency, microseconds (power-of-two buckets: the _sum and any \
+         quantile derived from this histogram are bucket upper bounds, within 2x of the true \
+         value, never below it)",
         &snapshot.latency_buckets_us,
     );
+
+    out.header(
+        "fedsched_requests_total",
+        "Requests fully answered on the NDJSON protocol; every fedsched_stage_duration_* \
+         histogram records each of them exactly once",
+        "counter",
+    );
+    out.sample(
+        "fedsched_requests_total",
+        &[],
+        snapshot.stages.requests_total,
+    );
+    for stage in RequestStage::ALL {
+        out.power_of_two_histogram(
+            &format!("fedsched_stage_duration_{}_us", stage.name()),
+            stage.help(),
+            snapshot.stages.buckets(stage),
+        );
+    }
 
     fedsched_telemetry::render_probe("fedsched_analysis", &snapshot.probe, &mut out);
     out.finish()
@@ -563,6 +754,10 @@ mod tests {
                 truncated_bytes: 17,
                 snapshots_skipped: 0,
             },
+            stages: StageStats {
+                requests_total: 3,
+                ..StageStats::default()
+            },
         };
         let text = render_prometheus(&snapshot);
         fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
@@ -590,6 +785,125 @@ mod tests {
             "fedsched_drained_connections_total 4",
         ] {
             assert!(text.lines().any(|l| l == line), "missing {line:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn every_histogram_family_ends_with_an_inf_bucket_matching_its_count() {
+        let mut snapshot = StatsSnapshot {
+            processors: 4,
+            dedicated_processors: 0,
+            shared_processors: 4,
+            resident_tasks: 0,
+            admitted_high: 0,
+            admitted_low: 0,
+            rejected_high: 0,
+            rejected_low: 0,
+            removed: 0,
+            remove_anomalies: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            latency_buckets_us: vec![0; LATENCY_BUCKETS],
+            latency_p50_us: None,
+            latency_p90_us: None,
+            latency_p99_us: None,
+            probe: AnalysisProbe::default(),
+            transport: TransportStats::default(),
+            durability: DurabilityStats::default(),
+            stages: StageStats::default(),
+        };
+        snapshot.latency_buckets_us[0] = 2;
+        snapshot.latency_buckets_us[LATENCY_BUCKETS - 1] = 1;
+        snapshot.stages.requests_total = 5;
+        snapshot.stages.parse_buckets_us[3] = 5;
+        let text = render_prometheus(&snapshot);
+        // Collect every histogram family: each must close with a +Inf
+        // bucket whose cumulative value equals the family's _count.
+        let mut inf: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if let Some((series, value)) = line.rsplit_once(' ') {
+                if let Some(name) = series.strip_suffix("_bucket{le=\"+Inf\"}") {
+                    inf.insert(name, value.parse().unwrap());
+                } else if let Some(name) = series.strip_suffix("_count") {
+                    counts.insert(name, value.parse().unwrap());
+                }
+            }
+        }
+        let expected: Vec<String> = std::iter::once("fedsched_admit_latency_us".to_owned())
+            .chain(
+                RequestStage::ALL
+                    .iter()
+                    .map(|s| format!("fedsched_stage_duration_{}_us", s.name())),
+            )
+            .collect();
+        for family in &expected {
+            let inf_value = *inf
+                .get(family.as_str())
+                .unwrap_or_else(|| panic!("{family} has no +Inf bucket:\n{text}"));
+            let count = counts[family.as_str()];
+            assert_eq!(inf_value, count, "{family}: +Inf bucket != _count");
+        }
+        assert_eq!(inf["fedsched_admit_latency_us"], 3);
+        assert_eq!(inf["fedsched_stage_duration_parse_us"], 5);
+        assert!(text.lines().any(|l| l == "fedsched_requests_total 5"));
+    }
+
+    #[test]
+    fn latency_help_text_declares_bucket_upper_bound_semantics() {
+        let snapshot = StatsSnapshot {
+            processors: 1,
+            dedicated_processors: 0,
+            shared_processors: 1,
+            resident_tasks: 0,
+            admitted_high: 0,
+            admitted_low: 0,
+            rejected_high: 0,
+            rejected_low: 0,
+            removed: 0,
+            remove_anomalies: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            latency_buckets_us: vec![0; LATENCY_BUCKETS],
+            latency_p50_us: None,
+            latency_p90_us: None,
+            latency_p99_us: None,
+            probe: AnalysisProbe::default(),
+            transport: TransportStats::default(),
+            durability: DurabilityStats::default(),
+            stages: StageStats::default(),
+        };
+        let text = render_prometheus(&snapshot);
+        // Every latency histogram HELP line must label its quantiles for
+        // what they are: power-of-two bucket upper bounds, not exact.
+        for line in text.lines().filter(|l| {
+            l.starts_with("# HELP fedsched_admit_latency_us")
+                || l.starts_with("# HELP fedsched_stage_duration_")
+        }) {
+            assert!(
+                line.contains("upper bounds"),
+                "HELP must declare upper-bound semantics: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_stats_expose_buckets_and_histograms_per_stage() {
+        let mut stages = StageStats::default();
+        stages.wal_append_buckets_us[4] = 7;
+        assert_eq!(stages.buckets(RequestStage::WalAppend)[4], 7);
+        assert_eq!(stages.buckets(RequestStage::Parse)[4], 0);
+        let h = stages.histogram(RequestStage::WalAppend);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.quantile(0.5), Some(32), "bucket 4 upper edge");
+        for stage in RequestStage::ALL {
+            assert_eq!(stages.buckets(stage).len(), LATENCY_BUCKETS);
+            assert!(stage
+                .name()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_'));
         }
     }
 
@@ -629,11 +943,27 @@ mod tests {
                 wal_records_appended: 3,
                 ..DurabilityStats::default()
             },
+            stages: StageStats {
+                requests_total: 12,
+                ..StageStats::default()
+            },
         };
         let json = serde_json::to_string(&snapshot).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.transport, snapshot.transport);
         assert_eq!(back.durability, snapshot.durability);
+        assert_eq!(back.stages, snapshot.stages);
+        // A snapshot from a server predating the stage decomposition
+        // deserializes with default (empty) stage stats.
+        let stripped = {
+            let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            if let serde_json::Value::Map(entries) = &mut v {
+                entries.retain(|(k, _)| k != "stages");
+            }
+            serde_json::to_string(&v).unwrap()
+        };
+        let old: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.stages, StageStats::default());
     }
 
     #[test]
@@ -676,6 +1006,7 @@ mod tests {
             probe: AnalysisProbe::default(),
             transport: TransportStats::default(),
             durability: DurabilityStats::default(),
+            stages: StageStats::default(),
         };
         let text = render_prometheus(&snapshot);
         fedsched_telemetry::validate_exposition(&text).expect("exposition parses");

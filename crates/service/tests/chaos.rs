@@ -566,3 +566,102 @@ fn a_torn_wal_tail_is_truncated_and_the_server_restarts_serving() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn stage_histogram_counts_equal_the_request_total_under_fault_injection() {
+    // The per-stage decomposition's core invariant: every *fully
+    // answered* request lands exactly once in each of the six stage
+    // histograms — and aborted paths (garbage frames, floods, slowloris
+    // strike-outs) land in none of them. Fault traffic must not be able
+    // to desynchronize the columns.
+    let handle = start_server(ConnectionLimits {
+        io_timeout: Some(Duration::from_millis(150)),
+        idle_strikes: 2,
+        max_frame_bytes: 4 * 1024,
+        ..ConnectionLimits::default()
+    });
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // Fault injection: a garbage line (malformed → answered but aborted
+    // before dispatch), a newline-free flood (oversized), and a slowloris
+    // trickle (strikes out without ever completing a frame).
+    let mut garbage = ChaosClient::connect(addr).expect("garbage connect");
+    garbage.send(b"\x00\xffnot json at all\n").expect("send");
+    let mut flood = ChaosClient::connect(addr).expect("flood connect");
+    flood
+        .set_io_timeout(Some(Duration::from_millis(500)))
+        .expect("set deadline");
+    let _ = flood.flood(b'a', 64 * 1024);
+    let trickler = std::thread::spawn(move || {
+        let mut chaos = ChaosClient::connect(addr).expect("trickle connect");
+        chaos.trickle(b"{\"Admit\":{", Duration::from_millis(400));
+    });
+
+    // Interleaved real traffic: admissions, queries (hit and miss),
+    // stats, and a Prometheus fetch — every one a fully answered request.
+    let mut client = Client::connect(addr).expect("client connect");
+    let mut answered = 0u64;
+    let mut tokens = Vec::new();
+    for _ in 0..5 {
+        match client.admit(&task()).unwrap() {
+            Response::Admitted { token, .. } => tokens.push(token),
+            other => panic!("admit answered {other:?}"),
+        }
+        answered += 1;
+    }
+    for token in &tokens {
+        assert!(matches!(
+            client.query(*token).unwrap(),
+            Response::TaskInfo { .. }
+        ));
+        answered += 1;
+    }
+    assert!(matches!(
+        client.query(u64::MAX).unwrap(),
+        Response::NotFound { .. }
+    ));
+    answered += 1;
+    assert!(matches!(
+        client.stats_prometheus().unwrap(),
+        Response::Metrics { .. }
+    ));
+    answered += 1;
+
+    // Let the fault traffic finish registering before the final readout.
+    assert!(
+        wait_for(&counters, |t| {
+            t.oversized_requests >= 1 && t.malformed_requests >= 1 && t.connections_timed_out >= 1
+        }),
+        "all three fault modes must register, got {:?}",
+        counters.snapshot()
+    );
+    trickler.join().expect("trickle thread");
+    drop(client);
+
+    // The first client sat idle while the fault traffic drained, so the
+    // server may have struck it out — read the totals over a fresh
+    // connection. The snapshot is assembled before the Stats request
+    // itself is recorded, so it is not part of its own count.
+    let mut reader = Client::connect(addr).expect("reader connect");
+    let Response::Stats { snapshot } = reader.stats().unwrap() else {
+        panic!("stats answered something else");
+    };
+    assert_eq!(
+        snapshot.stages.requests_total, answered,
+        "only fully answered requests count"
+    );
+    for stage in fedsched_service::stats::RequestStage::ALL {
+        let total: u64 = snapshot.stages.buckets(stage).iter().sum();
+        assert_eq!(
+            total,
+            answered,
+            "stage {} histogram must count each answered request exactly once",
+            stage.name()
+        );
+    }
+    drop(reader);
+    drop(garbage);
+    drop(flood);
+    handle.shutdown();
+}

@@ -1,0 +1,93 @@
+//! Property-based coverage for [`LatencyHistogram`]: the bucket export
+//! and import must be lossless inverses, and derived quantiles must
+//! behave like quantiles — monotone in the probability, bounded by the
+//! bucket edges, and never below the true value.
+
+use std::time::Duration;
+
+use fedsched_service::stats::{LatencyHistogram, LATENCY_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// `from_buckets` ∘ `buckets` is the identity: a histogram exported
+    /// over the wire (stats snapshots ship raw bucket arrays) rebuilds
+    /// into an equal histogram, quantiles included.
+    #[test]
+    fn buckets_roundtrip_through_from_buckets(
+        counts in prop::collection::vec(0u64..=1_000, LATENCY_BUCKETS)
+    ) {
+        let original = LatencyHistogram::from_buckets(&counts);
+        let rebuilt = LatencyHistogram::from_buckets(original.buckets());
+        prop_assert_eq!(rebuilt.buckets(), original.buckets());
+        prop_assert_eq!(rebuilt.total(), counts.iter().sum::<u64>());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(rebuilt.quantile(q), original.quantile(q));
+        }
+    }
+
+    /// A short export (older peer) zero-fills and a long one (newer peer)
+    /// saturates into the last open-ended bucket — either way the total
+    /// count survives.
+    #[test]
+    fn from_buckets_tolerates_foreign_lengths(
+        counts in prop::collection::vec(0u64..=1_000, 0..LATENCY_BUCKETS + 8)
+    ) {
+        let h = LatencyHistogram::from_buckets(&counts);
+        prop_assert_eq!(h.total(), counts.iter().sum::<u64>());
+        for (i, &c) in counts.iter().take(LATENCY_BUCKETS - 1).enumerate() {
+            prop_assert_eq!(h.buckets()[i], c);
+        }
+    }
+
+    /// Quantiles are monotone in the probability: for q ≤ r, the q-th
+    /// bucket edge never exceeds the r-th.
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        counts in prop::collection::vec(0u64..=1_000, LATENCY_BUCKETS),
+        qa in 0.0f64..=1.0,
+        qb in 0.0f64..=1.0,
+    ) {
+        let h = LatencyHistogram::from_buckets(&counts);
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        match (h.quantile(lo), h.quantile(hi)) {
+            (Some(a), Some(b)) => prop_assert!(a <= b, "q{lo} = {a} > q{hi} = {b}"),
+            (None, None) => prop_assert_eq!(h.total(), 0),
+            (a, b) => prop_assert!(false, "one quantile empty: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The derived quantile is an upper bound on every recorded sample
+    /// (the HELP text's promise): recording any set of durations, the
+    /// 1.0-quantile edge is at least the largest recorded microsecond
+    /// value, and at most 2x above it (power-of-two buckets).
+    /// Samples stay below 2^21 µs: anything larger lands in the final
+    /// open-ended bucket, whose "edge" is u64::MAX by design.
+    #[test]
+    fn quantile_upper_bounds_recorded_samples(
+        micros in prop::collection::vec(0u64..=2_000_000, 1..50)
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &us in &micros {
+            h.record(Duration::from_micros(us));
+        }
+        let max_us = *micros.iter().max().expect("non-empty");
+        let edge = h.quantile(1.0).expect("samples were recorded");
+        prop_assert!(edge >= max_us, "edge {edge} below the sample {max_us}");
+        // Within 2x of the true value (exclusive power-of-two edges),
+        // except in the tiny first bucket where the edge is fixed at 2.
+        prop_assert!(
+            edge <= (max_us.max(1)).saturating_mul(2),
+            "edge {edge} more than 2x above the sample {max_us}"
+        );
+    }
+}
+
+/// Zero everywhere means no quantile at all, not a zero quantile.
+#[test]
+fn empty_histogram_has_no_quantiles() {
+    let h = LatencyHistogram::from_buckets(&[]);
+    assert_eq!(h.total(), 0);
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(h.quantile(q), None);
+    }
+}

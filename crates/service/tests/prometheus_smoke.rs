@@ -125,3 +125,87 @@ fn raw_http_get_metrics_scrape_works() {
     client.shutdown().expect("shutdown");
     handle.join();
 }
+
+#[test]
+fn stage_histogram_counts_match_requests_total_over_a_live_scrape() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Drive a mix of fully answered requests: admissions, a query hit, a
+    // query miss, and a protocol-level Prometheus fetch (which, unlike an
+    // HTTP scrape, is itself a recorded NDJSON request).
+    let mut token = None;
+    for _ in 0..3 {
+        let Response::Admitted { token: t, .. } = client.admit(&task()).expect("admit") else {
+            panic!("admit rejected the sequential task");
+        };
+        token = Some(t);
+    }
+    assert!(matches!(
+        client.query(token.expect("admitted")).expect("query"),
+        Response::TaskInfo { .. }
+    ));
+    assert!(matches!(
+        client.query(u64::MAX).expect("query miss"),
+        Response::NotFound { .. }
+    ));
+    assert!(matches!(
+        client.stats_prometheus().expect("metrics"),
+        Response::Metrics { .. }
+    ));
+    let answered = 6u64;
+
+    // Scrape over HTTP — the scrape itself bypasses the NDJSON pipeline
+    // and must not bump the totals it reports.
+    let mut scrape = TcpStream::connect(handle.local_addr()).expect("connect scrape");
+    scrape
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .expect("send request");
+    let mut reader = BufReader::new(scrape);
+    let mut body = String::new();
+    let mut in_body = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read") == 0 {
+            break;
+        }
+        if in_body {
+            body.push_str(&line);
+        } else if line.trim_end().is_empty() {
+            in_body = true;
+        }
+    }
+    fedsched_telemetry::validate_exposition(&body).expect("scraped body parses");
+
+    assert!(
+        body.lines()
+            .any(|l| l == format!("fedsched_requests_total {answered}")),
+        "request total counts every answered NDJSON request:\n{body}"
+    );
+    // Every stage histogram's _count column agrees with the request
+    // total — the decomposition never drops or double-counts a stage.
+    let mut stages_seen = 0;
+    for l in body.lines() {
+        let Some(rest) = l.strip_prefix("fedsched_stage_duration_") else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("_us_count ") else {
+            continue;
+        };
+        assert_eq!(
+            value.trim(),
+            answered.to_string(),
+            "stage {name} _count must equal fedsched_requests_total:\n{body}"
+        );
+        stages_seen += 1;
+    }
+    assert_eq!(
+        stages_seen,
+        fedsched_service::stats::RequestStage::ALL.len(),
+        "every stage exports a histogram:\n{body}"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

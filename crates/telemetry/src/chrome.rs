@@ -15,6 +15,10 @@
 //!   on process 1 with `ts` in microseconds since the process epoch, and
 //!   counters become instant (`ph: "I"`) events. Trace ids ride along in
 //!   `args`, so a request can be followed from protocol to analysis phase.
+//! - **Server requests**: spans whose phase belongs to the server's
+//!   request pipeline (read/frame, parse, WAL append) land on process 2
+//!   ([`PID_SERVER`]), one lane above the analysis phases they bracket, so
+//!   a request's transport cost and its analysis cost line up visually.
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 use fedsched_sim::trace::{ExecutionTrace, TraceSegment};
@@ -28,6 +32,10 @@ use crate::event::{CounterKind, TelemetryEvent};
 pub const PID_RUNTIME: u64 = 0;
 /// The process id carrying analysis-phase spans and counters.
 pub const PID_ANALYSIS: u64 = 1;
+/// The process id carrying the server's request-handling stages
+/// (read/frame, parse, WAL append) — see
+/// [`SpanPhase::is_server_stage`](crate::event::SpanPhase::is_server_stage).
+pub const PID_SERVER: u64 = 2;
 
 /// Structured `args` payload attached to every event. Fields that do not
 /// apply are `null` in the JSON, which trace viewers ignore.
@@ -71,9 +79,10 @@ pub struct ChromeEvent {
     pub ts: u64,
     /// Duration, microseconds (zero for instants).
     pub dur: u64,
-    /// Process lane ([`PID_RUNTIME`] or [`PID_ANALYSIS`]).
+    /// Process lane ([`PID_RUNTIME`], [`PID_ANALYSIS`], or
+    /// [`PID_SERVER`]).
     pub pid: u64,
-    /// Thread lane: processor index on the runtime pid, 0 on analysis.
+    /// Thread lane: processor index on the runtime pid, 0 elsewhere.
     pub tid: u64,
     /// Structured metadata.
     pub args: ChromeArgs,
@@ -125,11 +134,19 @@ impl ChromeTraceBuilder {
                     end_nanos,
                 } => ChromeEvent {
                     name: phase.name().to_owned(),
-                    cat: "analysis".to_owned(),
+                    cat: if phase.is_server_stage() {
+                        "server".to_owned()
+                    } else {
+                        "analysis".to_owned()
+                    },
                     ph: "X".to_owned(),
                     ts: start_nanos / 1_000,
                     dur: end_nanos.saturating_sub(start_nanos) / 1_000,
-                    pid: PID_ANALYSIS,
+                    pid: if phase.is_server_stage() {
+                        PID_SERVER
+                    } else {
+                        PID_ANALYSIS
+                    },
                     tid: 0,
                     args: ChromeArgs {
                         trace_id: trace_id.map(|t| t.0),
@@ -318,6 +335,40 @@ mod tests {
         assert_eq!(instant.ph, "I");
         assert_eq!(instant.dur, 0);
         assert_eq!(instant.args.detail.as_deref(), Some("cache_miss+1"));
+    }
+
+    #[test]
+    fn server_stage_spans_land_on_the_server_pid() {
+        let mut builder = ChromeTraceBuilder::new();
+        builder.push_events(&[
+            TelemetryEvent::Span {
+                trace_id: Some(TraceId(3)),
+                phase: SpanPhase::RequestRead,
+                start_nanos: 1_000,
+                end_nanos: 5_000,
+            },
+            TelemetryEvent::Span {
+                trace_id: Some(TraceId(3)),
+                phase: SpanPhase::WalAppend,
+                start_nanos: 6_000,
+                end_nanos: 8_000,
+            },
+            TelemetryEvent::Span {
+                trace_id: Some(TraceId(3)),
+                phase: SpanPhase::Admission,
+                start_nanos: 5_000,
+                end_nanos: 6_000,
+            },
+        ]);
+        let doc = builder.build();
+        assert_eq!(doc.traceEvents[0].pid, PID_SERVER);
+        assert_eq!(doc.traceEvents[0].cat, "server");
+        assert_eq!(doc.traceEvents[0].name, "request_read");
+        assert_eq!(doc.traceEvents[1].pid, PID_SERVER);
+        assert_eq!(doc.traceEvents[1].name, "wal_append");
+        // Analysis phases stay on their own lane.
+        assert_eq!(doc.traceEvents[2].pid, PID_ANALYSIS);
+        assert_eq!(doc.traceEvents[2].cat, "analysis");
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub enum SpanPhase {
     Analysis,
     /// One simulated run of a schedule.
     Simulation,
+    /// Reading and framing one request line off the connection (server
+    /// request lane; includes waiting for the client's bytes).
+    RequestRead,
+    /// Parsing one framed request line into a typed `Request` (server
+    /// request lane).
+    RequestParse,
+    /// Appending one decision's records to the write-ahead log, fsync
+    /// included (server request lane).
+    WalAppend,
 }
 
 impl SpanPhase {
@@ -61,7 +70,21 @@ impl SpanPhase {
             SpanPhase::Removal => "removal",
             SpanPhase::Analysis => "analysis",
             SpanPhase::Simulation => "simulation",
+            SpanPhase::RequestRead => "request_read",
+            SpanPhase::RequestParse => "request_parse",
+            SpanPhase::WalAppend => "wal_append",
         }
+    }
+
+    /// Whether the phase belongs to the server's request-handling lane
+    /// (routed to its own process row in the Chrome trace export) rather
+    /// than the analysis lane.
+    #[must_use]
+    pub fn is_server_stage(self) -> bool {
+        matches!(
+            self,
+            SpanPhase::RequestRead | SpanPhase::RequestParse | SpanPhase::WalAppend
+        )
     }
 }
 
@@ -267,6 +290,9 @@ mod tests {
             SpanPhase::Removal,
             SpanPhase::Analysis,
             SpanPhase::Simulation,
+            SpanPhase::RequestRead,
+            SpanPhase::RequestParse,
+            SpanPhase::WalAppend,
         ] {
             assert!(phase
                 .name()

@@ -190,6 +190,13 @@ pub fn __map_field<'a>(
         .ok_or_else(|| DeError::missing_field(key, ty))
 }
 
+/// Support helper used by the derive macros: optional field lookup for
+/// `#[serde(default)]` fields, where an absent key is not an error.
+#[must_use]
+pub fn __map_field_opt<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
 // ── primitive impls ─────────────────────────────────────────────────────
 
 impl Serialize for bool {

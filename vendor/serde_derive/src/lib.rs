@@ -13,7 +13,17 @@
 //!   `{"Variant": value}`, tuple variants → `{"Variant": [..]}`, struct
 //!   variants → `{"Variant": {..}}` (serde's externally-tagged default).
 //!
-//! Generic types are not supported; the macro panics with a clear message.
+//! Two field attributes are honored on named fields (of structs and of
+//! enum struct variants), matching real serde's semantics:
+//!
+//! * `#[serde(default)]` — an absent key deserializes to
+//!   `Default::default()` instead of erroring;
+//! * `#[serde(skip_serializing_if = "path")]` — the key is omitted from
+//!   the serialized map when `path(&field)` is true (the path is resolved
+//!   in the type's own module, like real serde).
+//!
+//! All other `#[serde(...)]` arguments are ignored. Generic types are not
+//! supported; the macro panics with a clear message.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -43,10 +53,18 @@ struct Parsed {
 }
 
 enum Data {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent key → `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit when `path(&f)`.
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -57,7 +75,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 // ── parsing ─────────────────────────────────────────────────────────────
@@ -125,17 +143,57 @@ fn parse_struct(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -
     }
 }
 
-/// Field names of a `{ .. }` field list, skipping attributes, visibility and
-/// type tokens (tracking `<`/`>` depth so generic commas don't split fields).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// The `default` / `skip_serializing_if` arguments of one `#[serde(..)]`
+/// attribute group (a bracketed `serde ( .. )` stream), folded into `field`.
+fn parse_serde_args(attr: TokenStream, field: &mut Field) {
+    let mut it = attr.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // some other attribute (doc comment, allow, ...)
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return;
+    };
+    let mut ait = args.stream().into_iter().peekable();
+    while let Some(tok) = ait.next() {
+        let TokenTree::Ident(id) = tok else { continue };
+        match id.to_string().as_str() {
+            "default" => field.default = true,
+            "skip_serializing_if" => {
+                // `= "path"`: take the literal and strip its quotes.
+                if let Some(TokenTree::Punct(p)) = ait.next() {
+                    if p.as_char() == '=' {
+                        if let Some(TokenTree::Literal(lit)) = ait.next() {
+                            let raw = lit.to_string();
+                            field.skip_if = Some(raw.trim_matches('"').to_string());
+                        }
+                    }
+                }
+            }
+            _ => {} // unsupported serde argument: ignored, like before
+        }
+    }
+}
+
+/// Fields of a `{ .. }` field list with their serde attributes, skipping
+/// visibility and type tokens (tracking `<`/`>` depth so generic commas
+/// don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut it = stream.into_iter().peekable();
     'outer: loop {
-        // Skip attributes and visibility before the field name.
+        // Collect attributes and skip visibility before the field name.
+        let mut field = Field {
+            name: String::new(),
+            default: false,
+            skip_if: None,
+        };
         let name = loop {
             match it.next() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    let _ = it.next();
+                    if let Some(TokenTree::Group(g)) = it.next() {
+                        parse_serde_args(g.stream(), &mut field);
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if let Some(TokenTree::Group(g)) = it.peek() {
@@ -153,7 +211,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde shim derive: expected `:` after field `{name}`, got {other:?}"),
         }
-        fields.push(name);
+        field.name = name;
+        fields.push(field);
         // Consume the type up to a top-level comma.
         let mut angle_depth: i32 = 0;
         loop {
@@ -250,20 +309,40 @@ fn parse_enum(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> 
 
 // ── code generation ─────────────────────────────────────────────────────
 
+/// The map-building statements for a named-field list. `accessor` turns a
+/// field name into the expression borrowing it (`&self.f` for structs, the
+/// match binding `f` for enum struct variants — already a reference).
+fn gen_field_map(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let fname = &f.name;
+        let expr = accessor(fname);
+        let push = format!(
+            "__m.push((::std::string::String::from({fname:?}), \
+             ::serde::Serialize::to_value({expr})));"
+        );
+        match &f.skip_if {
+            Some(path) => {
+                out.push_str(&format!("if !{path}({expr}) {{ {push} }}\n"));
+            }
+            None => {
+                out.push_str(&push);
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str("::serde::Value::Map(__m)");
+    out
+}
+
 fn gen_serialize(p: &Parsed) -> String {
     let name = &p.name;
     let body = match &p.data {
         Data::NamedStruct(fields) => {
-            let entries: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "(::std::string::String::from({f:?}), \
-                         ::serde::Serialize::to_value(&self.{f}))"
-                    )
-                })
-                .collect();
-            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+            format!("{{ {} }}", gen_field_map(fields, |f| format!("&self.{f}")))
         }
         Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Data::TupleStruct(n) => {
@@ -301,21 +380,15 @@ fn gen_serialize(p: &Parsed) -> String {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
-                            let entries: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "(::std::string::String::from({f:?}), \
-                                         ::serde::Serialize::to_value({f}))"
-                                    )
-                                })
-                                .collect();
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let payload = gen_field_map(fields, |f| f.to_string());
+                            let payload_let = format!("let __payload = {{ {payload} }};");
                             format!(
-                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
-                                 (::std::string::String::from({vn:?}), \
-                                  ::serde::Value::Map(::std::vec![{}]))])",
-                                entries.join(", ")
+                                "{name}::{vn} {{ {} }} => {{\n{payload_let}\n\
+                                 ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), __payload)])\n}}",
+                                binds.join(", ")
                             )
                         }
                     }
@@ -331,19 +404,29 @@ fn gen_serialize(p: &Parsed) -> String {
     )
 }
 
+/// The init expression rebuilding one named field from `__map`.
+fn gen_field_init(f: &Field, ty: &str) -> String {
+    let fname = &f.name;
+    if f.default {
+        format!(
+            "{fname}: match ::serde::__map_field_opt(__map, {fname:?}) {{\n\
+             ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+             ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }}"
+        )
+    } else {
+        format!(
+            "{fname}: ::serde::Deserialize::from_value(\
+             ::serde::__map_field(__map, {fname:?}, {ty:?})?)?"
+        )
+    }
+}
+
 fn gen_deserialize(p: &Parsed) -> String {
     let name = &p.name;
     let body = match &p.data {
         Data::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::__map_field(__map, {f:?}, {name:?})?)?"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| gen_field_init(f, name)).collect();
             format!(
                 "let __map = __v.as_map().ok_or_else(|| \
                  ::serde::DeError::expected(\"object\", {name:?}))?;\n\
@@ -403,15 +486,8 @@ fn gen_deserialize(p: &Parsed) -> String {
                             ))
                         }
                         VariantKind::Struct(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                         ::serde::__map_field(__map, {f:?}, {name:?})?)?"
-                                    )
-                                })
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| gen_field_init(f, name)).collect();
                             Some(format!(
                                 "{vn:?} => {{\n\
                                  let __map = __payload.as_map().ok_or_else(|| \
