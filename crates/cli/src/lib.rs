@@ -717,6 +717,14 @@ pub struct ServeOptions {
     pub addr: String,
     /// Worker-thread count.
     pub workers: usize,
+    /// Shard count for the connection plane (`0` = one per available
+    /// core). Admission outcomes are byte-identical at any shard count;
+    /// sharding only changes how much of the plane runs concurrently.
+    pub shards: usize,
+    /// Capacity bound of the `MINPROCS` template cache (`0` = unbounded).
+    /// Part of the durable configuration identity: `recover`/`compact`
+    /// must pass the same cap the serving process used.
+    pub template_cache_cap: usize,
     /// Telemetry ring-buffer capacity in events (0 disables the event
     /// stream; metrics and latency quantiles are always collected).
     pub telemetry_events: usize,
@@ -748,6 +756,8 @@ impl Default for ServeOptions {
             exact_partition: false,
             addr: "127.0.0.1:7878".to_owned(),
             workers: 4,
+            shards: 0,
+            template_cache_cap: 0,
             telemetry_events: 4096,
             limits: fedsched_service::ConnectionLimits::default(),
             data_dir: None,
@@ -770,6 +780,7 @@ pub fn start_server(opts: &ServeOptions) -> Result<fedsched_service::ServerHandl
     let config = fedsched_service::ServerConfig {
         addr: opts.addr.clone(),
         workers: opts.workers,
+        shards: opts.shards,
         admission: admission_config(opts),
         limits: opts.limits,
         durability: opts.data_dir.as_ref().map(|dir| store_config(opts, dir)),
@@ -794,6 +805,7 @@ fn admission_config(opts: &ServeOptions) -> fedsched_service::AdmissionConfig {
             },
         },
         telemetry_events: opts.telemetry_events,
+        template_cache_cap: opts.template_cache_cap,
     }
 }
 
@@ -968,6 +980,23 @@ pub fn serve_banner(opts: &ServeOptions, handle: &fedsched_service::ServerHandle
         opts.limits.max_connections,
         opts.limits.max_frame_bytes,
         opts.limits.max_requests_per_connection,
+    );
+    let shard_stats = handle.shard_stats();
+    let _ = writeln!(
+        out,
+        "  admission plane: {} shard(s){} holding {} connection permit(s), template-cache cap {}",
+        shard_stats.len(),
+        if opts.shards == 0 {
+            " (auto: one per core)"
+        } else {
+            ""
+        },
+        shard_stats.iter().map(|s| s.permits).sum::<u64>(),
+        if opts.template_cache_cap == 0 {
+            "unbounded".to_owned()
+        } else {
+            format!("{} entr(ies) per shard partition", opts.template_cache_cap)
+        },
     );
     let _ = writeln!(
         out,
@@ -1404,13 +1433,18 @@ USAGE:
   fedsched import-stg <graph.stg> --deadline D --period T   # STG -> system JSON
   fedsched dot      <system.json> [--task K]           # Graphviz to stdout
   fedsched serve    -m M [--policy list|cpf|lwf] [--exact-partition]
-                    [--addr HOST:PORT] [--workers N] [--telemetry N]
+                    [--addr HOST:PORT] [--workers N] [--shards N]
+                    [--template-cache-cap N] [--telemetry N]
                     [--io-timeout-ms MS] [--idle-strikes N] [--max-conns N]
                     [--max-frame-bytes N] [--max-requests N] [--slow-ms MS]
                     [--data-dir DIR] [--fsync every|interval:MS|never]
                     [--snapshot-records N] [--snapshot-bytes N]
                     [--handoff-from DIR]
                     # admission server; GET /metrics on the same port;
+                    # --shards 0 (default) runs one connection shard per
+                    # core; decisions are byte-identical at any count;
+                    # --template-cache-cap bounds the MINPROCS cache
+                    # (0 = unbounded) and is part of the durable config;
                     # --io-timeout-ms 0 disables connection deadlines;
                     # --slow-ms logs one line per request whose server-side
                     # processing exceeds MS (0 disables);
@@ -1426,9 +1460,11 @@ USAGE:
                     # BENCH_service.json; without --addr it spawns an
                     # in-process server on an ephemeral port
   fedsched recover  -m M --data-dir DIR [--policy list|cpf|lwf]
-                    [--exact-partition]  # replay a journal, report state
+                    [--exact-partition] [--template-cache-cap N]
+                    # replay a journal, report state
   fedsched compact  -m M --data-dir DIR [--policy list|cpf|lwf]
-                    [--exact-partition]  # fold the journal into a snapshot
+                    [--exact-partition] [--template-cache-cap N]
+                    # fold the journal into a snapshot
   fedsched client   admit <system.json> [--task K] [--trace-id T]
                     [--addr HOST:PORT] [--timeout-ms MS]
   fedsched client   remove|query --token T [--addr HOST:PORT] [--timeout-ms MS]

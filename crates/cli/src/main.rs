@@ -46,6 +46,8 @@ fn run() -> Result<String, CliError> {
                 | "--period"
                 | "--addr"
                 | "--workers"
+                | "--shards"
+                | "--template-cache-cap"
                 | "--token"
                 | "--telemetry"
                 | "--trace-id"
@@ -152,6 +154,8 @@ fn run() -> Result<String, CliError> {
             "--exact-partition",
             "--addr",
             "--workers",
+            "--shards",
+            "--template-cache-cap",
             "--telemetry",
             "--io-timeout-ms",
             "--idle-strikes",
@@ -169,6 +173,7 @@ fn run() -> Result<String, CliError> {
             "-m",
             "--policy",
             "--exact-partition",
+            "--template-cache-cap",
             "--data-dir",
             "--fsync",
             "--snapshot-records",
@@ -384,6 +389,12 @@ fn run() -> Result<String, CliError> {
             }
             if let Some(Some(v)) = flag("--workers") {
                 opts.workers = parse_num("--workers", v)? as usize;
+            }
+            if let Some(Some(v)) = flag("--shards") {
+                opts.shards = parse_num("--shards", v)? as usize;
+            }
+            if let Some(Some(v)) = flag("--template-cache-cap") {
+                opts.template_cache_cap = parse_num("--template-cache-cap", v)? as usize;
             }
             if let Some(Some(v)) = flag("--telemetry") {
                 opts.telemetry_events = parse_num("--telemetry", v)? as usize;

@@ -156,6 +156,12 @@ pub struct PersistedConfig {
     /// `Some(budget)` when the exact-EDF partition test was active, `None`
     /// for the paper's approximate `DBF*` test.
     pub exact_budget: Option<u64>,
+    /// Template-cache capacity bound (`0` = unbounded). Part of the
+    /// configuration identity: the clock-eviction sequence — and therefore
+    /// cache contents, `CacheInsert` traffic, and counters — depends on
+    /// it, so replaying a log under a different cap would diverge.
+    #[serde(default)]
+    pub template_cache_cap: u64,
 }
 
 /// One live dedicated cluster.
@@ -165,9 +171,14 @@ pub struct PersistedCluster {
     pub token: u64,
     /// The resident task.
     pub task: DagTask,
-    /// Cluster width `μ*` (the σ template itself is recovered from the
-    /// snapshot's cache section, which covers every sized shape).
+    /// Cluster width `μ*` (the σ template itself is normally recovered
+    /// from the snapshot's cache section).
     pub processors: u32,
+    /// The frozen σ template, carried inline only when the bounded cache
+    /// evicted the cluster's shape before the snapshot was taken (`None`
+    /// when the cache section still covers it).
+    #[serde(default)]
+    pub sizing: Option<PersistedSizing>,
 }
 
 /// One live shared-pool entry.
@@ -191,6 +202,11 @@ pub struct PersistedCacheEntry {
     pub key: Vec<u64>,
     /// The memoized sizing (`None` = chain-infeasible shape).
     pub sizing: Option<PersistedSizing>,
+    /// The clock-eviction referenced bit. Entries are persisted in clock
+    /// order (eviction hand first), so restoring them verbatim reproduces
+    /// the exact future eviction sequence.
+    #[serde(default)]
+    pub referenced: bool,
 }
 
 /// The admission counters, persisted verbatim.
@@ -212,6 +228,9 @@ pub struct PersistedStats {
     pub cache_hits: u64,
     /// Template-cache misses since start.
     pub cache_misses: u64,
+    /// Template-cache entries evicted by the capacity bound since start.
+    #[serde(default)]
+    pub cache_evictions: u64,
     /// Admission-latency histogram buckets (`[2^i, 2^{i+1})` µs).
     pub latency_buckets_us: Vec<u64>,
 }
@@ -318,12 +337,14 @@ mod tests {
                 policy: PriorityPolicy::CriticalPathFirst,
                 utilization_check: true,
                 exact_budget: None,
+                template_cache_cap: 16,
             },
             next_token: 11,
             clusters: vec![PersistedCluster {
                 token: 3,
                 task: task(),
                 processors: 2,
+                sizing: None,
             }],
             shared: vec![PersistedShared {
                 token: 5,
@@ -333,6 +354,7 @@ mod tests {
             cache: vec![PersistedCacheEntry {
                 key: vec![0, 6, 3, 2, 3, 1],
                 sizing: Some(sizing()),
+                referenced: true,
             }],
             stats: PersistedStats {
                 admitted_high: 1,
@@ -343,6 +365,7 @@ mod tests {
                 remove_anomalies: 0,
                 cache_hits: 1,
                 cache_misses: 2,
+                cache_evictions: 3,
                 latency_buckets_us: vec![0; 22],
             },
             probe: AnalysisProbe::default(),

@@ -174,6 +174,7 @@ mod tests {
                 policy: PriorityPolicy::ListOrder,
                 utilization_check: true,
                 exact_budget: None,
+                template_cache_cap: 0,
             },
             next_token,
             clusters: Vec::new(),

@@ -279,6 +279,25 @@ impl DurableStore {
         self.wal.sync()
     }
 
+    /// How long until the interval fsync policy owes the WAL a sync; see
+    /// [`WalWriter::sync_due`]. The server's WAL sequencer uses this as
+    /// its idle-tick timeout so a quiet log never holds acked-but-unsynced
+    /// frames longer than the interval.
+    #[must_use]
+    pub fn sync_due(&self) -> Option<Duration> {
+        self.wal.sync_due()
+    }
+
+    /// Syncs if the interval deadline has expired; returns whether a sync
+    /// was issued. See [`WalWriter::sync_if_due`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `fsync`.
+    pub fn sync_if_due(&mut self) -> io::Result<bool> {
+        self.wal.sync_if_due()
+    }
+
     /// WAL cost counters since open.
     #[must_use]
     pub fn wal_stats(&self) -> WalStats {
@@ -341,6 +360,7 @@ mod tests {
                 policy: PriorityPolicy::ListOrder,
                 utilization_check: true,
                 exact_budget: None,
+                template_cache_cap: 0,
             },
             next_token,
             clusters: Vec::new(),

@@ -101,6 +101,12 @@ pub struct WalWriter {
     path: PathBuf,
     policy: FsyncPolicy,
     last_sync: Instant,
+    /// Whether bytes have been appended since the last sync. Under
+    /// [`FsyncPolicy::Interval`] this is what bounds the acked-but-unsynced
+    /// exposure of a log that goes quiet: the owner polls
+    /// [`WalWriter::sync_due`] from a timer and calls
+    /// [`WalWriter::sync_if_due`] instead of waiting for the next append.
+    dirty: bool,
     len: u64,
     stats: WalStats,
 }
@@ -136,6 +142,7 @@ impl WalWriter {
                 path: path.to_path_buf(),
                 policy,
                 last_sync: Instant::now(),
+                dirty: false,
                 len: WAL_MAGIC.len() as u64,
                 stats: WalStats::default(),
             };
@@ -190,6 +197,7 @@ impl WalWriter {
             path: path.to_path_buf(),
             policy,
             last_sync: Instant::now(),
+            dirty: false,
             len: valid_end,
             stats: WalStats::default(),
         };
@@ -207,6 +215,7 @@ impl WalWriter {
         let frame = encode_frame(payload.as_bytes());
         self.file.write_all(&frame)?;
         self.len += frame.len() as u64;
+        self.dirty = true;
         self.stats.records_appended += 1;
         self.stats.bytes_appended += frame.len() as u64;
         match self.policy {
@@ -230,8 +239,48 @@ impl WalWriter {
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
         self.last_sync = Instant::now();
+        self.dirty = false;
         self.stats.fsyncs += 1;
         Ok(())
+    }
+
+    /// Whether appended bytes are awaiting a sync.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// How long until the interval policy owes unsynced appends a sync:
+    /// `Some(Duration::ZERO)` means a sync is overdue, `None` means no
+    /// timed sync is pending (clean log, or a policy without an interval —
+    /// `Every` never leaves the log dirty and `Never` promises nothing).
+    ///
+    /// Checking the deadline only on append (the pre-fix behaviour) leaves
+    /// a quiet WAL holding acked-but-unsynced frames indefinitely; owners
+    /// use this as a timer so the exposure is bounded by the interval even
+    /// after the last append.
+    #[must_use]
+    pub fn sync_due(&self) -> Option<Duration> {
+        match self.policy {
+            FsyncPolicy::Interval(every) if self.dirty => {
+                Some(every.saturating_sub(self.last_sync.elapsed()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Syncs if [`Self::sync_due`] reports an expired deadline; returns
+    /// whether a sync was issued.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `fsync`.
+    pub fn sync_if_due(&mut self) -> io::Result<bool> {
+        if self.sync_due() == Some(Duration::ZERO) {
+            self.sync()?;
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     /// Current file length in bytes (magic included).
@@ -385,6 +434,30 @@ mod tests {
         let err = WalWriter::open(&path, FsyncPolicy::Never).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("version drift"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn idle_interval_wal_owes_a_sync_within_the_interval() {
+        let dir = tmpdir("idle");
+        let path = dir.join("wal.log");
+        let every = Duration::from_millis(25);
+        let (mut wal, _, _) = WalWriter::open(&path, FsyncPolicy::Interval(every)).unwrap();
+        assert_eq!(wal.sync_due(), None, "clean log owes nothing");
+        wal.append(&marker(1)).unwrap();
+        assert!(wal.is_dirty());
+        // The acked-unsynced exposure after the last append is bounded by
+        // the interval: the due deadline is at most `every` away, and once
+        // it expires a timer tick syncs without any further append.
+        let due = wal.sync_due().expect("dirty interval log owes a sync");
+        assert!(due <= every);
+        assert!(!wal.sync_if_due().unwrap(), "not due yet");
+        std::thread::sleep(every + Duration::from_millis(5));
+        assert_eq!(wal.sync_due(), Some(Duration::ZERO), "deadline expired");
+        assert!(wal.sync_if_due().unwrap(), "tick syncs the quiet log");
+        assert!(!wal.is_dirty());
+        assert_eq!(wal.stats().fsyncs, 1);
+        assert_eq!(wal.sync_due(), None, "synced log owes nothing again");
         fs::remove_dir_all(&dir).unwrap();
     }
 

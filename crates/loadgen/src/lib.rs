@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use fedsched_dag::task::DagTask;
 use fedsched_dag::time::Duration as Ticks;
-use fedsched_service::{Client, ClientConfig, Response};
+use fedsched_service::{Client, ClientConfig, Response, ShardStatsSnapshot};
 use serde::Serialize;
 
 /// How inter-arrival gaps are drawn.
@@ -263,6 +263,75 @@ pub struct SweepReport {
     /// Prometheus exposition (`None` when scraping was off).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub metrics_validated: Option<bool>,
+    /// Post-sweep per-shard occupancy: how the server's connection plane
+    /// spread this sweep's work across its shards (connections served,
+    /// permit steals, batching, compute-cache partition traffic). Empty
+    /// when the stats probe failed or the server predates sharding.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub shards: Vec<ShardOccupancy>,
+}
+
+/// One shard's share of the sweep, distilled from the server's
+/// [`ShardStatsSnapshot`] after the last rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardOccupancy {
+    /// The shard's index, `0..shards`.
+    pub shard: u64,
+    /// Connection permits the shard owns.
+    pub permits: u64,
+    /// Connections it served over the server's lifetime.
+    pub connections_served: u64,
+    /// Connections that borrowed one of its permits because their home
+    /// shard was full.
+    pub permit_steals: u64,
+    /// Connections turned away with `Busy` when homed here.
+    pub busy_rejections: u64,
+    /// Admission requests it served.
+    pub admit_requests: u64,
+    /// Admission requests that committed inside a pipelined batch.
+    pub batched_requests: u64,
+    /// Hits in its compute-cache partition.
+    pub compute_hits: u64,
+    /// Misses in its compute-cache partition.
+    pub compute_misses: u64,
+    /// Evictions from its compute-cache partition.
+    pub compute_evictions: u64,
+}
+
+impl From<&ShardStatsSnapshot> for ShardOccupancy {
+    fn from(s: &ShardStatsSnapshot) -> ShardOccupancy {
+        ShardOccupancy {
+            shard: s.shard,
+            permits: s.permits,
+            connections_served: s.connections_served,
+            permit_steals: s.permit_steals,
+            busy_rejections: s.busy_rejections,
+            admit_requests: s.admit_requests,
+            batched_requests: s.batched_requests,
+            compute_hits: s.compute_hits,
+            compute_misses: s.compute_misses,
+            compute_evictions: s.compute_evictions,
+        }
+    }
+}
+
+/// Fetches the server's per-shard occupancy via one `Stats` round trip.
+/// Best-effort: any failure reports an empty list rather than failing
+/// the sweep that already ran.
+fn probe_shard_occupancy(addr: &str) -> Vec<ShardOccupancy> {
+    let config = ClientConfig {
+        io_timeout: Some(Duration::from_secs(5)),
+        ..ClientConfig::default()
+    };
+    let Ok(mut client) = Client::connect_with(addr, config) else {
+        return Vec::new();
+    };
+    match client.stats() {
+        Ok(Response::Stats { snapshot }) => {
+            snapshot.shards.iter().map(ShardOccupancy::from).collect()
+        }
+        _ => Vec::new(),
+    }
 }
 
 /// Deterministic xorshift64 for arrival gaps: cheap, seedable, no
@@ -612,6 +681,7 @@ pub fn run_sweep(addr: &str, config: &SweepConfig, quick: bool) -> SweepReport {
         steps,
         max_sustainable_rps,
         metrics_validated,
+        shards: probe_shard_occupancy(addr),
     }
 }
 
@@ -682,6 +752,27 @@ pub fn render_report(report: &SweepReport) -> String {
             "mid-load /metrics exposition: {}",
             if validated { "valid" } else { "INVALID" }
         );
+    }
+    if !report.shards.is_empty() {
+        let _ = writeln!(out, "shard occupancy ({} shard(s)):", report.shards.len());
+        for s in &report.shards {
+            let _ = writeln!(
+                out,
+                "  shard {}: {} conn(s) over {} permit(s) \
+                 [steals-lent {}, busy {}], {} admit(s) ({} batched), \
+                 compute cache {} hit(s) / {} miss(es) / {} evicted",
+                s.shard,
+                s.connections_served,
+                s.permits,
+                s.permit_steals,
+                s.busy_rejections,
+                s.admit_requests,
+                s.batched_requests,
+                s.compute_hits,
+                s.compute_misses,
+                s.compute_evictions,
+            );
+        }
     }
     out
 }

@@ -32,6 +32,7 @@ fn sweep_completes_requests_and_validates_metrics_under_load() {
     let handle = serve(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
+        shards: 1,
         admission: AdmissionConfig::new(8),
         limits: ConnectionLimits::default(),
         durability: None,

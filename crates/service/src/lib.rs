@@ -47,6 +47,7 @@
 //! let handle = serve(&ServerConfig {
 //!     addr: "127.0.0.1:0".into(),
 //!     workers: 2,
+//!     shards: 1,
 //!     admission: AdmissionConfig::new(4),
 //!     limits: ConnectionLimits::default(),
 //!     durability: None,
@@ -86,6 +87,6 @@ pub use server::{
 };
 pub use state::{AdmissionConfig, AdmissionState, Admitted, RejectReason, Removed, UnknownToken};
 pub use stats::{
-    render_prometheus, DurabilityStats, LatencyHistogram, RequestStage, StageStats, Stats,
-    StatsSnapshot, TransportStats,
+    render_prometheus, DurabilityStats, LatencyHistogram, RequestStage, ShardStatsSnapshot,
+    StageStats, Stats, StatsSnapshot, TransportStats,
 };

@@ -127,6 +127,7 @@ pub fn persisted_config(config: &AdmissionConfig) -> PersistedConfig {
             PartitionTest::ApproxDbf => None,
             PartitionTest::ExactEdf { budget } => Some(budget as u64),
         },
+        template_cache_cap: config.template_cache_cap as u64,
     }
 }
 
@@ -157,15 +158,17 @@ fn persist_sizing(sizing: &CachedSizing) -> PersistedSizing {
 
 /// The WAL records one admission decision produces: the `Admit`/`Reject`
 /// itself, plus a `CacheInsert` when the decision computed a fresh
-/// `MINPROCS` entry. Call with the cache length and hit count sampled
+/// `MINPROCS` entry. Call with the cache miss and hit counts sampled
 /// *before* the decision, while still holding the state lock, so log order
-/// equals decision order.
+/// equals decision order. (A miss — not cache growth — is the insert
+/// signal: under the capacity bound an insert that evicts leaves the
+/// length unchanged.)
 #[must_use]
 pub(crate) fn admit_records(
     state: &AdmissionState,
     task: &fedsched_dag::task::DagTask,
     result: &Result<Admitted, RejectReason>,
-    cache_len_before: usize,
+    cache_misses_before: u64,
     cache_hits_before: u64,
 ) -> Vec<LogRecord> {
     let mut records = Vec::with_capacity(2);
@@ -201,11 +204,11 @@ pub(crate) fn admit_records(
             });
         }
     }
-    if state.cache.len() > cache_len_before {
+    if state.cache.misses() > cache_misses_before {
         let entry = state
             .cache
             .peek(task, state.config.fedcons.policy)
-            .expect("a decision that grew the cache memoized this shape");
+            .expect("a decision that missed the cache memoized this shape");
         records.push(LogRecord::CacheInsert {
             task: task.clone(),
             sizing: entry.as_ref().map(persist_sizing),
@@ -246,6 +249,18 @@ impl AdmissionState {
                     token: c.token,
                     task: c.task.clone(),
                     processors: c.sizing.processors,
+                    // Carried inline only when the bounded cache evicted
+                    // the cluster's shape: the cache section is the normal
+                    // (and deduplicated) template store.
+                    sizing: if self
+                        .cache
+                        .peek(&c.task, self.config.fedcons.policy)
+                        .is_some()
+                    {
+                        None
+                    } else {
+                        Some(persist_sizing(&c.sizing))
+                    },
                 })
                 .collect(),
             shared: self
@@ -261,9 +276,10 @@ impl AdmissionState {
                 .cache
                 .export_entries()
                 .into_iter()
-                .map(|(key, sizing)| PersistedCacheEntry {
+                .map(|(key, sizing, referenced)| PersistedCacheEntry {
                     key,
                     sizing: sizing.as_ref().map(persist_sizing),
+                    referenced,
                 })
                 .collect(),
             stats: PersistedStats {
@@ -275,6 +291,7 @@ impl AdmissionState {
                 remove_anomalies: self.stats.remove_anomalies,
                 cache_hits: self.cache.hits(),
                 cache_misses: self.cache.misses(),
+                cache_evictions: self.cache.evictions(),
                 latency_buckets_us: self.stats.latency.buckets().to_vec(),
             },
             probe: self.probe,
@@ -285,9 +302,10 @@ impl AdmissionState {
     /// version, the configuration, and the snapshot's internal invariants.
     ///
     /// Every cluster's frozen σ template is recovered from the snapshot's
-    /// own cache section: an admitted cluster's shape always passed through
-    /// the cache (which never evicts), so a missing entry is corruption,
-    /// not a condition to paper over with a recompute.
+    /// own cache section when it still covers the shape, and from the
+    /// cluster's inline `sizing` when the bounded cache evicted it before
+    /// the snapshot; a cluster with neither is corruption, not a condition
+    /// to paper over with a recompute.
     ///
     /// # Errors
     ///
@@ -321,11 +339,14 @@ impl AdmissionState {
                             processors: s.processors,
                             template: Arc::new(s.template.clone()),
                         }),
+                        e.referenced,
                     )
                 })
                 .collect(),
+            config.template_cache_cap,
             persisted.stats.cache_hits,
             persisted.stats.cache_misses,
+            persisted.stats.cache_evictions,
         );
         let mut clusters = Vec::with_capacity(persisted.clusters.len());
         let mut dedicated = 0u32;
@@ -333,9 +354,15 @@ impl AdmissionState {
             let sizing = cache
                 .peek(&c.task, config.fedcons.policy)
                 .and_then(Clone::clone)
+                .or_else(|| {
+                    c.sizing.as_ref().map(|s| CachedSizing {
+                        processors: s.processors,
+                        template: Arc::new(s.template.clone()),
+                    })
+                })
                 .ok_or_else(|| {
                     RecoverError::Corrupt(format!(
-                        "cluster token {} has no cached sizing for its shape",
+                        "cluster token {} has no cached or inline sizing for its shape",
                         c.token
                     ))
                 })?;
@@ -625,7 +652,7 @@ mod tests {
         for op in ops {
             match op {
                 Op::Admit(task) => {
-                    let len_before = state.cache.len();
+                    let misses_before = state.cache.misses();
                     let hits_before = state.cache.hits();
                     let result = state.admit(task.clone());
                     if let Ok(admitted) = &result {
@@ -635,7 +662,7 @@ mod tests {
                         &state,
                         task,
                         &result,
-                        len_before,
+                        misses_before,
                         hits_before,
                     ));
                 }
@@ -708,6 +735,46 @@ mod tests {
         assert!(matches!(
             AdmissionState::restore(reference_config(), &persisted),
             Err(RecoverError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn evicted_cluster_shapes_roundtrip_via_inline_sizing() {
+        // A cap of 1 forces the cache to evict the resident cluster's
+        // shape when a second distinct shape is sized.
+        let config = AdmissionConfig::new(8).with_cache_cap(1);
+        let (state, log) = drive(
+            config,
+            &[
+                Op::Admit(wide(6, 2, 10)), // μ*=3, cached
+                Op::Admit(wide(4, 2, 10)), // μ*=2, evicts the first shape
+            ],
+        );
+        assert_eq!(state.cache.len(), 1);
+        assert_eq!(state.cache.evictions(), 1);
+        let persisted = state.export();
+        // The evicted cluster carries its template inline; the resident
+        // one stays deduplicated through the cache section.
+        assert!(persisted.clusters[0].sizing.is_some());
+        assert!(persisted.clusters[1].sizing.is_none());
+        let restored = AdmissionState::restore(config, &persisted).unwrap();
+        assert_eq!(restored.snapshot(), state.snapshot());
+        assert_eq!(restored.export(), persisted);
+        // And pure replay under the same cap reproduces the same state.
+        let mut replayed = AdmissionState::new(config);
+        replayed.replay(&log).unwrap();
+        assert_eq!(replayed.resident(), state.resident());
+        assert_eq!(replayed.cache.evictions(), 1);
+    }
+
+    #[test]
+    fn replay_under_a_mismatched_cap_is_refused_by_config_identity() {
+        let capped = AdmissionConfig::new(4).with_cache_cap(2);
+        let (state, _) = drive(capped, &ops());
+        let persisted = state.export();
+        assert!(matches!(
+            AdmissionState::restore(reference_config(), &persisted),
+            Err(RecoverError::ConfigMismatch { .. })
         ));
     }
 

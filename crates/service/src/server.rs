@@ -1,6 +1,7 @@
 //! The admission server: acceptor threads sharing one `TcpListener`, a
-//! bounded pool of per-connection handler threads, and one
-//! mutex-protected [`AdmissionState`].
+//! bounded pool of per-connection handler threads, a **shard-per-core
+//! connection plane**, and one mutex-protected [`AdmissionState`] — the
+//! authoritative admission ledger.
 //!
 //! Each acceptor runs its own accept loop; the kernel hands every
 //! incoming connection to exactly one of them. The acceptor never serves
@@ -11,6 +12,42 @@
 //! at most its own handler and one permit, never an acceptor, and a
 //! well-formed client always gets *some* answer quickly: a served
 //! request or a fast `Busy`.
+//!
+//! # The sharded connection plane
+//!
+//! With [`ServerConfig::shards`] set to `N` (default: one shard per
+//! available core), the connection permits, per-stage histograms, and the
+//! `MINPROCS` compute cache are partitioned `N` ways into shards:
+//!
+//! * **Round-robin fan-out with stealing** — the acceptor assigns each
+//!   connection a *home shard* round-robin; if the home shard's permits
+//!   are exhausted it steals a permit from the first sibling with one
+//!   free, and only when *every* shard is full does the client get
+//!   `Busy`. Admission never queues behind a saturated shard.
+//! * **Shape-routed compute partitions** — each shard owns a
+//!   [`ComputePartition`], and a DAG shape deterministically routes to
+//!   partition `shape_hash % N` (not the connection's home shard), so
+//!   concurrent admissions of the same shape contend on one small
+//!   partition lock instead of the ledger. The expensive `MINPROCS`
+//!   sizing runs *off every lock* (its internal fedsched-parallel workers
+//!   fan out from the request path), and the ledger consumes the
+//!   precomputed result as a *seed*: decisions, counters, and cache
+//!   contents stay byte-identical to the single-lock engine at any shard
+//!   count, because the authoritative [`AdmissionState`] still orders
+//!   every decision and a seed carries the exact probe an inline compute
+//!   would have produced.
+//! * **Batched admission** — a pipelining client's already-buffered
+//!   `Admit` lines are drained (up to `ADMIT_BATCH_MAX` per ledger
+//!   acquisition) and admitted under one state lock, amortizing lock
+//!   traffic without ever blocking on the socket for more input.
+//! * **One WAL sequencer** — durable decisions are sequenced by a single
+//!   background thread: handlers enqueue their log records *while still
+//!   holding the state lock* (so WAL order equals decision order, with a
+//!   monotonic sequence number and the deciding shard id attached
+//!   in-memory), then wait for the sequencer's acknowledgement off-lock.
+//!   No fsync ever executes under any admission lock, and the sequencer
+//!   doubles as the idle-WAL flusher: an interval fsync policy is paid
+//!   from its timer tick even when no request arrives.
 //!
 //! Every served connection runs under the deadlines and caps of
 //! [`ConnectionLimits`]:
@@ -39,6 +76,7 @@
 //! [`TransportCounters`] and surfaced both in the Prometheus exposition
 //! and on the telemetry event bus.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -47,18 +85,22 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fedsched_analysis::probe::AnalysisProbe;
+use fedsched_core::minprocs::intrinsic_min_procs_probed;
+use fedsched_dag::task::DagTask;
 use fedsched_durable::{
     list_snapshots, load_snapshot, DurableStore, LogRecord, StoreConfig, FORMAT_VERSION,
 };
+use fedsched_graham::list::PriorityPolicy;
 use fedsched_telemetry::{monotonic_nanos, CounterKind, SpanPhase, TelemetryEvent, TraceId};
 
-use crate::cache::CachedSizing;
+use crate::cache::{shape_hash, CachedSizing, ComputePartition, SeededSizing};
 use crate::protocol::{write_message, Request, RequestTiming, Response};
 use crate::recovery::{admit_records, recover_state, remove_record, ReplayReport};
-use crate::state::{AdmissionConfig, AdmissionState};
+use crate::state::{AdmissionConfig, AdmissionState, Admitted, RejectReason};
 use crate::stats::{
-    render_prometheus, DurabilityStats, LatencyHistogram, RequestStage, StageStats, StatsSnapshot,
-    TransportStats, LATENCY_BUCKETS, REQUEST_STAGES,
+    render_prometheus, DurabilityStats, LatencyHistogram, RequestStage, ShardStatsSnapshot,
+    StageStats, StatsSnapshot, TransportStats, LATENCY_BUCKETS, REQUEST_STAGES,
 };
 
 /// Deadlines and caps protecting every served connection; see the module
@@ -139,6 +181,13 @@ pub struct ServerConfig {
     /// served by per-connection handler threads bounded by
     /// [`ConnectionLimits::max_connections`], not by this count.
     pub workers: usize,
+    /// Shard count of the connection plane (`--shards`): connection
+    /// permits, per-stage histograms, and the `MINPROCS` compute cache
+    /// are partitioned this many ways (see the module docs). `0` means
+    /// auto — one shard per available core. Admission outcomes are
+    /// byte-identical at any shard count; this knob only trades lock
+    /// contention against per-shard bookkeeping.
+    pub shards: usize,
     /// The admission-control platform and FEDCONS knobs.
     pub admission: AdmissionConfig,
     /// Per-connection deadlines and caps.
@@ -421,12 +470,405 @@ impl Drop for Permit {
     }
 }
 
+/// Lock-free per-shard counters, mirroring the [`TransportCounters`]
+/// design; snapshot via [`shard_snapshots`].
+#[derive(Debug, Default)]
+struct ShardCounters {
+    connections_served: AtomicU64,
+    permit_steals: AtomicU64,
+    busy_rejections: AtomicU64,
+    admit_requests: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+/// One shard of the connection plane: its slice of the connection
+/// permits, its stage histograms, and its shape-routed compute-cache
+/// partition. See the module docs.
+#[derive(Debug)]
+struct Shard {
+    index: usize,
+    gate: Arc<Gate>,
+    counters: ShardCounters,
+    stages: StageCounters,
+    compute: Mutex<ComputePartition>,
+}
+
+/// Locks a shard's compute partition, recovering from poison (the
+/// partition is a pure memo table; any consistent point is fine).
+fn lock_partition(partition: &Mutex<ComputePartition>) -> MutexGuard<'_, ComputePartition> {
+    partition
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Point-in-time per-shard stats, merged into every [`StatsSnapshot`].
+fn shard_snapshots(shards: &[Arc<Shard>]) -> Vec<ShardStatsSnapshot> {
+    shards
+        .iter()
+        .map(|s| {
+            let (hits, misses, evictions) = {
+                let partition = lock_partition(&s.compute);
+                (partition.hits(), partition.misses(), partition.evictions())
+            };
+            ShardStatsSnapshot {
+                shard: s.index as u64,
+                permits: s.gate.max as u64,
+                active_connections: *s.gate.lock() as u64,
+                connections_served: s.counters.connections_served.load(Ordering::Relaxed),
+                permit_steals: s.counters.permit_steals.load(Ordering::Relaxed),
+                busy_rejections: s.counters.busy_rejections.load(Ordering::Relaxed),
+                admit_requests: s.counters.admit_requests.load(Ordering::Relaxed),
+                batched_requests: s.counters.batched_requests.load(Ordering::Relaxed),
+                compute_hits: hits,
+                compute_misses: misses,
+                compute_evictions: evictions,
+                stages: s.stages.snapshot(),
+            }
+        })
+        .collect()
+}
+
+/// The effective shard count: `0` is auto (one per available core).
+fn effective_shards(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// `max_connections` split across `n` shards: every permit is owned by
+/// exactly one shard, remainders going to the lowest-indexed shards. A
+/// zero-permit shard is fine — its connections steal from siblings.
+fn split_permits(max_connections: usize, n: usize) -> Vec<usize> {
+    let base = max_connections / n;
+    let spare = max_connections % n;
+    (0..n).map(|i| base + usize::from(i < spare)).collect()
+}
+
+/// Per-partition capacity for a total template-cache bound of `total`:
+/// ceiling-divided so `n` partitions cover at least the whole bound,
+/// floored at one entry; `0` stays unbounded.
+fn partition_cap(total: usize, n: usize) -> usize {
+    if total == 0 {
+        0
+    } else {
+        total.div_ceil(n).max(1)
+    }
+}
+
+/// A one-shot completion slot: the handler parks on it until the WAL
+/// sequencer acknowledges (or fails) its append.
+#[derive(Debug, Default)]
+struct AckSlot {
+    done: Mutex<Option<io::Result<()>>>,
+    cond: Condvar,
+}
+
+impl AckSlot {
+    fn complete(&self, result: io::Result<()>) {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *done = Some(result);
+        self.cond.notify_all();
+    }
+
+    fn wait(&self) -> io::Result<()> {
+        let mut done = self
+            .done
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self
+                .cond
+                .wait(done)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// One decision's log records in flight to the sequencer. The shard id
+/// and monotonic sequence number exist in memory only — the WAL wire
+/// format is unchanged, because the sequencer appends in sequence order
+/// and order *is* the replay contract.
+#[derive(Debug)]
+struct SeqItem {
+    shard: usize,
+    seq: u64,
+    records: Vec<LogRecord>,
+    ack: Arc<AckSlot>,
+}
+
+#[derive(Debug)]
+struct SeqQueue {
+    items: VecDeque<SeqItem>,
+    /// A drained batch is being appended: `flush` must keep waiting even
+    /// though `items` is momentarily empty.
+    busy: bool,
+}
+
+/// The single WAL sequencer shared by all shards. Producers enqueue
+/// *while holding the state lock* — so queue order, sequence numbers,
+/// and decision order all coincide — and the sequencer thread appends,
+/// acknowledges, and maintains the WAL telemetry counters off every
+/// admission lock. Lock order is acyclic: `state → queue → store`,
+/// and a lock earlier in that chain is never acquired while holding a
+/// later one.
+#[derive(Debug)]
+struct WalSequencer {
+    queue: Mutex<SeqQueue>,
+    nonempty: Condvar,
+    empty: Condvar,
+    stop: AtomicBool,
+    next_seq: AtomicU64,
+}
+
+impl WalSequencer {
+    fn new() -> WalSequencer {
+        WalSequencer {
+            queue: Mutex::new(SeqQueue {
+                items: VecDeque::new(),
+                busy: false,
+            }),
+            nonempty: Condvar::new(),
+            empty: Condvar::new(),
+            stop: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_queue(&self) -> MutexGuard<'_, SeqQueue> {
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueues one decision's records. Must be called with the state
+    /// lock held — that is what serializes sequence numbers against
+    /// decision order. Returns the slot to park on *after* releasing the
+    /// state lock.
+    fn enqueue(&self, shard: usize, records: Vec<LogRecord>) -> Arc<AckSlot> {
+        let ack = Arc::new(AckSlot::default());
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut queue = self.lock_queue();
+        queue.items.push_back(SeqItem {
+            shard,
+            seq,
+            records,
+            ack: Arc::clone(&ack),
+        });
+        self.nonempty.notify_one();
+        ack
+    }
+
+    /// Blocks until every enqueued record has been appended and
+    /// acknowledged (used by the `Shutdown` request before it answers).
+    fn flush(&self) {
+        let mut queue = self.lock_queue();
+        while !queue.items.is_empty() || queue.busy {
+            let (guard, _) = self
+                .empty
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            queue = guard;
+        }
+    }
+
+    /// Asks the sequencer thread to drain the queue, sync, and exit.
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.nonempty.notify_all();
+    }
+}
+
+/// How often the idle sequencer wakes to re-check the stop flag and any
+/// due interval fsync.
+const SEQUENCER_IDLE_TICK: Duration = Duration::from_millis(200);
+
+/// What woke the sequencer.
+#[derive(Debug)]
+enum Wake {
+    Batch(Vec<SeqItem>),
+    SyncDue,
+    Stopped,
+}
+
+/// The sequencer thread: drains decision batches into the WAL, pays due
+/// interval fsyncs while idle, and on stop syncs whatever the policy
+/// left buffered so an orderly exit never strands acked bytes.
+fn sequencer_loop(seq: &WalSequencer, journal: &Journal, state: &Mutex<AdmissionState>) {
+    loop {
+        let wake = {
+            let mut queue = seq.lock_queue();
+            loop {
+                if !queue.items.is_empty() {
+                    queue.busy = true;
+                    break Wake::Batch(queue.items.drain(..).collect());
+                }
+                if seq.stop.load(Ordering::Acquire) {
+                    break Wake::Stopped;
+                }
+                // Holding queue → acquiring store is within the lock
+                // order; producers take state → queue and never store.
+                let due = journal.lock().sync_due();
+                if due == Some(Duration::ZERO) {
+                    break Wake::SyncDue;
+                }
+                let wait = due.unwrap_or(SEQUENCER_IDLE_TICK).min(SEQUENCER_IDLE_TICK);
+                let (guard, _) = seq
+                    .nonempty
+                    .wait_timeout(queue, wait)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        match wake {
+            Wake::Batch(batch) => process_batch(seq, journal, state, batch),
+            Wake::SyncDue => {
+                // The fix for the idle-WAL hole: an interval policy's
+                // deadline is honored from this timer tick, not from the
+                // next (possibly never-arriving) append.
+                let synced = journal.lock().sync_if_due();
+                if matches!(synced, Ok(true)) {
+                    lock(state).add_counter(CounterKind::WalFsync, 1);
+                }
+            }
+            Wake::Stopped => {
+                let _ = journal.lock().sync();
+                return;
+            }
+        }
+    }
+}
+
+/// Appends one decision's records, stopping at (and reporting) the first
+/// failure so only that request is refused an acknowledgement.
+fn append_item(store: &mut DurableStore, item: &SeqItem, appended: &mut u64) -> io::Result<()> {
+    for record in &item.records {
+        if let Err(e) = store.append(record) {
+            eprintln!(
+                "fedsched-wal-append-error shard={} seq={}: {e}",
+                item.shard, item.seq
+            );
+            return Err(e);
+        }
+        *appended += 1;
+    }
+    Ok(())
+}
+
+/// Appends a drained batch under one store acquisition, acknowledges
+/// every item, then banks the WAL telemetry deltas — and, when a
+/// snapshot threshold was crossed, installs a snapshot that provably
+/// covers the WAL prefix.
+fn process_batch(
+    seq: &WalSequencer,
+    journal: &Journal,
+    state: &Mutex<AdmissionState>,
+    batch: Vec<SeqItem>,
+) {
+    let mut results: Vec<io::Result<()>> = Vec::with_capacity(batch.len());
+    let mut appended = 0u64;
+    let (bytes_delta, fsync_delta, should_snapshot) = {
+        let mut store = journal.lock();
+        let before = store.wal_stats();
+        let mut last_seq = None;
+        for item in &batch {
+            debug_assert!(
+                last_seq.is_none_or(|prev| item.seq > prev),
+                "sequencer batch out of decision order"
+            );
+            last_seq = Some(item.seq);
+            results.push(append_item(&mut store, item, &mut appended));
+        }
+        let after = store.wal_stats();
+        (
+            after.bytes_appended - before.bytes_appended,
+            after.fsyncs - before.fsyncs,
+            store.should_snapshot(),
+        )
+    };
+    // Ack with the store lock released: the parked handlers only need
+    // the append results.
+    for (item, result) in batch.iter().zip(results) {
+        item.ack.complete(result);
+    }
+    // WAL telemetry counters live behind the state lock, taken only now
+    // that the store lock is free (acyclic order, see WalSequencer).
+    let mut guard = lock(state);
+    if appended > 0 {
+        guard.add_counter(CounterKind::WalRecordAppended, appended);
+    }
+    if bytes_delta > 0 {
+        guard.add_counter(CounterKind::WalBytesWritten, bytes_delta);
+    }
+    if fsync_delta > 0 {
+        guard.add_counter(CounterKind::WalFsync, fsync_delta);
+    }
+    if should_snapshot {
+        snapshot_with_stragglers(seq, journal, &mut guard);
+    }
+    drop(guard);
+    let mut queue = seq.lock_queue();
+    queue.busy = false;
+    seq.empty.notify_all();
+}
+
+/// Installs a snapshot at an exact WAL prefix: with the state lock held
+/// (producers sequence their records under it, so none can enqueue),
+/// any straggler decisions already queued are appended first, then the
+/// snapshot is cut from the very state those records produced.
+fn snapshot_with_stragglers(seq: &WalSequencer, journal: &Journal, guard: &mut AdmissionState) {
+    let stragglers: Vec<SeqItem> = seq.lock_queue().items.drain(..).collect();
+    let mut results: Vec<io::Result<()>> = Vec::with_capacity(stragglers.len());
+    let mut appended = 0u64;
+    let (bytes_delta, fsync_delta, installed) = {
+        let mut store = journal.lock();
+        let before = store.wal_stats();
+        for item in &stragglers {
+            results.push(append_item(&mut store, item, &mut appended));
+        }
+        let installed = store.install_snapshot(&guard.export());
+        let after = store.wal_stats();
+        (
+            after.bytes_appended - before.bytes_appended,
+            after.fsyncs - before.fsyncs,
+            installed,
+        )
+    };
+    for (item, result) in stragglers.iter().zip(results) {
+        item.ack.complete(result);
+    }
+    if appended > 0 {
+        guard.add_counter(CounterKind::WalRecordAppended, appended);
+    }
+    if bytes_delta > 0 {
+        guard.add_counter(CounterKind::WalBytesWritten, bytes_delta);
+    }
+    if fsync_delta > 0 {
+        guard.add_counter(CounterKind::WalFsync, fsync_delta);
+    }
+    match installed {
+        Ok(_) => guard.add_counter(CounterKind::WalSnapshotWritten, 1),
+        // Non-fatal: decisions are acked from the WAL, not the snapshot;
+        // the next threshold crossing retries.
+        Err(e) => eprintln!("fedsched-wal-snapshot-error: {e}"),
+    }
+}
+
 /// The open durable store plus what boot recovery found in it.
 ///
-/// The store sits behind its own mutex, acquired only while the state
-/// lock is already held (append order must equal decision order) or when
-/// no state lock is held at all (metrics, final sync) — never the other
-/// way around, so the lock order is acyclic.
+/// The store sits behind its own mutex, last in the acyclic lock order
+/// `state → queue → store`: the sequencer appends with no admission
+/// lock held (order is already fixed by the queue), and metrics or the
+/// final sync take it alone.
 #[derive(Debug)]
 struct Journal {
     store: Mutex<DurableStore>,
@@ -447,12 +889,18 @@ struct Shared {
     state: Arc<Mutex<AdmissionState>>,
     shutdown: Arc<AtomicBool>,
     counters: Arc<TransportCounters>,
-    gate: Arc<Gate>,
+    shards: Vec<Arc<Shard>>,
     limits: ConnectionLimits,
     local_addr: SocketAddr,
     workers: usize,
     journal: Option<Arc<Journal>>,
+    sequencer: Option<Arc<WalSequencer>>,
     stages: Arc<StageCounters>,
+    /// The priority policy shapes are sized and routed under (fixed for
+    /// the server's lifetime).
+    policy: PriorityPolicy,
+    /// Round-robin cursor assigning home shards to connections.
+    rr: AtomicU64,
 }
 
 /// A running server: the bound address, the shared state, and the worker
@@ -463,10 +911,12 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     state: Arc<Mutex<AdmissionState>>,
     counters: Arc<TransportCounters>,
-    gate: Arc<Gate>,
+    shards: Vec<Arc<Shard>>,
     limits: ConnectionLimits,
     workers: Vec<JoinHandle<()>>,
     journal: Option<Arc<Journal>>,
+    sequencer: Option<Arc<WalSequencer>>,
+    sequencer_thread: Option<JoinHandle<()>>,
     handoff_absorbed: Option<u64>,
     stages: Arc<StageCounters>,
 }
@@ -514,6 +964,13 @@ impl ServerHandle {
         self.stages.snapshot()
     }
 
+    /// A point-in-time copy of every shard's counters, permits, and
+    /// stage histograms — the same section `Stats` responses carry.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        shard_snapshots(&self.shards)
+    }
+
     /// What boot recovery replayed from the data directory, or `None`
     /// when the server runs without durability. Hosting processes log
     /// this at startup.
@@ -539,7 +996,20 @@ impl ServerHandle {
         for worker in self.workers {
             let _ = worker.join();
         }
-        self.gate.wait_drained(self.limits.drain_deadline());
+        // One overall drain budget shared by all shard gates.
+        let deadline = Instant::now() + self.limits.drain_deadline();
+        for shard in &self.shards {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            shard.gate.wait_drained(remaining);
+        }
+        // With the handlers gone nothing enqueues; the sequencer drains
+        // its queue, syncs, and exits.
+        if let Some(sequencer) = &self.sequencer {
+            sequencer.shutdown();
+        }
+        if let Some(thread) = self.sequencer_thread {
+            let _ = thread.join();
+        }
         // Whatever the fsync policy, leave nothing in the page cache on
         // an orderly exit.
         if let Some(journal) = &self.journal {
@@ -619,17 +1089,49 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = Arc::new(listener);
     let limits = config.limits.sanitized();
     let worker_count = config.workers.max(1);
+    let shard_count = effective_shards(config.shards);
+    let cap = partition_cap(config.admission.template_cache_cap, shard_count);
+    let shards: Vec<Arc<Shard>> = split_permits(limits.max_connections, shard_count)
+        .into_iter()
+        .enumerate()
+        .map(|(index, permits)| {
+            Arc::new(Shard {
+                index,
+                gate: Arc::new(Gate::new(permits)),
+                counters: ShardCounters::default(),
+                stages: StageCounters::default(),
+                compute: Mutex::new(ComputePartition::with_capacity(cap)),
+            })
+        })
+        .collect();
+    let sequencer = journal.as_ref().map(|_| Arc::new(WalSequencer::new()));
     let shared = Arc::new(Shared {
         state: Arc::new(Mutex::new(initial_state)),
         shutdown: Arc::new(AtomicBool::new(false)),
         counters: Arc::new(TransportCounters::default()),
-        gate: Arc::new(Gate::new(limits.max_connections)),
+        shards,
         limits,
         local_addr,
         workers: worker_count,
         journal,
+        sequencer,
         stages: Arc::new(StageCounters::default()),
+        policy: config.admission.fedcons.policy,
+        rr: AtomicU64::new(0),
     });
+    let sequencer_thread = match (&shared.journal, &shared.sequencer) {
+        (Some(journal), Some(sequencer)) => {
+            let journal = Arc::clone(journal);
+            let sequencer = Arc::clone(sequencer);
+            let state = Arc::clone(&shared.state);
+            Some(
+                std::thread::Builder::new()
+                    .name("fedsched-wal-sequencer".to_owned())
+                    .spawn(move || sequencer_loop(&sequencer, &journal, &state))?,
+            )
+        }
+        _ => None,
+    };
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
         let listener = Arc::clone(&listener);
@@ -647,10 +1149,12 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         shutdown: Arc::clone(&shared.shutdown),
         state: Arc::clone(&shared.state),
         counters: Arc::clone(&shared.counters),
-        gate: Arc::clone(&shared.gate),
+        shards: shared.shards.clone(),
         limits,
         workers,
         journal: shared.journal.clone(),
+        sequencer: shared.sequencer.clone(),
+        sequencer_thread,
         handoff_absorbed,
         stages: Arc::clone(&shared.stages),
     })
@@ -708,13 +1212,35 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.shutdown.load(Ordering::Acquire) {
             return; // wake-up connection; drop it unserved
         }
-        let Some(permit) = shared.gate.try_acquire() else {
+        // Home shard round-robin; a full home steals a permit from the
+        // first sibling with one free. Only when every shard is full —
+        // i.e. max_connections is genuinely reached — does the client
+        // get Busy. Nothing ever queues behind a saturated shard.
+        let n = shared.shards.len();
+        let home = (shared.rr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+        let mut acquired = None;
+        for offset in 0..n {
+            let idx = (home + offset) % n;
+            if let Some(permit) = shared.shards[idx].gate.try_acquire() {
+                if offset > 0 {
+                    // Counted on the lending shard: its permit served a
+                    // foreign connection.
+                    bump(&shared.shards[idx].counters.permit_steals);
+                }
+                acquired = Some((idx, permit));
+                break;
+            }
+        }
+        let Some((idx, permit)) = acquired else {
             bump(&shared.counters.busy_rejections);
+            bump(&shared.shards[home].counters.busy_rejections);
             lock(&shared.state).count_transport(CounterKind::BusyRejection);
             reject_busy(&stream);
             continue;
         };
         bump(&shared.counters.connections_served);
+        bump(&shared.shards[idx].counters.connections_served);
+        let shard = Arc::clone(&shared.shards[idx]);
         let handler_shared = Arc::clone(shared);
         // The permit moves into the closure; if the spawn fails and the
         // closure is dropped unrun, Permit::drop still releases the slot.
@@ -722,7 +1248,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .name("fedsched-conn".to_owned())
             .spawn(move || {
                 let _permit = permit;
-                let triggered = serve_connection(stream, &handler_shared).unwrap_or(false);
+                let triggered = serve_connection(stream, &handler_shared, &shard).unwrap_or(false);
                 if triggered {
                     wake_workers(handler_shared.local_addr, handler_shared.workers);
                 }
@@ -831,7 +1357,13 @@ fn read_frame<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>, max: usize) -> io::
 /// request, as a Prometheus scraper sends it) is answered with one HTTP
 /// response carrying the text exposition, after which the connection
 /// closes — scrapers can point at the admission port directly.
-fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
+///
+/// An `Admit` request opens a *batch*: complete lines the client has
+/// already pipelined into the read buffer are drained (never blocking
+/// on the socket) and consecutive `Admit`s are decided under one ledger
+/// acquisition; the first non-`Admit` line, if any, is handled right
+/// after the batch as usual.
+fn serve_connection(stream: TcpStream, shared: &Shared, shard: &Shard) -> io::Result<bool> {
     let _ = stream.set_nodelay(true);
     stream.set_read_timeout(shared.limits.io_timeout)?;
     stream.set_write_timeout(shared.limits.io_timeout)?;
@@ -910,24 +1442,149 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
             return Ok(false);
         }
         match serde_json::from_str::<Request>(trimmed) {
+            Ok(Request::Admit {
+                task,
+                trace_id,
+                echo_timing,
+            }) => {
+                timer.stamp(RequestStage::Parse);
+                let mut batch = vec![AdmitItem {
+                    task,
+                    trace_id,
+                    echo_timing,
+                    timer,
+                }];
+                // Drain already-buffered complete lines into the batch;
+                // a pipelining client pays one ledger acquisition for
+                // all of them, an unpipelined client none of this.
+                let mut tail = None;
+                while batch.len() < ADMIT_BATCH_MAX
+                    && served + (batch.len() as u64) < shared.limits.max_requests_per_connection
+                {
+                    let Some(line) = take_buffered_line(&mut reader) else {
+                        break;
+                    };
+                    let mut t = StageTimer::start();
+                    t.stamp(RequestStage::ReadFrame); // already buffered: ~0
+                    if line.len() > shared.limits.max_frame_bytes + 1 {
+                        tail = Some(Tail::Oversized);
+                        break;
+                    }
+                    let Ok(text) = std::str::from_utf8(&line) else {
+                        tail = Some(Tail::Malformed("request is not valid UTF-8".to_owned()));
+                        break;
+                    };
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if trimmed == "GET /metrics" || trimmed.starts_with("GET /metrics ") {
+                        tail = Some(Tail::Metrics);
+                        break;
+                    }
+                    match serde_json::from_str::<Request>(trimmed) {
+                        Ok(Request::Admit {
+                            task,
+                            trace_id,
+                            echo_timing,
+                        }) => {
+                            t.stamp(RequestStage::Parse);
+                            batch.push(AdmitItem {
+                                task,
+                                trace_id,
+                                echo_timing,
+                                timer: t,
+                            });
+                        }
+                        Ok(other) => {
+                            t.stamp(RequestStage::Parse);
+                            tail = Some(Tail::Request(Box::new(other), t));
+                            break;
+                        }
+                        Err(e) => {
+                            tail = Some(Tail::Malformed(e.to_string()));
+                            break;
+                        }
+                    }
+                }
+                let batch_len = batch.len() as u64;
+                for mut answered in dispatch_admit_batch(batch, shared, shard) {
+                    write_message(&mut writer, &answered.response)?;
+                    answered.timer.stamp(RequestStage::Serialize);
+                    shared.stages.record(&answered.timer);
+                    shard.stages.record(&answered.timer);
+                    log_slow_request(&shared.limits, answered.trace_id, &answered.timer);
+                    served += 1;
+                }
+                shard
+                    .counters
+                    .admit_requests
+                    .fetch_add(batch_len, Ordering::Relaxed);
+                if batch_len > 1 {
+                    shard
+                        .counters
+                        .batched_requests
+                        .fetch_add(batch_len, Ordering::Relaxed);
+                }
+                match tail {
+                    None => {}
+                    Some(Tail::Request(request, mut t)) => {
+                        let stop = matches!(*request, Request::Shutdown);
+                        if stop {
+                            shared.shutdown.store(true, Ordering::Release);
+                        }
+                        let response = dispatch(*request, shared, shard, &mut t);
+                        write_message(&mut writer, &response)?;
+                        t.stamp(RequestStage::Serialize);
+                        shared.stages.record(&t);
+                        shard.stages.record(&t);
+                        log_slow_request(&shared.limits, None, &t);
+                        if stop {
+                            return Ok(true);
+                        }
+                        served += 1;
+                    }
+                    Some(Tail::Metrics) => {
+                        serve_metrics_http(&mut writer, shared)?;
+                        return Ok(false);
+                    }
+                    Some(Tail::Malformed(message)) => {
+                        bump(&shared.counters.malformed_requests);
+                        let _ = write_message(&mut writer, &Response::Error { message });
+                        return Ok(false);
+                    }
+                    Some(Tail::Oversized) => {
+                        bump(&shared.counters.oversized_requests);
+                        lock(&shared.state).count_transport(CounterKind::OversizedRequest);
+                        let _ = write_message(
+                            &mut writer,
+                            &Response::Error {
+                                message: format!(
+                                    "request exceeds the {}-byte frame cap",
+                                    shared.limits.max_frame_bytes
+                                ),
+                            },
+                        );
+                        return Ok(false);
+                    }
+                }
+            }
             Ok(request) => {
                 timer.stamp(RequestStage::Parse);
-                let trace_id = match &request {
-                    Request::Admit { trace_id, .. } => *trace_id,
-                    _ => None,
-                };
                 let stop = matches!(request, Request::Shutdown);
                 if stop {
                     shared.shutdown.store(true, Ordering::Release);
                 }
-                let response = dispatch(request, shared, &mut timer);
+                let response = dispatch(request, shared, shard, &mut timer);
                 write_message(&mut writer, &response)?;
                 timer.stamp(RequestStage::Serialize);
                 shared.stages.record(&timer);
-                log_slow_request(&shared.limits, trace_id, &timer);
+                shard.stages.record(&timer);
+                log_slow_request(&shared.limits, None, &timer);
                 if stop {
                     return Ok(true);
                 }
+                served += 1;
             }
             Err(e) => {
                 // Malformed request: report and drop the connection — the
@@ -942,7 +1599,6 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<bool> {
                 return Ok(false);
             }
         }
-        served += 1;
         if served >= shared.limits.max_requests_per_connection {
             bump(&shared.counters.budget_exhausted);
             let _ = write_message(
@@ -968,6 +1624,7 @@ fn merged_snapshot(shared: &Shared) -> StatsSnapshot {
     let mut snapshot = lock(&shared.state).snapshot();
     snapshot.transport = shared.counters.snapshot();
     snapshot.stages = shared.stages.snapshot();
+    snapshot.shards = shard_snapshots(&shared.shards);
     if let Some(journal) = &shared.journal {
         let store = journal.lock();
         let wal = store.wal_stats();
@@ -988,34 +1645,197 @@ fn merged_snapshot(shared: &Shared) -> StatsSnapshot {
     snapshot
 }
 
-/// Appends the records one decision produced, then takes a snapshot if a
-/// threshold was crossed — all while the caller still holds the state
-/// lock, so WAL order equals decision order and the snapshot covers
-/// exactly the decisions before it.
-fn journal_append(
-    journal: &Journal,
-    state: &mut AdmissionState,
-    records: &[LogRecord],
-) -> io::Result<()> {
-    let mut store = journal.lock();
-    for record in records {
-        let before = store.wal_stats();
-        store.append(record)?;
-        let after = store.wal_stats();
-        state.add_counter(CounterKind::WalRecordAppended, 1);
-        state.add_counter(
-            CounterKind::WalBytesWritten,
-            after.bytes_appended - before.bytes_appended,
-        );
-        if after.fsyncs > before.fsyncs {
-            state.add_counter(CounterKind::WalFsync, after.fsyncs - before.fsyncs);
+/// Most `Admit` requests decided under one ledger acquisition. Chosen so
+/// a deep pipeline still answers its first request promptly (the whole
+/// batch is decided before anything is written back).
+const ADMIT_BATCH_MAX: usize = 16;
+
+/// One parsed `Admit` awaiting its batch decision.
+struct AdmitItem {
+    task: DagTask,
+    trace_id: Option<u64>,
+    echo_timing: bool,
+    timer: StageTimer,
+}
+
+/// One decided `Admit`, ready to write back in arrival order.
+struct AnsweredAdmit {
+    response: Response,
+    timer: StageTimer,
+    trace_id: Option<u64>,
+}
+
+/// A decided `Admit` between the ledger phase and its WAL ack.
+struct PendingAdmit {
+    result: Result<Admitted, RejectReason>,
+    ack: Option<Arc<AckSlot>>,
+    cache_ns: u64,
+    trace_id: Option<u64>,
+    echo_timing: bool,
+    timer: StageTimer,
+}
+
+/// What ended a batch's buffered-line drain early.
+enum Tail {
+    /// A complete non-`Admit` request was drained; handle it after the
+    /// batch, exactly as the unbatched loop would have.
+    Request(Box<Request>, StageTimer),
+    /// A buffered `GET /metrics` line: answer the scrape and close.
+    Metrics,
+    Malformed(String),
+    Oversized,
+}
+
+/// Takes one complete, already-buffered line out of the reader without
+/// ever touching the socket: `None` means the buffer holds no full line
+/// and the batch closes. (A buffered line can only exceed the frame cap
+/// when the cap is smaller than the read buffer; the caller checks.)
+fn take_buffered_line<R: Read>(reader: &mut BufReader<R>) -> Option<Vec<u8>> {
+    let buffered = reader.buffer();
+    let pos = buffered.iter().position(|&b| b == b'\n')?;
+    let line = buffered[..=pos].to_vec();
+    reader.consume(pos + 1);
+    Some(line)
+}
+
+/// Resolves a task's `MINPROCS` sizing against its shape-routed compute
+/// partition, computing it off every lock on a partition miss (the
+/// fedsched-parallel workers fan out inside the sizing). Returns the
+/// seed for the ledger plus the partition-lookup nanoseconds (credited
+/// to the cache-lookup stage).
+fn resolve_compute(shared: &Shared, task: &DagTask) -> (Option<SeededSizing>, u64) {
+    // Shape-routed, *not* home-shard-routed: the same shape always lands
+    // in the same partition, whichever connection carries it.
+    let idx = (shape_hash(task, shared.policy) % shared.shards.len() as u64) as usize;
+    let partition = &shared.shards[idx].compute;
+    let lookup_start = monotonic_nanos();
+    let hit = lock_partition(partition).lookup(task, shared.policy);
+    let cache_ns = monotonic_nanos().saturating_sub(lookup_start);
+    if hit.is_some() {
+        return (hit, cache_ns);
+    }
+    // The stored probe is exactly what an inline compute would have
+    // added, so merging it on an authoritative miss keeps counters
+    // byte-identical at any shard count (MINPROCS is deterministic).
+    let mut probe = AnalysisProbe::default();
+    let sizing =
+        intrinsic_min_procs_probed(task, shared.policy, &mut probe).map(|r| CachedSizing {
+            processors: r.processors,
+            template: Arc::new(r.template),
+        });
+    let entry = SeededSizing { sizing, probe };
+    lock_partition(partition).insert(task, shared.policy, entry.clone());
+    (Some(entry), cache_ns)
+}
+
+/// Decides a batch of `Admit`s: sizings resolved off-lock first, then
+/// one state acquisition applies every decision to the ledger and
+/// sequences its records, then — with the lock released — each item
+/// waits for its WAL ack in order. Analysis and fsync therefore never
+/// execute under any admission lock, batched or not.
+fn dispatch_admit_batch(
+    items: Vec<AdmitItem>,
+    shared: &Shared,
+    shard: &Shard,
+) -> Vec<AnsweredAdmit> {
+    // Phase 1: compute (or fetch) every sizing off-lock.
+    let prepared: Vec<(AdmitItem, Option<SeededSizing>, u64)> = items
+        .into_iter()
+        .map(|item| {
+            let (seed, cache_ns) = resolve_compute(shared, &item.task);
+            (item, seed, cache_ns)
+        })
+        .collect();
+    // Phase 2: one ledger acquisition for the whole batch.
+    let mut pending = Vec::with_capacity(prepared.len());
+    let mut guard = lock(&shared.state);
+    let sink_enabled = guard.sink.is_enabled();
+    for (item, seed, cache_ns) in prepared {
+        let AdmitItem {
+            task,
+            trace_id,
+            echo_timing,
+            timer,
+        } = item;
+        let journaled = shared.sequencer.is_some().then(|| task.clone());
+        let misses_before = guard.cache.misses();
+        let hits_before = guard.cache.hits();
+        let result = guard.admit_seeded(task, trace_id, seed);
+        let ack = journaled.map(|task| {
+            let records = admit_records(&guard, &task, &result, misses_before, hits_before);
+            shared
+                .sequencer
+                .as_ref()
+                .expect("journaled implies a sequencer")
+                .enqueue(shard.index, records)
+        });
+        emit_request_spans(&mut guard, trace_id, &timer);
+        pending.push(PendingAdmit {
+            result,
+            ack,
+            cache_ns,
+            trace_id,
+            echo_timing,
+            timer,
+        });
+    }
+    drop(guard);
+    // Phase 3: wait for the WAL acks in order and shape the responses.
+    let mut answered = Vec::with_capacity(pending.len());
+    let mut wal_spans = Vec::new();
+    for item in pending {
+        let mut timer = item.timer;
+        let (wal_ns, wal_err) = match item.ack {
+            Some(ack) => {
+                let wal_start = monotonic_nanos();
+                let result = ack.wait();
+                let wal_end = monotonic_nanos();
+                if sink_enabled {
+                    wal_spans.push((item.trace_id, wal_start, wal_end));
+                }
+                (wal_end.saturating_sub(wal_start), result.err())
+            }
+            None => (0, None),
+        };
+        timer.stamp_dispatch(item.cache_ns, wal_ns);
+        let response = match wal_err {
+            Some(e) => journal_error(&e),
+            None => {
+                let timing = item.echo_timing.then(|| request_timing(&timer));
+                match item.result {
+                    Ok(admitted) => Response::Admitted {
+                        token: admitted.token,
+                        placement: admitted.placement,
+                        cache_hit: admitted.cache_hit,
+                        trace_id: item.trace_id,
+                        timing,
+                    },
+                    Err(reason) => Response::Rejected {
+                        reason: reason.to_string(),
+                        trace_id: item.trace_id,
+                        timing,
+                    },
+                }
+            }
+        };
+        answered.push(AnsweredAdmit {
+            response,
+            timer,
+            trace_id: item.trace_id,
+        });
+    }
+    if !wal_spans.is_empty() {
+        let mut guard = lock(&shared.state);
+        for (trace, start_nanos, end_nanos) in wal_spans {
+            guard.sink.record(TelemetryEvent::Span {
+                trace_id: trace.map(TraceId),
+                phase: SpanPhase::WalAppend,
+                start_nanos,
+                end_nanos,
+            });
         }
     }
-    if store.should_snapshot() {
-        store.install_snapshot(&state.export())?;
-        state.add_counter(CounterKind::WalSnapshotWritten, 1);
-    }
-    Ok(())
+    answered
 }
 
 /// The response for a decision whose journal append failed. The decision
@@ -1107,7 +1927,7 @@ fn emit_request_spans(guard: &mut AdmissionState, trace_id: Option<u64>, timer: 
 /// Maps one request to its response against the shared state, crediting
 /// the dispatch interval to the cache-lookup / analysis / WAL-append
 /// stages of `timer` on the way out.
-fn dispatch(request: Request, shared: &Shared, timer: &mut StageTimer) -> Response {
+fn dispatch(request: Request, shared: &Shared, shard: &Shard, timer: &mut StageTimer) -> Response {
     let state = &shared.state;
     match request {
         Request::Admit {
@@ -1115,78 +1935,39 @@ fn dispatch(request: Request, shared: &Shared, timer: &mut StageTimer) -> Respon
             trace_id,
             echo_timing,
         } => {
-            let mut guard = lock(state);
-            // The journal needs the task after admission consumes it.
-            let journaled = shared.journal.as_ref().map(|_| task.clone());
-            let cache_len_before = guard.cache.len();
-            let cache_hits_before = guard.cache.hits();
-            let sizing_nanos_before = guard.probe.sizing_nanos;
-            let result = guard.admit_traced(task, trace_id);
-            // On a template-cache hit the whole sizing-probe delta *is*
-            // the cache lookup (admit_high spans it as CacheLookup); on a
-            // miss the delta is real sizing work, credited to analysis.
-            let cache_ns = if guard.cache.hits() > cache_hits_before {
-                guard.probe.sizing_nanos.saturating_sub(sizing_nanos_before)
-            } else {
-                0
-            };
-            let mut wal_ns = 0u64;
-            if let (Some(journal), Some(task)) = (shared.journal.as_deref(), journaled) {
-                let records =
-                    admit_records(&guard, &task, &result, cache_len_before, cache_hits_before);
-                let wal_start = monotonic_nanos();
-                let appended = journal_append(journal, &mut guard, &records);
-                let wal_end = monotonic_nanos();
-                wal_ns = wal_end.saturating_sub(wal_start);
-                if guard.sink.is_enabled() {
-                    guard.sink.record(TelemetryEvent::Span {
-                        trace_id: trace_id.map(TraceId),
-                        phase: SpanPhase::WalAppend,
-                        start_nanos: wal_start,
-                        end_nanos: wal_end,
-                    });
-                }
-                if let Err(e) = appended {
-                    timer.stamp_dispatch(cache_ns, wal_ns);
-                    return journal_error(&e);
-                }
-            }
-            emit_request_spans(&mut guard, trace_id, timer);
-            drop(guard);
-            timer.stamp_dispatch(cache_ns, wal_ns);
-            let timing = echo_timing.then(|| request_timing(timer));
-            match result {
-                Ok(admitted) => Response::Admitted {
-                    token: admitted.token,
-                    placement: admitted.placement,
-                    cache_hit: admitted.cache_hit,
-                    trace_id,
-                    timing,
-                },
-                Err(reason) => Response::Rejected {
-                    reason: reason.to_string(),
-                    trace_id,
-                    timing,
-                },
-            }
+            // A lone Admit is a batch of one: single code path, single
+            // set of invariants.
+            let items = vec![AdmitItem {
+                task,
+                trace_id,
+                echo_timing,
+                timer: *timer,
+            }];
+            let mut answered = dispatch_admit_batch(items, shared, shard);
+            let one = answered.pop().expect("one admit in, one answer out");
+            *timer = one.timer;
+            one.response
         }
         Request::Remove { token } => {
             let mut guard = lock(state);
             let anomalies_before = guard.stats.remove_anomalies;
             match guard.remove(token) {
                 Ok(removed) => {
-                    let mut wal_ns = 0u64;
-                    if let Some(journal) = shared.journal.as_deref() {
+                    let ack = shared.sequencer.as_ref().map(|sequencer| {
                         let record = remove_record(&guard, token, anomalies_before);
+                        sequencer.enqueue(shard.index, vec![record])
+                    });
+                    drop(guard);
+                    let mut wal_ns = 0u64;
+                    if let Some(ack) = ack {
                         let wal_start = monotonic_nanos();
-                        let appended = journal_append(journal, &mut guard, &[record]);
+                        let appended = ack.wait();
                         wal_ns = monotonic_nanos().saturating_sub(wal_start);
                         if let Err(e) = appended {
                             timer.stamp_dispatch(0, wal_ns);
                             return journal_error(&e);
                         }
                     }
-                    drop(guard);
                     timer.stamp_dispatch(0, wal_ns);
                     Response::Removed {
                         token: removed.token,
@@ -1223,7 +2004,12 @@ fn dispatch(request: Request, shared: &Shared, timer: &mut StageTimer) -> Respon
             response
         }
         Request::Shutdown => {
-            // Flush the tail before acknowledging, whatever the policy.
+            // Flush the tail before acknowledging, whatever the policy:
+            // first every sequenced-but-unappended decision, then the
+            // page cache.
+            if let Some(sequencer) = &shared.sequencer {
+                sequencer.flush();
+            }
             if let Some(journal) = &shared.journal {
                 let _ = journal.lock().sync();
             }
@@ -1400,6 +2186,86 @@ mod tests {
                 stage.name()
             );
         }
+    }
+
+    #[test]
+    fn permits_split_across_shards_without_loss() {
+        assert_eq!(split_permits(8, 3), vec![3, 3, 2]);
+        assert_eq!(split_permits(1, 4), vec![1, 0, 0, 0]);
+        assert_eq!(split_permits(4, 1), vec![4]);
+        for (max, n) in [(1, 1), (7, 3), (256, 5), (3, 8)] {
+            assert_eq!(
+                split_permits(max, n).iter().sum::<usize>(),
+                max,
+                "every permit must be owned by exactly one shard"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_caps_cover_the_total_bound() {
+        assert_eq!(partition_cap(0, 4), 0, "unbounded stays unbounded");
+        assert_eq!(partition_cap(10, 4), 3, "ceiling division");
+        assert_eq!(partition_cap(2, 8), 1, "floored at one entry");
+        assert_eq!(partition_cap(64, 1), 64);
+        assert!(effective_shards(0) >= 1, "auto resolves to at least one");
+        assert_eq!(effective_shards(3), 3);
+    }
+
+    #[test]
+    fn buffered_lines_drain_without_touching_the_socket() {
+        // Capacity 16: fill_buf pulls at most 16 bytes at a time.
+        let data = b"first\nsecond\npartial";
+        let mut reader = BufReader::with_capacity(64, &data[..]);
+        let mut buf = Vec::new();
+        assert_eq!(read_frame(&mut reader, &mut buf, 64).unwrap(), Frame::Line);
+        assert_eq!(buf, b"first\n");
+        // "second\npartial" is now buffered; only the complete line comes out.
+        assert_eq!(take_buffered_line(&mut reader).unwrap(), b"second\n");
+        assert_eq!(
+            take_buffered_line(&mut reader),
+            None,
+            "an incomplete buffered line must not be consumed"
+        );
+        buf.clear();
+        assert_eq!(read_frame(&mut reader, &mut buf, 64).unwrap(), Frame::Eof);
+        assert_eq!(buf, b"partial", "the tail survives for the normal path");
+    }
+
+    #[test]
+    fn ack_slot_delivers_the_result_across_threads() {
+        let slot = Arc::new(AckSlot::default());
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        slot.complete(Err(io::Error::other("disk gone")));
+        let result = waiter.join().expect("waiter thread");
+        assert_eq!(result.unwrap_err().to_string(), "disk gone");
+    }
+
+    #[test]
+    fn sequencer_flush_returns_once_idle_and_orders_enqueues() {
+        let seq = WalSequencer::new();
+        seq.flush(); // empty and not busy: immediate
+        let a = seq.enqueue(0, Vec::new());
+        let b = seq.enqueue(1, Vec::new());
+        {
+            let queue = seq.lock_queue();
+            let seqs: Vec<u64> = queue.items.iter().map(|i| i.seq).collect();
+            assert_eq!(seqs, vec![0, 1], "sequence numbers follow enqueue order");
+            assert_eq!(queue.items[0].shard, 0);
+            assert_eq!(queue.items[1].shard, 1);
+        }
+        // Drain as the sequencer thread would, then ack.
+        let items: Vec<SeqItem> = seq.lock_queue().items.drain(..).collect();
+        for item in &items {
+            item.ack.complete(Ok(()));
+        }
+        assert!(a.wait().is_ok());
+        assert!(b.wait().is_ok());
+        seq.flush();
     }
 
     #[test]

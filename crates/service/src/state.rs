@@ -55,6 +55,10 @@ pub struct AdmissionConfig {
     /// spans and counters; `0` (the default) disables telemetry entirely —
     /// the no-op sink reduces every record call to a single branch.
     pub telemetry_events: usize,
+    /// Capacity bound of the `MINPROCS` template cache; `0` (the default)
+    /// leaves it unbounded. Part of the durable configuration identity:
+    /// the deterministic eviction sequence depends on it.
+    pub template_cache_cap: usize,
 }
 
 impl AdmissionConfig {
@@ -66,6 +70,7 @@ impl AdmissionConfig {
             processors,
             fedcons: FedConsConfig::default(),
             telemetry_events: 0,
+            template_cache_cap: 0,
         }
     }
 
@@ -73,6 +78,13 @@ impl AdmissionConfig {
     #[must_use]
     pub fn with_telemetry(mut self, capacity: usize) -> AdmissionConfig {
         self.telemetry_events = capacity;
+        self
+    }
+
+    /// Bounds the template cache to `cap` entries (`0` = unbounded).
+    #[must_use]
+    pub fn with_cache_cap(mut self, cap: usize) -> AdmissionConfig {
+        self.template_cache_cap = cap;
         self
     }
 }
@@ -222,7 +234,7 @@ impl AdmissionState {
             clusters: Vec::new(),
             dedicated: 0,
             low: Vec::new(),
-            cache: TemplateCache::new(),
+            cache: TemplateCache::with_capacity(config.template_cache_cap),
             stats: Stats::default(),
             probe: AnalysisProbe::default(),
             sink: EventSink::ring(config.telemetry_events),
@@ -309,6 +321,7 @@ impl AdmissionState {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             cache_entries: self.cache.len() as u64,
+            cache_evictions: self.cache.evictions(),
             latency_buckets_us: self.stats.latency.buckets().to_vec(),
             latency_p50_us: self.stats.latency.quantile(0.5),
             latency_p90_us: self.stats.latency.quantile(0.9),
@@ -324,6 +337,9 @@ impl AdmissionState {
             // And the per-stage pipeline histograms, kept lock-free by
             // the connection layer.
             stages: StageStats::default(),
+            // Shard counters belong to the sharded connection plane; the
+            // server merges them in when it runs with `--shards`.
+            shards: Vec::new(),
         }
     }
 
@@ -380,6 +396,25 @@ impl AdmissionState {
         task: DagTask,
         trace_id: Option<u64>,
     ) -> Result<Admitted, RejectReason> {
+        self.admit_seeded(task, trace_id, None)
+    }
+
+    /// [`Self::admit_traced`] with an optional sizing precomputed outside
+    /// this state's lock (by a shard's compute-cache partition). The seed
+    /// is consumed only when the authoritative cache misses — so the
+    /// decision, counters, and cache contents are byte-identical to an
+    /// unseeded admission (`MINPROCS` is deterministic), with the
+    /// expensive compute moved off the lock.
+    ///
+    /// # Errors
+    ///
+    /// The [`RejectReason`]; the state is unchanged on rejection.
+    pub fn admit_seeded(
+        &mut self,
+        task: DagTask,
+        trace_id: Option<u64>,
+        seed: Option<crate::cache::SeededSizing>,
+    ) -> Result<Admitted, RejectReason> {
         let trace = trace_id.map(TraceId);
         let start = Instant::now();
         let span = self.sink.start_span();
@@ -389,7 +424,7 @@ impl AdmissionState {
         // for the event stream.
         let pruned_before = self.probe.ls_runs_pruned;
         let dispatched_before = self.probe.par_tasks_dispatched;
-        let result = self.admit_inner(task, trace);
+        let result = self.admit_seeded_inner(task, trace, seed);
         match &result {
             Ok(_) if high => self.stats.admitted_high += 1,
             Ok(_) => self.stats.admitted_low += 1,
@@ -431,11 +466,20 @@ impl AdmissionState {
         task: DagTask,
         trace: Option<TraceId>,
     ) -> Result<Admitted, RejectReason> {
+        self.admit_seeded_inner(task, trace, None)
+    }
+
+    pub(crate) fn admit_seeded_inner(
+        &mut self,
+        task: DagTask,
+        trace: Option<TraceId>,
+        seed: Option<crate::cache::SeededSizing>,
+    ) -> Result<Admitted, RejectReason> {
         // Route by the task-layer classification (the same one FEDCONS
         // uses) instead of re-deriving density thresholds here.
         match task.classify() {
             TaskClass::ArbitraryDeadline => Err(RejectReason::ArbitraryDeadline),
-            TaskClass::HighDensity => self.admit_high(task, trace),
+            TaskClass::HighDensity => self.admit_high(task, trace, seed),
             TaskClass::LowDensity => self.admit_low(task, trace),
         }
     }
@@ -445,12 +489,13 @@ impl AdmissionState {
         &mut self,
         task: DagTask,
         trace: Option<TraceId>,
+        seed: Option<crate::cache::SeededSizing>,
     ) -> Result<Admitted, RejectReason> {
         let phase = Instant::now();
         let span = self.sink.start_span();
         let (sizing, cache_hit) =
             self.cache
-                .sizing_probed(&task, self.config.fedcons.policy, &mut self.probe);
+                .sizing_seeded(&task, self.config.fedcons.policy, &mut self.probe, seed);
         // A cache hit means the interval was pure lookup; a miss means it
         // ran the MINPROCS sizing — report the phase that actually happened.
         self.sink.end_span(

@@ -355,6 +355,52 @@ impl StageStats {
     }
 }
 
+/// Counters of one admission-plane shard, merged into [`StatsSnapshot`]
+/// when the server runs sharded (`serve --shards N`).
+///
+/// A shard owns a slice of the connection permits and a partition of the
+/// compute-side template cache; the authoritative ledger state (admissions,
+/// cache identity, WAL) stays global, so shard counters describe *where
+/// work ran*, never *what was decided*. Snapshots from servers predating
+/// the sharded plane deserialize with an empty shard list.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStatsSnapshot {
+    /// The shard's index, `0..shards`.
+    pub shard: u64,
+    /// Connection permits this shard owns (its slice of
+    /// `max_connections`).
+    pub permits: u64,
+    /// Permits currently held by live connections homed here.
+    pub active_connections: u64,
+    /// Connections accepted onto this shard since start (steals into this
+    /// shard included).
+    pub connections_served: u64,
+    /// Connections whose round-robin home shard was full and that borrowed
+    /// a permit from this shard instead.
+    pub permit_steals: u64,
+    /// Connections whose home was this shard and that were turned away
+    /// with `Busy` because every shard was full.
+    pub busy_rejections: u64,
+    /// Admission requests served by this shard since start.
+    pub admit_requests: u64,
+    /// Admission requests that committed as part of a pipelined batch of
+    /// more than one request (single-request commits are not counted).
+    pub batched_requests: u64,
+    /// Hits in this shard's compute-cache partition.
+    pub compute_hits: u64,
+    /// Misses in this shard's compute-cache partition (each one runs a
+    /// MINPROCS analysis outside the admission lock).
+    pub compute_misses: u64,
+    /// Entries evicted from this shard's compute-cache partition by the
+    /// capacity bound.
+    pub compute_evictions: u64,
+    /// Per-stage pipeline latency decomposition of the requests this shard
+    /// served; buckets follow the same invariants as the global
+    /// [`StageStats`].
+    #[serde(default)]
+    pub stages: StageStats,
+}
+
 /// A point-in-time, serializable view of the server's counters, returned by
 /// the `Stats` request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -385,6 +431,11 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Distinct DAG shapes the template cache holds.
     pub cache_entries: u64,
+    /// Entries evicted from the authoritative template cache by the
+    /// capacity bound (`--template-cache-cap`); zero while unbounded.
+    /// Defaults for snapshots predating the bound.
+    #[serde(default)]
+    pub cache_evictions: u64,
     /// Admission-latency histogram; index `i` counts decisions that took
     /// `[2^i, 2^{i+1})` microseconds.
     pub latency_buckets_us: Vec<u64>,
@@ -410,6 +461,11 @@ pub struct StatsSnapshot {
     /// servers predating the decomposition.
     #[serde(default)]
     pub stages: StageStats,
+    /// Per-shard counters of the sharded admission plane, one entry per
+    /// shard in index order. Empty for snapshots from servers predating
+    /// the sharded plane (serde default).
+    #[serde(default)]
+    pub shards: Vec<ShardStatsSnapshot>,
 }
 
 /// Renders a snapshot in the Prometheus text exposition format — the body
@@ -481,7 +537,7 @@ pub fn render_prometheus(snapshot: &StatsSnapshot) -> String {
         &[("density", "low")],
         snapshot.rejected_low,
     );
-    let counters: [(&str, &str, u64); 4] = [
+    let counters: [(&str, &str, u64); 5] = [
         (
             "fedsched_removed_total",
             "Tasks removed since start",
@@ -501,6 +557,11 @@ pub fn render_prometheus(snapshot: &StatsSnapshot) -> String {
             "fedsched_cache_misses_total",
             "Template-cache misses since start",
             snapshot.cache_misses,
+        ),
+        (
+            "fedsched_template_cache_evictions_total",
+            "Template-cache entries evicted by the capacity bound",
+            snapshot.cache_evictions,
         ),
     ];
     for (name, help, value) in counters {
@@ -650,15 +711,99 @@ pub fn render_prometheus(snapshot: &StatsSnapshot) -> String {
         snapshot.stages.requests_total,
     );
     for stage in RequestStage::ALL {
-        out.power_of_two_histogram(
-            &format!("fedsched_stage_duration_{}_us", stage.name()),
-            stage.help(),
-            snapshot.stages.buckets(stage),
-        );
+        let family = format!("fedsched_stage_duration_{}_us", stage.name());
+        out.power_of_two_histogram(&family, stage.help(), snapshot.stages.buckets(stage));
+        // Per-shard series extend the same family: the unlabeled samples
+        // above stay the exact aggregate, the labeled ones decompose it.
+        for shard in &snapshot.shards {
+            out.power_of_two_histogram_labeled(
+                &family,
+                &[("shard", &shard.shard.to_string())],
+                shard.stages.buckets(stage),
+            );
+        }
+    }
+
+    if !snapshot.shards.is_empty() {
+        render_shards(&snapshot.shards, &mut out);
     }
 
     fedsched_telemetry::render_probe("fedsched_analysis", &snapshot.probe, &mut out);
     out.finish()
+}
+
+/// One per-shard metric family: name, help text, and the field accessor.
+type ShardFamily = (&'static str, &'static str, fn(&ShardStatsSnapshot) -> u64);
+
+/// Renders the per-shard counter families, one `shard`-labeled sample per
+/// shard in each.
+fn render_shards(shards: &[ShardStatsSnapshot], out: &mut fedsched_telemetry::PromText) {
+    let gauges: [ShardFamily; 2] = [
+        (
+            "fedsched_shard_permits",
+            "Connection permits owned by the shard",
+            |s| s.permits,
+        ),
+        (
+            "fedsched_shard_active_connections",
+            "Permits currently held by live connections on the shard",
+            |s| s.active_connections,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        out.header(name, help, "gauge");
+        for shard in shards {
+            out.sample(name, &[("shard", &shard.shard.to_string())], value(shard));
+        }
+    }
+    let counters: [ShardFamily; 8] = [
+        (
+            "fedsched_shard_connections_served_total",
+            "Connections accepted onto the shard since start",
+            |s| s.connections_served,
+        ),
+        (
+            "fedsched_shard_permit_steals_total",
+            "Connections that borrowed this shard's permit after their home shard filled",
+            |s| s.permit_steals,
+        ),
+        (
+            "fedsched_shard_busy_rejections_total",
+            "Connections homed on the shard turned away Busy with every shard full",
+            |s| s.busy_rejections,
+        ),
+        (
+            "fedsched_shard_admit_requests_total",
+            "Admission requests served by the shard",
+            |s| s.admit_requests,
+        ),
+        (
+            "fedsched_shard_batched_requests_total",
+            "Admission requests committed as part of a multi-request pipeline batch",
+            |s| s.batched_requests,
+        ),
+        (
+            "fedsched_shard_compute_cache_hits_total",
+            "Hits in the shard's compute-cache partition",
+            |s| s.compute_hits,
+        ),
+        (
+            "fedsched_shard_compute_cache_misses_total",
+            "Misses in the shard's compute-cache partition (cold MINPROCS analyses)",
+            |s| s.compute_misses,
+        ),
+        (
+            "fedsched_shard_compute_cache_evictions_total",
+            "Entries evicted from the shard's compute-cache partition",
+            |s| s.compute_evictions,
+        ),
+    ];
+    for (name, help, value) in counters {
+        out.header(name, help, "counter");
+        for shard in shards {
+            out.sample(name, &[("shard", &shard.shard.to_string())], value(shard));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -726,6 +871,7 @@ mod tests {
             cache_hits: 1,
             cache_misses: 1,
             cache_entries: 1,
+            cache_evictions: 2,
             latency_buckets_us: vec![0; LATENCY_BUCKETS],
             latency_p50_us: None,
             latency_p90_us: None,
@@ -758,12 +904,18 @@ mod tests {
                 requests_total: 3,
                 ..StageStats::default()
             },
+            shards: Vec::new(),
         };
         let text = render_prometheus(&snapshot);
         fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
         assert!(text
             .lines()
             .any(|l| l == "fedsched_admitted_total{density=\"high\"} 1"));
+        assert!(text
+            .lines()
+            .any(|l| l == "fedsched_template_cache_evictions_total 2"));
+        // No shard entries → no shard-labeled families at all.
+        assert!(!text.contains("fedsched_shard_"));
         assert!(text
             .lines()
             .any(|l| l == "fedsched_rejected_total{density=\"low\"} 4"));
@@ -789,6 +941,79 @@ mod tests {
     }
 
     #[test]
+    fn shard_series_extend_the_exposition_with_labeled_samples() {
+        let mut snapshot = StatsSnapshot {
+            processors: 8,
+            dedicated_processors: 0,
+            shared_processors: 8,
+            resident_tasks: 0,
+            admitted_high: 0,
+            admitted_low: 0,
+            rejected_high: 0,
+            rejected_low: 0,
+            removed: 0,
+            remove_anomalies: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_entries: 0,
+            cache_evictions: 0,
+            latency_buckets_us: vec![0; LATENCY_BUCKETS],
+            latency_p50_us: None,
+            latency_p90_us: None,
+            latency_p99_us: None,
+            probe: AnalysisProbe::default(),
+            transport: TransportStats::default(),
+            durability: DurabilityStats::default(),
+            stages: StageStats::default(),
+            shards: Vec::new(),
+        };
+        for shard in 0..2u64 {
+            let mut s = ShardStatsSnapshot {
+                shard,
+                permits: 4,
+                active_connections: shard,
+                connections_served: 10 + shard,
+                permit_steals: shard,
+                busy_rejections: 0,
+                admit_requests: 5,
+                batched_requests: 2,
+                compute_hits: 3,
+                compute_misses: 2,
+                compute_evictions: 1,
+                stages: StageStats::default(),
+            };
+            s.stages.requests_total = 5;
+            s.stages.analysis_buckets_us[2] = 5;
+            snapshot.shards.push(s);
+        }
+        let text = render_prometheus(&snapshot);
+        fedsched_telemetry::validate_exposition(&text).expect("exposition parses");
+        for line in [
+            "fedsched_shard_permits{shard=\"0\"} 4",
+            "fedsched_shard_active_connections{shard=\"1\"} 1",
+            "fedsched_shard_connections_served_total{shard=\"1\"} 11",
+            "fedsched_shard_permit_steals_total{shard=\"1\"} 1",
+            "fedsched_shard_busy_rejections_total{shard=\"0\"} 0",
+            "fedsched_shard_admit_requests_total{shard=\"0\"} 5",
+            "fedsched_shard_batched_requests_total{shard=\"0\"} 2",
+            "fedsched_shard_compute_cache_hits_total{shard=\"0\"} 3",
+            "fedsched_shard_compute_cache_misses_total{shard=\"1\"} 2",
+            "fedsched_shard_compute_cache_evictions_total{shard=\"1\"} 1",
+            "fedsched_stage_duration_analysis_us_bucket{shard=\"0\",le=\"8\"} 5",
+            "fedsched_stage_duration_analysis_us_bucket{shard=\"1\",le=\"+Inf\"} 5",
+            "fedsched_stage_duration_analysis_us_count{shard=\"1\"} 5",
+        ] {
+            assert!(text.lines().any(|l| l == line), "missing {line:?}:\n{text}");
+        }
+        // Labeled series extend the existing family: exactly one header.
+        assert_eq!(
+            text.matches("# TYPE fedsched_stage_duration_analysis_us histogram")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
     fn every_histogram_family_ends_with_an_inf_bucket_matching_its_count() {
         let mut snapshot = StatsSnapshot {
             processors: 4,
@@ -804,6 +1029,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_entries: 0,
+            cache_evictions: 0,
             latency_buckets_us: vec![0; LATENCY_BUCKETS],
             latency_p50_us: None,
             latency_p90_us: None,
@@ -812,6 +1038,14 @@ mod tests {
             transport: TransportStats::default(),
             durability: DurabilityStats::default(),
             stages: StageStats::default(),
+            shards: vec![ShardStatsSnapshot {
+                shard: 0,
+                stages: StageStats {
+                    requests_total: 5,
+                    ..StageStats::default()
+                },
+                ..ShardStatsSnapshot::default()
+            }],
         };
         snapshot.latency_buckets_us[0] = 2;
         snapshot.latency_buckets_us[LATENCY_BUCKETS - 1] = 1;
@@ -866,6 +1100,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_entries: 0,
+            cache_evictions: 0,
             latency_buckets_us: vec![0; LATENCY_BUCKETS],
             latency_p50_us: None,
             latency_p90_us: None,
@@ -874,6 +1109,7 @@ mod tests {
             transport: TransportStats::default(),
             durability: DurabilityStats::default(),
             stages: StageStats::default(),
+            shards: Vec::new(),
         };
         let text = render_prometheus(&snapshot);
         // Every latency histogram HELP line must label its quantiles for
@@ -923,6 +1159,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_entries: 0,
+            cache_evictions: 0,
             latency_buckets_us: vec![0; LATENCY_BUCKETS],
             latency_p50_us: None,
             latency_p90_us: None,
@@ -947,23 +1184,41 @@ mod tests {
                 requests_total: 12,
                 ..StageStats::default()
             },
+            shards: vec![ShardStatsSnapshot {
+                shard: 1,
+                permits: 8,
+                active_connections: 2,
+                connections_served: 40,
+                permit_steals: 3,
+                busy_rejections: 1,
+                admit_requests: 30,
+                batched_requests: 12,
+                compute_hits: 20,
+                compute_misses: 10,
+                compute_evictions: 4,
+                stages: StageStats::default(),
+            }],
         };
         let json = serde_json::to_string(&snapshot).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.transport, snapshot.transport);
         assert_eq!(back.durability, snapshot.durability);
         assert_eq!(back.stages, snapshot.stages);
-        // A snapshot from a server predating the stage decomposition
-        // deserializes with default (empty) stage stats.
+        assert_eq!(back.shards, snapshot.shards);
+        // A snapshot from a server predating the stage decomposition and
+        // the sharded plane deserializes with default (empty) stage stats
+        // and no shard entries.
         let stripped = {
             let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
             if let serde_json::Value::Map(entries) = &mut v {
-                entries.retain(|(k, _)| k != "stages");
+                entries.retain(|(k, _)| k != "stages" && k != "shards" && k != "cache_evictions");
             }
             serde_json::to_string(&v).unwrap()
         };
         let old: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
         assert_eq!(old.stages, StageStats::default());
+        assert!(old.shards.is_empty());
+        assert_eq!(old.cache_evictions, 0);
     }
 
     #[test]
@@ -999,6 +1254,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             cache_entries: 0,
+            cache_evictions: 0,
             latency_buckets_us: vec![0; LATENCY_BUCKETS],
             latency_p50_us: None,
             latency_p90_us: None,
@@ -1007,6 +1263,7 @@ mod tests {
             transport: TransportStats::default(),
             durability: DurabilityStats::default(),
             stages: StageStats::default(),
+            shards: Vec::new(),
         };
         let text = render_prometheus(&snapshot);
         fedsched_telemetry::validate_exposition(&text).expect("exposition parses");

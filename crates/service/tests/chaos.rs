@@ -23,9 +23,14 @@ use fedsched_service::state::AdmissionConfig;
 use fedsched_service::stats::TransportStats;
 
 fn start_server(limits: ConnectionLimits) -> ServerHandle {
+    start_sharded_server(limits, 1)
+}
+
+fn start_sharded_server(limits: ConnectionLimits, shards: usize) -> ServerHandle {
     serve(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
+        shards,
         admission: AdmissionConfig::new(16).with_telemetry(256),
         limits,
         durability: None,
@@ -45,6 +50,7 @@ fn start_durable_server(dir: &std::path::Path) -> ServerHandle {
     serve(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
+        shards: 1,
         admission: AdmissionConfig::new(16).with_telemetry(256),
         limits: ConnectionLimits::default(),
         durability: Some(StoreConfig {
@@ -263,6 +269,112 @@ fn over_capacity_connections_get_a_fast_busy_and_clients_retry_through() {
         counters.snapshot()
     );
     drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn a_saturated_shard_lends_its_sibling_a_permit_before_anyone_hears_busy() {
+    // Two shards, one permit each. Round-robin homing sends consecutive
+    // connections to alternating home shards; when a connection's home
+    // is saturated it must be served on a *stolen* sibling permit, and
+    // only a genuinely full server — every shard saturated — answers
+    // Busy. Nothing ever queues behind the saturated shard.
+    let handle = start_sharded_server(
+        ConnectionLimits {
+            io_timeout: Some(Duration::from_secs(2)),
+            max_connections: 2,
+            ..ConnectionLimits::default()
+        },
+        2,
+    );
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    // Connections 0 and 1 home to shards 0 and 1 and occupy both permits.
+    let mut hogs = Vec::new();
+    for i in 0..2 {
+        let mut hog = ChaosClient::connect(addr).expect("hog connect");
+        hog.send(b"\"Stats\"\n").expect("hog request");
+        assert!(
+            hog.read_line_within(Duration::from_secs(2))
+                .expect("hog read")
+                .is_some(),
+            "hog {i} must be serving"
+        );
+        hogs.push(hog);
+    }
+    let shards = handle.shard_stats();
+    assert_eq!(shards.len(), 2);
+    assert_eq!(
+        shards.iter().map(|s| s.permits).sum::<u64>(),
+        2,
+        "every permit is owned by exactly one shard"
+    );
+    assert!(
+        shards.iter().all(|s| s.active_connections == 1),
+        "round-robin homing fills both shards, got {shards:?}"
+    );
+
+    // Drop the shard-1 hog and wait for its permit to come home.
+    drop(hogs.pop());
+    let drained = {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let active: u64 = handle
+                .shard_stats()
+                .iter()
+                .map(|s| s.active_connections)
+                .sum();
+            if active == 1 {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+    assert!(drained, "the dropped hog must release its permit");
+
+    // Connection 2 homes to shard 0 — still saturated — and must be
+    // served immediately on shard 1's free permit: a steal, not a Busy,
+    // and certainly not a queue.
+    let mut stealer = ChaosClient::connect(addr).expect("stealer connect");
+    stealer.send(b"\"Stats\"\n").expect("stealer request");
+    assert!(
+        stealer
+            .read_line_within(Duration::from_secs(2))
+            .expect("stealer read")
+            .is_some(),
+        "a full home shard must borrow from its sibling, not refuse"
+    );
+    let shards = handle.shard_stats();
+    assert!(
+        shards.iter().map(|s| s.permit_steals).sum::<u64>() >= 1,
+        "the borrowed permit must be counted as a steal, got {shards:?}"
+    );
+
+    // Connection 3: every shard saturated again — a fast framed Busy.
+    let mut probe = ChaosClient::connect(addr).expect("probe connect");
+    let line = probe
+        .read_line_within(Duration::from_secs(2))
+        .expect("probe read")
+        .expect("a full server must answer, not hang");
+    assert!(line.contains("Busy"), "expected Busy, got {line:?}");
+    let shards = handle.shard_stats();
+    assert_eq!(
+        shards.iter().map(|s| s.busy_rejections).sum::<u64>(),
+        counters.snapshot().busy_rejections,
+        "shard busy tallies must sum to the transport counter"
+    );
+    assert!(
+        counters.snapshot().busy_rejections >= 1,
+        "the full-capacity rejection must be counted"
+    );
+
+    drop(stealer);
+    drop(hogs);
+    drop(probe);
     handle.shutdown();
 }
 

@@ -19,6 +19,7 @@ fn start_server(processors: u32) -> ServerHandle {
     serve(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: CLIENTS,
+        shards: 2,
         admission: AdmissionConfig::new(processors),
         limits: ConnectionLimits::default(),
         durability: None,
