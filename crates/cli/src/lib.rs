@@ -721,6 +721,10 @@ pub struct ServeOptions {
     /// core). Admission outcomes are byte-identical at any shard count;
     /// sharding only changes how much of the plane runs concurrently.
     pub shards: usize,
+    /// Connection plane (`--conn-model`): an epoll reactor per shard
+    /// (default) or one thread per connection. Admission outcomes are
+    /// byte-identical under either model.
+    pub conn_model: fedsched_service::ConnModel,
     /// Capacity bound of the `MINPROCS` template cache (`0` = unbounded).
     /// Part of the durable configuration identity: `recover`/`compact`
     /// must pass the same cap the serving process used.
@@ -757,6 +761,7 @@ impl Default for ServeOptions {
             addr: "127.0.0.1:7878".to_owned(),
             workers: 4,
             shards: 0,
+            conn_model: fedsched_service::ConnModel::default(),
             template_cache_cap: 0,
             telemetry_events: 4096,
             limits: fedsched_service::ConnectionLimits::default(),
@@ -781,6 +786,7 @@ pub fn start_server(opts: &ServeOptions) -> Result<fedsched_service::ServerHandl
         addr: opts.addr.clone(),
         workers: opts.workers,
         shards: opts.shards,
+        conn_model: opts.conn_model,
         admission: admission_config(opts),
         limits: opts.limits,
         durability: opts.data_dir.as_ref().map(|dir| store_config(opts, dir)),
@@ -984,6 +990,14 @@ pub fn serve_banner(opts: &ServeOptions, handle: &fedsched_service::ServerHandle
     let shard_stats = handle.shard_stats();
     let _ = writeln!(
         out,
+        "  connection plane: {}",
+        match opts.conn_model {
+            fedsched_service::ConnModel::Reactor => "epoll reactor per shard",
+            fedsched_service::ConnModel::Threads => "one thread per connection",
+        },
+    );
+    let _ = writeln!(
+        out,
         "  admission plane: {} shard(s){} holding {} connection permit(s), template-cache cap {}",
         shard_stats.len(),
         if opts.shards == 0 {
@@ -1157,14 +1171,43 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, CliError> {
         config.load.seed = s;
     }
 
+    let mut scaling = if opts.quick {
+        fedsched_loadgen::ScalingConfig::quick()
+    } else {
+        fedsched_loadgen::ScalingConfig::full()
+    };
+    scaling.load.warmup = config.load.warmup;
+    scaling.load.measure = config.load.measure;
+    scaling.load.process = config.load.process;
+    scaling.load.seed = config.load.seed;
+    if let Some(n) = opts.connections {
+        // An explicit --connections caps the ladder too: the operator is
+        // sizing the plane, so the ladder tops out exactly there.
+        scaling.ladder.retain(|&c| c < n.max(1));
+        scaling.ladder.push(n.max(1));
+    }
+
     // Spawn mode binds an ephemeral port; the sweep is the only client.
+    // The spawned server's connection cap clears the widest rung asked
+    // of it, so the scaling ladder measures the plane, not the gate.
     let spawned = match &opts.addr {
         Some(_) => None,
-        None => Some(start_server(&ServeOptions {
-            addr: "127.0.0.1:0".to_owned(),
-            processors: opts.processors,
-            ..ServeOptions::default()
-        })?),
+        None => {
+            let mut serve_opts = ServeOptions {
+                addr: "127.0.0.1:0".to_owned(),
+                processors: opts.processors,
+                ..ServeOptions::default()
+            };
+            let widest = scaling
+                .ladder
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0)
+                .max(config.load.connections);
+            serve_opts.limits.max_connections = serve_opts.limits.max_connections.max(widest + 8);
+            Some(start_server(&serve_opts)?)
+        }
     };
     let addr = match (&opts.addr, &spawned) {
         (Some(addr), _) => addr.clone(),
@@ -1172,7 +1215,8 @@ pub fn loadgen(opts: &LoadgenOptions) -> Result<String, CliError> {
         (None, None) => unreachable!("spawned when no addr was given"),
     };
 
-    let report = fedsched_loadgen::run_sweep(&addr, &config, opts.quick);
+    let mut report = fedsched_loadgen::run_sweep(&addr, &config, opts.quick);
+    report.connection_scaling = Some(fedsched_loadgen::run_connection_scaling(&addr, &scaling));
 
     if let Some(handle) = spawned {
         let mut client = fedsched_service::Client::connect(handle.local_addr())?;
@@ -1434,6 +1478,7 @@ USAGE:
   fedsched dot      <system.json> [--task K]           # Graphviz to stdout
   fedsched serve    -m M [--policy list|cpf|lwf] [--exact-partition]
                     [--addr HOST:PORT] [--workers N] [--shards N]
+                    [--conn-model reactor|threads]
                     [--template-cache-cap N] [--telemetry N]
                     [--io-timeout-ms MS] [--idle-strikes N] [--max-conns N]
                     [--max-frame-bytes N] [--max-requests N] [--slow-ms MS]
@@ -1443,6 +1488,9 @@ USAGE:
                     # admission server; GET /metrics on the same port;
                     # --shards 0 (default) runs one connection shard per
                     # core; decisions are byte-identical at any count;
+                    # --conn-model reactor (default) multiplexes every
+                    # connection on one epoll loop per shard; threads
+                    # keeps the per-connection handler threads;
                     # --template-cache-cap bounds the MINPROCS cache
                     # (0 = unbounded) and is part of the durable config;
                     # --io-timeout-ms 0 disables connection deadlines;

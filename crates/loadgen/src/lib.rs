@@ -155,6 +155,13 @@ impl SweepConfig {
     }
 }
 
+/// Fewest measured samples for which the tail quantiles are marked
+/// reliable. Below this, a p99 is interpolating over a handful of
+/// observations (and a p99.9 over fewer than one), so the report flags
+/// the summary rather than letting a lucky rung read as a regression
+/// budget. The quick CI shape always lands below this floor.
+pub const MIN_RELIABLE_SAMPLES: u64 = 1000;
+
 /// Exact latency quantiles over the measured window, in microseconds.
 /// Computed from the raw sample vector — nothing here passes through
 /// the server's power-of-two buckets.
@@ -162,6 +169,10 @@ impl SweepConfig {
 pub struct LatencySummary {
     /// Measured samples the quantiles are over.
     pub samples: u64,
+    /// Whether `samples` reaches [`MIN_RELIABLE_SAMPLES`]. Quantiles on
+    /// an unreliable summary are still exact over what was measured —
+    /// there just was not enough measured for the tail to mean much.
+    pub reliable: bool,
     pub p50_us: u64,
     pub p90_us: u64,
     pub p99_us: u64,
@@ -187,6 +198,7 @@ impl LatencySummary {
         let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
         Some(LatencySummary {
             samples: n as u64,
+            reliable: n as u64 >= MIN_RELIABLE_SAMPLES,
             p50_us: rank(0.50),
             p90_us: rank(0.90),
             p99_us: rank(0.99),
@@ -205,6 +217,10 @@ impl LatencySummary {
 pub struct StageMeans {
     /// Echoed admissions the means are over.
     pub samples: u64,
+    /// Waiting for the request's first byte — open-loop client think
+    /// time, not server work. Kept out of `read_us` so socket time
+    /// cannot be mistaken for a slow read path.
+    pub idle_us: f64,
     pub read_us: f64,
     pub parse_us: f64,
     pub cache_us: f64,
@@ -269,6 +285,134 @@ pub struct SweepReport {
     /// when the stats probe failed or the server predates sharding.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub shards: Vec<ShardOccupancy>,
+    /// The connection-scaling ladder ridden after the rate sweep: fixed
+    /// offered rate, growing connection counts, watching for the p99
+    /// knee. `None` when the scaling sweep was not run.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub connection_scaling: Option<ConnectionScalingReport>,
+}
+
+/// Shape of the connection-scaling sweep: the offered rate stays fixed
+/// while the connection count climbs a ladder, so any latency movement
+/// is attributable to connection-plane overhead (registration, timers,
+/// readiness traffic), not to admission load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingConfig {
+    /// Per-rung shape; `connections` is overridden by each ladder rung.
+    pub load: LoadConfig,
+    /// The offered rate (all connections combined) held on every rung.
+    pub fixed_rps: f64,
+    /// Connection counts to walk, in order.
+    pub ladder: Vec<usize>,
+    /// A rung knees when its p99 exceeds this multiple of the first
+    /// rung's p99 (or when it sheds or errors outright).
+    pub knee_factor: f64,
+}
+
+impl ScalingConfig {
+    /// CI shape: a short ladder with sub-second rungs.
+    #[must_use]
+    pub fn quick() -> ScalingConfig {
+        ScalingConfig {
+            load: LoadConfig {
+                connections: 2,
+                warmup: Duration::from_millis(200),
+                measure: Duration::from_millis(600),
+                ..LoadConfig::default()
+            },
+            fixed_rps: 50.0,
+            ladder: vec![2, 8, 32],
+            knee_factor: 8.0,
+        }
+    }
+
+    /// Benchmark shape: climbs to a thousand held connections.
+    #[must_use]
+    pub fn full() -> ScalingConfig {
+        ScalingConfig {
+            load: LoadConfig::default(),
+            fixed_rps: 200.0,
+            ladder: vec![4, 16, 64, 256, 1000],
+            knee_factor: 8.0,
+        }
+    }
+}
+
+/// One rung of the connection-scaling ladder.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScalingRung {
+    /// Concurrent connections held on this rung.
+    pub connections: usize,
+    /// Fully answered requests in the measured window.
+    pub completed: u64,
+    /// `completed / measure`.
+    pub achieved_rps: f64,
+    /// IO failures on this rung.
+    pub errors: u64,
+    /// `Busy` answers that survived every retry.
+    pub busy_giveups: u64,
+    /// Intended-start latency over the rung.
+    pub latency: LatencySummary,
+    /// Whether this rung crossed the knee criterion.
+    pub knee: bool,
+}
+
+/// The connection-scaling section of `BENCH_service.json`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConnectionScalingReport {
+    /// The offered rate every rung was held at.
+    pub fixed_rps: f64,
+    /// Every rung walked, in ladder order.
+    pub rungs: Vec<ScalingRung>,
+    /// The largest connection count that stayed on the good side of the
+    /// p99 knee (`None` when even the first rung kneed).
+    pub max_connections_before_knee: Option<usize>,
+    /// Per-shard occupancy probed right after the top rung: how the
+    /// connection plane spread the widest rung across its shards.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub top_rung_shards: Vec<ShardOccupancy>,
+}
+
+/// Walks the whole connection ladder at a fixed offered rate and reports
+/// where the p99 knee sits. Kneed rungs are marked, not skipped: the
+/// rungs past a knee are exactly the ones that show whether the plane
+/// degrades gracefully or collapses.
+#[must_use]
+pub fn run_connection_scaling(addr: &str, config: &ScalingConfig) -> ConnectionScalingReport {
+    let mut rungs: Vec<ScalingRung> = Vec::new();
+    let mut baseline_p99 = None;
+    for &connections in &config.ladder {
+        let load = LoadConfig {
+            connections,
+            ..config.load.clone()
+        };
+        let step = run_step(addr, config.fixed_rps, &load, 0.0, None);
+        let p99 = step.latency.p99_us;
+        let baseline = *baseline_p99.get_or_insert(p99.max(1));
+        let knee = step.errors > 0
+            || step.busy_giveups > 0
+            || p99 as f64 > config.knee_factor * baseline as f64;
+        rungs.push(ScalingRung {
+            connections,
+            completed: step.completed,
+            achieved_rps: step.achieved_rps,
+            errors: step.errors,
+            busy_giveups: step.busy_giveups,
+            latency: step.latency,
+            knee,
+        });
+    }
+    let max_connections_before_knee = rungs
+        .iter()
+        .take_while(|r| !r.knee)
+        .map(|r| r.connections)
+        .max();
+    ConnectionScalingReport {
+        fixed_rps: config.fixed_rps,
+        rungs,
+        max_connections_before_knee,
+        top_rung_shards: probe_shard_occupancy(addr),
+    }
 }
 
 /// One shard's share of the sweep, distilled from the server's
@@ -415,17 +559,21 @@ struct WorkerOutcome {
     busy_retries: u64,
     busy_giveups: u64,
     errors: u64,
-    stage_sums_us: [u64; 5],
+    stage_sums_us: [u64; 6],
     stage_samples: u64,
 }
 
 /// Runs one worker: walk the assigned offsets, alternate admit/remove
 /// (so server occupancy stays flat across the whole sweep), measure
-/// from the intended instant.
+/// from the intended instant. The connection is held open until
+/// `horizon` even after the worker's last send — a rung's connection
+/// count means sockets *concurrently held*, not sockets ever dialed,
+/// which is the whole point of the connection-scaling ladder.
 fn run_worker(
     addr: &str,
     offsets: &[Duration],
     warmup: Duration,
+    horizon: Duration,
     echo_timing: bool,
     start: Instant,
 ) -> WorkerOutcome {
@@ -461,11 +609,12 @@ fn run_worker(
                 if measured {
                     out.admitted += 1;
                     if let Some(t) = timing {
-                        out.stage_sums_us[0] += t.read_us;
-                        out.stage_sums_us[1] += t.parse_us;
-                        out.stage_sums_us[2] += t.cache_us;
-                        out.stage_sums_us[3] += t.analysis_us;
-                        out.stage_sums_us[4] += t.wal_us;
+                        out.stage_sums_us[0] += t.idle_us;
+                        out.stage_sums_us[1] += t.read_us;
+                        out.stage_sums_us[2] += t.parse_us;
+                        out.stage_sums_us[3] += t.cache_us;
+                        out.stage_sums_us[4] += t.analysis_us;
+                        out.stage_sums_us[5] += t.wal_us;
                         out.stage_samples += 1;
                     }
                 }
@@ -500,7 +649,9 @@ fn run_worker(
             out.latencies_us.push(us);
         }
     }
-    // Leave the server as found: drain this worker's leftover tokens.
+    // Hold the connection through the end of the window, then leave the
+    // server as found by draining this worker's leftover tokens.
+    sleep_until(start, horizon);
     for token in tokens {
         let _ = client.remove(token);
     }
@@ -572,7 +723,14 @@ fn run_step(
             .iter()
             .map(|slice| {
                 scope.spawn(move || {
-                    run_worker(addr, slice, config.warmup, config.echo_timing, start)
+                    run_worker(
+                        addr,
+                        slice,
+                        config.warmup,
+                        config.warmup + config.measure,
+                        config.echo_timing,
+                        start,
+                    )
                 })
             })
             .collect();
@@ -607,6 +765,7 @@ fn run_step(
     }
     let latency = LatencySummary::from_micros(latencies).unwrap_or(LatencySummary {
         samples: 0,
+        reliable: false,
         p50_us: 0,
         p90_us: 0,
         p99_us: 0,
@@ -618,11 +777,12 @@ fn run_step(
         let mean = |i: usize| total.stage_sums_us[i] as f64 / total.stage_samples as f64;
         StageMeans {
             samples: total.stage_samples,
-            read_us: mean(0),
-            parse_us: mean(1),
-            cache_us: mean(2),
-            analysis_us: mean(3),
-            wal_us: mean(4),
+            idle_us: mean(0),
+            read_us: mean(1),
+            parse_us: mean(2),
+            cache_us: mean(3),
+            analysis_us: mean(4),
+            wal_us: mean(5),
         }
     });
     let achieved_rps = total.completed as f64 / config.measure.as_secs_f64();
@@ -682,6 +842,7 @@ pub fn run_sweep(addr: &str, config: &SweepConfig, quick: bool) -> SweepReport {
         max_sustainable_rps,
         metrics_validated,
         shards: probe_shard_occupancy(addr),
+        connection_scaling: None,
     }
 }
 
@@ -724,12 +885,20 @@ pub fn render_report(report: &SweepReport) -> String {
                 "  (NOT sustained)"
             },
         );
+        if !step.latency.reliable {
+            let _ = writeln!(
+                out,
+                "    (quantiles unreliable: {} sample(s), below the {} floor)",
+                step.latency.samples, MIN_RELIABLE_SAMPLES,
+            );
+        }
         if let Some(stages) = &step.server_stages {
             let _ = writeln!(
                 out,
-                "    server stages (mean over {} echoes): read {:.1}µs (incl. idle wait \
-                 for the frame), parse {:.1}µs, cache {:.1}µs, analysis {:.1}µs, wal {:.1}µs",
+                "    server stages (mean over {} echoes): idle-wait {:.1}µs (client think \
+                 time), read {:.1}µs, parse {:.1}µs, cache {:.1}µs, analysis {:.1}µs, wal {:.1}µs",
                 stages.samples,
+                stages.idle_us,
                 stages.read_us,
                 stages.parse_us,
                 stages.cache_us,
@@ -772,6 +941,47 @@ pub fn render_report(report: &SweepReport) -> String {
                 s.compute_misses,
                 s.compute_evictions,
             );
+        }
+    }
+    if let Some(scaling) = &report.connection_scaling {
+        let _ = writeln!(
+            out,
+            "connection scaling at {:.1} rps offered:",
+            scaling.fixed_rps
+        );
+        for rung in &scaling.rungs {
+            let _ = writeln!(
+                out,
+                "  {:>5} connection(s): achieved {:>8.1} rps, p99 {}µs{}{}{}",
+                rung.connections,
+                rung.achieved_rps,
+                rung.latency.p99_us,
+                if rung.errors + rung.busy_giveups > 0 {
+                    format!(
+                        " [busy-giveups {}, errors {}]",
+                        rung.busy_giveups, rung.errors
+                    )
+                } else {
+                    String::new()
+                },
+                if rung.latency.reliable {
+                    String::new()
+                } else {
+                    format!(" (unreliable: {} sample(s))", rung.latency.samples)
+                },
+                if rung.knee { "  <- p99 knee" } else { "" },
+            );
+        }
+        match scaling.max_connections_before_knee {
+            Some(n) => {
+                let _ = writeln!(out, "  max connections before the knee: {n}");
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  max connections before the knee: none (first rung kneed)"
+                );
+            }
         }
     }
     out
@@ -828,9 +1038,18 @@ mod tests {
     }
 
     #[test]
+    fn quantile_reliability_follows_the_sample_floor() {
+        let scant = LatencySummary::from_micros(vec![10; 999]).unwrap();
+        assert!(!scant.reliable, "999 samples sit below the floor");
+        let enough = LatencySummary::from_micros(vec![10; 1000]).unwrap();
+        assert!(enough.reliable, "the floor itself is reliable");
+    }
+
+    #[test]
     fn quantile_summary_is_exact_nearest_rank() {
         let summary = LatencySummary::from_micros((1..=1000).rev().collect()).unwrap();
         assert_eq!(summary.samples, 1000);
+        assert!(summary.reliable);
         assert_eq!(summary.p50_us, 500);
         assert_eq!(summary.p90_us, 900);
         assert_eq!(summary.p99_us, 990);

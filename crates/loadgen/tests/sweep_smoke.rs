@@ -5,7 +5,9 @@
 
 use std::time::Duration;
 
-use fedsched_loadgen::{run_sweep, ArrivalProcess, LoadConfig, SweepConfig};
+use fedsched_loadgen::{
+    run_connection_scaling, run_sweep, ArrivalProcess, LoadConfig, ScalingConfig, SweepConfig,
+};
 use fedsched_service::server::{serve, ConnectionLimits, ServerConfig};
 use fedsched_service::state::AdmissionConfig;
 
@@ -33,6 +35,7 @@ fn sweep_completes_requests_and_validates_metrics_under_load() {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shards: 1,
+        conn_model: Default::default(),
         admission: AdmissionConfig::new(8),
         limits: ConnectionLimits::default(),
         durability: None,
@@ -41,7 +44,7 @@ fn sweep_completes_requests_and_validates_metrics_under_load() {
     .expect("bind loopback");
     let addr = handle.local_addr().to_string();
 
-    let report = run_sweep(&addr, &tiny_sweep(), true);
+    let mut report = run_sweep(&addr, &tiny_sweep(), true);
 
     assert!(!report.steps.is_empty(), "at least one rung ran");
     let first = &report.steps[0];
@@ -81,6 +84,33 @@ fn sweep_completes_requests_and_validates_metrics_under_load() {
         report.max_sustainable_rps.is_some(),
         "a lenient sustain ratio finds a sustained rung: {report:?}"
     );
+    assert!(
+        !first.latency.reliable,
+        "a tiny smoke rung must be flagged as quantile-unreliable"
+    );
+
+    // The connection-scaling ladder rides the same server.
+    let scaling = run_connection_scaling(
+        &addr,
+        &ScalingConfig {
+            load: tiny_sweep().load,
+            fixed_rps: 40.0,
+            ladder: vec![1, 4],
+            knee_factor: 1e9, // no knee at smoke scale
+        },
+    );
+    assert_eq!(scaling.rungs.len(), 2, "every ladder rung ran: {scaling:?}");
+    assert!(scaling.rungs.iter().all(|r| r.errors == 0));
+    assert_eq!(
+        scaling.max_connections_before_knee,
+        Some(4),
+        "no knee at smoke scale: {scaling:?}"
+    );
+    assert!(
+        !scaling.top_rung_shards.is_empty(),
+        "the top-rung occupancy probe lands"
+    );
+    report.connection_scaling = Some(scaling);
 
     // The machine-readable artifact round-trips through JSON with the
     // fields CI's schema check greps for.
@@ -94,6 +124,9 @@ fn sweep_completes_requests_and_validates_metrics_under_load() {
         "\"errors\"",
         "\"achieved_rps\"",
         "\"metrics_validated\"",
+        "\"reliable\"",
+        "\"connection_scaling\"",
+        "\"max_connections_before_knee\"",
     ] {
         assert!(json.contains(key), "report JSON carries {key}:\n{json}");
     }

@@ -48,6 +48,7 @@
 //!     addr: "127.0.0.1:0".into(),
 //!     workers: 2,
 //!     shards: 1,
+//!     conn_model: Default::default(),
 //!     admission: AdmissionConfig::new(4),
 //!     limits: ConnectionLimits::default(),
 //!     durability: None,
@@ -71,6 +72,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod protocol;
+mod reactor;
 pub mod recovery;
 pub mod server;
 pub mod state;
@@ -82,7 +84,7 @@ pub use client::{Client, ClientConfig};
 pub use protocol::{Placement, Request, RequestTiming, Response};
 pub use recovery::{recover_state, RecoverError, ReplayReport};
 pub use server::{
-    serve, ConnectionLimits, ServerConfig, ServerHandle, StageCounters, StageTimer,
+    serve, ConnModel, ConnectionLimits, ServerConfig, ServerHandle, StageCounters, StageTimer,
     TransportCounters,
 };
 pub use state::{AdmissionConfig, AdmissionState, Admitted, RejectReason, Removed, UnknownToken};

@@ -30,9 +30,13 @@ fn is_false(b: &bool) -> bool {
 /// so that stage cannot time itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RequestTiming {
-    /// Reading and framing the request line (includes waiting for the
-    /// client's bytes, so think time inflates it on interactive
-    /// connections).
+    /// Waiting for the first byte of the request — open-loop client
+    /// think time, not server work. Absent in echoes from servers
+    /// predating the idle/read split.
+    #[serde(default)]
+    pub idle_us: u64,
+    /// Reading and framing the request line once its first byte
+    /// arrived (socket work alone; think time lands in `idle_us`).
     pub read_us: u64,
     /// Parsing the framed line into a typed request.
     pub parse_us: u64,
@@ -282,6 +286,7 @@ mod tests {
                 cache_hit: true,
                 trace_id: Some(99),
                 timing: Some(RequestTiming {
+                    idle_us: 5,
                     read_us: 12,
                     parse_us: 3,
                     cache_us: 0,
@@ -341,6 +346,7 @@ mod tests {
                 cache_hit: true,
                 trace_id: Some(99),
                 timing: Some(RequestTiming {
+                    idle_us: 5,
                     read_us: 12,
                     parse_us: 3,
                     cache_us: 7,

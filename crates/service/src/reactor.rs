@@ -1,0 +1,1248 @@
+//! The per-shard epoll reactor: one nonblocking event loop per shard
+//! multiplexing every connection homed there, replacing the
+//! thread-per-connection plane behind `--conn-model reactor`.
+//!
+//! # Division of labour
+//!
+//! The **reactor thread** owns the sockets. It runs a level-triggered
+//! `epoll_wait` loop (via the vendored [`reactor`] syscall wrapper — all
+//! `unsafe` lives there, this crate keeps `#![forbid(unsafe_code)]`)
+//! and does only O(bytes) work per wakeup:
+//!
+//! * an incremental NDJSON **frame decoder**: bytes append to a
+//!   per-connection buffer bounded by `max_frame_bytes + 1` (the same
+//!   cap-plus-probe-byte guarantee as the threaded `read_frame`), and
+//!   complete newline-terminated lines are split off as they arrive;
+//! * a 64-slot **timer wheel** implementing the `--io-timeout-ms`
+//!   deadlines and idle-strike drops without per-connection timers:
+//!   entries are `(token, generation)` pairs revalidated lazily on
+//!   expiry, so resetting a deadline on byte arrival is a field store,
+//!   never a wheel operation;
+//! * an **eventfd wakeup** path ([`ReactorShared`]): acceptors push
+//!   accepted sockets and the dispatch pool pushes finished
+//!   [`Outcome`]s into a mailbox, then ring the waker so parked
+//!   connections make progress without polling.
+//!
+//! The **dispatch pool** does the admission work. Decoded lines ship to
+//! it as a [`Job`]; [`process_lines`] mirrors the threaded
+//! `serve_connection` request loop statement for statement — the same
+//! batching window, the same counter bumps in the same order, the same
+//! error strings — so decisions, counters, WAL bytes, and cache
+//! contents are byte-identical under either `--conn-model`. Responses
+//! come back as an [`Outcome`] and the reactor writes them out,
+//! parking the connection on `EPOLLOUT` only when the socket's send
+//! buffer fills.
+//!
+//! While a job is in flight the connection's fd is **deleted** from the
+//! epoll set (level-triggered readiness would otherwise busy-loop on
+//! `EPOLLRDHUP` for a half-closed pipelining client) and re-added when
+//! its outcome is applied.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use ::reactor::{Events, Interest, Poller, Waker};
+use fedsched_telemetry::CounterKind;
+
+use crate::protocol::{write_message, Request, Response};
+use crate::server::{
+    bump, dispatch, dispatch_admit_batch, lock, log_slow_request, serve_metrics_http, wake_workers,
+    AdmitItem, Permit, Shard, Shared, StageTimer, Tail, ADMIT_BATCH_MAX,
+};
+use crate::stats::RequestStage;
+
+/// The eventfd's registration token; connection tokens are slab indices
+/// and can never reach it.
+const WAKER_TOKEN: u64 = u64::MAX;
+/// Events drained per `epoll_wait` call.
+const EVENTS_CAPACITY: usize = 1024;
+/// Timer-wheel slots; deadlines further out than the wheel's horizon
+/// re-insert themselves on expiry (lazy revalidation).
+const WHEEL_SLOTS: usize = 64;
+/// Floor on the wheel tick so a tiny `--io-timeout-ms` cannot turn the
+/// event loop into a spin loop.
+const MIN_TICK: Duration = Duration::from_millis(5);
+/// Per-read chunk, matching the threaded plane's `BufReader` capacity.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// What the dispatch pool hands back for one [`Job`]: the serialized
+/// response bytes plus how the connection proceeds.
+#[derive(Debug)]
+pub(crate) struct Outcome {
+    /// Response bytes to write, in request order.
+    bytes: Vec<u8>,
+    /// Requests served by this job (the connection's budget advances).
+    served_delta: u64,
+    /// Close after flushing `bytes` (error, metrics scrape, budget
+    /// exhaustion, shutdown drain — whatever ended the threaded loop).
+    close: bool,
+    /// This connection's request flipped the shutdown flag; the worker
+    /// already woke the acceptors and every reactor.
+    triggered_shutdown: bool,
+}
+
+/// One connection's decoded lines, dispatched off the event loop.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// Home shard (selects the reactor to answer to).
+    shard: usize,
+    /// Slab token of the connection on that reactor.
+    token: usize,
+    /// Complete newline-terminated frames, in arrival order.
+    lines: Vec<Vec<u8>>,
+    /// Requests the connection had served before this job.
+    served: u64,
+    /// The stage timer carrying the first line's measured idle-wait and
+    /// frame-read intervals.
+    timer: StageTimer,
+}
+
+/// Mail for a reactor: a new connection from an acceptor, or a finished
+/// job from the dispatch pool.
+#[derive(Debug)]
+enum Inbound {
+    NewConn(TcpStream, Permit),
+    Outcome(usize, Outcome),
+}
+
+/// The cross-thread half of one shard's reactor: a mailbox plus the
+/// eventfd that wakes the loop when mail arrives.
+#[derive(Debug)]
+pub(crate) struct ReactorShared {
+    inbox: Mutex<Vec<Inbound>>,
+    waker: Waker,
+    force: AtomicBool,
+}
+
+impl ReactorShared {
+    /// Creates the mailbox and its eventfd waker.
+    pub(crate) fn new() -> io::Result<ReactorShared> {
+        Ok(ReactorShared {
+            inbox: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+            force: AtomicBool::new(false),
+        })
+    }
+
+    fn lock_inbox(&self) -> MutexGuard<'_, Vec<Inbound>> {
+        self.inbox
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn push(&self, mail: Inbound) {
+        self.lock_inbox().push(mail);
+        let _ = self.waker.wake();
+    }
+
+    fn take_inbox(&self) -> Vec<Inbound> {
+        std::mem::take(&mut *self.lock_inbox())
+    }
+
+    /// Wakes the loop so it re-checks the shutdown flag and its mailbox.
+    pub(crate) fn wake(&self) {
+        let _ = self.waker.wake();
+    }
+
+    /// Asks the loop to drop every remaining connection and exit — the
+    /// drain-timeout backstop, equivalent to abandoned handler threads
+    /// dying with the process.
+    pub(crate) fn force_exit(&self) {
+        self.force.store(true, Ordering::Release);
+        let _ = self.waker.wake();
+    }
+
+    /// Hands an accepted connection (and its gate permit) to the loop.
+    pub(crate) fn push_conn(&self, stream: TcpStream, permit: Permit) {
+        self.push(Inbound::NewConn(stream, permit));
+    }
+
+    fn push_outcome(&self, token: usize, outcome: Outcome) {
+        self.push(Inbound::Outcome(token, outcome));
+    }
+}
+
+/// The queue between the reactors and the dispatch pool. A plain
+/// `VecDeque` under a mutex with a condvar — *not* a channel whose
+/// receiver is itself a lock, so any number of workers pop concurrently.
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    state: Mutex<JobQueueState>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct JobQueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    pub(crate) fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(JobQueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, JobQueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.lock_state();
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained, so in-flight work finishes before the pool exits.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.lock_state();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: workers drain what is left and exit.
+    pub(crate) fn close(&self) {
+        self.lock_state().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Splits every complete newline-terminated line off the front of
+/// `inbuf` (newline included), leaving the incomplete tail in place.
+fn split_lines(inbuf: &mut Vec<u8>) -> Vec<Vec<u8>> {
+    let mut lines = Vec::new();
+    let mut start = 0usize;
+    while let Some(pos) = inbuf[start..].iter().position(|&b| b == b'\n') {
+        lines.push(inbuf[start..=start + pos].to_vec());
+        start += pos + 1;
+    }
+    if start > 0 {
+        inbuf.drain(..start);
+    }
+    lines
+}
+
+/// Where one multiplexed connection is in its request cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for the first byte of the next request (the threaded
+    /// plane's `fill_buf` idle wait).
+    Idle,
+    /// Mid-frame: bytes buffered, no complete line yet.
+    Reading,
+    /// Lines shipped to the dispatch pool; the fd is deleted from the
+    /// epoll set until the outcome returns.
+    Dispatching,
+    /// Flushing response bytes the socket would not take synchronously.
+    Writing,
+}
+
+/// One multiplexed connection.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Held for the connection's lifetime; dropping it releases the
+    /// shard-gate slot exactly as a finished handler thread would.
+    _permit: Permit,
+    state: ConnState,
+    /// Unconsumed request bytes; `len() <= max_frame_bytes + 1` always.
+    inbuf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// After the outbuf flushes: `true` returns to [`ConnState::Idle`],
+    /// `false` closes (the outcome or error message said so).
+    resume: bool,
+    /// Registered with the poller right now (false while dispatching).
+    registered: bool,
+    served: u64,
+    strikes: u32,
+    timer: StageTimer,
+    deadline: Option<Instant>,
+    /// A wheel entry for this connection exists (deadline changes just
+    /// store the field; the stale entry revalidates on expiry).
+    in_wheel: bool,
+}
+
+/// The hashed timer wheel: O(1) arm, O(due) expiry, entries validated
+/// against the owning connection's generation when their slot fires.
+#[derive(Debug)]
+struct TimerWheel {
+    slots: Vec<Vec<(usize, u64)>>,
+    tick: Duration,
+    /// Time the cursor slot began.
+    base: Instant,
+    cursor: usize,
+    len: usize,
+}
+
+impl TimerWheel {
+    fn new(io_timeout: Duration, now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: vec![Vec::new(); WHEEL_SLOTS],
+            tick: (io_timeout / 8).max(MIN_TICK),
+            base: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn insert(&mut self, token: usize, gen: u64, deadline: Instant) {
+        let ahead = deadline.saturating_duration_since(self.base);
+        let ticks = (ahead.as_nanos() / self.tick.as_nanos().max(1)).min(WHEEL_SLOTS as u128 - 1);
+        let ticks = (ticks as usize).max(1);
+        self.slots[(self.cursor + ticks) % WHEEL_SLOTS].push((token, gen));
+        self.len += 1;
+    }
+
+    /// Advances the cursor to `now`, draining every elapsed slot into
+    /// `due` (entries may be stale; the caller revalidates).
+    fn advance(&mut self, now: Instant, due: &mut Vec<(usize, u64)>) {
+        let elapsed = now.saturating_duration_since(self.base);
+        let ticks = elapsed.as_nanos() / self.tick.as_nanos().max(1);
+        if self.len == 0 {
+            // Nothing armed: snap forward instead of stepping an idle
+            // wheel through a long quiet period tick by tick.
+            let steps = u32::try_from(ticks).unwrap_or(u32::MAX);
+            self.base += self.tick * steps;
+            self.cursor = (self.cursor + steps as usize) % WHEEL_SLOTS;
+            return;
+        }
+        for _ in 0..ticks {
+            self.base += self.tick;
+            self.cursor = (self.cursor + 1) % WHEEL_SLOTS;
+            let drained = std::mem::take(&mut self.slots[self.cursor]);
+            self.len -= drained.len();
+            due.extend(drained);
+        }
+    }
+}
+
+/// One shard's event loop. Spawned by `serve` as `fedsched-reactor-N`.
+pub(crate) fn reactor_loop(
+    shard_idx: usize,
+    shared: &Arc<Shared>,
+    rs: &Arc<ReactorShared>,
+    jobs: &Arc<JobQueue>,
+) {
+    match Reactor::new(shard_idx, shared, rs, jobs) {
+        Ok(mut reactor) => {
+            if let Err(e) = reactor.run() {
+                eprintln!("fedsched-reactor-error shard={shard_idx}: {e}");
+            }
+        }
+        Err(e) => eprintln!("fedsched-reactor-error shard={shard_idx}: failed to start: {e}"),
+    }
+}
+
+struct Reactor<'a> {
+    shard_idx: usize,
+    shared: &'a Arc<Shared>,
+    rs: &'a Arc<ReactorShared>,
+    jobs: &'a Arc<JobQueue>,
+    poller: Poller,
+    conns: Vec<Option<Conn>>,
+    /// Bumped when a slot is freed, invalidating stale wheel entries.
+    slot_gen: Vec<u64>,
+    free: Vec<usize>,
+    active: usize,
+    wheel: Option<TimerWheel>,
+}
+
+impl<'a> Reactor<'a> {
+    fn new(
+        shard_idx: usize,
+        shared: &'a Arc<Shared>,
+        rs: &'a Arc<ReactorShared>,
+        jobs: &'a Arc<JobQueue>,
+    ) -> io::Result<Reactor<'a>> {
+        let poller = Poller::new()?;
+        poller.add(rs.waker.as_raw_fd(), WAKER_TOKEN, Interest::READABLE)?;
+        let wheel = shared
+            .limits
+            .io_timeout
+            .map(|t| TimerWheel::new(t, Instant::now()));
+        Ok(Reactor {
+            shard_idx,
+            shared,
+            rs,
+            jobs,
+            poller,
+            conns: Vec::new(),
+            slot_gen: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            wheel,
+        })
+    }
+
+    fn shard(&self) -> &Shard {
+        &self.shared.shards[self.shard_idx]
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        let mut events = Events::with_capacity(EVENTS_CAPACITY);
+        let mut due: Vec<(usize, u64)> = Vec::new();
+        loop {
+            // Sleep one tick when any deadline is armed, else until mail
+            // arrives (the waker covers shutdown, new sockets, outcomes).
+            let timeout = match &self.wheel {
+                Some(wheel) if wheel.len > 0 => Some(wheel.tick),
+                _ => None,
+            };
+            let n = self.poller.wait(&mut events, timeout)?;
+            if n > 0 {
+                bump(&self.shard().reactor.wakeups);
+                self.shard()
+                    .reactor
+                    .ready_events
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            let mut wake_seen = false;
+            for event in events.iter() {
+                if event.token == WAKER_TOKEN {
+                    wake_seen = true;
+                    continue;
+                }
+                self.handle_event(event.token as usize, event.readable, event.writable);
+            }
+            if wake_seen {
+                self.rs.waker.drain();
+            }
+            // Mail is processed after the event batch so a slot freed by
+            // an event is never reused while the batch still references
+            // its old occupant.
+            for mail in self.rs.take_inbox() {
+                match mail {
+                    Inbound::NewConn(stream, permit) => self.register(stream, permit),
+                    Inbound::Outcome(token, outcome) => self.apply_outcome(token, outcome),
+                }
+            }
+            if self.wheel.is_some() {
+                due.clear();
+                let now = Instant::now();
+                if let Some(wheel) = &mut self.wheel {
+                    wheel.advance(now, &mut due);
+                }
+                for (token, gen) in due.drain(..) {
+                    self.expire(token, gen, now);
+                }
+            }
+            if self.rs.force.load(Ordering::Acquire) {
+                let tokens: Vec<usize> = self.live_tokens();
+                for token in tokens {
+                    self.close(token);
+                }
+                return Ok(());
+            }
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // Between-requests connections drain immediately, as a
+                // threaded handler's top-of-loop check would; dispatching
+                // and writing connections finish their in-flight step
+                // first and drain when it completes.
+                let tokens: Vec<usize> = self.live_tokens();
+                for token in tokens {
+                    let parked = matches!(
+                        self.conns[token].as_ref().map(|c| c.state),
+                        Some(ConnState::Idle | ConnState::Reading)
+                    );
+                    if parked {
+                        self.drain_close(token);
+                    }
+                }
+                if self.active == 0 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn live_tokens(&self) -> Vec<usize> {
+        (0..self.conns.len())
+            .filter(|&t| self.conns[t].is_some())
+            .collect()
+    }
+
+    fn register(&mut self, stream: TcpStream, permit: Permit) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            // The acceptor raced shutdown: drain it like a handler that
+            // observed the flag before its first read.
+            bump(&self.shared.counters.drained_connections);
+            lock(&self.shared.state).count_transport(CounterKind::ConnectionDrained);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = match self.free.pop() {
+            Some(token) => token,
+            None => {
+                self.conns.push(None);
+                self.slot_gen.push(0);
+                self.conns.len() - 1
+            }
+        };
+        let fd = stream.as_raw_fd();
+        if self
+            .poller
+            .add(fd, token as u64, Interest::READABLE)
+            .is_err()
+        {
+            self.free.push(token);
+            return;
+        }
+        self.conns[token] = Some(Conn {
+            stream,
+            _permit: permit,
+            state: ConnState::Idle,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            resume: true,
+            registered: true,
+            served: 0,
+            strikes: 0,
+            timer: StageTimer::start(),
+            deadline: None,
+            in_wheel: false,
+        });
+        self.active += 1;
+        self.shard()
+            .reactor
+            .registered_fds
+            .fetch_add(1, Ordering::Relaxed);
+        self.arm_deadline(token, Instant::now());
+    }
+
+    /// Arms (or re-arms) the connection's deadline one `io_timeout` out.
+    /// A wheel entry is inserted only if none exists — resets are a
+    /// field store, revalidated lazily when the stale entry fires.
+    fn arm_deadline(&mut self, token: usize, now: Instant) {
+        let Some(io_timeout) = self.shared.limits.io_timeout else {
+            return;
+        };
+        let gen = self.slot_gen[token];
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        let deadline = now + io_timeout;
+        conn.deadline = Some(deadline);
+        if !conn.in_wheel {
+            conn.in_wheel = true;
+            if let Some(wheel) = &mut self.wheel {
+                wheel.insert(token, gen, deadline);
+            }
+        }
+    }
+
+    /// A wheel slot fired for `(token, gen)`: drop stale entries,
+    /// re-insert not-yet-due deadlines, time out the rest.
+    fn expire(&mut self, token: usize, gen: u64, now: Instant) {
+        if self.slot_gen.get(token) != Some(&gen) {
+            return;
+        }
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        match conn.deadline {
+            None => conn.in_wheel = false,
+            Some(deadline) if deadline > now => {
+                if let Some(wheel) = &mut self.wheel {
+                    wheel.insert(token, gen, deadline);
+                }
+            }
+            Some(_) => {
+                conn.in_wheel = false;
+                conn.deadline = None;
+                self.fire_timeout(token, now);
+            }
+        }
+    }
+
+    /// The connection's deadline elapsed: the threaded plane's
+    /// read-timeout strike logic (or a write that outlived its budget).
+    fn fire_timeout(&mut self, token: usize, now: Instant) {
+        let state = match self.conns[token].as_ref() {
+            Some(conn) => conn.state,
+            None => return,
+        };
+        match state {
+            // Outcome application re-arms; a dispatching connection has
+            // no IO in flight, so an expiry here is a stale entry.
+            ConnState::Dispatching => {}
+            // The client would not take its response within the budget;
+            // the threaded write timeout kills the handler the same way.
+            ConnState::Writing => self.close(token),
+            ConnState::Idle | ConnState::Reading => {
+                bump(&self.shared.counters.read_timeouts);
+                lock(&self.shared.state).count_transport(CounterKind::ReadTimeout);
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    self.drain_close(token);
+                    return;
+                }
+                let strikes = {
+                    let conn = self.conns[token].as_mut().expect("checked above");
+                    conn.strikes += 1;
+                    conn.strikes
+                };
+                if strikes >= self.shared.limits.idle_strikes {
+                    bump(&self.shared.counters.connections_timed_out);
+                    self.close_with_message(
+                        token,
+                        &Response::Error {
+                            message: "idle timeout: no complete request before the deadline"
+                                .to_owned(),
+                        },
+                    );
+                } else {
+                    self.arm_deadline(token, now);
+                }
+            }
+        }
+    }
+
+    fn handle_event(&mut self, token: usize, readable: bool, writable: bool) {
+        let state = match self.conns.get(token).and_then(|c| c.as_ref()) {
+            Some(conn) => conn.state,
+            None => return, // freed earlier in this batch
+        };
+        match state {
+            ConnState::Writing => {
+                if writable || readable {
+                    self.pump_out(token);
+                }
+            }
+            ConnState::Idle | ConnState::Reading => {
+                if readable {
+                    self.handle_readable(token);
+                }
+            }
+            // The fd is deleted while dispatching; an event here is from
+            // the current batch racing a just-applied outcome.
+            ConnState::Dispatching => {}
+        }
+    }
+
+    /// One bounded read plus incremental frame decoding. Level-triggered
+    /// readiness re-delivers whatever this pass leaves in the socket.
+    fn handle_readable(&mut self, token: usize) {
+        let cap = self.shared.limits.max_frame_bytes;
+        let mut chunk = [0u8; READ_CHUNK];
+        let (lines, buffered) = {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            // Total unconsumed bytes never exceed cap + 1 — the same
+            // bound the threaded `read_frame` enforces through its
+            // `take(cap + 1 - buffered)` probe. The budget is never
+            // zero here: a full newline-free buffer closed already.
+            let budget = (cap + 1).saturating_sub(conn.inbuf.len());
+            let want = budget.min(READ_CHUNK);
+            let n = loop {
+                match (&conn.stream).read(&mut chunk[..want]) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(_) => {
+                        self.close(token);
+                        return;
+                    }
+                }
+            };
+            if n == 0 {
+                // EOF — between requests or mid-line, the threaded
+                // handler returns without counters either way.
+                self.close(token);
+                return;
+            }
+            if conn.state == ConnState::Idle {
+                conn.timer.stamp(RequestStage::IdleWait);
+                conn.state = ConnState::Reading;
+            }
+            conn.inbuf.extend_from_slice(&chunk[..n]);
+            (split_lines(&mut conn.inbuf), conn.inbuf.len())
+        };
+        if !lines.is_empty() {
+            let (fd, served, timer) = {
+                let conn = self.conns[token].as_mut().expect("checked above");
+                conn.timer.stamp(RequestStage::FrameRead);
+                conn.strikes = 0;
+                conn.deadline = None;
+                conn.state = ConnState::Dispatching;
+                conn.registered = false;
+                (conn.stream.as_raw_fd(), conn.served, conn.timer)
+            };
+            // Delete, not empty-interest: a level-triggered EPOLLRDHUP
+            // from a half-closed client would otherwise spin the loop.
+            let _ = self.poller.delete(fd);
+            self.jobs.push(Job {
+                shard: self.shard_idx,
+                token,
+                lines,
+                served,
+                timer,
+            });
+            return;
+        }
+        if buffered > cap {
+            // cap + 1 newline-free bytes: the frame can never complete.
+            bump(&self.shared.counters.oversized_requests);
+            lock(&self.shared.state).count_transport(CounterKind::OversizedRequest);
+            self.close_with_message(
+                token,
+                &Response::Error {
+                    message: format!("request exceeds the {cap}-byte frame cap"),
+                },
+            );
+            return;
+        }
+        // Byte arrival resets the deadline (the threaded plane's
+        // per-syscall read timeout behaves identically); strikes reset
+        // only on a complete frame.
+        self.arm_deadline(token, Instant::now());
+    }
+
+    /// A finished job: credit the budget, queue the response bytes, and
+    /// either resume reading, park on `EPOLLOUT`, or close.
+    fn apply_outcome(&mut self, token: usize, outcome: Outcome) {
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        conn.served += outcome.served_delta;
+        conn.outbuf = outcome.bytes;
+        conn.outpos = 0;
+        conn.resume = !outcome.close;
+        self.pump_out(token);
+    }
+
+    /// Serializes a final error line and closes once it flushes (or the
+    /// write deadline gives up) — the reactor's `let _ = write_message`.
+    fn close_with_message(&mut self, token: usize, response: &Response) {
+        let mut bytes = Vec::new();
+        let _ = write_message(&mut bytes, response);
+        let Some(conn) = self.conns[token].as_mut() else {
+            return;
+        };
+        conn.outbuf = bytes;
+        conn.outpos = 0;
+        conn.resume = false;
+        self.pump_out(token);
+    }
+
+    /// Flushes the outbuf as far as the socket allows, then finishes or
+    /// parks the connection on writability.
+    fn pump_out(&mut self, token: usize) {
+        let flushed = {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            let before = conn.outpos;
+            let result = loop {
+                if conn.outpos >= conn.outbuf.len() {
+                    break Ok(true);
+                }
+                match (&conn.stream).write(&conn.outbuf[conn.outpos..]) {
+                    Ok(0) => break Err(io::Error::from(io::ErrorKind::WriteZero)),
+                    Ok(n) => conn.outpos += n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(false),
+                    Err(e) => break Err(e),
+                }
+            };
+            result.map(|done| (done, conn.outpos > before))
+        };
+        match flushed {
+            Err(_) => self.close(token),
+            Ok((true, _)) => self.finish_flush(token),
+            Ok((false, progressed)) => {
+                let rearm = {
+                    let conn = self.conns[token].as_mut().expect("checked above");
+                    let was_writing = conn.state == ConnState::Writing;
+                    conn.state = ConnState::Writing;
+                    !was_writing || progressed
+                };
+                self.set_interest(token, Interest::WRITABLE);
+                if rearm {
+                    // Fresh write (or progress made): one io_timeout to
+                    // take the rest, like the per-syscall write timeout.
+                    self.arm_deadline(token, Instant::now());
+                }
+            }
+        }
+    }
+
+    /// The outbuf is empty: close if the outcome said so, drain if the
+    /// server is shutting down, otherwise go idle awaiting the next
+    /// request (any partial frame already buffered resumes immediately).
+    fn finish_flush(&mut self, token: usize) {
+        let resume = {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            conn.outbuf.clear();
+            conn.outpos = 0;
+            conn.resume
+        };
+        if !resume {
+            self.close(token);
+            return;
+        }
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            self.drain_close(token);
+            return;
+        }
+        {
+            let conn = self.conns[token].as_mut().expect("checked above");
+            conn.state = ConnState::Idle;
+            conn.deadline = None;
+            conn.timer = StageTimer::start();
+            if !conn.inbuf.is_empty() {
+                // The tail of the last read is already buffered: the
+                // idle wait is over before it began, exactly as the
+                // threaded `fill_buf` would return instantly.
+                conn.timer.stamp(RequestStage::IdleWait);
+                conn.state = ConnState::Reading;
+            }
+        }
+        self.set_interest(token, Interest::READABLE);
+        self.arm_deadline(token, Instant::now());
+    }
+
+    /// Closes a between-requests connection because the server is
+    /// draining, with the same counters as a threaded handler observing
+    /// the shutdown flag.
+    fn drain_close(&mut self, token: usize) {
+        bump(&self.shared.counters.drained_connections);
+        lock(&self.shared.state).count_transport(CounterKind::ConnectionDrained);
+        self.close(token);
+    }
+
+    fn set_interest(&mut self, token: usize, interest: Interest) {
+        let (fd, registered) = {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            let was = conn.registered;
+            conn.registered = true;
+            (conn.stream.as_raw_fd(), was)
+        };
+        let result = if registered {
+            self.poller.modify(fd, token as u64, interest)
+        } else {
+            self.poller.add(fd, token as u64, interest)
+        };
+        if result.is_err() {
+            self.close(token);
+        }
+    }
+
+    /// Tears a connection down: deregisters, closes the socket, frees
+    /// the slot (bumping its generation so stale wheel entries die), and
+    /// releases the gate permit by dropping it.
+    fn close(&mut self, token: usize) {
+        let Some(conn) = self.conns[token].take() else {
+            return;
+        };
+        if conn.registered {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        drop(conn);
+        self.slot_gen[token] += 1;
+        self.free.push(token);
+        self.active -= 1;
+        self.shard()
+            .reactor
+            .registered_fds
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One dispatch-pool worker: pops jobs, runs the admission request loop
+/// over the decoded lines, and posts the outcome back to the owning
+/// reactor. Spawned by `serve` as `fedsched-dispatch-N`.
+pub(crate) fn dispatch_loop(
+    shared: &Arc<Shared>,
+    reactors: &[Arc<ReactorShared>],
+    jobs: &Arc<JobQueue>,
+) {
+    while let Some(job) = jobs.pop() {
+        let shard = &shared.shards[job.shard];
+        let outcome = process_lines(shared, shard, &job);
+        let triggered = outcome.triggered_shutdown;
+        reactors[job.shard].push_outcome(job.token, outcome);
+        if triggered {
+            // What the threaded handler does after serve_connection
+            // returns true: unblock the acceptors, then every reactor so
+            // parked connections drain.
+            wake_workers(shared.local_addr, shared.workers);
+            for rs in reactors {
+                rs.wake();
+            }
+        }
+    }
+}
+
+/// The request loop of the threaded `serve_connection`, replayed over a
+/// job's already-framed lines. Every counter bump, batching window,
+/// error string, and response is produced in the same order with the
+/// same values, which is what keeps the two connection models
+/// byte-identical (asserted by `tests/shard_determinism.rs`).
+fn process_lines(shared: &Shared, shard: &Shard, job: &Job) -> Outcome {
+    let mut out = Vec::new();
+    let mut served_delta = 0u64;
+    let mut consumed = 0usize;
+    let done = |out: Vec<u8>, served_delta, close, triggered_shutdown| Outcome {
+        bytes: out,
+        served_delta,
+        close,
+        triggered_shutdown,
+    };
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            bump(&shared.counters.drained_connections);
+            lock(&shared.state).count_transport(CounterKind::ConnectionDrained);
+            return done(out, served_delta, true, false);
+        }
+        let Some(line) = job.lines.get(consumed) else {
+            return done(out, served_delta, false, false);
+        };
+        consumed += 1;
+        // The first line carries the reactor-measured idle-wait and
+        // frame-read intervals; later lines were already buffered when
+        // the job was cut, so both read stages are ~0 — exactly how the
+        // threaded loop stamps lines it drains from its BufReader.
+        let mut timer = if consumed == 1 {
+            job.timer
+        } else {
+            let mut t = StageTimer::start();
+            t.stamp(RequestStage::IdleWait);
+            t.stamp(RequestStage::FrameRead);
+            t
+        };
+        let Ok(text) = std::str::from_utf8(line) else {
+            bump(&shared.counters.malformed_requests);
+            let _ = write_message(
+                &mut out,
+                &Response::Error {
+                    message: "request is not valid UTF-8".to_owned(),
+                },
+            );
+            return done(out, served_delta, true, false);
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "GET /metrics" || trimmed.starts_with("GET /metrics ") {
+            let _ = serve_metrics_http(&mut out, shared);
+            return done(out, served_delta, true, false);
+        }
+        match serde_json::from_str::<Request>(trimmed) {
+            Ok(Request::Admit {
+                task,
+                trace_id,
+                echo_timing,
+            }) => {
+                timer.stamp(RequestStage::Parse);
+                let mut batch = vec![AdmitItem {
+                    task,
+                    trace_id,
+                    echo_timing,
+                    timer,
+                }];
+                // Consecutive already-framed Admits join the batch under
+                // the same window the threaded drain uses.
+                let mut tail = None;
+                let served_now = job.served + served_delta;
+                while batch.len() < ADMIT_BATCH_MAX
+                    && served_now + (batch.len() as u64) < shared.limits.max_requests_per_connection
+                {
+                    let Some(line) = job.lines.get(consumed) else {
+                        break;
+                    };
+                    consumed += 1;
+                    let mut t = StageTimer::start();
+                    t.stamp(RequestStage::IdleWait);
+                    t.stamp(RequestStage::FrameRead);
+                    if line.len() > shared.limits.max_frame_bytes + 1 {
+                        tail = Some(Tail::Oversized);
+                        break;
+                    }
+                    let Ok(text) = std::str::from_utf8(line) else {
+                        tail = Some(Tail::Malformed("request is not valid UTF-8".to_owned()));
+                        break;
+                    };
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if trimmed == "GET /metrics" || trimmed.starts_with("GET /metrics ") {
+                        tail = Some(Tail::Metrics);
+                        break;
+                    }
+                    match serde_json::from_str::<Request>(trimmed) {
+                        Ok(Request::Admit {
+                            task,
+                            trace_id,
+                            echo_timing,
+                        }) => {
+                            t.stamp(RequestStage::Parse);
+                            batch.push(AdmitItem {
+                                task,
+                                trace_id,
+                                echo_timing,
+                                timer: t,
+                            });
+                        }
+                        Ok(other) => {
+                            t.stamp(RequestStage::Parse);
+                            tail = Some(Tail::Request(Box::new(other), t));
+                            break;
+                        }
+                        Err(e) => {
+                            tail = Some(Tail::Malformed(e.to_string()));
+                            break;
+                        }
+                    }
+                }
+                let batch_len = batch.len() as u64;
+                for mut answered in dispatch_admit_batch(batch, shared, shard) {
+                    let _ = write_message(&mut out, &answered.response);
+                    answered.timer.stamp(RequestStage::Serialize);
+                    shared.stages.record(&answered.timer);
+                    shard.stages.record(&answered.timer);
+                    log_slow_request(&shared.limits, answered.trace_id, &answered.timer);
+                    served_delta += 1;
+                }
+                shard
+                    .counters
+                    .admit_requests
+                    .fetch_add(batch_len, Ordering::Relaxed);
+                if batch_len > 1 {
+                    shard
+                        .counters
+                        .batched_requests
+                        .fetch_add(batch_len, Ordering::Relaxed);
+                }
+                match tail {
+                    None => {}
+                    Some(Tail::Request(request, mut t)) => {
+                        let stop = matches!(*request, Request::Shutdown);
+                        if stop {
+                            shared.shutdown.store(true, Ordering::Release);
+                        }
+                        let response = dispatch(*request, shared, shard, &mut t);
+                        let _ = write_message(&mut out, &response);
+                        t.stamp(RequestStage::Serialize);
+                        shared.stages.record(&t);
+                        shard.stages.record(&t);
+                        log_slow_request(&shared.limits, None, &t);
+                        if stop {
+                            return done(out, served_delta, true, true);
+                        }
+                        served_delta += 1;
+                    }
+                    Some(Tail::Metrics) => {
+                        let _ = serve_metrics_http(&mut out, shared);
+                        return done(out, served_delta, true, false);
+                    }
+                    Some(Tail::Malformed(message)) => {
+                        bump(&shared.counters.malformed_requests);
+                        let _ = write_message(&mut out, &Response::Error { message });
+                        return done(out, served_delta, true, false);
+                    }
+                    Some(Tail::Oversized) => {
+                        bump(&shared.counters.oversized_requests);
+                        lock(&shared.state).count_transport(CounterKind::OversizedRequest);
+                        let _ = write_message(
+                            &mut out,
+                            &Response::Error {
+                                message: format!(
+                                    "request exceeds the {}-byte frame cap",
+                                    shared.limits.max_frame_bytes
+                                ),
+                            },
+                        );
+                        return done(out, served_delta, true, false);
+                    }
+                }
+            }
+            Ok(request) => {
+                timer.stamp(RequestStage::Parse);
+                let stop = matches!(request, Request::Shutdown);
+                if stop {
+                    shared.shutdown.store(true, Ordering::Release);
+                }
+                let response = dispatch(request, shared, shard, &mut timer);
+                let _ = write_message(&mut out, &response);
+                timer.stamp(RequestStage::Serialize);
+                shared.stages.record(&timer);
+                shard.stages.record(&timer);
+                log_slow_request(&shared.limits, None, &timer);
+                if stop {
+                    return done(out, served_delta, true, true);
+                }
+                served_delta += 1;
+            }
+            Err(e) => {
+                bump(&shared.counters.malformed_requests);
+                let _ = write_message(
+                    &mut out,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                return done(out, served_delta, true, false);
+            }
+        }
+        if job.served + served_delta >= shared.limits.max_requests_per_connection {
+            bump(&shared.counters.budget_exhausted);
+            let _ = write_message(
+                &mut out,
+                &Response::Error {
+                    message: format!(
+                        "per-connection request budget ({}) exhausted; reconnect",
+                        shared.limits.max_requests_per_connection
+                    ),
+                },
+            );
+            return done(out, served_delta, true, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_lines_extracts_complete_frames_and_keeps_the_tail() {
+        let mut buf = b"first\nsecond\npartial".to_vec();
+        let lines = split_lines(&mut buf);
+        assert_eq!(lines, vec![b"first\n".to_vec(), b"second\n".to_vec()]);
+        assert_eq!(buf, b"partial");
+        // No newline: nothing extracted, the buffer is untouched.
+        assert!(split_lines(&mut buf).is_empty());
+        assert_eq!(buf, b"partial");
+        // An empty line is a frame too (the request loop skips it).
+        let mut buf = b"\n".to_vec();
+        assert_eq!(split_lines(&mut buf), vec![b"\n".to_vec()]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn job_queue_delivers_across_threads_and_drains_after_close() {
+        let queue = Arc::new(JobQueue::new());
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                let mut tokens = Vec::new();
+                while let Some(job) = queue.pop() {
+                    tokens.push(job.token);
+                }
+                tokens
+            })
+        };
+        for token in 0..3 {
+            queue.push(Job {
+                shard: 0,
+                token,
+                lines: Vec::new(),
+                served: 0,
+                timer: StageTimer::start(),
+            });
+        }
+        queue.close();
+        let mut tokens = consumer.join().expect("consumer thread");
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![0, 1, 2]);
+        // A closed, drained queue answers None immediately.
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn timer_wheel_fires_due_entries_and_honors_the_tick_floor() {
+        let now = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), now);
+        assert_eq!(wheel.tick, MIN_TICK, "tiny timeouts clamp to the floor");
+        wheel.insert(3, 7, now + Duration::from_millis(1));
+        assert_eq!(wheel.len, 1);
+        let mut due = Vec::new();
+        // Not yet: under one tick elapsed.
+        wheel.advance(now + Duration::from_millis(1), &mut due);
+        assert!(due.is_empty());
+        // One full tick: the entry's slot drains.
+        wheel.advance(now + wheel.tick + Duration::from_millis(1), &mut due);
+        assert_eq!(due, vec![(3, 7)]);
+        assert_eq!(wheel.len, 0);
+    }
+
+    #[test]
+    fn timer_wheel_snaps_forward_when_idle() {
+        let now = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_secs(30), now);
+        let tick = wheel.tick;
+        let mut due = Vec::new();
+        // A long quiet period must not be stepped slot by slot.
+        wheel.advance(now + tick * 1000, &mut due);
+        assert!(due.is_empty());
+        assert!(now + tick * 1000 - wheel.base < tick);
+        // Entries inserted after the snap still land ahead of the cursor.
+        wheel.insert(1, 0, wheel.base + tick);
+        wheel.advance(wheel.base + tick * 2, &mut due);
+        assert_eq!(due, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn reactor_shared_mailbox_accumulates_and_drains() {
+        let rs = ReactorShared::new().expect("eventfd");
+        let outcome = Outcome {
+            bytes: b"x".to_vec(),
+            served_delta: 1,
+            close: false,
+            triggered_shutdown: false,
+        };
+        rs.push_outcome(9, outcome);
+        let mail = rs.take_inbox();
+        assert_eq!(mail.len(), 1);
+        match &mail[0] {
+            Inbound::Outcome(token, outcome) => {
+                assert_eq!(*token, 9);
+                assert_eq!(outcome.bytes, b"x");
+                assert_eq!(outcome.served_delta, 1);
+                assert!(!outcome.close);
+            }
+            other => panic!("unexpected mail {other:?}"),
+        }
+        assert!(rs.take_inbox().is_empty());
+        // force_exit latches the flag and is visible to the loop.
+        assert!(!rs.force.load(Ordering::Acquire));
+        rs.force_exit();
+        assert!(rs.force.load(Ordering::Acquire));
+    }
+}

@@ -171,6 +171,35 @@ impl ConnectionLimits {
     }
 }
 
+/// How the server multiplexes its accepted connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConnModel {
+    /// One OS thread per accepted connection (the pre-reactor model,
+    /// kept for one release behind `--conn-model threads` so the chaos
+    /// and determinism suites can compare both planes).
+    Threads,
+    /// One nonblocking epoll reactor per shard multiplexing every
+    /// connection homed there; admission work is dispatched off the
+    /// loop to a small worker pool. Decisions, counters, WAL bytes,
+    /// and cache contents are byte-identical to [`ConnModel::Threads`].
+    #[default]
+    Reactor,
+}
+
+impl std::str::FromStr for ConnModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ConnModel, String> {
+        match s {
+            "threads" => Ok(ConnModel::Threads),
+            "reactor" => Ok(ConnModel::Reactor),
+            other => Err(format!(
+                "unknown connection model {other:?} (expected \"threads\" or \"reactor\")"
+            )),
+        }
+    }
+}
+
 /// Configuration of [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -188,6 +217,10 @@ pub struct ServerConfig {
     /// byte-identical at any shard count; this knob only trades lock
     /// contention against per-shard bookkeeping.
     pub shards: usize,
+    /// Connection plane (`--conn-model`): an epoll reactor per shard
+    /// (default) or one thread per connection. Admission outcomes are
+    /// byte-identical under either model.
+    pub conn_model: ConnModel,
     /// The admission-control platform and FEDCONS knobs.
     pub admission: AdmissionConfig,
     /// Per-connection deadlines and caps.
@@ -215,12 +248,12 @@ pub struct ServerConfig {
 pub struct TransportCounters {
     connections_served: AtomicU64,
     busy_rejections: AtomicU64,
-    read_timeouts: AtomicU64,
-    connections_timed_out: AtomicU64,
-    oversized_requests: AtomicU64,
-    malformed_requests: AtomicU64,
-    budget_exhausted: AtomicU64,
-    drained_connections: AtomicU64,
+    pub(crate) read_timeouts: AtomicU64,
+    pub(crate) connections_timed_out: AtomicU64,
+    pub(crate) oversized_requests: AtomicU64,
+    pub(crate) malformed_requests: AtomicU64,
+    pub(crate) budget_exhausted: AtomicU64,
+    pub(crate) drained_connections: AtomicU64,
 }
 
 impl TransportCounters {
@@ -240,7 +273,7 @@ impl TransportCounters {
     }
 }
 
-fn bump(counter: &AtomicU64) {
+pub(crate) fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -317,14 +350,15 @@ impl StageTimer {
         self.nanos[stage.index()] / 1_000
     }
 
-    /// Total processing nanoseconds: every stage except read/frame, which
-    /// contains the wait for the client's bytes and would make every idle
-    /// interactive session look slow.
+    /// Total processing nanoseconds: every stage except the idle wait and
+    /// the frame read, which contain the wait for the client's bytes (a
+    /// slowloris trickle included) and would make every idle interactive
+    /// session look slow.
     #[must_use]
     pub fn processing_nanos(&self) -> u64 {
         RequestStage::ALL
             .iter()
-            .filter(|s| **s != RequestStage::ReadFrame)
+            .filter(|s| !matches!(**s, RequestStage::IdleWait | RequestStage::FrameRead))
             .map(|s| self.nanos[s.index()])
             .fold(0u64, u64::saturating_add)
     }
@@ -383,7 +417,8 @@ impl StageCounters {
         };
         StageStats {
             requests_total: self.requests_total.load(Ordering::Relaxed),
-            read_frame_buckets_us: load(RequestStage::ReadFrame),
+            idle_wait_buckets_us: load(RequestStage::IdleWait),
+            frame_read_buckets_us: load(RequestStage::FrameRead),
             parse_buckets_us: load(RequestStage::Parse),
             cache_lookup_buckets_us: load(RequestStage::CacheLookup),
             analysis_buckets_us: load(RequestStage::Analysis),
@@ -396,7 +431,7 @@ impl StageCounters {
 /// The semaphore bounding concurrently served connections, doubling as
 /// the drain barrier graceful shutdown waits on.
 #[derive(Debug)]
-struct Gate {
+pub(crate) struct Gate {
     max: usize,
     active: Mutex<usize>,
     drained: Condvar,
@@ -460,7 +495,7 @@ impl Gate {
 /// handler closure that never runs (thread-spawn failure) still returns
 /// its permit.
 #[derive(Debug)]
-struct Permit {
+pub(crate) struct Permit {
     gate: Arc<Gate>,
 }
 
@@ -473,24 +508,38 @@ impl Drop for Permit {
 /// Lock-free per-shard counters, mirroring the [`TransportCounters`]
 /// design; snapshot via [`shard_snapshots`].
 #[derive(Debug, Default)]
-struct ShardCounters {
-    connections_served: AtomicU64,
-    permit_steals: AtomicU64,
-    busy_rejections: AtomicU64,
-    admit_requests: AtomicU64,
-    batched_requests: AtomicU64,
+pub(crate) struct ShardCounters {
+    pub(crate) connections_served: AtomicU64,
+    pub(crate) permit_steals: AtomicU64,
+    pub(crate) busy_rejections: AtomicU64,
+    pub(crate) admit_requests: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+}
+
+/// Lock-free counters of one shard's epoll reactor (all zero under
+/// `--conn-model threads`), exposed as the `fedsched_reactor_*` metric
+/// families.
+#[derive(Debug, Default)]
+pub(crate) struct ReactorCounters {
+    /// Sockets currently registered with the reactor (gauge).
+    pub(crate) registered_fds: AtomicU64,
+    /// `epoll_wait` returns that delivered at least one event.
+    pub(crate) wakeups: AtomicU64,
+    /// Total readiness events processed.
+    pub(crate) ready_events: AtomicU64,
 }
 
 /// One shard of the connection plane: its slice of the connection
 /// permits, its stage histograms, and its shape-routed compute-cache
 /// partition. See the module docs.
 #[derive(Debug)]
-struct Shard {
-    index: usize,
-    gate: Arc<Gate>,
-    counters: ShardCounters,
-    stages: StageCounters,
-    compute: Mutex<ComputePartition>,
+pub(crate) struct Shard {
+    pub(crate) index: usize,
+    pub(crate) gate: Arc<Gate>,
+    pub(crate) counters: ShardCounters,
+    pub(crate) reactor: ReactorCounters,
+    pub(crate) stages: StageCounters,
+    pub(crate) compute: Mutex<ComputePartition>,
 }
 
 /// Locks a shard's compute partition, recovering from poison (the
@@ -522,6 +571,9 @@ fn shard_snapshots(shards: &[Arc<Shard>]) -> Vec<ShardStatsSnapshot> {
                 compute_hits: hits,
                 compute_misses: misses,
                 compute_evictions: evictions,
+                reactor_registered_fds: s.reactor.registered_fds.load(Ordering::Relaxed),
+                reactor_wakeups: s.reactor.wakeups.load(Ordering::Relaxed),
+                reactor_ready_events: s.reactor.ready_events.load(Ordering::Relaxed),
                 stages: s.stages.snapshot(),
             }
         })
@@ -622,7 +674,7 @@ struct SeqQueue {
 /// and a lock earlier in that chain is never acquired while holding a
 /// later one.
 #[derive(Debug)]
-struct WalSequencer {
+pub(crate) struct WalSequencer {
     queue: Mutex<SeqQueue>,
     nonempty: Condvar,
     empty: Condvar,
@@ -870,7 +922,7 @@ fn snapshot_with_stragglers(seq: &WalSequencer, journal: &Journal, guard: &mut A
 /// lock held (order is already fixed by the queue), and metrics or the
 /// final sync take it alone.
 #[derive(Debug)]
-struct Journal {
+pub(crate) struct Journal {
     store: Mutex<DurableStore>,
     boot: ReplayReport,
 }
@@ -885,20 +937,20 @@ impl Journal {
 
 /// Everything the acceptors and handlers share.
 #[derive(Debug)]
-struct Shared {
-    state: Arc<Mutex<AdmissionState>>,
-    shutdown: Arc<AtomicBool>,
-    counters: Arc<TransportCounters>,
-    shards: Vec<Arc<Shard>>,
-    limits: ConnectionLimits,
-    local_addr: SocketAddr,
-    workers: usize,
-    journal: Option<Arc<Journal>>,
-    sequencer: Option<Arc<WalSequencer>>,
-    stages: Arc<StageCounters>,
+pub(crate) struct Shared {
+    pub(crate) state: Arc<Mutex<AdmissionState>>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) counters: Arc<TransportCounters>,
+    pub(crate) shards: Vec<Arc<Shard>>,
+    pub(crate) limits: ConnectionLimits,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) workers: usize,
+    pub(crate) journal: Option<Arc<Journal>>,
+    pub(crate) sequencer: Option<Arc<WalSequencer>>,
+    pub(crate) stages: Arc<StageCounters>,
     /// The priority policy shapes are sized and routed under (fixed for
     /// the server's lifetime).
-    policy: PriorityPolicy,
+    pub(crate) policy: PriorityPolicy,
     /// Round-robin cursor assigning home shards to connections.
     rr: AtomicU64,
 }
@@ -919,6 +971,10 @@ pub struct ServerHandle {
     sequencer_thread: Option<JoinHandle<()>>,
     handoff_absorbed: Option<u64>,
     stages: Arc<StageCounters>,
+    reactors: Vec<Arc<crate::reactor::ReactorShared>>,
+    reactor_threads: Vec<JoinHandle<()>>,
+    dispatch_threads: Vec<JoinHandle<()>>,
+    jobs: Option<Arc<crate::reactor::JobQueue>>,
 }
 
 impl ServerHandle {
@@ -996,11 +1052,35 @@ impl ServerHandle {
         for worker in self.workers {
             let _ = worker.join();
         }
+        // Reactors notice the shutdown flag on the next wakeup; poke
+        // them so parked (idle) connections drain immediately instead of
+        // waiting out a read deadline.
+        for rs in &self.reactors {
+            rs.wake();
+        }
         // One overall drain budget shared by all shard gates.
         let deadline = Instant::now() + self.limits.drain_deadline();
         for shard in &self.shards {
             let remaining = deadline.saturating_duration_since(Instant::now());
             shard.gate.wait_drained(remaining);
+        }
+        // Reactor threads exit once their last connection closes; the
+        // force flag covers a drain that timed out (the stragglers are
+        // dropped unflushed, exactly as abandoned handler threads would
+        // die with the process).
+        for rs in &self.reactors {
+            rs.force_exit();
+        }
+        for thread in self.reactor_threads {
+            let _ = thread.join();
+        }
+        // With the reactors gone nothing enqueues jobs: close the queue,
+        // let the dispatch pool finish what is in flight, and join it.
+        if let Some(jobs) = &self.jobs {
+            jobs.close();
+        }
+        for thread in self.dispatch_threads {
+            let _ = thread.join();
         }
         // With the handlers gone nothing enqueues; the sequencer drains
         // its queue, syncs, and exits.
@@ -1025,6 +1105,9 @@ impl ServerHandle {
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::Release);
         wake_workers(self.local_addr, self.workers.len());
+        for rs in &self.reactors {
+            rs.wake();
+        }
         self.join();
     }
 }
@@ -1099,6 +1182,7 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
                 index,
                 gate: Arc::new(Gate::new(permits)),
                 counters: ShardCounters::default(),
+                reactor: ReactorCounters::default(),
                 stages: StageCounters::default(),
                 compute: Mutex::new(ComputePartition::with_capacity(cap)),
             })
@@ -1132,15 +1216,57 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         }
         _ => None,
     };
+    // The connection plane: either a reactor per shard with a dispatch
+    // pool, or the classic thread-per-connection handlers. Acceptors run
+    // in both models; only what they do with an accepted socket differs.
+    let (reactors, reactor_threads, dispatch_threads, jobs) = match config.conn_model {
+        ConnModel::Threads => (Vec::new(), Vec::new(), Vec::new(), None),
+        ConnModel::Reactor => {
+            let mut reactors = Vec::with_capacity(shard_count);
+            for _ in 0..shard_count {
+                reactors.push(Arc::new(crate::reactor::ReactorShared::new()?));
+            }
+            let jobs = Arc::new(crate::reactor::JobQueue::new());
+            let mut reactor_threads = Vec::with_capacity(shard_count);
+            for (i, rs) in reactors.iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let rs = Arc::clone(rs);
+                let jobs = Arc::clone(&jobs);
+                reactor_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("fedsched-reactor-{i}"))
+                        .spawn(move || crate::reactor::reactor_loop(i, &shared, &rs, &jobs))?,
+                );
+            }
+            let dispatch_count = worker_count.max(shard_count);
+            let mut dispatch_threads = Vec::with_capacity(dispatch_count);
+            for i in 0..dispatch_count {
+                let shared = Arc::clone(&shared);
+                let reactors = reactors.clone();
+                let jobs = Arc::clone(&jobs);
+                dispatch_threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("fedsched-dispatch-{i}"))
+                        .spawn(move || crate::reactor::dispatch_loop(&shared, &reactors, &jobs))?,
+                );
+            }
+            (reactors, reactor_threads, dispatch_threads, Some(jobs))
+        }
+    };
     let mut workers = Vec::with_capacity(worker_count);
     for i in 0..worker_count {
         let listener = Arc::clone(&listener);
         let shared = Arc::clone(&shared);
+        let reactors = reactors.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("fedsched-acceptor-{i}"))
                 .spawn(move || {
-                    acceptor_loop(&listener, &shared);
+                    if reactors.is_empty() {
+                        acceptor_loop(&listener, &shared);
+                    } else {
+                        acceptor_loop_reactor(&listener, &shared, &reactors);
+                    }
                 })?,
         );
     }
@@ -1157,6 +1283,10 @@ pub fn serve(config: &ServerConfig) -> io::Result<ServerHandle> {
         sequencer_thread,
         handoff_absorbed,
         stages: Arc::clone(&shared.stages),
+        reactors,
+        reactor_threads,
+        dispatch_threads,
+        jobs,
     })
 }
 
@@ -1194,7 +1324,7 @@ fn import_handoff_cache(state: &mut AdmissionState, dir: &Path) -> io::Result<u6
 
 /// Locks the state, recovering from a poisoned mutex: the state's own
 /// methods leave it consistent even if a panic unwinds elsewhere.
-fn lock(state: &Mutex<AdmissionState>) -> MutexGuard<'_, AdmissionState> {
+pub(crate) fn lock(state: &Mutex<AdmissionState>) -> MutexGuard<'_, AdmissionState> {
     state
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -1258,6 +1388,52 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             // closure. Count it as a rejection so the overload is visible.
             bump(&shared.counters.busy_rejections);
         }
+    }
+}
+
+/// The acceptor under `--conn-model reactor`: identical permit
+/// accounting (round-robin home, stealing, `Busy` when every shard is
+/// full), but an accepted socket is handed to its shard's reactor inbox
+/// instead of a freshly spawned handler thread.
+fn acceptor_loop_reactor(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    reactors: &[Arc<crate::reactor::ReactorShared>],
+) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return; // wake-up connection; drop it unserved
+        }
+        let n = shared.shards.len();
+        let home = (shared.rr.fetch_add(1, Ordering::Relaxed) as usize) % n;
+        let mut acquired = None;
+        for offset in 0..n {
+            let idx = (home + offset) % n;
+            if let Some(permit) = shared.shards[idx].gate.try_acquire() {
+                if offset > 0 {
+                    bump(&shared.shards[idx].counters.permit_steals);
+                }
+                acquired = Some((idx, permit));
+                break;
+            }
+        }
+        let Some((idx, permit)) = acquired else {
+            bump(&shared.counters.busy_rejections);
+            bump(&shared.shards[home].counters.busy_rejections);
+            lock(&shared.state).count_transport(CounterKind::BusyRejection);
+            reject_busy(&stream);
+            continue;
+        };
+        bump(&shared.counters.connections_served);
+        bump(&shared.shards[idx].counters.connections_served);
+        reactors[idx].push_conn(stream, permit);
     }
 }
 
@@ -1380,6 +1556,45 @@ fn serve_connection(stream: TcpStream, shared: &Shared, shard: &Shard) -> io::Re
         }
         buf.clear();
         let mut timer = StageTimer::start();
+        // Idle wait: block until the *first byte* of the next request is
+        // buffered, so the frame-read stage below measures socket work
+        // alone, not open-loop client think time. A deadline expiring
+        // here runs the exact strike logic a mid-frame expiry does.
+        loop {
+            match reader.fill_buf() {
+                Ok(chunk) if !chunk.is_empty() => break,
+                Ok(_) => return Ok(false), // EOF between requests
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    bump(&shared.counters.read_timeouts);
+                    lock(&shared.state).count_transport(CounterKind::ReadTimeout);
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        bump(&shared.counters.drained_connections);
+                        lock(&shared.state).count_transport(CounterKind::ConnectionDrained);
+                        return Ok(false);
+                    }
+                    strikes += 1;
+                    if strikes >= shared.limits.idle_strikes {
+                        bump(&shared.counters.connections_timed_out);
+                        let _ = write_message(
+                            &mut writer,
+                            &Response::Error {
+                                message: "idle timeout: no complete request before the deadline"
+                                    .to_owned(),
+                            },
+                        );
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        timer.stamp(RequestStage::IdleWait);
         loop {
             match read_frame(&mut reader, &mut buf, shared.limits.max_frame_bytes)? {
                 Frame::Line => break,
@@ -1422,7 +1637,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared, shard: &Shard) -> io::Re
             }
         }
         strikes = 0;
-        timer.stamp(RequestStage::ReadFrame);
+        timer.stamp(RequestStage::FrameRead);
         let Ok(text) = std::str::from_utf8(&buf) else {
             bump(&shared.counters.malformed_requests);
             let _ = write_message(
@@ -1465,7 +1680,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared, shard: &Shard) -> io::Re
                         break;
                     };
                     let mut t = StageTimer::start();
-                    t.stamp(RequestStage::ReadFrame); // already buffered: ~0
+                    // Already buffered: both read stages are ~0.
+                    t.stamp(RequestStage::IdleWait);
+                    t.stamp(RequestStage::FrameRead);
                     if line.len() > shared.limits.max_frame_bytes + 1 {
                         tail = Some(Tail::Oversized);
                         break;
@@ -1648,21 +1865,21 @@ fn merged_snapshot(shared: &Shared) -> StatsSnapshot {
 /// Most `Admit` requests decided under one ledger acquisition. Chosen so
 /// a deep pipeline still answers its first request promptly (the whole
 /// batch is decided before anything is written back).
-const ADMIT_BATCH_MAX: usize = 16;
+pub(crate) const ADMIT_BATCH_MAX: usize = 16;
 
 /// One parsed `Admit` awaiting its batch decision.
-struct AdmitItem {
-    task: DagTask,
-    trace_id: Option<u64>,
-    echo_timing: bool,
-    timer: StageTimer,
+pub(crate) struct AdmitItem {
+    pub(crate) task: DagTask,
+    pub(crate) trace_id: Option<u64>,
+    pub(crate) echo_timing: bool,
+    pub(crate) timer: StageTimer,
 }
 
 /// One decided `Admit`, ready to write back in arrival order.
-struct AnsweredAdmit {
-    response: Response,
-    timer: StageTimer,
-    trace_id: Option<u64>,
+pub(crate) struct AnsweredAdmit {
+    pub(crate) response: Response,
+    pub(crate) timer: StageTimer,
+    pub(crate) trace_id: Option<u64>,
 }
 
 /// A decided `Admit` between the ledger phase and its WAL ack.
@@ -1676,7 +1893,7 @@ struct PendingAdmit {
 }
 
 /// What ended a batch's buffered-line drain early.
-enum Tail {
+pub(crate) enum Tail {
     /// A complete non-`Admit` request was drained; handle it after the
     /// batch, exactly as the unbatched loop would have.
     Request(Box<Request>, StageTimer),
@@ -1733,7 +1950,7 @@ fn resolve_compute(shared: &Shared, task: &DagTask) -> (Option<SeededSizing>, u6
 /// sequences its records, then — with the lock released — each item
 /// waits for its WAL ack in order. Analysis and fsync therefore never
 /// execute under any admission lock, batched or not.
-fn dispatch_admit_batch(
+pub(crate) fn dispatch_admit_batch(
     items: Vec<AdmitItem>,
     shared: &Shared,
     shard: &Shard,
@@ -1850,7 +2067,7 @@ fn journal_error(e: &io::Error) -> Response {
 
 /// Answers a `GET /metrics` scrape with one minimal HTTP response and the
 /// Prometheus exposition body.
-fn serve_metrics_http<W: Write>(writer: &mut W, shared: &Shared) -> io::Result<()> {
+pub(crate) fn serve_metrics_http<W: Write>(writer: &mut W, shared: &Shared) -> io::Result<()> {
     let body = render_prometheus(&merged_snapshot(shared));
     write!(
         writer,
@@ -1863,9 +2080,10 @@ fn serve_metrics_http<W: Write>(writer: &mut W, shared: &Shared) -> io::Result<(
 
 /// Builds the per-request timing echo from the stages the timer has
 /// credited so far (everything but serialize, which cannot echo itself).
-fn request_timing(timer: &StageTimer) -> RequestTiming {
+pub(crate) fn request_timing(timer: &StageTimer) -> RequestTiming {
     RequestTiming {
-        read_us: timer.micros(RequestStage::ReadFrame),
+        idle_us: timer.micros(RequestStage::IdleWait),
+        read_us: timer.micros(RequestStage::FrameRead),
         parse_us: timer.micros(RequestStage::Parse),
         cache_us: timer.micros(RequestStage::CacheLookup),
         analysis_us: timer.micros(RequestStage::Analysis),
@@ -1874,10 +2092,14 @@ fn request_timing(timer: &StageTimer) -> RequestTiming {
 }
 
 /// Emits one structured `fedsched-slow-request` stderr line when the
-/// request's *processing* time (every stage except read/frame, which
-/// contains client think time) reached the configured `--slow-ms`
-/// threshold.
-fn log_slow_request(limits: &ConnectionLimits, trace_id: Option<u64>, timer: &StageTimer) {
+/// request's *processing* time (every stage except the idle wait and the
+/// frame read, which contain client think time) reached the configured
+/// `--slow-ms` threshold.
+pub(crate) fn log_slow_request(
+    limits: &ConnectionLimits,
+    trace_id: Option<u64>,
+    timer: &StageTimer,
+) {
     let Some(threshold) = limits.slow_request else {
         return;
     };
@@ -1890,9 +2112,10 @@ fn log_slow_request(limits: &ConnectionLimits, trace_id: Option<u64>, timer: &St
         None => "-".to_owned(),
     };
     eprintln!(
-        "fedsched-slow-request trace_id={trace} total_us={} read_us={} parse_us={} cache_us={} analysis_us={} wal_us={} serialize_us={}",
+        "fedsched-slow-request trace_id={trace} total_us={} idle_us={} read_us={} parse_us={} cache_us={} analysis_us={} wal_us={} serialize_us={}",
         processing / 1_000,
-        timer.micros(RequestStage::ReadFrame),
+        timer.micros(RequestStage::IdleWait),
+        timer.micros(RequestStage::FrameRead),
         timer.micros(RequestStage::Parse),
         timer.micros(RequestStage::CacheLookup),
         timer.micros(RequestStage::Analysis),
@@ -1910,7 +2133,7 @@ fn emit_request_spans(guard: &mut AdmissionState, trace_id: Option<u64>, timer: 
         return;
     }
     for (stage, phase) in [
-        (RequestStage::ReadFrame, SpanPhase::RequestRead),
+        (RequestStage::FrameRead, SpanPhase::RequestRead),
         (RequestStage::Parse, SpanPhase::RequestParse),
     ] {
         if let Some((start_nanos, end_nanos)) = timer.last_interval(stage) {
@@ -1927,7 +2150,12 @@ fn emit_request_spans(guard: &mut AdmissionState, trace_id: Option<u64>, timer: 
 /// Maps one request to its response against the shared state, crediting
 /// the dispatch interval to the cache-lookup / analysis / WAL-append
 /// stages of `timer` on the way out.
-fn dispatch(request: Request, shared: &Shared, shard: &Shard, timer: &mut StageTimer) -> Response {
+pub(crate) fn dispatch(
+    request: Request,
+    shared: &Shared,
+    shard: &Shard,
+    timer: &mut StageTimer,
+) -> Response {
     let state = &shared.state;
     match request {
         Request::Admit {
@@ -2020,7 +2248,7 @@ fn dispatch(request: Request, shared: &Shared, shard: &Shard, timer: &mut StageT
 }
 
 /// Unblocks acceptors sitting in `accept` by connecting once per worker.
-fn wake_workers(addr: SocketAddr, worker_count: usize) {
+pub(crate) fn wake_workers(addr: SocketAddr, worker_count: usize) {
     for _ in 0..worker_count {
         let _ = TcpStream::connect(addr);
     }
@@ -2142,7 +2370,8 @@ mod tests {
     #[test]
     fn stage_timer_credits_intervals_and_sums_processing_time() {
         let mut timer = StageTimer::start();
-        timer.stamp(RequestStage::ReadFrame);
+        timer.stamp(RequestStage::IdleWait);
+        timer.stamp(RequestStage::FrameRead);
         std::thread::sleep(Duration::from_millis(2));
         timer.stamp(RequestStage::Parse);
         timer.stamp_dispatch(0, 0);
@@ -2153,12 +2382,12 @@ mod tests {
             .expect("parse was stamped");
         assert_eq!(end - start, timer.nanos(RequestStage::Parse));
         assert!(
-            timer.last_interval(RequestStage::ReadFrame).is_some(),
+            timer.last_interval(RequestStage::FrameRead).is_some(),
             "read was stamped"
         );
         let processing: u64 = RequestStage::ALL
             .iter()
-            .filter(|s| **s != RequestStage::ReadFrame)
+            .filter(|s| !matches!(**s, RequestStage::IdleWait | RequestStage::FrameRead))
             .map(|s| timer.nanos(*s))
             .sum();
         assert_eq!(timer.processing_nanos(), processing);
@@ -2169,7 +2398,8 @@ mod tests {
     fn stage_counters_record_every_stage_once_per_request() {
         let counters = StageCounters::default();
         let mut timer = StageTimer::start();
-        timer.stamp(RequestStage::ReadFrame);
+        timer.stamp(RequestStage::IdleWait);
+        timer.stamp(RequestStage::FrameRead);
         timer.stamp(RequestStage::Parse);
         timer.stamp_dispatch(5_000, 3_000);
         timer.stamp(RequestStage::Serialize);

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 pub const LATENCY_BUCKETS: usize = 22;
 
 /// Number of pipeline stages every served request is decomposed into.
-pub const REQUEST_STAGES: usize = 6;
+pub const REQUEST_STAGES: usize = 7;
 
 /// One stage of the server's request pipeline, in serving order.
 ///
@@ -19,29 +19,34 @@ pub const REQUEST_STAGES: usize = 6;
 /// `fedsched_requests_total`, so a dashboard can always divide by it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestStage {
-    /// Reading and framing the request line off the socket (includes
-    /// waiting for the client's bytes, so queueing at the socket shows up
-    /// here).
-    ReadFrame = 0,
+    /// Waiting for the first byte of the next request: pure client think
+    /// time (open-loop pacing, interactive idle). Split out of the old
+    /// `read_frame` stage so socket work is measurable on its own.
+    IdleWait = 0,
+    /// Reading and framing the request line off the socket once its first
+    /// byte has arrived (mid-frame stalls — a trickling client — still
+    /// land here).
+    FrameRead = 1,
     /// UTF-8 validation plus JSON parsing of the framed line.
-    Parse = 1,
+    Parse = 2,
     /// Template-cache lookup of a high-density admission (zero unless the
     /// sizing was served from the cache).
-    CacheLookup = 2,
+    CacheLookup = 3,
     /// The admission/removal/stats work itself: everything inside dispatch
     /// that is neither a cache hit nor the WAL append.
-    Analysis = 3,
+    Analysis = 4,
     /// Appending the decision's records to the write-ahead log, fsync and
     /// threshold snapshots included (zero without durability).
-    WalAppend = 4,
+    WalAppend = 5,
     /// Serializing the response and writing it back to the client.
-    Serialize = 5,
+    Serialize = 6,
 }
 
 impl RequestStage {
     /// Every stage, in pipeline order.
     pub const ALL: [RequestStage; REQUEST_STAGES] = [
-        RequestStage::ReadFrame,
+        RequestStage::IdleWait,
+        RequestStage::FrameRead,
         RequestStage::Parse,
         RequestStage::CacheLookup,
         RequestStage::Analysis,
@@ -53,7 +58,8 @@ impl RequestStage {
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
-            RequestStage::ReadFrame => "read_frame",
+            RequestStage::IdleWait => "idle_wait",
+            RequestStage::FrameRead => "frame_read",
             RequestStage::Parse => "parse",
             RequestStage::CacheLookup => "cache_lookup",
             RequestStage::Analysis => "analysis",
@@ -72,9 +78,14 @@ impl RequestStage {
     #[must_use]
     pub fn help(self) -> &'static str {
         match self {
-            RequestStage::ReadFrame => {
-                "Time reading and framing the request line, client wait included, microseconds \
-                 (power-of-two buckets: derived quantiles are bucket upper bounds)"
+            RequestStage::IdleWait => {
+                "Time waiting for the first byte of the request — client think time, not server \
+                 work, microseconds (power-of-two buckets: derived quantiles are bucket upper \
+                 bounds)"
+            }
+            RequestStage::FrameRead => {
+                "Time reading and framing the request line after its first byte arrived, \
+                 microseconds (power-of-two buckets: derived quantiles are bucket upper bounds)"
             }
             RequestStage::Parse => {
                 "Time validating UTF-8 and parsing the request JSON, microseconds \
@@ -305,8 +316,15 @@ pub struct StageStats {
     /// timeouts, `GET /metrics` scrapes) are not requests and count in
     /// the transport counters instead.
     pub requests_total: u64,
-    /// [`RequestStage::ReadFrame`] buckets, `[2^i, 2^{i+1})` µs each.
-    pub read_frame_buckets_us: Vec<u64>,
+    /// [`RequestStage::IdleWait`] buckets, `[2^i, 2^{i+1})` µs each.
+    /// Defaults to empty (with [`RequestStage::FrameRead`]) in snapshots
+    /// from servers predating the idle/frame split of the old
+    /// `read_frame` stage; renderers emit nothing for an empty vector.
+    #[serde(default)]
+    pub idle_wait_buckets_us: Vec<u64>,
+    /// [`RequestStage::FrameRead`] buckets.
+    #[serde(default)]
+    pub frame_read_buckets_us: Vec<u64>,
     /// [`RequestStage::Parse`] buckets.
     pub parse_buckets_us: Vec<u64>,
     /// [`RequestStage::CacheLookup`] buckets.
@@ -323,7 +341,8 @@ impl Default for StageStats {
     fn default() -> StageStats {
         StageStats {
             requests_total: 0,
-            read_frame_buckets_us: vec![0; LATENCY_BUCKETS],
+            idle_wait_buckets_us: vec![0; LATENCY_BUCKETS],
+            frame_read_buckets_us: vec![0; LATENCY_BUCKETS],
             parse_buckets_us: vec![0; LATENCY_BUCKETS],
             cache_lookup_buckets_us: vec![0; LATENCY_BUCKETS],
             analysis_buckets_us: vec![0; LATENCY_BUCKETS],
@@ -338,7 +357,8 @@ impl StageStats {
     #[must_use]
     pub fn buckets(&self, stage: RequestStage) -> &[u64] {
         match stage {
-            RequestStage::ReadFrame => &self.read_frame_buckets_us,
+            RequestStage::IdleWait => &self.idle_wait_buckets_us,
+            RequestStage::FrameRead => &self.frame_read_buckets_us,
             RequestStage::Parse => &self.parse_buckets_us,
             RequestStage::CacheLookup => &self.cache_lookup_buckets_us,
             RequestStage::Analysis => &self.analysis_buckets_us,
@@ -394,6 +414,19 @@ pub struct ShardStatsSnapshot {
     /// Entries evicted from this shard's compute-cache partition by the
     /// capacity bound.
     pub compute_evictions: u64,
+    /// Sockets currently registered with this shard's epoll reactor
+    /// (always zero under `--conn-model threads`). Defaults for snapshots
+    /// predating the reactor.
+    #[serde(default)]
+    pub reactor_registered_fds: u64,
+    /// Times this shard's reactor returned from `epoll_wait` with at least
+    /// one ready event (eventfd wakeups included).
+    #[serde(default)]
+    pub reactor_wakeups: u64,
+    /// Total readiness events the reactor has processed; divided by
+    /// `reactor_wakeups` this is the ready-per-wakeup batching factor.
+    #[serde(default)]
+    pub reactor_ready_events: u64,
     /// Per-stage pipeline latency decomposition of the requests this shard
     /// served; buckets follow the same invariants as the global
     /// [`StageStats`].
@@ -738,7 +771,7 @@ type ShardFamily = (&'static str, &'static str, fn(&ShardStatsSnapshot) -> u64);
 /// Renders the per-shard counter families, one `shard`-labeled sample per
 /// shard in each.
 fn render_shards(shards: &[ShardStatsSnapshot], out: &mut fedsched_telemetry::PromText) {
-    let gauges: [ShardFamily; 2] = [
+    let gauges: [ShardFamily; 3] = [
         (
             "fedsched_shard_permits",
             "Connection permits owned by the shard",
@@ -749,6 +782,11 @@ fn render_shards(shards: &[ShardStatsSnapshot], out: &mut fedsched_telemetry::Pr
             "Permits currently held by live connections on the shard",
             |s| s.active_connections,
         ),
+        (
+            "fedsched_reactor_registered_fds",
+            "Sockets currently registered with the shard's epoll reactor (zero under threads)",
+            |s| s.reactor_registered_fds,
+        ),
     ];
     for (name, help, value) in gauges {
         out.header(name, help, "gauge");
@@ -756,7 +794,7 @@ fn render_shards(shards: &[ShardStatsSnapshot], out: &mut fedsched_telemetry::Pr
             out.sample(name, &[("shard", &shard.shard.to_string())], value(shard));
         }
     }
-    let counters: [ShardFamily; 8] = [
+    let counters: [ShardFamily; 10] = [
         (
             "fedsched_shard_connections_served_total",
             "Connections accepted onto the shard since start",
@@ -796,6 +834,16 @@ fn render_shards(shards: &[ShardStatsSnapshot], out: &mut fedsched_telemetry::Pr
             "fedsched_shard_compute_cache_evictions_total",
             "Entries evicted from the shard's compute-cache partition",
             |s| s.compute_evictions,
+        ),
+        (
+            "fedsched_reactor_wakeups_total",
+            "epoll_wait returns with at least one ready event on the shard's reactor",
+            |s| s.reactor_wakeups,
+        ),
+        (
+            "fedsched_reactor_ready_events_total",
+            "Readiness events processed by the shard's reactor (ready-per-wakeup numerator)",
+            |s| s.reactor_ready_events,
         ),
     ];
     for (name, help, value) in counters {
@@ -980,6 +1028,9 @@ mod tests {
                 compute_hits: 3,
                 compute_misses: 2,
                 compute_evictions: 1,
+                reactor_registered_fds: 6 + shard,
+                reactor_wakeups: 100 + shard,
+                reactor_ready_events: 250 + shard,
                 stages: StageStats::default(),
             };
             s.stages.requests_total = 5;
@@ -999,6 +1050,9 @@ mod tests {
             "fedsched_shard_compute_cache_hits_total{shard=\"0\"} 3",
             "fedsched_shard_compute_cache_misses_total{shard=\"1\"} 2",
             "fedsched_shard_compute_cache_evictions_total{shard=\"1\"} 1",
+            "fedsched_reactor_registered_fds{shard=\"0\"} 6",
+            "fedsched_reactor_wakeups_total{shard=\"1\"} 101",
+            "fedsched_reactor_ready_events_total{shard=\"0\"} 250",
             "fedsched_stage_duration_analysis_us_bucket{shard=\"0\",le=\"8\"} 5",
             "fedsched_stage_duration_analysis_us_bucket{shard=\"1\",le=\"+Inf\"} 5",
             "fedsched_stage_duration_analysis_us_count{shard=\"1\"} 5",
@@ -1196,6 +1250,9 @@ mod tests {
                 compute_hits: 20,
                 compute_misses: 10,
                 compute_evictions: 4,
+                reactor_registered_fds: 2,
+                reactor_wakeups: 9,
+                reactor_ready_events: 15,
                 stages: StageStats::default(),
             }],
         };

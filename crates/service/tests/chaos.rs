@@ -17,10 +17,22 @@ use fedsched_service::client::{Client, ClientConfig};
 use fedsched_service::protocol::{Placement, Response};
 use fedsched_service::recover_state;
 use fedsched_service::server::{
-    serve, ConnectionLimits, ServerConfig, ServerHandle, TransportCounters,
+    serve, ConnModel, ConnectionLimits, ServerConfig, ServerHandle, TransportCounters,
 };
 use fedsched_service::state::AdmissionConfig;
 use fedsched_service::stats::TransportStats;
+
+/// The connection plane under test: `FEDSCHED_CONN_MODEL=threads|reactor`
+/// reruns the whole suite against either plane (CI runs both); unset
+/// falls back to the server default.
+fn conn_model() -> ConnModel {
+    match std::env::var("FEDSCHED_CONN_MODEL") {
+        Ok(v) => v
+            .parse()
+            .expect("FEDSCHED_CONN_MODEL must be threads|reactor"),
+        Err(_) => ConnModel::default(),
+    }
+}
 
 fn start_server(limits: ConnectionLimits) -> ServerHandle {
     start_sharded_server(limits, 1)
@@ -31,6 +43,7 @@ fn start_sharded_server(limits: ConnectionLimits, shards: usize) -> ServerHandle
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shards,
+        conn_model: conn_model(),
         admission: AdmissionConfig::new(16).with_telemetry(256),
         limits,
         durability: None,
@@ -51,6 +64,7 @@ fn start_durable_server(dir: &std::path::Path) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shards: 1,
+        conn_model: conn_model(),
         admission: AdmissionConfig::new(16).with_telemetry(256),
         limits: ConnectionLimits::default(),
         durability: Some(StoreConfig {
@@ -677,6 +691,133 @@ fn a_torn_wal_tail_is_truncated_and_the_server_restarts_serving() {
     drop(client);
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_thousand_slowloris_connections_cannot_wedge_the_reactor() {
+    // The C10k-style attack the reactor exists for: 1,000 connections
+    // held open mid-frame at once. Thread-per-connection would burn a
+    // thousand stacks on this; the reactor must hold every socket on its
+    // shard loops without spawning anything, answer a healthy client
+    // within one io-timeout while the attack is live, and strike every
+    // attacker out on schedule. Pinned to `ConnModel::Reactor` — the
+    // threaded plane is exercised by the rest of the suite.
+    const ATTACKERS: usize = 1000;
+    let io_timeout = Duration::from_secs(1);
+    let handle = serve(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shards: 2,
+        conn_model: ConnModel::Reactor,
+        admission: AdmissionConfig::new(16).with_telemetry(256),
+        limits: ConnectionLimits {
+            io_timeout: Some(io_timeout),
+            idle_strikes: 3,
+            max_connections: ATTACKERS + 8,
+            ..ConnectionLimits::default()
+        },
+        durability: None,
+        handoff_from: None,
+    })
+    .expect("bind loopback");
+    let addr = handle.local_addr();
+    let counters = handle.transport();
+
+    let threads_before = std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0);
+
+    // Every attacker opens a socket and stalls mid-frame, keeping the
+    // connection (and its server-side buffer) alive until it strikes out.
+    let mut attackers = Vec::with_capacity(ATTACKERS);
+    for _ in 0..ATTACKERS {
+        let mut s = std::net::TcpStream::connect(addr).expect("attacker connect");
+        use std::io::Write as _;
+        s.write_all(b"{\"Admit\":{")
+            .expect("attacker partial frame");
+        attackers.push(s);
+    }
+
+    // Every attacker lands on a shard reactor. The registered-fd gauge
+    // alone is racy here: on a loaded machine the connect loop above can
+    // outlast the strike-out window, so early attackers may already be
+    // reaped while late ones are still registering. Parked + reaped is
+    // monotone and proves each of the 1,000 sockets was held by a
+    // reactor (the plane is pinned, so every timeout is a reactor's).
+    let parked = {
+        let deadline = Instant::now() + io_timeout * 3 + Duration::from_secs(10);
+        loop {
+            let fds: u64 = handle
+                .shard_stats()
+                .iter()
+                .map(|s| s.reactor_registered_fds)
+                .sum();
+            let reaped = counters.snapshot().connections_timed_out;
+            if fds + reaped >= ATTACKERS as u64 || Instant::now() >= deadline {
+                break fds + reaped;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+    assert!(
+        parked >= ATTACKERS as u64,
+        "every attacker must be parked on a reactor, saw {parked}"
+    );
+    // Bounded resources: the attack adds sockets, never threads. The
+    // server runs a fixed crew (acceptors, reactors, dispatchers); even
+    // with generous slack for the test harness, a thread-per-connection
+    // plane would blow far past this.
+    let threads_during = std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(usize::MAX);
+    assert!(
+        threads_during < threads_before + 64,
+        "the reactor must not spawn per-connection threads: \
+         {threads_before} before, {threads_during} during"
+    );
+
+    // A healthy client is answered while the attack is at full strength.
+    let mut client = Client::connect(addr).expect("healthy connect");
+    let started = Instant::now();
+    assert!(
+        matches!(client.admit(&task()).unwrap(), Response::Admitted { .. }),
+        "admissions must go through mid-attack"
+    );
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < io_timeout,
+        "a healthy request must be answered within one io-timeout, took {elapsed:?}"
+    );
+    drop(client);
+
+    // Every attacker strikes out on the idle deadline and is dropped;
+    // the registered-fd gauges drain back down with them.
+    let deadline = Instant::now() + io_timeout * 3 + Duration::from_secs(10);
+    loop {
+        let timed_out = counters.snapshot().connections_timed_out;
+        if timed_out >= ATTACKERS as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {timed_out}/{ATTACKERS} attackers struck out in time"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        wait_for(&counters, |t| t.read_timeouts >= ATTACKERS as u64),
+        "every strike-out implies at least one read timeout, got {:?}",
+        counters.snapshot()
+    );
+    let fds: u64 = handle
+        .shard_stats()
+        .iter()
+        .map(|s| s.reactor_registered_fds)
+        .sum();
+    assert_eq!(fds, 0, "dropped attackers must leave no registered fds");
+
+    drop(attackers);
+    handle.shutdown();
 }
 
 #[test]

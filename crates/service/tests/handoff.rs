@@ -28,6 +28,7 @@ fn start_donor(dir: &Path) -> ServerHandle {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shards: 1,
+        conn_model: Default::default(),
         admission: AdmissionConfig::new(16),
         limits: ConnectionLimits::default(),
         durability: Some(StoreConfig {
@@ -45,6 +46,7 @@ fn start_receiver(handoff_from: Option<PathBuf>, durability: Option<StoreConfig>
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shards: 1,
+        conn_model: Default::default(),
         admission: AdmissionConfig::new(16),
         limits: ConnectionLimits::default(),
         durability,
@@ -149,6 +151,7 @@ fn missing_donor_directory_is_a_boot_error() {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shards: 1,
+        conn_model: Default::default(),
         admission: AdmissionConfig::new(16),
         limits: ConnectionLimits::default(),
         durability: None,

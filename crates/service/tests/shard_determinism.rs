@@ -31,7 +31,7 @@ use fedsched_dag::time::Duration as Ticks;
 use fedsched_durable::{FsyncPolicy, StoreConfig};
 use fedsched_service::protocol::{Request, Response};
 use fedsched_service::{
-    serve, AdmissionConfig, ConnectionLimits, ServerConfig, ServerHandle, StatsSnapshot,
+    serve, AdmissionConfig, ConnModel, ConnectionLimits, ServerConfig, ServerHandle, StatsSnapshot,
 };
 
 /// A fresh scratch directory for one durable run.
@@ -41,11 +41,33 @@ fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// The connection plane the shard sweep runs under:
+/// `FEDSCHED_CONN_MODEL=threads|reactor` reruns the suite against either
+/// plane (CI runs both); unset falls back to the server default.
+fn conn_model() -> ConnModel {
+    match std::env::var("FEDSCHED_CONN_MODEL") {
+        Ok(v) => v
+            .parse()
+            .expect("FEDSCHED_CONN_MODEL must be threads|reactor"),
+        Err(_) => ConnModel::default(),
+    }
+}
+
 fn start(shards: usize, cache_cap: usize, dir: Option<&PathBuf>) -> ServerHandle {
+    start_with_model(shards, cache_cap, dir, conn_model())
+}
+
+fn start_with_model(
+    shards: usize,
+    cache_cap: usize,
+    dir: Option<&PathBuf>,
+    conn_model: ConnModel,
+) -> ServerHandle {
     serve(&ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         shards,
+        conn_model,
         admission: AdmissionConfig::new(16).with_cache_cap(cache_cap),
         limits: ConnectionLimits::default(),
         durability: dir.map(|dir| StoreConfig {
@@ -246,6 +268,54 @@ fn decisions_and_wal_bytes_are_identical_across_shard_counts() {
                     assert_eq!(
                         first_wal, &wal,
                         "seed {seed:#x}: WAL bytes diverged at {shards} shard(s)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reactor_and_threaded_planes_produce_identical_bytes() {
+    // The reactor is a transport rewrite, not a semantic one: at every
+    // shard count the same seeded interleaving must yield the same
+    // response bytes, the same deterministic stats view, and the same
+    // WAL bytes on disk under `--conn-model reactor` as under
+    // `--conn-model threads`.
+    type Baseline = (Vec<String>, Box<dyn std::fmt::Debug>, Vec<u8>);
+    let seed = 0x0D5E_ED0C_u64;
+    for shards in [1usize, 2, 8] {
+        let mut baseline: Option<Baseline> = None;
+        for model in [ConnModel::Threads, ConnModel::Reactor] {
+            let dir = scratch_dir(&format!("model-{shards}-{model:?}"));
+            let handle = start_with_model(shards, 8, Some(&dir), model);
+            let addr = handle.local_addr();
+            let (responses, snapshot) = drive(addr, seed, 120);
+            shutdown(addr, handle);
+            let wal = std::fs::read(dir.join("wal.log")).expect("read wal");
+            let _ = std::fs::remove_dir_all(&dir);
+
+            assert!(snapshot.admitted_high + snapshot.admitted_low > 0);
+            assert!(snapshot.removed > 0);
+
+            let view = deterministic_view(&snapshot);
+            match &baseline {
+                None => {
+                    baseline = Some((responses, Box::new(view), wal));
+                }
+                Some((threaded_responses, threaded_view, threaded_wal)) => {
+                    assert_eq!(
+                        threaded_responses, &responses,
+                        "responses diverged between planes at {shards} shard(s)"
+                    );
+                    assert_eq!(
+                        format!("{threaded_view:?}"),
+                        format!("{view:?}"),
+                        "stats diverged between planes at {shards} shard(s)"
+                    );
+                    assert_eq!(
+                        threaded_wal, &wal,
+                        "WAL bytes diverged between planes at {shards} shard(s)"
                     );
                 }
             }

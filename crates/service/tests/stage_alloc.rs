@@ -56,13 +56,14 @@ fn allocations() -> u64 {
 /// and `dispatch` drive it.
 fn stamp_one_request(counters: &StageCounters) {
     let mut timer = StageTimer::start();
-    timer.stamp(RequestStage::ReadFrame);
+    timer.stamp(RequestStage::IdleWait);
+    timer.stamp(RequestStage::FrameRead);
     timer.stamp(RequestStage::Parse);
     timer.stamp_dispatch(120, 340);
     timer.stamp(RequestStage::Serialize);
     let _ = timer.processing_nanos();
     let _ = timer.micros(RequestStage::Analysis);
-    let _ = timer.last_interval(RequestStage::ReadFrame);
+    let _ = timer.last_interval(RequestStage::FrameRead);
     counters.record(&timer);
 }
 

@@ -1,0 +1,549 @@
+//! Minimal Linux readiness primitives for an epoll-based event loop.
+//!
+//! The crate wraps exactly the four kernel facilities a single-threaded
+//! reactor needs — `epoll_create1`/`epoll_ctl`/`epoll_wait`, `eventfd`,
+//! and the `fcntl` nonblocking toggle — behind a safe, allocation-light
+//! API. No `libc` crate is vendored in this workspace, so the syscalls
+//! are declared directly against the C runtime (the symbols always link
+//! on Linux); all `unsafe` lives here so dependent crates can keep
+//! `#![forbid(unsafe_code)]`.
+//!
+//! Readiness is **level-triggered** (the epoll default): a fd stays
+//! ready until its condition is consumed, so a loop that processes only
+//! part of a buffer is re-woken instead of wedged — the forgiving mode
+//! for a hand-rolled reactor.
+//!
+//! Linux-only by construction, like the crash suite of the consuming
+//! service: the workspace's CI and deployment targets are Linux, and the
+//! thread-per-connection fallback remains for everything else.
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// The kernel's epoll event record. On x86-64 the kernel ABI packs the
+// struct (4-byte aligned u64); every other Linux architecture uses the
+// natural C layout.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    #[link_name = "read"]
+    fn sys_read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    #[link_name = "write"]
+    fn sys_write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+// Linux ABI constants (identical across the architectures Rust targets
+// on Linux; only historical ports like alpha/sparc diverge).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const F_GETFL: c_int = 3;
+const F_SETFL: c_int = 4;
+const O_NONBLOCK: c_int = 0o4000;
+
+/// The last OS error as an `io::Error` (every wrapped syscall reports
+/// failure through `errno`).
+fn last_error() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Which readiness conditions a registration subscribes to. Error and
+/// hang-up conditions are always delivered; they cannot be masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if self.readable {
+            mask |= EPOLLIN;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One delivered readiness event: the registration's token plus the
+/// conditions that fired.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The `token` passed at registration.
+    pub token: u64,
+    /// The fd has bytes to read, or the peer closed its write half
+    /// (a subsequent `read` returning 0 disambiguates).
+    pub readable: bool,
+    /// The fd accepts writes without blocking.
+    pub writable: bool,
+    /// An error or hang-up condition: the fd should be read to EOF (or
+    /// the error collected) and deregistered.
+    pub closed: bool,
+}
+
+/// A reusable buffer of delivered events, sized once at construction.
+#[derive(Debug)]
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let events = self.events;
+        let data = self.data;
+        write!(f, "EpollEvent {{ events: {events:#x}, data: {data} }}")
+    }
+}
+
+impl Events {
+    /// A buffer able to carry `capacity` events per [`Poller::wait`]
+    /// call (floored at 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of events the last [`Poller::wait`] delivered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last wait delivered nothing (timeout).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the events of the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            let events = raw.events;
+            Event {
+                token: raw.data,
+                readable: events & (EPOLLIN | EPOLLRDHUP) != 0,
+                writable: events & EPOLLOUT != 0,
+                closed: events & (EPOLLERR | EPOLLHUP) != 0,
+            }
+        })
+    }
+}
+
+/// A level-triggered epoll instance owning its kernel fd.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` failure, e.g. fd exhaustion.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // the only failure mode and is checked below.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(last_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut event = event;
+        let ptr = event
+            .as_mut()
+            .map_or(std::ptr::null_mut(), std::ptr::from_mut);
+        // SAFETY: `ptr` is either null (DEL ignores it) or points at a
+        // live EpollEvent on this stack frame for the call's duration.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(last_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure (`EEXIST` if already registered).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Re-arms an existing registration with a new interest set.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure (`ENOENT` if never registered).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: interest.mask(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Removes `fd`'s registration. Harmless to call for an fd the
+    /// kernel already dropped (closing an fd deregisters it).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure other than `ENOENT`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        match self.ctl(EPOLL_CTL_DEL, fd, None) {
+            Err(e) if e.raw_os_error() == Some(2) => Ok(()), // ENOENT
+            other => other,
+        }
+    }
+
+    /// Waits for readiness, filling `events`. `None` blocks until an
+    /// event arrives; `Some(d)` waits at most `d` (rounded **up** to the
+    /// next millisecond so a 100µs deadline cannot spin at zero).
+    /// Returns the number of events delivered; 0 means the timeout
+    /// elapsed. `EINTR` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` failure.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.len = 0;
+        let millis: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let up = d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+                c_int::try_from(up).unwrap_or(c_int::MAX)
+            }
+        };
+        let capacity = c_int::try_from(events.buf.len()).unwrap_or(c_int::MAX);
+        loop {
+            // SAFETY: the buffer outlives the call and its length bounds
+            // maxevents, so the kernel writes only into owned memory.
+            let rc = unsafe { epoll_wait(self.epfd, events.buf.as_mut_ptr(), capacity, millis) };
+            if rc >= 0 {
+                events.len = rc as usize;
+                return Ok(events.len);
+            }
+            let err = last_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this struct and closed exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A cross-thread wakeup handle: an `eventfd` registered with the
+/// poller like any other fd. Any thread may call [`Waker::wake`]; the
+/// reactor drains the counter with [`Waker::drain`] when the token
+/// fires.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the eventfd (`EFD_CLOEXEC | EFD_NONBLOCK`).
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd` failure.
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: eventfd takes no pointers; failure is the checked
+        // negative return.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(last_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// Makes the eventfd readable, waking a poller blocked on it.
+    /// Wakes coalesce (the eventfd is a counter), so calling this from
+    /// many threads costs one wakeup, not many.
+    ///
+    /// # Errors
+    ///
+    /// The `write` failure other than `EAGAIN` (a saturated counter is
+    /// already a pending wake).
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a stack u64, the format
+        // eventfd requires.
+        let rc = unsafe { sys_write(self.fd, std::ptr::from_ref(&one).cast(), 8) };
+        if rc < 0 {
+            let err = last_error();
+            if err.kind() != io::ErrorKind::WouldBlock {
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes all pending wakes so the (level-triggered) fd stops
+    /// reporting readable.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into a stack u64; EAGAIN (no
+        // pending wake) is fine.
+        let _ = unsafe { sys_read(self.fd, std::ptr::from_mut(&mut counter).cast(), 8) };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this struct and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Toggles `O_NONBLOCK` on an fd via `fcntl` (std exposes this for
+/// sockets but not for arbitrary fds, and the reactor needs it before
+/// handing a socket to epoll).
+///
+/// # Errors
+///
+/// The `fcntl` failure.
+pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
+    // SAFETY: F_GETFL/F_SETFL take and return plain integers.
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(last_error());
+    }
+    let wanted = if nonblocking {
+        flags | O_NONBLOCK
+    } else {
+        flags & !O_NONBLOCK
+    };
+    if wanted != flags {
+        // SAFETY: see above; the computed flag word is a valid argument.
+        let rc = unsafe { fcntl(fd, F_SETFL, wanted) };
+        if rc < 0 {
+            return Err(last_error());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    const WAKER_TOKEN: u64 = u64::MAX;
+
+    #[test]
+    fn waker_wakes_a_blocked_poller_and_drains() {
+        let poller = Poller::new().expect("epoll");
+        let waker = Waker::new().expect("eventfd");
+        poller
+            .add(waker.as_raw_fd(), WAKER_TOKEN, Interest::READABLE)
+            .expect("register waker");
+        let mut events = Events::with_capacity(8);
+
+        // Without a wake: the timeout elapses and nothing is delivered.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+
+        // Two wakes coalesce into one readable event carrying the token.
+        waker.wake().expect("wake");
+        waker.wake().expect("wake again");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        let event = events.iter().next().expect("one event");
+        assert_eq!(event.token, WAKER_TOKEN);
+        assert!(event.readable);
+        assert!(!event.closed);
+
+        // Drained: the level-triggered fd stops reporting readable.
+        waker.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn sockets_report_readable_on_data_and_closed_on_hangup() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        set_nonblocking(server.as_raw_fd(), true).expect("nonblocking");
+
+        let poller = Poller::new().expect("epoll");
+        poller
+            .add(server.as_raw_fd(), 7, Interest::READABLE)
+            .expect("register");
+        let mut events = Events::with_capacity(8);
+
+        // Idle socket: timeout.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        client.write_all(b"ping").expect("send");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        let event = events.iter().next().expect("event");
+        assert_eq!(event.token, 7);
+        assert!(event.readable);
+
+        // Nonblocking read consumes the bytes; the level-triggered fd
+        // goes quiet again.
+        let mut sink = [0u8; 16];
+        let mut server_reader = &server;
+        assert_eq!(server_reader.read(&mut sink).expect("read"), 4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        // Peer close: readable again (EOF is a read condition) and the
+        // next read returns 0.
+        drop(client);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert!(events.iter().next().expect("event").readable);
+        assert_eq!(server_reader.read(&mut sink).expect("read eof"), 0);
+        poller.delete(server.as_raw_fd()).expect("deregister");
+    }
+
+    #[test]
+    fn interest_rearming_switches_between_read_and_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        set_nonblocking(server.as_raw_fd(), true).expect("nonblocking");
+
+        let poller = Poller::new().expect("epoll");
+        // Writable interest on an idle socket with empty send buffer:
+        // immediately ready.
+        poller
+            .add(server.as_raw_fd(), 3, Interest::WRITABLE)
+            .expect("register");
+        let mut events = Events::with_capacity(4);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert!(events.iter().next().expect("event").writable);
+
+        // Re-armed to read interest only: no data pending, so quiet.
+        poller
+            .modify(server.as_raw_fd(), 3, Interest::READABLE)
+            .expect("modify");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        drop(client);
+    }
+
+    #[test]
+    fn nonblocking_reads_report_would_block() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        set_nonblocking(server.as_raw_fd(), true).expect("nonblocking");
+        let mut sink = [0u8; 8];
+        let err = (&server).read(&mut sink).expect_err("no data yet");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // And the toggle is reversible.
+        set_nonblocking(server.as_raw_fd(), false).expect("blocking again");
+    }
+
+    #[test]
+    fn delete_of_an_unregistered_fd_is_harmless() {
+        let poller = Poller::new().expect("epoll");
+        let waker = Waker::new().expect("eventfd");
+        poller.delete(waker.as_raw_fd()).expect("noent tolerated");
+    }
+}
